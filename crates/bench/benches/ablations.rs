@@ -1,0 +1,108 @@
+//! Design-choice ablations (beyond the paper's own figures):
+//!
+//! * **Restart budget** — Algorithm 3's "preset count": quality/time
+//!   trade-off at 0, 1, 3, 5 restarts.
+//! * **Improvement ratio r** — Definition 6.1's `(1+r)` threshold: larger
+//!   `r` terminates BLS earlier at the cost of a weaker local maximum.
+//! * **Local-search neighbourhood** — ALS (plan exchange) vs BLS (billboard
+//!   moves) from the same greedy seed, isolating the neighbourhood design.
+//! * **Parallel restarts** — the rayon fan-out of independent restarts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mroam_bench::{model_of, nyc_city, workload};
+use mroam_core::prelude::*;
+
+fn bench_restart_budget(c: &mut Criterion) {
+    let city = nyc_city();
+    let model = model_of(&city);
+    let advertisers = workload(&model, 1.0, 0.05);
+    let instance = Instance::new(&model, &advertisers, 0.5);
+
+    let mut group = c.benchmark_group("ablation_restarts");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for restarts in [0usize, 1, 3, 5] {
+        let solver = Bls {
+            restarts,
+            seed: 7,
+            ..Bls::default()
+        };
+        let sol = solver.solve(&instance);
+        eprintln!("[ablation restarts={restarts}] BLS regret={:.1}", sol.total_regret);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(restarts),
+            &instance,
+            |b, inst| b.iter(|| solver.solve(inst)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_improvement_ratio(c: &mut Criterion) {
+    let city = nyc_city();
+    let model = model_of(&city);
+    let advertisers = workload(&model, 1.0, 0.05);
+    let instance = Instance::new(&model, &advertisers, 0.5);
+
+    let mut group = c.benchmark_group("ablation_improvement_ratio");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for r in [0.0, 0.01, 0.05, 0.2] {
+        let solver = Bls {
+            restarts: 1,
+            seed: 7,
+            improvement_ratio: r,
+            parallel: false,
+        };
+        let sol = solver.solve(&instance);
+        eprintln!("[ablation r={r}] BLS regret={:.1}", sol.total_regret);
+        group.bench_with_input(BenchmarkId::from_parameter(r), &instance, |b, inst| {
+            b.iter(|| solver.solve(inst))
+        });
+    }
+    group.finish();
+}
+
+fn bench_neighbourhood(c: &mut Criterion) {
+    let city = nyc_city();
+    let model = model_of(&city);
+    let advertisers = workload(&model, 1.0, 0.05);
+    let instance = Instance::new(&model, &advertisers, 0.5);
+
+    let mut group = c.benchmark_group("ablation_neighbourhood");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let als = Als {
+        restarts: 0,
+        seed: 7,
+        parallel: false,
+    };
+    let bls = Bls {
+        restarts: 0,
+        seed: 7,
+        ..Bls::default()
+    };
+    eprintln!(
+        "[ablation neighbourhood] ALS-only regret={:.1}, BLS-only regret={:.1}",
+        als.solve(&instance).total_regret,
+        bls.solve(&instance).total_regret
+    );
+    group.bench_function("advertiser_driven(ALS,0 restarts)", |b| {
+        b.iter(|| als.solve(&instance))
+    });
+    group.bench_function("billboard_driven(BLS,0 restarts)", |b| {
+        b.iter(|| bls.solve(&instance))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_restart_budget,
+    bench_improvement_ratio,
+    bench_neighbourhood
+);
+criterion_main!(benches);

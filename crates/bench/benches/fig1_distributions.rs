@@ -1,0 +1,45 @@
+//! **Figure 1** bench: computing the influence distribution (1a) and the
+//! impression-count curve (1b) for both cities. Also prints the curves so a
+//! bench run doubles as a regeneration of the figure's data series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mroam_bench::{model_of, nyc_city, sg_city};
+use mroam_influence::curves;
+
+fn bench_fig1(c: &mut Criterion) {
+    let cities = [("NYC", nyc_city()), ("SG", sg_city())];
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    for (name, city) in &cities {
+        let model = model_of(city);
+
+        // Print the series once per run (the figure's actual content).
+        let curve = curves::impression_curve(&model, &[10, 20, 50, 100]);
+        eprintln!(
+            "[fig1 {name}] gini={:.3} curve={:?}",
+            curves::skew_stats(&model).influence_gini,
+            curve
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("influence_distribution", name),
+            &model,
+            |b, m| b.iter(|| curves::influence_distribution(m)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("impression_curve", name),
+            &model,
+            |b, m| {
+                let pcts: Vec<u32> = (0..=10).map(|i| i * 10).collect();
+                b.iter(|| curves::impression_curve(m, &pcts))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

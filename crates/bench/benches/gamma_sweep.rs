@@ -1,0 +1,38 @@
+//! **Figures 10–11** bench: the γ sweep on NYC (Figure 10) and SG
+//! (Figure 11). Prints each point's regret — the paper's observation is
+//! that regret falls as γ rises for every algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mroam_bench::{model_of, nyc_city, sg_city, solvers, workload};
+use mroam_core::prelude::*;
+
+fn bench_gamma(c: &mut Criterion) {
+    for (figure, city) in [(10, nyc_city()), (11, sg_city())] {
+        let model = model_of(&city);
+        let advertisers = workload(&model, 1.0, 0.05);
+        let mut group = c.benchmark_group(format!("fig{figure}_gamma_{}", city.name));
+        group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+        for gamma in [0.0, 0.5, 1.0] {
+            let instance = Instance::new(&model, &advertisers, gamma);
+            for (name, solver) in solvers() {
+                let sol = solver.solve(&instance);
+                eprintln!(
+                    "[fig{figure} gamma={gamma}] {name}: regret={:.1}",
+                    sol.total_regret
+                );
+                group.bench_with_input(
+                    BenchmarkId::new(name, format!("gamma={gamma}")),
+                    &instance,
+                    |b, inst| b.iter(|| solver.solve(inst)),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_gamma);
+criterion_main!(benches);

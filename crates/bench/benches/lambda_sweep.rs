@@ -1,0 +1,50 @@
+//! **Figure 12** bench: the λ sweep on both cities. Each point rebuilds the
+//! coverage model (the meets relation changes with λ) and re-solves; the
+//! printed regrets carry the figure's content (NYC grows with λ, SG is flat
+//! below 150 m), while the timings quantify the model-rebuild cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mroam_bench::{nyc_city, sg_city, solvers, workload};
+use mroam_core::prelude::*;
+
+fn bench_lambda(c: &mut Criterion) {
+    for city in [nyc_city(), sg_city()] {
+        let mut group = c.benchmark_group(format!("fig12_lambda_{}", city.name));
+        group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+        for lambda in [50.0, 100.0, 150.0, 200.0] {
+            let model = city.coverage(lambda);
+            let advertisers = workload(&model, 1.0, 0.05);
+            let instance = Instance::new(&model, &advertisers, 0.5);
+            for (name, solver) in solvers() {
+                let sol = solver.solve(&instance);
+                eprintln!(
+                    "[fig12 {} lambda={lambda}] {name}: regret={:.1} (supply {})",
+                    city.name,
+                    sol.total_regret,
+                    model.supply()
+                );
+            }
+            // Time the model rebuild (the λ-dependent cost) plus one solve
+            // of the headline method.
+            group.bench_with_input(
+                BenchmarkId::new("rebuild+bls", format!("lambda={lambda}")),
+                &lambda,
+                |b, &l| {
+                    b.iter(|| {
+                        let model = city.coverage(l);
+                        let advertisers = workload(&model, 1.0, 0.05);
+                        let instance = Instance::new(&model, &advertisers, 0.5);
+                        solvers().pop().unwrap().1.solve(&instance)
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_lambda);
+criterion_main!(benches);

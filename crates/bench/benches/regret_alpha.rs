@@ -1,0 +1,41 @@
+//! **Figures 2–6** bench: the four algorithms across the α sweep at the
+//! default p(ĪA) = 5% (Figure 4's configuration; the other figures change
+//! only `p`, which `time_p` covers). Prints each algorithm's regret so a
+//! bench run regenerates the figure's effectiveness series alongside the
+//! timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mroam_bench::{model_of, nyc_city, solvers, workload};
+use mroam_core::prelude::*;
+
+fn bench_regret_alpha(c: &mut Criterion) {
+    let city = nyc_city();
+    let model = model_of(&city);
+    let mut group = c.benchmark_group("fig2_6_regret_alpha");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    for alpha in [0.4, 0.8, 1.2] {
+        let advertisers = workload(&model, alpha, 0.05);
+        let instance = Instance::new(&model, &advertisers, 0.5);
+        for (name, solver) in solvers() {
+            let sol = solver.solve(&instance);
+            eprintln!(
+                "[fig4 alpha={alpha}] {name}: regret={:.1} (exc {:.1} / uns {:.1})",
+                sol.total_regret,
+                sol.breakdown.excessive_influence,
+                sol.breakdown.unsatisfied_penalty
+            );
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("alpha={alpha}")),
+                &instance,
+                |b, inst| b.iter(|| solver.solve(inst)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_regret_alpha);
+criterion_main!(benches);

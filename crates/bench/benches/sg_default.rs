@@ -1,0 +1,35 @@
+//! **Figure 7** bench: the SG dataset under the default settings
+//! (α = 100%, p = 5%, γ = 0.5, λ = 100 m), all four algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mroam_bench::{model_of, sg_city, solvers, workload};
+use mroam_core::prelude::*;
+
+fn bench_sg_default(c: &mut Criterion) {
+    let city = sg_city();
+    let model = model_of(&city);
+    let advertisers = workload(&model, 1.0, 0.05);
+    let instance = Instance::new(&model, &advertisers, 0.5);
+
+    let mut group = c.benchmark_group("fig7_sg_default");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, solver) in solvers() {
+        let sol = solver.solve(&instance);
+        eprintln!(
+            "[fig7] {name}: regret={:.1} (exc {:.1} / uns {:.1}, {} unsatisfied)",
+            sol.total_regret,
+            sol.breakdown.excessive_influence,
+            sol.breakdown.unsatisfied_penalty,
+            sol.breakdown.n_unsatisfied
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &instance, |b, inst| {
+            b.iter(|| solver.solve(inst))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sg_default);
+criterion_main!(benches);

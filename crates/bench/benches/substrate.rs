@@ -1,0 +1,130 @@
+//! Substrate microbenchmarks: the building blocks every algorithm sits on.
+//!
+//! * grid-index radius queries (the meets computation's inner loop),
+//! * full meets/coverage-model construction,
+//! * coverage-counter add/remove/marginal-gain (dense vs sparse — the
+//!   ablation behind `CoverageCounter::auto`),
+//! * bitset union counting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mroam_bench::{model_of, nyc_city};
+use mroam_geo::{GridIndex, KdTree, Point};
+use mroam_influence::{BitSet, CoverageCounter};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn bench_grid(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let points: Vec<Point> = (0..5_000)
+        .map(|_| Point::new(rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0)))
+        .collect();
+    let queries: Vec<Point> = (0..1_000)
+        .map(|_| Point::new(rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0)))
+        .collect();
+
+    let mut group = c.benchmark_group("substrate_grid");
+    group.bench_function("build_5k", |b| b.iter(|| GridIndex::build(&points, 100.0)));
+    let grid = GridIndex::build(&points, 100.0);
+    group.bench_function("radius_query_x1000", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for q in &queries {
+                grid.for_each_within(q, 100.0, |_, _| hits += 1);
+            }
+            hits
+        })
+    });
+    // Ablation: the k-d tree alternative on the same workload.
+    group.bench_function("kdtree_build_5k", |b| b.iter(|| KdTree::build(&points)));
+    let tree = KdTree::build(&points);
+    group.bench_function("kdtree_radius_query_x1000", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for q in &queries {
+                tree.for_each_within(q, 100.0, |_, _| hits += 1);
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+fn bench_meets(c: &mut Criterion) {
+    let city = nyc_city();
+    let mut group = c.benchmark_group("substrate_meets");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for lambda in [50.0, 100.0, 200.0] {
+        group.bench_with_input(
+            BenchmarkId::new("coverage_model", format!("lambda={lambda}")),
+            &lambda,
+            |b, &l| b.iter(|| city.coverage(l)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_counters(c: &mut Criterion) {
+    let city = nyc_city();
+    let model = model_of(&city);
+    let lists: Vec<&[u32]> = model.billboard_ids().map(|b| model.coverage(b)).collect();
+    let n_t = model.n_trajectories();
+
+    let mut group = c.benchmark_group("substrate_counter");
+    for (name, mk) in [
+        ("dense", CoverageCounter::dense(n_t)),
+        ("sparse", CoverageCounter::sparse()),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("add_remove_all", name),
+            &mk,
+            |b, proto| {
+                b.iter(|| {
+                    let mut counter = proto.clone();
+                    for l in &lists {
+                        counter.add(l);
+                    }
+                    for l in &lists {
+                        counter.remove(l);
+                    }
+                    counter.covered()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("marginal_gain_scan", name),
+            &mk,
+            |b, proto| {
+                let mut counter = proto.clone();
+                for l in lists.iter().take(lists.len() / 2) {
+                    counter.add(l);
+                }
+                b.iter(|| {
+                    lists
+                        .iter()
+                        .map(|l| counter.marginal_gain(l))
+                        .sum::<u64>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_bitset(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let mut a = BitSet::new(100_000);
+    let mut b_set = BitSet::new(100_000);
+    for _ in 0..20_000 {
+        a.insert(rng.gen_range(0..100_000));
+        b_set.insert(rng.gen_range(0..100_000));
+    }
+    let mut group = c.benchmark_group("substrate_bitset");
+    group.bench_function("union_len_100k", |bch| bch.iter(|| a.union_len(&b_set)));
+    group.bench_function("iter_count", |bch| bch.iter(|| a.iter().count()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid, bench_meets, bench_counters, bench_bitset);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! **Figure 8** bench: running time of every algorithm as the demand-supply
+//! ratio α grows — Criterion's timing *is* the figure here. The paper's
+//! shape: greedy methods are orders of magnitude cheaper than the local
+//! searches, and everyone slows down as α rises.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mroam_bench::{model_of, nyc_city, solvers, workload};
+use mroam_core::prelude::*;
+
+fn bench_time_alpha(c: &mut Criterion) {
+    let city = nyc_city();
+    let model = model_of(&city);
+    let mut group = c.benchmark_group("fig8_time_vs_alpha");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    for alpha in [0.4, 0.6, 0.8, 1.0, 1.2] {
+        let advertisers = workload(&model, alpha, 0.05);
+        let instance = Instance::new(&model, &advertisers, 0.5);
+        for (name, solver) in solvers() {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("alpha={alpha}")),
+                &instance,
+                |b, inst| b.iter(|| solver.solve(inst)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_time_alpha);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! **Figure 9** bench: running time of every algorithm as the
+//! average-individual demand ratio p(ĪA) varies (which also covers the
+//! advertiser-count axis of Figures 2–6: p = 1% means many small
+//! advertisers, p = 20% a handful of big ones).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mroam_bench::{model_of, nyc_city, solvers, workload};
+use mroam_core::prelude::*;
+
+fn bench_time_p(c: &mut Criterion) {
+    let city = nyc_city();
+    let model = model_of(&city);
+    let mut group = c.benchmark_group("fig9_time_vs_p");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    for p_avg in [0.01, 0.02, 0.05, 0.10, 0.20] {
+        let advertisers = workload(&model, 1.0, p_avg);
+        let instance = Instance::new(&model, &advertisers, 0.5);
+        for (name, solver) in solvers() {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("p={p_avg}")),
+                &instance,
+                |b, inst| b.iter(|| solver.solve(inst)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_time_p);
+criterion_main!(benches);

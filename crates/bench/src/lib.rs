@@ -1,0 +1,75 @@
+//! Shared fixtures for the MROAM benchmark suite.
+//!
+//! Every bench target regenerates one paper artefact (see `benches/`); the
+//! fixtures here pin the datasets and workloads so Criterion timings are
+//! comparable across runs. Benches run at the *test* scale — large enough
+//! to preserve the paper's qualitative shape (the bench-scale numbers live
+//! in EXPERIMENTS.md via `exp_all`), small enough that `cargo bench`
+//! finishes in minutes.
+
+use mroam_core::prelude::*;
+use mroam_datagen::{City, NycConfig, SgConfig, WorkloadConfig};
+use mroam_influence::CoverageModel;
+
+/// Deterministic NYC-like fixture city.
+pub fn nyc_city() -> City {
+    NycConfig::test_scale().generate()
+}
+
+/// Deterministic SG-like fixture city.
+pub fn sg_city() -> City {
+    SgConfig::test_scale().generate()
+}
+
+/// Coverage model at the default λ = 100 m.
+pub fn model_of(city: &City) -> CoverageModel {
+    city.coverage(100.0)
+}
+
+/// Advertiser workload for `(α, p)` with the fixed bench seed.
+pub fn workload(model: &CoverageModel, alpha: f64, p_avg: f64) -> AdvertiserSet {
+    WorkloadConfig {
+        alpha,
+        p_avg,
+        seed: 42,
+    }
+    .generate(model.supply())
+}
+
+/// The four paper solvers with the bench restart budget.
+pub fn solvers() -> Vec<(&'static str, Box<dyn Solver>)> {
+    vec![
+        ("G-Order", Box::new(GOrder)),
+        ("G-Global", Box::new(GGlobal)),
+        (
+            "ALS",
+            Box::new(Als {
+                restarts: 3,
+                seed: 7,
+                parallel: false,
+            }),
+        ),
+        (
+            "BLS",
+            Box::new(Bls {
+                restarts: 3,
+                seed: 7,
+                ..Bls::default()
+            }),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let city = nyc_city();
+        let model = model_of(&city);
+        let advs = workload(&model, 1.0, 0.10);
+        assert!(!advs.is_empty());
+        assert_eq!(solvers().len(), 4);
+    }
+}

@@ -1,0 +1,179 @@
+//! Advertisers and their campaign proposals.
+//!
+//! Each advertiser `a_i` submits a campaign proposal to the host with a
+//! minimum demanded influence `I_i` and a committed payment `L_i`
+//! (Section 3.1). Payment is collected in full only when the assigned
+//! billboards meet the demand.
+
+use mroam_data::AdvertiserId;
+use serde::{Deserialize, Serialize};
+
+/// One advertiser's campaign proposal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Advertiser {
+    /// Demanded influence `I_i` (distinct trajectories); must be positive.
+    pub demand: u64,
+    /// Committed payment `L_i`; must be non-negative.
+    pub payment: f64,
+}
+
+impl Advertiser {
+    /// Creates an advertiser; panics on a zero demand or negative payment
+    /// (the regret model divides by `I_i`).
+    pub fn new(demand: u64, payment: f64) -> Self {
+        assert!(demand > 0, "advertiser demand must be positive");
+        assert!(
+            payment >= 0.0 && payment.is_finite(),
+            "advertiser payment must be finite and non-negative"
+        );
+        Self { demand, payment }
+    }
+
+    /// Budget-effectiveness `L_i / I_i`, the ordering key of Algorithm 1 and
+    /// the release key of Algorithm 2.
+    #[inline]
+    pub fn budget_effectiveness(&self) -> f64 {
+        self.payment / self.demand as f64
+    }
+}
+
+/// The advertiser set `A`, indexed by [`AdvertiserId`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdvertiserSet {
+    advertisers: Vec<Advertiser>,
+}
+
+impl AdvertiserSet {
+    /// Wraps a list of advertisers.
+    pub fn new(advertisers: Vec<Advertiser>) -> Self {
+        Self { advertisers }
+    }
+
+    /// Number of advertisers `|A|`.
+    pub fn len(&self) -> usize {
+        self.advertisers.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.advertisers.is_empty()
+    }
+
+    /// The advertiser with id `id`. Panics when out of range.
+    #[inline]
+    pub fn get(&self, id: AdvertiserId) -> &Advertiser {
+        &self.advertisers[id.index()]
+    }
+
+    /// Iterates `(id, advertiser)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AdvertiserId, &Advertiser)> + '_ {
+        self.advertisers
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AdvertiserId::from_index(i), a))
+    }
+
+    /// All ids, ascending.
+    pub fn ids(&self) -> impl Iterator<Item = AdvertiserId> + '_ {
+        (0..self.len()).map(AdvertiserId::from_index)
+    }
+
+    /// Global demand `I^A = Σ_i I_i` (Section 7.1.3).
+    pub fn global_demand(&self) -> u64 {
+        self.advertisers.iter().map(|a| a.demand).sum()
+    }
+
+    /// Total committed payment `Σ_i L_i` — the regret of the empty
+    /// deployment and the maximum attainable revenue.
+    pub fn total_payment(&self) -> f64 {
+        self.advertisers.iter().map(|a| a.payment).sum()
+    }
+
+    /// Ids sorted by descending budget-effectiveness `L_i / I_i`, the
+    /// service order of Algorithm 1. Ties broken by id for determinism.
+    pub fn by_budget_effectiveness(&self) -> Vec<AdvertiserId> {
+        let mut ids: Vec<AdvertiserId> = self.ids().collect();
+        ids.sort_by(|&a, &b| {
+            self.get(b)
+                .budget_effectiveness()
+                .total_cmp(&self.get(a).budget_effectiveness())
+                .then(a.0.cmp(&b.0))
+        });
+        ids
+    }
+}
+
+impl FromIterator<Advertiser> for AdvertiserSet {
+    fn from_iter<T: IntoIterator<Item = Advertiser>>(iter: T) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_effectiveness() {
+        let a = Advertiser::new(5, 10.0);
+        assert_eq!(a.budget_effectiveness(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "demand must be positive")]
+    fn zero_demand_rejected() {
+        let _ = Advertiser::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "payment must be finite")]
+    fn negative_payment_rejected() {
+        let _ = Advertiser::new(1, -1.0);
+    }
+
+    #[test]
+    fn set_aggregates() {
+        let set: AdvertiserSet = [
+            Advertiser::new(5, 10.0),
+            Advertiser::new(7, 11.0),
+            Advertiser::new(8, 20.0),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.global_demand(), 20);
+        assert_eq!(set.total_payment(), 41.0);
+    }
+
+    #[test]
+    fn ordering_by_budget_effectiveness() {
+        // L/I: a0 = 2.0, a1 = 11/7 ≈ 1.571, a2 = 2.5.
+        let set = AdvertiserSet::new(vec![
+            Advertiser::new(5, 10.0),
+            Advertiser::new(7, 11.0),
+            Advertiser::new(8, 20.0),
+        ]);
+        let order: Vec<u32> = set.by_budget_effectiveness().iter().map(|a| a.0).collect();
+        assert_eq!(order, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn ordering_breaks_ties_by_id() {
+        let set = AdvertiserSet::new(vec![
+            Advertiser::new(10, 20.0),
+            Advertiser::new(5, 10.0),
+            Advertiser::new(2, 4.0),
+        ]);
+        let order: Vec<u32> = set.by_budget_effectiveness().iter().map(|a| a.0).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_set() {
+        let set = AdvertiserSet::default();
+        assert!(set.is_empty());
+        assert_eq!(set.global_demand(), 0);
+        assert_eq!(set.total_payment(), 0.0);
+        assert!(set.by_budget_effectiveness().is_empty());
+    }
+}

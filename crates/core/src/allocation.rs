@@ -1,0 +1,695 @@
+//! The deployment-state machine shared by every MROAM algorithm.
+//!
+//! An [`Allocation`] tracks, for one instance, which billboard belongs to
+//! which advertiser (`S_i ∩ S_j = ∅` by construction), each advertiser's
+//! achieved influence `I(S_i)` via an incremental, measure-aware
+//! [`MeasuredCounter`], the per-advertiser regret, and the free billboard
+//! pool. All algorithm moves — assign, release, cross-advertiser swap,
+//! plan exchange — are O(coverage-list length) and keep every cached value
+//! consistent.
+
+use crate::advertiser::Advertiser;
+use crate::instance::Instance;
+use crate::regret::{regret, RegretBreakdown};
+use crate::solver::Solution;
+use mroam_data::{AdvertiserId, BillboardId};
+use mroam_influence::MeasuredCounter;
+
+/// Sentinel for "not in any position list".
+const NONE_POS: u32 = u32::MAX;
+
+/// A mutable deployment `S = {S_1, …, S_|A|}` over one instance.
+#[derive(Debug, Clone)]
+pub struct Allocation<'a> {
+    instance: Instance<'a>,
+    /// `sets[i]` = billboards currently assigned to advertiser `i`.
+    sets: Vec<Vec<BillboardId>>,
+    /// Per billboard: owning advertiser, if any.
+    owner: Vec<Option<AdvertiserId>>,
+    /// Per billboard: its index inside `sets[owner]` (owned) or `free`
+    /// (unowned); kept in sync by swap-remove bookkeeping.
+    pos: Vec<u32>,
+    /// Per advertiser: incremental influence counter (measure-aware).
+    counters: Vec<MeasuredCounter>,
+    /// Per advertiser: cached `I(S_i)`.
+    influences: Vec<u64>,
+    /// Per advertiser: cached `R(S_i)`.
+    regrets: Vec<f64>,
+    /// Unassigned billboards.
+    free: Vec<BillboardId>,
+    /// Cached `Σ regrets`.
+    total_regret: f64,
+}
+
+impl<'a> Allocation<'a> {
+    /// Creates the empty deployment: every billboard free, every advertiser
+    /// at zero influence (regret `L_i`, or `Σ L` in total).
+    pub fn new(instance: Instance<'a>) -> Self {
+        let n_b = instance.model.n_billboards();
+        let n_a = instance.advertisers.len();
+        let n_t = instance.model.n_trajectories();
+        let counters: Vec<MeasuredCounter> = (0..n_a)
+            .map(|_| MeasuredCounter::auto(n_t, n_a, instance.measure))
+            .collect();
+        let regrets: Vec<f64> = instance
+            .advertisers
+            .iter()
+            .map(|(_, a)| regret(a, 0, instance.gamma))
+            .collect();
+        let total_regret = regrets.iter().sum();
+        Self {
+            instance,
+            sets: vec![Vec::new(); n_a],
+            owner: vec![None; n_b],
+            pos: (0..n_b as u32).collect(),
+            counters,
+            influences: vec![0; n_a],
+            regrets,
+            free: (0..n_b).map(BillboardId::from_index).collect(),
+            total_regret,
+        }
+    }
+
+    /// Creates a deployment from explicit per-advertiser sets (used by tests
+    /// and by warm starts). Panics if a billboard appears twice.
+    pub fn from_sets(instance: Instance<'a>, sets: &[Vec<BillboardId>]) -> Self {
+        assert_eq!(
+            sets.len(),
+            instance.advertisers.len(),
+            "one set per advertiser required"
+        );
+        let mut alloc = Self::new(instance);
+        for (i, set) in sets.iter().enumerate() {
+            let a = AdvertiserId::from_index(i);
+            for &b in set {
+                alloc.assign(b, a);
+            }
+        }
+        alloc
+    }
+
+    /// The instance this deployment is over.
+    pub fn instance(&self) -> Instance<'a> {
+        self.instance
+    }
+
+    /// Number of advertisers.
+    pub fn n_advertisers(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Billboards currently assigned to `a`.
+    pub fn set_of(&self, a: AdvertiserId) -> &[BillboardId] {
+        &self.sets[a.index()]
+    }
+
+    /// Current owner of billboard `b`, if any.
+    pub fn owner_of(&self, b: BillboardId) -> Option<AdvertiserId> {
+        self.owner[b.index()]
+    }
+
+    /// The free (unassigned) billboards, in unspecified order.
+    pub fn free_billboards(&self) -> &[BillboardId] {
+        &self.free
+    }
+
+    /// Achieved influence `I(S_a)`.
+    #[inline]
+    pub fn influence(&self, a: AdvertiserId) -> u64 {
+        self.influences[a.index()]
+    }
+
+    /// Cached regret `R(S_a)`.
+    #[inline]
+    pub fn regret_of(&self, a: AdvertiserId) -> f64 {
+        self.regrets[a.index()]
+    }
+
+    /// Cached total regret `R(S)`.
+    #[inline]
+    pub fn total_regret(&self) -> f64 {
+        self.total_regret
+    }
+
+    /// Whether advertiser `a`'s demand is met.
+    #[inline]
+    pub fn is_satisfied(&self, a: AdvertiserId) -> bool {
+        self.influences[a.index()] >= self.advertiser(a).demand
+    }
+
+    /// The advertiser record behind `a`.
+    #[inline]
+    pub fn advertiser(&self, a: AdvertiserId) -> &Advertiser {
+        self.instance.advertisers.get(a)
+    }
+
+    #[inline]
+    fn regret_at(&self, a: AdvertiserId, influence: u64) -> f64 {
+        regret(self.advertiser(a), influence, self.instance.gamma)
+    }
+
+    fn set_influence_cache(&mut self, a: AdvertiserId, influence: u64) {
+        let i = a.index();
+        self.influences[i] = influence;
+        let new_regret = self.regret_at(a, influence);
+        self.total_regret += new_regret - self.regrets[i];
+        self.regrets[i] = new_regret;
+    }
+
+    // ---- free-list bookkeeping -------------------------------------------
+
+    fn remove_from_free(&mut self, b: BillboardId) {
+        let p = self.pos[b.index()] as usize;
+        debug_assert_eq!(self.free[p], b, "free-list position desync");
+        self.free.swap_remove(p);
+        if let Some(&moved) = self.free.get(p) {
+            self.pos[moved.index()] = p as u32;
+        }
+        self.pos[b.index()] = NONE_POS;
+    }
+
+    fn push_to_free(&mut self, b: BillboardId) {
+        self.pos[b.index()] = self.free.len() as u32;
+        self.free.push(b);
+    }
+
+    fn remove_from_set(&mut self, b: BillboardId, a: AdvertiserId) {
+        let p = self.pos[b.index()] as usize;
+        let set = &mut self.sets[a.index()];
+        debug_assert_eq!(set[p], b, "set position desync");
+        set.swap_remove(p);
+        if let Some(&moved) = set.get(p) {
+            self.pos[moved.index()] = p as u32;
+        }
+        self.pos[b.index()] = NONE_POS;
+    }
+
+    fn push_to_set(&mut self, b: BillboardId, a: AdvertiserId) {
+        let set = &mut self.sets[a.index()];
+        self.pos[b.index()] = set.len() as u32;
+        set.push(b);
+    }
+
+    // ---- moves -------------------------------------------------------------
+
+    /// Assigns free billboard `b` to advertiser `a`. Panics if `b` is owned.
+    pub fn assign(&mut self, b: BillboardId, a: AdvertiserId) {
+        assert!(
+            self.owner[b.index()].is_none(),
+            "billboard {b} is already assigned"
+        );
+        self.remove_from_free(b);
+        self.push_to_set(b, a);
+        self.owner[b.index()] = Some(a);
+        let gained = self.counters[a.index()].add(self.instance.model.coverage(b));
+        self.set_influence_cache(a, self.influences[a.index()] + gained);
+    }
+
+    /// Releases billboard `b` back to the free pool. Panics if unowned.
+    pub fn release(&mut self, b: BillboardId) {
+        let a = self.owner[b.index()]
+            .unwrap_or_else(|| panic!("billboard {b} is not assigned"));
+        self.remove_from_set(b, a);
+        self.push_to_free(b);
+        self.owner[b.index()] = None;
+        let lost = self.counters[a.index()].remove(self.instance.model.coverage(b));
+        self.set_influence_cache(a, self.influences[a.index()] - lost);
+    }
+
+    /// Releases every billboard of advertiser `a`.
+    pub fn release_all(&mut self, a: AdvertiserId) {
+        while let Some(&b) = self.sets[a.index()].last() {
+            self.release(b);
+        }
+    }
+
+    /// Influence advertiser `a` would gain by adding billboard `b`
+    /// (which may be owned by anyone — pure query).
+    #[inline]
+    pub fn marginal_gain(&self, a: AdvertiserId, b: BillboardId) -> u64 {
+        self.counters[a.index()].marginal_gain(self.instance.model.coverage(b))
+    }
+
+    /// Regret decrease `R(S_a) − R(S_a ∪ {b})` of assigning `b` to `a`
+    /// (positive = improvement), without mutating anything.
+    pub fn regret_decrease_of_adding(&self, a: AdvertiserId, b: BillboardId) -> f64 {
+        let gain = self.marginal_gain(a, b);
+        self.regrets[a.index()] - self.regret_at(a, self.influences[a.index()] + gain)
+    }
+
+    /// Total-regret change (negative = improvement) of swapping owned
+    /// billboard `b_m` (of advertiser `i`) with billboard `b_n` owned by a
+    /// *different* advertiser `j`, without mutating anything.
+    pub fn eval_cross_swap(&self, b_m: BillboardId, b_n: BillboardId) -> f64 {
+        let i = self.owner[b_m.index()].expect("b_m must be assigned");
+        let j = self.owner[b_n.index()].expect("b_n must be assigned");
+        assert_ne!(i, j, "cross swap requires distinct owners");
+        let cov_m = self.instance.model.coverage(b_m);
+        let cov_n = self.instance.model.coverage(b_n);
+        let di = self.counters[i.index()].swap_delta(cov_m, cov_n);
+        let dj = self.counters[j.index()].swap_delta(cov_n, cov_m);
+        let new_i = (self.influences[i.index()] as i64 + di) as u64;
+        let new_j = (self.influences[j.index()] as i64 + dj) as u64;
+        self.regret_at(i, new_i) + self.regret_at(j, new_j)
+            - self.regrets[i.index()]
+            - self.regrets[j.index()]
+    }
+
+    /// Commits the swap evaluated by [`eval_cross_swap`](Self::eval_cross_swap).
+    pub fn cross_swap(&mut self, b_m: BillboardId, b_n: BillboardId) {
+        let i = self.owner[b_m.index()].expect("b_m must be assigned");
+        let j = self.owner[b_n.index()].expect("b_n must be assigned");
+        assert_ne!(i, j, "cross swap requires distinct owners");
+        self.release(b_m);
+        self.release(b_n);
+        self.assign(b_n, i);
+        self.assign(b_m, j);
+    }
+
+    /// Total-regret change of replacing owned billboard `b_m` with free
+    /// billboard `b_free`, without mutating anything.
+    pub fn eval_replace_with_free(&self, b_m: BillboardId, b_free: BillboardId) -> f64 {
+        let i = self.owner[b_m.index()].expect("b_m must be assigned");
+        assert!(
+            self.owner[b_free.index()].is_none(),
+            "replacement billboard must be free"
+        );
+        let di = self.counters[i.index()].swap_delta(
+            self.instance.model.coverage(b_m),
+            self.instance.model.coverage(b_free),
+        );
+        let new_i = (self.influences[i.index()] as i64 + di) as u64;
+        self.regret_at(i, new_i) - self.regrets[i.index()]
+    }
+
+    /// Commits the replacement evaluated by
+    /// [`eval_replace_with_free`](Self::eval_replace_with_free).
+    pub fn replace_with_free(&mut self, b_m: BillboardId, b_free: BillboardId) {
+        let i = self.owner[b_m.index()].expect("b_m must be assigned");
+        self.release(b_m);
+        self.assign(b_free, i);
+    }
+
+    /// Total-regret change of releasing owned billboard `b_m`, without
+    /// mutating anything.
+    pub fn eval_release(&self, b_m: BillboardId) -> f64 {
+        let i = self.owner[b_m.index()].expect("b_m must be assigned");
+        let lost = self.counters[i.index()].marginal_loss(self.instance.model.coverage(b_m));
+        self.regret_at(i, self.influences[i.index()] - lost) - self.regrets[i.index()]
+    }
+
+    /// Total-regret change of exchanging the *entire plans* of advertisers
+    /// `i` and `j` (the Algorithm 4 move), without mutating anything.
+    ///
+    /// The influence values simply trade places because the billboard sets
+    /// trade wholesale.
+    pub fn eval_exchange_plans(&self, i: AdvertiserId, j: AdvertiserId) -> f64 {
+        assert_ne!(i, j, "plan exchange requires distinct advertisers");
+        let ii = self.influences[i.index()];
+        let ij = self.influences[j.index()];
+        self.regret_at(i, ij) + self.regret_at(j, ii)
+            - self.regrets[i.index()]
+            - self.regrets[j.index()]
+    }
+
+    /// Commits the plan exchange evaluated by
+    /// [`eval_exchange_plans`](Self::eval_exchange_plans).
+    pub fn exchange_plans(&mut self, i: AdvertiserId, j: AdvertiserId) {
+        assert_ne!(i, j, "plan exchange requires distinct advertisers");
+        let (ii, ij) = (i.index(), j.index());
+        self.sets.swap(ii, ij);
+        self.counters.swap(ii, ij);
+        let (fi, fj) = (self.influences[ii], self.influences[ij]);
+        for &b in &self.sets[ii] {
+            self.owner[b.index()] = Some(i);
+        }
+        for &b in &self.sets[ij] {
+            self.owner[b.index()] = Some(j);
+        }
+        self.set_influence_cache(i, fj);
+        self.set_influence_cache(j, fi);
+    }
+
+    // ---- reporting -----------------------------------------------------------
+
+    /// Recomputes the regret decomposition from scratch (cheap: per
+    /// advertiser arithmetic only).
+    pub fn breakdown(&self) -> RegretBreakdown {
+        let mut b = RegretBreakdown::default();
+        for (id, adv) in self.instance.advertisers.iter() {
+            b.accumulate(adv, self.influences[id.index()], self.instance.gamma);
+        }
+        b
+    }
+
+    /// Recomputes the total regret from per-advertiser caches, bypassing the
+    /// incrementally maintained sum (used to bound float drift in tests).
+    pub fn recomputed_total_regret(&self) -> f64 {
+        self.regrets.iter().sum()
+    }
+
+    /// Dual objective `R'(S) = Σ_i R'(S_i)` of Equation 2.
+    pub fn dual_revenue(&self) -> f64 {
+        self.instance
+            .advertisers
+            .iter()
+            .map(|(id, adv)| crate::regret::dual_revenue(adv, self.influences[id.index()]))
+            .sum()
+    }
+
+    /// Freezes the deployment into an owned [`Solution`].
+    pub fn to_solution(&self) -> Solution {
+        let mut sets: Vec<Vec<BillboardId>> = self.sets.clone();
+        for s in &mut sets {
+            s.sort_unstable();
+        }
+        Solution {
+            sets,
+            influences: self.influences.clone(),
+            total_regret: self.recomputed_total_regret(),
+            breakdown: self.breakdown(),
+        }
+    }
+
+    /// Debug-only full consistency check: disjoint sets, owner/pos agreement,
+    /// counter-derived influences, cached regrets. Used by tests.
+    pub fn check_invariants(&self) {
+        let model = self.instance.model;
+        let mut seen = vec![false; model.n_billboards()];
+        for (i, set) in self.sets.iter().enumerate() {
+            let a = AdvertiserId::from_index(i);
+            for (p, &b) in set.iter().enumerate() {
+                assert_eq!(self.owner[b.index()], Some(a), "owner desync for {b}");
+                assert_eq!(self.pos[b.index()] as usize, p, "pos desync for {b}");
+                assert!(!seen[b.index()], "{b} assigned twice");
+                seen[b.index()] = true;
+            }
+            let expected =
+                model.set_influence_measured(set.iter().copied(), self.instance.measure);
+            assert_eq!(
+                self.influences[i], expected,
+                "influence cache desync for {a}"
+            );
+            let expected_regret = self.regret_at(a, expected);
+            assert!(
+                (self.regrets[i] - expected_regret).abs() < 1e-9,
+                "regret cache desync for {a}"
+            );
+        }
+        for (p, &b) in self.free.iter().enumerate() {
+            assert_eq!(self.owner[b.index()], None, "free billboard {b} has owner");
+            assert_eq!(self.pos[b.index()] as usize, p, "free pos desync for {b}");
+            assert!(!seen[b.index()], "{b} both free and assigned");
+            seen[b.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "billboard neither free nor assigned");
+        assert!(
+            (self.total_regret - self.recomputed_total_regret()).abs() < 1e-6,
+            "total regret drift"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advertiser::{Advertiser, AdvertiserSet};
+    use mroam_influence::CoverageModel;
+    use proptest::prelude::*;
+
+    /// Example 1 of the paper: influences 2, 6, 7, 7, 1, 1 over disjoint
+    /// trajectory sets.
+    fn example1_model() -> CoverageModel {
+        let mut lists = Vec::new();
+        let mut next = 0u32;
+        for k in [2u32, 6, 7, 7, 1, 1] {
+            lists.push((next..next + k).collect::<Vec<u32>>());
+            next += k;
+        }
+        CoverageModel::from_lists(lists, next as usize)
+    }
+
+    fn example1_advertisers() -> AdvertiserSet {
+        AdvertiserSet::new(vec![
+            Advertiser::new(5, 10.0),
+            Advertiser::new(7, 11.0),
+            Advertiser::new(8, 20.0),
+        ])
+    }
+
+    fn ids(v: &[u32]) -> Vec<BillboardId> {
+        v.iter().map(|&i| BillboardId(i)).collect()
+    }
+
+    #[test]
+    fn empty_allocation_regret_is_total_payment() {
+        let model = example1_model();
+        let advs = example1_advertisers();
+        let inst = Instance::new(&model, &advs, 0.5);
+        let alloc = Allocation::new(inst);
+        assert_eq!(alloc.total_regret(), 41.0);
+        assert_eq!(alloc.free_billboards().len(), 6);
+        alloc.check_invariants();
+    }
+
+    #[test]
+    fn example1_strategy1_regret() {
+        // Strategy 1 (Table 3): S1={o2}, S2={o4}, S3={o1,o3,o5,o6}.
+        // Influences: 6, 7, 2+7+1+1=11 → a3 demands 8, gets 11? No — Table 3
+        // lists I(S_i)−I_i as 1, 0, −1: S3 = {o1, o3, o5, o6} has influence
+        // 2+7+1+1 = 11... The paper's table uses o3 influence 7 but S3 shown
+        // satisfies N with deficit 1, i.e. I(S3) = 7. Re-reading Table 1:
+        // I(o3) = 3 (o3 column reads 3). Keep our own arithmetic: use the
+        // actual Table 1 influences 2, 6, 3, 7, 1, 1.
+        let mut lists = Vec::new();
+        let mut next = 0u32;
+        for k in [2u32, 6, 3, 7, 1, 1] {
+            lists.push((next..next + k).collect::<Vec<u32>>());
+            next += k;
+        }
+        let model = CoverageModel::from_lists(lists, next as usize);
+        let advs = example1_advertisers();
+        let inst = Instance::new(&model, &advs, 0.5);
+
+        // Strategy 1: a1←{o2}(I=6), a2←{o4}(I=7), a3←{o1,o3,o5,o6}(I=7<8).
+        let alloc = Allocation::from_sets(
+            inst,
+            &[ids(&[1]), ids(&[3]), ids(&[0, 2, 4, 5])],
+        );
+        alloc.check_invariants();
+        assert_eq!(alloc.influence(AdvertiserId(0)), 6);
+        assert_eq!(alloc.influence(AdvertiserId(1)), 7);
+        assert_eq!(alloc.influence(AdvertiserId(2)), 7);
+        assert!(alloc.is_satisfied(AdvertiserId(0)));
+        assert!(alloc.is_satisfied(AdvertiserId(1)));
+        assert!(!alloc.is_satisfied(AdvertiserId(2)));
+        // a1 over-satisfied by 1/5 → regret 2; a2 exact → 0;
+        // a3 unsatisfied 7/8 at γ=0.5 → 20·(1−0.5·7/8) = 11.25.
+        let b = alloc.breakdown();
+        assert!((b.excessive_influence - 2.0).abs() < 1e-12);
+        assert!((b.unsatisfied_penalty - 11.25).abs() < 1e-12);
+        assert_eq!(b.n_unsatisfied, 1);
+
+        // Strategy 2: a1←{o1,o3}(I=5), a2←{o4}(I=7), a3←{o2,o5,o6}(I=8) → 0.
+        let alloc2 = Allocation::from_sets(
+            inst,
+            &[ids(&[0, 2]), ids(&[3]), ids(&[1, 4, 5])],
+        );
+        assert_eq!(alloc2.total_regret(), 0.0);
+        alloc2.check_invariants();
+    }
+
+    #[test]
+    fn assign_release_roundtrip_restores_regret() {
+        let model = example1_model();
+        let advs = example1_advertisers();
+        let inst = Instance::new(&model, &advs, 0.5);
+        let mut alloc = Allocation::new(inst);
+        let before = alloc.total_regret();
+        alloc.assign(BillboardId(1), AdvertiserId(0));
+        alloc.assign(BillboardId(3), AdvertiserId(0));
+        alloc.check_invariants();
+        alloc.release(BillboardId(1));
+        alloc.release(BillboardId(3));
+        alloc.check_invariants();
+        assert!((alloc.total_regret() - before).abs() < 1e-9);
+        assert_eq!(alloc.free_billboards().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "already assigned")]
+    fn double_assign_panics() {
+        let model = example1_model();
+        let advs = example1_advertisers();
+        let inst = Instance::new(&model, &advs, 0.5);
+        let mut alloc = Allocation::new(inst);
+        alloc.assign(BillboardId(0), AdvertiserId(0));
+        alloc.assign(BillboardId(0), AdvertiserId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not assigned")]
+    fn release_of_free_panics() {
+        let model = example1_model();
+        let advs = example1_advertisers();
+        let inst = Instance::new(&model, &advs, 0.5);
+        Allocation::new(inst).release(BillboardId(0));
+    }
+
+    #[test]
+    fn eval_cross_swap_matches_commit() {
+        let model = example1_model();
+        let advs = example1_advertisers();
+        let inst = Instance::new(&model, &advs, 0.5);
+        let mut alloc =
+            Allocation::from_sets(inst, &[ids(&[1]), ids(&[3]), ids(&[0, 2, 4, 5])]);
+        let predicted = alloc.eval_cross_swap(BillboardId(1), BillboardId(0));
+        let before = alloc.total_regret();
+        alloc.cross_swap(BillboardId(1), BillboardId(0));
+        alloc.check_invariants();
+        assert!((alloc.total_regret() - before - predicted).abs() < 1e-9);
+        assert_eq!(alloc.owner_of(BillboardId(1)), Some(AdvertiserId(2)));
+        assert_eq!(alloc.owner_of(BillboardId(0)), Some(AdvertiserId(0)));
+    }
+
+    #[test]
+    fn eval_replace_with_free_matches_commit() {
+        let model = example1_model();
+        let advs = example1_advertisers();
+        let inst = Instance::new(&model, &advs, 0.5);
+        let mut alloc = Allocation::from_sets(inst, &[ids(&[0]), ids(&[]), ids(&[])]);
+        let predicted = alloc.eval_replace_with_free(BillboardId(0), BillboardId(1));
+        let before = alloc.total_regret();
+        alloc.replace_with_free(BillboardId(0), BillboardId(1));
+        alloc.check_invariants();
+        assert!((alloc.total_regret() - before - predicted).abs() < 1e-9);
+        assert_eq!(alloc.owner_of(BillboardId(1)), Some(AdvertiserId(0)));
+        assert_eq!(alloc.owner_of(BillboardId(0)), None);
+    }
+
+    #[test]
+    fn eval_release_matches_commit() {
+        let model = example1_model();
+        let advs = example1_advertisers();
+        let inst = Instance::new(&model, &advs, 0.5);
+        let mut alloc = Allocation::from_sets(inst, &[ids(&[1, 0]), ids(&[]), ids(&[])]);
+        let predicted = alloc.eval_release(BillboardId(0));
+        let before = alloc.total_regret();
+        alloc.release(BillboardId(0));
+        alloc.check_invariants();
+        assert!((alloc.total_regret() - before - predicted).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exchange_plans_matches_eval_and_swaps_everything() {
+        let model = example1_model();
+        let advs = example1_advertisers();
+        let inst = Instance::new(&model, &advs, 0.5);
+        let mut alloc =
+            Allocation::from_sets(inst, &[ids(&[1]), ids(&[3]), ids(&[0, 4, 5])]);
+        let predicted = alloc.eval_exchange_plans(AdvertiserId(0), AdvertiserId(2));
+        let before = alloc.total_regret();
+        alloc.exchange_plans(AdvertiserId(0), AdvertiserId(2));
+        alloc.check_invariants();
+        assert!((alloc.total_regret() - before - predicted).abs() < 1e-9);
+        assert_eq!(alloc.set_of(AdvertiserId(0)), &ids(&[0, 4, 5])[..]);
+        assert_eq!(alloc.set_of(AdvertiserId(2)), &ids(&[1])[..]);
+        assert_eq!(alloc.owner_of(BillboardId(1)), Some(AdvertiserId(2)));
+    }
+
+    #[test]
+    fn release_all_empties_the_set() {
+        let model = example1_model();
+        let advs = example1_advertisers();
+        let inst = Instance::new(&model, &advs, 0.5);
+        let mut alloc = Allocation::from_sets(inst, &[ids(&[0, 1, 2]), ids(&[]), ids(&[])]);
+        alloc.release_all(AdvertiserId(0));
+        alloc.check_invariants();
+        assert!(alloc.set_of(AdvertiserId(0)).is_empty());
+        assert_eq!(alloc.free_billboards().len(), 6);
+        assert_eq!(alloc.influence(AdvertiserId(0)), 0);
+    }
+
+    #[test]
+    fn overlapping_coverage_influence_is_distinct_count() {
+        // Two billboards sharing trajectory 0.
+        let model = CoverageModel::from_lists(vec![vec![0, 1], vec![0, 2]], 3);
+        let advs = AdvertiserSet::new(vec![Advertiser::new(3, 9.0)]);
+        let inst = Instance::new(&model, &advs, 1.0);
+        let mut alloc = Allocation::new(inst);
+        alloc.assign(BillboardId(0), AdvertiserId(0));
+        assert_eq!(alloc.influence(AdvertiserId(0)), 2);
+        alloc.assign(BillboardId(1), AdvertiserId(0));
+        assert_eq!(alloc.influence(AdvertiserId(0)), 3); // not 4
+        alloc.check_invariants();
+    }
+
+    #[test]
+    fn to_solution_sorts_sets() {
+        let model = example1_model();
+        let advs = example1_advertisers();
+        let inst = Instance::new(&model, &advs, 0.5);
+        let alloc = Allocation::from_sets(inst, &[ids(&[5, 1, 3]), ids(&[]), ids(&[])]);
+        let sol = alloc.to_solution();
+        assert_eq!(sol.sets[0], ids(&[1, 3, 5]));
+        assert!((sol.total_regret - alloc.total_regret()).abs() < 1e-9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_random_move_sequences_keep_invariants(
+            moves in proptest::collection::vec((0u8..4, 0u32..6, 0u32..3), 0..40)
+        ) {
+            let model = example1_model();
+            let advs = example1_advertisers();
+            let inst = Instance::new(&model, &advs, 0.5);
+            let mut alloc = Allocation::new(inst);
+            for (kind, b, a) in moves {
+                let b = BillboardId(b);
+                let a = AdvertiserId(a);
+                match kind {
+                    0 => {
+                        if alloc.owner_of(b).is_none() {
+                            alloc.assign(b, a);
+                        }
+                    }
+                    1 => {
+                        if alloc.owner_of(b).is_some() {
+                            alloc.release(b);
+                        }
+                    }
+                    2 => {
+                        // Cross swap with the first billboard of another owner.
+                        if let Some(owner) = alloc.owner_of(b) {
+                            let other = alloc
+                                .instance()
+                                .advertisers
+                                .ids()
+                                .find(|&x| x != owner && !alloc.set_of(x).is_empty());
+                            if let Some(other) = other {
+                                let b2 = alloc.set_of(other)[0];
+                                let predicted = alloc.eval_cross_swap(b, b2);
+                                let before = alloc.total_regret();
+                                alloc.cross_swap(b, b2);
+                                prop_assert!(
+                                    (alloc.total_regret() - before - predicted).abs() < 1e-9
+                                );
+                            }
+                        }
+                    }
+                    _ => {
+                        let j = AdvertiserId((a.0 + 1) % 3);
+                        let predicted = alloc.eval_exchange_plans(a, j);
+                        let before = alloc.total_regret();
+                        alloc.exchange_plans(a, j);
+                        prop_assert!(
+                            (alloc.total_regret() - before - predicted).abs() < 1e-9
+                        );
+                    }
+                }
+                alloc.check_invariants();
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Randomized local search with the advertiser-driven neighbourhood
+//! (Algorithms 3 and 4 — the paper's **ALS**).
+//!
+//! Each restart seeds every advertiser with one random billboard, completes
+//! the plan with synchronous greedy (Algorithm 2 warm-started), then
+//! hill-climbs by exchanging *whole plans* between advertiser pairs until no
+//! exchange improves the regret. The best plan across the initial greedy
+//! solution and all restarts wins.
+
+use crate::allocation::Allocation;
+use crate::greedy::synchronous_greedy;
+use crate::instance::Instance;
+use crate::solver::{Solution, Solver};
+use mroam_data::AdvertiserId;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Minimum absolute regret improvement for a move to be accepted; guards
+/// against cycling on floating-point noise.
+pub(crate) const IMPROVEMENT_EPS: f64 = 1e-9;
+
+/// Algorithm 4: exchange advertiser plans while any exchange strictly
+/// reduces the total regret. Runs in place; returns the number of exchanges
+/// committed.
+pub fn advertiser_local_search(alloc: &mut Allocation<'_>) -> usize {
+    let n = alloc.n_advertisers();
+    let mut exchanges = 0;
+    loop {
+        let mut improved = false;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let a = AdvertiserId::from_index(i);
+                let b = AdvertiserId::from_index(j);
+                if alloc.eval_exchange_plans(a, b) < -IMPROVEMENT_EPS {
+                    alloc.exchange_plans(a, b);
+                    exchanges += 1;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            return exchanges;
+        }
+    }
+}
+
+/// Seeds every advertiser with one uniformly random free billboard
+/// (Algorithm 3 lines 3.4–3.6). Advertisers beyond the pool size get
+/// nothing.
+pub(crate) fn random_seed_assignment<R: Rng>(alloc: &mut Allocation<'_>, rng: &mut R) {
+    let n = alloc.n_advertisers();
+    for i in 0..n {
+        let free = alloc.free_billboards();
+        if free.is_empty() {
+            return;
+        }
+        let b = *free.choose(rng).expect("non-empty");
+        alloc.assign(b, AdvertiserId::from_index(i));
+    }
+}
+
+/// The paper's **ALS**: randomized restarts + advertiser-driven local search.
+#[derive(Debug, Clone, Copy)]
+pub struct Als {
+    /// Number of random restarts (Algorithm 3's "preset count").
+    pub restarts: usize,
+    /// RNG seed; restarts are deterministic given the seed.
+    pub seed: u64,
+    /// Run restarts on the rayon pool. Off by default to match the paper's
+    /// sequential loop; the result set is identical because restarts are
+    /// independent and the minimum is associative.
+    pub parallel: bool,
+}
+
+impl Default for Als {
+    fn default() -> Self {
+        Self {
+            restarts: 10,
+            seed: 0x5EED,
+            parallel: false,
+        }
+    }
+}
+
+impl Als {
+    fn one_restart(&self, instance: &Instance<'_>, restart_index: usize) -> Solution {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ (restart_index as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut alloc = Allocation::new(*instance);
+        random_seed_assignment(&mut alloc, &mut rng);
+        synchronous_greedy(&mut alloc);
+        advertiser_local_search(&mut alloc);
+        alloc.to_solution()
+    }
+}
+
+impl Solver for Als {
+    fn name(&self) -> &'static str {
+        "ALS"
+    }
+
+    fn solve(&self, instance: &Instance<'_>) -> Solution {
+        // Line 3.1: the incumbent is the plain synchronous greedy solution.
+        let mut best = {
+            let mut alloc = Allocation::new(*instance);
+            synchronous_greedy(&mut alloc);
+            alloc.to_solution()
+        };
+
+        let better = |cand: Solution, best: &mut Solution| {
+            if cand.total_regret < best.total_regret - IMPROVEMENT_EPS {
+                *best = cand;
+            }
+        };
+
+        if self.parallel {
+            if let Some(cand) = (0..self.restarts)
+                .into_par_iter()
+                .map(|r| self.one_restart(instance, r))
+                .min_by(|a, b| a.total_regret.total_cmp(&b.total_regret))
+            {
+                better(cand, &mut best);
+            }
+        } else {
+            for r in 0..self.restarts {
+                let cand = self.one_restart(instance, r);
+                better(cand, &mut best);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advertiser::{Advertiser, AdvertiserSet};
+    use crate::greedy::GGlobal;
+    use mroam_influence::CoverageModel;
+
+    fn disjoint_model(influences: &[u32]) -> CoverageModel {
+        let mut lists = Vec::new();
+        let mut next = 0u32;
+        for &k in influences {
+            lists.push((next..next + k).collect::<Vec<u32>>());
+            next += k;
+        }
+        CoverageModel::from_lists(lists, next as usize)
+    }
+
+    #[test]
+    fn local_search_fixes_a_bad_plan_exchange() {
+        // a0 demands 10 and holds influence 3; a1 demands 3 and holds 10.
+        // Exchanging the plans zeroes the regret.
+        let model = disjoint_model(&[3, 10]);
+        let advs = AdvertiserSet::new(vec![
+            Advertiser::new(10, 10.0),
+            Advertiser::new(3, 3.0),
+        ]);
+        let inst = Instance::new(&model, &advs, 0.5);
+        let mut alloc = Allocation::from_sets(
+            inst,
+            &[vec![mroam_data::BillboardId(0)], vec![mroam_data::BillboardId(1)]],
+        );
+        assert!(alloc.total_regret() > 0.0);
+        let exchanges = advertiser_local_search(&mut alloc);
+        assert_eq!(exchanges, 1);
+        assert_eq!(alloc.total_regret(), 0.0);
+        alloc.check_invariants();
+    }
+
+    #[test]
+    fn local_search_terminates_at_fixpoint() {
+        let model = disjoint_model(&[5, 5]);
+        let advs = AdvertiserSet::new(vec![
+            Advertiser::new(5, 5.0),
+            Advertiser::new(5, 5.0),
+        ]);
+        let inst = Instance::new(&model, &advs, 0.5);
+        let mut alloc = Allocation::from_sets(
+            inst,
+            &[vec![mroam_data::BillboardId(0)], vec![mroam_data::BillboardId(1)]],
+        );
+        // Already optimal: no exchange should fire.
+        assert_eq!(advertiser_local_search(&mut alloc), 0);
+    }
+
+    #[test]
+    fn als_never_worse_than_g_global() {
+        let model = disjoint_model(&[7, 5, 4, 3, 2, 2, 1]);
+        let advs = AdvertiserSet::new(vec![
+            Advertiser::new(8, 16.0),
+            Advertiser::new(6, 9.0),
+            Advertiser::new(5, 11.0),
+        ]);
+        let inst = Instance::new(&model, &advs, 0.5);
+        let greedy = GGlobal.solve(&inst);
+        let als = Als::default().solve(&inst);
+        als.assert_disjoint();
+        assert!(als.total_regret <= greedy.total_regret + 1e-9);
+    }
+
+    #[test]
+    fn als_is_deterministic_given_seed() {
+        let model = disjoint_model(&[9, 7, 5, 3, 1, 1, 1, 2]);
+        let advs = AdvertiserSet::new(vec![
+            Advertiser::new(10, 10.0),
+            Advertiser::new(9, 12.0),
+        ]);
+        let inst = Instance::new(&model, &advs, 0.5);
+        let solver = Als {
+            restarts: 5,
+            seed: 99,
+            parallel: false,
+        };
+        let a = solver.solve(&inst);
+        let b = solver.solve(&inst);
+        assert_eq!(a.total_regret, b.total_regret);
+        assert_eq!(a.sets, b.sets);
+    }
+
+    #[test]
+    fn parallel_restarts_match_sequential() {
+        let model = disjoint_model(&[9, 7, 5, 3, 1, 1, 1, 2, 6, 4]);
+        let advs = AdvertiserSet::new(vec![
+            Advertiser::new(10, 10.0),
+            Advertiser::new(9, 12.0),
+            Advertiser::new(8, 8.0),
+        ]);
+        let inst = Instance::new(&model, &advs, 0.5);
+        let seq = Als { restarts: 6, seed: 7, parallel: false }.solve(&inst);
+        let par = Als { restarts: 6, seed: 7, parallel: true }.solve(&inst);
+        assert_eq!(seq.total_regret, par.total_regret);
+    }
+
+    #[test]
+    fn als_with_zero_restarts_equals_g_global() {
+        let model = disjoint_model(&[4, 4, 4]);
+        let advs = AdvertiserSet::new(vec![
+            Advertiser::new(8, 8.0),
+            Advertiser::new(4, 4.0),
+        ]);
+        let inst = Instance::new(&model, &advs, 0.5);
+        let als = Als { restarts: 0, seed: 1, parallel: false }.solve(&inst);
+        let greedy = GGlobal.solve(&inst);
+        assert_eq!(als.total_regret, greedy.total_regret);
+    }
+
+    #[test]
+    fn als_handles_more_advertisers_than_billboards() {
+        let model = disjoint_model(&[5]);
+        let advs = AdvertiserSet::new(vec![
+            Advertiser::new(5, 5.0),
+            Advertiser::new(5, 5.0),
+            Advertiser::new(5, 5.0),
+        ]);
+        let inst = Instance::new(&model, &advs, 0.5);
+        let sol = Als::default().solve(&inst);
+        sol.assert_disjoint();
+        // Exactly one advertiser can be satisfied.
+        assert_eq!(sol.influences.iter().filter(|&&i| i >= 5).count(), 1);
+    }
+}

@@ -1,0 +1,319 @@
+//! The two greedy heuristics of Section 5.
+//!
+//! * [`GOrder`] — *budget-effective greedy* (Algorithm 1): serve advertisers
+//!   in descending `L_i/I_i` order, repeatedly assigning the billboard with
+//!   the best regret-reduction-per-influence ratio until the advertiser is
+//!   satisfied or billboards run out.
+//! * [`GGlobal`] — *synchronous greedy* (Algorithm 2): grant one billboard
+//!   per round to every unsatisfied advertiser; when supply runs out with
+//!   two or more advertisers still unsatisfied, release the least
+//!   budget-effective one's billboards and drop it from the service loop.
+//!
+//! [`synchronous_greedy`] is exposed as a warm-startable routine because
+//! Algorithms 3 and 5 call it with non-empty `S^in`.
+
+use crate::allocation::Allocation;
+use crate::instance::Instance;
+use crate::solver::{Solution, Solver};
+use mroam_data::{AdvertiserId, BillboardId};
+
+/// Picks the free billboard maximising `(R(S_a) − R(S_a ∪ {o})) / I({o})`
+/// for advertiser `a` (the selection rule of Algorithm 1 line 1.5 and
+/// Algorithm 2 line 2.6). Zero-influence billboards are skipped — the ratio
+/// is undefined for them and they can never reduce regret. Ties break
+/// toward the smaller billboard id for determinism. Returns `None` when no
+/// free billboard has positive influence.
+pub fn best_billboard_for(alloc: &Allocation<'_>, a: AdvertiserId) -> Option<BillboardId> {
+    let model = alloc.instance().model;
+    let mut best: Option<(f64, BillboardId)> = None;
+    for &b in alloc.free_billboards() {
+        let infl = model.influence_of(b);
+        if infl == 0 {
+            continue;
+        }
+        let ratio = alloc.regret_decrease_of_adding(a, b) / infl as f64;
+        let better = match best {
+            None => true,
+            Some((r, id)) => ratio > r || (ratio == r && b < id),
+        };
+        if better {
+            best = Some((ratio, b));
+        }
+    }
+    best.map(|(_, b)| b)
+}
+
+/// Runs Algorithm 2 in place on `alloc`, which may already hold a warm-start
+/// deployment `S^in` (Algorithms 3 and 5 pass non-empty seeds).
+///
+/// Advertisers released on line 2.10 are dropped from the service loop for
+/// the rest of this call but keep contributing their (full) revenue regret
+/// to the objective — the host still loses their payment.
+///
+/// Note on line 2.9: the pseudocode reads "more than two \[advertisers\]
+/// are not satisfied" while the prose says the loop "breaks as fewer than
+/// two advertisers are unsatisfied"; we follow the prose (release while two
+/// or more are unsatisfied and the pool is exhausted), which makes the two
+/// statements consistent.
+pub fn synchronous_greedy(alloc: &mut Allocation<'_>) {
+    let n = alloc.n_advertisers();
+    let mut active = vec![true; n];
+    loop {
+        // Lines 2.3–2.8: one round of single-billboard grants.
+        let mut assigned_this_round = false;
+        for (i, &is_active) in active.iter().enumerate() {
+            let a = AdvertiserId::from_index(i);
+            if !is_active || alloc.is_satisfied(a) {
+                continue;
+            }
+            if let Some(b) = best_billboard_for(alloc, a) {
+                alloc.assign(b, a);
+                assigned_this_round = true;
+            }
+        }
+
+        let unsatisfied: Vec<AdvertiserId> = (0..n)
+            .map(AdvertiserId::from_index)
+            .filter(|&a| active[a.index()] && !alloc.is_satisfied(a))
+            .collect();
+        if unsatisfied.is_empty() {
+            return; // line 2.13: everyone (still active) satisfied
+        }
+        if assigned_this_round {
+            continue; // supply still flowing — next round
+        }
+        // Pool exhausted (or only zero-influence billboards left).
+        if unsatisfied.len() >= 2 {
+            // Lines 2.10–2.11: release the least budget-effective
+            // unsatisfied advertiser and drop it from the loop.
+            let victim = unsatisfied
+                .into_iter()
+                .min_by(|&a, &b| {
+                    alloc
+                        .advertiser(a)
+                        .budget_effectiveness()
+                        .total_cmp(&alloc.advertiser(b).budget_effectiveness())
+                        .then(a.0.cmp(&b.0))
+                })
+                .expect("non-empty");
+            alloc.release_all(victim);
+            active[victim.index()] = false;
+        } else {
+            return; // a single unsatisfied advertiser and nothing to give it
+        }
+    }
+}
+
+/// Algorithm 1: budget-effective greedy (the paper's **G-Order**).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GOrder;
+
+impl Solver for GOrder {
+    fn name(&self) -> &'static str {
+        "G-Order"
+    }
+
+    fn solve(&self, instance: &Instance<'_>) -> Solution {
+        let mut alloc = Allocation::new(*instance);
+        // Line 1.1: descending budget-effectiveness.
+        for a in instance.advertisers.by_budget_effectiveness() {
+            // Lines 1.4–1.7: fill until satisfied or out of billboards.
+            while !alloc.is_satisfied(a) {
+                match best_billboard_for(&alloc, a) {
+                    Some(b) => alloc.assign(b, a),
+                    None => break,
+                }
+            }
+        }
+        alloc.to_solution()
+    }
+}
+
+/// Algorithm 2: synchronous greedy (the paper's **G-Global**).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GGlobal;
+
+impl Solver for GGlobal {
+    fn name(&self) -> &'static str {
+        "G-Global"
+    }
+
+    fn solve(&self, instance: &Instance<'_>) -> Solution {
+        let mut alloc = Allocation::new(*instance);
+        synchronous_greedy(&mut alloc);
+        alloc.to_solution()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advertiser::{Advertiser, AdvertiserSet};
+    use mroam_influence::CoverageModel;
+
+    /// Disjoint-coverage model with the given individual influences.
+    fn disjoint_model(influences: &[u32]) -> CoverageModel {
+        let mut lists = Vec::new();
+        let mut next = 0u32;
+        for &k in influences {
+            lists.push((next..next + k).collect::<Vec<u32>>());
+            next += k;
+        }
+        CoverageModel::from_lists(lists, next as usize)
+    }
+
+    #[test]
+    fn g_order_serves_most_effective_first() {
+        // One perfect billboard (influence 10); two advertisers both
+        // demanding 10, but a1 pays more per influence.
+        let model = disjoint_model(&[10, 3]);
+        let advs = AdvertiserSet::new(vec![
+            Advertiser::new(10, 10.0), // effectiveness 1.0
+            Advertiser::new(10, 20.0), // effectiveness 2.0 → served first
+        ]);
+        let inst = Instance::new(&model, &advs, 0.5);
+        let sol = GOrder.solve(&inst);
+        sol.assert_disjoint();
+        // a1 (the more effective) gets the influence-10 billboard.
+        assert!(sol.sets[1].contains(&BillboardId(0)));
+        assert_eq!(sol.influences[1], 10);
+    }
+
+    #[test]
+    fn g_order_stops_at_satisfaction() {
+        let model = disjoint_model(&[5, 5, 5]);
+        let advs = AdvertiserSet::new(vec![Advertiser::new(5, 10.0)]);
+        let inst = Instance::new(&model, &advs, 0.5);
+        let sol = GOrder.solve(&inst);
+        // One billboard exactly satisfies; no more are taken.
+        assert_eq!(sol.n_assigned(), 1);
+        assert_eq!(sol.total_regret, 0.0);
+    }
+
+    #[test]
+    fn g_order_example1_satisfies_all() {
+        // Example 1 data (Table 1 influences 2,6,3,7,1,1; Table 2 contracts).
+        let model = disjoint_model(&[2, 6, 3, 7, 1, 1]);
+        let advs = AdvertiserSet::new(vec![
+            Advertiser::new(5, 10.0),
+            Advertiser::new(7, 11.0),
+            Advertiser::new(8, 20.0),
+        ]);
+        let inst = Instance::new(&model, &advs, 0.5);
+        let sol = GOrder.solve(&inst);
+        sol.assert_disjoint();
+        // a3 has the highest effectiveness (2.5), then a1 (2.0), then a2.
+        // Total regret must be well below the do-nothing 41.
+        assert!(sol.total_regret < 20.0, "regret {}", sol.total_regret);
+    }
+
+    #[test]
+    fn g_global_round_robin_shares_good_billboards() {
+        // Two equal advertisers, two good billboards: each should get one.
+        let model = disjoint_model(&[10, 10, 1, 1]);
+        let advs = AdvertiserSet::new(vec![
+            Advertiser::new(10, 10.0),
+            Advertiser::new(10, 10.0),
+        ]);
+        let inst = Instance::new(&model, &advs, 0.5);
+        let sol = GGlobal.solve(&inst);
+        sol.assert_disjoint();
+        assert_eq!(sol.influences, vec![10, 10]);
+        assert_eq!(sol.total_regret, 0.0);
+    }
+
+    #[test]
+    fn g_global_releases_least_effective_under_scarcity() {
+        // Supply 10, demand 10+10: someone must starve. The release rule
+        // sacrifices the less budget-effective advertiser entirely.
+        let model = disjoint_model(&[5, 5]);
+        let advs = AdvertiserSet::new(vec![
+            Advertiser::new(10, 30.0), // effectiveness 3.0 — kept
+            Advertiser::new(10, 10.0), // effectiveness 1.0 — released
+        ]);
+        let inst = Instance::new(&model, &advs, 0.0);
+        let sol = GGlobal.solve(&inst);
+        sol.assert_disjoint();
+        assert_eq!(sol.influences[0], 10);
+        assert_eq!(sol.influences[1], 0);
+        // Regret = full payment of the released advertiser (γ=0).
+        assert_eq!(sol.total_regret, 10.0);
+    }
+
+    #[test]
+    fn g_global_with_no_billboards() {
+        let model = disjoint_model(&[]);
+        let advs = AdvertiserSet::new(vec![
+            Advertiser::new(5, 5.0),
+            Advertiser::new(5, 5.0),
+            Advertiser::new(5, 5.0),
+        ]);
+        let inst = Instance::new(&model, &advs, 0.5);
+        let sol = GGlobal.solve(&inst);
+        assert_eq!(sol.n_assigned(), 0);
+        assert_eq!(sol.total_regret, 15.0);
+    }
+
+    #[test]
+    fn g_global_with_no_advertisers() {
+        let model = disjoint_model(&[3, 3]);
+        let advs = AdvertiserSet::default();
+        let inst = Instance::new(&model, &advs, 0.5);
+        let sol = GGlobal.solve(&inst);
+        assert_eq!(sol.total_regret, 0.0);
+        assert_eq!(sol.n_assigned(), 0);
+    }
+
+    #[test]
+    fn zero_influence_billboards_are_never_assigned_by_greedy() {
+        let model = disjoint_model(&[0, 5, 0]);
+        let advs = AdvertiserSet::new(vec![Advertiser::new(5, 10.0)]);
+        let inst = Instance::new(&model, &advs, 0.5);
+        for sol in [GOrder.solve(&inst), GGlobal.solve(&inst)] {
+            assert_eq!(sol.n_assigned(), 1);
+            assert_eq!(sol.sets[0], vec![BillboardId(1)]);
+        }
+    }
+
+    #[test]
+    fn warm_started_synchronous_greedy_respects_seed() {
+        let model = disjoint_model(&[4, 4, 4]);
+        let advs = AdvertiserSet::new(vec![
+            Advertiser::new(8, 8.0),
+            Advertiser::new(4, 4.0),
+        ]);
+        let inst = Instance::new(&model, &advs, 0.5);
+        let mut alloc = Allocation::new(inst);
+        // Seed: a0 already holds billboard 2.
+        alloc.assign(BillboardId(2), AdvertiserId(0));
+        synchronous_greedy(&mut alloc);
+        alloc.check_invariants();
+        assert!(alloc.set_of(AdvertiserId(0)).contains(&BillboardId(2)));
+        assert!(alloc.is_satisfied(AdvertiserId(0)));
+        assert!(alloc.is_satisfied(AdvertiserId(1)));
+    }
+
+    #[test]
+    fn best_billboard_prefers_exact_fit() {
+        // Advertiser demands 5 at γ=0.5: billboard of influence 5 gives
+        // ΔR/I = (L − 0)/5 while influence 20 overshoots (ΔR smaller per
+        // influence).
+        let model = disjoint_model(&[20, 5]);
+        let advs = AdvertiserSet::new(vec![Advertiser::new(5, 10.0)]);
+        let inst = Instance::new(&model, &advs, 0.5);
+        let alloc = Allocation::new(inst);
+        assert_eq!(
+            best_billboard_for(&alloc, AdvertiserId(0)),
+            Some(BillboardId(1))
+        );
+    }
+
+    #[test]
+    fn best_billboard_none_when_only_zero_influence_left() {
+        let model = disjoint_model(&[0, 0]);
+        let advs = AdvertiserSet::new(vec![Advertiser::new(5, 10.0)]);
+        let inst = Instance::new(&model, &advs, 0.5);
+        let alloc = Allocation::new(inst);
+        assert_eq!(best_billboard_for(&alloc, AdvertiserId(0)), None);
+    }
+}

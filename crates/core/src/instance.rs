@@ -1,0 +1,90 @@
+//! A solvable MROAM problem instance.
+
+use crate::advertiser::AdvertiserSet;
+use mroam_influence::{CoverageModel, InfluenceMeasure};
+
+/// Borrowed bundle of everything that defines one MROAM instance: the
+/// coverage model for `(U, T, λ)`, the advertiser set `A`, the
+/// unsatisfied-penalty ratio `γ`, and the influence measure (the paper's
+/// default is distinct-trajectory coverage; Section 3.1 notes the
+/// algorithms are orthogonal to this choice).
+#[derive(Debug, Clone, Copy)]
+pub struct Instance<'a> {
+    /// Coverage model (meets relation, influences, supply).
+    pub model: &'a CoverageModel,
+    /// Advertiser set `A`.
+    pub advertisers: &'a AdvertiserSet,
+    /// Unsatisfied-penalty ratio `γ ∈ [0, 1]` of Equation 1.
+    pub gamma: f64,
+    /// How per-trajectory meet counts map to influence.
+    pub measure: InfluenceMeasure,
+}
+
+impl<'a> Instance<'a> {
+    /// Bundles an instance with the paper's default measure
+    /// (distinct-trajectory coverage); panics if `γ ∉ [0, 1]`.
+    pub fn new(model: &'a CoverageModel, advertisers: &'a AdvertiserSet, gamma: f64) -> Self {
+        Self::with_measure(model, advertisers, gamma, InfluenceMeasure::Distinct)
+    }
+
+    /// Bundles an instance under an explicit influence measure.
+    pub fn with_measure(
+        model: &'a CoverageModel,
+        advertisers: &'a AdvertiserSet,
+        gamma: f64,
+        measure: InfluenceMeasure,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&gamma),
+            "γ must be in [0, 1], got {gamma}"
+        );
+        if let InfluenceMeasure::Impressions { k } = measure {
+            assert!(k >= 1, "impression threshold k must be at least 1");
+        }
+        Self {
+            model,
+            advertisers,
+            gamma,
+            measure,
+        }
+    }
+
+    /// The demand-supply ratio `α = I^A / I*` realised by this instance
+    /// (Section 7.1.3).
+    pub fn demand_supply_ratio(&self) -> f64 {
+        let supply = self.model.supply();
+        if supply == 0 {
+            return 0.0;
+        }
+        self.advertisers.global_demand() as f64 / supply as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advertiser::Advertiser;
+
+    #[test]
+    fn demand_supply_ratio() {
+        let model = CoverageModel::from_lists(vec![vec![0, 1], vec![2, 3]], 4);
+        let advertisers = AdvertiserSet::new(vec![Advertiser::new(2, 2.0)]);
+        let inst = Instance::new(&model, &advertisers, 0.5);
+        assert_eq!(inst.demand_supply_ratio(), 0.5);
+    }
+
+    #[test]
+    fn zero_supply_ratio_is_zero() {
+        let model = CoverageModel::from_lists(vec![], 0);
+        let advertisers = AdvertiserSet::new(vec![Advertiser::new(2, 2.0)]);
+        assert_eq!(Instance::new(&model, &advertisers, 0.0).demand_supply_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "γ must be in [0, 1]")]
+    fn gamma_out_of_range_panics() {
+        let model = CoverageModel::from_lists(vec![], 0);
+        let advertisers = AdvertiserSet::default();
+        let _ = Instance::new(&model, &advertisers, 1.5);
+    }
+}

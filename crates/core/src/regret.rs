@@ -1,0 +1,249 @@
+//! The regret model (Equation 1) and its dual revenue objective (Equation 2).
+//!
+//! For an advertiser with demand `I_i`, payment `L_i`, achieved influence
+//! `I(S_i)` and unsatisfied-penalty ratio `γ ∈ [0, 1]`:
+//!
+//! ```text
+//! R(S_i)  = L_i · (1 − γ·I(S_i)/I_i)        if I(S_i) < I_i   (revenue regret)
+//!         = L_i · (I(S_i) − I_i)/I_i        otherwise         (excessive regret)
+//!
+//! R'(S_i) = L_i · I(S_i)/I_i                if I(S_i) < I_i
+//!         = L_i − L_i · (I(S_i) − I_i)/I_i  otherwise
+//! ```
+//!
+//! `R'` is the "rewired" maximisation objective of Section 6.3; with `γ = 1`
+//! the identity `R(S_i) + R'(S_i) = L_i` holds for every influence level, so
+//! minimising `R` and maximising `R'` are dual problems.
+
+use crate::advertiser::Advertiser;
+
+/// Evaluates Equation 1 for one advertiser at `influence = I(S_i)`.
+#[inline]
+pub fn regret(advertiser: &Advertiser, influence: u64, gamma: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&gamma), "γ must be in [0, 1]");
+    let demand = advertiser.demand as f64;
+    let payment = advertiser.payment;
+    if influence < advertiser.demand {
+        payment * (1.0 - gamma * influence as f64 / demand)
+    } else {
+        payment * (influence - advertiser.demand) as f64 / demand
+    }
+}
+
+/// Evaluates the dual objective `R'` (Equation 2) for one advertiser.
+#[inline]
+pub fn dual_revenue(advertiser: &Advertiser, influence: u64) -> f64 {
+    let demand = advertiser.demand as f64;
+    let payment = advertiser.payment;
+    if influence < advertiser.demand {
+        payment * influence as f64 / demand
+    } else {
+        payment - payment * (influence - advertiser.demand) as f64 / demand
+    }
+}
+
+/// Decomposition of a deployment's total regret into the two components the
+/// paper's stacked-bar figures report: the *unsatisfied penalty* summed over
+/// advertisers with `I(S_i) < I_i`, and the *excessive influence* regret
+/// summed over the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RegretBreakdown {
+    /// Σ regret over unsatisfied advertisers.
+    pub unsatisfied_penalty: f64,
+    /// Σ regret over (over-)satisfied advertisers.
+    pub excessive_influence: f64,
+    /// Number of unsatisfied advertisers.
+    pub n_unsatisfied: usize,
+}
+
+impl RegretBreakdown {
+    /// Total regret `R(S)`.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.unsatisfied_penalty + self.excessive_influence
+    }
+
+    /// Accumulates one advertiser's contribution.
+    pub fn accumulate(&mut self, advertiser: &Advertiser, influence: u64, gamma: f64) {
+        let r = regret(advertiser, influence, gamma);
+        if influence < advertiser.demand {
+            self.unsatisfied_penalty += r;
+            self.n_unsatisfied += 1;
+        } else {
+            self.excessive_influence += r;
+        }
+    }
+
+    /// Percentage split `(excessive%, unsatisfied%)` as annotated on top of
+    /// the paper's bars; `(0, 0)` when the total regret is zero.
+    pub fn percentages(&self) -> (f64, f64) {
+        let total = self.total();
+        if total == 0.0 {
+            (0.0, 0.0)
+        } else {
+            (
+                100.0 * self.excessive_influence / total,
+                100.0 * self.unsatisfied_penalty / total,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn adv(demand: u64, payment: f64) -> Advertiser {
+        Advertiser::new(demand, payment)
+    }
+
+    #[test]
+    fn exactly_satisfied_has_zero_regret() {
+        let a = adv(10, 100.0);
+        assert_eq!(regret(&a, 10, 0.5), 0.0);
+        assert_eq!(dual_revenue(&a, 10), 100.0);
+    }
+
+    #[test]
+    fn unsatisfied_regret_scales_with_gamma() {
+        let a = adv(10, 100.0);
+        // I = 5 → fraction satisfied 0.5.
+        assert_eq!(regret(&a, 5, 0.0), 100.0); // no partial payment
+        assert_eq!(regret(&a, 5, 1.0), 50.0); // pro-rata payment
+        assert_eq!(regret(&a, 5, 0.5), 75.0);
+    }
+
+    #[test]
+    fn excessive_regret_is_gamma_independent() {
+        let a = adv(10, 100.0);
+        assert_eq!(regret(&a, 15, 0.0), 50.0);
+        assert_eq!(regret(&a, 15, 1.0), 50.0);
+        // Double the demand served → full payment's worth of regret.
+        assert_eq!(regret(&a, 20, 0.5), 100.0);
+    }
+
+    #[test]
+    fn zero_influence_costs_full_payment() {
+        let a = adv(7, 21.0);
+        assert_eq!(regret(&a, 0, 0.5), 21.0);
+        assert_eq!(regret(&a, 0, 1.0), 21.0);
+        assert_eq!(dual_revenue(&a, 0), 0.0);
+    }
+
+    #[test]
+    fn example2_of_the_paper() {
+        // Example 2: I = 10, L = 10. R(S1) with I(S1)=8 is 10−8γ, etc.
+        let a = adv(10, 10.0);
+        let g = 0.3;
+        assert!((regret(&a, 8, g) - (10.0 - 8.0 * g)).abs() < 1e-12);
+        assert!((regret(&a, 9, g) - (10.0 - 9.0 * g)).abs() < 1e-12);
+        assert_eq!(regret(&a, 10, g), 0.0);
+        // Non-monotone: adding influence past the demand raises regret again.
+        assert!(regret(&a, 11, g) > regret(&a, 10, g));
+    }
+
+    #[test]
+    fn duality_identity_at_gamma_one() {
+        let a = adv(13, 91.0);
+        for influence in 0..30 {
+            let sum = regret(&a, influence, 1.0) + dual_revenue(&a, influence);
+            assert!(
+                (sum - a.payment).abs() < 1e-9,
+                "R + R' = L must hold at γ=1, influence {influence}: {sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn dual_peaks_exactly_at_demand() {
+        let a = adv(10, 50.0);
+        let at_demand = dual_revenue(&a, 10);
+        for influence in [0u64, 3, 9, 11, 15, 30] {
+            assert!(dual_revenue(&a, influence) <= at_demand);
+        }
+        assert_eq!(at_demand, 50.0);
+    }
+
+    #[test]
+    fn breakdown_accumulates_components() {
+        let mut b = RegretBreakdown::default();
+        let unsat = adv(10, 100.0);
+        let oversat = adv(10, 100.0);
+        b.accumulate(&unsat, 5, 0.5); // 75 unsatisfied
+        b.accumulate(&oversat, 12, 0.5); // 20 excessive
+        assert_eq!(b.unsatisfied_penalty, 75.0);
+        assert_eq!(b.excessive_influence, 20.0);
+        assert_eq!(b.n_unsatisfied, 1);
+        assert_eq!(b.total(), 95.0);
+        let (e, u) = b.percentages();
+        assert!((e - 100.0 * 20.0 / 95.0).abs() < 1e-12);
+        assert!((u - 100.0 * 75.0 / 95.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_percentages_of_zero_regret() {
+        let b = RegretBreakdown::default();
+        assert_eq!(b.percentages(), (0.0, 0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_regret_nonnegative_and_bounded_below_demand(
+            demand in 1u64..10_000,
+            payment in 0.0..1e6f64,
+            influence in 0u64..10_000,
+            gamma in 0.0..=1.0f64,
+        ) {
+            let a = adv(demand, payment);
+            let r = regret(&a, influence, gamma);
+            prop_assert!(r >= -1e-9);
+            if influence < demand {
+                // Revenue regret never exceeds the full payment.
+                prop_assert!(r <= payment + 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_regret_decreasing_then_increasing(
+            demand in 2u64..1000,
+            payment in 1.0..1e4f64,
+            gamma in 0.01..=1.0f64,
+        ) {
+            let a = adv(demand, payment);
+            // Strictly decreasing up to the demand...
+            for i in 0..demand {
+                prop_assert!(regret(&a, i, gamma) > regret(&a, i + 1, gamma) - 1e-12);
+            }
+            // ...then strictly increasing.
+            for i in demand..demand + 10 {
+                prop_assert!(regret(&a, i + 1, gamma) > regret(&a, i, gamma));
+            }
+        }
+
+        #[test]
+        fn prop_dual_identity_gamma_one(
+            demand in 1u64..1000,
+            payment in 0.0..1e5f64,
+            influence in 0u64..3000,
+        ) {
+            let a = adv(demand, payment);
+            let sum = regret(&a, influence, 1.0) + dual_revenue(&a, influence);
+            prop_assert!((sum - payment).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_zero_regret_iff_dual_equals_payment(
+            demand in 1u64..1000,
+            payment in 1.0..1e5f64,
+            influence in 0u64..3000,
+            gamma in 0.0..=1.0f64,
+        ) {
+            let a = adv(demand, payment);
+            // R(S_i) = 0 iff R'(S_i) = L_i (Section 6.3).
+            let r_zero = regret(&a, influence, gamma).abs() < 1e-12;
+            let dual_full = (dual_revenue(&a, influence) - payment).abs() < 1e-12;
+            prop_assert_eq!(r_zero, dual_full);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! The common solver interface and solution type.
+
+use crate::instance::Instance;
+use crate::regret::RegretBreakdown;
+use mroam_data::BillboardId;
+
+/// An owned, frozen deployment plan plus its quality metrics.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Per-advertiser billboard sets, each sorted ascending.
+    pub sets: Vec<Vec<BillboardId>>,
+    /// Per-advertiser achieved influence `I(S_i)`.
+    pub influences: Vec<u64>,
+    /// Total regret `R(S)`.
+    pub total_regret: f64,
+    /// Split into unsatisfied penalty vs excessive influence.
+    pub breakdown: RegretBreakdown,
+}
+
+impl Solution {
+    /// Number of billboards assigned across all advertisers.
+    pub fn n_assigned(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Verifies the disjointness constraint `S_i ∩ S_j = ∅` (Definition
+    /// 3.1). Panics on violation; tests call this on every solver output.
+    pub fn assert_disjoint(&self) {
+        let mut seen = std::collections::BTreeSet::new();
+        for set in &self.sets {
+            for &b in set {
+                assert!(seen.insert(b), "billboard {b} assigned to two advertisers");
+            }
+        }
+    }
+}
+
+/// A deployment algorithm for MROAM instances.
+///
+/// All four paper algorithms (plus the exact solver) implement this, so the
+/// experiment harness can sweep `[GOrder, GGlobal, ALS, BLS]` uniformly.
+pub trait Solver {
+    /// Short display name matching the paper's legend (e.g. `"G-Order"`).
+    fn name(&self) -> &'static str;
+
+    /// Computes a deployment for `instance`.
+    fn solve(&self, instance: &Instance<'_>) -> Solution;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n_assigned_counts_all_sets() {
+        let sol = Solution {
+            sets: vec![vec![BillboardId(0)], vec![], vec![BillboardId(2), BillboardId(5)]],
+            influences: vec![1, 0, 2],
+            total_regret: 0.0,
+            breakdown: RegretBreakdown::default(),
+        };
+        assert_eq!(sol.n_assigned(), 3);
+        sol.assert_disjoint();
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned to two advertisers")]
+    fn assert_disjoint_catches_duplicates() {
+        let sol = Solution {
+            sets: vec![vec![BillboardId(0)], vec![BillboardId(0)]],
+            influences: vec![1, 1],
+            total_regret: 0.0,
+            breakdown: RegretBreakdown::default(),
+        };
+        sol.assert_disjoint();
+    }
+}

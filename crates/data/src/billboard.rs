@@ -1,0 +1,164 @@
+//! Billboard storage.
+//!
+//! A billboard in the paper is a location plus a derived rental cost
+//! `o.w = ⌊τ·I(o)/10⌋` where `τ ∈ [0.9, 1.1]` models market fluctuation and
+//! `I(o)` is the billboard's individual influence (Section 7.1.2). Costs are
+//! assigned *after* influence is computed, so the store exposes
+//! [`BillboardStore::assign_costs`] to be filled in by the influence engine.
+
+use crate::ids::BillboardId;
+use mroam_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// A columnar store of billboards.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BillboardStore {
+    locations: Vec<Point>,
+    /// Rental costs; empty until [`assign_costs`](Self::assign_costs) runs.
+    costs: Vec<u64>,
+}
+
+impl BillboardStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a store from locations, with costs unassigned.
+    pub fn from_locations(locations: Vec<Point>) -> Self {
+        Self {
+            locations,
+            costs: Vec::new(),
+        }
+    }
+
+    /// Appends a billboard; returns its id.
+    pub fn push(&mut self, location: Point) -> BillboardId {
+        assert!(
+            self.costs.is_empty(),
+            "cannot add billboards after costs were assigned"
+        );
+        let id = BillboardId::from_index(self.locations.len());
+        self.locations.push(location);
+        id
+    }
+
+    /// Number of billboards.
+    pub fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Whether the store has no billboards.
+    pub fn is_empty(&self) -> bool {
+        self.locations.is_empty()
+    }
+
+    /// Location of billboard `id`. Panics on out-of-range ids.
+    pub fn location(&self, id: BillboardId) -> Point {
+        self.locations[id.index()]
+    }
+
+    /// All locations in id order.
+    pub fn locations(&self) -> &[Point] {
+        &self.locations
+    }
+
+    /// Assigns the influence-proportional rental costs. `costs[i]` must
+    /// already equal `⌊τ_i · I(o_i) / 10⌋`; the caller (datagen/influence
+    /// layer) owns the τ randomness so the store stays deterministic.
+    pub fn assign_costs(&mut self, costs: Vec<u64>) {
+        assert_eq!(
+            costs.len(),
+            self.locations.len(),
+            "cost column length mismatch"
+        );
+        self.costs = costs;
+    }
+
+    /// Whether costs have been assigned.
+    pub fn has_costs(&self) -> bool {
+        !self.costs.is_empty()
+    }
+
+    /// Rental cost of billboard `id`. Panics if costs were never assigned.
+    pub fn cost(&self, id: BillboardId) -> u64 {
+        assert!(self.has_costs(), "billboard costs not assigned yet");
+        self.costs[id.index()]
+    }
+
+    /// The full cost column (empty if unassigned).
+    pub fn costs(&self) -> &[u64] {
+        &self.costs
+    }
+
+    /// Iterates `(id, location)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (BillboardId, Point)> + '_ {
+        self.locations
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (BillboardId::from_index(i), p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_lookup() {
+        let mut store = BillboardStore::new();
+        let a = store.push(Point::new(1.0, 2.0));
+        let b = store.push(Point::new(3.0, 4.0));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.location(a), Point::new(1.0, 2.0));
+        assert_eq!(store.location(b), Point::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let store =
+            BillboardStore::from_locations(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]);
+        let ids: Vec<u32> = store.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn costs_roundtrip() {
+        let mut store =
+            BillboardStore::from_locations(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]);
+        assert!(!store.has_costs());
+        store.assign_costs(vec![10, 20]);
+        assert!(store.has_costs());
+        assert_eq!(store.cost(BillboardId(0)), 10);
+        assert_eq!(store.cost(BillboardId(1)), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_cost_column_length_panics() {
+        let mut store = BillboardStore::from_locations(vec![Point::new(0.0, 0.0)]);
+        store.assign_costs(vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not assigned")]
+    fn cost_before_assignment_panics() {
+        let store = BillboardStore::from_locations(vec![Point::new(0.0, 0.0)]);
+        let _ = store.cost(BillboardId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "after costs were assigned")]
+    fn push_after_costs_panics() {
+        let mut store = BillboardStore::from_locations(vec![Point::new(0.0, 0.0)]);
+        store.assign_costs(vec![1]);
+        store.push(Point::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = BillboardStore::new();
+        assert!(store.is_empty());
+        assert_eq!(store.iter().count(), 0);
+    }
+}

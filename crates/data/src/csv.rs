@@ -1,0 +1,310 @@
+//! Minimal CSV interchange for billboard and trajectory stores.
+//!
+//! The schemas mirror what one gets after flattening the public feeds the
+//! paper crawled (LAMAR panels, TLC trip records, EZ-link taps) into planar
+//! metres:
+//!
+//! * billboards: `id,x,y[,cost]` — one row per billboard;
+//! * trajectories: `traj_id,seq,x,y,t` — one row per GPS point, grouped by
+//!   `traj_id`, ordered by `seq`.
+//!
+//! Hand-rolled parsing (no quoting needed for purely numeric columns) keeps
+//! the dependency set to the approved list.
+
+use crate::billboard::BillboardStore;
+use crate::trajectory::TrajectoryStore;
+use mroam_geo::Point;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Errors produced by the CSV readers.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed row, with its 1-based line number and a description.
+    Parse { line: usize, message: String },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv io error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+fn parse_f64(field: &str, line: usize) -> Result<f64, CsvError> {
+    field.trim().parse().map_err(|_| CsvError::Parse {
+        line,
+        message: format!("invalid number {field:?}"),
+    })
+}
+
+fn parse_u64(field: &str, line: usize) -> Result<u64, CsvError> {
+    field.trim().parse().map_err(|_| CsvError::Parse {
+        line,
+        message: format!("invalid integer {field:?}"),
+    })
+}
+
+/// Writes a billboard store as `id,x,y[,cost]` rows with a header.
+pub fn write_billboards<W: Write>(store: &BillboardStore, mut w: W) -> io::Result<()> {
+    let with_costs = store.has_costs();
+    let mut buf = String::new();
+    buf.push_str(if with_costs { "id,x,y,cost\n" } else { "id,x,y\n" });
+    for (id, p) in store.iter() {
+        if with_costs {
+            writeln!(buf, "{},{},{},{}", id.0, p.x, p.y, store.cost(id)).unwrap();
+        } else {
+            writeln!(buf, "{},{},{}", id.0, p.x, p.y).unwrap();
+        }
+        if buf.len() > 1 << 16 {
+            w.write_all(buf.as_bytes())?;
+            buf.clear();
+        }
+    }
+    w.write_all(buf.as_bytes())
+}
+
+/// Reads a billboard store written by [`write_billboards`]. Rows must appear
+/// in id order starting at zero.
+pub fn read_billboards<R: Read>(r: R) -> Result<BillboardStore, CsvError> {
+    let reader = BufReader::new(r);
+    let mut store = BillboardStore::new();
+    let mut costs = Vec::new();
+    let mut has_costs = None;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        if i == 0 {
+            // Header row.
+            has_costs = Some(line.trim() == "id,x,y,cost");
+            if !matches!(line.trim(), "id,x,y" | "id,x,y,cost") {
+                return Err(CsvError::Parse {
+                    line: lineno,
+                    message: format!("unexpected header {line:?}"),
+                });
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let id = parse_u64(fields.next().unwrap_or(""), lineno)?;
+        if id != (store.len() as u64) {
+            return Err(CsvError::Parse {
+                line: lineno,
+                message: format!("ids must be dense and ordered, expected {}, got {id}", store.len()),
+            });
+        }
+        let x = parse_f64(fields.next().unwrap_or(""), lineno)?;
+        let y = parse_f64(fields.next().unwrap_or(""), lineno)?;
+        store.push(Point::new(x, y));
+        if has_costs == Some(true) {
+            costs.push(parse_u64(fields.next().unwrap_or(""), lineno)?);
+        }
+    }
+    if has_costs == Some(true) {
+        store.assign_costs(costs);
+    }
+    Ok(store)
+}
+
+/// Writes a trajectory store as `traj_id,seq,x,y,t` rows with a header.
+pub fn write_trajectories<W: Write>(store: &TrajectoryStore, mut w: W) -> io::Result<()> {
+    let mut buf = String::from("traj_id,seq,x,y,t\n");
+    for t in store.iter() {
+        for (seq, (p, ts)) in t.points.iter().zip(t.timestamps).enumerate() {
+            writeln!(buf, "{},{},{},{},{}", t.id.0, seq, p.x, p.y, ts).unwrap();
+            if buf.len() > 1 << 16 {
+                w.write_all(buf.as_bytes())?;
+                buf.clear();
+            }
+        }
+    }
+    w.write_all(buf.as_bytes())
+}
+
+/// Reads a trajectory store written by [`write_trajectories`]. Points of one
+/// trajectory must be contiguous and `seq`-ordered; trajectory ids must be
+/// dense and ordered.
+pub fn read_trajectories<R: Read>(r: R) -> Result<TrajectoryStore, CsvError> {
+    let reader = BufReader::new(r);
+    let mut store = TrajectoryStore::new();
+    let mut cur_id: Option<u64> = None;
+    let mut points: Vec<Point> = Vec::new();
+    let mut timestamps: Vec<f32> = Vec::new();
+
+    let mut flush = |points: &mut Vec<Point>, timestamps: &mut Vec<f32>| {
+        if !points.is_empty() {
+            store.push_with_timestamps(points, timestamps);
+            points.clear();
+            timestamps.clear();
+        }
+    };
+
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        if i == 0 {
+            if line.trim() != "traj_id,seq,x,y,t" {
+                return Err(CsvError::Parse {
+                    line: lineno,
+                    message: format!("unexpected header {line:?}"),
+                });
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let id = parse_u64(fields.next().unwrap_or(""), lineno)?;
+        let seq = parse_u64(fields.next().unwrap_or(""), lineno)?;
+        let x = parse_f64(fields.next().unwrap_or(""), lineno)?;
+        let y = parse_f64(fields.next().unwrap_or(""), lineno)?;
+        let t = parse_f64(fields.next().unwrap_or(""), lineno)? as f32;
+
+        match cur_id {
+            Some(prev) if prev == id => {}
+            Some(prev) => {
+                if id != prev + 1 {
+                    return Err(CsvError::Parse {
+                        line: lineno,
+                        message: format!("trajectory ids must be dense, got {id} after {prev}"),
+                    });
+                }
+                flush(&mut points, &mut timestamps);
+                cur_id = Some(id);
+            }
+            None => {
+                if id != 0 {
+                    return Err(CsvError::Parse {
+                        line: lineno,
+                        message: format!("first trajectory id must be 0, got {id}"),
+                    });
+                }
+                cur_id = Some(id);
+            }
+        }
+        if seq as usize != points.len() {
+            return Err(CsvError::Parse {
+                line: lineno,
+                message: format!("seq must be dense, expected {}, got {seq}", points.len()),
+            });
+        }
+        points.push(Point::new(x, y));
+        timestamps.push(t);
+    }
+    flush(&mut points, &mut timestamps);
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_billboards() -> BillboardStore {
+        let mut s = BillboardStore::new();
+        s.push(Point::new(1.5, 2.5));
+        s.push(Point::new(-3.0, 4.0));
+        s
+    }
+
+    fn sample_trajectories() -> TrajectoryStore {
+        let mut s = TrajectoryStore::new();
+        s.push_with_timestamps(
+            &[Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+            &[0.0, 5.0],
+        );
+        s.push_with_timestamps(&[Point::new(7.0, 7.0)], &[0.0]);
+        s
+    }
+
+    #[test]
+    fn billboards_roundtrip_without_costs() {
+        let store = sample_billboards();
+        let mut buf = Vec::new();
+        write_billboards(&store, &mut buf).unwrap();
+        let read = read_billboards(&buf[..]).unwrap();
+        assert_eq!(read.len(), 2);
+        assert_eq!(read.location(crate::BillboardId(1)), Point::new(-3.0, 4.0));
+        assert!(!read.has_costs());
+    }
+
+    #[test]
+    fn billboards_roundtrip_with_costs() {
+        let mut store = sample_billboards();
+        store.assign_costs(vec![42, 7]);
+        let mut buf = Vec::new();
+        write_billboards(&store, &mut buf).unwrap();
+        let read = read_billboards(&buf[..]).unwrap();
+        assert!(read.has_costs());
+        assert_eq!(read.cost(crate::BillboardId(0)), 42);
+        assert_eq!(read.cost(crate::BillboardId(1)), 7);
+    }
+
+    #[test]
+    fn trajectories_roundtrip() {
+        let store = sample_trajectories();
+        let mut buf = Vec::new();
+        write_trajectories(&store, &mut buf).unwrap();
+        let read = read_trajectories(&buf[..]).unwrap();
+        assert_eq!(read.len(), 2);
+        let t0 = read.get(crate::TrajectoryId(0));
+        assert_eq!(t0.points.len(), 2);
+        assert_eq!(t0.travel_time(), 5.0);
+        let t1 = read.get(crate::TrajectoryId(1));
+        assert_eq!(t1.points, &[Point::new(7.0, 7.0)]);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let err = read_billboards("foo,bar\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn non_dense_billboard_ids_rejected() {
+        let err = read_billboards("id,x,y\n0,1,1\n2,2,2\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("dense"), "{err}");
+    }
+
+    #[test]
+    fn bad_number_reports_line() {
+        let err = read_billboards("id,x,y\n0,abc,1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn non_dense_seq_rejected() {
+        let data = "traj_id,seq,x,y,t\n0,0,0,0,0\n0,2,1,1,1\n";
+        let err = read_trajectories(data.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("seq must be dense"), "{err}");
+    }
+
+    #[test]
+    fn empty_files_give_empty_stores() {
+        let b = read_billboards("id,x,y\n".as_bytes()).unwrap();
+        assert!(b.is_empty());
+        let t = read_trajectories("traj_id,seq,x,y,t\n".as_bytes()).unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let b = read_billboards("id,x,y\n0,1,2\n\n1,3,4\n".as_bytes()).unwrap();
+        assert_eq!(b.len(), 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! Dataset filtering and subsampling.
+//!
+//! Real trajectory feeds (TLC dumps, EZ-link exports) are city-wide and
+//! month-long; experiments usually want a spatial window, a trip-length
+//! band, or a deterministic subsample. These helpers produce new stores so
+//! the originals stay immutable (ids are re-densified; callers that need
+//! the mapping get it back).
+
+use crate::billboard::BillboardStore;
+use crate::ids::TrajectoryId;
+use crate::trajectory::TrajectoryStore;
+use mroam_geo::BoundingBox;
+
+/// Keeps only trajectories for which `keep` returns true; returns the new
+/// store and, for each new id, the original id.
+pub fn retain_trajectories<F>(store: &TrajectoryStore, mut keep: F) -> (TrajectoryStore, Vec<TrajectoryId>)
+where
+    F: FnMut(&crate::trajectory::TrajectoryRef<'_>) -> bool,
+{
+    let mut out = TrajectoryStore::new();
+    let mut mapping = Vec::new();
+    for t in store.iter() {
+        if keep(&t) {
+            out.push_with_timestamps(t.points, t.timestamps);
+            mapping.push(t.id);
+        }
+    }
+    (out, mapping)
+}
+
+/// Trajectories with at least one point inside `window`.
+pub fn clip_to_window(
+    store: &TrajectoryStore,
+    window: &BoundingBox,
+) -> (TrajectoryStore, Vec<TrajectoryId>) {
+    retain_trajectories(store, |t| t.points.iter().any(|p| window.contains(p)))
+}
+
+/// Trajectories whose path length lies in `[min_m, max_m]`.
+pub fn filter_by_length(
+    store: &TrajectoryStore,
+    min_m: f64,
+    max_m: f64,
+) -> (TrajectoryStore, Vec<TrajectoryId>) {
+    assert!(min_m <= max_m, "inverted length band");
+    retain_trajectories(store, |t| {
+        let d = t.distance();
+        (min_m..=max_m).contains(&d)
+    })
+}
+
+/// Deterministic 1-in-`k` systematic subsample (keeps ids ≡ phase mod k).
+pub fn subsample(
+    store: &TrajectoryStore,
+    k: usize,
+    phase: usize,
+) -> (TrajectoryStore, Vec<TrajectoryId>) {
+    assert!(k >= 1, "subsample factor must be at least 1");
+    let phase = phase % k;
+    retain_trajectories(store, |t| t.id.index() % k == phase)
+}
+
+/// Keeps only billboards inside `window`; returns the new store and, for
+/// each new id, the original id. Costs (if assigned) are carried over.
+pub fn clip_billboards(
+    store: &BillboardStore,
+    window: &BoundingBox,
+) -> (BillboardStore, Vec<crate::ids::BillboardId>) {
+    let mut out = BillboardStore::new();
+    let mut mapping = Vec::new();
+    let mut costs = Vec::new();
+    for (id, p) in store.iter() {
+        if window.contains(&p) {
+            out.push(p);
+            mapping.push(id);
+            if store.has_costs() {
+                costs.push(store.cost(id));
+            }
+        }
+    }
+    if store.has_costs() {
+        out.assign_costs(costs);
+    }
+    (out, mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mroam_geo::Point;
+
+    fn store() -> TrajectoryStore {
+        let mut s = TrajectoryStore::new();
+        // t0: 100 m inside [0,10]²-ish region.
+        s.push_at_speed(&[Point::new(0.0, 0.0), Point::new(100.0, 0.0)], 10.0);
+        // t1: 1000 m far away.
+        s.push_at_speed(&[Point::new(5000.0, 5000.0), Point::new(5000.0, 6000.0)], 10.0);
+        // t2: 50 m straddling the window edge.
+        s.push_at_speed(&[Point::new(-25.0, 0.0), Point::new(25.0, 0.0)], 10.0);
+        s
+    }
+
+    #[test]
+    fn window_clip_keeps_touching_trips() {
+        let (clipped, mapping) = clip_to_window(&store(), &BoundingBox::new(0.0, -1.0, 200.0, 1.0));
+        assert_eq!(clipped.len(), 2);
+        assert_eq!(mapping, vec![TrajectoryId(0), TrajectoryId(2)]);
+        // Points are preserved verbatim (no geometric cropping).
+        assert_eq!(clipped.get(TrajectoryId(1)).points[0], Point::new(-25.0, 0.0));
+    }
+
+    #[test]
+    fn length_band() {
+        let (filtered, mapping) = filter_by_length(&store(), 60.0, 500.0);
+        assert_eq!(filtered.len(), 1);
+        assert_eq!(mapping, vec![TrajectoryId(0)]);
+    }
+
+    #[test]
+    fn length_band_inclusive_bounds() {
+        let (filtered, _) = filter_by_length(&store(), 100.0, 100.0);
+        assert_eq!(filtered.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted length band")]
+    fn inverted_band_panics() {
+        let _ = filter_by_length(&store(), 10.0, 5.0);
+    }
+
+    #[test]
+    fn systematic_subsample() {
+        let mut s = TrajectoryStore::new();
+        for i in 0..10 {
+            s.push_at_speed(&[Point::new(i as f64, 0.0)], 1.0);
+        }
+        let (sub, mapping) = subsample(&s, 3, 1);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(
+            mapping,
+            vec![TrajectoryId(1), TrajectoryId(4), TrajectoryId(7)]
+        );
+        // k = 1 keeps everything.
+        let (all, _) = subsample(&s, 1, 0);
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn billboard_clip_carries_costs() {
+        let mut b = BillboardStore::new();
+        b.push(Point::new(0.0, 0.0));
+        b.push(Point::new(100.0, 0.0));
+        b.push(Point::new(5000.0, 0.0));
+        b.assign_costs(vec![1, 2, 3]);
+        let (clipped, mapping) = clip_billboards(&b, &BoundingBox::new(-10.0, -10.0, 200.0, 10.0));
+        assert_eq!(clipped.len(), 2);
+        assert_eq!(clipped.costs(), &[1, 2]);
+        assert_eq!(mapping.len(), 2);
+    }
+
+    #[test]
+    fn empty_results_are_fine() {
+        let (clipped, mapping) =
+            clip_to_window(&store(), &BoundingBox::new(1e6, 1e6, 2e6, 2e6));
+        assert!(clipped.is_empty());
+        assert!(mapping.is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Typed ids for the three entity spaces of MROAM.
+//!
+//! Billboards, trajectories, and advertisers are all dense `u32`-indexed
+//! collections; newtypes keep the index spaces apart at compile time (mixing
+//! a billboard index into a trajectory coverage list is the kind of bug that
+//! silently corrupts influence counts).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw dense index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Constructs from a dense index; panics if it exceeds `u32`.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                Self(u32::try_from(i).expect("id overflow"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a billboard `o ∈ U` by its dense store index.
+    BillboardId,
+    "o"
+);
+define_id!(
+    /// Identifies a trajectory `t ∈ T` by its dense store index.
+    TrajectoryId,
+    "t"
+);
+define_id!(
+    /// Identifies an advertiser `a ∈ A` by its dense index.
+    AdvertiserId,
+    "a"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(BillboardId(3).to_string(), "o3");
+        assert_eq!(TrajectoryId(0).to_string(), "t0");
+        assert_eq!(AdvertiserId(12).to_string(), "a12");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let id = BillboardId::from_index(41);
+        assert_eq!(id.index(), 41);
+        assert_eq!(BillboardId::from(41u32), id);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        assert!(TrajectoryId(1) < TrajectoryId(2));
+        let mut s = HashSet::new();
+        s.insert(AdvertiserId(5));
+        assert!(s.contains(&AdvertiserId(5)));
+        assert!(!s.contains(&AdvertiserId(6)));
+    }
+
+    #[test]
+    #[should_panic(expected = "id overflow")]
+    fn from_index_overflow_panics() {
+        let _ = BillboardId::from_index(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Dataset statistics reproducing Table 5 of the paper.
+//!
+//! Table 5 reports, per city: `|T|` (trajectory count), `|U|` (billboard
+//! count), `AvgDistance` (mean trip length) and `AvgTravelTime` (mean trip
+//! duration). The paper's values are NYC: 1.7M trips / 1,462 billboards /
+//! 2.9 km / 569 s, and SG: 2.2M trips / 4,092 billboards / 4.2 km / 1,342 s.
+
+use crate::billboard::BillboardStore;
+use crate::trajectory::TrajectoryStore;
+use serde::{Deserialize, Serialize};
+
+/// The Table 5 row for one dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Dataset label, e.g. `"NYC"`.
+    pub name: String,
+    /// Number of trajectories `|T|`.
+    pub n_trajectories: usize,
+    /// Number of billboards `|U|`.
+    pub n_billboards: usize,
+    /// Mean trip length in metres.
+    pub avg_distance_m: f64,
+    /// Mean trip duration in seconds.
+    pub avg_travel_time_s: f64,
+}
+
+impl DatasetStats {
+    /// Computes the Table 5 row for `(trajectories, billboards)`.
+    pub fn compute(
+        name: impl Into<String>,
+        trajectories: &TrajectoryStore,
+        billboards: &BillboardStore,
+    ) -> Self {
+        let n = trajectories.len();
+        let (dist_sum, time_sum) = trajectories.iter().fold((0.0, 0.0), |(d, t), traj| {
+            (d + traj.distance(), t + traj.travel_time())
+        });
+        let denom = n.max(1) as f64;
+        Self {
+            name: name.into(),
+            n_trajectories: n,
+            n_billboards: billboards.len(),
+            avg_distance_m: dist_sum / denom,
+            avg_travel_time_s: time_sum / denom,
+        }
+    }
+
+    /// Renders the row in the paper's Table 5 format
+    /// (`|T|`, `|U|`, `AvgDistance` in km, `AvgTravelTime` in s).
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<6} {:>10} {:>8} {:>10.1}km {:>10.0}s",
+            self.name,
+            self.n_trajectories,
+            self.n_billboards,
+            self.avg_distance_m / 1000.0,
+            self.avg_travel_time_s
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mroam_geo::Point;
+
+    #[test]
+    fn stats_of_known_store() {
+        let mut t = TrajectoryStore::new();
+        // 1000 m at 10 m/s = 100 s.
+        t.push_at_speed(&[Point::new(0.0, 0.0), Point::new(1000.0, 0.0)], 10.0);
+        // 3000 m at 10 m/s = 300 s.
+        t.push_at_speed(&[Point::new(0.0, 0.0), Point::new(0.0, 3000.0)], 10.0);
+        let mut b = BillboardStore::new();
+        b.push(Point::new(5.0, 5.0));
+
+        let s = DatasetStats::compute("TEST", &t, &b);
+        assert_eq!(s.n_trajectories, 2);
+        assert_eq!(s.n_billboards, 1);
+        assert!((s.avg_distance_m - 2000.0).abs() < 1e-9);
+        assert!((s.avg_travel_time_s - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stats_of_empty_store() {
+        let s = DatasetStats::compute("EMPTY", &TrajectoryStore::new(), &BillboardStore::new());
+        assert_eq!(s.n_trajectories, 0);
+        assert_eq!(s.avg_distance_m, 0.0);
+        assert_eq!(s.avg_travel_time_s, 0.0);
+    }
+
+    #[test]
+    fn table_row_formats_km_and_seconds() {
+        let s = DatasetStats {
+            name: "NYC".into(),
+            n_trajectories: 1_700_000,
+            n_billboards: 1462,
+            avg_distance_m: 2900.0,
+            avg_travel_time_s: 569.0,
+        };
+        let row = s.table_row();
+        assert!(row.contains("2.9km"), "{row}");
+        assert!(row.contains("569s"), "{row}");
+        assert!(row.contains("1462"), "{row}");
+    }
+}

@@ -1,0 +1,133 @@
+//! A generated city: billboard + trajectory stores with helpers.
+
+use mroam_data::{BillboardStore, DatasetStats, TrajectoryStore};
+use mroam_influence::CoverageModel;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A synthetic city dataset, the generator-agnostic output of the NYC-like
+/// and SG-like models.
+#[derive(Debug, Clone)]
+pub struct City {
+    /// Dataset label (`"NYC"` / `"SG"`).
+    pub name: String,
+    /// Billboard locations (costs unassigned until
+    /// [`assign_costs`](Self::assign_costs)).
+    pub billboards: BillboardStore,
+    /// Trajectory database.
+    pub trajectories: TrajectoryStore,
+}
+
+impl City {
+    /// Builds the coverage model for influence radius `lambda_m` (Section
+    /// 7.1.2's meets relation).
+    pub fn coverage(&self, lambda_m: f64) -> CoverageModel {
+        CoverageModel::build(&self.billboards, &self.trajectories, lambda_m)
+    }
+
+    /// The Table 5 statistics row for this city.
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats::compute(self.name.clone(), &self.trajectories, &self.billboards)
+    }
+
+    /// Samples an absolute start time (seconds since midnight) for every
+    /// trajectory, from a bimodal rush-hour mixture (peaks ≈ 08:30 and
+    /// 18:00, plus a uniform base load). Needed by the time-slotted
+    /// ("digital billboard") expansion of
+    /// [`mroam_influence::slots::SlottedModel`].
+    pub fn trip_start_times(&self, seed: u64) -> Vec<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        const DAY: f64 = 24.0 * 3600.0;
+        (0..self.trajectories.len())
+            .map(|_| {
+                let u: f64 = rng.gen();
+                let t = if u < 0.35 {
+                    gaussian(&mut rng, 8.5 * 3600.0, 1.2 * 3600.0)
+                } else if u < 0.70 {
+                    gaussian(&mut rng, 18.0 * 3600.0, 1.5 * 3600.0)
+                } else {
+                    rng.gen_range(0.0..DAY)
+                };
+                t.rem_euclid(DAY)
+            })
+            .collect()
+    }
+
+    /// Assigns the influence-proportional billboard costs
+    /// `o.w = ⌊τ·I(o)/10⌋` with `τ ~ U[0.9, 1.1]` (Section 7.1.2), seeded
+    /// deterministically.
+    pub fn assign_costs(&mut self, model: &CoverageModel, seed: u64) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let taus: Vec<f64> = (0..self.billboards.len())
+            .map(|_| rng.gen_range(0.9..1.1))
+            .collect();
+        self.billboards.assign_costs(model.costs_with_tau(&taus));
+    }
+}
+
+/// Box–Muller Gaussian sample.
+fn gaussian<R: Rng>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    let (u1, u2): (f64, f64) = (rng.gen_range(1e-12..1.0f64), rng.gen());
+    mean + sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mroam_geo::Point;
+
+    fn tiny_city() -> City {
+        let mut billboards = BillboardStore::new();
+        billboards.push(Point::new(0.0, 0.0));
+        billboards.push(Point::new(1000.0, 0.0));
+        let mut trajectories = TrajectoryStore::new();
+        trajectories.push_at_speed(&[Point::new(10.0, 0.0), Point::new(50.0, 0.0)], 5.0);
+        City {
+            name: "TINY".into(),
+            billboards,
+            trajectories,
+        }
+    }
+
+    #[test]
+    fn coverage_and_stats() {
+        let city = tiny_city();
+        let model = city.coverage(100.0);
+        assert_eq!(model.n_billboards(), 2);
+        assert_eq!(model.supply(), 1); // only billboard 0 meets the trip
+        let stats = city.stats();
+        assert_eq!(stats.n_trajectories, 1);
+        assert_eq!(stats.n_billboards, 2);
+        assert!((stats.avg_distance_m - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trip_start_times_cover_the_day_with_rush_peaks() {
+        let mut city = crate::nyc::NycConfig::test_scale().generate();
+        city.name = "T".into();
+        let starts = city.trip_start_times(5);
+        assert_eq!(starts.len(), city.trajectories.len());
+        const DAY: f64 = 24.0 * 3600.0;
+        assert!(starts.iter().all(|&t| (0.0..DAY).contains(&t)));
+        // Rush hours should hold clearly more trips than the small hours.
+        let count_in = |lo: f64, hi: f64| starts.iter().filter(|&&t| t >= lo && t < hi).count();
+        let morning_rush = count_in(7.0 * 3600.0, 10.0 * 3600.0);
+        let small_hours = count_in(1.0 * 3600.0, 4.0 * 3600.0);
+        assert!(
+            morning_rush > small_hours * 2,
+            "rush {morning_rush} vs small hours {small_hours}"
+        );
+        // Deterministic given the seed.
+        assert_eq!(starts, city.trip_start_times(5));
+    }
+
+    #[test]
+    fn assign_costs_is_deterministic() {
+        let mut a = tiny_city();
+        let mut b = tiny_city();
+        let model = a.coverage(100.0);
+        a.assign_costs(&model, 7);
+        b.assign_costs(&model, 7);
+        assert_eq!(a.billboards.costs(), b.billboards.costs());
+    }
+}

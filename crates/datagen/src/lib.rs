@@ -1,0 +1,34 @@
+//! Synthetic data generators for the MROAM reproduction.
+//!
+//! The paper evaluates on two proprietary/offline-unavailable datasets:
+//! LAMAR roadside billboards + TLC taxi trips (NYC) and JCDecaux bus-stop
+//! billboards + EZ-link bus trips (SG). This crate generates synthetic
+//! cities that reproduce the *properties the evaluation depends on*
+//! (documented in DESIGN.md and validated by tests and `exp_fig1`):
+//!
+//! * **NYC-like** ([`nyc`]): Manhattan-style road grid, hotspot-concentrated
+//!   taxi trips, roadside billboards densest near hotspots → skewed
+//!   influence distribution with heavy coverage overlap (Figure 1's NYC
+//!   curves), avg trip ≈ 2.9 km / 569 s (Table 5).
+//! * **SG-like** ([`sg`]): bus routes with ≥ 300 m stop spacing, trips along
+//!   contiguous route segments, one billboard per stop → uniform influence,
+//!   little overlap, λ-insensitive below 150 m (Figure 12's flat SG curve),
+//!   avg trip ≈ 4.2 km / 1342 s.
+//! * **Advertiser workloads** ([`workload`]): demands and payments derived
+//!   from the demand-supply ratio `α` and average-individual demand ratio
+//!   `p(ĪA)` exactly as Section 7.1.3 specifies.
+//! * **N3DM instances** ([`n3dm_gen`]): random yes-instances for exercising
+//!   the Section 4 hardness reduction end to end.
+//!
+//! All generators are deterministic given their seed (ChaCha8).
+
+pub mod city;
+pub mod n3dm_gen;
+pub mod nyc;
+pub mod sg;
+pub mod workload;
+
+pub use city::City;
+pub use nyc::NycConfig;
+pub use sg::SgConfig;
+pub use workload::WorkloadConfig;

@@ -1,0 +1,73 @@
+//! Random N3DM instance generation for hardness-reduction demos and tests.
+
+use mroam_core::n3dm::N3dmInstance;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Generates a *yes*-instance of N3DM with `n` triples: `n` random triples
+/// summing to a common bound are built first, then each multiset is shuffled
+/// so the matching is hidden.
+pub fn random_yes_instance(n: usize, max_value: u64, seed: u64) -> N3dmInstance {
+    assert!(n >= 1, "need at least one triple");
+    assert!(max_value >= 3, "values need headroom");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let bound = 3 * max_value / 2;
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    let mut z = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Split `bound` into three non-negative parts.
+        let a = rng.gen_range(0..=bound.min(max_value));
+        let rest = bound - a;
+        let b = rng.gen_range(rest.saturating_sub(max_value)..=rest.min(max_value));
+        let c = rest - b;
+        x.push(a);
+        y.push(b);
+        z.push(c);
+    }
+    shuffle(&mut y, &mut rng);
+    shuffle(&mut z, &mut rng);
+    N3dmInstance::new(x, y, z)
+}
+
+fn shuffle<R: Rng>(v: &mut [u64], rng: &mut R) {
+    for i in (1..v.len()).rev() {
+        v.swap(i, rng.gen_range(0..=i));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_instances_are_yes_instances() {
+        for seed in 0..10 {
+            let inst = random_yes_instance(4, 20, seed);
+            assert_eq!(inst.n(), 4);
+            assert!(
+                inst.has_matching(),
+                "seed {seed} produced a non-matching instance"
+            );
+        }
+    }
+
+    #[test]
+    fn bound_divides_for_generated_instances() {
+        let inst = random_yes_instance(5, 30, 7);
+        assert!(inst.bound().is_some());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(random_yes_instance(3, 10, 9), random_yes_instance(3, 10, 9));
+    }
+
+    #[test]
+    fn values_respect_max() {
+        let inst = random_yes_instance(6, 15, 3);
+        for v in inst.x.iter().chain(&inst.y).chain(&inst.z) {
+            assert!(*v <= 15);
+        }
+    }
+}

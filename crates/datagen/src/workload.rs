@@ -1,0 +1,168 @@
+//! Advertiser workload generation (Section 7.1.3).
+//!
+//! Given a coverage model's supply `I* = Σ_o I({o})`, the paper derives the
+//! advertiser population from two ratios:
+//!
+//! * **Demand-supply ratio** `α = I^A / I*` — how much total demand presses
+//!   on the host's inventory (40%…120% in Table 6);
+//! * **Average-individual demand ratio** `p(ĪA) = ĪA / I*` — how big each
+//!   advertiser is (1%…20%).
+//!
+//! The number of advertisers is `|A| = α / p(ĪA)` (e.g. α=100%, p=1% → 100
+//! small advertisers; α=100%, p=20% → 5 big ones). Per-advertiser demand is
+//! `I_i = ⌊ω·I*·p(ĪA)⌋` with `ω ~ U[0.8, 1.2]`, and payment
+//! `L_i = ⌊ε·I_i⌋` with `ε ~ U[0.9, 1.1]`.
+
+use mroam_core::advertiser::{Advertiser, AdvertiserSet};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one advertiser workload.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Demand-supply ratio `α` (1.0 = demand equals supply).
+    pub alpha: f64,
+    /// Average-individual demand ratio `p(ĪA)`.
+    pub p_avg: f64,
+    /// RNG seed for the ω/ε draws.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// The paper's default: α = 100%, p(ĪA) = 5% (Table 6 bold values).
+    pub fn paper_default(seed: u64) -> Self {
+        Self {
+            alpha: 1.0,
+            p_avg: 0.05,
+            seed,
+        }
+    }
+
+    /// Number of advertisers this configuration yields: `round(α / p)`.
+    pub fn n_advertisers(&self) -> usize {
+        assert!(self.p_avg > 0.0, "p(ĪA) must be positive");
+        ((self.alpha / self.p_avg).round() as usize).max(1)
+    }
+
+    /// Generates the advertiser set against a supply of `supply`
+    /// trajectories-worth of influence.
+    pub fn generate(&self, supply: u64) -> AdvertiserSet {
+        assert!(self.alpha > 0.0, "α must be positive");
+        assert!(supply > 0, "cannot size demands against zero supply");
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let n = self.n_advertisers();
+        let base = supply as f64 * self.p_avg;
+        let advertisers = (0..n)
+            .map(|_| {
+                let omega: f64 = rng.gen_range(0.8..1.2);
+                let demand = ((omega * base).floor() as u64).max(1);
+                let epsilon: f64 = rng.gen_range(0.9..1.1);
+                let payment = (epsilon * demand as f64).floor().max(1.0);
+                Advertiser::new(demand, payment)
+            })
+            .collect();
+        AdvertiserSet::new(advertisers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn advertiser_count_follows_alpha_over_p() {
+        let cases = [
+            (1.0, 0.01, 100),
+            (1.0, 0.20, 5),
+            (0.4, 0.02, 20),
+            (1.2, 0.05, 24),
+        ];
+        for (alpha, p_avg, expected) in cases {
+            let cfg = WorkloadConfig { alpha, p_avg, seed: 1 };
+            assert_eq!(cfg.n_advertisers(), expected, "α={alpha}, p={p_avg}");
+        }
+    }
+
+    #[test]
+    fn realized_alpha_close_to_requested() {
+        let supply = 1_000_000u64;
+        for &alpha in &[0.4, 0.6, 0.8, 1.0, 1.2] {
+            let cfg = WorkloadConfig { alpha, p_avg: 0.02, seed: 11 };
+            let advs = cfg.generate(supply);
+            let realized = advs.global_demand() as f64 / supply as f64;
+            // ω ~ U[0.8, 1.2] averages to 1, so the realized α concentrates
+            // near the requested one.
+            assert!(
+                (realized - alpha).abs() / alpha < 0.10,
+                "requested α={alpha}, realized {realized}"
+            );
+        }
+    }
+
+    #[test]
+    fn demands_respect_omega_band() {
+        let supply = 100_000u64;
+        let cfg = WorkloadConfig { alpha: 1.0, p_avg: 0.05, seed: 3 };
+        let advs = cfg.generate(supply);
+        let base = supply as f64 * cfg.p_avg;
+        for (_, a) in advs.iter() {
+            let ratio = a.demand as f64 / base;
+            assert!((0.8 - 1e-9..1.2).contains(&ratio), "ω out of band: {ratio}");
+        }
+    }
+
+    #[test]
+    fn payments_respect_epsilon_band() {
+        let cfg = WorkloadConfig { alpha: 1.0, p_avg: 0.05, seed: 3 };
+        let advs = cfg.generate(100_000);
+        for (_, a) in advs.iter() {
+            let eps = a.payment / a.demand as f64;
+            assert!(
+                (0.9 - 0.01..1.1).contains(&eps),
+                "ε out of band: {eps} (floor effects allowed below 0.9 only slightly)"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = WorkloadConfig { alpha: 1.0, p_avg: 0.05, seed: 42 };
+        assert_eq!(cfg.generate(50_000), cfg.generate(50_000));
+    }
+
+    #[test]
+    fn tiny_supply_yields_minimum_demand_of_one() {
+        let cfg = WorkloadConfig { alpha: 1.0, p_avg: 0.01, seed: 1 };
+        let advs = cfg.generate(10);
+        for (_, a) in advs.iter() {
+            assert!(a.demand >= 1);
+            assert!(a.payment >= 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero supply")]
+    fn zero_supply_rejected() {
+        WorkloadConfig { alpha: 1.0, p_avg: 0.05, seed: 1 }.generate(0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_generation_is_well_formed(
+            alpha in 0.1..2.0f64,
+            p_avg in 0.005..0.5f64,
+            supply in 1_000u64..10_000_000,
+            seed in any::<u64>(),
+        ) {
+            let cfg = WorkloadConfig { alpha, p_avg, seed };
+            let advs = cfg.generate(supply);
+            prop_assert_eq!(advs.len(), cfg.n_advertisers());
+            for (_, a) in advs.iter() {
+                prop_assert!(a.demand >= 1);
+                prop_assert!(a.payment >= 1.0);
+            }
+        }
+    }
+}

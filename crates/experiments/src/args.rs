@@ -1,0 +1,127 @@
+//! Tiny command-line argument parsing shared by the experiment binaries.
+//!
+//! Hand-rolled (`--key value` pairs only) to stay within the approved
+//! dependency set; each binary documents the keys it reads.
+
+use crate::setup::{CityKind, Scale};
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses from an iterator of raw arguments (excluding `argv[0]`).
+    /// Panics with a usage hint on malformed input.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Self {
+        let mut values = BTreeMap::new();
+        let mut it = raw.into_iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                panic!("expected --key, got {key:?}");
+            };
+            let value = it
+                .next()
+                .unwrap_or_else(|| panic!("missing value for --{name}"));
+            values.insert(name.to_string(), value);
+        }
+        Self { values }
+    }
+
+    /// Parses the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Raw string lookup.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// `--scale test|bench|paper`, default bench.
+    pub fn scale(&self) -> Scale {
+        self.get("scale")
+            .map(|s| Scale::parse(s).unwrap_or_else(|| panic!("bad --scale {s:?}")))
+            .unwrap_or(Scale::Bench)
+    }
+
+    /// `--city nyc|sg`, with a caller-chosen default.
+    pub fn city(&self, default: CityKind) -> CityKind {
+        self.get("city")
+            .map(|s| CityKind::parse(s).unwrap_or_else(|| panic!("bad --city {s:?}")))
+            .unwrap_or(default)
+    }
+
+    /// `--seed N`, default 42.
+    pub fn seed(&self) -> u64 {
+        self.get("seed")
+            .map(|s| s.parse().unwrap_or_else(|_| panic!("bad --seed {s:?}")))
+            .unwrap_or(42)
+    }
+
+    /// Generic numeric lookup with default.
+    pub fn f64_or(&self, key: &str, default: f64) -> f64 {
+        self.get(key)
+            .map(|s| s.parse().unwrap_or_else(|_| panic!("bad --{key} {s:?}")))
+            .unwrap_or(default)
+    }
+
+    /// Generic integer lookup with default.
+    pub fn usize_or(&self, key: &str, default: usize) -> usize {
+        self.get(key)
+            .map(|s| s.parse().unwrap_or_else(|_| panic!("bad --{key} {s:?}")))
+            .unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Args {
+        Args::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let a = parse(&["--scale", "test", "--seed", "7"]);
+        assert_eq!(a.scale(), Scale::Test);
+        assert_eq!(a.seed(), 7);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&[]);
+        assert_eq!(a.scale(), Scale::Bench);
+        assert_eq!(a.seed(), 42);
+        assert_eq!(a.city(CityKind::Nyc), CityKind::Nyc);
+        assert_eq!(a.f64_or("alpha", 1.0), 1.0);
+        assert_eq!(a.usize_or("figure", 4), 4);
+    }
+
+    #[test]
+    fn city_override() {
+        let a = parse(&["--city", "sg"]);
+        assert_eq!(a.city(CityKind::Nyc), CityKind::Sg);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected --key")]
+    fn positional_arguments_rejected() {
+        let _ = parse(&["bench"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing value")]
+    fn dangling_key_rejected() {
+        let _ = parse(&["--scale"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad --scale")]
+    fn bad_scale_rejected() {
+        parse(&["--scale", "galactic"]).scale();
+    }
+}

@@ -1,0 +1,215 @@
+//! `mroam` — the end-user command-line tool.
+//!
+//! Subcommand-style interface (first positional word selects the action;
+//! everything after is `--key value` pairs):
+//!
+//! ```text
+//! mroam solve --billboards b.csv --trajectories t.csv --advertisers a.csv
+//!       [--algo bls] [--lambda 100] [--gamma 0.5] [--measure distinct]
+//!       [--out assignment.csv]
+//!     Solve a MROAM instance from CSV inputs; writes the assignment CSV.
+//!
+//! mroam stats --billboards b.csv --trajectories t.csv
+//!     Print the Table 5 statistics row for a dataset.
+//!
+//! mroam coverage --billboards b.csv --trajectories t.csv --lambda 100
+//!       --out model.cov
+//!     Precompute the meets relation and save it in the binary coverage
+//!     format (see mroam_influence::storage).
+//!
+//! mroam gen --city nyc --scale test --out-prefix data/nyc
+//!     Generate a synthetic city to CSV files (<prefix>_billboards.csv,
+//!     <prefix>_trajectories.csv).
+//! ```
+
+use mroam_core::prelude::*;
+use mroam_data::csv;
+use mroam_data::DatasetStats;
+use mroam_experiments::cli_io;
+use mroam_experiments::{build_city, Args, CityKind};
+use mroam_influence::{storage, CoverageModel, InfluenceMeasure};
+use std::fs::File;
+use std::io::Write as _;
+use std::process::exit;
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        eprintln!("usage: mroam <solve|stats|coverage|gen> [--key value ...]");
+        exit(2);
+    }
+    let command = raw.remove(0);
+    let args = Args::parse(raw);
+    match command.as_str() {
+        "solve" => cmd_solve(&args),
+        "stats" => cmd_stats(&args),
+        "coverage" => cmd_coverage(&args),
+        "gen" => cmd_gen(&args),
+        other => {
+            eprintln!("unknown command {other:?}; expected solve|stats|coverage|gen");
+            exit(2);
+        }
+    }
+}
+
+fn required(args: &Args, key: &str) -> String {
+    args.get(key).unwrap_or_else(|| {
+        eprintln!("missing required --{key}");
+        exit(2);
+    }).to_string()
+}
+
+fn load_model(args: &Args) -> CoverageModel {
+    let billboards_path = required(args, "billboards");
+    let trajectories_path = required(args, "trajectories");
+    let lambda = args.f64_or("lambda", 100.0);
+    let billboards =
+        csv::read_billboards(File::open(&billboards_path).unwrap_or_else(|e| {
+            eprintln!("cannot open {billboards_path}: {e}");
+            exit(1);
+        }))
+        .unwrap_or_else(|e| {
+            eprintln!("bad billboard file: {e}");
+            exit(1);
+        });
+    let trajectories =
+        csv::read_trajectories(File::open(&trajectories_path).unwrap_or_else(|e| {
+            eprintln!("cannot open {trajectories_path}: {e}");
+            exit(1);
+        }))
+        .unwrap_or_else(|e| {
+            eprintln!("bad trajectory file: {e}");
+            exit(1);
+        });
+    eprintln!(
+        "[mroam] {} billboards, {} trajectories, lambda {lambda}m",
+        billboards.len(),
+        trajectories.len()
+    );
+    CoverageModel::build(&billboards, &trajectories, lambda)
+}
+
+fn parse_measure(args: &Args) -> InfluenceMeasure {
+    match args.get("measure").unwrap_or("distinct") {
+        "distinct" => InfluenceMeasure::Distinct,
+        "volume" => InfluenceMeasure::Volume,
+        s if s.starts_with("impressions:") => {
+            let k = s["impressions:".len()..].parse().unwrap_or_else(|_| {
+                eprintln!("bad --measure {s:?}: expected impressions:<k>");
+                exit(2);
+            });
+            InfluenceMeasure::Impressions { k }
+        }
+        other => {
+            eprintln!("bad --measure {other:?}: expected distinct|volume|impressions:<k>");
+            exit(2);
+        }
+    }
+}
+
+fn cmd_solve(args: &Args) {
+    let model = load_model(args);
+    let advertisers_path = required(args, "advertisers");
+    let advertisers = cli_io::read_advertisers(File::open(&advertisers_path).unwrap_or_else(
+        |e| {
+            eprintln!("cannot open {advertisers_path}: {e}");
+            exit(1);
+        },
+    ))
+    .unwrap_or_else(|e| {
+        eprintln!("bad advertiser file: {e}");
+        exit(1);
+    });
+    let gamma = args.f64_or("gamma", 0.5);
+    let measure = parse_measure(args);
+    let instance = Instance::with_measure(&model, &advertisers, gamma, measure);
+
+    let algo = args.get("algo").unwrap_or("bls").to_string();
+    let solver: Box<dyn Solver> = match algo.as_str() {
+        "g-order" => Box::new(GOrder),
+        "g-global" => Box::new(GGlobal),
+        "als" => Box::new(Als {
+            restarts: args.usize_or("restarts", 5),
+            seed: args.seed(),
+            parallel: true,
+        }),
+        "bls" => Box::new(Bls {
+            restarts: args.usize_or("restarts", 5),
+            seed: args.seed(),
+            improvement_ratio: args.f64_or("improvement-ratio", 0.0),
+            parallel: true,
+        }),
+        "exact" => Box::new(ExactSolver::default()),
+        other => {
+            eprintln!("bad --algo {other:?}: expected g-order|g-global|als|bls|exact");
+            exit(2);
+        }
+    };
+
+    let start = std::time::Instant::now();
+    let solution = solver.solve(&instance);
+    let elapsed = start.elapsed();
+    println!(
+        "{}: total regret {:.2} (excessive {:.2}, unsatisfied {:.2}; {}/{} advertisers unsatisfied) in {:.1?}",
+        solver.name(),
+        solution.total_regret,
+        solution.breakdown.excessive_influence,
+        solution.breakdown.unsatisfied_penalty,
+        solution.breakdown.n_unsatisfied,
+        advertisers.len(),
+        elapsed
+    );
+
+    if let Some(out) = args.get("out") {
+        let mut f = File::create(out).unwrap_or_else(|e| {
+            eprintln!("cannot create {out}: {e}");
+            exit(1);
+        });
+        cli_io::write_assignments(&solution, &advertisers, &mut f).expect("write assignments");
+        println!("assignment written to {out}");
+    }
+}
+
+fn cmd_stats(args: &Args) {
+    let billboards =
+        csv::read_billboards(File::open(required(args, "billboards")).expect("open")).expect("parse");
+    let trajectories =
+        csv::read_trajectories(File::open(required(args, "trajectories")).expect("open"))
+            .expect("parse");
+    let stats = DatasetStats::compute("data", &trajectories, &billboards);
+    println!("{}", stats.table_row());
+}
+
+fn cmd_coverage(args: &Args) {
+    let model = load_model(args);
+    let out = required(args, "out");
+    let bytes = storage::encode(&model);
+    let mut f = File::create(&out).unwrap_or_else(|e| {
+        eprintln!("cannot create {out}: {e}");
+        exit(1);
+    });
+    f.write_all(&bytes).expect("write model");
+    println!(
+        "coverage model ({} billboards, supply {}) written to {out} ({} bytes)",
+        model.n_billboards(),
+        model.supply(),
+        bytes.len()
+    );
+}
+
+fn cmd_gen(args: &Args) {
+    let kind = args.city(CityKind::Nyc);
+    let city = build_city(kind, args.scale());
+    let prefix = args.get("out-prefix").unwrap_or("city").to_string();
+    let b_path = format!("{prefix}_billboards.csv");
+    let t_path = format!("{prefix}_trajectories.csv");
+    csv::write_billboards(&city.billboards, File::create(&b_path).expect("create")).expect("write");
+    csv::write_trajectories(&city.trajectories, File::create(&t_path).expect("create"))
+        .expect("write");
+    println!(
+        "{}: wrote {} billboards to {b_path}, {} trajectories to {t_path}",
+        city.name,
+        city.billboards.len(),
+        city.trajectories.len()
+    );
+}

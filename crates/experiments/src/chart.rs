@@ -1,0 +1,196 @@
+//! ASCII rendering of the paper's stacked-bar figures.
+//!
+//! The evaluation figures are stacked bars (excessive influence +
+//! unsatisfied penalty per algorithm, grouped by the swept parameter).
+//! This module draws the same geometry in monospace text so a terminal run
+//! of an `exp_*` binary is visually comparable to the paper's charts:
+//!
+//! ```text
+//! alpha=100%  G-Order   |########################........|  142004
+//!             G-Global  |################........        |   98711
+//!             BLS       |#############                   |   81903
+//! ```
+//!
+//! `#` is unsatisfied penalty, `.` is excessive influence, scaled to the
+//! sweep's maximum total regret.
+
+use crate::run::SweepRow;
+
+/// Width of the bar area in characters.
+const BAR_WIDTH: usize = 36;
+
+/// Renders a sweep as grouped stacked bars. Scaling is global across the
+/// sweep so bar lengths are comparable between groups, like the paper's
+/// shared y-axis.
+pub fn stacked_bars(title: &str, rows: &[SweepRow]) -> String {
+    let mut out = format!("{title}\n");
+    let max_total = rows
+        .iter()
+        .flat_map(|r| r.results.iter())
+        .map(|a| a.total_regret)
+        .fold(0.0f64, f64::max);
+    out.push_str(&legend());
+    for row in rows {
+        let mut first = true;
+        for a in &row.results {
+            let label = if first { row.label.as_str() } else { "" };
+            first = false;
+            let bar = bar_of(a.unsatisfied, a.excessive, max_total);
+            out.push_str(&format!(
+                "{label:<14} {:<9} |{bar}| {:>12.0}\n",
+                a.algo, a.total_regret
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The legend line.
+fn legend() -> String {
+    format!(
+        "{:<14} {:<9} |{:<width$}| {:>12}\n",
+        "",
+        "",
+        "# unsatisfied, . excessive",
+        "total",
+        width = BAR_WIDTH
+    )
+}
+
+fn bar_of(unsatisfied: f64, excessive: f64, max_total: f64) -> String {
+    if max_total <= 0.0 {
+        return " ".repeat(BAR_WIDTH);
+    }
+    let scale = BAR_WIDTH as f64 / max_total;
+    let total = unsatisfied + excessive;
+    // Round the total first so the bar length is faithful, then split.
+    let total_chars = ((total * scale).round() as usize).min(BAR_WIDTH);
+    let unsat_chars = if total > 0.0 {
+        ((unsatisfied / total) * total_chars as f64).round() as usize
+    } else {
+        0
+    };
+    let exc_chars = total_chars - unsat_chars.min(total_chars);
+    let mut bar = String::with_capacity(BAR_WIDTH);
+    bar.push_str(&"#".repeat(unsat_chars.min(total_chars)));
+    bar.push_str(&".".repeat(exc_chars));
+    bar.push_str(&" ".repeat(BAR_WIDTH - total_chars));
+    bar
+}
+
+/// Renders a log-ish runtime comparison as dot plots (Figures 8–9 use a
+/// log-scale y axis; text gets one row per algorithm with `*` at the
+/// scaled position).
+pub fn runtime_dots(title: &str, rows: &[SweepRow]) -> String {
+    let mut out = format!("{title}\n");
+    let max_ms = rows
+        .iter()
+        .flat_map(|r| r.results.iter())
+        .map(|a| a.millis)
+        .fold(0.0f64, f64::max)
+        .max(1e-6);
+    let log_max = (max_ms + 1.0).ln();
+    for row in rows {
+        out.push_str(&format!("{}\n", row.label));
+        for a in &row.results {
+            let pos = (((a.millis + 1.0).ln() / log_max) * (BAR_WIDTH - 1) as f64).round()
+                as usize;
+            let mut line = " ".repeat(BAR_WIDTH);
+            line.replace_range(pos..pos + 1, "*");
+            out.push_str(&format!(
+                "  {:<9} |{line}| {:>10.1}ms\n",
+                a.algo, a.millis
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::AlgoResult;
+
+    fn rows() -> Vec<SweepRow> {
+        vec![SweepRow {
+            label: "alpha=100%".into(),
+            results: vec![
+                AlgoResult {
+                    algo: "G-Order",
+                    total_regret: 100.0,
+                    excessive: 40.0,
+                    unsatisfied: 60.0,
+                    n_unsatisfied: 2,
+                    millis: 3.0,
+                },
+                AlgoResult {
+                    algo: "BLS",
+                    total_regret: 50.0,
+                    excessive: 0.0,
+                    unsatisfied: 50.0,
+                    n_unsatisfied: 1,
+                    millis: 120.0,
+                },
+            ],
+        }]
+    }
+
+    #[test]
+    fn bars_are_fixed_width_and_scaled() {
+        let chart = stacked_bars("T", &rows());
+        for line in chart.lines().filter(|l| l.contains('|')) {
+            let inner = line.split('|').nth(1).unwrap();
+            assert_eq!(inner.chars().count(), BAR_WIDTH, "line {line:?}");
+        }
+        // The max bar is full-width; the half bar is about half.
+        let g_order = chart.lines().find(|l| l.contains("G-Order")).unwrap();
+        let filled = g_order.chars().filter(|&c| c == '#' || c == '.').count();
+        assert_eq!(filled, BAR_WIDTH);
+        let bls = chart.lines().find(|l| l.contains("BLS")).unwrap();
+        let bls_filled = bls.chars().filter(|&c| c == '#' || c == '.').count();
+        assert_eq!(bls_filled, BAR_WIDTH / 2);
+    }
+
+    #[test]
+    fn stack_split_reflects_components() {
+        let chart = stacked_bars("T", &rows());
+        let g_order = chart.lines().find(|l| l.contains("G-Order")).unwrap();
+        let unsat = g_order.chars().filter(|&c| c == '#').count();
+        let exc = g_order.chars().filter(|&c| c == '.').count();
+        // 60/40 split of a 36-char bar ≈ 22/14.
+        assert_eq!(unsat + exc, BAR_WIDTH);
+        assert!((21..=23).contains(&unsat), "unsat {unsat}");
+    }
+
+    #[test]
+    fn zero_regret_sweep_renders_blank_bars() {
+        let mut r = rows();
+        for a in &mut r[0].results {
+            a.total_regret = 0.0;
+            a.excessive = 0.0;
+            a.unsatisfied = 0.0;
+        }
+        let chart = stacked_bars("T", &r);
+        // No bar characters outside the legend line.
+        for line in chart.lines().filter(|l| !l.contains("unsatisfied")) {
+            assert!(!line.contains('#'), "{line:?}");
+            assert!(!line.contains("."), "{line:?}");
+        }
+    }
+
+    #[test]
+    fn runtime_dots_are_positioned() {
+        let chart = runtime_dots("T", &rows());
+        // The slower algorithm's '*' must be to the right of the faster's.
+        let pos = |name: &str| {
+            chart
+                .lines()
+                .find(|l| l.contains(name))
+                .unwrap()
+                .find('*')
+                .unwrap()
+        };
+        assert!(pos("BLS") > pos("G-Order"));
+    }
+}

@@ -1,0 +1,150 @@
+//! CSV I/O for the `mroam` command-line tool: advertiser contracts in,
+//! deployment assignments out.
+//!
+//! Schemas:
+//! * advertisers: `id,demand,payment` (dense ids from 0);
+//! * assignments: `advertiser_id,billboard_id,influence,demand,satisfied`
+//!   — one row per assigned billboard plus a `-1` summary row per
+//!   advertiser so spreadsheet users get both granularities.
+
+use mroam_core::advertiser::{Advertiser, AdvertiserSet};
+use mroam_core::solver::Solution;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Reads an advertiser set from `id,demand,payment` rows (with header).
+pub fn read_advertisers<R: Read>(r: R) -> Result<AdvertiserSet, String> {
+    let reader = BufReader::new(r);
+    let mut advertisers = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("io error: {e}"))?;
+        let lineno = i + 1;
+        if i == 0 {
+            if line.trim() != "id,demand,payment" {
+                return Err(format!(
+                    "line 1: expected header id,demand,payment, got {line:?}"
+                ));
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let id: usize = fields
+            .next()
+            .and_then(|f| f.trim().parse().ok())
+            .ok_or_else(|| format!("line {lineno}: bad id"))?;
+        if id != advertisers.len() {
+            return Err(format!(
+                "line {lineno}: ids must be dense, expected {}, got {id}",
+                advertisers.len()
+            ));
+        }
+        let demand: u64 = fields
+            .next()
+            .and_then(|f| f.trim().parse().ok())
+            .filter(|&d| d > 0)
+            .ok_or_else(|| format!("line {lineno}: bad demand (must be a positive integer)"))?;
+        let payment: f64 = fields
+            .next()
+            .and_then(|f| f.trim().parse().ok())
+            .filter(|p: &f64| p.is_finite() && *p >= 0.0)
+            .ok_or_else(|| format!("line {lineno}: bad payment"))?;
+        advertisers.push(Advertiser::new(demand, payment));
+    }
+    Ok(AdvertiserSet::new(advertisers))
+}
+
+/// Writes an advertiser set in the [`read_advertisers`] schema.
+pub fn write_advertisers<W: Write>(advertisers: &AdvertiserSet, mut w: W) -> io::Result<()> {
+    let mut buf = String::from("id,demand,payment\n");
+    for (id, a) in advertisers.iter() {
+        buf.push_str(&format!("{},{},{}\n", id.0, a.demand, a.payment));
+    }
+    w.write_all(buf.as_bytes())
+}
+
+/// Writes a solution in the assignment schema described in the module docs.
+pub fn write_assignments<W: Write>(
+    solution: &Solution,
+    advertisers: &AdvertiserSet,
+    mut w: W,
+) -> io::Result<()> {
+    let mut buf = String::from("advertiser_id,billboard_id,influence,demand,satisfied\n");
+    for (i, set) in solution.sets.iter().enumerate() {
+        let adv = advertisers.get(mroam_data::AdvertiserId::from_index(i));
+        let satisfied = solution.influences[i] >= adv.demand;
+        for b in set {
+            buf.push_str(&format!(
+                "{i},{},{},{},{}\n",
+                b.0, solution.influences[i], adv.demand, satisfied
+            ));
+        }
+        // Summary row (billboard -1) so every advertiser appears even when
+        // it received nothing.
+        buf.push_str(&format!(
+            "{i},-1,{},{},{}\n",
+            solution.influences[i], adv.demand, satisfied
+        ));
+    }
+    w.write_all(buf.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mroam_core::regret::RegretBreakdown;
+    use mroam_data::BillboardId;
+
+    #[test]
+    fn advertiser_roundtrip() {
+        let set = AdvertiserSet::new(vec![
+            Advertiser::new(100, 95.0),
+            Advertiser::new(50, 55.5),
+        ]);
+        let mut buf = Vec::new();
+        write_advertisers(&set, &mut buf).unwrap();
+        let back = read_advertisers(&buf[..]).unwrap();
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let err = read_advertisers("foo\n".as_bytes()).unwrap_err();
+        assert!(err.contains("header"), "{err}");
+    }
+
+    #[test]
+    fn zero_demand_rejected() {
+        let err = read_advertisers("id,demand,payment\n0,0,5\n".as_bytes()).unwrap_err();
+        assert!(err.contains("demand"), "{err}");
+    }
+
+    #[test]
+    fn sparse_ids_rejected() {
+        let err = read_advertisers("id,demand,payment\n1,5,5\n".as_bytes()).unwrap_err();
+        assert!(err.contains("dense"), "{err}");
+    }
+
+    #[test]
+    fn assignment_rows_cover_all_advertisers() {
+        let advertisers = AdvertiserSet::new(vec![
+            Advertiser::new(10, 10.0),
+            Advertiser::new(5, 5.0),
+        ]);
+        let solution = Solution {
+            sets: vec![vec![BillboardId(3), BillboardId(7)], vec![]],
+            influences: vec![12, 0],
+            total_regret: 7.0,
+            breakdown: RegretBreakdown::default(),
+        };
+        let mut buf = Vec::new();
+        write_assignments(&solution, &advertisers, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("0,3,12,10,true"));
+        assert!(text.contains("0,7,12,10,true"));
+        assert!(text.contains("1,-1,0,5,false"));
+        // 1 header + 2 assignment rows + 2 summary rows.
+        assert_eq!(text.lines().count(), 5);
+    }
+}

@@ -1,0 +1,76 @@
+//! The Table 6 parameter grid.
+//!
+//! | Parameter | Values (default **bold**)            |
+//! |-----------|--------------------------------------|
+//! | α         | 40%, 60%, 80%, **100%**, 120%        |
+//! | p(ĪA)     | 1%, 2%, **5%**, 10%, 20%             |
+//! | γ         | 0, 0.25, **0.5**, 0.75, 1            |
+//! | λ         | 50 m, **100 m**, 150 m, 200 m        |
+
+/// Demand-supply ratio sweep (Table 6 row 1).
+pub const ALPHAS: [f64; 5] = [0.40, 0.60, 0.80, 1.00, 1.20];
+/// Default α.
+pub const DEFAULT_ALPHA: f64 = 1.00;
+
+/// Average-individual demand ratio sweep (Table 6 row 2).
+pub const P_AVGS: [f64; 5] = [0.01, 0.02, 0.05, 0.10, 0.20];
+/// Default p(ĪA).
+pub const DEFAULT_P_AVG: f64 = 0.05;
+
+/// Unsatisfied penalty ratio sweep (Table 6 row 3).
+pub const GAMMAS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+/// Default γ.
+pub const DEFAULT_GAMMA: f64 = 0.5;
+
+/// Influence radius sweep in metres (Table 6 row 4).
+pub const LAMBDAS: [f64; 4] = [50.0, 100.0, 150.0, 200.0];
+/// Default λ in metres.
+pub const DEFAULT_LAMBDA: f64 = 100.0;
+
+/// The `p(ĪA)` behind each regret-vs-α figure (Figures 2–6) together with
+/// the advertiser count the paper reports at α = 100%.
+pub const FIGURE_P: [(u32, f64, usize); 5] = [
+    (2, 0.01, 100),
+    (3, 0.02, 50),
+    (4, 0.05, 20),
+    (5, 0.10, 10),
+    (6, 0.20, 5),
+];
+
+/// Renders Table 6 as the paper prints it.
+pub fn table6() -> String {
+    let mut out = String::from("Table 6: Parameter Settings\n");
+    out.push_str("  alpha   : 40%, 60%, 80%, [100%], 120%\n");
+    out.push_str("  p(I^A)  : 1%, 2%, [5%], 10%, 20%\n");
+    out.push_str("  gamma   : 0, 0.25, [0.5], 0.75, 1\n");
+    out.push_str("  lambda  : 50m, [100m], 150m, 200m\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_members_of_their_sweeps() {
+        assert!(ALPHAS.contains(&DEFAULT_ALPHA));
+        assert!(P_AVGS.contains(&DEFAULT_P_AVG));
+        assert!(GAMMAS.contains(&DEFAULT_GAMMA));
+        assert!(LAMBDAS.contains(&DEFAULT_LAMBDA));
+    }
+
+    #[test]
+    fn figure_p_advertiser_counts_follow_alpha_over_p() {
+        for (_, p, n) in FIGURE_P {
+            assert_eq!(((1.0 / p).round() as usize), n);
+        }
+    }
+
+    #[test]
+    fn table6_mentions_every_parameter() {
+        let t = table6();
+        for key in ["alpha", "p(I^A)", "gamma", "lambda"] {
+            assert!(t.contains(key), "missing {key}");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Dataset construction shared by all experiment binaries.
+
+use mroam_datagen::{City, NycConfig, SgConfig};
+
+/// Which synthetic city to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CityKind {
+    /// The NYC-like taxi/roadside model.
+    Nyc,
+    /// The SG-like bus/bus-stop model.
+    Sg,
+}
+
+impl CityKind {
+    /// Parses `"nyc"` / `"sg"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "nyc" => Some(CityKind::Nyc),
+            "sg" => Some(CityKind::Sg),
+            _ => None,
+        }
+    }
+
+    /// Display label matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            CityKind::Nyc => "NYC",
+            CityKind::Sg => "SG",
+        }
+    }
+}
+
+/// Dataset scale preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Unit-test scale: builds in milliseconds.
+    Test,
+    /// Default experiment scale (~30–50× below the paper; same shape).
+    Bench,
+    /// The paper's full dataset sizes (slow to generate and solve; provided
+    /// for completeness).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `"test"` / `"bench"` / `"paper"`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "test" => Some(Scale::Test),
+            "bench" => Some(Scale::Bench),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// Builds the requested city at the requested scale (deterministic).
+pub fn build_city(kind: CityKind, scale: Scale) -> City {
+    match (kind, scale) {
+        (CityKind::Nyc, Scale::Test) => NycConfig::test_scale().generate(),
+        (CityKind::Nyc, Scale::Bench) => NycConfig::default().generate(),
+        (CityKind::Nyc, Scale::Paper) => NycConfig::paper_scale().generate(),
+        (CityKind::Sg, Scale::Test) => SgConfig::test_scale().generate(),
+        (CityKind::Sg, Scale::Bench) => SgConfig::default().generate(),
+        (CityKind::Sg, Scale::Paper) => SgConfig::paper_scale().generate(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_city() {
+        assert_eq!(CityKind::parse("NYC"), Some(CityKind::Nyc));
+        assert_eq!(CityKind::parse("sg"), Some(CityKind::Sg));
+        assert_eq!(CityKind::parse("tokyo"), None);
+    }
+
+    #[test]
+    fn parse_scale() {
+        assert_eq!(Scale::parse("bench"), Some(Scale::Bench));
+        assert_eq!(Scale::parse("TEST"), Some(Scale::Test));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn build_test_scale_cities() {
+        let nyc = build_city(CityKind::Nyc, Scale::Test);
+        assert_eq!(nyc.name, "NYC");
+        assert!(!nyc.billboards.is_empty() && !nyc.trajectories.is_empty());
+        let sg = build_city(CityKind::Sg, Scale::Test);
+        assert_eq!(sg.name, "SG");
+        assert!(!sg.billboards.is_empty());
+    }
+}

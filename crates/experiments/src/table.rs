@@ -1,0 +1,130 @@
+//! Plain-text rendering of sweep results, mirroring the paper's stacked-bar
+//! annotations (total plus the excessive/unsatisfied percentage split).
+
+use crate::run::SweepRow;
+
+/// Renders a sweep as the effectiveness table the paper's bar charts encode:
+/// one block per sweep point, one row per algorithm, with the two regret
+/// components and their percentage split.
+pub fn render_effectiveness(title: &str, rows: &[SweepRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    for row in rows {
+        out.push_str(&format!("-- {} --\n", row.label));
+        out.push_str(&format!(
+            "{:<9} {:>14} {:>14} {:>14} {:>7} {:>7} {:>7}\n",
+            "algo", "total-regret", "excessive", "unsatisfied", "exc%", "uns%", "#unsat"
+        ));
+        for r in &row.results {
+            let total = r.total_regret;
+            let (e_pct, u_pct) = if total > 0.0 {
+                (100.0 * r.excessive / total, 100.0 * r.unsatisfied / total)
+            } else {
+                (0.0, 0.0)
+            };
+            out.push_str(&format!(
+                "{:<9} {:>14.1} {:>14.1} {:>14.1} {:>6.1}% {:>6.1}% {:>7}\n",
+                r.algo, total, r.excessive, r.unsatisfied, e_pct, u_pct, r.n_unsatisfied
+            ));
+        }
+    }
+    out
+}
+
+/// Renders a sweep as the running-time table behind Figures 8–9.
+pub fn render_runtime(title: &str, rows: &[SweepRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    if rows.is_empty() {
+        return out;
+    }
+    out.push_str(&format!("{:<16}", "point"));
+    for r in &rows[0].results {
+        out.push_str(&format!("{:>12}", r.algo));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:<16}", row.label));
+        for r in &row.results {
+            out.push_str(&format!("{:>10.1}ms", r.millis));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes rows as a machine-readable JSON lines file next to the text
+/// output, so EXPERIMENTS.md tooling can diff runs.
+pub fn to_jsonl(rows: &[SweepRow]) -> String {
+    rows.iter()
+        .map(|r| serde_json::to_string(r).expect("serializable"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::AlgoResult;
+
+    fn sample_rows() -> Vec<SweepRow> {
+        vec![SweepRow {
+            label: "alpha=100%".into(),
+            results: vec![
+                AlgoResult {
+                    algo: "G-Order",
+                    total_regret: 100.0,
+                    excessive: 25.0,
+                    unsatisfied: 75.0,
+                    n_unsatisfied: 3,
+                    millis: 1.5,
+                },
+                AlgoResult {
+                    algo: "BLS",
+                    total_regret: 0.0,
+                    excessive: 0.0,
+                    unsatisfied: 0.0,
+                    n_unsatisfied: 0,
+                    millis: 20.0,
+                },
+            ],
+        }]
+    }
+
+    #[test]
+    fn effectiveness_table_contains_split_percentages() {
+        let t = render_effectiveness("Figure X", &sample_rows());
+        assert!(t.contains("Figure X"));
+        assert!(t.contains("alpha=100%"));
+        assert!(t.contains("25.0%"), "{t}");
+        assert!(t.contains("75.0%"), "{t}");
+    }
+
+    #[test]
+    fn zero_regret_renders_zero_percentages() {
+        let t = render_effectiveness("F", &sample_rows());
+        let bls_line = t.lines().find(|l| l.starts_with("BLS")).unwrap();
+        assert!(bls_line.contains("0.0%"), "{bls_line}");
+    }
+
+    #[test]
+    fn runtime_table_has_algo_columns() {
+        let t = render_runtime("Figure 8", &sample_rows());
+        assert!(t.contains("G-Order"));
+        assert!(t.contains("BLS"));
+        assert!(t.contains("1.5ms"));
+    }
+
+    #[test]
+    fn runtime_table_of_empty_rows() {
+        assert_eq!(render_runtime("T", &[]), "== T ==\n");
+    }
+
+    #[test]
+    fn jsonl_roundtrips() {
+        let s = to_jsonl(&sample_rows());
+        let v: serde_json::Value = serde_json::from_str(&s).unwrap();
+        assert_eq!(v["label"], "alpha=100%");
+        assert_eq!(v["results"][0]["algo"], "G-Order");
+    }
+}

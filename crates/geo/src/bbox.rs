@@ -1,0 +1,164 @@
+//! Axis-aligned bounding boxes.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box over the planar metre coordinate system.
+///
+/// Used by [`crate::grid::GridIndex`] to map points to cells, and by the
+/// synthetic city generators to define the city extent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Minimum easting.
+    pub min_x: f64,
+    /// Minimum northing.
+    pub min_y: f64,
+    /// Maximum easting.
+    pub max_x: f64,
+    /// Maximum northing.
+    pub max_y: f64,
+}
+
+impl BoundingBox {
+    /// Creates a bounding box; panics if the extents are inverted.
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        assert!(
+            min_x <= max_x && min_y <= max_y,
+            "inverted bounding box: ({min_x},{min_y})..({max_x},{max_y})"
+        );
+        Self {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
+    }
+
+    /// The smallest box covering every point in `points`.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn covering<'a, I>(points: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = &'a Point>,
+    {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut bb = Self {
+            min_x: first.x,
+            min_y: first.y,
+            max_x: first.x,
+            max_y: first.y,
+        };
+        for p in it {
+            bb.min_x = bb.min_x.min(p.x);
+            bb.min_y = bb.min_y.min(p.y);
+            bb.max_x = bb.max_x.max(p.x);
+            bb.max_y = bb.max_y.max(p.y);
+        }
+        Some(bb)
+    }
+
+    /// Width in metres.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Height in metres.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    /// Whether `p` lies inside the box (inclusive on all edges).
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// Grows the box by `margin` metres on every side.
+    pub fn expanded(&self, margin: f64) -> Self {
+        Self::new(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+    }
+
+    /// Centre point of the box.
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+        )
+    }
+
+    /// Clamps `p` to the nearest point inside the box.
+    pub fn clamp(&self, p: &Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min_x, self.max_x),
+            p.y.clamp(self.min_y, self.max_y),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covering_of_points() {
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 3.0),
+            Point::new(4.0, -1.0),
+        ];
+        let bb = BoundingBox::covering(&pts).unwrap();
+        assert_eq!(bb, BoundingBox::new(-2.0, -1.0, 4.0, 5.0));
+    }
+
+    #[test]
+    fn covering_empty_is_none() {
+        assert!(BoundingBox::covering([].iter()).is_none());
+    }
+
+    #[test]
+    fn covering_single_point_is_degenerate() {
+        let p = [Point::new(7.0, 8.0)];
+        let bb = BoundingBox::covering(&p).unwrap();
+        assert_eq!(bb.width(), 0.0);
+        assert_eq!(bb.height(), 0.0);
+        assert!(bb.contains(&p[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted bounding box")]
+    fn inverted_box_panics() {
+        let _ = BoundingBox::new(1.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn contains_is_inclusive() {
+        let bb = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        assert!(bb.contains(&Point::new(0.0, 0.0)));
+        assert!(bb.contains(&Point::new(10.0, 10.0)));
+        assert!(bb.contains(&Point::new(5.0, 5.0)));
+        assert!(!bb.contains(&Point::new(10.000001, 5.0)));
+        assert!(!bb.contains(&Point::new(5.0, -0.000001)));
+    }
+
+    #[test]
+    fn expanded_grows_every_side() {
+        let bb = BoundingBox::new(0.0, 0.0, 10.0, 20.0).expanded(5.0);
+        assert_eq!(bb, BoundingBox::new(-5.0, -5.0, 15.0, 25.0));
+    }
+
+    #[test]
+    fn center_and_clamp() {
+        let bb = BoundingBox::new(0.0, 0.0, 10.0, 20.0);
+        assert_eq!(bb.center(), Point::new(5.0, 10.0));
+        assert_eq!(bb.clamp(&Point::new(-3.0, 25.0)), Point::new(0.0, 20.0));
+        assert_eq!(bb.clamp(&Point::new(4.0, 4.0)), Point::new(4.0, 4.0));
+    }
+}

@@ -1,0 +1,285 @@
+//! A static 2-d k-d tree — the classic alternative to the uniform grid.
+//!
+//! The grid index ([`crate::GridIndex`]) is ideal for the roughly uniform
+//! billboard densities of the synthetic cities, but degrades when the data
+//! is heavily clustered relative to the query radius (many points fall into
+//! one cell). The k-d tree adapts to any density at the cost of pointer
+//! chasing. Both implement the same radius-query contract; the
+//! `substrate` bench compares them and `CoverageModel` construction sticks
+//! with the grid by default (see DESIGN.md's ablation notes).
+
+use crate::point::Point;
+
+/// A static k-d tree over `(id, point)` pairs, built once and queried many
+/// times. Stored as an implicit median-split binary tree in a flat array.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    /// Nodes in build order: (point, original id, split axis).
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    point: Point,
+    id: u32,
+    /// Index of the left child in `nodes`, `u32::MAX` if none.
+    left: u32,
+    /// Index of the right child in `nodes`, `u32::MAX` if none.
+    right: u32,
+    /// 0 = split on x, 1 = split on y.
+    axis: u8,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl KdTree {
+    /// Builds a tree over `points`, where item `i` gets id `i as u32`.
+    pub fn build(points: &[Point]) -> Self {
+        let mut items: Vec<(u32, Point)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i as u32, p))
+            .collect();
+        let mut nodes = Vec::with_capacity(points.len());
+        build_rec(&mut items[..], 0, &mut nodes);
+        Self { nodes }
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Invokes `f(id, point)` for every item within `radius` (inclusive) of
+    /// `center`.
+    pub fn for_each_within<F: FnMut(u32, &Point)>(&self, center: &Point, radius: f64, mut f: F) {
+        if self.nodes.is_empty() {
+            return;
+        }
+        let r_sq = radius * radius;
+        // Explicit stack to avoid recursion overhead/limits.
+        let mut stack = vec![0u32];
+        while let Some(idx) = stack.pop() {
+            let node = &self.nodes[idx as usize];
+            if node.point.distance_sq(center) <= r_sq {
+                f(node.id, &node.point);
+            }
+            let (c, s) = if node.axis == 0 {
+                (center.x, node.point.x)
+            } else {
+                (center.y, node.point.y)
+            };
+            let d = c - s;
+            // Near side always; far side only if the splitting plane is
+            // within the radius.
+            let (near, far) = if d < 0.0 {
+                (node.left, node.right)
+            } else {
+                (node.right, node.left)
+            };
+            if near != NONE {
+                stack.push(near);
+            }
+            if far != NONE && d * d <= r_sq {
+                stack.push(far);
+            }
+        }
+    }
+
+    /// Collects the ids of all items within `radius` of `center`, unsorted.
+    pub fn query_within(&self, center: &Point, radius: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.for_each_within(center, radius, |id, _| out.push(id));
+        out
+    }
+
+    /// Returns the id and distance of the nearest item, if any.
+    pub fn nearest(&self, center: &Point) -> Option<(u32, f64)> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let mut best: Option<(u32, f64)> = None;
+        self.nearest_rec(0, center, &mut best);
+        best.map(|(id, d_sq)| (id, d_sq.sqrt()))
+    }
+
+    fn nearest_rec(&self, idx: u32, center: &Point, best: &mut Option<(u32, f64)>) {
+        let node = &self.nodes[idx as usize];
+        let d_sq = node.point.distance_sq(center);
+        if best.is_none_or(|(_, b)| d_sq < b) {
+            *best = Some((node.id, d_sq));
+        }
+        let (c, s) = if node.axis == 0 {
+            (center.x, node.point.x)
+        } else {
+            (center.y, node.point.y)
+        };
+        let d = c - s;
+        let (near, far) = if d < 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if near != NONE {
+            self.nearest_rec(near, center, best);
+        }
+        if far != NONE && best.is_none_or(|(_, b)| d * d < b) {
+            self.nearest_rec(far, center, best);
+        }
+    }
+}
+
+/// Recursive median-split build; returns the node index or `NONE`.
+fn build_rec(items: &mut [(u32, Point)], depth: u8, nodes: &mut Vec<Node>) -> u32 {
+    if items.is_empty() {
+        return NONE;
+    }
+    let axis = depth % 2;
+    let mid = items.len() / 2;
+    items.select_nth_unstable_by(mid, |a, b| {
+        if axis == 0 {
+            a.1.x.total_cmp(&b.1.x)
+        } else {
+            a.1.y.total_cmp(&b.1.y)
+        }
+    });
+    let (id, point) = items[mid];
+    let my_idx = nodes.len() as u32;
+    nodes.push(Node {
+        point,
+        id,
+        left: NONE,
+        right: NONE,
+        axis,
+    });
+    let (lo, rest) = items.split_at_mut(mid);
+    let hi = &mut rest[1..];
+    let left = build_rec(lo, depth + 1, nodes);
+    let right = build_rec(hi, depth + 1, nodes);
+    nodes[my_idx as usize].left = left;
+    nodes[my_idx as usize].right = right;
+    my_idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridIndex;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn brute_force(points: &[Point], center: &Point, radius: f64) -> Vec<u32> {
+        let mut v: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.within(center, radius))
+            .map(|(i, _)| i as u32)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = KdTree::build(&[]);
+        assert!(t.is_empty());
+        assert!(t.query_within(&Point::new(0.0, 0.0), 1e9).is_empty());
+        assert_eq!(t.nearest(&Point::new(0.0, 0.0)), None);
+    }
+
+    #[test]
+    fn single_and_duplicate_points() {
+        let p = Point::new(3.0, 4.0);
+        let t = KdTree::build(&[p, p, p]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.query_within(&p, 0.0).len(), 3);
+        let (_, d) = t.nearest(&Point::new(0.0, 0.0)).unwrap();
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn radius_query_matches_brute_force_on_clusters() {
+        // Clustered data is the k-d tree's home turf.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut points = Vec::new();
+        for _ in 0..5 {
+            let cx = rng.gen_range(0.0..10_000.0);
+            let cy = rng.gen_range(0.0..10_000.0);
+            for _ in 0..100 {
+                points.push(Point::new(
+                    cx + rng.gen_range(-50.0..50.0),
+                    cy + rng.gen_range(-50.0..50.0),
+                ));
+            }
+        }
+        let t = KdTree::build(&points);
+        for _ in 0..50 {
+            let c = Point::new(rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0));
+            let r = rng.gen_range(10.0..3_000.0);
+            let mut got = t.query_within(&c, r);
+            got.sort_unstable();
+            assert_eq!(got, brute_force(&points, &c, r));
+        }
+    }
+
+    #[test]
+    fn agrees_with_grid_index() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let points: Vec<Point> = (0..400)
+            .map(|_| Point::new(rng.gen_range(0.0..5_000.0), rng.gen_range(0.0..5_000.0)))
+            .collect();
+        let tree = KdTree::build(&points);
+        let grid = GridIndex::build(&points, 120.0);
+        for _ in 0..40 {
+            let c = Point::new(rng.gen_range(-100.0..5_100.0), rng.gen_range(-100.0..5_100.0));
+            let r = rng.gen_range(0.0..700.0);
+            let mut a = tree.query_within(&c, r);
+            let mut b = grid.query_within(&c, r);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let points: Vec<Point> = (0..300)
+            .map(|_| Point::new(rng.gen_range(0.0..1_000.0), rng.gen_range(0.0..1_000.0)))
+            .collect();
+        let t = KdTree::build(&points);
+        for _ in 0..50 {
+            let c = Point::new(rng.gen_range(-100.0..1_100.0), rng.gen_range(-100.0..1_100.0));
+            let (_, got) = t.nearest(&c).unwrap();
+            let want = points
+                .iter()
+                .map(|p| p.distance(&c))
+                .fold(f64::INFINITY, f64::min);
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_radius_query_equals_brute_force(
+            pts in proptest::collection::vec((0.0..1000.0f64, 0.0..1000.0f64), 0..100),
+            cx in -100.0..1100.0f64,
+            cy in -100.0..1100.0f64,
+            r in 0.0..600.0f64,
+        ) {
+            let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let t = KdTree::build(&points);
+            let c = Point::new(cx, cy);
+            let mut got = t.query_within(&c, r);
+            got.sort_unstable();
+            prop_assert_eq!(got, brute_force(&points, &c, r));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Geometry and spatial-indexing substrate for the MROAM reproduction.
+//!
+//! The paper ("Minimizing the Regret of an Influence Provider", SIGMOD 2021)
+//! defines billboard influence through a purely geometric *meets* relation: a
+//! billboard influences a trajectory iff some trajectory point lies within a
+//! Euclidean distance threshold `λ` of the billboard (Section 7.1.2). This
+//! crate provides everything needed to evaluate that relation efficiently:
+//!
+//! * [`Point`] — planar points in metres with distance helpers,
+//! * [`BoundingBox`] — axis-aligned extents,
+//! * [`Polyline`] — trajectory-shaped point sequences (length, resampling),
+//! * [`GridIndex`] — a uniform-grid spatial index supporting radius queries,
+//! * [`KdTree`] — a median-split k-d tree alternative for clustered data,
+//! * [`LatLon`] / [`Projection`] — equirectangular projection for loading
+//!   real-world-style coordinates into the planar model.
+//!
+//! All coordinates inside the planar model are metres; the synthetic city
+//! generators emit metres directly and the projection module converts degree
+//! inputs when CSV data uses latitude/longitude.
+
+pub mod bbox;
+pub mod grid;
+pub mod kdtree;
+pub mod point;
+pub mod polyline;
+pub mod projection;
+
+pub use bbox::BoundingBox;
+pub use grid::GridIndex;
+pub use kdtree::KdTree;
+pub use point::Point;
+pub use polyline::Polyline;
+pub use projection::{LatLon, Projection};

@@ -1,0 +1,156 @@
+//! Planar points in metres.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the planar (projected) coordinate system, in metres.
+///
+/// The MROAM influence model only ever needs Euclidean distances between
+/// trajectory points and billboard locations, so a flat `f64` pair is the
+/// entire representation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Easting in metres.
+    pub x: f64,
+    /// Northing in metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from easting/northing metres.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`, in metres.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Radius predicates should compare against `radius * radius` with this
+    /// method to avoid the square root in hot loops (the meets computation
+    /// evaluates this for every candidate billboard of every trajectory
+    /// point).
+    #[inline]
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Whether `other` lies within `radius` metres (inclusive), matching the
+    /// paper's `dist(t.p_i, o.loc) <= λ` predicate.
+    #[inline]
+    pub fn within(&self, other: &Point, radius: f64) -> bool {
+        self.distance_sq(other) <= radius * radius
+    }
+
+    /// Linear interpolation between `self` (at `t = 0`) and `other`
+    /// (at `t = 1`).
+    #[inline]
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Component-wise translation.
+    #[inline]
+    pub fn translate(&self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Midpoint of the segment between `self` and `other`.
+    #[inline]
+    pub fn midpoint(&self, other: &Point) -> Point {
+        self.lerp(other, 0.5)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = Point::new(12.5, -7.25);
+        assert_eq!(p.distance(&p), 0.0);
+    }
+
+    #[test]
+    fn within_is_inclusive_at_the_boundary() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(100.0, 0.0);
+        assert!(a.within(&b, 100.0));
+        assert!(!a.within(&b, 99.999));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -20.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.midpoint(&b), Point::new(5.0, -10.0));
+    }
+
+    #[test]
+    fn translate_moves_components() {
+        let p = Point::new(1.0, 2.0).translate(-3.0, 4.5);
+        assert_eq!(p, Point::new(-2.0, 6.5));
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (3.0, 9.0).into();
+        assert_eq!(p, Point::new(3.0, 9.0));
+    }
+
+    proptest! {
+        #[test]
+        fn distance_is_symmetric(ax in -1e6..1e6f64, ay in -1e6..1e6f64,
+                                 bx in -1e6..1e6f64, by in -1e6..1e6f64) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            prop_assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn triangle_inequality(ax in -1e4..1e4f64, ay in -1e4..1e4f64,
+                               bx in -1e4..1e4f64, by in -1e4..1e4f64,
+                               cx in -1e4..1e4f64, cy in -1e4..1e4f64) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-6);
+        }
+
+        #[test]
+        fn within_matches_distance(ax in -1e5..1e5f64, ay in -1e5..1e5f64,
+                                   bx in -1e5..1e5f64, by in -1e5..1e5f64,
+                                   r in 0.0..1e5f64) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            prop_assert_eq!(a.within(&b, r), a.distance(&b) <= r);
+        }
+    }
+}

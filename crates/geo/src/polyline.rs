@@ -1,0 +1,197 @@
+//! Polylines: ordered point sequences with length and resampling helpers.
+//!
+//! Trajectories in the paper are "a set of points recording an audience's
+//! movement". The synthetic city generators first produce sparse waypoint
+//! paths (street corners, bus stops) and then resample them at a GPS-like
+//! interval so the meets relation behaves like it does on real probe data.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// An ordered sequence of planar points.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Polyline {
+    points: Vec<Point>,
+}
+
+impl Polyline {
+    /// Creates a polyline from points.
+    pub fn new(points: Vec<Point>) -> Self {
+        Self { points }
+    }
+
+    /// The underlying points.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the polyline has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total length in metres (sum of segment lengths).
+    pub fn length(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].distance(&w[1]))
+            .sum()
+    }
+
+    /// Resamples the polyline at (approximately) fixed `spacing` metres.
+    ///
+    /// The output always contains the first and last input points; interior
+    /// samples are placed every `spacing` metres of arc length. A polyline
+    /// with fewer than two points is returned unchanged. Zero-length
+    /// polylines (all points identical) collapse to first+last.
+    pub fn resample(&self, spacing: f64) -> Polyline {
+        assert!(spacing > 0.0, "resample spacing must be positive");
+        if self.points.len() < 2 {
+            return self.clone();
+        }
+        let mut out = Vec::with_capacity((self.length() / spacing) as usize + 2);
+        out.push(self.points[0]);
+        let mut carried = 0.0; // arc length consumed since the last sample
+        for w in self.points.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let seg = a.distance(&b);
+            if seg == 0.0 {
+                continue;
+            }
+            let mut along = spacing - carried;
+            while along <= seg {
+                out.push(a.lerp(&b, along / seg));
+                along += spacing;
+            }
+            carried = seg - (along - spacing);
+        }
+        let last = *self.points.last().expect("len >= 2");
+        // Avoid duplicating the endpoint when a sample landed exactly on it.
+        if out.last() != Some(&last) {
+            out.push(last);
+        }
+        Polyline::new(out)
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, p: Point) {
+        self.points.push(p);
+    }
+
+    /// Consumes the polyline, returning its points.
+    pub fn into_points(self) -> Vec<Point> {
+        self.points
+    }
+}
+
+impl From<Vec<Point>> for Polyline {
+    fn from(points: Vec<Point>) -> Self {
+        Polyline::new(points)
+    }
+}
+
+impl FromIterator<Point> for Polyline {
+    fn from_iter<T: IntoIterator<Item = Point>>(iter: T) -> Self {
+        Polyline::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn line(pts: &[(f64, f64)]) -> Polyline {
+        pts.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn length_of_straight_line() {
+        let p = line(&[(0.0, 0.0), (3.0, 4.0), (3.0, 14.0)]);
+        assert_eq!(p.length(), 15.0);
+    }
+
+    #[test]
+    fn length_of_trivial_polylines() {
+        assert_eq!(Polyline::default().length(), 0.0);
+        assert_eq!(line(&[(5.0, 5.0)]).length(), 0.0);
+    }
+
+    #[test]
+    fn resample_straight_segment() {
+        let p = line(&[(0.0, 0.0), (10.0, 0.0)]);
+        let r = p.resample(2.5);
+        let xs: Vec<f64> = r.points().iter().map(|p| p.x).collect();
+        assert_eq!(xs, vec![0.0, 2.5, 5.0, 7.5, 10.0]);
+    }
+
+    #[test]
+    fn resample_keeps_endpoints() {
+        let p = line(&[(0.0, 0.0), (7.0, 0.0), (7.0, 6.0)]);
+        let r = p.resample(4.0);
+        assert_eq!(r.points().first(), Some(&Point::new(0.0, 0.0)));
+        assert_eq!(r.points().last(), Some(&Point::new(7.0, 6.0)));
+    }
+
+    #[test]
+    fn resample_spacing_larger_than_length() {
+        let p = line(&[(0.0, 0.0), (1.0, 0.0)]);
+        let r = p.resample(100.0);
+        assert_eq!(r.points(), p.points());
+    }
+
+    #[test]
+    fn resample_handles_duplicate_points() {
+        let p = line(&[(0.0, 0.0), (0.0, 0.0), (10.0, 0.0)]);
+        let r = p.resample(5.0);
+        let xs: Vec<f64> = r.points().iter().map(|p| p.x).collect();
+        assert_eq!(xs, vec![0.0, 5.0, 10.0]);
+    }
+
+    #[test]
+    fn resample_single_point_unchanged() {
+        let p = line(&[(3.0, 3.0)]);
+        assert_eq!(p.resample(1.0), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "spacing must be positive")]
+    fn resample_zero_spacing_panics() {
+        let _ = line(&[(0.0, 0.0), (1.0, 0.0)]).resample(0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_resample_preserves_length_roughly(
+            pts in proptest::collection::vec((0.0..1000.0f64, 0.0..1000.0f64), 2..10),
+            spacing in 1.0..200.0f64,
+        ) {
+            let p: Polyline = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let r = p.resample(spacing);
+            // Resampling along segments never lengthens the path, and
+            // shortening is bounded because samples stay on the polyline and
+            // cut corners only between consecutive samples.
+            prop_assert!(r.length() <= p.length() + 1e-6);
+        }
+
+        #[test]
+        fn prop_resample_gaps_bounded(
+            pts in proptest::collection::vec((0.0..1000.0f64, 0.0..1000.0f64), 2..10),
+            spacing in 1.0..200.0f64,
+        ) {
+            let p: Polyline = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let r = p.resample(spacing);
+            for w in r.points().windows(2) {
+                // Chord between consecutive samples can't exceed the arc
+                // spacing (corner cutting only shortens it).
+                prop_assert!(w[0].distance(&w[1]) <= spacing + 1e-6);
+            }
+        }
+    }
+}

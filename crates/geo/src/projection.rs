@@ -1,0 +1,159 @@
+//! Latitude/longitude handling via an equirectangular projection.
+//!
+//! Real-world billboard and trajectory feeds (LAMAR, TLC, EZ-link) use
+//! degrees. The influence model needs metre distances over city-scale
+//! extents (< 50 km), where an equirectangular projection anchored at the
+//! dataset centroid is accurate to well under the 50–200 m λ thresholds the
+//! paper sweeps.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in metres (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A WGS-84 style latitude/longitude pair in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatLon {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl LatLon {
+    /// Creates a latitude/longitude pair; panics on out-of-range values.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        assert!((-90.0..=90.0).contains(&lat), "latitude out of range: {lat}");
+        assert!(
+            (-180.0..=180.0).contains(&lon),
+            "longitude out of range: {lon}"
+        );
+        Self { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in metres (haversine formula). Used
+    /// to validate the planar projection in tests.
+    pub fn haversine_distance(&self, other: &LatLon) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().asin()
+    }
+}
+
+/// An equirectangular projection anchored at a reference coordinate.
+///
+/// `x = R · Δlon · cos(lat₀)`, `y = R · Δlat`, both in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Projection {
+    origin: LatLon,
+    cos_lat0: f64,
+}
+
+impl Projection {
+    /// Creates a projection anchored at `origin` (typically the dataset
+    /// centroid).
+    pub fn new(origin: LatLon) -> Self {
+        Self {
+            origin,
+            cos_lat0: origin.lat.to_radians().cos(),
+        }
+    }
+
+    /// The anchor coordinate.
+    pub fn origin(&self) -> LatLon {
+        self.origin
+    }
+
+    /// Projects degrees to planar metres.
+    pub fn project(&self, ll: &LatLon) -> Point {
+        let dlat = (ll.lat - self.origin.lat).to_radians();
+        let dlon = (ll.lon - self.origin.lon).to_radians();
+        Point::new(EARTH_RADIUS_M * dlon * self.cos_lat0, EARTH_RADIUS_M * dlat)
+    }
+
+    /// Inverse projection: planar metres back to degrees.
+    pub fn unproject(&self, p: &Point) -> LatLon {
+        let lat = self.origin.lat + (p.y / EARTH_RADIUS_M).to_degrees();
+        let lon = self.origin.lon + (p.x / (EARTH_RADIUS_M * self.cos_lat0)).to_degrees();
+        LatLon::new(lat, lon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn projection_origin_maps_to_zero() {
+        let o = LatLon::new(40.7128, -74.0060); // NYC
+        let proj = Projection::new(o);
+        let p = proj.project(&o);
+        assert!(p.x.abs() < 1e-9 && p.y.abs() < 1e-9);
+    }
+
+    #[test]
+    fn projected_distance_matches_haversine_at_city_scale() {
+        let o = LatLon::new(40.75, -73.98);
+        let proj = Projection::new(o);
+        let a = LatLon::new(40.76, -73.99);
+        let b = LatLon::new(40.74, -73.95);
+        let planar = proj.project(&a).distance(&proj.project(&b));
+        let sphere = a.haversine_distance(&b);
+        // City-scale error should be far below the smallest λ (50 m).
+        assert!(
+            (planar - sphere).abs() < 5.0,
+            "planar {planar} vs sphere {sphere}"
+        );
+    }
+
+    #[test]
+    fn roundtrip_project_unproject() {
+        let proj = Projection::new(LatLon::new(1.3521, 103.8198)); // SG
+        let ll = LatLon::new(1.3000, 103.8500);
+        let rt = proj.unproject(&proj.project(&ll));
+        assert!((rt.lat - ll.lat).abs() < 1e-9);
+        assert!((rt.lon - ll.lon).abs() < 1e-9);
+    }
+
+    #[test]
+    fn haversine_known_value() {
+        // NYC to SG is about 15,340 km.
+        let nyc = LatLon::new(40.7128, -74.0060);
+        let sg = LatLon::new(1.3521, 103.8198);
+        let d = nyc.haversine_distance(&sg);
+        assert!((d - 15_340_000.0).abs() < 50_000.0, "got {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude out of range")]
+    fn bad_latitude_panics() {
+        let _ = LatLon::new(91.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "longitude out of range")]
+    fn bad_longitude_panics() {
+        let _ = LatLon::new(0.0, 181.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_roundtrip(lat0 in -60.0..60.0f64, lon0 in -179.0..179.0f64,
+                          dlat in -0.2..0.2f64, dlon in -0.2..0.2f64) {
+            let proj = Projection::new(LatLon::new(lat0, lon0));
+            let ll = LatLon::new(
+                (lat0 + dlat).clamp(-90.0, 90.0),
+                (lon0 + dlon).clamp(-180.0, 180.0),
+            );
+            let rt = proj.unproject(&proj.project(&ll));
+            prop_assert!((rt.lat - ll.lat).abs() < 1e-7);
+            prop_assert!((rt.lon - ll.lon).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! Incremental coverage counting.
+//!
+//! Every MROAM algorithm repeatedly asks: *what is `I(S_i)` after inserting,
+//! removing, or swapping one billboard?* With per-billboard sorted coverage
+//! lists, the answer only needs a per-trajectory multiset counter: a
+//! trajectory is covered iff its count is non-zero, so
+//!
+//! * adding billboard `o` gains one unit of influence per id in `cov(o)`
+//!   whose count was zero,
+//! * removing `o` loses one per id whose count was one,
+//!
+//! both in O(|cov(o)|). Two backings are provided: a dense `Vec<u32>` (fast,
+//! memory ∝ |T|) and a sparse Fx hash map (memory ∝ covered trajectories).
+//! [`CoverageCounter::auto`] picks dense while the total dense footprint
+//! across all advertisers stays reasonable.
+
+use crate::hash::FxHashMap;
+
+/// Dense-counter budget used by [`CoverageCounter::auto`]: the combined
+/// dense footprint across `n_instances` counters must stay below 256 MiB.
+const DENSE_BUDGET_BYTES: usize = 256 << 20;
+
+/// An incremental multiset counter over trajectory ids.
+#[derive(Debug, Clone)]
+pub enum CoverageCounter {
+    /// One `u32` count per trajectory id; `covered` tracks the non-zeros.
+    Dense { counts: Vec<u32>, covered: u64 },
+    /// Count map keyed by trajectory id; `len()` is the covered total.
+    Sparse { counts: FxHashMap<u32, u32> },
+}
+
+impl CoverageCounter {
+    /// Creates a dense counter over ids `0..n_trajectories`.
+    pub fn dense(n_trajectories: usize) -> Self {
+        CoverageCounter::Dense {
+            counts: vec![0; n_trajectories],
+            covered: 0,
+        }
+    }
+
+    /// Creates a sparse counter (ids unbounded).
+    pub fn sparse() -> Self {
+        CoverageCounter::Sparse {
+            counts: FxHashMap::default(),
+        }
+    }
+
+    /// Picks dense when `n_instances` dense counters of `n_trajectories`
+    /// ids fit a 256 MiB shared dense budget, sparse otherwise.
+    pub fn auto(n_trajectories: usize, n_instances: usize) -> Self {
+        let bytes = n_trajectories
+            .saturating_mul(n_instances.max(1))
+            .saturating_mul(std::mem::size_of::<u32>());
+        if bytes <= DENSE_BUDGET_BYTES {
+            Self::dense(n_trajectories)
+        } else {
+            Self::sparse()
+        }
+    }
+
+    /// Number of distinct trajectories currently covered, i.e. `I(S)` of the
+    /// billboard multiset added so far.
+    #[inline]
+    pub fn covered(&self) -> u64 {
+        match self {
+            CoverageCounter::Dense { covered, .. } => *covered,
+            CoverageCounter::Sparse { counts } => counts.len() as u64,
+        }
+    }
+
+    /// Adds one billboard's coverage list; returns the influence gained
+    /// (trajectories newly covered).
+    pub fn add(&mut self, coverage: &[u32]) -> u64 {
+        match self {
+            CoverageCounter::Dense { counts, covered } => {
+                let mut gained = 0;
+                for &t in coverage {
+                    let c = &mut counts[t as usize];
+                    if *c == 0 {
+                        gained += 1;
+                    }
+                    *c += 1;
+                }
+                *covered += gained;
+                gained
+            }
+            CoverageCounter::Sparse { counts } => {
+                let mut gained = 0;
+                for &t in coverage {
+                    let c = counts.entry(t).or_insert(0);
+                    if *c == 0 {
+                        gained += 1;
+                    }
+                    *c += 1;
+                }
+                gained
+            }
+        }
+    }
+
+    /// Removes one billboard's coverage list; returns the influence lost
+    /// (trajectories no longer covered). Panics (debug) / underflows checked
+    /// if the list was never added.
+    pub fn remove(&mut self, coverage: &[u32]) -> u64 {
+        match self {
+            CoverageCounter::Dense { counts, covered } => {
+                let mut lost = 0;
+                for &t in coverage {
+                    let c = &mut counts[t as usize];
+                    assert!(*c > 0, "removing uncovered trajectory t{t}");
+                    *c -= 1;
+                    if *c == 0 {
+                        lost += 1;
+                    }
+                }
+                *covered -= lost;
+                lost
+            }
+            CoverageCounter::Sparse { counts } => {
+                let mut lost = 0;
+                for &t in coverage {
+                    let c = counts
+                        .get_mut(&t)
+                        .unwrap_or_else(|| panic!("removing uncovered trajectory t{t}"));
+                    *c -= 1;
+                    if *c == 0 {
+                        counts.remove(&t);
+                        lost += 1;
+                    }
+                }
+                lost
+            }
+        }
+    }
+
+    /// Influence that *would* be gained by adding `coverage`, without
+    /// mutating the counter.
+    #[inline]
+    pub fn marginal_gain(&self, coverage: &[u32]) -> u64 {
+        match self {
+            CoverageCounter::Dense { counts, .. } => coverage
+                .iter()
+                .filter(|&&t| counts[t as usize] == 0)
+                .count() as u64,
+            CoverageCounter::Sparse { counts } => coverage
+                .iter()
+                .filter(|&&t| !counts.contains_key(&t))
+                .count() as u64,
+        }
+    }
+
+    /// Influence that *would* be lost by removing `coverage` (which must be
+    /// currently added), without mutating the counter.
+    #[inline]
+    pub fn marginal_loss(&self, coverage: &[u32]) -> u64 {
+        match self {
+            CoverageCounter::Dense { counts, .. } => coverage
+                .iter()
+                .filter(|&&t| counts[t as usize] == 1)
+                .count() as u64,
+            CoverageCounter::Sparse { counts } => coverage
+                .iter()
+                .filter(|&&t| counts.get(&t) == Some(&1))
+                .count() as u64,
+        }
+    }
+
+    /// Net influence change of swapping `removed` out and `added` in,
+    /// without mutating the counter. Correctly accounts for overlap between
+    /// the two lists (a trajectory covered by both keeps its coverage).
+    ///
+    /// Cost O(|removed| + |added|); both lists must be sorted ascending (the
+    /// coverage-model invariant).
+    pub fn swap_delta(&self, removed: &[u32], added: &[u32]) -> i64 {
+        // Trajectories covered only by `removed` (count==1) are lost unless
+        // `added` also covers them; trajectories uncovered (count==0) are
+        // gained if `added` covers them. Merge-walk the two sorted lists.
+        let mut delta = 0i64;
+        let (mut i, mut j) = (0usize, 0usize);
+        let count_of = |t: u32| -> u32 {
+            match self {
+                CoverageCounter::Dense { counts, .. } => counts[t as usize],
+                CoverageCounter::Sparse { counts } => counts.get(&t).copied().unwrap_or(0),
+            }
+        };
+        while i < removed.len() || j < added.len() {
+            match (removed.get(i), added.get(j)) {
+                (Some(&r), Some(&a)) if r == a => {
+                    // Covered by both sides of the swap: count unchanged.
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&r), Some(&a)) if r < a => {
+                    if count_of(r) == 1 {
+                        delta -= 1;
+                    }
+                    i += 1;
+                }
+                (Some(_), Some(_)) | (None, Some(_)) => {
+                    let a = added[j];
+                    if count_of(a) == 0 {
+                        delta += 1;
+                    }
+                    j += 1;
+                }
+                (Some(&r), None) => {
+                    if count_of(r) == 1 {
+                        delta -= 1;
+                    }
+                    i += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        delta
+    }
+
+    /// Resets to the empty multiset, keeping allocations where possible.
+    pub fn clear(&mut self) {
+        match self {
+            CoverageCounter::Dense { counts, covered } => {
+                counts.fill(0);
+                *covered = 0;
+            }
+            CoverageCounter::Sparse { counts } => counts.clear(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn both() -> Vec<CoverageCounter> {
+        vec![CoverageCounter::dense(100), CoverageCounter::sparse()]
+    }
+
+    #[test]
+    fn add_remove_roundtrip() {
+        for mut c in both() {
+            assert_eq!(c.add(&[1, 2, 3]), 3);
+            assert_eq!(c.covered(), 3);
+            assert_eq!(c.add(&[2, 3, 4]), 1);
+            assert_eq!(c.covered(), 4);
+            assert_eq!(c.remove(&[1, 2, 3]), 1); // only t1 becomes uncovered
+            assert_eq!(c.covered(), 3);
+            assert_eq!(c.remove(&[2, 3, 4]), 3);
+            assert_eq!(c.covered(), 0);
+        }
+    }
+
+    #[test]
+    fn marginal_gain_matches_add() {
+        for mut c in both() {
+            c.add(&[5, 6]);
+            assert_eq!(c.marginal_gain(&[5, 6, 7]), 1);
+            assert_eq!(c.add(&[5, 6, 7]), 1);
+        }
+    }
+
+    #[test]
+    fn marginal_loss_matches_remove() {
+        for mut c in both() {
+            c.add(&[5, 6]);
+            c.add(&[6, 7]);
+            assert_eq!(c.marginal_loss(&[5, 6]), 1); // t5 unique, t6 shared
+            assert_eq!(c.remove(&[5, 6]), 1);
+        }
+    }
+
+    #[test]
+    fn swap_delta_with_overlap() {
+        for mut c in both() {
+            c.add(&[1, 2, 3]);
+            // Swap out {1,2,3}, in {3,4}: lose t1,t2, keep t3, gain t4 → -1.
+            assert_eq!(c.swap_delta(&[1, 2, 3], &[3, 4]), -1);
+            // Verify against actually doing it.
+            let before = c.covered() as i64;
+            c.remove(&[1, 2, 3]);
+            c.add(&[3, 4]);
+            assert_eq!(c.covered() as i64 - before, -1);
+        }
+    }
+
+    #[test]
+    fn swap_delta_identity_is_zero() {
+        for mut c in both() {
+            c.add(&[10, 20, 30]);
+            assert_eq!(c.swap_delta(&[10, 20, 30], &[10, 20, 30]), 0);
+        }
+    }
+
+    #[test]
+    fn empty_lists_are_noops() {
+        for mut c in both() {
+            assert_eq!(c.add(&[]), 0);
+            assert_eq!(c.remove(&[]), 0);
+            assert_eq!(c.marginal_gain(&[]), 0);
+            assert_eq!(c.swap_delta(&[], &[]), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "uncovered")]
+    fn dense_remove_of_absent_panics() {
+        CoverageCounter::dense(10).remove(&[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "uncovered")]
+    fn sparse_remove_of_absent_panics() {
+        CoverageCounter::sparse().remove(&[3]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        for mut c in both() {
+            c.add(&[1, 2]);
+            c.clear();
+            assert_eq!(c.covered(), 0);
+            assert_eq!(c.marginal_gain(&[1, 2]), 2);
+        }
+    }
+
+    #[test]
+    fn auto_picks_dense_for_small_and_sparse_for_huge() {
+        assert!(matches!(
+            CoverageCounter::auto(10_000, 10),
+            CoverageCounter::Dense { .. }
+        ));
+        assert!(matches!(
+            CoverageCounter::auto(100_000_000, 100),
+            CoverageCounter::Sparse { .. }
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_dense_and_sparse_agree(
+            lists in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..60, 0..20), 1..12)
+        ) {
+            let lists: Vec<Vec<u32>> = lists
+                .into_iter()
+                .map(|s| s.into_iter().collect())
+                .collect();
+            let mut dense = CoverageCounter::dense(60);
+            let mut sparse = CoverageCounter::sparse();
+            let mut added: Vec<usize> = Vec::new();
+            for (i, list) in lists.iter().enumerate() {
+                if i % 3 == 2 && !added.is_empty() {
+                    let victim = added.swap_remove(i % added.len());
+                    prop_assert_eq!(
+                        dense.remove(&lists[victim]),
+                        sparse.remove(&lists[victim])
+                    );
+                } else {
+                    prop_assert_eq!(dense.marginal_gain(list), sparse.marginal_gain(list));
+                    prop_assert_eq!(dense.add(list), sparse.add(list));
+                    added.push(i);
+                }
+                prop_assert_eq!(dense.covered(), sparse.covered());
+            }
+        }
+
+        #[test]
+        fn prop_swap_delta_matches_remove_then_add(
+            base in proptest::collection::btree_set(0u32..50, 0..25),
+            other in proptest::collection::btree_set(0u32..50, 0..25),
+        ) {
+            let base: Vec<u32> = base.into_iter().collect();
+            let other: Vec<u32> = other.into_iter().collect();
+            for mut c in [CoverageCounter::dense(50), CoverageCounter::sparse()] {
+                c.add(&base);
+                let predicted = c.swap_delta(&base, &other);
+                let before = c.covered() as i64;
+                c.remove(&base);
+                c.add(&other);
+                prop_assert_eq!(predicted, c.covered() as i64 - before);
+            }
+        }
+    }
+}

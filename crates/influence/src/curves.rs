@@ -1,0 +1,250 @@
+//! The Figure 1 dataset-characterisation curves.
+//!
+//! * Figure 1a plots, per billboard rank (descending influence), the
+//!   billboard's influence as a proportion of the maximum influence.
+//! * Figure 1b sorts billboards by descending influence and plots the
+//!   *impression count* — the fraction of all trajectories covered by the
+//!   top-x% of billboards — against x.
+//!
+//! These curves are what distinguish NYC (skewed influence, heavy overlap,
+//! slowly rising coverage) from SG (uniform influence, little overlap,
+//! quickly rising coverage); the synthetic generators are validated against
+//! them.
+
+use crate::counter::CoverageCounter;
+use crate::model::CoverageModel;
+use mroam_data::BillboardId;
+
+/// Billboard influences sorted descending, normalised by the maximum
+/// (Figure 1a's y-axis). Empty if the model has no billboards or the
+/// maximum influence is zero.
+pub fn influence_distribution(model: &CoverageModel) -> Vec<f64> {
+    let mut infl: Vec<u64> = model
+        .billboard_ids()
+        .map(|b| model.influence_of(b))
+        .collect();
+    infl.sort_unstable_by(|a, b| b.cmp(a));
+    let max = match infl.first() {
+        Some(&m) if m > 0 => m as f64,
+        _ => return Vec::new(),
+    };
+    infl.into_iter().map(|v| v as f64 / max).collect()
+}
+
+/// The Figure 1b impression-count curve.
+///
+/// Billboards are sorted by descending individual influence; the returned
+/// series has one entry per requested percentage `p ∈ percentages` (in
+/// 0..=100): the fraction of all trajectories covered by the top-`p`% of
+/// billboards.
+pub fn impression_curve(model: &CoverageModel, percentages: &[u32]) -> Vec<(u32, f64)> {
+    assert!(
+        percentages.windows(2).all(|w| w[0] <= w[1]),
+        "percentages must be ascending"
+    );
+    let n_b = model.n_billboards();
+    let n_t = model.n_trajectories();
+    if n_t == 0 {
+        return percentages.iter().map(|&p| (p, 0.0)).collect();
+    }
+    let mut order: Vec<BillboardId> = model.billboard_ids().collect();
+    order.sort_by_key(|&b| std::cmp::Reverse(model.influence_of(b)));
+
+    let mut counter = CoverageCounter::auto(n_t, 1);
+    let mut out = Vec::with_capacity(percentages.len());
+    let mut taken = 0usize;
+    for &p in percentages {
+        assert!(p <= 100, "percentage {p} out of range");
+        let want = (n_b * p as usize) / 100;
+        while taken < want {
+            counter.add(model.coverage(order[taken]));
+            taken += 1;
+        }
+        out.push((p, counter.covered() as f64 / n_t as f64));
+    }
+    out
+}
+
+/// Coverage overlap among the top-`fraction` billboards by influence:
+/// `1 − I(top)/Σ_{o∈top} I({o})`. High in NYC (hotspot boards share the same
+/// taxi trips), low in SG (top stops sit on different routes) — this is the
+/// comparative property behind Figure 1b's slope difference.
+pub fn top_overlap(model: &CoverageModel, fraction: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    let n = model.n_billboards();
+    let take = ((n as f64 * fraction).ceil() as usize).min(n);
+    if take == 0 {
+        return 0.0;
+    }
+    let mut order: Vec<BillboardId> = model.billboard_ids().collect();
+    order.sort_by_key(|&b| std::cmp::Reverse(model.influence_of(b)));
+    order.truncate(take);
+    let individual: u64 = order.iter().map(|&b| model.influence_of(b)).sum();
+    if individual == 0 {
+        return 0.0;
+    }
+    let union = model.set_influence(order.iter().copied());
+    1.0 - union as f64 / individual as f64
+}
+
+/// Summary skew statistics used to compare NYC-like vs SG-like generators:
+/// the Gini coefficient of billboard influences (0 = perfectly uniform,
+/// → 1 = concentrated) and the overlap ratio `1 − I(U)/I*` (0 = disjoint
+/// coverage, → 1 = heavily overlapping).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewStats {
+    /// Gini coefficient of the individual influence distribution.
+    pub influence_gini: f64,
+    /// Fraction of the supply lost to overlap when all billboards are
+    /// deployed together.
+    pub overlap_ratio: f64,
+}
+
+/// Computes [`SkewStats`] for a model.
+pub fn skew_stats(model: &CoverageModel) -> SkewStats {
+    let mut infl: Vec<u64> = model
+        .billboard_ids()
+        .map(|b| model.influence_of(b))
+        .collect();
+    infl.sort_unstable();
+    let n = infl.len();
+    let total: u64 = infl.iter().sum();
+    let gini = if n == 0 || total == 0 {
+        0.0
+    } else {
+        // Gini = (2·Σ_i i·x_i)/(n·Σx) − (n+1)/n with 1-based ranks over the
+        // ascending-sorted sample.
+        let weighted: f64 = infl
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+            .sum();
+        (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+    };
+    let union = model.set_influence(model.billboard_ids());
+    let overlap = if total == 0 {
+        0.0
+    } else {
+        1.0 - union as f64 / total as f64
+    };
+    SkewStats {
+        influence_gini: gini,
+        overlap_ratio: overlap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(lists: Vec<Vec<u32>>, n: usize) -> CoverageModel {
+        CoverageModel::from_lists(lists, n)
+    }
+
+    #[test]
+    fn influence_distribution_sorted_and_normalised() {
+        let m = model(vec![vec![0], vec![0, 1, 2, 3], vec![0, 1]], 4);
+        let d = influence_distribution(&m);
+        assert_eq!(d, vec![1.0, 0.5, 0.25]);
+    }
+
+    #[test]
+    fn influence_distribution_empty_cases() {
+        assert!(influence_distribution(&model(vec![], 0)).is_empty());
+        assert!(influence_distribution(&model(vec![vec![], vec![]], 3)).is_empty());
+    }
+
+    #[test]
+    fn impression_curve_monotone_and_bounded() {
+        let m = model(
+            vec![vec![0, 1, 2, 3], vec![2, 3, 4], vec![5], vec![0]],
+            6,
+        );
+        let curve = impression_curve(&m, &[0, 25, 50, 75, 100]);
+        assert_eq!(curve.len(), 5);
+        assert_eq!(curve[0], (0, 0.0));
+        for w in curve.windows(2) {
+            assert!(w[0].1 <= w[1].1, "curve must be non-decreasing: {curve:?}");
+        }
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn impression_curve_counts_distinct_coverage() {
+        // Two identical billboards: top 50% already covers everything the
+        // full set covers.
+        let m = model(vec![vec![0, 1], vec![0, 1]], 2);
+        let curve = impression_curve(&m, &[50, 100]);
+        assert_eq!(curve[0].1, 1.0);
+        assert_eq!(curve[1].1, 1.0);
+    }
+
+    #[test]
+    fn impression_curve_empty_trajectories() {
+        let m = model(vec![vec![], vec![]], 0);
+        let curve = impression_curve(&m, &[50, 100]);
+        assert_eq!(curve, vec![(50, 0.0), (100, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn impression_curve_rejects_unsorted_percentages() {
+        let m = model(vec![vec![0]], 1);
+        let _ = impression_curve(&m, &[50, 25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn impression_curve_rejects_over_100() {
+        let m = model(vec![vec![0]], 1);
+        let _ = impression_curve(&m, &[101]);
+    }
+
+    #[test]
+    fn gini_of_uniform_is_zero_and_concentrated_is_high() {
+        let uniform = model(vec![vec![0, 1], vec![2, 3], vec![4, 5]], 6);
+        assert!(skew_stats(&uniform).influence_gini.abs() < 1e-9);
+
+        let skewed = model(vec![vec![], vec![], (0..100).collect()], 100);
+        assert!(skew_stats(&skewed).influence_gini > 0.6);
+    }
+
+    #[test]
+    fn overlap_ratio_detects_overlap() {
+        let disjoint = model(vec![vec![0, 1], vec![2, 3]], 4);
+        assert_eq!(skew_stats(&disjoint).overlap_ratio, 0.0);
+
+        let overlapping = model(vec![vec![0, 1], vec![0, 1]], 2);
+        assert!((skew_stats(&overlapping).overlap_ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_overlap_of_identical_boards_is_high() {
+        let m = model(vec![vec![0, 1], vec![0, 1], vec![9]], 10);
+        // Top 2 boards (⌈0.5·3⌉) are the identical pair: union 2 of
+        // individual 4.
+        assert!((top_overlap(&m, 0.5) - 0.5).abs() < 1e-12);
+        // All disjoint singleton case.
+        let d = model(vec![vec![0], vec![1], vec![2]], 3);
+        assert_eq!(top_overlap(&d, 1.0), 0.0);
+    }
+
+    #[test]
+    fn top_overlap_edge_cases() {
+        assert_eq!(top_overlap(&model(vec![], 0), 0.5), 0.0);
+        assert_eq!(top_overlap(&model(vec![vec![], vec![]], 2), 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn top_overlap_rejects_bad_fraction() {
+        let _ = top_overlap(&model(vec![vec![0]], 1), 1.5);
+    }
+
+    #[test]
+    fn skew_stats_of_empty_model() {
+        let s = skew_stats(&model(vec![], 0));
+        assert_eq!(s.influence_gini, 0.0);
+        assert_eq!(s.overlap_ratio, 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! An FxHash-style hasher for hot integer-keyed maps.
+//!
+//! The sparse [`crate::CoverageCounter`] keys a hash map by trajectory id in
+//! the innermost loop of every algorithm. SipHash (the std default) is
+//! needlessly slow for trusted integer keys; this is the rustc/Firefox "Fx"
+//! multiply-xor hash, implemented locally because the approved dependency
+//! list has no fast-hash crate.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx multiply-xor hasher (non-cryptographic, DoS-unsafe by design; all
+/// keys here are internally generated dense ids).
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basics() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&500), Some(&1000));
+        assert_eq!(m.remove(&500), Some(1000));
+        assert_eq!(m.get(&500), None);
+    }
+
+    #[test]
+    fn set_basics() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(42));
+        assert!(!s.insert(42));
+        assert!(s.contains(&42));
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let h = |v: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(v);
+            hasher.finish()
+        };
+        assert_eq!(h(12345), h(12345));
+        assert_ne!(h(12345), h(12346));
+    }
+
+    #[test]
+    fn byte_writes_consume_everything() {
+        // Distinct suffixes beyond an 8-byte boundary must change the hash.
+        let h = |bytes: &[u8]| {
+            let mut hasher = FxHasher::default();
+            hasher.write(bytes);
+            hasher.finish()
+        };
+        assert_ne!(h(b"abcdefgh1"), h(b"abcdefgh2"));
+        assert_ne!(h(b"a"), h(b"ab"));
+    }
+
+    #[test]
+    fn integer_keys_spread() {
+        // Sanity: sequential keys should not all collide into few buckets.
+        let hashes: std::collections::HashSet<u64> = (0..1024u64)
+            .map(|v| {
+                let mut hasher = FxHasher::default();
+                hasher.write_u64(v);
+                hasher.finish()
+            })
+            .collect();
+        assert_eq!(hashes.len(), 1024);
+    }
+}

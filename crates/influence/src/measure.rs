@@ -1,0 +1,453 @@
+//! Pluggable influence measures.
+//!
+//! Section 3.1 of the paper: *"I(S) can be measured in various ways […]
+//! our approaches are orthogonal to the choices of measurements."* The
+//! evaluation uses distinct-trajectory coverage (following SIGKDD'18), but
+//! the related work it cites measures influence differently; this module
+//! implements the three measurements from that line of work, all reducible
+//! to a function `f(c)` of the per-trajectory *meet count* `c`:
+//!
+//! | measure | `f(c)` | source |
+//! |---|---|---|
+//! | [`InfluenceMeasure::Distinct`] | `1[c > 0]` | Zhang et al., SIGKDD'18 (paper default) |
+//! | [`InfluenceMeasure::Volume`]   | `c`        | traffic volume, SIGKDD'18 / TKDD'20 |
+//! | [`InfluenceMeasure::Impressions`] | `1[c ≥ k]` | impression counting, SIGKDD'19 |
+//!
+//! Because all three are functions of the meet count, the
+//! [`MeasuredCounter`] supports the same O(|cov(o)|) incremental add /
+//! remove / marginal-gain / swap-delta operations the algorithms need,
+//! making every MROAM algorithm measure-agnostic.
+
+use crate::hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// How per-trajectory meet counts map to influence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum InfluenceMeasure {
+    /// One unit per distinct trajectory covered — the paper's setting.
+    #[default]
+    Distinct,
+    /// One unit per (billboard, trajectory) meet: influence is additive, so
+    /// overlap is never wasted (and never deduplicated).
+    Volume,
+    /// One unit per trajectory that meets the ad at least `k` times — the
+    /// impression-count trigger of the SIGKDD'19 line of work.
+    Impressions {
+        /// The impression threshold (`k ≥ 1`).
+        k: u32,
+    },
+}
+
+
+impl InfluenceMeasure {
+    /// The per-trajectory influence `f(c)` at meet count `c`.
+    #[inline]
+    pub fn unit(&self, count: u32) -> u64 {
+        match *self {
+            InfluenceMeasure::Distinct => u64::from(count > 0),
+            InfluenceMeasure::Volume => count as u64,
+            InfluenceMeasure::Impressions { k } => u64::from(count >= k),
+        }
+    }
+
+    /// `f(c+1) − f(c)`: influence gained when one more billboard covering
+    /// the trajectory is added. Non-negative for all supported measures.
+    #[inline]
+    fn gain_at(&self, count_before: u32) -> u64 {
+        match *self {
+            InfluenceMeasure::Distinct => u64::from(count_before == 0),
+            InfluenceMeasure::Volume => 1,
+            InfluenceMeasure::Impressions { k } => u64::from(count_before + 1 == k),
+        }
+    }
+
+    /// `f(c) − f(c−1)`: influence lost when one covering billboard is
+    /// removed (callers guarantee `count_before ≥ 1`).
+    #[inline]
+    fn loss_at(&self, count_before: u32) -> u64 {
+        debug_assert!(count_before >= 1);
+        match *self {
+            InfluenceMeasure::Distinct => u64::from(count_before == 1),
+            InfluenceMeasure::Volume => 1,
+            InfluenceMeasure::Impressions { k } => u64::from(count_before == k),
+        }
+    }
+}
+
+/// Dense-counter budget mirrored from [`crate::counter`].
+const DENSE_BUDGET_BYTES: usize = 256 << 20;
+
+#[derive(Debug, Clone)]
+enum Backing {
+    Dense(Vec<u32>),
+    Sparse(FxHashMap<u32, u32>),
+}
+
+impl Backing {
+    #[inline]
+    fn get(&self, t: u32) -> u32 {
+        match self {
+            Backing::Dense(v) => v[t as usize],
+            Backing::Sparse(m) => m.get(&t).copied().unwrap_or(0),
+        }
+    }
+
+    /// Increments; returns the count *before* the increment.
+    #[inline]
+    fn inc(&mut self, t: u32) -> u32 {
+        match self {
+            Backing::Dense(v) => {
+                let c = v[t as usize];
+                v[t as usize] = c + 1;
+                c
+            }
+            Backing::Sparse(m) => {
+                let c = m.entry(t).or_insert(0);
+                let before = *c;
+                *c += 1;
+                before
+            }
+        }
+    }
+
+    /// Decrements; returns the count *before* the decrement. Panics if zero.
+    #[inline]
+    fn dec(&mut self, t: u32) -> u32 {
+        match self {
+            Backing::Dense(v) => {
+                let c = v[t as usize];
+                assert!(c > 0, "decrementing uncovered trajectory t{t}");
+                v[t as usize] = c - 1;
+                c
+            }
+            Backing::Sparse(m) => {
+                let c = m
+                    .get_mut(&t)
+                    .unwrap_or_else(|| panic!("decrementing uncovered trajectory t{t}"));
+                let before = *c;
+                *c -= 1;
+                if *c == 0 {
+                    m.remove(&t);
+                }
+                before
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Backing::Dense(v) => v.fill(0),
+            Backing::Sparse(m) => m.clear(),
+        }
+    }
+}
+
+/// An incremental influence counter generalising
+/// [`CoverageCounter`](crate::CoverageCounter) to any
+/// [`InfluenceMeasure`].
+#[derive(Debug, Clone)]
+pub struct MeasuredCounter {
+    counts: Backing,
+    measure: InfluenceMeasure,
+    influence: u64,
+}
+
+impl MeasuredCounter {
+    /// Dense backing over ids `0..n_trajectories`.
+    pub fn dense(n_trajectories: usize, measure: InfluenceMeasure) -> Self {
+        Self {
+            counts: Backing::Dense(vec![0; n_trajectories]),
+            measure,
+            influence: 0,
+        }
+    }
+
+    /// Sparse (hash-map) backing.
+    pub fn sparse(measure: InfluenceMeasure) -> Self {
+        Self {
+            counts: Backing::Sparse(FxHashMap::default()),
+            measure,
+            influence: 0,
+        }
+    }
+
+    /// Dense while `n_instances` counters fit the shared budget, else
+    /// sparse (same policy as [`crate::CoverageCounter::auto`]).
+    pub fn auto(n_trajectories: usize, n_instances: usize, measure: InfluenceMeasure) -> Self {
+        let bytes = n_trajectories
+            .saturating_mul(n_instances.max(1))
+            .saturating_mul(std::mem::size_of::<u32>());
+        if bytes <= DENSE_BUDGET_BYTES {
+            Self::dense(n_trajectories, measure)
+        } else {
+            Self::sparse(measure)
+        }
+    }
+
+    /// The measure this counter evaluates.
+    pub fn measure(&self) -> InfluenceMeasure {
+        self.measure
+    }
+
+    /// Current influence `I(S)` of the added billboard multiset.
+    #[inline]
+    pub fn influence(&self) -> u64 {
+        self.influence
+    }
+
+    /// Adds one billboard's coverage list; returns the influence gained.
+    pub fn add(&mut self, coverage: &[u32]) -> u64 {
+        let mut gained = 0;
+        for &t in coverage {
+            let before = self.counts.inc(t);
+            gained += self.measure.gain_at(before);
+        }
+        self.influence += gained;
+        gained
+    }
+
+    /// Removes one billboard's coverage list; returns the influence lost.
+    pub fn remove(&mut self, coverage: &[u32]) -> u64 {
+        let mut lost = 0;
+        for &t in coverage {
+            let before = self.counts.dec(t);
+            lost += self.measure.loss_at(before);
+        }
+        self.influence -= lost;
+        lost
+    }
+
+    /// Influence that adding `coverage` would gain, without mutating.
+    #[inline]
+    pub fn marginal_gain(&self, coverage: &[u32]) -> u64 {
+        coverage
+            .iter()
+            .map(|&t| self.measure.gain_at(self.counts.get(t)))
+            .sum()
+    }
+
+    /// Influence that removing `coverage` would lose, without mutating.
+    #[inline]
+    pub fn marginal_loss(&self, coverage: &[u32]) -> u64 {
+        coverage
+            .iter()
+            .map(|&t| self.measure.loss_at(self.counts.get(t)))
+            .sum()
+    }
+
+    /// Net influence change of swapping `removed` out and `added` in,
+    /// without mutating. Both lists must be sorted ascending (the coverage
+    /// model invariant); trajectories present in both keep their count.
+    pub fn swap_delta(&self, removed: &[u32], added: &[u32]) -> i64 {
+        let mut delta = 0i64;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < removed.len() || j < added.len() {
+            match (removed.get(i), added.get(j)) {
+                (Some(&r), Some(&a)) if r == a => {
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&r), Some(&a)) if r < a => {
+                    delta -= self.measure.loss_at(self.counts.get(r)) as i64;
+                    i += 1;
+                }
+                (Some(_), Some(_)) | (None, Some(_)) => {
+                    let a = added[j];
+                    delta += self.measure.gain_at(self.counts.get(a)) as i64;
+                    j += 1;
+                }
+                (Some(&r), None) => {
+                    delta -= self.measure.loss_at(self.counts.get(r)) as i64;
+                    i += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        delta
+    }
+
+    /// Resets to the empty multiset, keeping allocations where possible.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.influence = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::CoverageCounter;
+    use proptest::prelude::*;
+
+    const MEASURES: [InfluenceMeasure; 4] = [
+        InfluenceMeasure::Distinct,
+        InfluenceMeasure::Volume,
+        InfluenceMeasure::Impressions { k: 1 },
+        InfluenceMeasure::Impressions { k: 3 },
+    ];
+
+    fn both(measure: InfluenceMeasure) -> Vec<MeasuredCounter> {
+        vec![
+            MeasuredCounter::dense(100, measure),
+            MeasuredCounter::sparse(measure),
+        ]
+    }
+
+    #[test]
+    fn distinct_matches_coverage_counter() {
+        let lists = [vec![1u32, 2, 3], vec![2, 3, 4], vec![4, 5]];
+        let mut reference = CoverageCounter::dense(100);
+        for mut c in both(InfluenceMeasure::Distinct) {
+            reference.clear();
+            for l in &lists {
+                assert_eq!(c.add(l), reference.add(l));
+                assert_eq!(c.influence(), reference.covered());
+            }
+            for l in &lists {
+                assert_eq!(c.marginal_loss(l), reference.marginal_loss(l));
+                assert_eq!(c.remove(l), reference.remove(l));
+            }
+            assert_eq!(c.influence(), 0);
+        }
+    }
+
+    #[test]
+    fn volume_counts_every_meet() {
+        for mut c in both(InfluenceMeasure::Volume) {
+            assert_eq!(c.add(&[1, 2, 3]), 3);
+            assert_eq!(c.add(&[2, 3, 4]), 3); // overlap still counts
+            assert_eq!(c.influence(), 6);
+            assert_eq!(c.remove(&[1, 2, 3]), 3);
+            assert_eq!(c.influence(), 3);
+        }
+    }
+
+    #[test]
+    fn impressions_trigger_at_k() {
+        for mut c in both(InfluenceMeasure::Impressions { k: 2 }) {
+            assert_eq!(c.add(&[7]), 0); // 1 impression < k
+            assert_eq!(c.add(&[7]), 1); // 2nd impression triggers
+            assert_eq!(c.add(&[7]), 0); // further meets add nothing
+            assert_eq!(c.influence(), 1);
+            assert_eq!(c.remove(&[7]), 0); // 3 → 2, still ≥ k
+            assert_eq!(c.remove(&[7]), 1); // 2 → 1, drops below k
+            assert_eq!(c.influence(), 0);
+        }
+    }
+
+    #[test]
+    fn impressions_k1_equals_distinct() {
+        let lists = [vec![1u32, 2], vec![2, 3], vec![1]];
+        let mut a = MeasuredCounter::dense(10, InfluenceMeasure::Impressions { k: 1 });
+        let mut b = MeasuredCounter::dense(10, InfluenceMeasure::Distinct);
+        for l in &lists {
+            assert_eq!(a.add(l), b.add(l));
+        }
+        assert_eq!(a.influence(), b.influence());
+    }
+
+    #[test]
+    fn marginal_gain_matches_add_for_all_measures() {
+        for m in MEASURES {
+            for mut c in both(m) {
+                c.add(&[5, 6]);
+                c.add(&[6, 7]);
+                for probe in [&[5u32, 6][..], &[6, 7, 8], &[9]] {
+                    let predicted = c.marginal_gain(probe);
+                    let mut clone = c.clone();
+                    assert_eq!(clone.add(probe), predicted, "measure {m:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "uncovered")]
+    fn removing_absent_panics() {
+        MeasuredCounter::dense(5, InfluenceMeasure::Volume).remove(&[1]);
+    }
+
+    #[test]
+    fn clear_resets_influence() {
+        for m in MEASURES {
+            let mut c = MeasuredCounter::sparse(m);
+            c.add(&[1, 2, 3]);
+            c.clear();
+            assert_eq!(c.influence(), 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_influence_matches_direct_evaluation(
+            lists in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..40, 0..15), 1..8),
+            k in 1u32..4,
+        ) {
+            let lists: Vec<Vec<u32>> = lists.into_iter().map(|s| s.into_iter().collect()).collect();
+            for measure in [
+                InfluenceMeasure::Distinct,
+                InfluenceMeasure::Volume,
+                InfluenceMeasure::Impressions { k },
+            ] {
+                let mut c = MeasuredCounter::dense(40, measure);
+                for l in &lists {
+                    c.add(l);
+                }
+                // Direct evaluation from raw counts.
+                let mut counts = [0u32; 40];
+                for l in &lists {
+                    for &t in l {
+                        counts[t as usize] += 1;
+                    }
+                }
+                let expected: u64 = counts.iter().map(|&cnt| measure.unit(cnt)).sum();
+                prop_assert_eq!(c.influence(), expected, "measure {:?}", measure);
+            }
+        }
+
+        #[test]
+        fn prop_swap_delta_matches_remove_then_add(
+            base in proptest::collection::btree_set(0u32..30, 0..15),
+            other in proptest::collection::btree_set(0u32..30, 0..15),
+            k in 1u32..4,
+        ) {
+            let base: Vec<u32> = base.into_iter().collect();
+            let other: Vec<u32> = other.into_iter().collect();
+            for measure in [
+                InfluenceMeasure::Distinct,
+                InfluenceMeasure::Volume,
+                InfluenceMeasure::Impressions { k },
+            ] {
+                let mut c = MeasuredCounter::sparse(measure);
+                c.add(&base);
+                c.add(&other); // some extra state so counts vary
+                c.remove(&other);
+                let predicted = c.swap_delta(&base, &other);
+                let before = c.influence() as i64;
+                c.remove(&base);
+                c.add(&other);
+                prop_assert_eq!(predicted, c.influence() as i64 - before,
+                    "measure {:?}", measure);
+            }
+        }
+
+        #[test]
+        fn prop_dense_and_sparse_agree(
+            lists in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..30, 0..10), 1..8),
+            k in 1u32..4,
+        ) {
+            let lists: Vec<Vec<u32>> = lists.into_iter().map(|s| s.into_iter().collect()).collect();
+            let m = InfluenceMeasure::Impressions { k };
+            let mut dense = MeasuredCounter::dense(30, m);
+            let mut sparse = MeasuredCounter::sparse(m);
+            for l in &lists {
+                prop_assert_eq!(dense.add(l), sparse.add(l));
+                prop_assert_eq!(dense.influence(), sparse.influence());
+            }
+        }
+    }
+}

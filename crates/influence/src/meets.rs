@@ -1,0 +1,182 @@
+//! The billboard→trajectory *meets* relation.
+//!
+//! `p(o, t) = 1` iff some point of trajectory `t` lies within `λ` metres of
+//! billboard `o` (Section 7.1.2). Computed by indexing billboard locations
+//! in a [`GridIndex`] with cell size `λ`, issuing one radius query per
+//! trajectory point, and deduplicating billboards per trajectory. The
+//! per-trajectory work is independent, so trajectories are processed in
+//! parallel with rayon and the (trajectory → billboards) lists are inverted
+//! into (billboard → trajectories) lists at the end.
+
+use mroam_data::{BillboardStore, TrajectoryStore};
+use mroam_geo::GridIndex;
+use rayon::prelude::*;
+
+/// Computes, for each billboard, the sorted list of trajectory ids it meets.
+///
+/// Returns `cov` with `cov[b]` = ascending trajectory ids such that billboard
+/// `b` influences them under threshold `lambda_m` metres.
+pub fn billboard_coverage(
+    billboards: &BillboardStore,
+    trajectories: &TrajectoryStore,
+    lambda_m: f64,
+) -> Vec<Vec<u32>> {
+    assert!(lambda_m >= 0.0, "negative influence radius");
+    let n_billboards = billboards.len();
+    if n_billboards == 0 {
+        return Vec::new();
+    }
+    let grid = GridIndex::build(billboards.locations(), lambda_m.max(1.0));
+
+    // Phase 1 (parallel): per trajectory, the deduplicated billboards it meets.
+    let per_trajectory: Vec<Vec<u32>> = (0..trajectories.len())
+        .into_par_iter()
+        .map(|ti| {
+            let traj = trajectories.get(mroam_data::TrajectoryId::from_index(ti));
+            let mut hits: Vec<u32> = Vec::new();
+            for p in traj.points {
+                grid.for_each_within(p, lambda_m, |id, _| hits.push(id));
+            }
+            hits.sort_unstable();
+            hits.dedup();
+            hits
+        })
+        .collect();
+
+    // Phase 2: invert into billboard → trajectories. Counting pass first so
+    // each coverage list is allocated exactly once.
+    let mut counts = vec![0usize; n_billboards];
+    for hits in &per_trajectory {
+        for &b in hits {
+            counts[b as usize] += 1;
+        }
+    }
+    let mut cov: Vec<Vec<u32>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    for (ti, hits) in per_trajectory.iter().enumerate() {
+        for &b in hits {
+            cov[b as usize].push(ti as u32);
+        }
+    }
+    // Trajectory ids were appended in ascending ti order, so each list is
+    // already sorted and deduplicated.
+    cov
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mroam_geo::Point;
+    use proptest::prelude::*;
+
+    fn store_with(points: &[(f64, f64)]) -> BillboardStore {
+        let mut s = BillboardStore::new();
+        for &(x, y) in points {
+            s.push(Point::new(x, y));
+        }
+        s
+    }
+
+    fn traj_store(trajs: &[&[(f64, f64)]]) -> TrajectoryStore {
+        let mut s = TrajectoryStore::new();
+        for t in trajs {
+            let pts: Vec<Point> = t.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            s.push_at_speed(&pts, 10.0);
+        }
+        s
+    }
+
+    #[test]
+    fn simple_meets() {
+        let billboards = store_with(&[(0.0, 0.0), (1000.0, 0.0)]);
+        let trajectories = traj_store(&[
+            &[(10.0, 0.0), (20.0, 0.0)],   // near billboard 0 only
+            &[(990.0, 0.0)],               // near billboard 1 only
+            &[(0.0, 0.0), (1000.0, 0.0)],  // near both
+            &[(500.0, 500.0)],             // near neither
+        ]);
+        let cov = billboard_coverage(&billboards, &trajectories, 100.0);
+        assert_eq!(cov[0], vec![0, 2]);
+        assert_eq!(cov[1], vec![1, 2]);
+    }
+
+    #[test]
+    fn lambda_boundary_inclusive() {
+        let billboards = store_with(&[(0.0, 0.0)]);
+        let trajectories = traj_store(&[&[(100.0, 0.0)], &[(100.1, 0.0)]]);
+        let cov = billboard_coverage(&billboards, &trajectories, 100.0);
+        assert_eq!(cov[0], vec![0]);
+    }
+
+    #[test]
+    fn trajectory_counted_once_despite_multiple_close_points() {
+        let billboards = store_with(&[(0.0, 0.0)]);
+        let trajectories = traj_store(&[&[(1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]]);
+        let cov = billboard_coverage(&billboards, &trajectories, 50.0);
+        assert_eq!(cov[0], vec![0]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let cov = billboard_coverage(&BillboardStore::new(), &TrajectoryStore::new(), 100.0);
+        assert!(cov.is_empty());
+        let billboards = store_with(&[(0.0, 0.0)]);
+        let cov = billboard_coverage(&billboards, &TrajectoryStore::new(), 100.0);
+        assert_eq!(cov, vec![Vec::<u32>::new()]);
+    }
+
+    #[test]
+    fn zero_lambda_requires_exact_hit() {
+        let billboards = store_with(&[(5.0, 5.0)]);
+        let trajectories = traj_store(&[&[(5.0, 5.0)], &[(5.0, 5.1)]]);
+        let cov = billboard_coverage(&billboards, &trajectories, 0.0);
+        assert_eq!(cov[0], vec![0]);
+    }
+
+    #[test]
+    fn coverage_lists_are_sorted_and_unique() {
+        let billboards = store_with(&[(0.0, 0.0), (50.0, 0.0)]);
+        let trajectories = traj_store(&[
+            &[(0.0, 0.0)],
+            &[(25.0, 0.0), (26.0, 0.0)],
+            &[(50.0, 0.0)],
+        ]);
+        let cov = billboard_coverage(&billboards, &trajectories, 60.0);
+        for list in &cov {
+            let mut sorted = list.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(*list, sorted);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_matches_naive(
+            bbs in proptest::collection::vec((0.0..2000.0f64, 0.0..2000.0f64), 1..20),
+            trajs in proptest::collection::vec(
+                proptest::collection::vec((0.0..2000.0f64, 0.0..2000.0f64), 1..6), 0..25),
+            lambda in 1.0..500.0f64,
+        ) {
+            let billboards = store_with(&bbs);
+            let mut ts = TrajectoryStore::new();
+            for t in &trajs {
+                let pts: Vec<Point> = t.iter().map(|&(x, y)| Point::new(x, y)).collect();
+                ts.push_at_speed(&pts, 10.0);
+            }
+            let cov = billboard_coverage(&billboards, &ts, lambda);
+
+            // Naive O(|U|·|T|·points) evaluation of the definition.
+            for (bi, &(bx, by)) in bbs.iter().enumerate() {
+                let b = Point::new(bx, by);
+                let expected: Vec<u32> = trajs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.iter().any(|&(x, y)| Point::new(x, y).within(&b, lambda)))
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                prop_assert_eq!(&cov[bi], &expected, "billboard {}", bi);
+            }
+        }
+    }
+}

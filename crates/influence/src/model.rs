@@ -1,0 +1,267 @@
+//! The coverage model: everything the MROAM algorithms need to evaluate
+//! influence, packaged immutably.
+
+use crate::counter::CoverageCounter;
+use crate::meets;
+use mroam_data::{BillboardId, BillboardStore, TrajectoryStore};
+
+/// An immutable snapshot of the meets relation for one `(U, T, λ)` triple.
+///
+/// Holds, for every billboard, the sorted trajectory ids it influences, the
+/// individual influence `I({o})`, and the host's supply
+/// `I* = Σ_{o∈U} I({o})` used to derive demands from the paper's
+/// demand-supply ratio α (Section 7.1.3).
+#[derive(Debug, Clone)]
+pub struct CoverageModel {
+    cov: Vec<Vec<u32>>,
+    n_trajectories: usize,
+    supply: u64,
+}
+
+impl CoverageModel {
+    /// Builds the model by running the meets computation over the stores.
+    pub fn build(
+        billboards: &BillboardStore,
+        trajectories: &TrajectoryStore,
+        lambda_m: f64,
+    ) -> Self {
+        let cov = meets::billboard_coverage(billboards, trajectories, lambda_m);
+        Self::from_lists(cov, trajectories.len())
+    }
+
+    /// Wraps precomputed coverage lists. Lists must be sorted ascending with
+    /// ids `< n_trajectories`; enforced in debug builds.
+    pub fn from_lists(cov: Vec<Vec<u32>>, n_trajectories: usize) -> Self {
+        #[cfg(debug_assertions)]
+        for (b, list) in cov.iter().enumerate() {
+            debug_assert!(
+                list.windows(2).all(|w| w[0] < w[1]),
+                "coverage list of o{b} not sorted/unique"
+            );
+            debug_assert!(
+                list.last().is_none_or(|&t| (t as usize) < n_trajectories),
+                "coverage list of o{b} references unknown trajectory"
+            );
+        }
+        let supply = cov.iter().map(|c| c.len() as u64).sum();
+        Self {
+            cov,
+            n_trajectories,
+            supply,
+        }
+    }
+
+    /// Number of billboards `|U|`.
+    pub fn n_billboards(&self) -> usize {
+        self.cov.len()
+    }
+
+    /// Number of trajectories `|T|`.
+    pub fn n_trajectories(&self) -> usize {
+        self.n_trajectories
+    }
+
+    /// Sorted trajectory ids influenced by billboard `id`.
+    #[inline]
+    pub fn coverage(&self, id: BillboardId) -> &[u32] {
+        &self.cov[id.index()]
+    }
+
+    /// Individual influence `I({o})` of billboard `id`.
+    #[inline]
+    pub fn influence_of(&self, id: BillboardId) -> u64 {
+        self.cov[id.index()].len() as u64
+    }
+
+    /// The host's supply `I* = Σ_{o∈U} I({o})`.
+    pub fn supply(&self) -> u64 {
+        self.supply
+    }
+
+    /// Influence `I(S)` of an arbitrary billboard set, evaluated from
+    /// scratch. The algorithms use incremental counters instead; this is the
+    /// reference implementation used by tests, reporting, and one-off
+    /// queries.
+    pub fn set_influence<I>(&self, set: I) -> u64
+    where
+        I: IntoIterator<Item = BillboardId>,
+    {
+        let mut counter = CoverageCounter::sparse();
+        for id in set {
+            counter.add(self.coverage(id));
+        }
+        counter.covered()
+    }
+
+    /// Influence of an arbitrary billboard set under an explicit
+    /// [`InfluenceMeasure`](crate::InfluenceMeasure) — the measure-generic
+    /// counterpart of [`set_influence`](Self::set_influence), used as the
+    /// reference recount by tests of measure-parameterised allocations.
+    pub fn set_influence_measured<I>(
+        &self,
+        set: I,
+        measure: crate::measure::InfluenceMeasure,
+    ) -> u64
+    where
+        I: IntoIterator<Item = BillboardId>,
+    {
+        let mut counter = crate::measure::MeasuredCounter::sparse(measure);
+        for id in set {
+            counter.add(self.coverage(id));
+        }
+        counter.influence()
+    }
+
+    /// Restricts the model to a subset of billboards, producing a compact
+    /// sub-model plus the mapping from the sub-model's dense ids back to
+    /// this model's ids. Used by the market simulator to solve over the
+    /// currently *unlocked* inventory only.
+    ///
+    /// `available` may be in any order; duplicates are rejected.
+    pub fn restricted(&self, available: &[BillboardId]) -> (CoverageModel, Vec<BillboardId>) {
+        let mut back: Vec<BillboardId> = available.to_vec();
+        back.sort_unstable();
+        assert!(
+            back.windows(2).all(|w| w[0] != w[1]),
+            "duplicate billboard in restriction"
+        );
+        let lists: Vec<Vec<u32>> = back.iter().map(|&b| self.coverage(b).to_vec()).collect();
+        (
+            CoverageModel::from_lists(lists, self.n_trajectories),
+            back,
+        )
+    }
+
+    /// All billboard ids, ascending.
+    pub fn billboard_ids(&self) -> impl Iterator<Item = BillboardId> + '_ {
+        (0..self.cov.len()).map(BillboardId::from_index)
+    }
+
+    /// Derives the influence-proportional costs `⌊τ_b·I(o_b)/10⌋` given a
+    /// pre-sampled τ per billboard (Section 7.1.2). The caller supplies the
+    /// τ draws so that randomness stays in the datagen layer.
+    pub fn costs_with_tau(&self, taus: &[f64]) -> Vec<u64> {
+        assert_eq!(taus.len(), self.cov.len(), "one τ per billboard required");
+        self.cov
+            .iter()
+            .zip(taus)
+            .map(|(c, &tau)| (tau * c.len() as f64 / 10.0).floor() as u64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mroam_geo::Point;
+
+    fn model_from(lists: Vec<Vec<u32>>, n: usize) -> CoverageModel {
+        CoverageModel::from_lists(lists, n)
+    }
+
+    #[test]
+    fn supply_is_sum_of_individual_influences() {
+        let m = model_from(vec![vec![0, 1, 2], vec![2, 3], vec![]], 5);
+        assert_eq!(m.supply(), 5);
+        assert_eq!(m.influence_of(BillboardId(0)), 3);
+        assert_eq!(m.influence_of(BillboardId(2)), 0);
+    }
+
+    #[test]
+    fn set_influence_counts_distinct_trajectories() {
+        let m = model_from(vec![vec![0, 1, 2], vec![2, 3], vec![0]], 5);
+        // Union of all three = {0,1,2,3}.
+        assert_eq!(m.set_influence(m.billboard_ids()), 4);
+        assert_eq!(
+            m.set_influence([BillboardId(0), BillboardId(2)]),
+            3 // {0,1,2}
+        );
+        assert_eq!(m.set_influence(std::iter::empty()), 0);
+    }
+
+    #[test]
+    fn example1_style_disjoint_influences_sum() {
+        // Table 1 of the paper: influences 2,6,7,7,1,1 with disjoint
+        // trajectory sets, so I(S) is plain addition.
+        let infl = [2usize, 6, 7, 7, 1, 1];
+        let mut lists = Vec::new();
+        let mut next = 0u32;
+        for &k in &infl {
+            lists.push((next..next + k as u32).collect::<Vec<u32>>());
+            next += k as u32;
+        }
+        let m = model_from(lists, next as usize);
+        assert_eq!(m.supply(), 24);
+        // Strategy 2 of Example 1: S3 = {o2, o5, o6} has I = 6+1+1 = 8.
+        assert_eq!(
+            m.set_influence([BillboardId(1), BillboardId(4), BillboardId(5)]),
+            8
+        );
+    }
+
+    #[test]
+    fn build_from_stores() {
+        let mut billboards = BillboardStore::new();
+        billboards.push(Point::new(0.0, 0.0));
+        billboards.push(Point::new(500.0, 0.0));
+        let mut trajectories = TrajectoryStore::new();
+        trajectories.push_at_speed(&[Point::new(10.0, 0.0)], 10.0);
+        trajectories.push_at_speed(&[Point::new(490.0, 0.0)], 10.0);
+        trajectories.push_at_speed(&[Point::new(250.0, 0.0)], 10.0);
+        let m = CoverageModel::build(&billboards, &trajectories, 50.0);
+        assert_eq!(m.n_billboards(), 2);
+        assert_eq!(m.n_trajectories(), 3);
+        assert_eq!(m.coverage(BillboardId(0)), &[0]);
+        assert_eq!(m.coverage(BillboardId(1)), &[1]);
+        assert_eq!(m.supply(), 2);
+    }
+
+    #[test]
+    fn restricted_submodel_remaps_ids() {
+        let m = model_from(vec![vec![0, 1], vec![2], vec![0, 3]], 4);
+        let (sub, back) = m.restricted(&[BillboardId(2), BillboardId(0)]);
+        assert_eq!(sub.n_billboards(), 2);
+        assert_eq!(sub.n_trajectories(), 4);
+        // back is sorted: [o0, o2].
+        assert_eq!(back, vec![BillboardId(0), BillboardId(2)]);
+        assert_eq!(sub.coverage(BillboardId(0)), m.coverage(BillboardId(0)));
+        assert_eq!(sub.coverage(BillboardId(1)), m.coverage(BillboardId(2)));
+        assert_eq!(sub.supply(), 4);
+    }
+
+    #[test]
+    fn restricted_to_empty_set() {
+        let m = model_from(vec![vec![0]], 1);
+        let (sub, back) = m.restricted(&[]);
+        assert_eq!(sub.n_billboards(), 0);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate billboard")]
+    fn restricted_rejects_duplicates() {
+        let m = model_from(vec![vec![0]], 1);
+        let _ = m.restricted(&[BillboardId(0), BillboardId(0)]);
+    }
+
+    #[test]
+    fn costs_with_tau_floors() {
+        let m = model_from(vec![vec![0; 0], (0..25).collect(), (0..7).collect()], 25);
+        let costs = m.costs_with_tau(&[1.0, 1.0, 0.9]);
+        // ⌊0/10⌋=0, ⌊25/10⌋=2, ⌊0.9·7/10⌋=0
+        assert_eq!(costs, vec![0, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one τ per billboard")]
+    fn costs_with_wrong_tau_len_panics() {
+        model_from(vec![vec![0]], 1).costs_with_tau(&[]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not sorted")]
+    fn unsorted_lists_rejected_in_debug() {
+        let _ = model_from(vec![vec![2, 1]], 3);
+    }
+}

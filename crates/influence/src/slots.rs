@@ -1,0 +1,341 @@
+//! Time-slotted ("digital") billboards.
+//!
+//! Section 3.2 of the paper: *"the billboard can be a digital one, where we
+//! treat each digital billboard as 'multiple billboards', one for a certain
+//! time slot."* This module implements that expansion: given per-trajectory
+//! absolute start times and a slot grid over the day, it builds a
+//! [`CoverageModel`] whose unit of allocation is a *(physical billboard,
+//! time slot)* pair — a trajectory is covered by the pair iff it passes
+//! within `λ` of the board **during** the slot. All MROAM algorithms then
+//! run unchanged over the expanded model; [`SlottedModel`] keeps the
+//! virtual-id ↔ (board, slot) mapping for reporting.
+
+use crate::model::CoverageModel;
+use mroam_data::{BillboardId, BillboardStore, TrajectoryStore};
+use mroam_geo::GridIndex;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A uniform grid of time slots over a scheduling horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotGrid {
+    /// Horizon start, in seconds (e.g. seconds since midnight).
+    pub start_s: f64,
+    /// Slot length in seconds.
+    pub slot_len_s: f64,
+    /// Number of slots; times at or beyond the horizon end are clamped into
+    /// the last slot (late-night trips still belong to the evening board).
+    pub n_slots: usize,
+}
+
+impl SlotGrid {
+    /// A grid of `n_slots` equal slots covering `[start_s, end_s)`.
+    pub fn new(start_s: f64, end_s: f64, n_slots: usize) -> Self {
+        assert!(n_slots >= 1, "need at least one slot");
+        assert!(end_s > start_s, "empty horizon");
+        Self {
+            start_s,
+            slot_len_s: (end_s - start_s) / n_slots as f64,
+            n_slots,
+        }
+    }
+
+    /// The standard advertising day: 24 hourly slots.
+    pub fn hourly_day() -> Self {
+        Self::new(0.0, 24.0 * 3600.0, 24)
+    }
+
+    /// The slot containing absolute time `t_s`, clamped to the horizon.
+    #[inline]
+    pub fn slot_of(&self, t_s: f64) -> usize {
+        if t_s <= self.start_s {
+            return 0;
+        }
+        (((t_s - self.start_s) / self.slot_len_s) as usize).min(self.n_slots - 1)
+    }
+
+    /// `[start, end)` bounds of slot `slot` in seconds.
+    pub fn bounds(&self, slot: usize) -> (f64, f64) {
+        assert!(slot < self.n_slots, "slot {slot} out of range");
+        (
+            self.start_s + slot as f64 * self.slot_len_s,
+            self.start_s + (slot + 1) as f64 * self.slot_len_s,
+        )
+    }
+}
+
+/// The slot-expanded coverage model: one virtual billboard per
+/// (physical board, slot) pair that covers at least the same id space.
+#[derive(Debug, Clone)]
+pub struct SlottedModel {
+    model: CoverageModel,
+    n_physical: usize,
+    grid: SlotGrid,
+}
+
+impl SlottedModel {
+    /// Builds the expansion. `trip_start_s[t]` is the absolute start time of
+    /// trajectory `t`; each trajectory point's absolute time is the start
+    /// plus its stored relative timestamp.
+    pub fn build(
+        billboards: &BillboardStore,
+        trajectories: &TrajectoryStore,
+        trip_start_s: &[f64],
+        lambda_m: f64,
+        grid: SlotGrid,
+    ) -> Self {
+        assert_eq!(
+            trip_start_s.len(),
+            trajectories.len(),
+            "one start time per trajectory required"
+        );
+        assert!(lambda_m >= 0.0, "negative influence radius");
+        let n_physical = billboards.len();
+        let n_slots = grid.n_slots;
+        let n_virtual = n_physical * n_slots;
+        if n_virtual == 0 {
+            return Self {
+                model: CoverageModel::from_lists(Vec::new(), trajectories.len()),
+                n_physical,
+                grid,
+            };
+        }
+        let spatial = GridIndex::build(billboards.locations(), lambda_m.max(1.0));
+
+        // Parallel per-trajectory: collect the (board, slot) pairs it meets.
+        let per_trajectory: Vec<Vec<u32>> = (0..trajectories.len())
+            .into_par_iter()
+            .map(|ti| {
+                let traj = trajectories.get(mroam_data::TrajectoryId::from_index(ti));
+                let start = trip_start_s[ti];
+                let mut hits: Vec<u32> = Vec::new();
+                for (p, &rel_t) in traj.points.iter().zip(traj.timestamps) {
+                    let slot = grid.slot_of(start + rel_t as f64);
+                    spatial.for_each_within(p, lambda_m, |board, _| {
+                        hits.push(board * n_slots as u32 + slot as u32);
+                    });
+                }
+                hits.sort_unstable();
+                hits.dedup();
+                hits
+            })
+            .collect();
+
+        // Invert into virtual-billboard → trajectory lists.
+        let mut counts = vec![0usize; n_virtual];
+        for hits in &per_trajectory {
+            for &v in hits {
+                counts[v as usize] += 1;
+            }
+        }
+        let mut cov: Vec<Vec<u32>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for (ti, hits) in per_trajectory.iter().enumerate() {
+            for &v in hits {
+                cov[v as usize].push(ti as u32);
+            }
+        }
+        Self {
+            model: CoverageModel::from_lists(cov, trajectories.len()),
+            n_physical,
+            grid,
+        }
+    }
+
+    /// The expanded coverage model — feed this to any MROAM solver.
+    pub fn model(&self) -> &CoverageModel {
+        &self.model
+    }
+
+    /// Number of physical billboards.
+    pub fn n_physical(&self) -> usize {
+        self.n_physical
+    }
+
+    /// The slot grid.
+    pub fn grid(&self) -> SlotGrid {
+        self.grid
+    }
+
+    /// Virtual id of `(board, slot)`.
+    pub fn virtual_id(&self, board: BillboardId, slot: usize) -> BillboardId {
+        assert!(board.index() < self.n_physical, "board out of range");
+        assert!(slot < self.grid.n_slots, "slot out of range");
+        BillboardId::from_index(board.index() * self.grid.n_slots + slot)
+    }
+
+    /// `(physical board, slot)` behind a virtual id.
+    pub fn physical_of(&self, virtual_id: BillboardId) -> (BillboardId, usize) {
+        let idx = virtual_id.index();
+        assert!(
+            idx < self.n_physical * self.grid.n_slots,
+            "virtual id out of range"
+        );
+        (
+            BillboardId::from_index(idx / self.grid.n_slots),
+            idx % self.grid.n_slots,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mroam_geo::Point;
+
+    fn billboard_at(points: &[(f64, f64)]) -> BillboardStore {
+        let mut s = BillboardStore::new();
+        for &(x, y) in points {
+            s.push(Point::new(x, y));
+        }
+        s
+    }
+
+    #[test]
+    fn slot_grid_mapping() {
+        let g = SlotGrid::new(0.0, 100.0, 4);
+        assert_eq!(g.slot_of(0.0), 0);
+        assert_eq!(g.slot_of(24.9), 0);
+        assert_eq!(g.slot_of(25.0), 1);
+        assert_eq!(g.slot_of(99.9), 3);
+        assert_eq!(g.slot_of(500.0), 3); // clamped
+        assert_eq!(g.slot_of(-5.0), 0); // clamped
+        assert_eq!(g.bounds(1), (25.0, 50.0));
+    }
+
+    #[test]
+    fn hourly_day_has_24_slots() {
+        let g = SlotGrid::hourly_day();
+        assert_eq!(g.n_slots, 24);
+        assert_eq!(g.slot_of(3600.0 * 13.5), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bounds_of_bad_slot_panics() {
+        SlotGrid::new(0.0, 10.0, 2).bounds(2);
+    }
+
+    #[test]
+    fn expansion_separates_trajectories_by_time() {
+        // One board; two trips pass it, one in the morning, one at night.
+        let billboards = billboard_at(&[(0.0, 0.0)]);
+        let mut trajectories = TrajectoryStore::new();
+        trajectories.push_at_speed(&[Point::new(5.0, 0.0)], 10.0);
+        trajectories.push_at_speed(&[Point::new(-5.0, 0.0)], 10.0);
+        let starts = [8.0 * 3600.0, 22.0 * 3600.0];
+        let slotted = SlottedModel::build(
+            &billboards,
+            &trajectories,
+            &starts,
+            50.0,
+            SlotGrid::hourly_day(),
+        );
+        let model = slotted.model();
+        assert_eq!(model.n_billboards(), 24);
+        let morning = slotted.virtual_id(BillboardId(0), 8);
+        let night = slotted.virtual_id(BillboardId(0), 22);
+        assert_eq!(model.coverage(morning), &[0]);
+        assert_eq!(model.coverage(night), &[1]);
+        // Every other slot is empty.
+        let covered: usize = (0..24)
+            .filter(|&s| !model.coverage(slotted.virtual_id(BillboardId(0), s)).is_empty())
+            .count();
+        assert_eq!(covered, 2);
+    }
+
+    #[test]
+    fn trajectory_spanning_slots_appears_in_both() {
+        // A slow trip that passes the board across a slot boundary: points
+        // at t=0 and t=120s with a 100s slot grid.
+        let billboards = billboard_at(&[(0.0, 0.0)]);
+        let mut trajectories = TrajectoryStore::new();
+        trajectories.push_with_timestamps(
+            &[Point::new(5.0, 0.0), Point::new(6.0, 0.0)],
+            &[0.0, 120.0],
+        );
+        let slotted = SlottedModel::build(
+            &billboards,
+            &trajectories,
+            &[0.0],
+            50.0,
+            SlotGrid::new(0.0, 1000.0, 10),
+        );
+        assert_eq!(slotted.model().coverage(slotted.virtual_id(BillboardId(0), 0)), &[0]);
+        assert_eq!(slotted.model().coverage(slotted.virtual_id(BillboardId(0), 1)), &[0]);
+    }
+
+    #[test]
+    fn union_over_slots_equals_unslotted_coverage() {
+        // Summed over slots, the virtual boards of one physical board must
+        // cover exactly the trajectories the unslotted meets relation finds.
+        let billboards = billboard_at(&[(0.0, 0.0), (500.0, 0.0)]);
+        let mut trajectories = TrajectoryStore::new();
+        for i in 0..20 {
+            let x = (i as f64) * 30.0;
+            trajectories.push_at_speed(&[Point::new(x, 0.0), Point::new(x + 40.0, 0.0)], 10.0);
+        }
+        let starts: Vec<f64> = (0..20).map(|i| (i % 24) as f64 * 3600.0).collect();
+        let grid = SlotGrid::hourly_day();
+        let slotted = SlottedModel::build(&billboards, &trajectories, &starts, 100.0, grid);
+        let flat = crate::meets::billboard_coverage(&billboards, &trajectories, 100.0);
+        for (b, flat_list) in flat.iter().enumerate() {
+            let mut union: Vec<u32> = (0..grid.n_slots)
+                .flat_map(|s| {
+                    slotted
+                        .model()
+                        .coverage(slotted.virtual_id(BillboardId::from_index(b), s))
+                        .to_vec()
+                })
+                .collect();
+            union.sort_unstable();
+            union.dedup();
+            assert_eq!(&union, flat_list, "board {b}");
+        }
+    }
+
+    #[test]
+    fn virtual_physical_roundtrip() {
+        let billboards = billboard_at(&[(0.0, 0.0), (10.0, 0.0), (20.0, 0.0)]);
+        let trajectories = TrajectoryStore::new();
+        let slotted = SlottedModel::build(
+            &billboards,
+            &trajectories,
+            &[],
+            50.0,
+            SlotGrid::new(0.0, 100.0, 4),
+        );
+        for b in 0..3 {
+            for s in 0..4 {
+                let v = slotted.virtual_id(BillboardId(b), s);
+                assert_eq!(slotted.physical_of(v), (BillboardId(b), s));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let slotted = SlottedModel::build(
+            &BillboardStore::new(),
+            &TrajectoryStore::new(),
+            &[],
+            100.0,
+            SlotGrid::hourly_day(),
+        );
+        assert_eq!(slotted.model().n_billboards(), 0);
+        assert_eq!(slotted.n_physical(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one start time per trajectory")]
+    fn start_time_length_mismatch_panics() {
+        let mut trajectories = TrajectoryStore::new();
+        trajectories.push_at_speed(&[Point::new(0.0, 0.0)], 1.0);
+        SlottedModel::build(
+            &BillboardStore::new(),
+            &trajectories,
+            &[],
+            100.0,
+            SlotGrid::hourly_day(),
+        );
+    }
+}

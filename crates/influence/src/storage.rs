@@ -1,0 +1,371 @@
+//! Compact binary persistence for coverage models.
+//!
+//! The meets computation is the most expensive preprocessing step at the
+//! paper's full scale (millions of trajectory points against thousands of
+//! boards per λ value), and its output is reused by every experiment at
+//! that λ. This module gives it a durable on-disk form: a versioned,
+//! checksummed, varint + delta encoded dump of the coverage lists —
+//! sorted-ascending ids compress to ~1–2 bytes each instead of 4.
+//!
+//! Layout (all integers LEB128 varints unless noted):
+//!
+//! ```text
+//! magic   b"MROAMCOV"            (8 bytes)
+//! version u8 = 1
+//! n_trajectories, n_billboards
+//! per billboard: list_len, first_id, then (gap − 1) per subsequent id
+//! checksum u64 LE               (FxHash of everything after the magic)
+//! ```
+
+use crate::hash::FxHasher;
+use crate::model::CoverageModel;
+use bytes::{Buf, BufMut};
+use mroam_data::BillboardId;
+use std::hash::Hasher;
+
+/// File magic.
+pub const MAGIC: &[u8; 8] = b"MROAMCOV";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// Errors produced when decoding a stored model.
+#[derive(Debug, PartialEq, Eq)]
+pub enum StorageError {
+    /// The magic bytes did not match.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u8),
+    /// Input ended before the structure was complete.
+    Truncated,
+    /// A varint exceeded 64 bits.
+    VarintOverflow,
+    /// The payload checksum did not match.
+    ChecksumMismatch,
+    /// A coverage list referenced a trajectory id out of range.
+    IdOutOfRange { billboard: usize, id: u64 },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::BadMagic => write!(f, "not a MROAM coverage file (bad magic)"),
+            StorageError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            StorageError::Truncated => write!(f, "truncated coverage file"),
+            StorageError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            StorageError::ChecksumMismatch => write!(f, "payload checksum mismatch"),
+            StorageError::IdOutOfRange { billboard, id } => {
+                write!(f, "billboard {billboard} references trajectory {id} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+fn put_varint(buf: &mut impl BufMut, mut v: u64) {
+    while v >= 0x80 {
+        buf.put_u8((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    buf.put_u8(v as u8);
+}
+
+fn get_varint(buf: &mut impl Buf) -> Result<u64, StorageError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(StorageError::Truncated);
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(StorageError::VarintOverflow);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn checksum(payload: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(payload);
+    h.finish()
+}
+
+/// Serialises a model into `out` (appended).
+pub fn write_model(model: &CoverageModel, out: &mut Vec<u8>) {
+    out.extend_from_slice(MAGIC);
+    let payload_start = out.len();
+    out.put_u8(VERSION);
+    put_varint(out, model.n_trajectories() as u64);
+    put_varint(out, model.n_billboards() as u64);
+    for b in model.billboard_ids() {
+        let list = model.coverage(b);
+        put_varint(out, list.len() as u64);
+        let mut prev: Option<u32> = None;
+        for &id in list {
+            match prev {
+                None => put_varint(out, id as u64),
+                Some(p) => put_varint(out, (id - p - 1) as u64),
+            }
+            prev = Some(id);
+        }
+    }
+    let sum = checksum(&out[payload_start..]);
+    out.put_u64_le(sum);
+}
+
+/// Deserialises a model written by [`write_model`].
+pub fn read_model(data: &[u8]) -> Result<CoverageModel, StorageError> {
+    if data.len() < MAGIC.len() + 1 + 8 {
+        return Err(if data.len() >= MAGIC.len() && &data[..MAGIC.len()] != MAGIC {
+            StorageError::BadMagic
+        } else {
+            StorageError::Truncated
+        });
+    }
+    let (head, rest) = data.split_at(MAGIC.len());
+    if head != MAGIC {
+        return Err(StorageError::BadMagic);
+    }
+    let (payload, trailer) = rest.split_at(rest.len() - 8);
+    let stored_sum = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+    if checksum(payload) != stored_sum {
+        return Err(StorageError::ChecksumMismatch);
+    }
+
+    let mut buf = payload;
+    if !buf.has_remaining() {
+        return Err(StorageError::Truncated);
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(StorageError::BadVersion(version));
+    }
+    let n_trajectories = get_varint(&mut buf)? as usize;
+    let n_billboards = get_varint(&mut buf)? as usize;
+    let mut lists = Vec::with_capacity(n_billboards);
+    for billboard in 0..n_billboards {
+        let len = get_varint(&mut buf)? as usize;
+        let mut list = Vec::with_capacity(len);
+        let mut prev: Option<u64> = None;
+        for _ in 0..len {
+            let raw = get_varint(&mut buf)?;
+            let id = match prev {
+                None => raw,
+                Some(p) => p + 1 + raw,
+            };
+            if id >= n_trajectories as u64 {
+                return Err(StorageError::IdOutOfRange { billboard, id });
+            }
+            list.push(id as u32);
+            prev = Some(id);
+        }
+        lists.push(list);
+    }
+    Ok(CoverageModel::from_lists(lists, n_trajectories))
+}
+
+/// Convenience: round-trips one model through a fresh buffer (used by the
+/// experiment harness for caching per-λ models on disk).
+pub fn encode(model: &CoverageModel) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_model(model, &mut out);
+    out
+}
+
+/// Returns the coverage list of one billboard without decoding the whole
+/// model — a point lookup over the sequential format (O(file) scan but no
+/// allocation for other lists).
+pub fn read_one_list(data: &[u8], target: BillboardId) -> Result<Vec<u32>, StorageError> {
+    // Validate envelope first (cheap compared to a wrong answer).
+    let model_header_check = |data: &[u8]| -> Result<(), StorageError> {
+        if data.len() < MAGIC.len() + 9 || &data[..MAGIC.len()] != MAGIC {
+            return Err(StorageError::BadMagic);
+        }
+        Ok(())
+    };
+    model_header_check(data)?;
+    let payload = &data[MAGIC.len()..data.len() - 8];
+    let mut buf = payload;
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(StorageError::BadVersion(version));
+    }
+    let n_trajectories = get_varint(&mut buf)?;
+    let n_billboards = get_varint(&mut buf)? as usize;
+    if target.index() >= n_billboards {
+        return Err(StorageError::IdOutOfRange {
+            billboard: target.index(),
+            id: 0,
+        });
+    }
+    for b in 0..=target.index() {
+        let len = get_varint(&mut buf)? as usize;
+        if b == target.index() {
+            let mut list = Vec::with_capacity(len);
+            let mut prev: Option<u64> = None;
+            for _ in 0..len {
+                let raw = get_varint(&mut buf)?;
+                let id = match prev {
+                    None => raw,
+                    Some(p) => p + 1 + raw,
+                };
+                if id >= n_trajectories {
+                    return Err(StorageError::IdOutOfRange { billboard: b, id });
+                }
+                list.push(id as u32);
+                prev = Some(id);
+            }
+            return Ok(list);
+        }
+        // Skip this list.
+        for _ in 0..len {
+            get_varint(&mut buf)?;
+        }
+    }
+    unreachable!("loop returns at target")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_model() -> CoverageModel {
+        CoverageModel::from_lists(
+            vec![vec![0, 1, 5, 130, 10_000], vec![], vec![2], vec![0, 9_999]],
+            10_001,
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let model = sample_model();
+        let bytes = encode(&model);
+        let back = read_model(&bytes).unwrap();
+        assert_eq!(back.n_trajectories(), model.n_trajectories());
+        assert_eq!(back.n_billboards(), model.n_billboards());
+        for b in model.billboard_ids() {
+            assert_eq!(back.coverage(b), model.coverage(b));
+        }
+        assert_eq!(back.supply(), model.supply());
+    }
+
+    #[test]
+    fn empty_model_roundtrips() {
+        let model = CoverageModel::from_lists(vec![], 0);
+        let back = read_model(&encode(&model)).unwrap();
+        assert_eq!(back.n_billboards(), 0);
+        assert_eq!(back.n_trajectories(), 0);
+    }
+
+    #[test]
+    fn delta_encoding_is_compact() {
+        // Dense ascending ids ⇒ one byte per id plus small headers.
+        let model = CoverageModel::from_lists(vec![(0..1000u32).collect()], 1000);
+        let bytes = encode(&model);
+        assert!(
+            bytes.len() < 1100,
+            "1000 dense ids should take ~1 byte each, got {}",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut bytes = encode(&sample_model());
+        bytes[0] = b'X';
+        assert_eq!(read_model(&bytes).unwrap_err(), StorageError::BadMagic);
+    }
+
+    #[test]
+    fn bit_flip_detected_by_checksum() {
+        let mut bytes = encode(&sample_model());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert_eq!(read_model(&bytes).unwrap_err(), StorageError::ChecksumMismatch);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = encode(&sample_model());
+        for cut in [0usize, 4, 9, bytes.len() - 9] {
+            let err = read_model(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, StorageError::Truncated | StorageError::ChecksumMismatch),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_version_detected() {
+        let model = sample_model();
+        // Re-encode with a patched version byte and a fixed-up checksum.
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        let start = out.len();
+        out.push(99); // bogus version
+        put_varint(&mut out, model.n_trajectories() as u64);
+        put_varint(&mut out, model.n_billboards() as u64);
+        let sum = checksum(&out[start..]);
+        out.put_u64_le(sum);
+        assert_eq!(read_model(&out).unwrap_err(), StorageError::BadVersion(99));
+    }
+
+    #[test]
+    fn point_lookup_matches_full_decode() {
+        let model = sample_model();
+        let bytes = encode(&model);
+        for b in model.billboard_ids() {
+            assert_eq!(read_one_list(&bytes, b).unwrap(), model.coverage(b));
+        }
+    }
+
+    #[test]
+    fn point_lookup_out_of_range() {
+        let bytes = encode(&sample_model());
+        assert!(matches!(
+            read_one_list(&bytes, BillboardId(99)),
+            Err(StorageError::IdOutOfRange { .. })
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_roundtrip(
+            lists in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..5_000, 0..60), 0..12)
+        ) {
+            let lists: Vec<Vec<u32>> =
+                lists.into_iter().map(|s| s.into_iter().collect()).collect();
+            let model = CoverageModel::from_lists(lists, 5_000);
+            let back = read_model(&encode(&model)).unwrap();
+            for b in model.billboard_ids() {
+                prop_assert_eq!(back.coverage(b), model.coverage(b));
+            }
+        }
+
+        #[test]
+        fn prop_random_corruption_never_panics(
+            lists in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..500, 0..20), 1..6),
+            flip in any::<(usize, u8)>(),
+        ) {
+            let lists: Vec<Vec<u32>> =
+                lists.into_iter().map(|s| s.into_iter().collect()).collect();
+            let model = CoverageModel::from_lists(lists, 500);
+            let mut bytes = encode(&model);
+            let idx = flip.0 % bytes.len();
+            bytes[idx] ^= flip.1;
+            // Either decodes to *something* (flip was a no-op or hit dead
+            // space) or errors — but never panics.
+            let _ = read_model(&bytes);
+        }
+    }
+}

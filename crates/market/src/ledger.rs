@@ -1,0 +1,125 @@
+//! The host's ledger: what each day's allocation actually banked.
+
+use serde::{Deserialize, Serialize};
+
+/// One day's accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DayRecord {
+    /// Day index (0-based).
+    pub day: u32,
+    /// Proposals that arrived.
+    pub arrived: usize,
+    /// Proposals whose demand was met in full.
+    pub satisfied: usize,
+    /// Committed payment across the day's arrivals (`Σ L_i`).
+    pub committed: f64,
+    /// Payment actually collected under the γ-scaled model
+    /// (`Σ L_i − R(S_i)` floored at zero per advertiser).
+    pub collected: f64,
+    /// The day's MROAM regret `R(S)` over the arriving batch.
+    pub regret: f64,
+    /// Billboards locked by contracts at the end of the day.
+    pub locked_billboards: usize,
+    /// Total billboard count (for utilization).
+    pub total_billboards: usize,
+}
+
+impl DayRecord {
+    /// Fraction of the inventory locked at end of day.
+    pub fn utilization(&self) -> f64 {
+        if self.total_billboards == 0 {
+            0.0
+        } else {
+            self.locked_billboards as f64 / self.total_billboards as f64
+        }
+    }
+}
+
+/// The full simulation ledger.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Ledger {
+    /// One record per simulated day, in order.
+    pub days: Vec<DayRecord>,
+}
+
+impl Ledger {
+    /// Total collected over the horizon.
+    pub fn total_collected(&self) -> f64 {
+        self.days.iter().map(|d| d.collected).sum()
+    }
+
+    /// Total committed over the horizon.
+    pub fn total_committed(&self) -> f64 {
+        self.days.iter().map(|d| d.committed).sum()
+    }
+
+    /// Total regret over the horizon.
+    pub fn total_regret(&self) -> f64 {
+        self.days.iter().map(|d| d.regret).sum()
+    }
+
+    /// Fraction of proposals fully satisfied.
+    pub fn satisfaction_rate(&self) -> f64 {
+        let (sat, arr) = self
+            .days
+            .iter()
+            .fold((0usize, 0usize), |(s, a), d| (s + d.satisfied, a + d.arrived));
+        if arr == 0 {
+            0.0
+        } else {
+            sat as f64 / arr as f64
+        }
+    }
+
+    /// Mean end-of-day utilization.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.days.is_empty() {
+            return 0.0;
+        }
+        self.days.iter().map(|d| d.utilization()).sum::<f64>() / self.days.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(day: u32, satisfied: usize, collected: f64) -> DayRecord {
+        DayRecord {
+            day,
+            arrived: 4,
+            satisfied,
+            committed: 100.0,
+            collected,
+            regret: 100.0 - collected,
+            locked_billboards: 30,
+            total_billboards: 60,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let ledger = Ledger {
+            days: vec![record(0, 4, 90.0), record(1, 2, 50.0)],
+        };
+        assert_eq!(ledger.total_collected(), 140.0);
+        assert_eq!(ledger.total_committed(), 200.0);
+        assert_eq!(ledger.total_regret(), 60.0);
+        assert_eq!(ledger.satisfaction_rate(), 6.0 / 8.0);
+        assert_eq!(ledger.mean_utilization(), 0.5);
+    }
+
+    #[test]
+    fn empty_ledger() {
+        let ledger = Ledger::default();
+        assert_eq!(ledger.total_collected(), 0.0);
+        assert_eq!(ledger.satisfaction_rate(), 0.0);
+        assert_eq!(ledger.mean_utilization(), 0.0);
+    }
+
+    #[test]
+    fn utilization_of_empty_inventory() {
+        let d = DayRecord::default();
+        assert_eq!(d.utilization(), 0.0);
+    }
+}

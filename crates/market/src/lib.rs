@@ -1,0 +1,27 @@
+//! Multi-day OOH advertising market simulation.
+//!
+//! The paper's introduction motivates MROAM with a host that "needs to deal
+//! with multiple advertisers coming every day", but its formal problem is a
+//! single batch. This crate builds the *day-over-day* layer on top of the
+//! core library:
+//!
+//! * advertisers arrive in daily batches of [`Proposal`]s (demand, payment,
+//!   campaign duration in days),
+//! * the host solves a MROAM instance **over the currently unlocked
+//!   inventory** using any [`Solver`](mroam_core::solver::Solver), and commits the winning deployment
+//!   for each contract's duration (billboards lock),
+//! * expired contracts release their billboards back into the pool,
+//! * the ledger tracks realized payments (the γ-scaled regret model decides
+//!   how much of each payment is collected) and per-day inventory
+//!   utilization.
+//!
+//! The simulation lets a host compare deployment strategies on the metric
+//! it actually banks: cumulative collected revenue, not one-shot regret.
+
+pub mod ledger;
+pub mod proposal;
+pub mod sim;
+
+pub use ledger::{DayRecord, Ledger};
+pub use proposal::{Proposal, ProposalGenerator};
+pub use sim::{MarketConfig, MarketSim};

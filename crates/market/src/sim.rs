@@ -1,0 +1,282 @@
+//! The day-over-day market simulator.
+
+use crate::ledger::{DayRecord, Ledger};
+use crate::proposal::ProposalGenerator;
+use mroam_core::advertiser::AdvertiserSet;
+use mroam_core::instance::Instance;
+use mroam_core::solver::Solver;
+use mroam_data::BillboardId;
+use mroam_influence::CoverageModel;
+
+/// Horizon-level simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MarketConfig {
+    /// Number of days to simulate.
+    pub days: u32,
+    /// Unsatisfied-penalty ratio γ of the regret model, which also decides
+    /// how much an unsatisfied advertiser pays (`L·γ·I/I_i`).
+    pub gamma: f64,
+}
+
+/// A running market over a fixed city inventory.
+#[derive(Debug, Clone)]
+pub struct MarketSim<'a> {
+    model: &'a CoverageModel,
+    /// Per billboard: the day its current contract expires (exclusive), or
+    /// `None` when free.
+    locked_until: Vec<Option<u32>>,
+}
+
+impl<'a> MarketSim<'a> {
+    /// Starts with the whole inventory free.
+    pub fn new(model: &'a CoverageModel) -> Self {
+        Self {
+            model,
+            locked_until: vec![None; model.n_billboards()],
+        }
+    }
+
+    /// Billboards currently free.
+    pub fn free_billboards(&self) -> Vec<BillboardId> {
+        self.locked_until
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.is_none())
+            .map(|(i, _)| BillboardId::from_index(i))
+            .collect()
+    }
+
+    /// Number of locked billboards.
+    pub fn locked_count(&self) -> usize {
+        self.locked_until.iter().filter(|l| l.is_some()).count()
+    }
+
+    fn release_expired(&mut self, day: u32) {
+        for lock in &mut self.locked_until {
+            if matches!(lock, Some(expiry) if *expiry <= day) {
+                *lock = None;
+            }
+        }
+    }
+
+    /// Runs the full horizon with one deployment strategy, consuming this
+    /// simulator state (each strategy comparison should start fresh).
+    pub fn run(
+        mut self,
+        generator: &ProposalGenerator,
+        solver: &dyn Solver,
+        config: MarketConfig,
+    ) -> Ledger {
+        assert!(
+            (0.0..=1.0).contains(&config.gamma),
+            "γ must be in [0, 1]"
+        );
+        let mut ledger = Ledger::default();
+        for day in 0..config.days {
+            ledger.days.push(self.step(day, generator, solver, config));
+        }
+        ledger
+    }
+
+    /// Simulates one day; public for fine-grained tests.
+    pub fn step(
+        &mut self,
+        day: u32,
+        generator: &ProposalGenerator,
+        solver: &dyn Solver,
+        config: MarketConfig,
+    ) -> DayRecord {
+        self.release_expired(day);
+        let proposals = generator.day_batch(day);
+        let mut record = DayRecord {
+            day,
+            arrived: proposals.len(),
+            total_billboards: self.model.n_billboards(),
+            ..DayRecord::default()
+        };
+        if proposals.is_empty() {
+            record.locked_billboards = self.locked_count();
+            return record;
+        }
+
+        // Solve MROAM over the free inventory only.
+        let free = self.free_billboards();
+        let (sub_model, back) = self.model.restricted(&free);
+        let advertisers: AdvertiserSet =
+            proposals.iter().map(|p| p.advertiser()).collect();
+        let instance = Instance::new(&sub_model, &advertisers, config.gamma);
+        let solution = solver.solve(&instance);
+
+        for (i, proposal) in proposals.iter().enumerate() {
+            let influence = solution.influences[i];
+            let regret_i = mroam_core::regret(&proposal.advertiser(), influence, config.gamma);
+            record.committed += proposal.payment;
+            if influence >= proposal.demand {
+                record.satisfied += 1;
+                record.collected += proposal.payment;
+            } else {
+                // Partial payment under the γ model: L − R = L·γ·I/I_i.
+                record.collected += (proposal.payment - regret_i).max(0.0);
+            }
+            record.regret += regret_i;
+            // Lock the deployed boards for the contract duration.
+            let expiry = day + proposal.duration_days;
+            for &sub_id in &solution.sets[i] {
+                let physical = back[sub_id.index()];
+                debug_assert!(self.locked_until[physical.index()].is_none());
+                self.locked_until[physical.index()] = Some(expiry);
+            }
+        }
+        record.locked_billboards = self.locked_count();
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mroam_core::prelude::*;
+
+    /// Disjoint-coverage model with the given individual influences.
+    fn disjoint_model(influences: &[u32]) -> CoverageModel {
+        let mut lists = Vec::new();
+        let mut next = 0u32;
+        for &k in influences {
+            lists.push((next..next + k).collect::<Vec<u32>>());
+            next += k;
+        }
+        CoverageModel::from_lists(lists, next as usize)
+    }
+
+    fn generator(supply: u64) -> ProposalGenerator {
+        ProposalGenerator {
+            supply,
+            p_avg: 0.10,
+            arrivals_per_day: (1, 3),
+            duration_days: (1, 3),
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn inventory_locks_and_expires() {
+        let model = disjoint_model(&[10, 10, 10, 10]);
+        let mut sim = MarketSim::new(&model);
+        let g = ProposalGenerator {
+            supply: model.supply(),
+            p_avg: 0.25, // demand ≈ 10: one board per proposal
+            arrivals_per_day: (1, 1),
+            duration_days: (2, 2),
+            seed: 1,
+        };
+        let cfg = MarketConfig { days: 10, gamma: 0.5 };
+        let d0 = sim.step(0, &g, &GGlobal, cfg);
+        assert!(d0.locked_billboards >= 1);
+        let locked_after_day0 = sim.locked_count();
+        // Day 1: day-0 contracts (duration 2, expiry day 2) still hold.
+        sim.step(1, &g, &GGlobal, cfg);
+        assert!(sim.locked_count() >= locked_after_day0);
+        // Day 2: the day-0 contracts expire before allocation.
+        sim.release_expired(2);
+        assert!(sim.locked_count() < locked_after_day0 + 2);
+    }
+
+    #[test]
+    fn collected_never_exceeds_committed() {
+        let model = disjoint_model(&[8, 7, 6, 5, 5, 4, 3, 2]);
+        let ledger = MarketSim::new(&model).run(
+            &generator(model.supply()),
+            &GGlobal,
+            MarketConfig { days: 20, gamma: 0.5 },
+        );
+        assert_eq!(ledger.days.len(), 20);
+        for d in &ledger.days {
+            assert!(
+                d.collected <= d.committed + 1e-9,
+                "day {}: collected {} > committed {}",
+                d.day,
+                d.collected,
+                d.committed
+            );
+            assert!(d.satisfied <= d.arrived);
+        }
+    }
+
+    #[test]
+    fn gamma_zero_collects_only_full_contracts() {
+        let model = disjoint_model(&[8, 7, 6, 5]);
+        let ledger = MarketSim::new(&model).run(
+            &generator(model.supply()),
+            &GGlobal,
+            MarketConfig { days: 15, gamma: 0.0 },
+        );
+        for d in &ledger.days {
+            // With γ = 0, partial fulfilment pays nothing, so the collected
+            // total must be expressible as a sum of full payments — check
+            // the weaker invariant collected ≤ committed with equality only
+            // when everyone is satisfied.
+            if d.satisfied < d.arrived {
+                assert!(d.collected < d.committed);
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let model = disjoint_model(&[9, 8, 7, 6, 5, 4]);
+        let run = |solver: &dyn Solver| {
+            MarketSim::new(&model).run(
+                &generator(model.supply()),
+                solver,
+                MarketConfig { days: 12, gamma: 0.5 },
+            )
+        };
+        let a = run(&GGlobal);
+        let b = run(&GGlobal);
+        assert_eq!(a.total_collected(), b.total_collected());
+        assert_eq!(a.total_regret(), b.total_regret());
+    }
+
+    #[test]
+    fn better_solver_collects_at_least_as_much_on_average() {
+        let model = disjoint_model(&[9, 8, 7, 6, 5, 5, 4, 4, 3, 2, 2, 1]);
+        let g = generator(model.supply());
+        let cfg = MarketConfig { days: 25, gamma: 0.5 };
+        let greedy = MarketSim::new(&model).run(&g, &GOrder, cfg);
+        let bls = MarketSim::new(&model).run(&g, &Bls::default(), cfg);
+        assert!(
+            bls.total_regret() <= greedy.total_regret() * 1.05 + 1e-9,
+            "BLS horizon regret {} should not exceed G-Order's {} meaningfully",
+            bls.total_regret(),
+            greedy.total_regret()
+        );
+    }
+
+    #[test]
+    fn no_billboard_serves_two_live_contracts() {
+        // Locking is what enforces cross-day disjointness; verify it via
+        // the debug assertion path by running many days.
+        let model = disjoint_model(&[6, 6, 6, 6, 6]);
+        let ledger = MarketSim::new(&model).run(
+            &generator(model.supply()),
+            &GGlobal,
+            MarketConfig { days: 30, gamma: 0.5 },
+        );
+        // Utilization can never exceed 1.
+        for d in &ledger.days {
+            assert!(d.utilization() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_day_horizon() {
+        let model = disjoint_model(&[5]);
+        let ledger = MarketSim::new(&model).run(
+            &generator(model.supply()),
+            &GGlobal,
+            MarketConfig { days: 0, gamma: 0.5 },
+        );
+        assert!(ledger.days.is_empty());
+        assert_eq!(ledger.total_collected(), 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Bus-network audit: an SG-style host checks how sensitive its contracts
+//! are to the influence-radius assumption λ.
+//!
+//! Section 7.4 of the paper observes that SG regret is flat for λ ≤ 150 m
+//! (bus-stop billboards only reach their own riders) but moves at λ = 200 m
+//! because stops near interchanges start catching neighbouring routes. A
+//! host auditing its measurement methodology wants to see exactly that
+//! before committing to a λ in its contracts.
+//!
+//! Run with `cargo run --release --example bus_network_audit`.
+
+use mroam_repro::prelude::*;
+
+fn main() {
+    let city = SgConfig::test_scale().generate();
+    println!(
+        "SG-like bus network: {} stops/billboards, {} trips\n",
+        city.billboards.len(),
+        city.trajectories.len()
+    );
+
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>12}",
+        "lambda", "supply I*", "coverage", "G-Global R", "BLS R"
+    );
+    for lambda in [50.0, 100.0, 150.0, 200.0] {
+        let model = city.coverage(lambda);
+        // Same market conditions at every λ; demands re-derive from the new
+        // supply exactly as the paper's Figure 12 setup does.
+        let advertisers = WorkloadConfig {
+            alpha: 1.0,
+            p_avg: 0.10,
+            seed: 7,
+        }
+        .generate(model.supply());
+        let instance = Instance::new(&model, &advertisers, 0.5);
+        let union = model.set_influence(model.billboard_ids());
+
+        let greedy = GGlobal.solve(&instance);
+        let bls = Bls::default().solve(&instance);
+        println!(
+            "{:>7.0}m {:>10} {:>10} {:>12.0} {:>12.0}",
+            lambda,
+            model.supply(),
+            union,
+            greedy.total_regret,
+            bls.total_regret
+        );
+    }
+
+    println!();
+    println!("Audit finding: supply (and hence every contract's demand base) is");
+    println!("identical for lambda in 50..=100 and moves little at 150 — the meets");
+    println!("relation is pinned to the stops riders actually visit. At 200 m,");
+    println!("interchange clusters leak influence across routes; contracts priced");
+    println!("off lambda=200 would overstate what a single stop can deliver.");
+}

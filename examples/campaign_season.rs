@@ -1,0 +1,81 @@
+//! Campaign season: an NYC-style host works through a week of incoming
+//! campaign proposals and compares deployment strategies.
+//!
+//! The scenario the paper's introduction motivates: "the host needs to deal
+//! with multiple advertisers coming every day. It is a standard practice for
+//! each advertiser to submit a campaign proposal…". Each day a fresh batch
+//! of proposals arrives with a different market profile (a quiet Monday of
+//! small advertisers through an oversubscribed Friday of big ones), and the
+//! host must pick billboards for all of them at once.
+//!
+//! Run with `cargo run --release --example campaign_season`.
+
+use mroam_repro::prelude::*;
+
+fn main() {
+    // One shared inventory: a small NYC-like city.
+    let city = NycConfig::test_scale().generate();
+    let model = city.coverage(100.0);
+    println!(
+        "Host inventory: {} billboards, {} trajectories, supply I* = {}\n",
+        model.n_billboards(),
+        model.n_trajectories(),
+        model.supply()
+    );
+
+    // A week of market conditions: (day, alpha, p_avg) — the four cases of
+    // Section 7.2 plus a balanced midweek.
+    let week = [
+        ("Mon: quiet, small advertisers", 0.4, 0.02),
+        ("Tue: quiet, big advertisers", 0.4, 0.10),
+        ("Wed: balanced day", 0.8, 0.05),
+        ("Thu: oversubscribed, small advertisers", 1.2, 0.02),
+        ("Fri: oversubscribed, big advertisers", 1.2, 0.10),
+    ];
+
+    let gamma = 0.5;
+    let mut totals = [0.0f64; 3]; // G-Global, ALS, BLS season totals
+
+    for (i, (day, alpha, p_avg)) in week.iter().enumerate() {
+        let proposals = WorkloadConfig {
+            alpha: *alpha,
+            p_avg: *p_avg,
+            seed: 100 + i as u64,
+        }
+        .generate(model.supply());
+        let instance = Instance::new(&model, &proposals, gamma);
+
+        println!(
+            "{day}: {} proposals, committed payments ${:.0}",
+            proposals.len(),
+            proposals.total_payment()
+        );
+        let solvers: Vec<Box<dyn Solver>> = vec![
+            Box::new(GGlobal),
+            Box::new(Als::default()),
+            Box::new(Bls::default()),
+        ];
+        for (s, solver) in solvers.iter().enumerate() {
+            let solution = solver.solve(&instance);
+            let captured = proposals.total_payment() - solution.total_regret;
+            totals[s] += solution.total_regret;
+            println!(
+                "  {:<9} regret ${:>9.0}  ({} of {} unsatisfied, value captured ${:.0})",
+                solver.name(),
+                solution.total_regret,
+                solution.breakdown.n_unsatisfied,
+                proposals.len(),
+                captured,
+            );
+        }
+        println!();
+    }
+
+    println!("Season summary (lower is better):");
+    for (name, total) in ["G-Global", "ALS", "BLS"].iter().zip(totals) {
+        println!("  {name:<9} cumulative regret ${total:.0}");
+    }
+    println!("\nTakeaway (paper Section 7.2): careful deployment matters most when");
+    println!("demand approaches supply; BLS keeps excessive influence near zero and");
+    println!("satisfies the most advertisers.");
+}

@@ -1,0 +1,57 @@
+//! CSV interchange integration: a generated city survives a full
+//! write-read cycle with its coverage model (and hence every downstream
+//! result) intact.
+
+use mroam_repro::data::csv;
+use mroam_repro::prelude::*;
+
+#[test]
+fn city_roundtrips_through_csv_with_identical_coverage() {
+    let mut city = NycConfig::test_scale().generate();
+    let model = city.coverage(100.0);
+    city.assign_costs(&model, 99);
+
+    let mut billboard_buf = Vec::new();
+    csv::write_billboards(&city.billboards, &mut billboard_buf).unwrap();
+    let mut trajectory_buf = Vec::new();
+    csv::write_trajectories(&city.trajectories, &mut trajectory_buf).unwrap();
+
+    let billboards = csv::read_billboards(&billboard_buf[..]).unwrap();
+    let trajectories = csv::read_trajectories(&trajectory_buf[..]).unwrap();
+    assert_eq!(billboards.len(), city.billboards.len());
+    assert_eq!(trajectories.len(), city.trajectories.len());
+    assert_eq!(billboards.costs(), city.billboards.costs());
+
+    // The meets relation — and therefore everything the algorithms see —
+    // must be bit-identical after the roundtrip.
+    let model2 = mroam_influence::CoverageModel::build(&billboards, &trajectories, 100.0);
+    assert_eq!(model.supply(), model2.supply());
+    for b in model.billboard_ids() {
+        assert_eq!(model.coverage(b), model2.coverage(b), "coverage of {b}");
+    }
+}
+
+#[test]
+fn solver_results_survive_the_roundtrip() {
+    let city = SgConfig::test_scale().generate();
+    let mut buf_b = Vec::new();
+    csv::write_billboards(&city.billboards, &mut buf_b).unwrap();
+    let mut buf_t = Vec::new();
+    csv::write_trajectories(&city.trajectories, &mut buf_t).unwrap();
+    let billboards = csv::read_billboards(&buf_b[..]).unwrap();
+    let trajectories = csv::read_trajectories(&buf_t[..]).unwrap();
+
+    let model_orig = city.coverage(100.0);
+    let model_rt = mroam_influence::CoverageModel::build(&billboards, &trajectories, 100.0);
+    let advertisers = WorkloadConfig {
+        alpha: 0.8,
+        p_avg: 0.10,
+        seed: 4,
+    }
+    .generate(model_orig.supply());
+
+    let sol_orig = GGlobal.solve(&Instance::new(&model_orig, &advertisers, 0.5));
+    let sol_rt = GGlobal.solve(&Instance::new(&model_rt, &advertisers, 0.5));
+    assert_eq!(sol_orig.total_regret, sol_rt.total_regret);
+    assert_eq!(sol_orig.sets, sol_rt.sets);
+}

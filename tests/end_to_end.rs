@@ -1,0 +1,115 @@
+//! End-to-end integration: synthetic city → coverage model → advertiser
+//! workload → all four algorithms, with every cross-crate invariant checked.
+
+use mroam_repro::prelude::*;
+
+fn solve_city(city: &City, alpha: f64, p_avg: f64) -> Vec<(String, Solution)> {
+    let model = city.coverage(100.0);
+    let advertisers = WorkloadConfig {
+        alpha,
+        p_avg,
+        seed: 11,
+    }
+    .generate(model.supply());
+    let instance = Instance::new(&model, &advertisers, 0.5);
+    let solvers: Vec<Box<dyn Solver>> = vec![
+        Box::new(GOrder),
+        Box::new(GGlobal),
+        Box::new(Als::default()),
+        Box::new(Bls::default()),
+    ];
+    solvers
+        .iter()
+        .map(|s| (s.name().to_string(), s.solve(&instance)))
+        .collect()
+}
+
+#[test]
+fn nyc_pipeline_produces_valid_solutions() {
+    let city = NycConfig::test_scale().generate();
+    let model = city.coverage(100.0);
+    for (name, solution) in solve_city(&city, 1.0, 0.10) {
+        solution.assert_disjoint();
+        // Influences must agree with a from-scratch recount.
+        for (i, set) in solution.sets.iter().enumerate() {
+            let recount = model.set_influence(set.iter().copied());
+            assert_eq!(
+                solution.influences[i], recount,
+                "{name}: influence cache vs recount for advertiser {i}"
+            );
+        }
+        // Regret components must sum to the total.
+        assert!(
+            (solution.total_regret - solution.breakdown.total()).abs() < 1e-6,
+            "{name}: breakdown must sum to total"
+        );
+    }
+}
+
+#[test]
+fn sg_pipeline_produces_valid_solutions() {
+    let city = SgConfig::test_scale().generate();
+    for (_, solution) in solve_city(&city, 0.8, 0.10) {
+        solution.assert_disjoint();
+        assert!(solution.total_regret >= 0.0);
+    }
+}
+
+#[test]
+fn local_search_methods_dominate_their_greedy_seed() {
+    for city in [
+        NycConfig::test_scale().generate(),
+        SgConfig::test_scale().generate(),
+    ] {
+        let results = solve_city(&city, 1.0, 0.05);
+        let regret =
+            |n: &str| results.iter().find(|(name, _)| name == n).unwrap().1.total_regret;
+        assert!(
+            regret("ALS") <= regret("G-Global") + 1e-6,
+            "{}: ALS vs G-Global",
+            city.name
+        );
+        assert!(
+            regret("BLS") <= regret("G-Global") + 1e-6,
+            "{}: BLS vs G-Global",
+            city.name
+        );
+    }
+}
+
+#[test]
+fn no_solver_beats_the_do_nothing_bound_badly() {
+    // Every solver's regret must be at most Σ L_i (the empty deployment) —
+    // otherwise it actively harmed the host.
+    let city = NycConfig::test_scale().generate();
+    let model = city.coverage(100.0);
+    let advertisers = WorkloadConfig {
+        alpha: 1.2,
+        p_avg: 0.05,
+        seed: 5,
+    }
+    .generate(model.supply());
+    let do_nothing = advertisers.total_payment();
+    let instance = Instance::new(&model, &advertisers, 0.5);
+    for solver in [&GOrder as &dyn Solver, &GGlobal, &Bls::default()] {
+        let r = solver.solve(&instance).total_regret;
+        assert!(
+            r <= do_nothing + 1e-6,
+            "{} produced regret {} above the do-nothing bound {}",
+            solver.name(),
+            r,
+            do_nothing
+        );
+    }
+}
+
+#[test]
+fn solutions_are_reproducible_across_runs() {
+    let city = NycConfig::test_scale().generate();
+    let a = solve_city(&city, 1.0, 0.10);
+    let b = solve_city(&city, 1.0, 0.10);
+    for ((name_a, sol_a), (_, sol_b)) in a.iter().zip(&b) {
+        assert_eq!(sol_a.total_regret, sol_b.total_regret, "{name_a}");
+        assert_eq!(sol_a.sets, sol_b.sets, "{name_a}");
+    }
+}

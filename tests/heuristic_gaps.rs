@@ -1,0 +1,107 @@
+//! Heuristic-vs-optimal gap measurement on tiny certified instances.
+//!
+//! MROAM admits no constant-factor approximation (Theorem 1), so no bound
+//! can be asserted in general — but on random tiny instances we can verify
+//! that (a) no heuristic ever beats the exact optimum, (b) BLS closes most
+//! of the greedy-to-optimal gap, matching the paper's effectiveness story.
+
+use mroam_influence::CoverageModel;
+use mroam_repro::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Random instance: `n_b` billboards over `n_t` trajectories with random
+/// coverage lists, `n_a` advertisers with demands near an achievable band.
+fn random_instance(
+    seed: u64,
+    n_b: usize,
+    n_t: u32,
+    n_a: usize,
+) -> (CoverageModel, AdvertiserSet) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let lists: Vec<Vec<u32>> = (0..n_b)
+        .map(|_| {
+            let k = rng.gen_range(1..=(n_t / 2).max(2));
+            let mut ids: Vec<u32> = (0..n_t).collect();
+            // Partial Fisher-Yates: take k distinct trajectory ids.
+            for i in 0..k as usize {
+                let j = rng.gen_range(i..n_t as usize);
+                ids.swap(i, j);
+            }
+            let mut l = ids[..k as usize].to_vec();
+            l.sort_unstable();
+            l
+        })
+        .collect();
+    let model = CoverageModel::from_lists(lists, n_t as usize);
+    let supply = model.supply().max(1);
+    let advertisers = AdvertiserSet::new(
+        (0..n_a)
+            .map(|_| {
+                let demand = rng.gen_range(1..=(supply / n_a as u64).max(2));
+                let payment = demand as f64 * rng.gen_range(0.9..1.1);
+                Advertiser::new(demand, payment)
+            })
+            .collect(),
+    );
+    (model, advertisers)
+}
+
+#[test]
+fn exact_is_a_lower_bound_for_every_heuristic() {
+    for seed in 0..12 {
+        let (model, advertisers) = random_instance(seed, 7, 12, 2);
+        let instance = Instance::new(&model, &advertisers, 0.5);
+        let opt = ExactSolver::default().solve(&instance).total_regret;
+        for solver in [
+            &GOrder as &dyn Solver,
+            &GGlobal,
+            &Als::default(),
+            &Bls::default(),
+        ] {
+            let r = solver.solve(&instance).total_regret;
+            assert!(
+                r >= opt - 1e-9,
+                "seed {seed}: {} regret {r} below optimum {opt}",
+                solver.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn bls_closes_most_of_the_greedy_gap() {
+    let mut greedy_gap_total = 0.0;
+    let mut bls_gap_total = 0.0;
+    for seed in 100..120 {
+        let (model, advertisers) = random_instance(seed, 7, 12, 2);
+        let instance = Instance::new(&model, &advertisers, 0.5);
+        let opt = ExactSolver::default().solve(&instance).total_regret;
+        let greedy = GGlobal.solve(&instance).total_regret;
+        let bls = Bls::default().solve(&instance).total_regret;
+        greedy_gap_total += greedy - opt;
+        bls_gap_total += bls - opt;
+    }
+    assert!(
+        bls_gap_total <= greedy_gap_total * 0.5 + 1e-9,
+        "BLS should close at least half the greedy gap on average: \
+         greedy {greedy_gap_total:.3} vs BLS {bls_gap_total:.3}"
+    );
+}
+
+#[test]
+fn gamma_zero_all_or_nothing_semantics() {
+    // With γ = 0, partial fulfilment earns nothing: an advertiser's regret
+    // is exactly L_i unless fully satisfied. Verify on certified optima.
+    for seed in 200..206 {
+        let (model, advertisers) = random_instance(seed, 6, 10, 2);
+        let instance = Instance::new(&model, &advertisers, 0.0);
+        let sol = ExactSolver::default().solve(&instance);
+        for (i, (_, adv)) in advertisers.iter().enumerate() {
+            let r = mroam_repro::core::regret(adv, sol.influences[i], 0.0);
+            if sol.influences[i] < adv.demand {
+                assert_eq!(r, adv.payment, "unsatisfied must cost full payment");
+            }
+        }
+    }
+}

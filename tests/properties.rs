@@ -1,0 +1,108 @@
+//! Property-based integration tests over randomly generated MROAM
+//! instances: every solver, every invariant.
+
+use mroam_influence::CoverageModel;
+use mroam_repro::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random coverage model (as sorted unique id lists) plus a
+/// random advertiser population.
+fn arb_instance() -> impl Strategy<Value = (Vec<Vec<u32>>, u32, Vec<(u64, f64)>)> {
+    (2u32..30).prop_flat_map(|n_t| {
+        let lists = proptest::collection::vec(
+            proptest::collection::btree_set(0..n_t, 0..n_t as usize),
+            1..10,
+        )
+        .prop_map(|sets| {
+            sets.into_iter()
+                .map(|s| s.into_iter().collect::<Vec<u32>>())
+                .collect::<Vec<_>>()
+        });
+        let advertisers = proptest::collection::vec((1u64..40, 1.0..100.0f64), 1..4);
+        (lists, Just(n_t), advertisers)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_solver_returns_a_consistent_solution(
+        (lists, n_t, advs) in arb_instance(),
+        gamma in 0.0..=1.0f64,
+    ) {
+        let model = CoverageModel::from_lists(lists, n_t as usize);
+        let advertisers = AdvertiserSet::new(
+            advs.iter().map(|&(d, p)| Advertiser::new(d, p)).collect(),
+        );
+        let instance = Instance::new(&model, &advertisers, gamma);
+        let solvers: Vec<Box<dyn Solver>> = vec![
+            Box::new(GOrder),
+            Box::new(GGlobal),
+            Box::new(Als { restarts: 2, seed: 9, parallel: false }),
+            Box::new(Bls { restarts: 2, seed: 9, ..Bls::default() }),
+        ];
+        for solver in solvers {
+            let sol = solver.solve(&instance);
+            sol.assert_disjoint();
+            prop_assert_eq!(sol.sets.len(), advertisers.len());
+            // Influence caches must match recounts.
+            for (i, set) in sol.sets.iter().enumerate() {
+                prop_assert_eq!(
+                    sol.influences[i],
+                    model.set_influence(set.iter().copied()),
+                    "{} advertiser {}", solver.name(), i
+                );
+            }
+            // Regret must equal the recomputed sum.
+            let expected: f64 = advertisers
+                .iter()
+                .map(|(id, a)| mroam_repro::core::regret(a, sol.influences[id.index()], gamma))
+                .sum();
+            prop_assert!((sol.total_regret - expected).abs() < 1e-6,
+                "{}: total {} vs recomputed {}", solver.name(), sol.total_regret, expected);
+            // Note: greedy can legitimately end *above* the do-nothing
+            // regret Σ L (Algorithm 1 keeps assigning while unsatisfied,
+            // even when the best billboard massively overshoots a tiny
+            // demand — the paper's Case 1 "high excessive influence"
+            // observation), so no do-nothing bound is asserted here.
+            prop_assert!(sol.total_regret.is_finite() && sol.total_regret >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn local_search_never_worse_than_greedy(
+        (lists, n_t, advs) in arb_instance(),
+    ) {
+        let model = CoverageModel::from_lists(lists, n_t as usize);
+        let advertisers = AdvertiserSet::new(
+            advs.iter().map(|&(d, p)| Advertiser::new(d, p)).collect(),
+        );
+        let instance = Instance::new(&model, &advertisers, 0.5);
+        let greedy = GGlobal.solve(&instance).total_regret;
+        let als = Als { restarts: 2, seed: 1, parallel: false }.solve(&instance).total_regret;
+        let bls = Bls { restarts: 2, seed: 1, ..Bls::default() }.solve(&instance).total_regret;
+        prop_assert!(als <= greedy + 1e-9);
+        prop_assert!(bls <= greedy + 1e-9);
+    }
+
+    #[test]
+    fn duality_of_solution_objectives(
+        (lists, n_t, advs) in arb_instance(),
+    ) {
+        // At γ = 1, R(S) + R'(S) = Σ L_i for any deployment (Section 6.3).
+        let model = CoverageModel::from_lists(lists, n_t as usize);
+        let advertisers = AdvertiserSet::new(
+            advs.iter().map(|&(d, p)| Advertiser::new(d, p)).collect(),
+        );
+        let instance = Instance::new(&model, &advertisers, 1.0);
+        let sol = GGlobal.solve(&instance);
+        let dual: f64 = advertisers
+            .iter()
+            .map(|(id, a)| mroam_repro::core::dual_revenue(a, sol.influences[id.index()]))
+            .sum();
+        prop_assert!(
+            (sol.total_regret + dual - advertisers.total_payment()).abs() < 1e-6
+        );
+    }
+}
