@@ -29,7 +29,10 @@ fn bench_restart_budget(c: &mut Criterion) {
             ..Bls::default()
         };
         let sol = solver.solve(&instance);
-        eprintln!("[ablation restarts={restarts}] BLS regret={:.1}", sol.total_regret);
+        eprintln!(
+            "[ablation restarts={restarts}] BLS regret={:.1}",
+            sol.total_regret
+        );
         group.bench_with_input(
             BenchmarkId::from_parameter(restarts),
             &instance,
@@ -54,7 +57,7 @@ fn bench_improvement_ratio(c: &mut Criterion) {
             restarts: 1,
             seed: 7,
             improvement_ratio: r,
-            parallel: false,
+            ..Bls::default()
         };
         let sol = solver.solve(&instance);
         eprintln!("[ablation r={r}] BLS regret={:.1}", sol.total_regret);
@@ -78,7 +81,7 @@ fn bench_neighbourhood(c: &mut Criterion) {
     let als = Als {
         restarts: 0,
         seed: 7,
-        parallel: false,
+        ..Als::default()
     };
     let bls = Bls {
         restarts: 0,

@@ -1,0 +1,93 @@
+//! Lazy marginal-gain engine vs the naive full rescan.
+//!
+//! Times the two selection paths through the same algorithms on the
+//! NYC-like and SG-like fixture cities:
+//!
+//! * **G-Global end-to-end** — Algorithm 2 start to finish, where every
+//!   assignment triggers one argmax over the free pool. This is the
+//!   headline number for EXPERIMENTS.md (target: ≥3× on the fixture
+//!   scale).
+//! * **Single-argmax microbench** — one `best_billboard` query against a
+//!   warm queue vs one naive full scan, isolating the per-query win.
+//!
+//! Every pairing first asserts the two paths produce the *identical*
+//! solution (same sets, same regret) — a slow-but-wrong bench would be
+//! worse than useless.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mroam_bench::{model_of, workload};
+use mroam_core::greedy::{best_billboard_for, g_global_naive};
+use mroam_core::prelude::*;
+use mroam_datagen::{City, NycConfig, SgConfig};
+
+/// Experiment-scale cities (300 / 800 billboards), not the tiny
+/// `test_scale` fixtures — the lazy engine's win grows with the pool, and
+/// the EXPERIMENTS.md table quotes these sizes.
+fn fixtures() -> Vec<(&'static str, City)> {
+    vec![
+        ("nyc", NycConfig::default().generate()),
+        ("sg", SgConfig::default().generate()),
+    ]
+}
+
+fn bench_g_global_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gain_engine/g_global");
+    group.sample_size(10);
+    for (name, city) in fixtures() {
+        let model = model_of(&city);
+        let advertisers = workload(&model, 1.0, 0.05);
+        let instance = Instance::new(&model, &advertisers, 0.5);
+
+        // Bit-identity gate: the lazy engine must not change the answer.
+        let lazy = GGlobal.solve(&instance);
+        let naive = g_global_naive(&instance);
+        assert_eq!(lazy.sets, naive.sets, "{name}: lazy vs naive sets diverge");
+        assert_eq!(
+            lazy.total_regret, naive.total_regret,
+            "{name}: lazy vs naive regret diverges"
+        );
+        eprintln!(
+            "[gain_engine {name}] billboards={} advertisers={} regret={:.1}",
+            model.n_billboards(),
+            advertisers.len(),
+            lazy.total_regret
+        );
+
+        group.bench_with_input(BenchmarkId::new("lazy", name), &instance, |b, inst| {
+            b.iter(|| GGlobal.solve(inst))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", name), &instance, |b, inst| {
+            b.iter(|| g_global_naive(inst))
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_argmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gain_engine/argmax");
+    group.sample_size(30);
+    for (name, city) in fixtures() {
+        let model = model_of(&city);
+        let advertisers = workload(&model, 1.0, 0.05);
+        let instance = Instance::new(&model, &advertisers, 0.5);
+        let alloc = Allocation::new(instance);
+        let a = mroam_data::AdvertiserId(0);
+
+        // Warm the engine's queue once, then time repeat queries — the
+        // steady-state cost CELF laziness is designed to collapse.
+        let mut engine = GainEngine::new(&alloc);
+        let warm = engine.best_billboard(&alloc, a);
+        assert_eq!(warm, best_billboard_for(&alloc, a));
+
+        group.bench_with_input(BenchmarkId::new("lazy_warm", name), &alloc, |b, al| {
+            b.iter(|| engine.best_billboard(al, a))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", name), &alloc, |b, al| {
+            b.iter(|| best_billboard_for(al, a))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_g_global_end_to_end, bench_single_argmax);
+criterion_main!(benches);

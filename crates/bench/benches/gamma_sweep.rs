@@ -12,8 +12,8 @@ fn bench_gamma(c: &mut Criterion) {
         let advertisers = workload(&model, 1.0, 0.05);
         let mut group = c.benchmark_group(format!("fig{figure}_gamma_{}", city.name));
         group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(3));
+        group.warm_up_time(std::time::Duration::from_secs(1));
+        group.measurement_time(std::time::Duration::from_secs(3));
 
         for gamma in [0.0, 0.5, 1.0] {
             let instance = Instance::new(&model, &advertisers, gamma);

@@ -11,8 +11,8 @@ fn bench_lambda(c: &mut Criterion) {
     for city in [nyc_city(), sg_city()] {
         let mut group = c.benchmark_group(format!("fig12_lambda_{}", city.name));
         group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(3));
+        group.warm_up_time(std::time::Duration::from_secs(1));
+        group.measurement_time(std::time::Duration::from_secs(3));
 
         for lambda in [50.0, 100.0, 150.0, 200.0] {
             let model = city.coverage(lambda);

@@ -76,22 +76,18 @@ fn bench_counters(c: &mut Criterion) {
         ("dense", CoverageCounter::dense(n_t)),
         ("sparse", CoverageCounter::sparse()),
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("add_remove_all", name),
-            &mk,
-            |b, proto| {
-                b.iter(|| {
-                    let mut counter = proto.clone();
-                    for l in &lists {
-                        counter.add(l);
-                    }
-                    for l in &lists {
-                        counter.remove(l);
-                    }
-                    counter.covered()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("add_remove_all", name), &mk, |b, proto| {
+            b.iter(|| {
+                let mut counter = proto.clone();
+                for l in &lists {
+                    counter.add(l);
+                }
+                for l in &lists {
+                    counter.remove(l);
+                }
+                counter.covered()
+            })
+        });
         group.bench_with_input(
             BenchmarkId::new("marginal_gain_scan", name),
             &mk,
@@ -100,12 +96,7 @@ fn bench_counters(c: &mut Criterion) {
                 for l in lists.iter().take(lists.len() / 2) {
                     counter.add(l);
                 }
-                b.iter(|| {
-                    lists
-                        .iter()
-                        .map(|l| counter.marginal_gain(l))
-                        .sum::<u64>()
-                })
+                b.iter(|| lists.iter().map(|l| counter.marginal_gain(l)).sum::<u64>())
             },
         );
     }
@@ -126,5 +117,11 @@ fn bench_bitset(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_grid, bench_meets, bench_counters, bench_bitset);
+criterion_group!(
+    benches,
+    bench_grid,
+    bench_meets,
+    bench_counters,
+    bench_bitset
+);
 criterion_main!(benches);

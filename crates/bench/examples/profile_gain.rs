@@ -1,0 +1,99 @@
+//! Ad-hoc phase profiler for the lazy gain engine (not a criterion bench).
+//!
+//! Replicates the G-Global driver loop with manual timers around the
+//! engine queries, the naive queries, and the assignments, to show where
+//! end-to-end wall-clock goes. Run with:
+//!
+//! ```text
+//! cargo run --release -p mroam-bench --example profile_gain
+//! ```
+
+use std::time::{Duration, Instant};
+
+use mroam_bench::{model_of, workload};
+use mroam_core::greedy::best_billboard_for;
+use mroam_core::prelude::*;
+use mroam_data::AdvertiserId;
+use mroam_datagen::NycConfig;
+
+fn main() {
+    let city = NycConfig::default().generate();
+    let model = model_of(&city);
+    let advertisers = workload(&model, 1.0, 0.05);
+    let instance = Instance::new(&model, &advertisers, 0.5);
+    // Build the lazily-initialised index structures up front so the first
+    // timed lazy query doesn't pay for them.
+    let _ = model.overlap_graph();
+    let _ = model.coverage_bitmap();
+
+    for lazy in [true, false] {
+        let mut alloc = Allocation::new(instance);
+        let mut engine = GainEngine::new(&alloc);
+        let n = alloc.n_advertisers();
+        let mut active = vec![true; n];
+        let mut t_query = Duration::ZERO;
+        let mut t_assign = Duration::ZERO;
+        let mut queries = 0u64;
+        let mut assigns = 0u64;
+        let total = Instant::now();
+        loop {
+            let mut assigned = false;
+            for i in 0..n {
+                let a = AdvertiserId::from_index(i);
+                if !active[a.index()] || alloc.is_satisfied(a) {
+                    continue;
+                }
+                let t0 = Instant::now();
+                let pick = if lazy {
+                    engine.best_billboard(&alloc, a)
+                } else {
+                    best_billboard_for(&alloc, a)
+                };
+                t_query += t0.elapsed();
+                queries += 1;
+                if let Some(b) = pick {
+                    let t0 = Instant::now();
+                    alloc.assign(b, a);
+                    t_assign += t0.elapsed();
+                    assigns += 1;
+                    assigned = true;
+                }
+            }
+            let unsat: Vec<AdvertiserId> = (0..n)
+                .map(AdvertiserId::from_index)
+                .filter(|&a| active[a.index()] && !alloc.is_satisfied(a))
+                .collect();
+            if unsat.is_empty() {
+                break;
+            }
+            if assigned {
+                continue;
+            }
+            if unsat.len() >= 2 {
+                let victim = unsat
+                    .into_iter()
+                    .min_by(|&a, &b| {
+                        alloc
+                            .advertiser(a)
+                            .budget_effectiveness()
+                            .total_cmp(&alloc.advertiser(b).budget_effectiveness())
+                            .then(a.0.cmp(&b.0))
+                    })
+                    .expect("non-empty");
+                alloc.release_all(victim);
+                active[victim.index()] = false;
+            } else {
+                break;
+            }
+        }
+        println!(
+            "{}: total={:?} queries={} ({:?}) assigns={} ({:?})",
+            if lazy { "lazy " } else { "naive" },
+            total.elapsed(),
+            queries,
+            t_query,
+            assigns,
+            t_assign,
+        );
+    }
+}

@@ -46,7 +46,7 @@ pub fn solvers() -> Vec<(&'static str, Box<dyn Solver>)> {
             Box::new(Als {
                 restarts: 3,
                 seed: 7,
-                parallel: false,
+                ..Als::default()
             }),
         ),
         (

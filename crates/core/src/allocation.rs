@@ -18,6 +18,40 @@ use mroam_influence::MeasuredCounter;
 /// Sentinel for "not in any position list".
 const NONE_POS: u32 = u32::MAX;
 
+/// One entry of the allocation's append-only move log.
+///
+/// Consumers (the lazy [`GainEngine`](crate::gain::GainEngine)) keep a
+/// cursor into [`Allocation::events`] and catch up lazily; the log is the
+/// channel through which assign/release moves become cache-invalidation
+/// events. Compound moves (`cross_swap`, `replace_with_free`,
+/// `release_all`) are built from `assign`/`release` and therefore log
+/// automatically; `exchange_plans` swaps whole sets without touching the
+/// free pool and logs its own variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocEvent {
+    /// Billboard `b` was assigned to advertiser `a`.
+    Assigned {
+        /// The billboard taken from the free pool.
+        b: BillboardId,
+        /// Its new owner.
+        a: AdvertiserId,
+    },
+    /// Billboard `b` was released by advertiser `a` back to the free pool.
+    Released {
+        /// The billboard returned to the free pool.
+        b: BillboardId,
+        /// Its previous owner.
+        a: AdvertiserId,
+    },
+    /// Advertisers `i` and `j` traded entire plans (Algorithm 4's move).
+    PlansExchanged {
+        /// One side of the trade.
+        i: AdvertiserId,
+        /// The other side.
+        j: AdvertiserId,
+    },
+}
+
 /// A mutable deployment `S = {S_1, …, S_|A|}` over one instance.
 #[derive(Debug, Clone)]
 pub struct Allocation<'a> {
@@ -39,6 +73,8 @@ pub struct Allocation<'a> {
     free: Vec<BillboardId>,
     /// Cached `Σ regrets`.
     total_regret: f64,
+    /// Append-only move log consumed by incremental observers.
+    events: Vec<AllocEvent>,
 }
 
 impl<'a> Allocation<'a> {
@@ -67,6 +103,7 @@ impl<'a> Allocation<'a> {
             regrets,
             free: (0..n_b).map(BillboardId::from_index).collect(),
             total_regret,
+            events: Vec::new(),
         }
     }
 
@@ -203,17 +240,18 @@ impl<'a> Allocation<'a> {
         self.owner[b.index()] = Some(a);
         let gained = self.counters[a.index()].add(self.instance.model.coverage(b));
         self.set_influence_cache(a, self.influences[a.index()] + gained);
+        self.events.push(AllocEvent::Assigned { b, a });
     }
 
     /// Releases billboard `b` back to the free pool. Panics if unowned.
     pub fn release(&mut self, b: BillboardId) {
-        let a = self.owner[b.index()]
-            .unwrap_or_else(|| panic!("billboard {b} is not assigned"));
+        let a = self.owner[b.index()].unwrap_or_else(|| panic!("billboard {b} is not assigned"));
         self.remove_from_set(b, a);
         self.push_to_free(b);
         self.owner[b.index()] = None;
         let lost = self.counters[a.index()].remove(self.instance.model.coverage(b));
         self.set_influence_cache(a, self.influences[a.index()] - lost);
+        self.events.push(AllocEvent::Released { b, a });
     }
 
     /// Releases every billboard of advertiser `a`.
@@ -230,11 +268,48 @@ impl<'a> Allocation<'a> {
         self.counters[a.index()].marginal_gain(self.instance.model.coverage(b))
     }
 
+    /// How many billboards of `a`'s plan cover trajectory `t`.
+    #[inline]
+    pub fn coverage_count(&self, a: AdvertiserId, t: u32) -> u32 {
+        self.counters[a.index()].count(t)
+    }
+
     /// Regret decrease `R(S_a) − R(S_a ∪ {b})` of assigning `b` to `a`
     /// (positive = improvement), without mutating anything.
     pub fn regret_decrease_of_adding(&self, a: AdvertiserId, b: BillboardId) -> f64 {
-        let gain = self.marginal_gain(a, b);
-        self.regrets[a.index()] - self.regret_at(a, self.influences[a.index()] + gain)
+        self.regret_decrease_of_gain(a, self.marginal_gain(a, b))
+    }
+
+    /// Regret decrease of an influence gain of `gain` units for `a`, with
+    /// the same float evaluation order as
+    /// [`regret_decrease_of_adding`](Self::regret_decrease_of_adding) —
+    /// callers that already hold the marginal gain (the lazy engine) get a
+    /// bit-identical score without recounting coverage.
+    ///
+    /// When the advertiser stays strictly unsatisfied after the gain, the
+    /// decrease is evaluated through its closed form `L·γ·g/d` rather than
+    /// the subtraction `R(I) − R(I+g)`. The two are mathematically equal,
+    /// but the closed form's float value is *independent of the current
+    /// influence* — which lets the lazy engine reuse a cached score as long
+    /// as the gain itself is unchanged, instead of treating every cached
+    /// value as drifted the moment `I(S_a)` moves.
+    #[inline]
+    pub fn regret_decrease_of_gain(&self, a: AdvertiserId, gain: u64) -> f64 {
+        let i = a.index();
+        let influence = self.influences[i];
+        let adv = self.advertiser(a);
+        if influence + gain < adv.demand {
+            adv.payment * self.instance.gamma * gain as f64 / adv.demand as f64
+        } else {
+            self.regrets[i] - self.regret_at(a, influence + gain)
+        }
+    }
+
+    /// The append-only move log since this allocation (or its clone source)
+    /// was created. Incremental observers keep a cursor into this slice.
+    #[inline]
+    pub fn events(&self) -> &[AllocEvent] {
+        &self.events
     }
 
     /// Total-regret change (negative = improvement) of swapping owned
@@ -328,6 +403,7 @@ impl<'a> Allocation<'a> {
         }
         self.set_influence_cache(i, fj);
         self.set_influence_cache(j, fi);
+        self.events.push(AllocEvent::PlansExchanged { i, j });
     }
 
     // ---- reporting -----------------------------------------------------------
@@ -384,8 +460,7 @@ impl<'a> Allocation<'a> {
                 assert!(!seen[b.index()], "{b} assigned twice");
                 seen[b.index()] = true;
             }
-            let expected =
-                model.set_influence_measured(set.iter().copied(), self.instance.measure);
+            let expected = model.set_influence_measured(set.iter().copied(), self.instance.measure);
             assert_eq!(
                 self.influences[i], expected,
                 "influence cache desync for {a}"
@@ -402,7 +477,10 @@ impl<'a> Allocation<'a> {
             assert!(!seen[b.index()], "{b} both free and assigned");
             seen[b.index()] = true;
         }
-        assert!(seen.iter().all(|&s| s), "billboard neither free nor assigned");
+        assert!(
+            seen.iter().all(|&s| s),
+            "billboard neither free nor assigned"
+        );
         assert!(
             (self.total_regret - self.recomputed_total_regret()).abs() < 1e-6,
             "total regret drift"
@@ -414,32 +492,9 @@ impl<'a> Allocation<'a> {
 mod tests {
     use super::*;
     use crate::advertiser::{Advertiser, AdvertiserSet};
+    use crate::testutil::{example1_advertisers, example1_model, example1_table1_model, ids};
     use mroam_influence::CoverageModel;
     use proptest::prelude::*;
-
-    /// Example 1 of the paper: influences 2, 6, 7, 7, 1, 1 over disjoint
-    /// trajectory sets.
-    fn example1_model() -> CoverageModel {
-        let mut lists = Vec::new();
-        let mut next = 0u32;
-        for k in [2u32, 6, 7, 7, 1, 1] {
-            lists.push((next..next + k).collect::<Vec<u32>>());
-            next += k;
-        }
-        CoverageModel::from_lists(lists, next as usize)
-    }
-
-    fn example1_advertisers() -> AdvertiserSet {
-        AdvertiserSet::new(vec![
-            Advertiser::new(5, 10.0),
-            Advertiser::new(7, 11.0),
-            Advertiser::new(8, 20.0),
-        ])
-    }
-
-    fn ids(v: &[u32]) -> Vec<BillboardId> {
-        v.iter().map(|&i| BillboardId(i)).collect()
-    }
 
     #[test]
     fn empty_allocation_regret_is_total_payment() {
@@ -461,21 +516,12 @@ mod tests {
         // satisfies N with deficit 1, i.e. I(S3) = 7. Re-reading Table 1:
         // I(o3) = 3 (o3 column reads 3). Keep our own arithmetic: use the
         // actual Table 1 influences 2, 6, 3, 7, 1, 1.
-        let mut lists = Vec::new();
-        let mut next = 0u32;
-        for k in [2u32, 6, 3, 7, 1, 1] {
-            lists.push((next..next + k).collect::<Vec<u32>>());
-            next += k;
-        }
-        let model = CoverageModel::from_lists(lists, next as usize);
+        let model = example1_table1_model();
         let advs = example1_advertisers();
         let inst = Instance::new(&model, &advs, 0.5);
 
         // Strategy 1: a1←{o2}(I=6), a2←{o4}(I=7), a3←{o1,o3,o5,o6}(I=7<8).
-        let alloc = Allocation::from_sets(
-            inst,
-            &[ids(&[1]), ids(&[3]), ids(&[0, 2, 4, 5])],
-        );
+        let alloc = Allocation::from_sets(inst, &[ids(&[1]), ids(&[3]), ids(&[0, 2, 4, 5])]);
         alloc.check_invariants();
         assert_eq!(alloc.influence(AdvertiserId(0)), 6);
         assert_eq!(alloc.influence(AdvertiserId(1)), 7);
@@ -491,10 +537,7 @@ mod tests {
         assert_eq!(b.n_unsatisfied, 1);
 
         // Strategy 2: a1←{o1,o3}(I=5), a2←{o4}(I=7), a3←{o2,o5,o6}(I=8) → 0.
-        let alloc2 = Allocation::from_sets(
-            inst,
-            &[ids(&[0, 2]), ids(&[3]), ids(&[1, 4, 5])],
-        );
+        let alloc2 = Allocation::from_sets(inst, &[ids(&[0, 2]), ids(&[3]), ids(&[1, 4, 5])]);
         assert_eq!(alloc2.total_regret(), 0.0);
         alloc2.check_invariants();
     }
@@ -541,8 +584,7 @@ mod tests {
         let model = example1_model();
         let advs = example1_advertisers();
         let inst = Instance::new(&model, &advs, 0.5);
-        let mut alloc =
-            Allocation::from_sets(inst, &[ids(&[1]), ids(&[3]), ids(&[0, 2, 4, 5])]);
+        let mut alloc = Allocation::from_sets(inst, &[ids(&[1]), ids(&[3]), ids(&[0, 2, 4, 5])]);
         let predicted = alloc.eval_cross_swap(BillboardId(1), BillboardId(0));
         let before = alloc.total_regret();
         alloc.cross_swap(BillboardId(1), BillboardId(0));
@@ -585,8 +627,7 @@ mod tests {
         let model = example1_model();
         let advs = example1_advertisers();
         let inst = Instance::new(&model, &advs, 0.5);
-        let mut alloc =
-            Allocation::from_sets(inst, &[ids(&[1]), ids(&[3]), ids(&[0, 4, 5])]);
+        let mut alloc = Allocation::from_sets(inst, &[ids(&[1]), ids(&[3]), ids(&[0, 4, 5])]);
         let predicted = alloc.eval_exchange_plans(AdvertiserId(0), AdvertiserId(2));
         let before = alloc.total_regret();
         alloc.exchange_plans(AdvertiserId(0), AdvertiserId(2));
@@ -622,6 +663,56 @@ mod tests {
         alloc.assign(BillboardId(1), AdvertiserId(0));
         assert_eq!(alloc.influence(AdvertiserId(0)), 3); // not 4
         alloc.check_invariants();
+    }
+
+    #[test]
+    fn event_log_records_every_move() {
+        let model = example1_model();
+        let advs = example1_advertisers();
+        let inst = Instance::new(&model, &advs, 0.5);
+        let mut alloc = Allocation::new(inst);
+        assert!(alloc.events().is_empty());
+        alloc.assign(BillboardId(0), AdvertiserId(0));
+        alloc.assign(BillboardId(1), AdvertiserId(1));
+        alloc.release(BillboardId(0));
+        alloc.exchange_plans(AdvertiserId(0), AdvertiserId(1));
+        // Compound moves decompose into the primitives.
+        alloc.assign(BillboardId(2), AdvertiserId(2));
+        alloc.replace_with_free(BillboardId(2), BillboardId(3));
+        use AllocEvent::*;
+        assert_eq!(
+            alloc.events(),
+            &[
+                Assigned {
+                    b: BillboardId(0),
+                    a: AdvertiserId(0)
+                },
+                Assigned {
+                    b: BillboardId(1),
+                    a: AdvertiserId(1)
+                },
+                Released {
+                    b: BillboardId(0),
+                    a: AdvertiserId(0)
+                },
+                PlansExchanged {
+                    i: AdvertiserId(0),
+                    j: AdvertiserId(1)
+                },
+                Assigned {
+                    b: BillboardId(2),
+                    a: AdvertiserId(2)
+                },
+                Released {
+                    b: BillboardId(2),
+                    a: AdvertiserId(2)
+                },
+                Assigned {
+                    b: BillboardId(3),
+                    a: AdvertiserId(2)
+                },
+            ]
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! solution and all restarts wins.
 
 use crate::allocation::Allocation;
-use crate::greedy::synchronous_greedy;
+use crate::greedy::{synchronous_greedy, synchronous_greedy_naive};
 use crate::instance::Instance;
 use crate::solver::{Solution, Solver};
 use mroam_data::AdvertiserId;
@@ -75,6 +75,11 @@ pub struct Als {
     /// sequential loop; the result set is identical because restarts are
     /// independent and the minimum is associative.
     pub parallel: bool,
+    /// Use the naive full-scan selection for the greedy completions instead
+    /// of the lazy [`GainEngine`](crate::gain::GainEngine). Results are
+    /// bit-identical either way; the flag exists for equivalence tests and
+    /// benches.
+    pub naive_scan: bool,
 }
 
 impl Default for Als {
@@ -83,16 +88,27 @@ impl Default for Als {
             restarts: 10,
             seed: 0x5EED,
             parallel: false,
+            naive_scan: false,
         }
     }
 }
 
 impl Als {
+    fn run_greedy(&self, alloc: &mut Allocation<'_>) {
+        if self.naive_scan {
+            synchronous_greedy_naive(alloc);
+        } else {
+            synchronous_greedy(alloc);
+        }
+    }
+
     fn one_restart(&self, instance: &Instance<'_>, restart_index: usize) -> Solution {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ (restart_index as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.seed ^ (restart_index as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        );
         let mut alloc = Allocation::new(*instance);
         random_seed_assignment(&mut alloc, &mut rng);
-        synchronous_greedy(&mut alloc);
+        self.run_greedy(&mut alloc);
         advertiser_local_search(&mut alloc);
         alloc.to_solution()
     }
@@ -107,7 +123,7 @@ impl Solver for Als {
         // Line 3.1: the incumbent is the plain synchronous greedy solution.
         let mut best = {
             let mut alloc = Allocation::new(*instance);
-            synchronous_greedy(&mut alloc);
+            self.run_greedy(&mut alloc);
             alloc.to_solution()
         };
 
@@ -140,31 +156,21 @@ mod tests {
     use super::*;
     use crate::advertiser::{Advertiser, AdvertiserSet};
     use crate::greedy::GGlobal;
-    use mroam_influence::CoverageModel;
-
-    fn disjoint_model(influences: &[u32]) -> CoverageModel {
-        let mut lists = Vec::new();
-        let mut next = 0u32;
-        for &k in influences {
-            lists.push((next..next + k).collect::<Vec<u32>>());
-            next += k;
-        }
-        CoverageModel::from_lists(lists, next as usize)
-    }
+    use crate::testutil::disjoint_model;
 
     #[test]
     fn local_search_fixes_a_bad_plan_exchange() {
         // a0 demands 10 and holds influence 3; a1 demands 3 and holds 10.
         // Exchanging the plans zeroes the regret.
         let model = disjoint_model(&[3, 10]);
-        let advs = AdvertiserSet::new(vec![
-            Advertiser::new(10, 10.0),
-            Advertiser::new(3, 3.0),
-        ]);
+        let advs = AdvertiserSet::new(vec![Advertiser::new(10, 10.0), Advertiser::new(3, 3.0)]);
         let inst = Instance::new(&model, &advs, 0.5);
         let mut alloc = Allocation::from_sets(
             inst,
-            &[vec![mroam_data::BillboardId(0)], vec![mroam_data::BillboardId(1)]],
+            &[
+                vec![mroam_data::BillboardId(0)],
+                vec![mroam_data::BillboardId(1)],
+            ],
         );
         assert!(alloc.total_regret() > 0.0);
         let exchanges = advertiser_local_search(&mut alloc);
@@ -176,14 +182,14 @@ mod tests {
     #[test]
     fn local_search_terminates_at_fixpoint() {
         let model = disjoint_model(&[5, 5]);
-        let advs = AdvertiserSet::new(vec![
-            Advertiser::new(5, 5.0),
-            Advertiser::new(5, 5.0),
-        ]);
+        let advs = AdvertiserSet::new(vec![Advertiser::new(5, 5.0), Advertiser::new(5, 5.0)]);
         let inst = Instance::new(&model, &advs, 0.5);
         let mut alloc = Allocation::from_sets(
             inst,
-            &[vec![mroam_data::BillboardId(0)], vec![mroam_data::BillboardId(1)]],
+            &[
+                vec![mroam_data::BillboardId(0)],
+                vec![mroam_data::BillboardId(1)],
+            ],
         );
         // Already optimal: no exchange should fire.
         assert_eq!(advertiser_local_search(&mut alloc), 0);
@@ -207,15 +213,12 @@ mod tests {
     #[test]
     fn als_is_deterministic_given_seed() {
         let model = disjoint_model(&[9, 7, 5, 3, 1, 1, 1, 2]);
-        let advs = AdvertiserSet::new(vec![
-            Advertiser::new(10, 10.0),
-            Advertiser::new(9, 12.0),
-        ]);
+        let advs = AdvertiserSet::new(vec![Advertiser::new(10, 10.0), Advertiser::new(9, 12.0)]);
         let inst = Instance::new(&model, &advs, 0.5);
         let solver = Als {
             restarts: 5,
             seed: 99,
-            parallel: false,
+            ..Als::default()
         };
         let a = solver.solve(&inst);
         let b = solver.solve(&inst);
@@ -232,20 +235,34 @@ mod tests {
             Advertiser::new(8, 8.0),
         ]);
         let inst = Instance::new(&model, &advs, 0.5);
-        let seq = Als { restarts: 6, seed: 7, parallel: false }.solve(&inst);
-        let par = Als { restarts: 6, seed: 7, parallel: true }.solve(&inst);
+        let seq = Als {
+            restarts: 6,
+            seed: 7,
+            parallel: false,
+            ..Als::default()
+        }
+        .solve(&inst);
+        let par = Als {
+            restarts: 6,
+            seed: 7,
+            parallel: true,
+            ..Als::default()
+        }
+        .solve(&inst);
         assert_eq!(seq.total_regret, par.total_regret);
     }
 
     #[test]
     fn als_with_zero_restarts_equals_g_global() {
         let model = disjoint_model(&[4, 4, 4]);
-        let advs = AdvertiserSet::new(vec![
-            Advertiser::new(8, 8.0),
-            Advertiser::new(4, 4.0),
-        ]);
+        let advs = AdvertiserSet::new(vec![Advertiser::new(8, 8.0), Advertiser::new(4, 4.0)]);
         let inst = Instance::new(&model, &advs, 0.5);
-        let als = Als { restarts: 0, seed: 1, parallel: false }.solve(&inst);
+        let als = Als {
+            restarts: 0,
+            seed: 1,
+            ..Als::default()
+        }
+        .solve(&inst);
         let greedy = GGlobal.solve(&inst);
         assert_eq!(als.total_regret, greedy.total_regret);
     }

@@ -19,7 +19,7 @@
 
 use crate::allocation::Allocation;
 use crate::als::{random_seed_assignment, IMPROVEMENT_EPS};
-use crate::greedy::synchronous_greedy;
+use crate::greedy::{synchronous_greedy, synchronous_greedy_naive};
 use crate::instance::Instance;
 use crate::solver::{Solution, Solver};
 use mroam_data::{AdvertiserId, BillboardId};
@@ -42,6 +42,11 @@ pub struct Bls {
     /// Run restarts on the rayon pool (identical results; see
     /// [`crate::als::Als::parallel`]).
     pub parallel: bool,
+    /// Use the naive full-scan selection instead of the lazy
+    /// [`GainEngine`](crate::gain::GainEngine) for the greedy completions
+    /// and the move-2 free-swap scan. Results are bit-identical either
+    /// way; the flag exists for equivalence tests and benches.
+    pub naive_scan: bool,
 }
 
 impl Default for Bls {
@@ -51,6 +56,7 @@ impl Default for Bls {
             seed: 0x5EED,
             improvement_ratio: 0.0,
             parallel: false,
+            naive_scan: false,
         }
     }
 }
@@ -62,13 +68,22 @@ impl Bls {
         IMPROVEMENT_EPS.max(self.improvement_ratio * current_regret.max(0.0))
     }
 
+    /// The synchronous-greedy completion honouring [`Self::naive_scan`].
+    fn run_greedy(&self, alloc: &mut Allocation<'_>) {
+        if self.naive_scan {
+            synchronous_greedy_naive(alloc);
+        } else {
+            synchronous_greedy(alloc);
+        }
+    }
+
     fn one_restart(&self, instance: &Instance<'_>, restart_index: usize) -> Solution {
         let mut rng = ChaCha8Rng::seed_from_u64(
             self.seed ^ (restart_index as u64).wrapping_mul(0x9E3779B97F4A7C15),
         );
         let mut alloc = Allocation::new(*instance);
         random_seed_assignment(&mut alloc, &mut rng);
-        synchronous_greedy(&mut alloc);
+        self.run_greedy(&mut alloc);
         billboard_local_search(&mut alloc, self);
         alloc.to_solution()
     }
@@ -82,7 +97,7 @@ impl Solver for Bls {
     fn solve(&self, instance: &Instance<'_>) -> Solution {
         let mut best = {
             let mut alloc = Allocation::new(*instance);
-            synchronous_greedy(&mut alloc);
+            self.run_greedy(&mut alloc);
             billboard_local_search(&mut alloc, self);
             alloc.to_solution()
         };
@@ -139,8 +154,20 @@ fn one_pass(alloc: &mut Allocation<'_>, params: &Bls) {
             }
         }
         // Move 2: replace an assigned billboard with a free one (5.7–5.8).
-        while let Some((m, f)) = find_improving_free_swap(alloc, a, params) {
-            alloc.replace_with_free(m, f);
+        loop {
+            let found = if params.naive_scan {
+                find_improving_free_swap(alloc, a, params)
+            } else {
+                crate::gain::find_improving_free_swap(
+                    alloc,
+                    a,
+                    params.threshold(alloc.total_regret()),
+                )
+            };
+            match found {
+                Some((m, f)) => alloc.replace_with_free(m, f),
+                None => break,
+            }
         }
         // Move 3: release (5.9–5.10).
         while let Some(m) = find_improving_release(alloc, a, params) {
@@ -148,15 +175,43 @@ fn one_pass(alloc: &mut Allocation<'_>, params: &Bls) {
         }
     }
     // Move 4: allocate unassigned billboards via synchronous greedy, keeping
-    // the result only if it improves (5.11–5.13).
-    if !alloc.free_billboards().is_empty() {
+    // the result only if it improves (5.11–5.13). Cloning the whole
+    // allocation is the expensive part, so skip it when the completion
+    // provably cannot change the regret.
+    if greedy_completion_can_help(alloc) {
         let mut candidate = alloc.clone();
-        synchronous_greedy(&mut candidate);
+        params.run_greedy(&mut candidate);
         if candidate.total_regret() < alloc.total_regret() - params.threshold(alloc.total_regret())
         {
             *alloc = candidate;
         }
     }
+}
+
+/// Whether the move-4 greedy completion could possibly beat the current
+/// allocation. With no unsatisfied advertiser the completion assigns
+/// nothing. With exactly one, it only ever *adds* billboards to that
+/// advertiser (the release branch needs two unsatisfied), so zero marginal
+/// gain everywhere means the regret cannot move. With two or more, the
+/// victim-release branch can improve things even when every free billboard
+/// has zero gain, so the clone is always worth attempting.
+fn greedy_completion_can_help(alloc: &Allocation<'_>) -> bool {
+    if alloc.free_billboards().is_empty() {
+        return false;
+    }
+    let mut unsatisfied = (0..alloc.n_advertisers())
+        .map(AdvertiserId::from_index)
+        .filter(|&a| !alloc.is_satisfied(a));
+    let Some(first) = unsatisfied.next() else {
+        return false;
+    };
+    if unsatisfied.next().is_some() {
+        return true;
+    }
+    alloc
+        .free_billboards()
+        .iter()
+        .any(|&b| alloc.marginal_gain(first, b) > 0)
 }
 
 /// First (billboard-of-`a`, billboard-of-`b`) pair whose exchange beats the
@@ -214,21 +269,8 @@ mod tests {
     use super::*;
     use crate::advertiser::{Advertiser, AdvertiserSet};
     use crate::greedy::GGlobal;
+    use crate::testutil::{disjoint_model, ids};
     use mroam_influence::CoverageModel;
-
-    fn disjoint_model(influences: &[u32]) -> CoverageModel {
-        let mut lists = Vec::new();
-        let mut next = 0u32;
-        for &k in influences {
-            lists.push((next..next + k).collect::<Vec<u32>>());
-            next += k;
-        }
-        CoverageModel::from_lists(lists, next as usize)
-    }
-
-    fn ids(v: &[u32]) -> Vec<BillboardId> {
-        v.iter().map(|&i| BillboardId(i)).collect()
-    }
 
     /// Example 3 of the paper: exchanging whole plans makes things worse,
     /// but exchanging single billboards reaches zero regret. Built with
@@ -341,10 +383,7 @@ mod tests {
     #[test]
     fn bls_is_deterministic_given_seed() {
         let model = disjoint_model(&[9, 7, 5, 3, 1, 1, 1, 2]);
-        let advs = AdvertiserSet::new(vec![
-            Advertiser::new(10, 10.0),
-            Advertiser::new(9, 12.0),
-        ]);
+        let advs = AdvertiserSet::new(vec![Advertiser::new(10, 10.0), Advertiser::new(9, 12.0)]);
         let inst = Instance::new(&model, &advs, 0.5);
         let solver = Bls {
             restarts: 4,
@@ -366,8 +405,20 @@ mod tests {
             Advertiser::new(7, 7.0),
         ]);
         let inst = Instance::new(&model, &advs, 0.5);
-        let seq = Bls { restarts: 4, seed: 7, parallel: false, ..Bls::default() }.solve(&inst);
-        let par = Bls { restarts: 4, seed: 7, parallel: true, ..Bls::default() }.solve(&inst);
+        let seq = Bls {
+            restarts: 4,
+            seed: 7,
+            parallel: false,
+            ..Bls::default()
+        }
+        .solve(&inst);
+        let par = Bls {
+            restarts: 4,
+            seed: 7,
+            parallel: true,
+            ..Bls::default()
+        }
+        .solve(&inst);
         assert_eq!(seq.total_regret, par.total_regret);
     }
 
@@ -376,12 +427,13 @@ mod tests {
         // With r = 1.0 a move must halve... more than double-improve the
         // regret; local search should stop earlier (never better than r=0).
         let model = disjoint_model(&[7, 5, 4, 3, 2, 2, 1]);
-        let advs = AdvertiserSet::new(vec![
-            Advertiser::new(8, 16.0),
-            Advertiser::new(6, 9.0),
-        ]);
+        let advs = AdvertiserSet::new(vec![Advertiser::new(8, 16.0), Advertiser::new(6, 9.0)]);
         let inst = Instance::new(&model, &advs, 0.5);
-        let strict = Bls { improvement_ratio: 1.0, ..Bls::default() }.solve(&inst);
+        let strict = Bls {
+            improvement_ratio: 1.0,
+            ..Bls::default()
+        }
+        .solve(&inst);
         let loose = Bls::default().solve(&inst);
         assert!(loose.total_regret <= strict.total_regret + 1e-9);
     }
@@ -413,5 +465,35 @@ mod tests {
             probe.assign(f, a);
             assert!(probe.total_regret() >= alloc.total_regret() - IMPROVEMENT_EPS);
         }
+    }
+    #[test]
+    fn greedy_completion_skip_is_exact() {
+        // o0 covers {t0, t1}; o1 covers {t0} (a strict subset); o2 is empty.
+        let model = CoverageModel::from_lists(vec![vec![0, 1], vec![0], vec![]], 2);
+
+        // One unsatisfied advertiser already holding o0: every free
+        // billboard has zero marginal gain, so the move-4 clone is futile.
+        let advs = AdvertiserSet::new(vec![Advertiser::new(5, 10.0)]);
+        let inst = Instance::new(&model, &advs, 0.5);
+        let alloc = Allocation::from_sets(inst, &[ids(&[0])]);
+        assert!(!alloc.is_satisfied(AdvertiserId(0)));
+        assert!(!greedy_completion_can_help(&alloc));
+
+        // Same pool, but a positive-gain free billboard exists.
+        let open = Allocation::new(inst);
+        assert!(greedy_completion_can_help(&open));
+
+        // Two unsatisfied advertisers: the release branch of Algorithm 2
+        // can reshuffle plans even with zero-gain free billboards.
+        let advs2 = AdvertiserSet::new(vec![Advertiser::new(5, 10.0), Advertiser::new(4, 2.0)]);
+        let inst2 = Instance::new(&model, &advs2, 0.5);
+        let alloc2 = Allocation::from_sets(inst2, &[ids(&[0]), vec![]]);
+        assert!(greedy_completion_can_help(&alloc2));
+
+        // No free billboards at all: nothing to complete with.
+        let model3 = disjoint_model(&[2]);
+        let inst3 = Instance::new(&model3, &advs, 0.5);
+        let full = Allocation::from_sets(inst3, &[ids(&[0])]);
+        assert!(!greedy_completion_can_help(&full));
     }
 }

@@ -99,17 +99,7 @@ mod tests {
     use crate::advertiser::{Advertiser, AdvertiserSet};
     use crate::bls::Bls;
     use crate::greedy::{GGlobal, GOrder};
-    use mroam_influence::CoverageModel;
-
-    fn disjoint_model(influences: &[u32]) -> CoverageModel {
-        let mut lists = Vec::new();
-        let mut next = 0u32;
-        for &k in influences {
-            lists.push((next..next + k).collect::<Vec<u32>>());
-            next += k;
-        }
-        CoverageModel::from_lists(lists, next as usize)
-    }
+    use crate::testutil::disjoint_model;
 
     #[test]
     fn exact_solves_example1_to_zero() {
@@ -132,10 +122,7 @@ mod tests {
     #[test]
     fn exact_lower_bounds_every_heuristic() {
         let model = disjoint_model(&[4, 3, 3, 2, 1]);
-        let advs = AdvertiserSet::new(vec![
-            Advertiser::new(6, 7.0),
-            Advertiser::new(5, 9.0),
-        ]);
+        let advs = AdvertiserSet::new(vec![Advertiser::new(6, 7.0), Advertiser::new(5, 9.0)]);
         let inst = Instance::new(&model, &advs, 0.5);
         let opt = ExactSolver::default().solve(&inst).total_regret;
         for sol in [

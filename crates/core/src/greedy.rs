@@ -13,6 +13,7 @@
 //! Algorithms 3 and 5 call it with non-empty `S^in`.
 
 use crate::allocation::Allocation;
+use crate::gain::GainEngine;
 use crate::instance::Instance;
 use crate::solver::{Solution, Solver};
 use mroam_data::{AdvertiserId, BillboardId};
@@ -23,6 +24,10 @@ use mroam_data::{AdvertiserId, BillboardId};
 /// is undefined for them and they can never reduce regret. Ties break
 /// toward the smaller billboard id for determinism. Returns `None` when no
 /// free billboard has positive influence.
+///
+/// This is the naive reference scan; the production path is
+/// [`GainEngine::best_billboard`], which returns bit-identical picks
+/// without rescanning the whole pool.
 pub fn best_billboard_for(alloc: &Allocation<'_>, a: AdvertiserId) -> Option<BillboardId> {
     let model = alloc.instance().model;
     let mut best: Option<(f64, BillboardId)> = None;
@@ -56,6 +61,20 @@ pub fn best_billboard_for(alloc: &Allocation<'_>, a: AdvertiserId) -> Option<Bil
 /// or more are unsatisfied and the pool is exhausted), which makes the two
 /// statements consistent.
 pub fn synchronous_greedy(alloc: &mut Allocation<'_>) {
+    let mut engine = GainEngine::new(alloc);
+    synchronous_greedy_impl(alloc, &mut |al, a| engine.best_billboard(al, a));
+}
+
+/// [`synchronous_greedy`] with the naive full-scan selection instead of the
+/// lazy engine. Kept as the reference for equivalence tests and benches.
+pub fn synchronous_greedy_naive(alloc: &mut Allocation<'_>) {
+    synchronous_greedy_impl(alloc, &mut |al, a| best_billboard_for(al, a));
+}
+
+fn synchronous_greedy_impl(
+    alloc: &mut Allocation<'_>,
+    pick: &mut dyn FnMut(&Allocation<'_>, AdvertiserId) -> Option<BillboardId>,
+) {
     let n = alloc.n_advertisers();
     let mut active = vec![true; n];
     loop {
@@ -66,7 +85,7 @@ pub fn synchronous_greedy(alloc: &mut Allocation<'_>) {
             if !is_active || alloc.is_satisfied(a) {
                 continue;
             }
-            if let Some(b) = best_billboard_for(alloc, a) {
+            if let Some(b) = pick(alloc, a) {
                 alloc.assign(b, a);
                 assigned_this_round = true;
             }
@@ -115,18 +134,45 @@ impl Solver for GOrder {
 
     fn solve(&self, instance: &Instance<'_>) -> Solution {
         let mut alloc = Allocation::new(*instance);
-        // Line 1.1: descending budget-effectiveness.
-        for a in instance.advertisers.by_budget_effectiveness() {
-            // Lines 1.4–1.7: fill until satisfied or out of billboards.
-            while !alloc.is_satisfied(a) {
-                match best_billboard_for(&alloc, a) {
-                    Some(b) => alloc.assign(b, a),
-                    None => break,
-                }
-            }
-        }
+        let mut engine = GainEngine::new(&alloc);
+        g_order_impl(&mut alloc, instance, &mut |al, a| {
+            engine.best_billboard(al, a)
+        });
         alloc.to_solution()
     }
+}
+
+fn g_order_impl(
+    alloc: &mut Allocation<'_>,
+    instance: &Instance<'_>,
+    pick: &mut dyn FnMut(&Allocation<'_>, AdvertiserId) -> Option<BillboardId>,
+) {
+    // Line 1.1: descending budget-effectiveness.
+    for a in instance.advertisers.by_budget_effectiveness() {
+        // Lines 1.4–1.7: fill until satisfied or out of billboards.
+        while !alloc.is_satisfied(a) {
+            match pick(alloc, a) {
+                Some(b) => alloc.assign(b, a),
+                None => break,
+            }
+        }
+    }
+}
+
+/// G-Order with the naive full-scan selection (reference twin of
+/// [`GOrder`] for equivalence tests and benches).
+pub fn g_order_naive(instance: &Instance<'_>) -> Solution {
+    let mut alloc = Allocation::new(*instance);
+    g_order_impl(&mut alloc, instance, &mut |al, a| best_billboard_for(al, a));
+    alloc.to_solution()
+}
+
+/// G-Global with the naive full-scan selection (reference twin of
+/// [`GGlobal`]).
+pub fn g_global_naive(instance: &Instance<'_>) -> Solution {
+    let mut alloc = Allocation::new(*instance);
+    synchronous_greedy_naive(&mut alloc);
+    alloc.to_solution()
 }
 
 /// Algorithm 2: synchronous greedy (the paper's **G-Global**).
@@ -149,18 +195,7 @@ impl Solver for GGlobal {
 mod tests {
     use super::*;
     use crate::advertiser::{Advertiser, AdvertiserSet};
-    use mroam_influence::CoverageModel;
-
-    /// Disjoint-coverage model with the given individual influences.
-    fn disjoint_model(influences: &[u32]) -> CoverageModel {
-        let mut lists = Vec::new();
-        let mut next = 0u32;
-        for &k in influences {
-            lists.push((next..next + k).collect::<Vec<u32>>());
-            next += k;
-        }
-        CoverageModel::from_lists(lists, next as usize)
-    }
+    use crate::testutil::disjoint_model;
 
     #[test]
     fn g_order_serves_most_effective_first() {
@@ -211,10 +246,7 @@ mod tests {
     fn g_global_round_robin_shares_good_billboards() {
         // Two equal advertisers, two good billboards: each should get one.
         let model = disjoint_model(&[10, 10, 1, 1]);
-        let advs = AdvertiserSet::new(vec![
-            Advertiser::new(10, 10.0),
-            Advertiser::new(10, 10.0),
-        ]);
+        let advs = AdvertiserSet::new(vec![Advertiser::new(10, 10.0), Advertiser::new(10, 10.0)]);
         let inst = Instance::new(&model, &advs, 0.5);
         let sol = GGlobal.solve(&inst);
         sol.assert_disjoint();
@@ -278,10 +310,7 @@ mod tests {
     #[test]
     fn warm_started_synchronous_greedy_respects_seed() {
         let model = disjoint_model(&[4, 4, 4]);
-        let advs = AdvertiserSet::new(vec![
-            Advertiser::new(8, 8.0),
-            Advertiser::new(4, 4.0),
-        ]);
+        let advs = AdvertiserSet::new(vec![Advertiser::new(8, 8.0), Advertiser::new(4, 4.0)]);
         let inst = Instance::new(&model, &advs, 0.5);
         let mut alloc = Allocation::new(inst);
         // Seed: a0 already holds billboard 2.

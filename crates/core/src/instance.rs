@@ -77,7 +77,10 @@ mod tests {
     fn zero_supply_ratio_is_zero() {
         let model = CoverageModel::from_lists(vec![], 0);
         let advertisers = AdvertiserSet::new(vec![Advertiser::new(2, 2.0)]);
-        assert_eq!(Instance::new(&model, &advertisers, 0.0).demand_supply_ratio(), 0.0);
+        assert_eq!(
+            Instance::new(&model, &advertisers, 0.0).demand_supply_ratio(),
+            0.0
+        );
     }
 
     #[test]

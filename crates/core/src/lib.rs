@@ -49,6 +49,7 @@ pub mod allocation;
 pub mod als;
 pub mod bls;
 pub mod exact;
+pub mod gain;
 pub mod greedy;
 pub mod instance;
 pub mod n3dm;
@@ -56,8 +57,12 @@ pub mod regret;
 pub mod solver;
 pub mod theory;
 
+#[cfg(test)]
+pub(crate) mod testutil;
+
 pub use advertiser::{Advertiser, AdvertiserSet};
 pub use allocation::Allocation;
+pub use gain::GainEngine;
 pub use instance::Instance;
 pub use regret::{dual_revenue, regret, RegretBreakdown};
 pub use solver::{Solution, Solver};
@@ -69,6 +74,7 @@ pub mod prelude {
     pub use crate::als::Als;
     pub use crate::bls::Bls;
     pub use crate::exact::ExactSolver;
+    pub use crate::gain::GainEngine;
     pub use crate::greedy::{GGlobal, GOrder};
     pub use crate::instance::Instance;
     pub use crate::regret::{dual_revenue, regret, RegretBreakdown};

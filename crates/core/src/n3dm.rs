@@ -204,7 +204,10 @@ mod tests {
         let (model, advertisers) = inst.reduce_to_mroam(50).unwrap();
         assert_eq!(model.n_billboards(), 9);
         let mroam = Instance::new(&model, &advertisers, 0.0);
-        let sol = ExactSolver { max_states: 500_000_000 }.solve(&mroam);
+        let sol = ExactSolver {
+            max_states: 500_000_000,
+        }
+        .solve(&mroam);
         assert_eq!(sol.total_regret, 0.0, "yes-instance must reach zero regret");
 
         // And the witness decodes to a valid matching.
@@ -227,7 +230,10 @@ mod tests {
         let inst = no_instance();
         let (model, advertisers) = inst.reduce_to_mroam(30).unwrap();
         let mroam = Instance::new(&model, &advertisers, 0.0);
-        let sol = ExactSolver { max_states: 500_000_000 }.solve(&mroam);
+        let sol = ExactSolver {
+            max_states: 500_000_000,
+        }
+        .solve(&mroam);
         assert!(
             sol.total_regret > 0.0,
             "no-instance must have strictly positive optimal regret"

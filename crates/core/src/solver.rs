@@ -54,7 +54,11 @@ mod tests {
     #[test]
     fn n_assigned_counts_all_sets() {
         let sol = Solution {
-            sets: vec![vec![BillboardId(0)], vec![], vec![BillboardId(2), BillboardId(5)]],
+            sets: vec![
+                vec![BillboardId(0)],
+                vec![],
+                vec![BillboardId(2), BillboardId(5)],
+            ],
             influences: vec![1, 0, 2],
             total_regret: 0.0,
             breakdown: RegretBreakdown::default(),

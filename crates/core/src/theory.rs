@@ -115,17 +115,7 @@ mod tests {
     use crate::exact::ExactSolver;
     use crate::greedy::synchronous_greedy;
     use crate::solver::Solver;
-    use mroam_influence::CoverageModel;
-
-    fn disjoint_model(influences: &[u32]) -> CoverageModel {
-        let mut lists = Vec::new();
-        let mut next = 0u32;
-        for &k in influences {
-            lists.push((next..next + k).collect::<Vec<u32>>());
-            next += k;
-        }
-        CoverageModel::from_lists(lists, next as usize)
-    }
+    use crate::testutil::disjoint_model;
 
     #[test]
     fn psi_is_max_influence_over_demand() {
@@ -189,9 +179,8 @@ mod tests {
 
             let bls_sol = Bls::default().solve(&inst);
             let opt_sol = ExactSolver::default().solve(&inst);
-            let dual_of = |influence: u64| {
-                crate::regret::dual_revenue(advs.get(AdvertiserId(0)), influence)
-            };
+            let dual_of =
+                |influence: u64| crate::regret::dual_revenue(advs.get(AdvertiserId(0)), influence);
             let rho = approximation_factor(&inst, AdvertiserId(0), 0.0);
             if rho.is_finite() {
                 assert!(

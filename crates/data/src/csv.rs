@@ -30,7 +30,9 @@ impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CsvError::Io(e) => write!(f, "csv io error: {e}"),
-            CsvError::Parse { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            CsvError::Parse { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
         }
     }
 }
@@ -61,7 +63,11 @@ fn parse_u64(field: &str, line: usize) -> Result<u64, CsvError> {
 pub fn write_billboards<W: Write>(store: &BillboardStore, mut w: W) -> io::Result<()> {
     let with_costs = store.has_costs();
     let mut buf = String::new();
-    buf.push_str(if with_costs { "id,x,y,cost\n" } else { "id,x,y\n" });
+    buf.push_str(if with_costs {
+        "id,x,y,cost\n"
+    } else {
+        "id,x,y\n"
+    });
     for (id, p) in store.iter() {
         if with_costs {
             writeln!(buf, "{},{},{},{}", id.0, p.x, p.y, store.cost(id)).unwrap();
@@ -105,7 +111,10 @@ pub fn read_billboards<R: Read>(r: R) -> Result<BillboardStore, CsvError> {
         if id != (store.len() as u64) {
             return Err(CsvError::Parse {
                 line: lineno,
-                message: format!("ids must be dense and ordered, expected {}, got {id}", store.len()),
+                message: format!(
+                    "ids must be dense and ordered, expected {}, got {id}",
+                    store.len()
+                ),
             });
         }
         let x = parse_f64(fields.next().unwrap_or(""), lineno)?;
@@ -224,10 +233,7 @@ mod tests {
 
     fn sample_trajectories() -> TrajectoryStore {
         let mut s = TrajectoryStore::new();
-        s.push_with_timestamps(
-            &[Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
-            &[0.0, 5.0],
-        );
+        s.push_with_timestamps(&[Point::new(0.0, 0.0), Point::new(10.0, 0.0)], &[0.0, 5.0]);
         s.push_with_timestamps(&[Point::new(7.0, 7.0)], &[0.0]);
         s
     }

@@ -13,7 +13,10 @@ use mroam_geo::BoundingBox;
 
 /// Keeps only trajectories for which `keep` returns true; returns the new
 /// store and, for each new id, the original id.
-pub fn retain_trajectories<F>(store: &TrajectoryStore, mut keep: F) -> (TrajectoryStore, Vec<TrajectoryId>)
+pub fn retain_trajectories<F>(
+    store: &TrajectoryStore,
+    mut keep: F,
+) -> (TrajectoryStore, Vec<TrajectoryId>)
 where
     F: FnMut(&crate::trajectory::TrajectoryRef<'_>) -> bool,
 {
@@ -94,7 +97,10 @@ mod tests {
         // t0: 100 m inside [0,10]²-ish region.
         s.push_at_speed(&[Point::new(0.0, 0.0), Point::new(100.0, 0.0)], 10.0);
         // t1: 1000 m far away.
-        s.push_at_speed(&[Point::new(5000.0, 5000.0), Point::new(5000.0, 6000.0)], 10.0);
+        s.push_at_speed(
+            &[Point::new(5000.0, 5000.0), Point::new(5000.0, 6000.0)],
+            10.0,
+        );
         // t2: 50 m straddling the window edge.
         s.push_at_speed(&[Point::new(-25.0, 0.0), Point::new(25.0, 0.0)], 10.0);
         s
@@ -106,7 +112,10 @@ mod tests {
         assert_eq!(clipped.len(), 2);
         assert_eq!(mapping, vec![TrajectoryId(0), TrajectoryId(2)]);
         // Points are preserved verbatim (no geometric cropping).
-        assert_eq!(clipped.get(TrajectoryId(1)).points[0], Point::new(-25.0, 0.0));
+        assert_eq!(
+            clipped.get(TrajectoryId(1)).points[0],
+            Point::new(-25.0, 0.0)
+        );
     }
 
     #[test]
@@ -160,8 +169,7 @@ mod tests {
 
     #[test]
     fn empty_results_are_fine() {
-        let (clipped, mapping) =
-            clip_to_window(&store(), &BoundingBox::new(1e6, 1e6, 2e6, 2e6));
+        let (clipped, mapping) = clip_to_window(&store(), &BoundingBox::new(1e6, 1e6, 2e6, 2e6));
         assert!(clipped.is_empty());
         assert!(mapping.is_empty());
     }

@@ -228,10 +228,8 @@ impl SgConfig {
     }
 
     fn generate_trips<R: Rng>(&self, rng: &mut R, routes: &[Vec<Point>]) -> TrajectoryStore {
-        let mut store = TrajectoryStore::with_capacity(
-            self.n_trajectories,
-            self.mean_trip_stops as usize + 2,
-        );
+        let mut store =
+            TrajectoryStore::with_capacity(self.n_trajectories, self.mean_trip_stops as usize + 2);
         // Routes weighted by length so stop-level ridership stays uniform.
         let total_stops: usize = routes.iter().map(Vec::len).sum();
         for _ in 0..self.n_trajectories {
@@ -357,10 +355,7 @@ mod tests {
             supply_50, supply_100,
             "supply must be identical at λ = 50 and 100"
         );
-        assert!(
-            supply_200 >= supply_100,
-            "larger λ can only add coverage"
-        );
+        assert!(supply_200 >= supply_100, "larger λ can only add coverage");
     }
 
     #[test]

@@ -80,7 +80,11 @@ mod tests {
             (1.2, 0.05, 24),
         ];
         for (alpha, p_avg, expected) in cases {
-            let cfg = WorkloadConfig { alpha, p_avg, seed: 1 };
+            let cfg = WorkloadConfig {
+                alpha,
+                p_avg,
+                seed: 1,
+            };
             assert_eq!(cfg.n_advertisers(), expected, "α={alpha}, p={p_avg}");
         }
     }
@@ -89,7 +93,11 @@ mod tests {
     fn realized_alpha_close_to_requested() {
         let supply = 1_000_000u64;
         for &alpha in &[0.4, 0.6, 0.8, 1.0, 1.2] {
-            let cfg = WorkloadConfig { alpha, p_avg: 0.02, seed: 11 };
+            let cfg = WorkloadConfig {
+                alpha,
+                p_avg: 0.02,
+                seed: 11,
+            };
             let advs = cfg.generate(supply);
             let realized = advs.global_demand() as f64 / supply as f64;
             // ω ~ U[0.8, 1.2] averages to 1, so the realized α concentrates
@@ -104,7 +112,11 @@ mod tests {
     #[test]
     fn demands_respect_omega_band() {
         let supply = 100_000u64;
-        let cfg = WorkloadConfig { alpha: 1.0, p_avg: 0.05, seed: 3 };
+        let cfg = WorkloadConfig {
+            alpha: 1.0,
+            p_avg: 0.05,
+            seed: 3,
+        };
         let advs = cfg.generate(supply);
         let base = supply as f64 * cfg.p_avg;
         for (_, a) in advs.iter() {
@@ -115,7 +127,11 @@ mod tests {
 
     #[test]
     fn payments_respect_epsilon_band() {
-        let cfg = WorkloadConfig { alpha: 1.0, p_avg: 0.05, seed: 3 };
+        let cfg = WorkloadConfig {
+            alpha: 1.0,
+            p_avg: 0.05,
+            seed: 3,
+        };
         let advs = cfg.generate(100_000);
         for (_, a) in advs.iter() {
             let eps = a.payment / a.demand as f64;
@@ -128,13 +144,21 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = WorkloadConfig { alpha: 1.0, p_avg: 0.05, seed: 42 };
+        let cfg = WorkloadConfig {
+            alpha: 1.0,
+            p_avg: 0.05,
+            seed: 42,
+        };
         assert_eq!(cfg.generate(50_000), cfg.generate(50_000));
     }
 
     #[test]
     fn tiny_supply_yields_minimum_demand_of_one() {
-        let cfg = WorkloadConfig { alpha: 1.0, p_avg: 0.01, seed: 1 };
+        let cfg = WorkloadConfig {
+            alpha: 1.0,
+            p_avg: 0.01,
+            seed: 1,
+        };
         let advs = cfg.generate(10);
         for (_, a) in advs.iter() {
             assert!(a.demand >= 1);
@@ -145,7 +169,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "zero supply")]
     fn zero_supply_rejected() {
-        WorkloadConfig { alpha: 1.0, p_avg: 0.05, seed: 1 }.generate(0);
+        WorkloadConfig {
+            alpha: 1.0,
+            p_avg: 0.05,
+            seed: 1,
+        }
+        .generate(0);
     }
 
     proptest! {

@@ -106,18 +106,15 @@ fn main() {
             .iter()
             .map(|&gamma| SweepRow {
                 label: format!("gamma={gamma}"),
-                results: run_workload_point_gamma(
-                    model,
-                    DEFAULT_ALPHA,
-                    DEFAULT_P_AVG,
-                    gamma,
-                    seed,
-                ),
+                results: run_workload_point_gamma(model, DEFAULT_ALPHA, DEFAULT_P_AVG, gamma, seed),
             })
             .collect();
         print!(
             "{}",
-            render_effectiveness(&format!("Figure {figure}: regret vs gamma ({label})"), &rows)
+            render_effectiveness(
+                &format!("Figure {figure}: regret vs gamma ({label})"),
+                &rows
+            )
         );
         println!();
     }

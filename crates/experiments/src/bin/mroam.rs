@@ -53,34 +53,34 @@ fn main() {
 }
 
 fn required(args: &Args, key: &str) -> String {
-    args.get(key).unwrap_or_else(|| {
-        eprintln!("missing required --{key}");
-        exit(2);
-    }).to_string()
+    args.get(key)
+        .unwrap_or_else(|| {
+            eprintln!("missing required --{key}");
+            exit(2);
+        })
+        .to_string()
 }
 
 fn load_model(args: &Args) -> CoverageModel {
     let billboards_path = required(args, "billboards");
     let trajectories_path = required(args, "trajectories");
     let lambda = args.f64_or("lambda", 100.0);
-    let billboards =
-        csv::read_billboards(File::open(&billboards_path).unwrap_or_else(|e| {
-            eprintln!("cannot open {billboards_path}: {e}");
-            exit(1);
-        }))
-        .unwrap_or_else(|e| {
-            eprintln!("bad billboard file: {e}");
-            exit(1);
-        });
-    let trajectories =
-        csv::read_trajectories(File::open(&trajectories_path).unwrap_or_else(|e| {
-            eprintln!("cannot open {trajectories_path}: {e}");
-            exit(1);
-        }))
-        .unwrap_or_else(|e| {
-            eprintln!("bad trajectory file: {e}");
-            exit(1);
-        });
+    let billboards = csv::read_billboards(File::open(&billboards_path).unwrap_or_else(|e| {
+        eprintln!("cannot open {billboards_path}: {e}");
+        exit(1);
+    }))
+    .unwrap_or_else(|e| {
+        eprintln!("bad billboard file: {e}");
+        exit(1);
+    });
+    let trajectories = csv::read_trajectories(File::open(&trajectories_path).unwrap_or_else(|e| {
+        eprintln!("cannot open {trajectories_path}: {e}");
+        exit(1);
+    }))
+    .unwrap_or_else(|e| {
+        eprintln!("bad trajectory file: {e}");
+        exit(1);
+    });
     eprintln!(
         "[mroam] {} billboards, {} trajectories, lambda {lambda}m",
         billboards.len(),
@@ -110,12 +110,10 @@ fn parse_measure(args: &Args) -> InfluenceMeasure {
 fn cmd_solve(args: &Args) {
     let model = load_model(args);
     let advertisers_path = required(args, "advertisers");
-    let advertisers = cli_io::read_advertisers(File::open(&advertisers_path).unwrap_or_else(
-        |e| {
-            eprintln!("cannot open {advertisers_path}: {e}");
-            exit(1);
-        },
-    ))
+    let advertisers = cli_io::read_advertisers(File::open(&advertisers_path).unwrap_or_else(|e| {
+        eprintln!("cannot open {advertisers_path}: {e}");
+        exit(1);
+    }))
     .unwrap_or_else(|e| {
         eprintln!("bad advertiser file: {e}");
         exit(1);
@@ -132,12 +130,14 @@ fn cmd_solve(args: &Args) {
             restarts: args.usize_or("restarts", 5),
             seed: args.seed(),
             parallel: true,
+            ..Als::default()
         }),
         "bls" => Box::new(Bls {
             restarts: args.usize_or("restarts", 5),
             seed: args.seed(),
             improvement_ratio: args.f64_or("improvement-ratio", 0.0),
             parallel: true,
+            ..Bls::default()
         }),
         "exact" => Box::new(ExactSolver::default()),
         other => {
@@ -171,8 +171,8 @@ fn cmd_solve(args: &Args) {
 }
 
 fn cmd_stats(args: &Args) {
-    let billboards =
-        csv::read_billboards(File::open(required(args, "billboards")).expect("open")).expect("parse");
+    let billboards = csv::read_billboards(File::open(required(args, "billboards")).expect("open"))
+        .expect("parse");
     let trajectories =
         csv::read_trajectories(File::open(required(args, "trajectories")).expect("open"))
             .expect("parse");

@@ -94,14 +94,10 @@ pub fn runtime_dots(title: &str, rows: &[SweepRow]) -> String {
     for row in rows {
         out.push_str(&format!("{}\n", row.label));
         for a in &row.results {
-            let pos = (((a.millis + 1.0).ln() / log_max) * (BAR_WIDTH - 1) as f64).round()
-                as usize;
+            let pos = (((a.millis + 1.0).ln() / log_max) * (BAR_WIDTH - 1) as f64).round() as usize;
             let mut line = " ".repeat(BAR_WIDTH);
             line.replace_range(pos..pos + 1, "*");
-            out.push_str(&format!(
-                "  {:<9} |{line}| {:>10.1}ms\n",
-                a.algo, a.millis
-            ));
+            out.push_str(&format!("  {:<9} |{line}| {:>10.1}ms\n", a.algo, a.millis));
         }
     }
     out

@@ -98,10 +98,7 @@ mod tests {
 
     #[test]
     fn advertiser_roundtrip() {
-        let set = AdvertiserSet::new(vec![
-            Advertiser::new(100, 95.0),
-            Advertiser::new(50, 55.5),
-        ]);
+        let set = AdvertiserSet::new(vec![Advertiser::new(100, 95.0), Advertiser::new(50, 55.5)]);
         let mut buf = Vec::new();
         write_advertisers(&set, &mut buf).unwrap();
         let back = read_advertisers(&buf[..]).unwrap();
@@ -128,10 +125,8 @@ mod tests {
 
     #[test]
     fn assignment_rows_cover_all_advertisers() {
-        let advertisers = AdvertiserSet::new(vec![
-            Advertiser::new(10, 10.0),
-            Advertiser::new(5, 5.0),
-        ]);
+        let advertisers =
+            AdvertiserSet::new(vec![Advertiser::new(10, 10.0), Advertiser::new(5, 5.0)]);
         let solution = Solution {
             sets: vec![vec![BillboardId(3), BillboardId(7)], vec![]],
             influences: vec![12, 0],

@@ -48,12 +48,14 @@ pub fn paper_solvers(seed: u64) -> Vec<Box<dyn Solver + Send + Sync>> {
             restarts: LOCAL_SEARCH_RESTARTS,
             seed,
             parallel: true,
+            ..Als::default()
         }),
         Box::new(Bls {
             restarts: LOCAL_SEARCH_RESTARTS,
             seed,
             improvement_ratio: 0.0,
             parallel: true,
+            ..Bls::default()
         }),
     ]
 }
@@ -105,12 +107,7 @@ pub fn run_workload_point_gamma(
     gamma: f64,
     seed: u64,
 ) -> Vec<AlgoResult> {
-    let advertisers = WorkloadConfig {
-        alpha,
-        p_avg,
-        seed,
-    }
-    .generate(model.supply());
+    let advertisers = WorkloadConfig { alpha, p_avg, seed }.generate(model.supply());
     run_all(model, &advertisers, gamma, seed)
 }
 

@@ -186,7 +186,10 @@ mod tests {
     fn empty_index() {
         let g = GridIndex::build(&[], 100.0);
         assert!(g.is_empty());
-        assert_eq!(g.query_within(&Point::new(0.0, 0.0), 1e9), Vec::<u32>::new());
+        assert_eq!(
+            g.query_within(&Point::new(0.0, 0.0), 1e9),
+            Vec::<u32>::new()
+        );
         assert_eq!(g.nearest(&Point::new(0.0, 0.0)), None);
     }
 
@@ -195,7 +198,10 @@ mod tests {
         let g = GridIndex::build(&[Point::new(5.0, 5.0)], 10.0);
         assert_eq!(g.len(), 1);
         assert_eq!(g.query_within(&Point::new(5.0, 5.0), 0.0), vec![0]);
-        assert_eq!(g.query_within(&Point::new(100.0, 5.0), 10.0), Vec::<u32>::new());
+        assert_eq!(
+            g.query_within(&Point::new(100.0, 5.0), 10.0),
+            Vec::<u32>::new()
+        );
         let (id, d) = g.nearest(&Point::new(8.0, 9.0)).unwrap();
         assert_eq!(id, 0);
         assert!((d - 5.0).abs() < 1e-9);

@@ -237,7 +237,10 @@ mod tests {
         let tree = KdTree::build(&points);
         let grid = GridIndex::build(&points, 120.0);
         for _ in 0..40 {
-            let c = Point::new(rng.gen_range(-100.0..5_100.0), rng.gen_range(-100.0..5_100.0));
+            let c = Point::new(
+                rng.gen_range(-100.0..5_100.0),
+                rng.gen_range(-100.0..5_100.0),
+            );
             let r = rng.gen_range(0.0..700.0);
             let mut a = tree.query_within(&c, r);
             let mut b = grid.query_within(&c, r);
@@ -255,7 +258,10 @@ mod tests {
             .collect();
         let t = KdTree::build(&points);
         for _ in 0..50 {
-            let c = Point::new(rng.gen_range(-100.0..1_100.0), rng.gen_range(-100.0..1_100.0));
+            let c = Point::new(
+                rng.gen_range(-100.0..1_100.0),
+                rng.gen_range(-100.0..1_100.0),
+            );
             let (_, got) = t.nearest(&c).unwrap();
             let want = points
                 .iter()

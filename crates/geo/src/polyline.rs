@@ -37,10 +37,7 @@ impl Polyline {
 
     /// Total length in metres (sum of segment lengths).
     pub fn length(&self) -> f64 {
-        self.points
-            .windows(2)
-            .map(|w| w[0].distance(&w[1]))
-            .sum()
+        self.points.windows(2).map(|w| w[0].distance(&w[1])).sum()
     }
 
     /// Resamples the polyline at (approximately) fixed `spacing` metres.

@@ -24,7 +24,10 @@ pub struct LatLon {
 impl LatLon {
     /// Creates a latitude/longitude pair; panics on out-of-range values.
     pub fn new(lat: f64, lon: f64) -> Self {
-        assert!((-90.0..=90.0).contains(&lat), "latitude out of range: {lat}");
+        assert!(
+            (-90.0..=90.0).contains(&lat),
+            "latitude out of range: {lat}"
+        );
         assert!(
             (-180.0..=180.0).contains(&lon),
             "longitude out of range: {lon}"

@@ -30,7 +30,11 @@ impl BitSet {
 
     #[inline]
     fn index(&self, id: usize) -> (usize, u64) {
-        debug_assert!(id < self.capacity, "bitset id {id} out of capacity {}", self.capacity);
+        debug_assert!(
+            id < self.capacity,
+            "bitset id {id} out of capacity {}",
+            self.capacity
+        );
         (id / BITS, 1u64 << (id % BITS))
     }
 

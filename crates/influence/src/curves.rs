@@ -70,7 +70,10 @@ pub fn impression_curve(model: &CoverageModel, percentages: &[u32]) -> Vec<(u32,
 /// taxi trips), low in SG (top stops sit on different routes) — this is the
 /// comparative property behind Figure 1b's slope difference.
 pub fn top_overlap(model: &CoverageModel, fraction: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
     let n = model.n_billboards();
     let take = ((n as f64 * fraction).ceil() as usize).min(n);
     if take == 0 {
@@ -156,10 +159,7 @@ mod tests {
 
     #[test]
     fn impression_curve_monotone_and_bounded() {
-        let m = model(
-            vec![vec![0, 1, 2, 3], vec![2, 3, 4], vec![5], vec![0]],
-            6,
-        );
+        let m = model(vec![vec![0, 1, 2, 3], vec![2, 3, 4], vec![5], vec![0]], 6);
         let curve = impression_curve(&m, &[0, 25, 50, 75, 100]);
         assert_eq!(curve.len(), 5);
         assert_eq!(curve[0], (0, 0.0));

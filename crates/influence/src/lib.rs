@@ -31,5 +31,5 @@ pub mod storage;
 pub use bitset::BitSet;
 pub use counter::CoverageCounter;
 pub use measure::{InfluenceMeasure, MeasuredCounter};
-pub use model::CoverageModel;
+pub use model::{CoverageBitmap, CoverageModel, InvertedIndex, OverlapGraph};
 pub use slots::{SlotGrid, SlottedModel};

@@ -22,8 +22,7 @@ use crate::hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
 /// How per-trajectory meet counts map to influence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum InfluenceMeasure {
     /// One unit per distinct trajectory covered — the paper's setting.
     #[default]
@@ -39,7 +38,6 @@ pub enum InfluenceMeasure {
     },
 }
 
-
 impl InfluenceMeasure {
     /// The per-trajectory influence `f(c)` at meet count `c`.
     #[inline]
@@ -53,13 +51,38 @@ impl InfluenceMeasure {
 
     /// `f(c+1) − f(c)`: influence gained when one more billboard covering
     /// the trajectory is added. Non-negative for all supported measures.
+    /// Public because the lazy gain engine uses it to maintain exact
+    /// marginal gains incrementally from meet-count transitions.
     #[inline]
-    fn gain_at(&self, count_before: u32) -> u64 {
+    pub fn gain_at(&self, count_before: u32) -> u64 {
         match *self {
             InfluenceMeasure::Distinct => u64::from(count_before == 0),
             InfluenceMeasure::Volume => 1,
             InfluenceMeasure::Impressions { k } => u64::from(count_before + 1 == k),
         }
+    }
+
+    /// Whether the induced set function `I(S)` is submodular, i.e. whether
+    /// `gain_at` is non-increasing in the meet count. Distinct (`1[c>0]`)
+    /// and Volume (`c`) are; Impressions with `k ≥ 2` is not — a
+    /// trajectory's gain *rises* from 0 to 1 as its count approaches `k`,
+    /// so stale marginal-gain upper bounds are unsound and lazy evaluation
+    /// must be disabled for it.
+    #[inline]
+    pub fn is_submodular(&self) -> bool {
+        match *self {
+            InfluenceMeasure::Distinct | InfluenceMeasure::Volume => true,
+            InfluenceMeasure::Impressions { k } => k <= 1,
+        }
+    }
+
+    /// Whether marginal gains depend on the meet counts at all. Volume's
+    /// per-trajectory gain is constantly 1, so a billboard's marginal gain
+    /// never changes as plans grow or shrink — incremental gain
+    /// maintenance can skip the coverage walks entirely.
+    #[inline]
+    pub fn overlap_sensitive(&self) -> bool {
+        !matches!(*self, InfluenceMeasure::Volume)
     }
 
     /// `f(c) − f(c−1)`: influence lost when one covering billboard is
@@ -194,6 +217,12 @@ impl MeasuredCounter {
     #[inline]
     pub fn influence(&self) -> u64 {
         self.influence
+    }
+
+    /// How many added billboards cover trajectory `t`.
+    #[inline]
+    pub fn count(&self, t: u32) -> u32 {
+        self.counts.get(t)
     }
 
     /// Adds one billboard's coverage list; returns the influence gained.

@@ -89,10 +89,10 @@ mod tests {
     fn simple_meets() {
         let billboards = store_with(&[(0.0, 0.0), (1000.0, 0.0)]);
         let trajectories = traj_store(&[
-            &[(10.0, 0.0), (20.0, 0.0)],   // near billboard 0 only
-            &[(990.0, 0.0)],               // near billboard 1 only
-            &[(0.0, 0.0), (1000.0, 0.0)],  // near both
-            &[(500.0, 500.0)],             // near neither
+            &[(10.0, 0.0), (20.0, 0.0)],  // near billboard 0 only
+            &[(990.0, 0.0)],              // near billboard 1 only
+            &[(0.0, 0.0), (1000.0, 0.0)], // near both
+            &[(500.0, 500.0)],            // near neither
         ]);
         let cov = billboard_coverage(&billboards, &trajectories, 100.0);
         assert_eq!(cov[0], vec![0, 2]);
@@ -135,11 +135,8 @@ mod tests {
     #[test]
     fn coverage_lists_are_sorted_and_unique() {
         let billboards = store_with(&[(0.0, 0.0), (50.0, 0.0)]);
-        let trajectories = traj_store(&[
-            &[(0.0, 0.0)],
-            &[(25.0, 0.0), (26.0, 0.0)],
-            &[(50.0, 0.0)],
-        ]);
+        let trajectories =
+            traj_store(&[&[(0.0, 0.0)], &[(25.0, 0.0), (26.0, 0.0)], &[(50.0, 0.0)]]);
         let cov = billboard_coverage(&billboards, &trajectories, 60.0);
         for list in &cov {
             let mut sorted = list.clone();

@@ -4,6 +4,172 @@
 use crate::counter::CoverageCounter;
 use crate::meets;
 use mroam_data::{BillboardId, BillboardStore, TrajectoryStore};
+use std::sync::OnceLock;
+
+/// The transpose of the meets relation: for every trajectory, the sorted
+/// billboard ids that influence it, packed in CSR (offsets + flat data)
+/// form.
+///
+/// This is what makes *overlap-aware invalidation* cheap: when a billboard
+/// `o` changes hands, the set of billboards whose cached marginal gains may
+/// have changed is exactly `⋃_{t ∈ cov(o)} billboards_covering(t)` — walked
+/// here in O(output) instead of re-deriving it from the forward lists.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    /// `offsets[t]..offsets[t+1]` indexes `data` for trajectory `t`.
+    offsets: Vec<u64>,
+    /// Billboard ids, ascending within each trajectory's slice.
+    data: Vec<u32>,
+}
+
+impl InvertedIndex {
+    fn build(cov: &[Vec<u32>], n_trajectories: usize) -> Self {
+        let mut counts = vec![0u64; n_trajectories + 1];
+        for list in cov {
+            for &t in list {
+                counts[t as usize + 1] += 1;
+            }
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts;
+        let mut next = offsets.clone();
+        let mut data = vec![0u32; *offsets.last().unwrap_or(&0) as usize];
+        // Billboards are visited in ascending id order, so each trajectory's
+        // slice comes out sorted without an explicit sort pass.
+        for (b, list) in cov.iter().enumerate() {
+            for &t in list {
+                data[next[t as usize] as usize] = b as u32;
+                next[t as usize] += 1;
+            }
+        }
+        Self { offsets, data }
+    }
+
+    /// Number of trajectories indexed.
+    pub fn n_trajectories(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Sorted billboard ids influencing trajectory `t`.
+    #[inline]
+    pub fn billboards_covering(&self, t: u32) -> &[u32] {
+        let lo = self.offsets[t as usize] as usize;
+        let hi = self.offsets[t as usize + 1] as usize;
+        &self.data[lo..hi]
+    }
+}
+
+/// The billboard-level overlap graph: `b` and `c` are neighbours iff they
+/// share at least one trajectory. Packed in CSR form, self-edges excluded,
+/// neighbour lists sorted ascending.
+///
+/// This is the coarsening of the [`InvertedIndex`] the lazy gain engine
+/// maintains its zero-overlap sets with: whether a candidate's marginal
+/// gain equals its full individual influence only depends on *whether* it
+/// shares a trajectory with the advertiser's plan, never on how many — so
+/// one counter bump per neighbour (O(deg) per move) replaces a
+/// per-trajectory fan-out walk.
+#[derive(Debug, Clone, Default)]
+pub struct OverlapGraph {
+    /// `offsets[b]..offsets[b+1]` indexes `data` for billboard `b`.
+    offsets: Vec<u64>,
+    /// Neighbour billboard ids, ascending within each billboard's slice.
+    data: Vec<u32>,
+}
+
+impl OverlapGraph {
+    fn build(cov: &[Vec<u32>], inv: &InvertedIndex) -> Self {
+        let n_b = cov.len();
+        let mut offsets = Vec::with_capacity(n_b + 1);
+        offsets.push(0u64);
+        let mut data = Vec::new();
+        let mut seen = vec![false; n_b];
+        let mut scratch: Vec<u32> = Vec::new();
+        for (b, list) in cov.iter().enumerate() {
+            scratch.clear();
+            for &t in list {
+                for &c in inv.billboards_covering(t) {
+                    if c as usize != b && !seen[c as usize] {
+                        seen[c as usize] = true;
+                        scratch.push(c);
+                    }
+                }
+            }
+            scratch.sort_unstable();
+            for &c in &scratch {
+                seen[c as usize] = false;
+            }
+            data.extend_from_slice(&scratch);
+            offsets.push(data.len() as u64);
+        }
+        Self { offsets, data }
+    }
+
+    /// Number of billboards in the graph.
+    pub fn n_billboards(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Sorted ids of the billboards sharing ≥ 1 trajectory with `b`
+    /// (excluding `b` itself).
+    #[inline]
+    pub fn neighbors(&self, b: u32) -> &[u32] {
+        let lo = self.offsets[b as usize] as usize;
+        let hi = self.offsets[b as usize + 1] as usize;
+        &self.data[lo..hi]
+    }
+}
+
+/// Per-billboard coverage bitmaps: row `b` is a `⌈|T|/64⌉`-word bitset of
+/// the trajectories billboard `b` influences.
+///
+/// This is the coverage relation in a shape where set algebra is word-wide:
+/// the lazy gain engine computes an exact Distinct marginal gain as
+/// `I({o}) − popcount(row(o) ∧ covered(S_a))`, replacing an O(|cov(o)|)
+/// random-access counter walk by `⌈|T|/64⌉` sequential word ops. Dense rows
+/// cost `|U|·⌈|T|/64⌉·8` bytes, so the bitmap is only materialised under
+/// [`BITMAP_BUDGET_BYTES`]; past that, callers fall back to counter walks.
+#[derive(Debug, Clone)]
+pub struct CoverageBitmap {
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl CoverageBitmap {
+    fn build(cov: &[Vec<u32>], n_trajectories: usize) -> Self {
+        let words_per_row = n_trajectories.div_ceil(64);
+        let mut bits = vec![0u64; words_per_row * cov.len()];
+        for (b, list) in cov.iter().enumerate() {
+            let row = &mut bits[b * words_per_row..(b + 1) * words_per_row];
+            for &t in list {
+                row[t as usize / 64] |= 1u64 << (t % 64);
+            }
+        }
+        Self {
+            words_per_row,
+            bits,
+        }
+    }
+
+    /// Words per row — the length callers must size companion bitsets to.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The bitset row of billboard `b`.
+    #[inline]
+    pub fn row(&self, b: u32) -> &[u64] {
+        let lo = b as usize * self.words_per_row;
+        &self.bits[lo..lo + self.words_per_row]
+    }
+}
+
+/// Upper bound on the materialised [`CoverageBitmap`] size (64 MiB). At
+/// paper scale (millions of trajectories × thousands of billboards) the
+/// dense bitmap would dwarf the sparse coverage lists it mirrors.
+const BITMAP_BUDGET_BYTES: usize = 64 << 20;
 
 /// An immutable snapshot of the meets relation for one `(U, T, λ)` triple.
 ///
@@ -16,6 +182,14 @@ pub struct CoverageModel {
     cov: Vec<Vec<u32>>,
     n_trajectories: usize,
     supply: u64,
+    /// Trajectory→billboard transpose, built on first use (queries only —
+    /// cloning a model carries an already-built index along).
+    inverted: OnceLock<InvertedIndex>,
+    /// Billboard overlap graph, built on first use like the transpose.
+    overlap: OnceLock<OverlapGraph>,
+    /// Dense coverage bitmaps, built on first use; `None` once computed
+    /// means the model is over the bitmap budget.
+    bitmap: OnceLock<Option<CoverageBitmap>>,
 }
 
 impl CoverageModel {
@@ -48,7 +222,38 @@ impl CoverageModel {
             cov,
             n_trajectories,
             supply,
+            inverted: OnceLock::new(),
+            overlap: OnceLock::new(),
+            bitmap: OnceLock::new(),
         }
+    }
+
+    /// The trajectory→billboard transpose of the coverage relation, built
+    /// lazily on first access and cached for the lifetime of the model.
+    pub fn inverted_index(&self) -> &InvertedIndex {
+        self.inverted
+            .get_or_init(|| InvertedIndex::build(&self.cov, self.n_trajectories))
+    }
+
+    /// The billboard overlap graph, built lazily on first access and cached
+    /// for the lifetime of the model.
+    pub fn overlap_graph(&self) -> &OverlapGraph {
+        self.overlap
+            .get_or_init(|| OverlapGraph::build(&self.cov, self.inverted_index()))
+    }
+
+    /// The dense per-billboard coverage bitmaps, built lazily on first
+    /// access. Returns `None` when materialising them would exceed the
+    /// 64 MiB bitmap budget (the decision is cached either way).
+    pub fn coverage_bitmap(&self) -> Option<&CoverageBitmap> {
+        self.bitmap
+            .get_or_init(|| {
+                let words = self.n_trajectories.div_ceil(64);
+                let bytes = self.cov.len().saturating_mul(words).saturating_mul(8);
+                (bytes <= BITMAP_BUDGET_BYTES)
+                    .then(|| CoverageBitmap::build(&self.cov, self.n_trajectories))
+            })
+            .as_ref()
     }
 
     /// Number of billboards `|U|`.
@@ -126,10 +331,7 @@ impl CoverageModel {
             "duplicate billboard in restriction"
         );
         let lists: Vec<Vec<u32>> = back.iter().map(|&b| self.coverage(b).to_vec()).collect();
-        (
-            CoverageModel::from_lists(lists, self.n_trajectories),
-            back,
-        )
+        (CoverageModel::from_lists(lists, self.n_trajectories), back)
     }
 
     /// All billboard ids, ascending.
@@ -263,5 +465,92 @@ mod tests {
     #[should_panic(expected = "not sorted")]
     fn unsorted_lists_rejected_in_debug() {
         let _ = model_from(vec![vec![2, 1]], 3);
+    }
+
+    #[test]
+    fn inverted_index_transposes_coverage() {
+        let m = model_from(vec![vec![0, 1, 2], vec![2, 3], vec![0], vec![]], 5);
+        let inv = m.inverted_index();
+        assert_eq!(inv.n_trajectories(), 5);
+        assert_eq!(inv.billboards_covering(0), &[0, 2]);
+        assert_eq!(inv.billboards_covering(1), &[0]);
+        assert_eq!(inv.billboards_covering(2), &[0, 1]);
+        assert_eq!(inv.billboards_covering(3), &[1]);
+        assert_eq!(inv.billboards_covering(4), &[] as &[u32]);
+    }
+
+    #[test]
+    fn inverted_index_roundtrips_forward_lists() {
+        let lists = vec![vec![0u32, 3], vec![1, 3, 4], vec![], vec![0, 1, 2, 3, 4]];
+        let m = model_from(lists.clone(), 5);
+        let inv = m.inverted_index();
+        let mut rebuilt = vec![Vec::new(); m.n_billboards()];
+        for t in 0..5u32 {
+            for &b in inv.billboards_covering(t) {
+                rebuilt[b as usize].push(t);
+            }
+        }
+        assert_eq!(rebuilt, lists);
+    }
+
+    #[test]
+    fn overlap_graph_links_sharing_billboards() {
+        // o0 {0,1}, o1 {1,2}, o2 {3}, o3 {} — o0↔o1 share t1, o2/o3 alone.
+        let m = model_from(vec![vec![0, 1], vec![1, 2], vec![3], vec![]], 4);
+        let g = m.overlap_graph();
+        assert_eq!(g.n_billboards(), 4);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.neighbors(2), &[] as &[u32]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+    }
+
+    #[test]
+    fn overlap_graph_excludes_self_and_sorts() {
+        // A shared hotspot trajectory links everyone covering it.
+        let m = model_from(vec![vec![0], vec![0, 1], vec![0], vec![1]], 2);
+        let g = m.overlap_graph();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2, 3]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+        assert_eq!(g.neighbors(3), &[1]);
+    }
+
+    #[test]
+    fn coverage_bitmap_mirrors_lists_across_word_boundaries() {
+        // 70 trajectories ⇒ 2 words per row; ids straddle the word seam.
+        let lists = vec![vec![0u32, 63, 64, 69], vec![1, 64], vec![]];
+        let m = model_from(lists.clone(), 70);
+        let bm = m.coverage_bitmap().expect("tiny model under budget");
+        assert_eq!(bm.words_per_row(), 2);
+        for (b, list) in lists.iter().enumerate() {
+            let row = bm.row(b as u32);
+            let total: u32 = row.iter().map(|w| w.count_ones()).sum();
+            assert_eq!(total as usize, list.len());
+            for &t in list {
+                assert_ne!(row[t as usize / 64] & (1u64 << (t % 64)), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_bitmap_intersection_counts_shared_trajectories() {
+        let m = model_from(vec![vec![0, 1, 2, 65], vec![2, 3, 65], vec![4]], 66);
+        let bm = m.coverage_bitmap().unwrap();
+        let shared: u64 = bm
+            .row(0)
+            .iter()
+            .zip(bm.row(1))
+            .map(|(&x, &y)| u64::from((x & y).count_ones()))
+            .sum();
+        assert_eq!(shared, 2); // t2 and t65
+    }
+
+    #[test]
+    fn inverted_index_survives_clone() {
+        let m = model_from(vec![vec![0], vec![0, 1]], 2);
+        let _ = m.inverted_index();
+        let c = m.clone();
+        assert_eq!(c.inverted_index().billboards_covering(0), &[0, 1]);
     }
 }

@@ -238,7 +238,11 @@ mod tests {
         assert_eq!(model.coverage(night), &[1]);
         // Every other slot is empty.
         let covered: usize = (0..24)
-            .filter(|&s| !model.coverage(slotted.virtual_id(BillboardId(0), s)).is_empty())
+            .filter(|&s| {
+                !model
+                    .coverage(slotted.virtual_id(BillboardId(0), s))
+                    .is_empty()
+            })
             .count();
         assert_eq!(covered, 2);
     }
@@ -249,10 +253,8 @@ mod tests {
         // at t=0 and t=120s with a 100s slot grid.
         let billboards = billboard_at(&[(0.0, 0.0)]);
         let mut trajectories = TrajectoryStore::new();
-        trajectories.push_with_timestamps(
-            &[Point::new(5.0, 0.0), Point::new(6.0, 0.0)],
-            &[0.0, 120.0],
-        );
+        trajectories
+            .push_with_timestamps(&[Point::new(5.0, 0.0), Point::new(6.0, 0.0)], &[0.0, 120.0]);
         let slotted = SlottedModel::build(
             &billboards,
             &trajectories,
@@ -260,8 +262,18 @@ mod tests {
             50.0,
             SlotGrid::new(0.0, 1000.0, 10),
         );
-        assert_eq!(slotted.model().coverage(slotted.virtual_id(BillboardId(0), 0)), &[0]);
-        assert_eq!(slotted.model().coverage(slotted.virtual_id(BillboardId(0), 1)), &[0]);
+        assert_eq!(
+            slotted
+                .model()
+                .coverage(slotted.virtual_id(BillboardId(0), 0)),
+            &[0]
+        );
+        assert_eq!(
+            slotted
+                .model()
+                .coverage(slotted.virtual_id(BillboardId(0), 1)),
+            &[0]
+        );
     }
 
     #[test]

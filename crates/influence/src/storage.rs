@@ -54,7 +54,10 @@ impl std::fmt::Display for StorageError {
             StorageError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
             StorageError::ChecksumMismatch => write!(f, "payload checksum mismatch"),
             StorageError::IdOutOfRange { billboard, id } => {
-                write!(f, "billboard {billboard} references trajectory {id} out of range")
+                write!(
+                    f,
+                    "billboard {billboard} references trajectory {id} out of range"
+                )
             }
         }
     }
@@ -121,11 +124,13 @@ pub fn write_model(model: &CoverageModel, out: &mut Vec<u8>) {
 /// Deserialises a model written by [`write_model`].
 pub fn read_model(data: &[u8]) -> Result<CoverageModel, StorageError> {
     if data.len() < MAGIC.len() + 1 + 8 {
-        return Err(if data.len() >= MAGIC.len() && &data[..MAGIC.len()] != MAGIC {
-            StorageError::BadMagic
-        } else {
-            StorageError::Truncated
-        });
+        return Err(
+            if data.len() >= MAGIC.len() && &data[..MAGIC.len()] != MAGIC {
+                StorageError::BadMagic
+            } else {
+                StorageError::Truncated
+            },
+        );
     }
     let (head, rest) = data.split_at(MAGIC.len());
     if head != MAGIC {
@@ -287,7 +292,10 @@ mod tests {
         let mut bytes = encode(&sample_model());
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x40;
-        assert_eq!(read_model(&bytes).unwrap_err(), StorageError::ChecksumMismatch);
+        assert_eq!(
+            read_model(&bytes).unwrap_err(),
+            StorageError::ChecksumMismatch
+        );
     }
 
     #[test]
@@ -296,7 +304,10 @@ mod tests {
         for cut in [0usize, 4, 9, bytes.len() - 9] {
             let err = read_model(&bytes[..cut]).unwrap_err();
             assert!(
-                matches!(err, StorageError::Truncated | StorageError::ChecksumMismatch),
+                matches!(
+                    err,
+                    StorageError::Truncated | StorageError::ChecksumMismatch
+                ),
                 "cut at {cut}: {err:?}"
             );
         }

@@ -60,10 +60,9 @@ impl Ledger {
 
     /// Fraction of proposals fully satisfied.
     pub fn satisfaction_rate(&self) -> f64 {
-        let (sat, arr) = self
-            .days
-            .iter()
-            .fold((0usize, 0usize), |(s, a), d| (s + d.satisfied, a + d.arrived));
+        let (sat, arr) = self.days.iter().fold((0usize, 0usize), |(s, a), d| {
+            (s + d.satisfied, a + d.arrived)
+        });
         if arr == 0 {
             0.0
         } else {

@@ -56,8 +56,9 @@ impl ProposalGenerator {
             self.duration_days.0 >= 1 && self.duration_days.0 <= self.duration_days.1,
             "bad duration range"
         );
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(self.seed ^ (u64::from(day)).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.seed ^ (u64::from(day)).wrapping_mul(0x9E3779B97F4A7C15),
+        );
         let n = rng.gen_range(self.arrivals_per_day.0..=self.arrivals_per_day.1);
         (0..n)
             .map(|_| {

@@ -67,10 +67,7 @@ impl<'a> MarketSim<'a> {
         solver: &dyn Solver,
         config: MarketConfig,
     ) -> Ledger {
-        assert!(
-            (0.0..=1.0).contains(&config.gamma),
-            "γ must be in [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&config.gamma), "γ must be in [0, 1]");
         let mut ledger = Ledger::default();
         for day in 0..config.days {
             ledger.days.push(self.step(day, generator, solver, config));
@@ -102,8 +99,7 @@ impl<'a> MarketSim<'a> {
         // Solve MROAM over the free inventory only.
         let free = self.free_billboards();
         let (sub_model, back) = self.model.restricted(&free);
-        let advertisers: AdvertiserSet =
-            proposals.iter().map(|p| p.advertiser()).collect();
+        let advertisers: AdvertiserSet = proposals.iter().map(|p| p.advertiser()).collect();
         let instance = Instance::new(&sub_model, &advertisers, config.gamma);
         let solution = solver.solve(&instance);
 
@@ -169,7 +165,10 @@ mod tests {
             duration_days: (2, 2),
             seed: 1,
         };
-        let cfg = MarketConfig { days: 10, gamma: 0.5 };
+        let cfg = MarketConfig {
+            days: 10,
+            gamma: 0.5,
+        };
         let d0 = sim.step(0, &g, &GGlobal, cfg);
         assert!(d0.locked_billboards >= 1);
         let locked_after_day0 = sim.locked_count();
@@ -187,7 +186,10 @@ mod tests {
         let ledger = MarketSim::new(&model).run(
             &generator(model.supply()),
             &GGlobal,
-            MarketConfig { days: 20, gamma: 0.5 },
+            MarketConfig {
+                days: 20,
+                gamma: 0.5,
+            },
         );
         assert_eq!(ledger.days.len(), 20);
         for d in &ledger.days {
@@ -208,7 +210,10 @@ mod tests {
         let ledger = MarketSim::new(&model).run(
             &generator(model.supply()),
             &GGlobal,
-            MarketConfig { days: 15, gamma: 0.0 },
+            MarketConfig {
+                days: 15,
+                gamma: 0.0,
+            },
         );
         for d in &ledger.days {
             // With γ = 0, partial fulfilment pays nothing, so the collected
@@ -228,7 +233,10 @@ mod tests {
             MarketSim::new(&model).run(
                 &generator(model.supply()),
                 solver,
-                MarketConfig { days: 12, gamma: 0.5 },
+                MarketConfig {
+                    days: 12,
+                    gamma: 0.5,
+                },
             )
         };
         let a = run(&GGlobal);
@@ -241,7 +249,10 @@ mod tests {
     fn better_solver_collects_at_least_as_much_on_average() {
         let model = disjoint_model(&[9, 8, 7, 6, 5, 5, 4, 4, 3, 2, 2, 1]);
         let g = generator(model.supply());
-        let cfg = MarketConfig { days: 25, gamma: 0.5 };
+        let cfg = MarketConfig {
+            days: 25,
+            gamma: 0.5,
+        };
         let greedy = MarketSim::new(&model).run(&g, &GOrder, cfg);
         let bls = MarketSim::new(&model).run(&g, &Bls::default(), cfg);
         assert!(
@@ -260,7 +271,10 @@ mod tests {
         let ledger = MarketSim::new(&model).run(
             &generator(model.supply()),
             &GGlobal,
-            MarketConfig { days: 30, gamma: 0.5 },
+            MarketConfig {
+                days: 30,
+                gamma: 0.5,
+            },
         );
         // Utilization can never exceed 1.
         for d in &ledger.days {
@@ -274,7 +288,10 @@ mod tests {
         let ledger = MarketSim::new(&model).run(
             &generator(model.supply()),
             &GGlobal,
-            MarketConfig { days: 0, gamma: 0.5 },
+            MarketConfig {
+                days: 0,
+                gamma: 0.5,
+            },
         );
         assert!(ledger.days.is_empty());
         assert_eq!(ledger.total_collected(), 0.0);

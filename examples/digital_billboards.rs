@@ -22,13 +22,7 @@ fn main() {
 
     // Digital model: each board split into 6 four-hour slots.
     let grid = SlotGrid::new(0.0, 24.0 * 3600.0, 6);
-    let slotted = SlottedModel::build(
-        &city.billboards,
-        &city.trajectories,
-        &starts,
-        100.0,
-        grid,
-    );
+    let slotted = SlottedModel::build(&city.billboards, &city.trajectories, &starts, 100.0, grid);
     println!(
         "{} physical boards -> {} sellable (board, slot) units; supply {} -> {}",
         static_model.n_billboards(),
@@ -55,18 +49,17 @@ fn main() {
     let static_sol = solver.solve(&Instance::new(&static_model, &advertisers, 0.5));
     let digital_sol = solver.solve(&Instance::new(slotted.model(), &advertisers, 0.5));
 
-    println!("{:<22} {:>12} {:>10}", "allocation mode", "BLS regret", "#unsat");
     println!(
-        "{:<22} {:>12.0} {:>10}",
-        "whole-day (static)",
-        static_sol.total_regret,
-        static_sol.breakdown.n_unsatisfied
+        "{:<22} {:>12} {:>10}",
+        "allocation mode", "BLS regret", "#unsat"
     );
     println!(
         "{:<22} {:>12.0} {:>10}",
-        "per-slot (digital)",
-        digital_sol.total_regret,
-        digital_sol.breakdown.n_unsatisfied
+        "whole-day (static)", static_sol.total_regret, static_sol.breakdown.n_unsatisfied
+    );
+    println!(
+        "{:<22} {:>12.0} {:>10}",
+        "per-slot (digital)", digital_sol.total_regret, digital_sol.breakdown.n_unsatisfied
     );
 
     // How many physical boards ended up shared between advertisers?

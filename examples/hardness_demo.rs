@@ -58,7 +58,10 @@ fn main() {
     let (model, advertisers) = no.reduce_to_mroam(30).expect("divisible");
     let mroam = Instance::new(&model, &advertisers, 0.0);
     let solution = ExactSolver::default().solve(&mroam);
-    println!("  optimal MROAM regret = {:.2} (> 0)", solution.total_regret);
+    println!(
+        "  optimal MROAM regret = {:.2} (> 0)",
+        solution.total_regret
+    );
     println!("\nZero vs non-zero optimum decides N3DM — so MROAM admits no");
     println!("constant-factor approximation unless P = NP (Theorem 1).");
 }

@@ -40,7 +40,12 @@ fn main() {
     let strategy1 = [
         vec![BillboardId(1)],
         vec![BillboardId(3)],
-        vec![BillboardId(0), BillboardId(2), BillboardId(4), BillboardId(5)],
+        vec![
+            BillboardId(0),
+            BillboardId(2),
+            BillboardId(4),
+            BillboardId(5),
+        ],
     ];
     report_plan(&instance, "Strategy 1 (Table 3)", &strategy1);
 
@@ -54,7 +59,10 @@ fn main() {
     report_plan(&instance, "Strategy 2 (Table 4)", &strategy2);
 
     // Now let the algorithms find plans on their own.
-    println!("{:<10} {:>12} {:>22}", "algorithm", "regret", "influences (I(S_i))");
+    println!(
+        "{:<10} {:>12} {:>22}",
+        "algorithm", "regret", "influences (I(S_i))"
+    );
     let solvers: Vec<Box<dyn Solver>> = vec![
         Box::new(GOrder),
         Box::new(GGlobal),

@@ -62,8 +62,14 @@ fn local_search_methods_dominate_their_greedy_seed() {
         SgConfig::test_scale().generate(),
     ] {
         let results = solve_city(&city, 1.0, 0.05);
-        let regret =
-            |n: &str| results.iter().find(|(name, _)| name == n).unwrap().1.total_regret;
+        let regret = |n: &str| {
+            results
+                .iter()
+                .find(|(name, _)| name == n)
+                .unwrap()
+                .1
+                .total_regret
+        };
         assert!(
             regret("ALS") <= regret("G-Global") + 1e-6,
             "{}: ALS vs G-Global",

@@ -121,7 +121,10 @@ fn market_simulation_over_generated_city() {
     let ledger = MarketSim::new(&model).run(&generator, &GGlobal, config);
     assert_eq!(ledger.days.len(), 15);
     assert!(ledger.total_collected() <= ledger.total_committed() + 1e-9);
-    assert!(ledger.total_collected() > 0.0, "a 15-day market should bank something");
+    assert!(
+        ledger.total_collected() > 0.0,
+        "a 15-day market should bank something"
+    );
     for d in &ledger.days {
         assert!(d.utilization() <= 1.0);
     }

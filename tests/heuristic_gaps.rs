@@ -12,12 +12,7 @@ use rand_chacha::ChaCha8Rng;
 
 /// Random instance: `n_b` billboards over `n_t` trajectories with random
 /// coverage lists, `n_a` advertisers with demands near an achievable band.
-fn random_instance(
-    seed: u64,
-    n_b: usize,
-    n_t: u32,
-    n_a: usize,
-) -> (CoverageModel, AdvertiserSet) {
+fn random_instance(seed: u64, n_b: usize, n_t: u32, n_a: usize) -> (CoverageModel, AdvertiserSet) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let lists: Vec<Vec<u32>> = (0..n_b)
         .map(|_| {

@@ -30,10 +30,7 @@ fn all_measures() -> Vec<InfluenceMeasure> {
 #[test]
 fn every_solver_works_under_every_measure() {
     let model = tiny_model();
-    let advertisers = AdvertiserSet::new(vec![
-        Advertiser::new(4, 8.0),
-        Advertiser::new(3, 5.0),
-    ]);
+    let advertisers = AdvertiserSet::new(vec![Advertiser::new(4, 8.0), Advertiser::new(3, 5.0)]);
     for measure in all_measures() {
         let instance = Instance::with_measure(&model, &advertisers, 0.5, measure);
         for solver in [
@@ -74,9 +71,11 @@ fn impressions_measure_requires_repeat_meets() {
     let model = tiny_model();
     let full: Vec<BillboardId> = model.billboard_ids().collect();
     // Trajectory meet counts: t0:2, t1:1, t2:4, t3:2, t4:1, t5:1, t6:1.
-    let k2 = model.set_influence_measured(full.iter().copied(), InfluenceMeasure::Impressions { k: 2 });
+    let k2 =
+        model.set_influence_measured(full.iter().copied(), InfluenceMeasure::Impressions { k: 2 });
     assert_eq!(k2, 3); // t0, t2, t3
-    let k3 = model.set_influence_measured(full.iter().copied(), InfluenceMeasure::Impressions { k: 3 });
+    let k3 =
+        model.set_influence_measured(full.iter().copied(), InfluenceMeasure::Impressions { k: 3 });
     assert_eq!(k3, 1); // t2 only
 }
 
@@ -117,10 +116,7 @@ fn measure_changes_the_optimal_deployment() {
 #[test]
 fn local_search_still_dominates_greedy_under_other_measures() {
     let model = tiny_model();
-    let advertisers = AdvertiserSet::new(vec![
-        Advertiser::new(5, 9.0),
-        Advertiser::new(4, 6.0),
-    ]);
+    let advertisers = AdvertiserSet::new(vec![Advertiser::new(5, 9.0), Advertiser::new(4, 6.0)]);
     for measure in all_measures() {
         let instance = Instance::with_measure(&model, &advertisers, 0.5, measure);
         let greedy = GGlobal.solve(&instance).total_regret;

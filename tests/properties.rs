@@ -39,7 +39,7 @@ proptest! {
         let solvers: Vec<Box<dyn Solver>> = vec![
             Box::new(GOrder),
             Box::new(GGlobal),
-            Box::new(Als { restarts: 2, seed: 9, parallel: false }),
+            Box::new(Als { restarts: 2, seed: 9, ..Als::default() }),
             Box::new(Bls { restarts: 2, seed: 9, ..Bls::default() }),
         ];
         for solver in solvers {
@@ -80,7 +80,7 @@ proptest! {
         );
         let instance = Instance::new(&model, &advertisers, 0.5);
         let greedy = GGlobal.solve(&instance).total_regret;
-        let als = Als { restarts: 2, seed: 1, parallel: false }.solve(&instance).total_regret;
+        let als = Als { restarts: 2, seed: 1, ..Als::default() }.solve(&instance).total_regret;
         let bls = Bls { restarts: 2, seed: 1, ..Bls::default() }.solve(&instance).total_regret;
         prop_assert!(als <= greedy + 1e-9);
         prop_assert!(bls <= greedy + 1e-9);

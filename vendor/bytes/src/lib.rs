@@ -1,0 +1,85 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build container has no network access and no vendored registry, so
+//! the workspace ships minimal reimplementations of the external crates it
+//! depends on (see `vendor/README.md`). This one provides exactly the
+//! [`Buf`]/[`BufMut`] surface `mroam-influence::storage` uses: byte-wise
+//! reads off a shrinking `&[u8]` and appends onto a `Vec<u8>`.
+
+/// Read side: a cursor over bytes that shrinks as it is consumed.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Consume and return the next byte. Panics when empty, like the real
+    /// crate.
+    fn get_u8(&mut self) -> u8;
+
+    /// `remaining() > 0`.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Consume and return a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        for slot in &mut raw {
+            *slot = self.get_u8();
+        }
+        u64::from_le_bytes(raw)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (&first, rest) = self.split_first().expect("buffer underflow");
+        *self = rest;
+        first
+    }
+}
+
+/// Write side: an append-only byte sink.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Append a slice verbatim.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a `u64` in little-endian order.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u8_and_u64_le() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(7);
+        out.put_u64_le(0x0102_0304_0506_0708);
+        let mut buf: &[u8] = &out;
+        assert_eq!(buf.remaining(), 9);
+        assert_eq!(buf.get_u8(), 7);
+        assert!(buf.has_remaining());
+        assert_eq!(buf.get_u64_le(), 0x0102_0304_0506_0708);
+        assert!(!buf.has_remaining());
+    }
+}

@@ -1,0 +1,218 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Mirrors the bench-definition API the workspace uses — `criterion_group!`
+//! / `criterion_main!`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `black_box` — and times each bench
+//! with plain `std::time::Instant` sampling instead of criterion's
+//! statistical machinery. Each bench prints one line:
+//!
+//! ```text
+//! group/id                time: [1.2345 ms] (N samples)
+//! ```
+//!
+//! Good enough to compare implementations by wall clock, which is all the
+//! workspace's EXPERIMENTS.md tables need.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A bench identifier: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Times closures handed to it by a bench body.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per iteration of the last `iter` call.
+    last_mean_s: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up iteration.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.last_mean_s = start.elapsed().as_secs_f64() / self.samples as f64;
+    }
+}
+
+fn report(group: &str, id: &str, bencher: &Bencher) {
+    let mean = bencher.last_mean_s;
+    let pretty = if mean >= 1.0 {
+        format!("{mean:.4} s")
+    } else if mean >= 1e-3 {
+        format!("{:.4} ms", mean * 1e3)
+    } else if mean >= 1e-6 {
+        format!("{:.4} µs", mean * 1e6)
+    } else {
+        format!("{:.4} ns", mean * 1e9)
+    };
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    eprintln!("{label:<50} time: [{pretty}] ({} samples)", bencher.samples);
+}
+
+/// A named set of related benches.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample count per bench; the stub uses it directly as the iteration
+    /// count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Accepted and ignored: the stub always runs exactly `sample_size`
+    /// timed iterations.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored, like [`Self::warm_up_time`].
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            last_mean_s: 0.0,
+        };
+        f(&mut bencher);
+        report(&self.name, &id.to_string(), &bencher);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            last_mean_s: 0.0,
+        };
+        f(&mut bencher, input);
+        report(&self.name, &id.to_string(), &bencher);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The bench driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: 10,
+            last_mean_s: 0.0,
+        };
+        f(&mut bencher);
+        report("", &id.to_string(), &bencher);
+        self
+    }
+}
+
+/// Collects bench functions into a runner, like the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 timed iterations.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("a", 5).to_string(), "a/5");
+        assert_eq!(BenchmarkId::from_parameter("x=1").to_string(), "x=1");
+    }
+}

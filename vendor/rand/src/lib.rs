@@ -1,0 +1,300 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! The build container has no network access (see `vendor/README.md`), so
+//! this crate reimplements the slice of the `rand` API the workspace uses:
+//! [`RngCore`], [`SeedableRng`] (with the SplitMix64 `seed_from_u64`
+//! expansion), the [`Rng`] extension trait (`gen`, `gen_bool`, `gen_range`
+//! over primitive ranges), and [`seq::SliceRandom::choose`].
+//!
+//! Distributions are uniform but make no attempt to match the upstream
+//! crate's exact bit streams; everything in the workspace only relies on
+//! determinism-given-seed, which holds here.
+
+/// The raw generator interface.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let raw = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&raw[..rest.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with SplitMix64, like upstream
+    /// `rand_core`.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let raw = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&raw[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types samplable uniformly "at large" via `rng.gen::<T>()`.
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64, i8 => next_u32, i16 => next_u32,
+    i32 => next_u32, i64 => next_u64, isize => next_u64);
+
+/// Types uniformly samplable from a `lo..hi` span.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform draw from `lo..hi` (exclusive) or `lo..=hi` (inclusive);
+    /// bounds are validated by the caller.
+    fn sample_span<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_span<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_span<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+            ) -> Self {
+                let unit = <$t as Standard>::sample(rng);
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Ranges usable with `gen_range`. The blanket impls unify the range's
+/// element type with `T`, which is what lets float-literal ranges like
+/// `0.25..0.75` infer through arithmetic on the result (mirroring the real
+/// crate's inference behaviour).
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty gen_range");
+        T::sample_span(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty gen_range");
+        T::sample_span(rng, lo, hi, true)
+    }
+}
+
+/// The user-facing extension trait.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range");
+        <f64 as Standard>::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice helpers; only `choose` (and `shuffle`, for good measure) are
+    /// provided.
+    pub trait SliceRandom {
+        type Item;
+
+        fn choose<R: Rng + RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+        fn shuffle<R: Rng + RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn shuffle<R: Rng + RngCore>(&mut self, rng: &mut R) {
+            // Fisher–Yates.
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+pub mod rngs {
+    //! Placeholder module for API compatibility; the workspace constructs
+    //! its generators from `rand_chacha` directly.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(42);
+        for _ in 0..1000 {
+            let x: u32 = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+            let f: f64 = rng.gen_range(1e-12..1.0);
+            assert!((1e-12..1.0).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(7);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn choose_covers_all_indices() {
+        let mut rng = Counter(1);
+        let xs = [10, 20, 30];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let &x = xs.choose(&mut rng).unwrap();
+            seen[(x / 10 - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        struct Raw([u8; 16]);
+        impl SeedableRng for Raw {
+            type Seed = [u8; 16];
+            fn from_seed(seed: [u8; 16]) -> Self {
+                Raw(seed)
+            }
+        }
+        assert_eq!(Raw::seed_from_u64(5).0, Raw::seed_from_u64(5).0);
+        assert_ne!(Raw::seed_from_u64(5).0, Raw::seed_from_u64(6).0);
+    }
+}

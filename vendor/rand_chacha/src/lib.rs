@@ -1,0 +1,140 @@
+//! Offline stand-in for `rand_chacha` (see `vendor/README.md`).
+//!
+//! Implements the genuine ChaCha stream cipher with 8 rounds as the
+//! workspace's deterministic PRNG. The word stream is not guaranteed to be
+//! bit-compatible with the upstream crate (which interleaves blocks in a
+//! SIMD-friendly order); the workspace only relies on determinism given a
+//! seed, never on a specific stream.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 rounds, seeded with a 256-bit key.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// The cipher input block: constants, key, 64-bit counter, 64-bit nonce.
+    state: [u32; 16],
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unread word in `block`; 16 forces a refill.
+    cursor: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // Each loop is a double round: 4 column + 4 diagonal quarters.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(s);
+        }
+        // 64-bit block counter in words 12–13.
+        let counter = (u64::from(self.state[13]) << 32 | u64::from(self.state[12])).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for (word, chunk) in state[4..12].iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+        }
+        // Counter and nonce start at zero.
+        Self {
+            state,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        hi << 32 | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ietf_chacha8_test_vector() {
+        // First keystream block for the all-zero key and nonce
+        // (ChaCha8 reference vector, e.g. from the original DJB test set):
+        // 3e00ef2f895f40d67f5bb8e81f09a5a1 2c840ec3ce9a7f3b181be188ef711a1e.
+        let mut rng = ChaCha8Rng::from_seed([0u8; 32]);
+        let mut first16 = [0u8; 16];
+        rng.fill_bytes(&mut first16);
+        assert_eq!(
+            first16,
+            [
+                0x3e, 0x00, 0xef, 0x2f, 0x89, 0x5f, 0x40, 0xd6, 0x7f, 0x5b, 0xb8, 0xe8, 0x1f, 0x09,
+                0xa5, 0xa1
+            ]
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_distinct_across_seeds() {
+        let mut a = ChaCha8Rng::seed_from_u64(99);
+        let mut b = ChaCha8Rng::seed_from_u64(99);
+        let mut c = ChaCha8Rng::seed_from_u64(100);
+        let xs: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..100).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let first_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first_block, second_block);
+    }
+}

@@ -1,0 +1,189 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build container has no network access (see `vendor/README.md`), so
+//! this crate mirrors the parallel-iterator API surface the workspace uses
+//! and executes it **sequentially**. Every algorithm in the workspace is
+//! written so that its parallel and sequential results are identical
+//! (associative reductions, first-hit `position_first` semantics), which
+//! makes the swap observationally equivalent apart from wall-clock time.
+
+/// The sequential "parallel" iterator: a thin wrapper over a [`Iterator`]
+/// exposing rayon's method names.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    pub fn map<B, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> B,
+    {
+        ParIter(self.0.map(f))
+    }
+
+    pub fn filter<P>(self, p: P) -> ParIter<std::iter::Filter<I, P>>
+    where
+        P: FnMut(&I::Item) -> bool,
+    {
+        ParIter(self.0.filter(p))
+    }
+
+    pub fn filter_map<B, F>(self, f: F) -> ParIter<std::iter::FilterMap<I, F>>
+    where
+        F: FnMut(I::Item) -> Option<B>,
+    {
+        ParIter(self.0.filter_map(f))
+    }
+
+    pub fn flat_map<B, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, B, F>>
+    where
+        B: IntoIterator,
+        F: FnMut(I::Item) -> B,
+    {
+        ParIter(self.0.flat_map(f))
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.0.for_each(f)
+    }
+
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.0.collect()
+    }
+
+    /// rayon's `reduce(identity, op)`: folds from `identity()`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    pub fn min_by<F>(self, f: F) -> Option<I::Item>
+    where
+        F: Fn(&I::Item, &I::Item) -> std::cmp::Ordering,
+    {
+        self.0.min_by(f)
+    }
+
+    pub fn max_by<F>(self, f: F) -> Option<I::Item>
+    where
+        F: Fn(&I::Item, &I::Item) -> std::cmp::Ordering,
+    {
+        self.0.max_by(f)
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.0.sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn any<P>(mut self, p: P) -> bool
+    where
+        P: FnMut(I::Item) -> bool,
+    {
+        self.0.any(p)
+    }
+
+    pub fn all<P>(mut self, p: P) -> bool
+    where
+        P: FnMut(I::Item) -> bool,
+    {
+        self.0.all(p)
+    }
+
+    /// Index of the first item (in the original order) matching the
+    /// predicate — rayon guarantees the *minimum* index, which is exactly
+    /// what a sequential `position` returns.
+    pub fn position_first<P>(mut self, p: P) -> Option<usize>
+    where
+        P: FnMut(I::Item) -> bool,
+    {
+        self.0.position(p)
+    }
+
+    /// First item (in the original order) matching the predicate.
+    pub fn find_first<P>(mut self, mut p: P) -> Option<I::Item>
+    where
+        P: FnMut(&I::Item) -> bool,
+    {
+        self.0.find(|x| p(x))
+    }
+}
+
+/// `into_par_iter()` for anything iterable (ranges, vectors, ...).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// `par_iter()` / `par_chunks()` on slices.
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk_size))
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let v: Vec<i32> = (0..10).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn position_first_is_minimum_index() {
+        let xs = [1, 5, 3, 5, 2];
+        assert_eq!(xs.par_iter().position_first(|&x| x == 5), Some(1));
+        assert_eq!(xs.par_iter().position_first(|&x| x == 9), None);
+    }
+
+    #[test]
+    fn chunked_reduce_folds_all_chunks() {
+        let xs: Vec<u64> = (1..=100).collect();
+        let total = xs
+            .par_chunks(7)
+            .map(|c| c.iter().sum::<u64>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn min_by_over_range() {
+        let m = (0..20)
+            .into_par_iter()
+            .map(|x| (x as i32 - 7).abs())
+            .min_by(|a, b| a.cmp(b));
+        assert_eq!(m, Some(0));
+    }
+}

@@ -1,0 +1,186 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on many types but only
+//! ever *runs* serialization for the experiment records written as JSON
+//! lines (`mroam-experiments::table`). So this stub models serialization as
+//! "append yourself as JSON onto a string": primitives and containers get
+//! real implementations below, `#[derive(Serialize)]` generates the
+//! field-walking glue for named-field structs, and everything else gets a
+//! marker impl whose default method panics if it is ever actually called.
+
+/// JSON-only serialization.
+pub trait Serialize {
+    /// Appends `self` rendered as JSON onto `out`.
+    fn serialize_json(&self, out: &mut String) {
+        let _ = out;
+        unimplemented!(
+            "stub serde: this type derives Serialize for API compatibility \
+             but does not support runtime serialization"
+        );
+    }
+}
+
+/// Marker for deserializable types. The workspace only deserializes
+/// untyped `serde_json::Value`s, which the `serde_json` stub handles
+/// directly, so no methods are needed here.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Escapes and appends a JSON string literal.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_serialize_display {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_serialize_display!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no NaN/inf; serde_json emits null.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_float!(f32, f64);
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($idx:tt : $name:ident),+))+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    self.$idx.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )+};
+}
+
+impl_serialize_tuple! {
+    (0: A)
+    (0: A, 1: B)
+    (0: A, 1: B, 2: C)
+    (0: A, 1: B, 2: C, 3: D)
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_render_as_json() {
+        let mut out = String::new();
+        42u32.serialize_json(&mut out);
+        out.push(' ');
+        (-1.5f64).serialize_json(&mut out);
+        out.push(' ');
+        true.serialize_json(&mut out);
+        assert_eq!(out, "42 -1.5 true");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        "a\"b\\c\nd".serialize_json(&mut out);
+        assert_eq!(out, r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn containers_nest() {
+        let mut out = String::new();
+        vec![Some(1u8), None].serialize_json(&mut out);
+        assert_eq!(out, "[1,null]");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut out = String::new();
+        f64::NAN.serialize_json(&mut out);
+        assert_eq!(out, "null");
+    }
+}

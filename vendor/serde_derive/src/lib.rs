@@ -1,0 +1,175 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! The container has no `syn`/`quote`, so these derives hand-parse the
+//! `proc_macro` token stream. They understand exactly the shapes the
+//! workspace derives on:
+//!
+//! * named-field structs — `Serialize` generates real JSON field-walking
+//!   glue (the only shape the workspace serializes at runtime);
+//! * tuple structs and enums — a marker impl whose default method panics
+//!   if called (they are derived for API compatibility only);
+//! * `#[serde(...)]` helper attributes — accepted and ignored.
+//!
+//! Generic types are rejected with a compile-time panic; the workspace has
+//! none.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// `struct Name { a: T, b: U }` with the field names in order.
+    NamedStruct(Vec<String>),
+    /// Tuple struct, unit struct, or enum.
+    Opaque,
+}
+
+fn parse(input: TokenStream) -> (String, Shape) {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Outer attribute: consume the bracket group.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // `pub` or `pub(crate)`: maybe consume the paren group.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("stub serde_derive: expected struct name, got {other:?}"),
+                };
+                return match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        (name, Shape::NamedStruct(named_fields(g.stream())))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        (name, Shape::Opaque)
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => (name, Shape::Opaque),
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        panic!("stub serde_derive: generic type {name} is unsupported")
+                    }
+                    other => {
+                        panic!("stub serde_derive: unexpected token after struct name: {other:?}")
+                    }
+                };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("stub serde_derive: expected enum name, got {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == '<' {
+                        panic!("stub serde_derive: generic type {name} is unsupported");
+                    }
+                }
+                return (name, Shape::Opaque);
+            }
+            Some(_) => {}
+            None => panic!("stub serde_derive: no struct or enum found in derive input"),
+        }
+    }
+}
+
+/// Extracts the field names (in declaration order) from the token stream
+/// inside a named struct's braces.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Field attributes.
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '#' {
+                iter.next();
+                iter.next(); // the bracket group
+            } else {
+                break;
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = iter.peek() {
+            if id.to_string() == "pub" {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+        }
+        // Field name.
+        match iter.next() {
+            Some(TokenTree::Ident(name)) => fields.push(name.to_string()),
+            None => break,
+            other => panic!("stub serde_derive: expected field name, got {other:?}"),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("stub serde_derive: expected ':' after field name, got {other:?}"),
+        }
+        // The type: consume until a comma at angle-bracket depth zero.
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                Some(_) => {
+                    iter.next();
+                }
+                None => break,
+            }
+        }
+    }
+    fields
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse(input);
+    let code = match shape {
+        Shape::NamedStruct(fields) => {
+            let mut body = String::from("out.push('{');");
+            for (i, field) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');");
+                }
+                body.push_str(&format!(r#"out.push_str("\"{field}\":");"#));
+                body.push_str(&format!(
+                    "::serde::Serialize::serialize_json(&self.{field}, out);"
+                ));
+            }
+            body.push_str("out.push('}');");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_json(&self, out: &mut String) {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Shape::Opaque => format!("impl ::serde::Serialize for {name} {{}}"),
+    };
+    code.parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _shape) = parse(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
