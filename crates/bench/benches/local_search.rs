@@ -1,0 +1,116 @@
+//! Incremental move-evaluation engine vs the naive neighbourhood scans.
+//!
+//! Times ALS and BLS end-to-end on the NYC-like and SG-like fixture
+//! cities with the `MoveEngine` (default) against the `naive_scan`
+//! escape hatch. The headline number for EXPERIMENTS.md is the SG-scale
+//! BLS pairing (target: ≥2× end-to-end) — BLS's four-move neighbourhood
+//! is where the from-scratch rescans dominate.
+//!
+//! Every pairing first asserts the two paths produce the *identical*
+//! solution (same sets, same regret) — a slow-but-wrong bench would be
+//! worse than useless.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mroam_bench::{model_of, workload};
+use mroam_core::prelude::*;
+use mroam_datagen::{City, NycConfig, SgConfig};
+
+/// Experiment-scale cities (300 / 800 billboards), matching the
+/// `gain_engine` bench and the EXPERIMENTS.md tables.
+fn fixtures() -> Vec<(&'static str, City)> {
+    vec![
+        ("nyc", NycConfig::default().generate()),
+        ("sg", SgConfig::default().generate()),
+    ]
+}
+
+/// Fewer restarts than the solver default: the bench times the local
+/// search machinery, and every restart runs the identical search anyway.
+const RESTARTS: usize = 2;
+const SEED: u64 = 0xB15;
+
+fn bench_bls_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_search/bls");
+    group.sample_size(10);
+    for (name, city) in fixtures() {
+        let model = model_of(&city);
+        let advertisers = workload(&model, 1.0, 0.05);
+        let instance = Instance::new(&model, &advertisers, 0.5);
+        let engine_params = Bls {
+            restarts: RESTARTS,
+            seed: SEED,
+            ..Bls::default()
+        };
+        let naive_params = Bls {
+            naive_scan: true,
+            ..engine_params
+        };
+
+        // Bit-identity gate: the engine must not change the answer.
+        let lazy = engine_params.solve(&instance);
+        let naive = naive_params.solve(&instance);
+        assert_eq!(
+            lazy.sets, naive.sets,
+            "{name}: BLS engine vs naive sets diverge"
+        );
+        assert_eq!(
+            lazy.total_regret, naive.total_regret,
+            "{name}: BLS engine vs naive regret diverges"
+        );
+        eprintln!(
+            "[local_search {name}] billboards={} advertisers={} bls_regret={:.1}",
+            model.n_billboards(),
+            advertisers.len(),
+            lazy.total_regret
+        );
+
+        group.bench_with_input(BenchmarkId::new("engine", name), &instance, |b, inst| {
+            b.iter(|| engine_params.solve(inst))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", name), &instance, |b, inst| {
+            b.iter(|| naive_params.solve(inst))
+        });
+    }
+    group.finish();
+}
+
+fn bench_als_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_search/als");
+    group.sample_size(10);
+    for (name, city) in fixtures() {
+        let model = model_of(&city);
+        let advertisers = workload(&model, 1.0, 0.05);
+        let instance = Instance::new(&model, &advertisers, 0.5);
+        let engine_params = Als {
+            restarts: RESTARTS,
+            seed: SEED,
+            ..Als::default()
+        };
+        let naive_params = Als {
+            naive_scan: true,
+            ..engine_params
+        };
+
+        let lazy = engine_params.solve(&instance);
+        let naive = naive_params.solve(&instance);
+        assert_eq!(
+            lazy.sets, naive.sets,
+            "{name}: ALS engine vs naive sets diverge"
+        );
+        assert_eq!(
+            lazy.total_regret, naive.total_regret,
+            "{name}: ALS engine vs naive regret diverges"
+        );
+
+        group.bench_with_input(BenchmarkId::new("engine", name), &instance, |b, inst| {
+            b.iter(|| engine_params.solve(inst))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", name), &instance, |b, inst| {
+            b.iter(|| naive_params.solve(inst))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bls_end_to_end, bench_als_end_to_end);
+criterion_main!(benches);

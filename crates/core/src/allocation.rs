@@ -73,8 +73,14 @@ pub struct Allocation<'a> {
     free: Vec<BillboardId>,
     /// Cached `Σ regrets`.
     total_regret: f64,
-    /// Append-only move log consumed by incremental observers.
+    /// Move log consumed by incremental observers. Entries before
+    /// `events_base` have been compacted away; observer cursors are
+    /// *absolute* (see [`Self::event_cursor`]), so compaction never shifts
+    /// them.
     events: Vec<AllocEvent>,
+    /// Absolute index of `events[0]` — the count of events already
+    /// compacted out of the log.
+    events_base: usize,
 }
 
 impl<'a> Allocation<'a> {
@@ -104,6 +110,7 @@ impl<'a> Allocation<'a> {
             free: (0..n_b).map(BillboardId::from_index).collect(),
             total_regret,
             events: Vec::new(),
+            events_base: 0,
         }
     }
 
@@ -305,11 +312,96 @@ impl<'a> Allocation<'a> {
         }
     }
 
-    /// The append-only move log since this allocation (or its clone source)
-    /// was created. Incremental observers keep a cursor into this slice.
+    /// The still-uncompacted window of the move log. Prefer the absolute
+    /// cursor API ([`event_cursor`](Self::event_cursor) /
+    /// [`events_since`](Self::events_since)) — this accessor exists for
+    /// tests and whole-log inspection and is only the full history while no
+    /// [`compact_events`](Self::compact_events) call has dropped a prefix.
     #[inline]
     pub fn events(&self) -> &[AllocEvent] {
         &self.events
+    }
+
+    /// The absolute position one past the latest logged event. Incremental
+    /// observers snapshot this as their cursor and later catch up with
+    /// [`events_since`](Self::events_since); absolute positions stay valid
+    /// across [`compact_events`](Self::compact_events) and across a
+    /// [`scratch_clone`](Self::scratch_clone) hand-off.
+    #[inline]
+    pub fn event_cursor(&self) -> usize {
+        self.events_base + self.events.len()
+    }
+
+    /// The events logged at absolute positions `cursor..`. Panics if that
+    /// suffix has been compacted away — an observer older than the last
+    /// [`compact_events`](Self::compact_events) point must resync from the
+    /// full allocation state instead.
+    #[inline]
+    pub fn events_since(&self, cursor: usize) -> &[AllocEvent] {
+        assert!(
+            cursor >= self.events_base,
+            "event log compacted past observer cursor ({cursor} < base {})",
+            self.events_base
+        );
+        &self.events[cursor - self.events_base..]
+    }
+
+    /// Drops all events before absolute position `cursor`, bounding the
+    /// log's memory during long local-search runs. Callers pass the minimum
+    /// cursor over live observers (typically the single engine driving the
+    /// search). Panics if `cursor` lies beyond the log's end.
+    pub fn compact_events(&mut self, cursor: usize) {
+        assert!(
+            cursor <= self.event_cursor(),
+            "compaction cursor {cursor} beyond event log end {}",
+            self.event_cursor()
+        );
+        if cursor > self.events_base {
+            self.events.drain(..cursor - self.events_base);
+            self.events_base = cursor;
+        }
+    }
+
+    /// Clones the deployment *without copying the move log*: the clone
+    /// starts with an empty log whose base continues at this allocation's
+    /// [`event_cursor`](Self::event_cursor). An observer fully drained at
+    /// clone time can therefore adopt the clone (BLS move 4 swaps in the
+    /// greedily completed candidate) and catch up on exactly the moves made
+    /// on it since the fork — no wholesale log copy, no cursor reset.
+    pub fn scratch_clone(&self) -> Self {
+        let mut clone = self.clone();
+        clone.events.clear();
+        clone.events_base = self.event_cursor();
+        clone
+    }
+
+    /// Unique contribution (marginal influence loss) of billboard `b`
+    /// within advertiser `a`'s current plan — the influence `a` would lose
+    /// by releasing `b`. Pure query; only meaningful while `b ∈ S_a`.
+    /// The [`MoveEngine`](crate::moves::MoveEngine) caches this integer per
+    /// assigned billboard and keeps it fresh via overlap-scoped
+    /// invalidation.
+    #[inline]
+    pub fn marginal_loss_of(&self, a: AdvertiserId, b: BillboardId) -> u64 {
+        self.counters[a.index()].marginal_loss(self.instance.model.coverage(b))
+    }
+
+    /// Regret change of advertiser `a` moving to influence `new_influence`
+    /// (negative = improvement). This is the exact float expression every
+    /// single-advertiser move evaluation below bottoms out in; callers that
+    /// derive the new influence through cached integers (the move engine)
+    /// get bit-identical deltas by funnelling through it.
+    #[inline]
+    pub fn regret_delta_to(&self, a: AdvertiserId, new_influence: u64) -> f64 {
+        self.regret_at(a, new_influence) - self.regrets[a.index()]
+    }
+
+    /// [`regret_delta_to`](Self::regret_delta_to) with the new influence
+    /// expressed as a signed change against the cached `I(S_a)` — the shape
+    /// swap evaluations produce.
+    #[inline]
+    pub fn regret_delta_of_change(&self, a: AdvertiserId, delta: i64) -> f64 {
+        self.regret_delta_to(a, (self.influences[a.index()] as i64 + delta) as u64)
     }
 
     /// Total-regret change (negative = improvement) of swapping owned
@@ -323,6 +415,25 @@ impl<'a> Allocation<'a> {
         let cov_n = self.instance.model.coverage(b_n);
         let di = self.counters[i.index()].swap_delta(cov_m, cov_n);
         let dj = self.counters[j.index()].swap_delta(cov_n, cov_m);
+        self.eval_cross_swap_with_deltas(b_m, b_n, di, dj)
+    }
+
+    /// [`eval_cross_swap`](Self::eval_cross_swap) with the two influence
+    /// deltas supplied by the caller. The move engine derives them from
+    /// cached unique contributions when the swapped billboards share no
+    /// trajectory (`Δ_i = gain_i(b_n) − loss_i(b_m)` exactly); the final
+    /// float expression is shared with the counter-walk path, so equal
+    /// integer deltas give bit-identical results.
+    pub fn eval_cross_swap_with_deltas(
+        &self,
+        b_m: BillboardId,
+        b_n: BillboardId,
+        di: i64,
+        dj: i64,
+    ) -> f64 {
+        let i = self.owner[b_m.index()].expect("b_m must be assigned");
+        let j = self.owner[b_n.index()].expect("b_n must be assigned");
+        assert_ne!(i, j, "cross swap requires distinct owners");
         let new_i = (self.influences[i.index()] as i64 + di) as u64;
         let new_j = (self.influences[j.index()] as i64 + dj) as u64;
         self.regret_at(i, new_i) + self.regret_at(j, new_j)
@@ -353,8 +464,7 @@ impl<'a> Allocation<'a> {
             self.instance.model.coverage(b_m),
             self.instance.model.coverage(b_free),
         );
-        let new_i = (self.influences[i.index()] as i64 + di) as u64;
-        self.regret_at(i, new_i) - self.regrets[i.index()]
+        self.regret_delta_of_change(i, di)
     }
 
     /// Commits the replacement evaluated by
@@ -369,8 +479,8 @@ impl<'a> Allocation<'a> {
     /// mutating anything.
     pub fn eval_release(&self, b_m: BillboardId) -> f64 {
         let i = self.owner[b_m.index()].expect("b_m must be assigned");
-        let lost = self.counters[i.index()].marginal_loss(self.instance.model.coverage(b_m));
-        self.regret_at(i, self.influences[i.index()] - lost) - self.regrets[i.index()]
+        let lost = self.marginal_loss_of(i, b_m);
+        self.regret_delta_to(i, self.influences[i.index()] - lost)
     }
 
     /// Total-regret change of exchanging the *entire plans* of advertisers
@@ -713,6 +823,75 @@ mod tests {
                 },
             ]
         );
+    }
+
+    #[test]
+    fn event_cursors_are_absolute_across_compaction() {
+        let model = example1_model();
+        let advs = example1_advertisers();
+        let inst = Instance::new(&model, &advs, 0.5);
+        let mut alloc = Allocation::new(inst);
+        alloc.assign(BillboardId(0), AdvertiserId(0));
+        alloc.assign(BillboardId(1), AdvertiserId(1));
+        let mid = alloc.event_cursor();
+        assert_eq!(mid, 2);
+        alloc.release(BillboardId(0));
+
+        // A cursor taken before compaction still addresses the same tail.
+        let tail_before: Vec<AllocEvent> = alloc.events_since(mid).to_vec();
+        alloc.compact_events(mid);
+        assert_eq!(alloc.events_since(mid), &tail_before[..]);
+        assert_eq!(alloc.event_cursor(), 3);
+        assert_eq!(alloc.events().len(), 1);
+
+        // Compacting to an already-compacted position is a no-op; draining
+        // everything empties the live window without moving the cursor
+        // backwards.
+        alloc.compact_events(mid);
+        alloc.compact_events(alloc.event_cursor());
+        assert!(alloc.events().is_empty());
+        assert_eq!(alloc.event_cursor(), 3);
+        assert!(alloc.events_since(3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "compacted past observer cursor")]
+    fn events_since_panics_below_compacted_base() {
+        let model = example1_model();
+        let advs = example1_advertisers();
+        let inst = Instance::new(&model, &advs, 0.5);
+        let mut alloc = Allocation::new(inst);
+        alloc.assign(BillboardId(0), AdvertiserId(0));
+        alloc.compact_events(1);
+        let _ = alloc.events_since(0);
+    }
+
+    #[test]
+    fn scratch_clone_skips_the_log_and_continues_the_cursor() {
+        let model = example1_model();
+        let advs = example1_advertisers();
+        let inst = Instance::new(&model, &advs, 0.5);
+        let mut alloc = Allocation::new(inst);
+        alloc.assign(BillboardId(0), AdvertiserId(0));
+        alloc.assign(BillboardId(1), AdvertiserId(1));
+
+        let mut clone = alloc.scratch_clone();
+        // Same allocation state, empty live log, same absolute cursor — so
+        // an observer drained on the parent can adopt the clone and pick up
+        // exactly the moves made on it afterwards.
+        assert_eq!(clone.total_regret(), alloc.total_regret());
+        assert!(clone.events().is_empty());
+        assert_eq!(clone.event_cursor(), alloc.event_cursor());
+        let adopted_at = alloc.event_cursor();
+        clone.assign(BillboardId(2), AdvertiserId(2));
+        assert_eq!(
+            clone.events_since(adopted_at),
+            &[AllocEvent::Assigned {
+                b: BillboardId(2),
+                a: AdvertiserId(2)
+            }]
+        );
+        clone.check_invariants();
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::allocation::Allocation;
 use crate::greedy::{synchronous_greedy, synchronous_greedy_naive};
 use crate::instance::Instance;
+use crate::moves::MoveEngine;
 use crate::solver::{Solution, Solver};
 use mroam_data::AdvertiserId;
 use rand::seq::SliceRandom;
@@ -49,6 +50,39 @@ pub fn advertiser_local_search(alloc: &mut Allocation<'_>) -> usize {
     }
 }
 
+/// Algorithm 4 through the [`MoveEngine`]: the identical exchange sequence
+/// as [`advertiser_local_search`], but pairs whose plans are unchanged
+/// since they were proven non-improving are skipped via the engine's
+/// certificates — the fixpoint-confirming final sweep in particular
+/// collapses from n² evaluations to n² O(1) lookups. The drained event-log
+/// prefix is compacted after every sweep.
+pub fn advertiser_local_search_with(alloc: &mut Allocation<'_>, engine: &mut MoveEngine) -> usize {
+    let n = alloc.n_advertisers();
+    let mut exchanges = 0;
+    loop {
+        let mut improved = false;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let a = AdvertiserId::from_index(i);
+                let b = AdvertiserId::from_index(j);
+                if engine.exchange_improves(alloc, a, b, IMPROVEMENT_EPS) {
+                    alloc.exchange_plans(a, b);
+                    exchanges += 1;
+                    improved = true;
+                }
+            }
+        }
+        let cursor = engine.sync(alloc);
+        alloc.compact_events(cursor);
+        if !improved {
+            return exchanges;
+        }
+    }
+}
+
 /// Seeds every advertiser with one uniformly random free billboard
 /// (Algorithm 3 lines 3.4–3.6). Advertisers beyond the pool size get
 /// nothing.
@@ -75,10 +109,11 @@ pub struct Als {
     /// sequential loop; the result set is identical because restarts are
     /// independent and the minimum is associative.
     pub parallel: bool,
-    /// Use the naive full-scan selection for the greedy completions instead
-    /// of the lazy [`GainEngine`](crate::gain::GainEngine). Results are
-    /// bit-identical either way; the flag exists for equivalence tests and
-    /// benches.
+    /// Use the naive full-scan paths — from-scratch exchange sweeps instead
+    /// of the incremental [`MoveEngine`], and naive greedy completions
+    /// instead of the lazy [`GainEngine`](crate::gain::GainEngine). Results
+    /// are bit-identical either way; the flag exists for equivalence tests
+    /// and benches.
     pub naive_scan: bool,
 }
 
@@ -109,7 +144,12 @@ impl Als {
         let mut alloc = Allocation::new(*instance);
         random_seed_assignment(&mut alloc, &mut rng);
         self.run_greedy(&mut alloc);
-        advertiser_local_search(&mut alloc);
+        if self.naive_scan {
+            advertiser_local_search(&mut alloc);
+        } else {
+            let mut engine = MoveEngine::new(&alloc);
+            advertiser_local_search_with(&mut alloc, &mut engine);
+        }
         alloc.to_solution()
     }
 }

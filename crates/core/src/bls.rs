@@ -21,6 +21,7 @@ use crate::allocation::Allocation;
 use crate::als::{random_seed_assignment, IMPROVEMENT_EPS};
 use crate::greedy::{synchronous_greedy, synchronous_greedy_naive};
 use crate::instance::Instance;
+use crate::moves::MoveEngine;
 use crate::solver::{Solution, Solver};
 use mroam_data::{AdvertiserId, BillboardId};
 use rand::SeedableRng;
@@ -42,10 +43,11 @@ pub struct Bls {
     /// Run restarts on the rayon pool (identical results; see
     /// [`crate::als::Als::parallel`]).
     pub parallel: bool,
-    /// Use the naive full-scan selection instead of the lazy
-    /// [`GainEngine`](crate::gain::GainEngine) for the greedy completions
-    /// and the move-2 free-swap scan. Results are bit-identical either
-    /// way; the flag exists for equivalence tests and benches.
+    /// Use the naive from-scratch scans instead of the incremental
+    /// [`MoveEngine`] for moves 1–3 and the lazy
+    /// [`GainEngine`](crate::gain::GainEngine) for the greedy completions.
+    /// Results are bit-identical either way; the flag exists for
+    /// equivalence tests and benches.
     pub naive_scan: bool,
 }
 
@@ -64,7 +66,7 @@ impl Default for Bls {
 impl Bls {
     /// The acceptance threshold for the current regret level: a move's
     /// (negative) regret delta must be below `-threshold` to be committed.
-    fn threshold(&self, current_regret: f64) -> f64 {
+    pub(crate) fn threshold(&self, current_regret: f64) -> f64 {
         IMPROVEMENT_EPS.max(self.improvement_ratio * current_regret.max(0.0))
     }
 
@@ -127,20 +129,44 @@ impl Solver for Bls {
 }
 
 /// Algorithm 5's inner loop, run in place until a full pass over all four
-/// moves yields no accepted move.
+/// moves yields no accepted move. Dispatches between the incremental
+/// [`MoveEngine`] scans (default) and the naive from-scratch scans
+/// ([`Bls::naive_scan`]); the two commit bit-identical move sequences.
 pub fn billboard_local_search(alloc: &mut Allocation<'_>, params: &Bls) {
-    loop {
-        let before = alloc.total_regret();
-        one_pass(alloc, params);
-        if alloc.total_regret() >= before - params.threshold(before) {
-            return;
+    if params.naive_scan {
+        loop {
+            let before = alloc.total_regret();
+            one_pass_naive(alloc, params);
+            if alloc.total_regret() >= before - params.threshold(before) {
+                return;
+            }
+        }
+    } else {
+        let mut engine = MoveEngine::new(alloc);
+        loop {
+            let before = alloc.total_regret();
+            one_pass_engine(alloc, params, &mut engine);
+            // The engine is the only observer of this allocation's event
+            // log, so the drained prefix can be compacted away — without
+            // this the log grows unboundedly over a long run.
+            let cursor = engine.sync(alloc);
+            alloc.compact_events(cursor);
+            if alloc.total_regret() >= before - params.threshold(before) {
+                return;
+            }
         }
     }
 }
 
-/// One pass of moves 1–4 over every advertiser.
-fn one_pass(alloc: &mut Allocation<'_>, params: &Bls) {
+/// One pass of moves 1–4 over every advertiser, naive scans.
+///
+/// The acceptance threshold is a pure function of the total regret, which
+/// only changes when a move commits — so it is computed once per commit
+/// (here) rather than once per candidate scan (the finders take it as a
+/// parameter).
+fn one_pass_naive(alloc: &mut Allocation<'_>, params: &Bls) {
     let n = alloc.n_advertisers();
+    let mut threshold = params.threshold(alloc.total_regret());
     for i in 0..n {
         let a = AdvertiserId::from_index(i);
         // Move 1: cross-advertiser exchanges (lines 5.4–5.6).
@@ -149,29 +175,20 @@ fn one_pass(alloc: &mut Allocation<'_>, params: &Bls) {
                 continue;
             }
             let b_adv = AdvertiserId::from_index(j);
-            while let Some((m, x)) = find_improving_cross_swap(alloc, a, b_adv, params) {
+            while let Some((m, x)) = naive_find_improving_cross_swap(alloc, a, b_adv, threshold) {
                 alloc.cross_swap(m, x);
+                threshold = params.threshold(alloc.total_regret());
             }
         }
         // Move 2: replace an assigned billboard with a free one (5.7–5.8).
-        loop {
-            let found = if params.naive_scan {
-                find_improving_free_swap(alloc, a, params)
-            } else {
-                crate::gain::find_improving_free_swap(
-                    alloc,
-                    a,
-                    params.threshold(alloc.total_regret()),
-                )
-            };
-            match found {
-                Some((m, f)) => alloc.replace_with_free(m, f),
-                None => break,
-            }
+        while let Some((m, f)) = naive_find_improving_free_swap(alloc, a, threshold) {
+            alloc.replace_with_free(m, f);
+            threshold = params.threshold(alloc.total_regret());
         }
         // Move 3: release (5.9–5.10).
-        while let Some(m) = find_improving_release(alloc, a, params) {
+        while let Some(m) = naive_find_improving_release(alloc, a, threshold) {
             alloc.release(m);
+            threshold = params.threshold(alloc.total_regret());
         }
     }
     // Move 4: allocate unassigned billboards via synchronous greedy, keeping
@@ -181,8 +198,49 @@ fn one_pass(alloc: &mut Allocation<'_>, params: &Bls) {
     if greedy_completion_can_help(alloc) {
         let mut candidate = alloc.clone();
         params.run_greedy(&mut candidate);
-        if candidate.total_regret() < alloc.total_regret() - params.threshold(alloc.total_regret())
-        {
+        if candidate.total_regret() < alloc.total_regret() - threshold {
+            *alloc = candidate;
+        }
+    }
+}
+
+/// One pass of moves 1–4 through the [`MoveEngine`] — the same move
+/// sequence as [`one_pass_naive`], with scans pruned by the engine's
+/// certificates and cached unique contributions.
+fn one_pass_engine(alloc: &mut Allocation<'_>, params: &Bls, engine: &mut MoveEngine) {
+    let n = alloc.n_advertisers();
+    let mut threshold = params.threshold(alloc.total_regret());
+    for i in 0..n {
+        let a = AdvertiserId::from_index(i);
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let b_adv = AdvertiserId::from_index(j);
+            while let Some((m, x)) = engine.find_improving_cross_swap(alloc, a, b_adv, threshold) {
+                alloc.cross_swap(m, x);
+                threshold = params.threshold(alloc.total_regret());
+            }
+        }
+        while let Some((m, f)) = engine.find_improving_free_swap(alloc, a, threshold) {
+            alloc.replace_with_free(m, f);
+            threshold = params.threshold(alloc.total_regret());
+        }
+        while let Some(m) = engine.find_improving_release(alloc, a, threshold) {
+            alloc.release(m);
+            threshold = params.threshold(alloc.total_regret());
+        }
+    }
+    if greedy_completion_can_help(alloc) {
+        // Fork the move-4 candidate with an *empty* event log whose base
+        // continues the parent's cursor: the clone skips copying the log,
+        // and if it is adopted below the engine — fully drained at this
+        // point — picks up exactly the completion's events.
+        let fork = engine.sync(alloc);
+        debug_assert_eq!(fork, alloc.event_cursor());
+        let mut candidate = alloc.scratch_clone();
+        params.run_greedy(&mut candidate);
+        if candidate.total_regret() < alloc.total_regret() - threshold {
             *alloc = candidate;
         }
     }
@@ -215,14 +273,14 @@ fn greedy_completion_can_help(alloc: &Allocation<'_>) -> bool {
 }
 
 /// First (billboard-of-`a`, billboard-of-`b`) pair whose exchange beats the
-/// acceptance threshold, if any.
-fn find_improving_cross_swap(
+/// acceptance threshold, if any. The from-scratch reference scan the
+/// [`MoveEngine`] is property-tested against.
+pub(crate) fn naive_find_improving_cross_swap(
     alloc: &Allocation<'_>,
     a: AdvertiserId,
     b: AdvertiserId,
-    params: &Bls,
+    threshold: f64,
 ) -> Option<(BillboardId, BillboardId)> {
-    let threshold = params.threshold(alloc.total_regret());
     for &m in alloc.set_of(a) {
         for &x in alloc.set_of(b) {
             if alloc.eval_cross_swap(m, x) < -threshold {
@@ -234,12 +292,11 @@ fn find_improving_cross_swap(
 }
 
 /// First (assigned, free) pair whose replacement beats the threshold.
-fn find_improving_free_swap(
+pub(crate) fn naive_find_improving_free_swap(
     alloc: &Allocation<'_>,
     a: AdvertiserId,
-    params: &Bls,
+    threshold: f64,
 ) -> Option<(BillboardId, BillboardId)> {
-    let threshold = params.threshold(alloc.total_regret());
     for &m in alloc.set_of(a) {
         for &f in alloc.free_billboards() {
             if alloc.eval_replace_with_free(m, f) < -threshold {
@@ -251,12 +308,11 @@ fn find_improving_free_swap(
 }
 
 /// First assigned billboard whose release beats the threshold.
-fn find_improving_release(
+pub(crate) fn naive_find_improving_release(
     alloc: &Allocation<'_>,
     a: AdvertiserId,
-    params: &Bls,
+    threshold: f64,
 ) -> Option<BillboardId> {
-    let threshold = params.threshold(alloc.total_regret());
     alloc
         .set_of(a)
         .iter()
@@ -420,6 +476,36 @@ mod tests {
         }
         .solve(&inst);
         assert_eq!(seq.total_regret, par.total_regret);
+    }
+
+    #[test]
+    fn rayon_num_threads_one_matches_default_pool() {
+        // The committed move sequence must be independent of the rayon
+        // pool width: every parallel scan reduces with minimum-index
+        // (`position_first`) semantics, so a single-thread pool and the
+        // default pool see the identical first improvement. The env var is
+        // read at pool initialisation, so this test pins the *invariant*
+        // on both restricted and default configurations; the
+        // `parallel_scans_match_sequential` tests in `moves`/`gain` force
+        // the two code paths directly.
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let model = disjoint_model(&[9, 7, 5, 3, 1, 1, 1, 2, 4, 8]);
+        let advs = AdvertiserSet::new(vec![
+            Advertiser::new(10, 10.0),
+            Advertiser::new(9, 12.0),
+            Advertiser::new(7, 7.0),
+        ]);
+        let inst = Instance::new(&model, &advs, 0.5);
+        let solver = Bls {
+            restarts: 3,
+            seed: 77,
+            ..Bls::default()
+        };
+        let restricted = solver.solve(&inst);
+        std::env::remove_var("RAYON_NUM_THREADS");
+        let default_pool = solver.solve(&inst);
+        assert_eq!(restricted.sets, default_pool.sets);
+        assert_eq!(restricted.total_regret, default_pool.total_regret);
     }
 
     #[test]

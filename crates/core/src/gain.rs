@@ -154,7 +154,8 @@ impl AdvState {
 /// [`best_billboard_for`](crate::greedy::best_billboard_for).
 #[derive(Debug)]
 pub struct GainEngine {
-    /// Position in the allocation's event log up to which state is current.
+    /// Absolute event-log position ([`Allocation::event_cursor`]) up to
+    /// which state is current; survives log compaction.
     cursor: usize,
     /// Whether lazy evaluation is sound for the instance's measure.
     lazy: bool,
@@ -166,7 +167,7 @@ impl GainEngine {
     /// through the allocation afterwards are picked up via its event log.
     pub fn new(alloc: &Allocation<'_>) -> Self {
         Self {
-            cursor: alloc.events().len(),
+            cursor: alloc.event_cursor(),
             lazy: alloc.instance().measure.is_submodular(),
             advs: (0..alloc.n_advertisers())
                 .map(|_| AdvState::default())
@@ -180,17 +181,16 @@ impl GainEngine {
     /// need no invalidation (the freed billboard re-enters every pool
     /// implicitly — queries test ownership directly).
     fn drain_events(&mut self, alloc: &Allocation<'_>) {
-        let events = alloc.events();
-        if self.cursor >= events.len() {
+        if self.cursor >= alloc.event_cursor() {
             return;
         }
         if !alloc.instance().measure.overlap_sensitive() {
             // Volume: marginal gains never depend on the plan; the overlap
             // counters stay all-zero and plan exchanges change nothing.
-            self.cursor = events.len();
+            self.cursor = alloc.event_cursor();
             return;
         }
-        for ev in &events[self.cursor..] {
+        for ev in alloc.events_since(self.cursor) {
             match *ev {
                 AllocEvent::Assigned { b, a } => {
                     let st = &mut self.advs[a.index()];
@@ -210,7 +210,7 @@ impl GainEngine {
                 }
             }
         }
-        self.cursor = events.len();
+        self.cursor = alloc.event_cursor();
     }
 
     /// The free billboard maximising `ΔR/I({o})` for `a` — the engine

@@ -52,6 +52,7 @@ pub mod exact;
 pub mod gain;
 pub mod greedy;
 pub mod instance;
+pub mod moves;
 pub mod n3dm;
 pub mod regret;
 pub mod solver;
@@ -64,6 +65,7 @@ pub use advertiser::{Advertiser, AdvertiserSet};
 pub use allocation::Allocation;
 pub use gain::GainEngine;
 pub use instance::Instance;
+pub use moves::MoveEngine;
 pub use regret::{dual_revenue, regret, RegretBreakdown};
 pub use solver::{Solution, Solver};
 
@@ -77,6 +79,7 @@ pub mod prelude {
     pub use crate::gain::GainEngine;
     pub use crate::greedy::{GGlobal, GOrder};
     pub use crate::instance::Instance;
+    pub use crate::moves::MoveEngine;
     pub use crate::regret::{dual_revenue, regret, RegretBreakdown};
     pub use crate::solver::{Solution, Solver};
 }

@@ -120,6 +120,31 @@ impl OverlapGraph {
         let hi = self.offsets[b as usize + 1] as usize;
         &self.data[lo..hi]
     }
+
+    /// Overlap degree of `b` — how many billboards share ≥ 1 trajectory
+    /// with it.
+    #[inline]
+    pub fn degree(&self, b: u32) -> usize {
+        (self.offsets[b as usize + 1] - self.offsets[b as usize]) as usize
+    }
+
+    /// Whether billboards `a` and `b` share at least one trajectory.
+    /// A billboard is never adjacent to itself. O(log deg) — binary search
+    /// over the smaller of the two sorted neighbour lists. This is the
+    /// disjointness test move evaluation leans on: a swap between
+    /// non-adjacent billboards decomposes into independent gain/loss terms.
+    #[inline]
+    pub fn are_adjacent(&self, a: u32, b: u32) -> bool {
+        if a == b {
+            return false;
+        }
+        let (probe, list) = if self.degree(a) <= self.degree(b) {
+            (b, self.neighbors(a))
+        } else {
+            (a, self.neighbors(b))
+        };
+        list.binary_search(&probe).is_ok()
+    }
 }
 
 /// Per-billboard coverage bitmaps: row `b` is a `⌈|T|/64⌉`-word bitset of
@@ -514,6 +539,34 @@ mod tests {
         assert_eq!(g.neighbors(1), &[0, 2, 3]);
         assert_eq!(g.neighbors(2), &[0, 1]);
         assert_eq!(g.neighbors(3), &[1]);
+    }
+
+    #[test]
+    fn overlap_adjacency_and_degree_queries() {
+        // o0 {0,1}, o1 {1,2}, o2 {3}, o3 {} — o0↔o1 share t1.
+        let m = model_from(vec![vec![0, 1], vec![1, 2], vec![3], vec![]], 4);
+        let g = m.overlap_graph();
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 0);
+        assert!(g.are_adjacent(0, 1));
+        assert!(g.are_adjacent(1, 0));
+        assert!(!g.are_adjacent(0, 2));
+        assert!(!g.are_adjacent(2, 3));
+        assert!(!g.are_adjacent(1, 1), "never self-adjacent");
+
+        // Asymmetric degrees exercise the smaller-list probe choice.
+        let hub = model_from(vec![vec![0], vec![0, 1], vec![0], vec![1], vec![2]], 3);
+        let g = hub.overlap_graph();
+        for a in 0..5u32 {
+            for b in 0..5u32 {
+                let share = a != b
+                    && hub
+                        .coverage(BillboardId(a))
+                        .iter()
+                        .any(|t| hub.coverage(BillboardId(b)).contains(t));
+                assert_eq!(g.are_adjacent(a, b), share, "({a},{b})");
+            }
+        }
     }
 
     #[test]
