@@ -122,29 +122,19 @@ fn cmd_solve(args: &Args) {
     let measure = parse_measure(args);
     let instance = Instance::with_measure(&model, &advertisers, gamma, measure);
 
-    let algo = args.get("algo").unwrap_or("bls").to_string();
-    let solver: Box<dyn Solver> = match algo.as_str() {
-        "g-order" => Box::new(GOrder),
-        "g-global" => Box::new(GGlobal),
-        "als" => Box::new(Als {
-            restarts: args.usize_or("restarts", 5),
-            seed: args.seed(),
-            parallel: true,
-            ..Als::default()
-        }),
-        "bls" => Box::new(Bls {
-            restarts: args.usize_or("restarts", 5),
-            seed: args.seed(),
-            improvement_ratio: args.f64_or("improvement-ratio", 0.0),
-            parallel: true,
-            ..Bls::default()
-        }),
-        "exact" => Box::new(ExactSolver::default()),
-        other => {
-            eprintln!("bad --algo {other:?}: expected g-order|g-global|als|bls|exact");
+    let algo = args.get("algo").unwrap_or("bls");
+    let solver = mroam_core::solver::SolverSpec::by_name(algo)
+        .unwrap_or_else(|| {
+            eprintln!(
+                "bad --algo {algo:?}: expected {}",
+                mroam_core::solver::SOLVER_NAMES.join("|")
+            );
             exit(2);
-        }
-    };
+        })
+        .with_restarts(args.usize_or("restarts", 5))
+        .with_seed(args.seed())
+        .with_improvement_ratio(args.f64_or("improvement-ratio", 0.0))
+        .build();
 
     let start = std::time::Instant::now();
     let solution = solver.solve(&instance);

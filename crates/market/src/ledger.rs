@@ -36,7 +36,7 @@ impl DayRecord {
 }
 
 /// The full simulation ledger.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Ledger {
     /// One record per simulated day, in order.
     pub days: Vec<DayRecord>,

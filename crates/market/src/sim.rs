@@ -1,12 +1,13 @@
 //! The day-over-day market simulator.
 
 use crate::ledger::{DayRecord, Ledger};
-use crate::proposal::ProposalGenerator;
+use crate::proposal::{Proposal, ProposalGenerator};
 use mroam_core::advertiser::AdvertiserSet;
 use mroam_core::instance::Instance;
 use mroam_core::solver::Solver;
 use mroam_data::BillboardId;
 use mroam_influence::CoverageModel;
+use serde::{Deserialize, Serialize};
 
 /// Horizon-level simulation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -18,6 +19,52 @@ pub struct MarketConfig {
     pub gamma: f64,
 }
 
+/// The serializable half of a [`MarketSim`]: which billboards are locked
+/// and until when. Extracting it (and later rebuilding a simulator from it
+/// against the same model) is what lets a serving layer snapshot and
+/// restore a live market without reimplementing the lock bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LockState {
+    /// Per billboard: the day its current contract expires (exclusive), or
+    /// `None` when free. Indexed by dense billboard id.
+    pub locked_until: Vec<Option<u32>>,
+}
+
+impl LockState {
+    /// Number of locked billboards.
+    pub fn locked_count(&self) -> usize {
+        self.locked_until.iter().filter(|l| l.is_some()).count()
+    }
+}
+
+/// One proposal's realised outcome inside a solved day: what the host
+/// deployed for it and what that banked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProposalOutcome {
+    /// Achieved influence `I(S_i)`.
+    pub influence: u64,
+    /// Whether the demand was met in full.
+    pub satisfied: bool,
+    /// Payment collected under the γ model.
+    pub collected: f64,
+    /// The proposal's regret contribution.
+    pub regret: f64,
+    /// Physical billboard ids deployed (full-model indexing), sorted.
+    pub billboards: Vec<BillboardId>,
+    /// Day the contract's locks expire (exclusive).
+    pub expires: u32,
+}
+
+/// A solved day: the ledger record plus per-proposal allocations, in the
+/// arrival order of the input batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DayOutcome {
+    /// The day's accounting (what [`Ledger`] stores).
+    pub record: DayRecord,
+    /// One outcome per proposal of the batch, in input order.
+    pub outcomes: Vec<ProposalOutcome>,
+}
+
 /// A running market over a fixed city inventory.
 #[derive(Debug, Clone)]
 pub struct MarketSim<'a> {
@@ -25,6 +72,9 @@ pub struct MarketSim<'a> {
     /// Per billboard: the day its current contract expires (exclusive), or
     /// `None` when free.
     locked_until: Vec<Option<u32>>,
+    /// Scratch for the per-day free-billboard list, reused across steps so
+    /// the day loop does not allocate a fresh `Vec` per day.
+    free_scratch: Vec<BillboardId>,
 }
 
 impl<'a> MarketSim<'a> {
@@ -33,17 +83,52 @@ impl<'a> MarketSim<'a> {
         Self {
             model,
             locked_until: vec![None; model.n_billboards()],
+            free_scratch: Vec::new(),
+        }
+    }
+
+    /// Rebuilds a simulator from an extracted [`LockState`] against the
+    /// same coverage model it was extracted under. Panics if the state's
+    /// billboard count disagrees with the model.
+    pub fn with_lock_state(model: &'a CoverageModel, state: LockState) -> Self {
+        assert_eq!(
+            state.locked_until.len(),
+            model.n_billboards(),
+            "lock state is for a different inventory"
+        );
+        Self {
+            model,
+            locked_until: state.locked_until,
+            free_scratch: Vec::new(),
+        }
+    }
+
+    /// Extracts the serializable lock state (the model itself is shared
+    /// configuration, persisted separately).
+    pub fn lock_state(&self) -> LockState {
+        LockState {
+            locked_until: self.locked_until.clone(),
         }
     }
 
     /// Billboards currently free.
     pub fn free_billboards(&self) -> Vec<BillboardId> {
-        self.locked_until
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l.is_none())
-            .map(|(i, _)| BillboardId::from_index(i))
-            .collect()
+        let mut out = Vec::new();
+        self.collect_free(&mut out);
+        out
+    }
+
+    /// Fills `out` with the currently free billboards (clearing it first);
+    /// the allocation-free path used by the day loop.
+    fn collect_free(&self, out: &mut Vec<BillboardId>) {
+        out.clear();
+        out.extend(
+            self.locked_until
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.is_none())
+                .map(|(i, _)| BillboardId::from_index(i)),
+        );
     }
 
     /// Number of locked billboards.
@@ -51,7 +136,9 @@ impl<'a> MarketSim<'a> {
         self.locked_until.iter().filter(|l| l.is_some()).count()
     }
 
-    fn release_expired(&mut self, day: u32) {
+    /// Releases contracts that expire on or before `day`; public so online
+    /// drivers (the serving layer) can tick the clock without solving.
+    pub fn release_expired(&mut self, day: u32) {
         for lock in &mut self.locked_until {
             if matches!(lock, Some(expiry) if *expiry <= day) {
                 *lock = None;
@@ -75,7 +162,8 @@ impl<'a> MarketSim<'a> {
         ledger
     }
 
-    /// Simulates one day; public for fine-grained tests.
+    /// Simulates one day of generated arrivals; public for fine-grained
+    /// tests.
     pub fn step(
         &mut self,
         day: u32,
@@ -83,8 +171,26 @@ impl<'a> MarketSim<'a> {
         solver: &dyn Solver,
         config: MarketConfig,
     ) -> DayRecord {
-        self.release_expired(day);
         let proposals = generator.day_batch(day);
+        self.step_with_proposals(day, &proposals, solver, config)
+            .record
+    }
+
+    /// Simulates one day over an explicit proposal batch: releases expired
+    /// contracts, solves one MROAM instance over the free inventory, locks
+    /// the winning deployments, and reports per-proposal outcomes. This is
+    /// the entry point online drivers (the `mroam-serve` daemon) share with
+    /// the offline loop, so a served batch is *the same computation* as an
+    /// offline day.
+    pub fn step_with_proposals(
+        &mut self,
+        day: u32,
+        proposals: &[Proposal],
+        solver: &dyn Solver,
+        config: MarketConfig,
+    ) -> DayOutcome {
+        assert!((0.0..=1.0).contains(&config.gamma), "γ must be in [0, 1]");
+        self.release_expired(day);
         let mut record = DayRecord {
             day,
             arrived: proposals.len(),
@@ -93,38 +199,59 @@ impl<'a> MarketSim<'a> {
         };
         if proposals.is_empty() {
             record.locked_billboards = self.locked_count();
-            return record;
+            return DayOutcome {
+                record,
+                outcomes: Vec::new(),
+            };
         }
 
-        // Solve MROAM over the free inventory only.
-        let free = self.free_billboards();
+        // Solve MROAM over the free inventory only. The free list lives in
+        // a scratch buffer reused across days (taken out to sidestep the
+        // &mut/& borrow split, put back after).
+        let mut free = std::mem::take(&mut self.free_scratch);
+        self.collect_free(&mut free);
         let (sub_model, back) = self.model.restricted(&free);
+        self.free_scratch = free;
         let advertisers: AdvertiserSet = proposals.iter().map(|p| p.advertiser()).collect();
         let instance = Instance::new(&sub_model, &advertisers, config.gamma);
         let solution = solver.solve(&instance);
 
+        let mut outcomes = Vec::with_capacity(proposals.len());
         for (i, proposal) in proposals.iter().enumerate() {
             let influence = solution.influences[i];
             let regret_i = mroam_core::regret(&proposal.advertiser(), influence, config.gamma);
             record.committed += proposal.payment;
-            if influence >= proposal.demand {
+            let satisfied = influence >= proposal.demand;
+            let collected = if satisfied {
                 record.satisfied += 1;
-                record.collected += proposal.payment;
+                proposal.payment
             } else {
                 // Partial payment under the γ model: L − R = L·γ·I/I_i.
-                record.collected += (proposal.payment - regret_i).max(0.0);
-            }
+                (proposal.payment - regret_i).max(0.0)
+            };
+            record.collected += collected;
             record.regret += regret_i;
             // Lock the deployed boards for the contract duration.
             let expiry = day + proposal.duration_days;
+            let mut billboards = Vec::with_capacity(solution.sets[i].len());
             for &sub_id in &solution.sets[i] {
                 let physical = back[sub_id.index()];
                 debug_assert!(self.locked_until[physical.index()].is_none());
                 self.locked_until[physical.index()] = Some(expiry);
+                billboards.push(physical);
             }
+            billboards.sort_unstable();
+            outcomes.push(ProposalOutcome {
+                influence,
+                satisfied,
+                collected,
+                regret: regret_i,
+                billboards,
+                expires: expiry,
+            });
         }
         record.locked_billboards = self.locked_count();
-        record
+        DayOutcome { record, outcomes }
     }
 }
 
@@ -280,6 +407,94 @@ mod tests {
         for d in &ledger.days {
             assert!(d.utilization() <= 1.0);
         }
+    }
+
+    #[test]
+    fn step_with_proposals_matches_generated_step() {
+        let model = disjoint_model(&[9, 8, 7, 6, 5, 4]);
+        let g = generator(model.supply());
+        let cfg = MarketConfig {
+            days: 12,
+            gamma: 0.5,
+        };
+        let mut via_generator = MarketSim::new(&model);
+        let mut via_batches = MarketSim::new(&model);
+        for day in 0..cfg.days {
+            let a = via_generator.step(day, &g, &GGlobal, cfg);
+            let batch = g.day_batch(day);
+            let b = via_batches.step_with_proposals(day, &batch, &GGlobal, cfg);
+            assert_eq!(a, b.record);
+            assert_eq!(b.outcomes.len(), batch.len());
+            for (outcome, proposal) in b.outcomes.iter().zip(&batch) {
+                assert_eq!(outcome.satisfied, outcome.influence >= proposal.demand);
+                assert_eq!(outcome.expires, day + proposal.duration_days);
+                assert!(outcome.collected <= proposal.payment + 1e-9);
+            }
+        }
+        assert_eq!(via_generator.lock_state(), via_batches.lock_state());
+    }
+
+    #[test]
+    fn lock_state_roundtrip_resumes_identically() {
+        let model = disjoint_model(&[9, 8, 7, 6, 5, 4]);
+        let g = generator(model.supply());
+        let cfg = MarketConfig {
+            days: 14,
+            gamma: 0.5,
+        };
+        let split = 6;
+        let mut uninterrupted = MarketSim::new(&model);
+        let mut first_half = MarketSim::new(&model);
+        let mut ledger_a = Ledger::default();
+        let mut ledger_b = Ledger::default();
+        for day in 0..split {
+            ledger_a
+                .days
+                .push(uninterrupted.step(day, &g, &GGlobal, cfg));
+            ledger_b.days.push(first_half.step(day, &g, &GGlobal, cfg));
+        }
+        // "Crash": extract the state, rebuild a fresh simulator from it.
+        let mut resumed = MarketSim::with_lock_state(&model, first_half.lock_state());
+        for day in split..cfg.days {
+            ledger_a
+                .days
+                .push(uninterrupted.step(day, &g, &GGlobal, cfg));
+            ledger_b.days.push(resumed.step(day, &g, &GGlobal, cfg));
+        }
+        assert_eq!(ledger_a.days, ledger_b.days);
+        assert_eq!(uninterrupted.lock_state(), resumed.lock_state());
+    }
+
+    #[test]
+    #[should_panic(expected = "different inventory")]
+    fn lock_state_for_wrong_model_is_rejected() {
+        let model = disjoint_model(&[5, 5]);
+        let _ = MarketSim::with_lock_state(
+            &model,
+            LockState {
+                locked_until: vec![None; 3],
+            },
+        );
+    }
+
+    #[test]
+    fn free_scratch_is_reused_across_days() {
+        let model = disjoint_model(&[6, 5, 4, 3]);
+        let mut sim = MarketSim::new(&model);
+        let g = generator(model.supply());
+        let cfg = MarketConfig {
+            days: 1,
+            gamma: 0.5,
+        };
+        sim.step(0, &g, &GGlobal, cfg);
+        let cap = sim.free_scratch.capacity();
+        assert!(cap > 0, "first step must have populated the scratch");
+        for day in 1..8 {
+            sim.step(day, &g, &GGlobal, cfg);
+        }
+        // The free list can only shrink or stay within the inventory size,
+        // so the buffer never needs to regrow past the first allocation.
+        assert_eq!(sim.free_scratch.capacity(), cap);
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! `loadgen` — an open-loop load-test harness for `mroam-served`.
+//!
+//! Spawns a server in-process on a loopback port, then hammers it with
+//! seeded proposal submissions at a configured arrival rate. Arrivals are
+//! **open-loop** (Poisson: exponential inter-arrival gaps drawn up front
+//! from the seed), so send times do not depend on server responses — the
+//! standard way to avoid coordinated omission when measuring latency.
+//! One connection carries the submit stream; a second carries control
+//! requests (stats, shutdown) so they are never queued behind a batch.
+//!
+//! ```text
+//! loadgen [--requests 500] [--rps 1000] [--seed 42] [--city nyc|sg]
+//!         [--scale test|bench|paper] [--algo g-global] [--gamma 0.5]
+//!         [--p-avg 0.05] [--max-batch 64] [--max-wait-ms 20]
+//! ```
+//!
+//! Prints throughput and client-observed p50/p95/p99, cross-checked
+//! against the server's own histogram, and exits nonzero if the run is
+//! inconsistent (lost responses, non-monotone percentiles, zero
+//! throughput) — which makes a plain run double as a CI smoke test.
+
+use mroam_core::solver::{SolverSpec, SOLVER_NAMES};
+use mroam_experiments::args::Args;
+use mroam_experiments::setup::{build_city, CityKind, Scale};
+use mroam_market::Proposal;
+use mroam_serve::batch::BatchPolicy;
+use mroam_serve::client::Client;
+use mroam_serve::histogram::LogHistogram;
+use mroam_serve::host::HostConfig;
+use mroam_serve::protocol::Request;
+use mroam_serve::server::{spawn, ServeConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::process::exit;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args = Args::from_env();
+    let n = args.usize_or("requests", 500);
+    let rps = args.f64_or("rps", 1000.0);
+    let seed = args.seed();
+    let scale = args
+        .get("scale")
+        .map(|s| Scale::parse(s).unwrap_or_else(|| panic!("bad --scale {s:?}")))
+        .unwrap_or(Scale::Test);
+    let algo = args.get("algo").unwrap_or("g-global");
+    let solver = SolverSpec::by_name(algo)
+        .unwrap_or_else(|| {
+            eprintln!("bad --algo {algo:?}: expected {}", SOLVER_NAMES.join("|"));
+            exit(2);
+        })
+        .with_seed(seed);
+    assert!(n >= 1, "--requests must be at least 1");
+    assert!(rps > 0.0, "--rps must be positive");
+
+    // Build the dataset and spawn the server on an ephemeral port.
+    let city = build_city(args.city(CityKind::Nyc), scale);
+    let model = city.coverage(mroam_experiments::params::DEFAULT_LAMBDA);
+    let supply = model.supply();
+    let config = ServeConfig {
+        host: HostConfig {
+            gamma: args.f64_or("gamma", 0.5),
+            solver,
+        },
+        batch: BatchPolicy {
+            max_batch: args.usize_or("max-batch", 64),
+            max_wait_nanos: (args.f64_or("max-wait-ms", 20.0) * 1e6) as u64,
+            ..BatchPolicy::default()
+        },
+    };
+    let handle = spawn(model, None, config, "127.0.0.1:0").unwrap_or_else(|e| {
+        eprintln!("cannot spawn server: {e}");
+        exit(1);
+    });
+    let addr = handle.addr();
+    println!(
+        "loadgen: {n} submits @ ~{rps} rps against {} ({}/{:?}, algo {algo}, seed {seed})",
+        addr, city.name, scale
+    );
+
+    // Draw the whole workload up front from the seed: proposals and the
+    // open-loop send schedule (exponential gaps with mean 1/rps).
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let p_avg = args.f64_or("p-avg", 0.05);
+    let mut proposals = Vec::with_capacity(n);
+    let mut send_at = Vec::with_capacity(n);
+    let mut t = 0.0f64;
+    for _ in 0..n {
+        let omega: f64 = rng.gen_range(0.8..1.2);
+        let demand = ((omega * p_avg * supply as f64) as u64).max(1);
+        let eps: f64 = rng.gen_range(0.9..1.1);
+        proposals.push(Proposal {
+            demand,
+            payment: (eps * demand as f64).floor(),
+            duration_days: rng.gen_range(1..=3u32),
+        });
+        let unit: f64 = rng.gen_range(0.0..1.0);
+        t += -(1.0 - unit).ln() / rps;
+        send_at.push(Duration::from_secs_f64(t));
+    }
+
+    // The submit connection: a sender thread paces the schedule while the
+    // main thread drains responses. Send times are published through a
+    // shared table *before* each send, so a response can never observe an
+    // empty slot.
+    let mut submit_conn = Client::connect(addr).expect("connect submit stream");
+    let sender_conn = Client::connect_clone(&submit_conn).expect("clone submit stream");
+    let sent_at: Arc<Mutex<Vec<Option<Instant>>>> = Arc::new(Mutex::new(vec![None; n]));
+    let started = Instant::now();
+    let sender = {
+        let sent_at = Arc::clone(&sent_at);
+        thread::spawn(move || {
+            let mut conn = sender_conn;
+            for (i, (proposal, at)) in proposals.into_iter().zip(send_at).enumerate() {
+                if let Some(gap) = at.checked_sub(started.elapsed()) {
+                    thread::sleep(gap);
+                }
+                sent_at.lock().unwrap()[i] = Some(Instant::now());
+                conn.send(&Request::Submit {
+                    id: i as u64,
+                    proposal,
+                })
+                .expect("send submit");
+            }
+        })
+    };
+
+    let mut latency = LogHistogram::default();
+    let mut wait = LogHistogram::default();
+    let mut satisfied = 0usize;
+    let mut received = 0usize;
+    while received < n {
+        let v = match submit_conn.recv() {
+            Ok(Some(v)) => v,
+            Ok(None) => {
+                eprintln!("server closed the connection after {received}/{n} responses");
+                exit(1);
+            }
+            Err(e) => {
+                eprintln!("receive error after {received}/{n} responses: {e}");
+                exit(1);
+            }
+        };
+        let now = Instant::now();
+        match v["type"].as_str() {
+            Some("allocated") => {
+                let id = v["id"].as_f64().expect("allocated id") as usize;
+                let sent = sent_at.lock().unwrap()[id].expect("response before send");
+                latency.record(now.duration_since(sent).as_micros() as u64);
+                wait.record(v["wait_micros"].as_f64().unwrap_or(0.0) as u64);
+                if v["satisfied"].as_bool() == Some(true) {
+                    satisfied += 1;
+                }
+                received += 1;
+            }
+            other => {
+                eprintln!("unexpected response type {other:?}: {v:?}");
+                exit(1);
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+    sender.join().expect("sender thread");
+
+    // Control connection: pull the server's own view, then stop it.
+    let mut control = Client::connect(addr).expect("connect control stream");
+    let stats = control
+        .call(&Request::Stats { id: n as u64 })
+        .expect("stats call");
+    let bye = control
+        .call(&Request::Shutdown { id: n as u64 + 1 })
+        .expect("shutdown call");
+    assert_eq!(
+        bye["type"].as_str(),
+        Some("bye"),
+        "shutdown not acknowledged"
+    );
+    handle.join();
+
+    let p = latency.percentiles();
+    let w = wait.percentiles();
+    let secs = elapsed.as_secs_f64();
+    let throughput = n as f64 / secs;
+    println!(
+        "done: {n} allocations in {secs:.3} s -> {throughput:.1} req/s ({satisfied} satisfied)"
+    );
+    println!(
+        "client latency us: mean={:.0} p50={} p95={} p99={} max={}",
+        p.mean, p.p50, p.p95, p.p99, p.max
+    );
+    println!(
+        "queue wait   us: mean={:.0} p50={} p95={} p99={}",
+        w.mean, w.p50, w.p95, w.p99
+    );
+    let s = &stats["stats"];
+    let num = |v: &serde_json::Value| v.as_f64().unwrap_or(0.0);
+    println!(
+        "server view: {} submits, {} batches (mean {:.1}, max {}), day {}, \
+         latency p50={} p95={} p99={}, solve p50={} p99={}",
+        num(&s["submits"]),
+        num(&s["batches"]),
+        num(&s["mean_batch"]),
+        num(&s["max_batch"]),
+        num(&s["day"]),
+        num(&s["latency"]["p50"]),
+        num(&s["latency"]["p95"]),
+        num(&s["latency"]["p99"]),
+        num(&s["solve"]["p50"]),
+        num(&s["solve"]["p99"]),
+    );
+    println!(
+        "RESULT requests={n} seconds={secs:.3} rps={throughput:.1} \
+         p50_us={} p95_us={} p99_us={}",
+        p.p50, p.p95, p.p99
+    );
+
+    // Self-checking smoke: a plain run is the CI acceptance test.
+    let mut failures = Vec::new();
+    if throughput <= 0.0 {
+        failures.push("throughput is not positive".to_string());
+    }
+    if !(p.p50 <= p.p95 && p.p95 <= p.p99) {
+        failures.push(format!(
+            "percentiles not monotone: p50={} p95={} p99={}",
+            p.p50, p.p95, p.p99
+        ));
+    }
+    if s["submits"].as_f64() != Some(n as f64) {
+        failures.push(format!(
+            "server saw {} submits, expected {n}",
+            s["submits"].as_f64().unwrap_or(-1.0)
+        ));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("SMOKE FAIL: {f}");
+        }
+        exit(1);
+    }
+    println!("SMOKE OK");
+}

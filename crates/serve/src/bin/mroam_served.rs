@@ -1,0 +1,86 @@
+//! `mroam-served` — the long-running host allocation daemon.
+//!
+//! Builds (or restores) a coverage model, binds a TCP listener, and
+//! serves the JSON protocol until a `shutdown` request arrives.
+//!
+//! ```text
+//! mroam-served [--addr 127.0.0.1:7464] [--city nyc|sg] [--scale test|bench|paper]
+//!              [--algo g-order|g-global|als|bls|exact] [--gamma 0.5] [--seed N]
+//!              [--restarts N] [--max-batch N] [--min-wait-ms F] [--max-wait-ms F]
+//!              [--fixed-window true] [--restore path/to/snapshot.json]
+//! ```
+//!
+//! With `--restore`, the city flags are ignored: the snapshot embeds the
+//! coverage model, solver configuration, locks, and ledger, and the
+//! daemon continues exactly where the snapshotted process stopped.
+
+use mroam_core::solver::{SolverSpec, SOLVER_NAMES};
+use mroam_experiments::args::Args;
+use mroam_experiments::setup::{build_city, CityKind};
+use mroam_serve::batch::BatchPolicy;
+use mroam_serve::host::HostConfig;
+use mroam_serve::server::{spawn, ServeConfig};
+use mroam_serve::snapshot;
+use std::process::exit;
+
+fn main() {
+    let args = Args::from_env();
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7464").to_string();
+    let batch = BatchPolicy {
+        max_batch: args.usize_or("max-batch", 64),
+        min_wait_nanos: (args.f64_or("min-wait-ms", 0.2) * 1e6) as u64,
+        max_wait_nanos: (args.f64_or("max-wait-ms", 20.0) * 1e6) as u64,
+        adaptive: args.get("fixed-window") != Some("true"),
+    };
+
+    let (model, resume, host) = if let Some(path) = args.get("restore") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read snapshot {path:?}: {e}");
+            exit(2);
+        });
+        let restored = snapshot::decode(&text).unwrap_or_else(|e| {
+            eprintln!("cannot restore snapshot {path:?}: {e}");
+            exit(2);
+        });
+        eprintln!(
+            "restored day {} ({} billboards, {} locked)",
+            restored.seed.day,
+            restored.model.n_billboards(),
+            restored.seed.lock.locked_count()
+        );
+        (restored.model, Some(restored.seed), restored.config)
+    } else {
+        let algo = args.get("algo").unwrap_or("g-global");
+        let solver = SolverSpec::by_name(algo)
+            .unwrap_or_else(|| {
+                eprintln!("bad --algo {algo:?}: expected {}", SOLVER_NAMES.join("|"));
+                exit(2);
+            })
+            .with_seed(args.seed())
+            .with_restarts(args.usize_or("restarts", 5))
+            .with_improvement_ratio(args.f64_or("improvement-ratio", 0.0));
+        let city = build_city(args.city(CityKind::Nyc), args.scale());
+        let model = city.coverage(mroam_experiments::params::DEFAULT_LAMBDA);
+        eprintln!(
+            "built {} ({} billboards, {} trajectories)",
+            city.name,
+            model.n_billboards(),
+            model.n_trajectories()
+        );
+        let host = HostConfig {
+            gamma: args.f64_or("gamma", 0.5),
+            solver,
+        };
+        (model, None, host)
+    };
+
+    let handle = spawn(model, resume, ServeConfig { host, batch }, &addr).unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        exit(1);
+    });
+    // Stdout carries exactly the bound address, so harnesses (loadgen
+    // with --spawn, the CI smoke test) can parse it.
+    println!("{}", handle.addr());
+    handle.join();
+    eprintln!("server stopped");
+}

@@ -1,0 +1,80 @@
+//! A minimal blocking client for the wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection. [`Client::call`] is the
+//! simple synchronous path (send, block for the next frame); loadgen and
+//! pipelined callers use [`Client::send`]/[`Client::recv`] directly and
+//! pair responses by their echoed `id`.
+
+use crate::frame::{read_frame, write_frame};
+use crate::protocol::Request;
+use serde_json::Value;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+
+/// A blocking protocol client over one connection.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a serving host.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// A second handle onto the same connection (shared socket), letting
+    /// one thread send while another receives.
+    pub fn connect_clone(other: &Client) -> io::Result<Self> {
+        Ok(Self {
+            stream: other.stream.try_clone()?,
+        })
+    }
+
+    /// Sends one request frame.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        self.send_raw(req.encode().as_bytes())
+    }
+
+    /// Sends one raw frame (protocol tests use this to exercise the
+    /// server's handling of malformed payloads).
+    pub fn send_raw(&mut self, payload: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.stream, payload)
+    }
+
+    /// Blocks for the next response frame as its raw wire text;
+    /// `Ok(None)` when the server closed the connection.
+    pub fn recv_raw(&mut self) -> io::Result<Option<String>> {
+        let Some(payload) = read_frame(&mut self.stream)? else {
+            return Ok(None);
+        };
+        String::from_utf8(payload)
+            .map(Some)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response is not UTF-8"))
+    }
+
+    /// Blocks for the next response frame; `Ok(None)` when the server
+    /// closed the connection.
+    pub fn recv(&mut self) -> io::Result<Option<Value>> {
+        let Some(text) = self.recv_raw()? else {
+            return Ok(None);
+        };
+        serde_json::from_str(&text)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+
+    /// Sends one request and blocks for the next frame. Correct only when
+    /// no other request is in flight on this connection whose response
+    /// could arrive first (e.g. an unsolved `submit`).
+    pub fn call(&mut self, req: &Request) -> io::Result<Value> {
+        self.send(req)?;
+        self.recv()?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-call",
+            )
+        })
+    }
+}

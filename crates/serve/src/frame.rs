@@ -1,0 +1,100 @@
+//! Length-delimited framing for the wire protocol.
+//!
+//! Each frame is an 8-byte little-endian payload length followed by that
+//! many bytes of UTF-8 JSON (one document per frame). Length delimiting —
+//! rather than scanning for newlines — lets the reader allocate exactly
+//! once per message and reject oversized garbage before buffering it. The
+//! header codec goes through the vendored `bytes` `Buf`/`BufMut` traits,
+//! the same substrate the coverage-model storage format uses.
+
+use bytes::{Buf, BufMut};
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame's payload. Snapshots of bench-scale
+/// cities fit comfortably; anything larger is a corrupt or hostile stream.
+pub const MAX_FRAME_LEN: u64 = 256 << 20;
+
+/// Writes one frame (header + payload) and flushes.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let mut header = Vec::with_capacity(8);
+    header.put_u64_le(payload.len() as u64);
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload. Returns `Ok(None)` on a clean end of stream
+/// (EOF at a frame boundary); mid-frame truncation is an error.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 8];
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let mut cursor: &[u8] = &header;
+    let len = cursor.get_u64_le();
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_LEN} byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_roundtrip_back_to_back() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"{\"a\":1}").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, "π".as_bytes()).unwrap();
+        let mut r = Cursor::new(wire);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"{\"a\":1}");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "π".as_bytes());
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_header_is_an_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"xyz").unwrap();
+        wire.truncate(4);
+        let mut r = Cursor::new(wire);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"xyz").unwrap();
+        wire.truncate(9);
+        let mut r = Cursor::new(wire);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocating() {
+        let mut wire = Vec::new();
+        wire.put_u64_le(u64::MAX);
+        let mut r = Cursor::new(wire);
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,230 @@
+//! HDR-style log-bucket latency histogram.
+//!
+//! Values (microseconds in this crate's usage) are binned exactly below 64
+//! and into 32 linear sub-buckets per power-of-two octave above it — a
+//! fixed ~3 % relative error with a flat 1,920-slot array, no allocation
+//! per record, and O(buckets) quantile queries. Quantiles report a
+//! bucket's inclusive upper bound, so `p50 ≤ p95 ≤ p99 ≤ max` holds by
+//! construction.
+
+use serde::Serialize;
+
+/// Linear sub-bucket bits per octave.
+const SUB: u32 = 5;
+/// Index space: exact region `[0, 64)` plus 32 slots per octave up to
+/// `u64::MAX` (`index = 32·shift + (v >> shift)`, top shift 58, so the
+/// largest index is `58·32 + 63 = 1919`).
+const N_BUCKETS: usize = (60 << SUB) as usize;
+
+/// Fixed-size log-bucket histogram over `u64` values.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self {
+            counts: vec![0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index of a value: identity below `2^(SUB+1)`, otherwise
+/// `32·shift + mantissa` where `mantissa = v >> shift ∈ [32, 64)`.
+fn index_of(v: u64) -> usize {
+    if v < 1 << (SUB + 1) {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB;
+        ((shift as usize) << SUB) + ((v >> shift) as usize)
+    }
+}
+
+/// Inclusive upper bound of a bucket (the value a quantile reports).
+fn upper_bound_of(index: usize) -> u64 {
+    if index < 1 << (SUB + 1) {
+        index as u64
+    } else {
+        // `index = 32·shift + mantissa` with `mantissa ∈ [32, 64)`, so the
+        // mantissa contributes 1 to `index >> SUB`.
+        let shift = (index >> SUB) as u32 - 1;
+        let mantissa = (index & ((1 << SUB) - 1)) as u64 | (1 << SUB);
+        // The top octave's `(mantissa+1) << 58` wraps to 0; wrapping_sub
+        // then yields exactly `u64::MAX`, the true bucket upper bound.
+        ((mantissa + 1) << shift).wrapping_sub(1)
+    }
+}
+
+impl LogHistogram {
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.counts[index_of(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded value (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q ∈ [0, 1]` (bucket upper bound, clamped to
+    /// the recorded max). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return upper_bound_of(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The standard percentile triple plus max, as a serializable report.
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max,
+        }
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Snapshot of a histogram's headline quantiles.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct Percentiles {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (bucket upper bound).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::default();
+        for v in [0u64, 1, 5, 63] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.25), 0);
+        assert_eq!(h.quantile(1.0), 63);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 63);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let mut last = 0usize;
+        for v in (0u64..4096).chain([1 << 20, 1 << 40, u64::MAX - 1, u64::MAX]) {
+            let i = index_of(v);
+            assert!(i >= last, "index must not decrease (v={v})");
+            assert!(i < N_BUCKETS, "index {i} out of range (v={v})");
+            assert!(upper_bound_of(i) >= v, "upper bound must cover v={v}");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn relative_error_stays_within_a_sub_bucket() {
+        for v in [100u64, 1_000, 50_000, 1_000_000, 123_456_789] {
+            let ub = upper_bound_of(index_of(v));
+            assert!(ub >= v);
+            assert!((ub - v) as f64 <= v as f64 / 32.0 + 1.0, "v={v} upper={ub}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = LogHistogram::default();
+        let mut x = 17u64;
+        for _ in 0..10_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            h.record(x % 2_000_000);
+        }
+        let p = h.percentiles();
+        assert!(p.p50 <= p.p95);
+        assert!(p.p95 <= p.p99);
+        assert!(p.p99 <= p.max);
+        assert!(p.mean > 0.0);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = LogHistogram::default();
+        let mut b = LogHistogram::default();
+        let mut all = LogHistogram::default();
+        for v in 0..1000u64 {
+            let target = if v % 2 == 0 { &mut a } else { &mut b };
+            target.record(v * 37);
+            all.record(v * 37);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.max(), all.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LogHistogram::default();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentiles(), Percentiles::default());
+    }
+}

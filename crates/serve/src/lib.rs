@@ -1,0 +1,40 @@
+//! `mroam-serve` — a long-running host allocation service.
+//!
+//! The offline crates answer "given these proposals, what should the host
+//! deploy?"; this crate runs that decision loop as a daemon. A server
+//! owns the world state (coverage model, inventory locks, revenue
+//! ledger) behind a single-writer command loop, speaks a length-framed
+//! JSON protocol over plain TCP, coalesces concurrent proposal
+//! submissions into batched MROAM instances under an adaptive window,
+//! and can snapshot/restore its full state for crash recovery.
+//!
+//! Module map:
+//!
+//! * [`frame`] — length-delimited framing over a byte stream;
+//! * [`protocol`] — the JSON request/response grammar;
+//! * [`batch`] — adaptive (EWMA-of-solve-time) request batching;
+//! * [`histogram`] — HDR-style log-bucket latency histogram;
+//! * [`host`] — the single-writer world state (sim + ledger + solver);
+//! * [`snapshot`] — full-state snapshot encode/decode;
+//! * [`server`] — the TCP serving loop;
+//! * [`client`] — a minimal blocking client.
+//!
+//! Binaries: `mroam-served` (the daemon) and `loadgen` (an open-loop
+//! load-test harness printing throughput and latency percentiles).
+
+pub mod batch;
+pub mod client;
+pub mod frame;
+pub mod histogram;
+pub mod host;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+
+pub use batch::{BatchPolicy, Batcher, CloseReason};
+pub use client::Client;
+pub use histogram::{LogHistogram, Percentiles};
+pub use host::{Host, HostConfig, HostSeed};
+pub use protocol::{Request, Response, StatsReport};
+pub use server::{spawn, ServeConfig, ServerHandle};
+pub use snapshot::{Restored, SnapshotError, SNAPSHOT_VERSION};

@@ -1,0 +1,353 @@
+//! The JSON wire protocol: one JSON object per frame, both directions.
+//!
+//! Every request carries a client-chosen `id` that the matching response
+//! echoes, so clients can pipeline requests and pair responses out of
+//! order (a `submit` response arrives only when its batch is solved, which
+//! may be after later `stats` responses). The vendored `serde` stub only
+//! serializes, so responses are encoded with the stub's derive/impls where
+//! the shape allows (named-field structs) and assembled by hand otherwise;
+//! requests and client-side response decoding go through untyped
+//! [`serde_json::Value`] documents with the shared `market::json` helpers.
+//!
+//! Request grammar (`type` selects the variant):
+//!
+//! ```text
+//! {"type":"submit","id":N,"demand":D,"payment":P,"duration_days":K}
+//! {"type":"run_day","id":N}            ("solve" is an accepted alias)
+//! {"type":"query_coverage","id":N,"billboards":[o,...]}
+//! {"type":"stats","id":N}
+//! {"type":"snapshot","id":N}
+//! {"type":"shutdown","id":N}
+//! ```
+
+use crate::histogram::Percentiles;
+use mroam_market::json::{self, DecodeError};
+use mroam_market::{DayRecord, Proposal, ProposalOutcome};
+use serde::Serialize;
+use serde_json::Value;
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Queue one campaign proposal for the next solved batch.
+    Submit { id: u64, proposal: Proposal },
+    /// Force-close the open batch (even if empty) and advance the day.
+    RunDay { id: u64 },
+    /// Influence of a billboard set plus free-inventory counts.
+    QueryCoverage { id: u64, billboards: Vec<u32> },
+    /// Serving statistics (throughput, latency percentiles, market state).
+    Stats { id: u64 },
+    /// Full host snapshot for crash recovery.
+    Snapshot { id: u64 },
+    /// Drain in-flight work, reply, and stop the server.
+    Shutdown { id: u64 },
+}
+
+impl Request {
+    /// The echoed request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Submit { id, .. }
+            | Request::RunDay { id }
+            | Request::QueryCoverage { id, .. }
+            | Request::Stats { id }
+            | Request::Snapshot { id }
+            | Request::Shutdown { id } => *id,
+        }
+    }
+
+    /// Decodes a request from a parsed JSON document.
+    pub fn decode(v: &Value) -> Result<Self, DecodeError> {
+        let id = json::u64_field(v, "id")?;
+        match v["type"].as_str() {
+            Some("submit") => Ok(Request::Submit {
+                id,
+                proposal: json::decode_proposal(v)?,
+            }),
+            Some("run_day") | Some("solve") => Ok(Request::RunDay { id }),
+            Some("query_coverage") => {
+                let Value::Array(items) = &v["billboards"] else {
+                    return Err(DecodeError {
+                        field: "billboards".into(),
+                        expected: "array of billboard ids",
+                    });
+                };
+                let billboards = items
+                    .iter()
+                    .map(|item| match item.as_f64() {
+                        Some(n) if n >= 0.0 && n.fract() == 0.0 && n <= u32::MAX as f64 => {
+                            Ok(n as u32)
+                        }
+                        _ => Err(DecodeError {
+                            field: "billboards[]".into(),
+                            expected: "billboard id",
+                        }),
+                    })
+                    .collect::<Result<_, _>>()?;
+                Ok(Request::QueryCoverage { id, billboards })
+            }
+            Some("stats") => Ok(Request::Stats { id }),
+            Some("snapshot") => Ok(Request::Snapshot { id }),
+            Some("shutdown") => Ok(Request::Shutdown { id }),
+            _ => Err(DecodeError {
+                field: "type".into(),
+                expected: "submit|run_day|solve|query_coverage|stats|snapshot|shutdown",
+            }),
+        }
+    }
+
+    /// Encodes a request as its wire JSON (used by clients).
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Submit { id, proposal } => format!(
+                "{{\"type\":\"submit\",\"id\":{id},\"demand\":{},\"payment\":{},\"duration_days\":{}}}",
+                proposal.demand, proposal.payment, proposal.duration_days
+            ),
+            Request::RunDay { id } => format!("{{\"type\":\"run_day\",\"id\":{id}}}"),
+            Request::QueryCoverage { id, billboards } => {
+                let ids = serde_json::to_string(billboards).expect("stub never fails");
+                format!("{{\"type\":\"query_coverage\",\"id\":{id},\"billboards\":{ids}}}")
+            }
+            Request::Stats { id } => format!("{{\"type\":\"stats\",\"id\":{id}}}"),
+            Request::Snapshot { id } => format!("{{\"type\":\"snapshot\",\"id\":{id}}}"),
+            Request::Shutdown { id } => format!("{{\"type\":\"shutdown\",\"id\":{id}}}"),
+        }
+    }
+}
+
+/// The serving statistics block of a `stats` response.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct StatsReport {
+    /// Microseconds since the server started.
+    pub uptime_micros: u64,
+    /// Total requests decoded (all types).
+    pub requests: u64,
+    /// Proposals submitted.
+    pub submits: u64,
+    /// Batches solved (= market days advanced).
+    pub batches: u64,
+    /// Largest batch solved so far.
+    pub max_batch: usize,
+    /// Mean solved batch size.
+    pub mean_batch: f64,
+    /// Submit→allocated latency percentiles, in microseconds.
+    pub latency: Percentiles,
+    /// Per-batch solve-time percentiles, in microseconds.
+    pub solve: Percentiles,
+    /// Proposals queued in the open batch right now.
+    pub queue_depth: usize,
+    /// Next market day index.
+    pub day: u64,
+    /// Currently locked billboards.
+    pub locked: usize,
+    /// Currently free billboards.
+    pub free: usize,
+    /// Ledger totals so far.
+    pub collected: f64,
+    /// Total regret so far.
+    pub regret: f64,
+}
+
+/// A server response, ready to encode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A submitted proposal's batch was solved; its share of the day.
+    Allocated {
+        id: u64,
+        /// Day the batch was solved as.
+        day: u32,
+        outcome: ProposalOutcome,
+        /// Queueing delay (submit→solve start) in microseconds.
+        wait_micros: u64,
+    },
+    /// A day closed (response to `run_day`).
+    DayClosed {
+        id: u64,
+        batch_size: usize,
+        record: DayRecord,
+    },
+    /// Coverage query result.
+    Coverage {
+        id: u64,
+        influence: u64,
+        free_total: usize,
+    },
+    /// Statistics.
+    Stats { id: u64, stats: StatsReport },
+    /// Snapshot; `state` is the snapshot document itself (already JSON).
+    Snapshot { id: u64, state_json: String },
+    /// Acknowledged shutdown.
+    Bye { id: u64 },
+    /// Malformed or unserviceable request.
+    Error { id: u64, message: String },
+}
+
+impl Response {
+    /// Encodes the response as its wire JSON.
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Allocated {
+                id,
+                day,
+                outcome,
+                wait_micros,
+            } => {
+                let billboards: Vec<u32> =
+                    outcome.billboards.iter().map(|b| b.0).collect();
+                format!(
+                    "{{\"type\":\"allocated\",\"id\":{id},\"day\":{day},\"influence\":{},\
+                     \"satisfied\":{},\"collected\":{},\"regret\":{},\"expires\":{},\
+                     \"wait_micros\":{wait_micros},\"billboards\":{}}}",
+                    outcome.influence,
+                    outcome.satisfied,
+                    outcome.collected,
+                    outcome.regret,
+                    outcome.expires,
+                    serde_json::to_string(&billboards).expect("stub never fails"),
+                )
+            }
+            Response::DayClosed {
+                id,
+                batch_size,
+                record,
+            } => format!(
+                "{{\"type\":\"day_closed\",\"id\":{id},\"batch_size\":{batch_size},\"record\":{}}}",
+                serde_json::to_string(record).expect("stub never fails"),
+            ),
+            Response::Coverage {
+                id,
+                influence,
+                free_total,
+            } => format!(
+                "{{\"type\":\"coverage\",\"id\":{id},\"influence\":{influence},\"free_total\":{free_total}}}"
+            ),
+            Response::Stats { id, stats } => format!(
+                "{{\"type\":\"stats\",\"id\":{id},\"stats\":{}}}",
+                serde_json::to_string(stats).expect("stub never fails"),
+            ),
+            Response::Snapshot { id, state_json } => {
+                format!("{{\"type\":\"snapshot\",\"id\":{id},\"state\":{state_json}}}")
+            }
+            Response::Bye { id } => format!("{{\"type\":\"bye\",\"id\":{id}}}"),
+            Response::Error { id, message } => {
+                let mut quoted = String::new();
+                serde::write_json_string(message, &mut quoted);
+                format!("{{\"type\":\"error\",\"id\":{id},\"message\":{quoted}}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mroam_data::BillboardId;
+
+    #[test]
+    fn request_encode_decode_roundtrip() {
+        let reqs = vec![
+            Request::Submit {
+                id: 3,
+                proposal: Proposal {
+                    demand: 40,
+                    payment: 38.0,
+                    duration_days: 2,
+                },
+            },
+            Request::RunDay { id: 4 },
+            Request::QueryCoverage {
+                id: 5,
+                billboards: vec![0, 2, 7],
+            },
+            Request::Stats { id: 6 },
+            Request::Snapshot { id: 7 },
+            Request::Shutdown { id: 8 },
+        ];
+        for req in reqs {
+            let v = serde_json::from_str(&req.encode()).expect("valid JSON");
+            assert_eq!(Request::decode(&v).expect("decodes"), req);
+        }
+    }
+
+    #[test]
+    fn solve_is_an_alias_for_run_day() {
+        let v = serde_json::from_str(r#"{"type":"solve","id":9}"#).unwrap();
+        assert_eq!(Request::decode(&v).unwrap(), Request::RunDay { id: 9 });
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        let v = serde_json::from_str(r#"{"type":"frobnicate","id":1}"#).unwrap();
+        assert!(Request::decode(&v).is_err());
+    }
+
+    #[test]
+    fn responses_encode_as_parseable_json() {
+        let responses = vec![
+            Response::Allocated {
+                id: 1,
+                day: 0,
+                outcome: ProposalOutcome {
+                    influence: 12,
+                    satisfied: true,
+                    collected: 10.0,
+                    regret: 0.5,
+                    billboards: vec![BillboardId(1), BillboardId(4)],
+                    expires: 3,
+                },
+                wait_micros: 250,
+            },
+            Response::DayClosed {
+                id: 2,
+                batch_size: 3,
+                record: DayRecord::default(),
+            },
+            Response::Coverage {
+                id: 3,
+                influence: 99,
+                free_total: 7,
+            },
+            Response::Stats {
+                id: 4,
+                stats: StatsReport::default(),
+            },
+            Response::Snapshot {
+                id: 5,
+                state_json: "{\"version\":1}".into(),
+            },
+            Response::Bye { id: 6 },
+            Response::Error {
+                id: 7,
+                message: "bad \"quote\"".into(),
+            },
+        ];
+        for r in responses {
+            let v = serde_json::from_str(&r.encode()).expect("valid JSON");
+            assert!(v["type"].as_str().is_some());
+            assert!(v["id"].as_f64().is_some());
+        }
+    }
+
+    #[test]
+    fn allocated_carries_the_outcome_fields() {
+        let r = Response::Allocated {
+            id: 11,
+            day: 2,
+            outcome: ProposalOutcome {
+                influence: 8,
+                satisfied: false,
+                collected: 4.0,
+                regret: 6.0,
+                billboards: vec![BillboardId(3)],
+                expires: 5,
+            },
+            wait_micros: 1000,
+        };
+        let v = serde_json::from_str(&r.encode()).unwrap();
+        assert_eq!(v["day"].as_f64(), Some(2.0));
+        assert_eq!(v["influence"].as_f64(), Some(8.0));
+        assert_eq!(v["satisfied"].as_bool(), Some(false));
+        assert_eq!(v["billboards"][0].as_f64(), Some(3.0));
+        assert_eq!(v["expires"].as_f64(), Some(5.0));
+    }
+}

@@ -1,0 +1,424 @@
+//! The TCP serving loop.
+//!
+//! Thread architecture (std only, no async runtime):
+//!
+//! ```text
+//!   acceptor ──spawns──▶ per-connection reader ──Incoming──▶ command loop
+//!                        per-connection writer ◀──String────┘   (owns Host)
+//! ```
+//!
+//! * The **acceptor** polls a non-blocking listener and spawns a reader
+//!   and writer thread per connection.
+//! * Each **reader** decodes frames into [`Request`]s and forwards them —
+//!   tagged with its connection's reply channel — over one shared mpsc
+//!   into the command loop. Malformed frames are answered directly with
+//!   an `error` response and do not reach the loop.
+//! * The **command loop** is the *single writer*: it owns the
+//!   [`Host`] outright (no locks), batches `submit` requests under the
+//!   [`Batcher`]'s adaptive policy, and answers everything else
+//!   immediately. Its mpsc receive timeout is the batch deadline, so a
+//!   lull in traffic closes the open batch on time.
+//! * **Graceful shutdown**: a `shutdown` request first drains the open
+//!   batch (every in-flight `submit` still gets its `allocated`
+//!   response), then acknowledges, then stops the acceptor and unblocks
+//!   any parked readers by shutting their sockets down.
+
+use crate::batch::{BatchPolicy, Batcher, CloseReason};
+use crate::frame::{read_frame, write_frame};
+use crate::histogram::LogHistogram;
+use crate::host::{Host, HostConfig, HostSeed};
+use crate::protocol::{Request, Response, StatsReport};
+use crate::snapshot;
+use mroam_influence::CoverageModel;
+use mroam_market::{DayRecord, Proposal};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Full server configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfig {
+    /// Host configuration (γ + solver).
+    pub host: HostConfig,
+    /// Batching policy.
+    pub batch: BatchPolicy,
+}
+
+/// One decoded request en route to the command loop.
+struct Incoming {
+    req: Request,
+    reply: Sender<String>,
+    received: Instant,
+}
+
+/// A queued `submit` awaiting its batch.
+struct PendingSubmit {
+    id: u64,
+    proposal: Proposal,
+    reply: Sender<String>,
+    received: Instant,
+}
+
+/// Serving counters owned by the command loop.
+#[derive(Default)]
+struct ServerStats {
+    requests: u64,
+    submits: u64,
+    batches: u64,
+    batched_total: u64,
+    max_batch: usize,
+    latency: LogHistogram,
+    solve: LogHistogram,
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// send a `shutdown` request (or use [`ServerHandle::join`] after one).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    command: JoinHandle<()>,
+    acceptor: JoinHandle<()>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server to stop (i.e. for a `shutdown` request to be
+    /// processed), then force-closes any still-connected sockets so their
+    /// reader threads unblock.
+    pub fn join(self) {
+        let _ = self.command.join();
+        let _ = self.acceptor.join();
+        for conn in self.conns.lock().expect("conn registry").drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving `model`.
+/// `resume` continues from a snapshot seed instead of day 0.
+pub fn spawn(
+    model: CoverageModel,
+    resume: Option<HostSeed>,
+    config: ServeConfig,
+    addr: &str,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+    let stopping = Arc::new(AtomicBool::new(false));
+    let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+    let (tx, rx) = mpsc::channel::<Incoming>();
+
+    let command = {
+        let stopping = Arc::clone(&stopping);
+        thread::spawn(move || command_loop(model, resume, config, rx, stopping))
+    };
+
+    let acceptor = {
+        let stopping = Arc::clone(&stopping);
+        let conns = Arc::clone(&conns);
+        thread::spawn(move || accept_loop(listener, tx, stopping, conns))
+    };
+
+    Ok(ServerHandle {
+        addr: bound,
+        command,
+        acceptor,
+        conns,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: Sender<Incoming>,
+    stopping: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+) {
+    loop {
+        if stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if let Ok(registered) = stream.try_clone() {
+                    conns.lock().expect("conn registry").push(registered);
+                }
+                spawn_connection(stream, tx.clone());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Starts the reader and writer threads for one connection. Both threads
+/// are detached: they exit when the client disconnects or the server
+/// shuts the socket down.
+fn spawn_connection(stream: TcpStream, tx: Sender<Incoming>) {
+    let (reply_tx, reply_rx) = mpsc::channel::<String>();
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    thread::spawn(move || writer_loop(writer_stream, reply_rx));
+    thread::spawn(move || reader_loop(stream, tx, reply_tx));
+}
+
+fn writer_loop(mut stream: TcpStream, replies: Receiver<String>) {
+    while let Ok(payload) = replies.recv() {
+        if write_frame(&mut stream, payload.as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, tx: Sender<Incoming>, reply: Sender<String>) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            _ => return, // clean EOF, socket shutdown, or stream error
+        };
+        let received = Instant::now();
+        let parsed = std::str::from_utf8(&payload)
+            .ok()
+            .and_then(|text| serde_json::from_str(text).ok());
+        let Some(value) = parsed else {
+            let _ = reply.send(
+                Response::Error {
+                    id: 0,
+                    message: "frame is not valid JSON".into(),
+                }
+                .encode(),
+            );
+            continue;
+        };
+        match Request::decode(&value) {
+            Ok(req) => {
+                if tx
+                    .send(Incoming {
+                        req,
+                        reply: reply.clone(),
+                        received,
+                    })
+                    .is_err()
+                {
+                    // Command loop already stopped: tell the client.
+                    let _ = reply.send(
+                        Response::Error {
+                            id: 0,
+                            message: "server is shutting down".into(),
+                        }
+                        .encode(),
+                    );
+                    return;
+                }
+            }
+            Err(e) => {
+                let id = value["id"].as_f64().unwrap_or(0.0) as u64;
+                let _ = reply.send(
+                    Response::Error {
+                        id,
+                        message: e.to_string(),
+                    }
+                    .encode(),
+                );
+            }
+        }
+    }
+}
+
+fn command_loop(
+    model: CoverageModel,
+    resume: Option<HostSeed>,
+    config: ServeConfig,
+    rx: Receiver<Incoming>,
+    stopping: Arc<AtomicBool>,
+) {
+    let started = Instant::now();
+    let now_nanos = move || started.elapsed().as_nanos() as u64;
+    let mut host = match resume {
+        Some(seed) => Host::resume(&model, config.host.clone(), seed),
+        None => Host::new(&model, config.host.clone()),
+    };
+    let mut batcher: Batcher<PendingSubmit> = Batcher::new(config.batch);
+    let mut stats = ServerStats::default();
+
+    loop {
+        let msg = match batcher.deadline_nanos() {
+            Some(deadline) => {
+                let now = now_nanos();
+                if now >= deadline {
+                    Err(RecvTimeoutError::Timeout)
+                } else {
+                    rx.recv_timeout(Duration::from_nanos(deadline - now))
+                }
+            }
+            None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+        };
+        match msg {
+            Ok(incoming) => {
+                stats.requests += 1;
+                let Incoming {
+                    req,
+                    reply,
+                    received,
+                } = incoming;
+                match req {
+                    Request::Submit { id, proposal } => {
+                        stats.submits += 1;
+                        let close = batcher.push(
+                            PendingSubmit {
+                                id,
+                                proposal,
+                                reply,
+                                received,
+                            },
+                            now_nanos(),
+                        );
+                        if close == Some(CloseReason::SizeCap) {
+                            solve_batch(&mut host, &mut batcher, &mut stats);
+                        }
+                    }
+                    Request::RunDay { id } => {
+                        let (record, batch_size) = solve_batch(&mut host, &mut batcher, &mut stats);
+                        send(
+                            &reply,
+                            Response::DayClosed {
+                                id,
+                                batch_size,
+                                record,
+                            },
+                        );
+                    }
+                    Request::QueryCoverage { id, billboards } => {
+                        let response = match host.query_coverage(&billboards) {
+                            Some(influence) => Response::Coverage {
+                                id,
+                                influence,
+                                free_total: host.free_count(),
+                            },
+                            None => Response::Error {
+                                id,
+                                message: "billboard id out of range".into(),
+                            },
+                        };
+                        send(&reply, response);
+                    }
+                    Request::Stats { id } => {
+                        let report = stats_report(&stats, &host, &batcher, started);
+                        send(&reply, Response::Stats { id, stats: report });
+                    }
+                    Request::Snapshot { id } => {
+                        send(
+                            &reply,
+                            Response::Snapshot {
+                                id,
+                                state_json: snapshot::encode(&host),
+                            },
+                        );
+                    }
+                    Request::Shutdown { id } => {
+                        // Drain the in-flight batch first: every queued
+                        // submit still gets its allocation.
+                        if !batcher.is_empty() {
+                            solve_batch(&mut host, &mut batcher, &mut stats);
+                        }
+                        send(&reply, Response::Bye { id });
+                        break;
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // Batch window elapsed.
+                if !batcher.is_empty() {
+                    solve_batch(&mut host, &mut batcher, &mut stats);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    stopping.store(true, Ordering::SeqCst);
+}
+
+/// Closes the open batch (possibly empty), solves it as one market day,
+/// and answers every queued submit. Returns the day record and batch
+/// size.
+fn solve_batch(
+    host: &mut Host<'_>,
+    batcher: &mut Batcher<PendingSubmit>,
+    stats: &mut ServerStats,
+) -> (DayRecord, usize) {
+    let pending = batcher.take();
+    let day = host.day();
+    let proposals: Vec<Proposal> = pending.iter().map(|p| p.proposal).collect();
+    let solve_started = Instant::now();
+    let outcome = host.run_day(&proposals);
+    let solve_elapsed = solve_started.elapsed();
+    batcher.observe_solve(solve_elapsed.as_nanos() as u64);
+    stats.batches += 1;
+    stats.batched_total += pending.len() as u64;
+    stats.max_batch = stats.max_batch.max(pending.len());
+    stats.solve.record(solve_elapsed.as_micros() as u64);
+    debug_assert_eq!(outcome.outcomes.len(), pending.len());
+    for (submit, result) in pending.into_iter().zip(outcome.outcomes) {
+        let wait_micros = solve_started
+            .saturating_duration_since(submit.received)
+            .as_micros() as u64;
+        stats
+            .latency
+            .record(submit.received.elapsed().as_micros() as u64);
+        send(
+            &submit.reply,
+            Response::Allocated {
+                id: submit.id,
+                day,
+                outcome: result,
+                wait_micros,
+            },
+        );
+    }
+    (outcome.record, proposals.len())
+}
+
+fn stats_report(
+    stats: &ServerStats,
+    host: &Host<'_>,
+    batcher: &Batcher<PendingSubmit>,
+    started: Instant,
+) -> StatsReport {
+    StatsReport {
+        uptime_micros: started.elapsed().as_micros() as u64,
+        requests: stats.requests,
+        submits: stats.submits,
+        batches: stats.batches,
+        max_batch: stats.max_batch,
+        mean_batch: if stats.batches == 0 {
+            0.0
+        } else {
+            stats.batched_total as f64 / stats.batches as f64
+        },
+        latency: stats.latency.percentiles(),
+        solve: stats.solve.percentiles(),
+        queue_depth: batcher.len(),
+        day: u64::from(host.day()),
+        locked: host.locked_count(),
+        free: host.free_count(),
+        collected: host.ledger().total_collected(),
+        regret: host.ledger().total_regret(),
+    }
+}
+
+/// Sends a response, ignoring a disconnected client.
+fn send(reply: &Sender<String>, response: Response) {
+    let _ = reply.send(response.encode());
+}

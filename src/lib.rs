@@ -18,7 +18,9 @@
 //! * [`datagen`] — the synthetic NYC-like and SG-like city generators and
 //!   the α / p(ĪA) advertiser workload generator;
 //! * [`market`] — a multi-day market simulator (daily proposal arrivals,
-//!   contract lifetimes, inventory locking) built on the core library.
+//!   contract lifetimes, inventory locking) built on the core library;
+//! * [`serve`] — a long-running allocation daemon: JSON protocol over TCP,
+//!   adaptive request batching, snapshot/restore, and a load-test harness.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and DESIGN.md /
 //! EXPERIMENTS.md for the reproduction methodology and results.
@@ -44,6 +46,7 @@ pub use mroam_datagen as datagen;
 pub use mroam_geo as geo;
 pub use mroam_influence as influence;
 pub use mroam_market as market;
+pub use mroam_serve as serve;
 
 /// One-stop imports for applications.
 pub mod prelude {
