@@ -21,9 +21,12 @@ pub fn sg_city() -> City {
     SgConfig::test_scale().generate()
 }
 
-/// Coverage model at the default λ = 100 m.
+/// Coverage model at the default λ = 100 m, with the derived structures
+/// eagerly built so individual benches never time a lazy first build.
 pub fn model_of(city: &City) -> CoverageModel {
-    city.coverage(100.0)
+    let model = city.coverage(100.0);
+    model.precompute();
+    model
 }
 
 /// Advertiser workload for `(α, p)` with the fixed bench seed.

@@ -10,12 +10,22 @@
 //!
 //! Hand-rolled parsing (no quoting needed for purely numeric columns) keeps
 //! the dependency set to the approved list.
+//!
+//! Reading is a two-stage pipeline: the input splits into line-aligned
+//! byte chunks whose rows are number-parsed **concurrently** (float
+//! parsing dominates ingestion time at paper scale), then a sequential
+//! stitch replays the rows in file order and applies the stateful
+//! validation (dense ids, `seq` ordering, trajectory grouping). Every
+//! field is parsed into its own `Result` so the stitch can re-raise
+//! errors in exactly the order the old single-pass reader did — same
+//! line numbers, same messages, regardless of chunking.
 
 use crate::billboard::BillboardStore;
 use crate::trajectory::TrajectoryStore;
 use mroam_geo::Point;
 use std::fmt::Write as _;
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, Read, Write};
+use std::ops::Range;
 
 /// Errors produced by the CSV readers.
 #[derive(Debug)]
@@ -59,6 +69,111 @@ fn parse_u64(field: &str, line: usize) -> Result<u64, CsvError> {
     })
 }
 
+/// Below this many body bytes the readers stay single-chunk: spawning
+/// threads costs more than the parse.
+const PARALLEL_PARSE_MIN_BYTES: usize = 1 << 16;
+
+fn default_chunks(body_len: usize) -> usize {
+    if body_len < PARALLEL_PARSE_MIN_BYTES {
+        1
+    } else {
+        rayon::current_num_threads()
+    }
+}
+
+/// The error `BufRead::lines` used to surface on non-UTF-8 input, kept
+/// message-compatible.
+fn utf8_error() -> CsvError {
+    CsvError::Io(io::Error::new(
+        io::ErrorKind::InvalidData,
+        "stream did not contain valid UTF-8",
+    ))
+}
+
+fn strip_cr(line: &[u8]) -> &[u8] {
+    line.strip_suffix(b"\r").unwrap_or(line)
+}
+
+/// Splits off the header line (everything before the first newline).
+/// `None` header means the input was completely empty.
+fn split_header(data: &[u8]) -> (Option<&[u8]>, &[u8]) {
+    if data.is_empty() {
+        return (None, &[]);
+    }
+    match data.iter().position(|&b| b == b'\n') {
+        Some(i) => (Some(&data[..i]), &data[i + 1..]),
+        None => (Some(data), &[]),
+    }
+}
+
+/// Cuts `body` into at most `n_chunks` contiguous ranges, each ending on
+/// a newline (except possibly the last), so no row straddles two chunks.
+fn chunk_ranges(body: &[u8], n_chunks: usize) -> Vec<Range<usize>> {
+    if body.is_empty() {
+        return Vec::new();
+    }
+    let target = body.len().div_ceil(n_chunks.max(1));
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    while start < body.len() {
+        let mut end = (start + target).min(body.len());
+        while end < body.len() && body[end - 1] != b'\n' {
+            end += 1;
+        }
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
+/// Runs `parse` over every chunk of `body` concurrently (first body line
+/// is numbered `first_line`), returning the per-chunk outputs in file
+/// order. The caller's `parse` sees `(chunk_bytes, chunk_first_line)`.
+fn parse_chunks<'a, T: Send>(
+    body: &'a [u8],
+    first_line: usize,
+    n_chunks: usize,
+    parse: impl Fn(&'a [u8], usize) -> Vec<T> + Sync,
+) -> Vec<Vec<T>> {
+    let ranges = chunk_ranges(body, n_chunks);
+    if ranges.len() <= 1 {
+        return ranges
+            .into_iter()
+            .map(|r| parse(&body[r], first_line))
+            .collect();
+    }
+    let mut starts = Vec::with_capacity(ranges.len());
+    let mut line = first_line;
+    for r in &ranges {
+        starts.push(line);
+        line += body[r.clone()].iter().filter(|&&b| b == b'\n').count();
+    }
+    let mut out: Vec<Option<Vec<T>>> = (0..ranges.len()).map(|_| None).collect();
+    rayon::scope(|s| {
+        for ((slot, r), &start) in out.iter_mut().zip(&ranges).zip(&starts) {
+            let (r, parse) = (r.clone(), &parse);
+            s.spawn(move |_| *slot = Some(parse(&body[r], start)));
+        }
+    });
+    out.into_iter().map(Option::unwrap).collect()
+}
+
+/// Iterates the lines of one chunk: `(line_number, utf8_result)`. Yields
+/// nothing for blank lines; a non-UTF-8 line yields `Err`.
+fn chunk_lines(chunk: &[u8], start_line: usize) -> impl Iterator<Item = (usize, Result<&str, ()>)> {
+    chunk
+        .split(|&b| b == b'\n')
+        .enumerate()
+        .filter_map(move |(i, raw)| {
+            let line = start_line + i;
+            match std::str::from_utf8(strip_cr(raw)) {
+                Ok(text) if text.trim().is_empty() => None,
+                Ok(text) => Some((line, Ok(text))),
+                Err(_) => Some((line, Err(()))),
+            }
+        })
+}
+
 /// Writes a billboard store as `id,x,y[,cost]` rows with a header.
 pub fn write_billboards<W: Write>(store: &BillboardStore, mut w: W) -> io::Result<()> {
     let with_costs = store.has_costs();
@@ -82,49 +197,89 @@ pub fn write_billboards<W: Write>(store: &BillboardStore, mut w: W) -> io::Resul
     w.write_all(buf.as_bytes())
 }
 
+/// One pre-parsed billboard row. Each field carries its own `Result` so
+/// the sequential stitch can re-raise errors in the original reader's
+/// field order (id, density check, x, y, cost).
+struct BillboardRow {
+    line: usize,
+    id: Result<u64, CsvError>,
+    x: Result<f64, CsvError>,
+    y: Result<f64, CsvError>,
+    cost: Option<Result<u64, CsvError>>,
+}
+
+fn parse_billboard_chunk(chunk: &[u8], start_line: usize, with_costs: bool) -> Vec<BillboardRow> {
+    let mut rows = Vec::new();
+    for (line, text) in chunk_lines(chunk, start_line) {
+        let Ok(text) = text else {
+            rows.push(BillboardRow {
+                line,
+                id: Err(utf8_error()),
+                x: Ok(0.0),
+                y: Ok(0.0),
+                cost: None,
+            });
+            continue;
+        };
+        let mut fields = text.split(',');
+        rows.push(BillboardRow {
+            line,
+            id: parse_u64(fields.next().unwrap_or(""), line),
+            x: parse_f64(fields.next().unwrap_or(""), line),
+            y: parse_f64(fields.next().unwrap_or(""), line),
+            cost: with_costs.then(|| parse_u64(fields.next().unwrap_or(""), line)),
+        });
+    }
+    rows
+}
+
 /// Reads a billboard store written by [`write_billboards`]. Rows must appear
 /// in id order starting at zero.
-pub fn read_billboards<R: Read>(r: R) -> Result<BillboardStore, CsvError> {
-    let reader = BufReader::new(r);
+pub fn read_billboards<R: Read>(mut r: R) -> Result<BillboardStore, CsvError> {
+    let mut data = Vec::new();
+    r.read_to_end(&mut data)?;
+    let (_, body) = split_header(&data);
+    read_billboards_from_bytes(&data, default_chunks(body.len()))
+}
+
+/// [`read_billboards`] over in-memory bytes with an explicit chunk count
+/// (tests force multi-chunk parses on arbitrarily small inputs).
+fn read_billboards_from_bytes(data: &[u8], n_chunks: usize) -> Result<BillboardStore, CsvError> {
     let mut store = BillboardStore::new();
+    let (header, body) = split_header(data);
+    let Some(header) = header else {
+        return Ok(store);
+    };
+    let header = std::str::from_utf8(strip_cr(header)).map_err(|_| utf8_error())?;
+    let has_costs = header.trim() == "id,x,y,cost";
+    if !matches!(header.trim(), "id,x,y" | "id,x,y,cost") {
+        return Err(CsvError::Parse {
+            line: 1,
+            message: format!("unexpected header {header:?}"),
+        });
+    }
+    let chunks = parse_chunks(body, 2, n_chunks, |chunk, start| {
+        parse_billboard_chunk(chunk, start, has_costs)
+    });
     let mut costs = Vec::new();
-    let mut has_costs = None;
-    for (i, line) in reader.lines().enumerate() {
-        let line = line?;
-        let lineno = i + 1;
-        if i == 0 {
-            // Header row.
-            has_costs = Some(line.trim() == "id,x,y,cost");
-            if !matches!(line.trim(), "id,x,y" | "id,x,y,cost") {
-                return Err(CsvError::Parse {
-                    line: lineno,
-                    message: format!("unexpected header {line:?}"),
-                });
-            }
-            continue;
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        let mut fields = line.split(',');
-        let id = parse_u64(fields.next().unwrap_or(""), lineno)?;
+    for row in chunks.into_iter().flatten() {
+        let id = row.id?;
         if id != (store.len() as u64) {
             return Err(CsvError::Parse {
-                line: lineno,
+                line: row.line,
                 message: format!(
                     "ids must be dense and ordered, expected {}, got {id}",
                     store.len()
                 ),
             });
         }
-        let x = parse_f64(fields.next().unwrap_or(""), lineno)?;
-        let y = parse_f64(fields.next().unwrap_or(""), lineno)?;
+        let (x, y) = (row.x?, row.y?);
         store.push(Point::new(x, y));
-        if has_costs == Some(true) {
-            costs.push(parse_u64(fields.next().unwrap_or(""), lineno)?);
+        if let Some(cost) = row.cost {
+            costs.push(cost?);
         }
     }
-    if has_costs == Some(true) {
+    if has_costs {
         store.assign_costs(costs);
     }
     Ok(store)
@@ -145,16 +300,76 @@ pub fn write_trajectories<W: Write>(store: &TrajectoryStore, mut w: W) -> io::Re
     w.write_all(buf.as_bytes())
 }
 
+/// One pre-parsed trajectory point row; see [`BillboardRow`] for why each
+/// field is a `Result`.
+struct TrajectoryRow {
+    line: usize,
+    id: Result<u64, CsvError>,
+    seq: Result<u64, CsvError>,
+    x: Result<f64, CsvError>,
+    y: Result<f64, CsvError>,
+    t: Result<f64, CsvError>,
+}
+
+fn parse_trajectory_chunk(chunk: &[u8], start_line: usize) -> Vec<TrajectoryRow> {
+    let mut rows = Vec::new();
+    for (line, text) in chunk_lines(chunk, start_line) {
+        let Ok(text) = text else {
+            rows.push(TrajectoryRow {
+                line,
+                id: Err(utf8_error()),
+                seq: Ok(0),
+                x: Ok(0.0),
+                y: Ok(0.0),
+                t: Ok(0.0),
+            });
+            continue;
+        };
+        let mut fields = text.split(',');
+        rows.push(TrajectoryRow {
+            line,
+            id: parse_u64(fields.next().unwrap_or(""), line),
+            seq: parse_u64(fields.next().unwrap_or(""), line),
+            x: parse_f64(fields.next().unwrap_or(""), line),
+            y: parse_f64(fields.next().unwrap_or(""), line),
+            t: parse_f64(fields.next().unwrap_or(""), line),
+        });
+    }
+    rows
+}
+
 /// Reads a trajectory store written by [`write_trajectories`]. Points of one
 /// trajectory must be contiguous and `seq`-ordered; trajectory ids must be
 /// dense and ordered.
-pub fn read_trajectories<R: Read>(r: R) -> Result<TrajectoryStore, CsvError> {
-    let reader = BufReader::new(r);
+pub fn read_trajectories<R: Read>(mut r: R) -> Result<TrajectoryStore, CsvError> {
+    let mut data = Vec::new();
+    r.read_to_end(&mut data)?;
+    let (_, body) = split_header(&data);
+    read_trajectories_from_bytes(&data, default_chunks(body.len()))
+}
+
+/// [`read_trajectories`] over in-memory bytes with an explicit chunk
+/// count. Chunk boundaries are line-aligned, never trajectory-aligned —
+/// the sequential stitch below regroups points across chunk seams, so a
+/// trajectory split over two chunks reassembles exactly.
+fn read_trajectories_from_bytes(data: &[u8], n_chunks: usize) -> Result<TrajectoryStore, CsvError> {
     let mut store = TrajectoryStore::new();
+    let (header, body) = split_header(data);
+    let Some(header) = header else {
+        return Ok(store);
+    };
+    let header = std::str::from_utf8(strip_cr(header)).map_err(|_| utf8_error())?;
+    if header.trim() != "traj_id,seq,x,y,t" {
+        return Err(CsvError::Parse {
+            line: 1,
+            message: format!("unexpected header {header:?}"),
+        });
+    }
+    let chunks = parse_chunks(body, 2, n_chunks, parse_trajectory_chunk);
+
     let mut cur_id: Option<u64> = None;
     let mut points: Vec<Point> = Vec::new();
     let mut timestamps: Vec<f32> = Vec::new();
-
     let mut flush = |points: &mut Vec<Point>, timestamps: &mut Vec<f32>| {
         if !points.is_empty() {
             store.push_with_timestamps(points, timestamps);
@@ -163,27 +378,12 @@ pub fn read_trajectories<R: Read>(r: R) -> Result<TrajectoryStore, CsvError> {
         }
     };
 
-    for (i, line) in reader.lines().enumerate() {
-        let line = line?;
-        let lineno = i + 1;
-        if i == 0 {
-            if line.trim() != "traj_id,seq,x,y,t" {
-                return Err(CsvError::Parse {
-                    line: lineno,
-                    message: format!("unexpected header {line:?}"),
-                });
-            }
-            continue;
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        let mut fields = line.split(',');
-        let id = parse_u64(fields.next().unwrap_or(""), lineno)?;
-        let seq = parse_u64(fields.next().unwrap_or(""), lineno)?;
-        let x = parse_f64(fields.next().unwrap_or(""), lineno)?;
-        let y = parse_f64(fields.next().unwrap_or(""), lineno)?;
-        let t = parse_f64(fields.next().unwrap_or(""), lineno)? as f32;
+    for row in chunks.into_iter().flatten() {
+        let lineno = row.line;
+        let id = row.id?;
+        let seq = row.seq?;
+        let (x, y) = (row.x?, row.y?);
+        let t = row.t? as f32;
 
         match cur_id {
             Some(prev) if prev == id => {}
@@ -312,5 +512,149 @@ mod tests {
     fn blank_lines_ignored() {
         let b = read_billboards("id,x,y\n0,1,2\n\n1,3,4\n".as_bytes()).unwrap();
         assert_eq!(b.len(), 2);
+    }
+
+    /// A synthetic store big enough that every forced chunk count actually
+    /// produces multiple chunks.
+    fn many_trajectories() -> TrajectoryStore {
+        let mut s = TrajectoryStore::new();
+        for i in 0..40u64 {
+            let pts: Vec<Point> = (0..(i % 7 + 1))
+                .map(|j| Point::new(i as f64 * 3.5 + j as f64, j as f64 * 0.25 - i as f64))
+                .collect();
+            let ts: Vec<f32> = (0..pts.len()).map(|j| j as f32 * 1.5).collect();
+            s.push_with_timestamps(&pts, &ts);
+        }
+        s
+    }
+
+    #[test]
+    fn chunked_trajectory_parse_matches_serial_for_any_chunk_count() {
+        let store = many_trajectories();
+        let mut buf = Vec::new();
+        write_trajectories(&store, &mut buf).unwrap();
+        for n_chunks in [1usize, 2, 3, 5, 8, 200] {
+            let read = read_trajectories_from_bytes(&buf, n_chunks).unwrap();
+            assert_eq!(read.len(), store.len(), "{n_chunks} chunks");
+            assert_eq!(read.offsets(), store.offsets(), "{n_chunks} chunks");
+            assert_eq!(
+                read.point_column(),
+                store.point_column(),
+                "{n_chunks} chunks"
+            );
+            for (a, b) in read.iter().zip(store.iter()) {
+                assert_eq!(a.timestamps, b.timestamps, "{n_chunks} chunks");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_billboard_parse_matches_serial_for_any_chunk_count() {
+        let mut store = BillboardStore::new();
+        for i in 0..60u64 {
+            store.push(Point::new(i as f64 * 1.25, -(i as f64) * 0.5));
+        }
+        store.assign_costs((0..60).map(|i| i * 3 + 1).collect());
+        let mut buf = Vec::new();
+        write_billboards(&store, &mut buf).unwrap();
+        for n_chunks in [1usize, 2, 4, 7, 120] {
+            let read = read_billboards_from_bytes(&buf, n_chunks).unwrap();
+            assert_eq!(read.locations(), store.locations(), "{n_chunks} chunks");
+            assert_eq!(read.costs(), store.costs(), "{n_chunks} chunks");
+        }
+    }
+
+    #[test]
+    fn chunked_parse_preserves_error_lines_and_messages() {
+        // A trajectory id gap mid-file: every chunking must report the
+        // identical line number and message the serial reader did.
+        let mut data = String::from("traj_id,seq,x,y,t\n");
+        for i in 0..20 {
+            data.push_str(&format!("{i},0,1.0,2.0,0.0\n"));
+        }
+        data.push_str("25,0,1.0,2.0,0.0\n"); // line 22, gap after id 19
+        for n_chunks in [1usize, 2, 3, 9] {
+            let err = read_trajectories_from_bytes(data.as_bytes(), n_chunks).unwrap_err();
+            match &err {
+                CsvError::Parse { line, message } => {
+                    assert_eq!(*line, 22, "{n_chunks} chunks");
+                    assert_eq!(message, "trajectory ids must be dense, got 25 after 19");
+                }
+                e => panic!("unexpected error {e}"),
+            }
+        }
+        // A bad float deep in the file: the parse error itself comes from
+        // a parallel chunk but must surface with its original line.
+        let mut data = String::from("id,x,y\n");
+        for i in 0..30 {
+            data.push_str(&format!("{i},{i}.5,0\n"));
+        }
+        data.push_str("30,oops,0\n"); // line 32
+        for n_chunks in [1usize, 2, 5, 11] {
+            let err = read_billboards_from_bytes(data.as_bytes(), n_chunks).unwrap_err();
+            assert!(
+                err.to_string().contains("line 32") && err.to_string().contains("\"oops\""),
+                "{n_chunks} chunks: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_parse_reports_first_error_in_file_order() {
+        // Two bad rows in what will be different chunks: the earlier one
+        // wins, exactly as the serial single pass behaved.
+        let mut data = String::from("id,x,y\n");
+        for i in 0..10 {
+            data.push_str(&format!("{i},1,1\n"));
+        }
+        data.push_str("10,bad_early,1\n"); // line 12
+        for i in 11..25 {
+            data.push_str(&format!("{i},1,1\n"));
+        }
+        data.push_str("25,bad_late,1\n"); // line 27
+        for n_chunks in [1usize, 2, 4, 13] {
+            let err = read_billboards_from_bytes(data.as_bytes(), n_chunks).unwrap_err();
+            assert!(
+                err.to_string().contains("line 12"),
+                "{n_chunks} chunks: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn trajectory_split_across_chunk_boundary_regroups() {
+        // One 12-point trajectory and tiny chunks: the points land in
+        // different chunks and must still form a single trajectory.
+        let mut s = TrajectoryStore::new();
+        let pts: Vec<Point> = (0..12).map(|j| Point::new(j as f64, 0.0)).collect();
+        let ts: Vec<f32> = (0..12).map(|j| j as f32).collect();
+        s.push_with_timestamps(&pts, &ts);
+        let mut buf = Vec::new();
+        write_trajectories(&s, &mut buf).unwrap();
+        let read = read_trajectories_from_bytes(&buf, 6).unwrap();
+        assert_eq!(read.len(), 1);
+        assert_eq!(read.get(crate::TrajectoryId(0)).points, &pts[..]);
+    }
+
+    #[test]
+    fn crlf_line_endings_accepted() {
+        let data = "id,x,y\r\n0,1,2\r\n1,3,4\r\n";
+        let b = read_billboards(data.as_bytes()).unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.location(crate::BillboardId(1)), Point::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn missing_trailing_newline_accepted() {
+        let b = read_billboards("id,x,y\n0,1,2\n1,3,4".as_bytes()).unwrap();
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn invalid_utf8_reports_io_error() {
+        let mut data = b"id,x,y\n0,1,2\n".to_vec();
+        data.extend_from_slice(b"1,\xff\xfe,2\n");
+        let err = read_billboards(&data[..]).unwrap_err();
+        assert!(matches!(err, CsvError::Io(_)), "{err}");
     }
 }

@@ -2,8 +2,14 @@
 //! paper's full evaluation section. Output mirrors what each `exp_*` binary
 //! prints; see EXPERIMENTS.md for the paper-vs-measured record.
 //!
-//! Usage: `exp_all [--scale test|bench|paper] [--seed N]`
+//! Usage: `exp_all [--scale test|bench|paper] [--seed N]
+//!         [--model-cache-dir DIR]`
+//!
+//! With `--model-cache-dir`, every coverage model (the two default-λ city
+//! models and the Figure 12 per-λ rebuilds) is served from fingerprinted
+//! cache files in that directory — a warm rerun skips all model builds.
 
+use mroam_experiments::cache;
 use mroam_experiments::params::{
     table6, ALPHAS, DEFAULT_ALPHA, DEFAULT_LAMBDA, DEFAULT_P_AVG, FIGURE_P, GAMMAS, LAMBDAS,
 };
@@ -27,8 +33,9 @@ fn main() {
     println!("{}", sg.stats().table_row());
     println!();
 
-    let nyc_model = nyc.coverage(DEFAULT_LAMBDA);
-    let sg_model = sg.coverage(DEFAULT_LAMBDA);
+    let cache_dir = args.get("model-cache-dir").map(std::path::PathBuf::from);
+    let nyc_model = cache::city_model(&nyc, DEFAULT_LAMBDA, cache_dir.as_deref());
+    let sg_model = cache::city_model(&sg, DEFAULT_LAMBDA, cache_dir.as_deref());
 
     for (label, model) in [("NYC", &nyc_model), ("SG", &sg_model)] {
         let skew = curves::skew_stats(model);
@@ -124,7 +131,7 @@ fn main() {
         let rows: Vec<SweepRow> = LAMBDAS
             .iter()
             .map(|&lambda| {
-                let model = city.coverage(lambda);
+                let model = cache::city_model(city, lambda, cache_dir.as_deref());
                 SweepRow {
                     label: format!("lambda={lambda:.0}m (supply={})", model.supply()),
                     results: run_workload_point(&model, DEFAULT_ALPHA, DEFAULT_P_AVG, seed),

@@ -6,8 +6,11 @@
 //! ```text
 //! mroam solve --billboards b.csv --trajectories t.csv --advertisers a.csv
 //!       [--algo bls] [--lambda 100] [--gamma 0.5] [--measure distinct]
-//!       [--out assignment.csv]
+//!       [--out assignment.csv] [--model-cache model.cov]
 //!     Solve a MROAM instance from CSV inputs; writes the assignment CSV.
+//!     With --model-cache, the coverage model (and its derived CSR
+//!     structures) is loaded from the file when its fingerprint matches
+//!     the inputs, else built and saved there for the next run.
 //!
 //! mroam stats --billboards b.csv --trajectories t.csv
 //!     Print the Table 5 statistics row for a dataset.
@@ -20,22 +23,28 @@
 //! mroam gen --city nyc --scale test --out-prefix data/nyc
 //!     Generate a synthetic city to CSV files (<prefix>_billboards.csv,
 //!     <prefix>_trajectories.csv).
+//!
+//! mroam cache-smoke [--path /tmp/smoke.cov]
+//!     Self-test for the fingerprinted model cache: build a tiny model,
+//!     save it, reload it, and verify the round trip is identical.
 //! ```
 
 use mroam_core::prelude::*;
 use mroam_data::csv;
 use mroam_data::DatasetStats;
+use mroam_experiments::cache::{self, CacheStatus};
 use mroam_experiments::cli_io;
-use mroam_experiments::{build_city, Args, CityKind};
+use mroam_experiments::{build_city, Args, CityKind, Scale};
 use mroam_influence::{storage, CoverageModel, InfluenceMeasure};
 use std::fs::File;
 use std::io::Write as _;
+use std::path::Path;
 use std::process::exit;
 
 fn main() {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() {
-        eprintln!("usage: mroam <solve|stats|coverage|gen> [--key value ...]");
+        eprintln!("usage: mroam <solve|stats|coverage|gen|cache-smoke> [--key value ...]");
         exit(2);
     }
     let command = raw.remove(0);
@@ -45,8 +54,9 @@ fn main() {
         "stats" => cmd_stats(&args),
         "coverage" => cmd_coverage(&args),
         "gen" => cmd_gen(&args),
+        "cache-smoke" => cmd_cache_smoke(&args),
         other => {
-            eprintln!("unknown command {other:?}; expected solve|stats|coverage|gen");
+            eprintln!("unknown command {other:?}; expected solve|stats|coverage|gen|cache-smoke");
             exit(2);
         }
     }
@@ -86,7 +96,23 @@ fn load_model(args: &Args) -> CoverageModel {
         billboards.len(),
         trajectories.len()
     );
-    CoverageModel::build(&billboards, &trajectories, lambda)
+    if let Some(cache_file) = args.get("model-cache") {
+        let start = std::time::Instant::now();
+        let (model, status) =
+            cache::load_or_build(&billboards, &trajectories, lambda, Path::new(cache_file));
+        eprintln!(
+            "[mroam] model {} {cache_file} in {:.1?}",
+            match status {
+                CacheStatus::Hit => "loaded from",
+                CacheStatus::Rebuilt => "built and cached to",
+            },
+            start.elapsed()
+        );
+        return model;
+    }
+    let model = CoverageModel::build(&billboards, &trajectories, lambda);
+    model.precompute();
+    model
 }
 
 fn parse_measure(args: &Args) -> InfluenceMeasure {
@@ -184,6 +210,47 @@ fn cmd_coverage(args: &Args) {
         model.n_billboards(),
         model.supply(),
         bytes.len()
+    );
+}
+
+fn cmd_cache_smoke(args: &Args) {
+    let default_path =
+        std::env::temp_dir().join(format!("mroam_cache_smoke_{}.cov", std::process::id()));
+    let path = args
+        .get("path")
+        .map(std::path::PathBuf::from)
+        .unwrap_or(default_path);
+    let _ = std::fs::remove_file(&path);
+    let city = build_city(args.city(CityKind::Nyc), Scale::Test);
+    let lambda = args.f64_or("lambda", 100.0);
+
+    let (built, status) = cache::load_or_build(&city.billboards, &city.trajectories, lambda, &path);
+    if status != CacheStatus::Rebuilt {
+        eprintln!("cache-smoke FAILED: first pass should build, got {status:?}");
+        exit(1);
+    }
+    let (loaded, status) =
+        cache::load_or_build(&city.billboards, &city.trajectories, lambda, &path);
+    if status != CacheStatus::Hit {
+        eprintln!("cache-smoke FAILED: second pass should hit the cache, got {status:?}");
+        exit(1);
+    }
+    let lists_ok = loaded.coverage_lists() == built.coverage_lists();
+    let derived_ok = loaded.inverted_index() == built.inverted_index()
+        && loaded.overlap_graph() == built.overlap_graph()
+        && loaded.coverage_bitmap() == built.coverage_bitmap();
+    let _ = std::fs::remove_file(&path);
+    if !lists_ok || !derived_ok {
+        eprintln!(
+            "cache-smoke FAILED: reloaded model differs (lists ok: {lists_ok}, derived ok: {derived_ok})"
+        );
+        exit(1);
+    }
+    println!(
+        "cache-smoke ok: {} billboards, {} trajectories round-tripped through {}",
+        city.billboards.len(),
+        city.trajectories.len(),
+        path.display()
     );
 }
 

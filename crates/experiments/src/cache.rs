@@ -1,0 +1,188 @@
+//! Fingerprinted on-disk model cache shared by the `mroam` CLI, the
+//! experiment binaries, and the serving daemon.
+//!
+//! The cache file is the storage v2 format: coverage lists plus the
+//! derived CSR structures, keyed by a [`ModelFingerprint`] of the inputs
+//! (λ, store checksum, dimensions). `load_or_build` is the one entry
+//! point: a fresh file is decode + verify, anything else (missing, stale
+//! λ or city, corrupt, legacy v1 without derived sections) falls back to
+//! a full build and rewrites the file. The cache is advisory — I/O
+//! failures log and degrade to building, never abort.
+
+use mroam_data::{BillboardStore, TrajectoryStore};
+use mroam_datagen::City;
+use mroam_influence::storage::{self, ModelFingerprint};
+use mroam_influence::CoverageModel;
+use std::path::{Path, PathBuf};
+
+/// How [`load_or_build`] obtained its model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Decoded from a fresh cache file (fingerprint verified, derived
+    /// structures pre-installed).
+    Hit,
+    /// Built from the stores — the file was missing, stale, or unreadable
+    /// — and the cache was (best-effort) rewritten.
+    Rebuilt,
+}
+
+/// Conventional cache file name for a `(city, λ)` pair inside `dir`:
+/// `<city>_<λ in µm>.cov`. λ is keyed in micrometres so distinct radii
+/// never collide on a rounded display value; the fingerprint still
+/// protects against any collision that does happen.
+pub fn cache_path(dir: &Path, city: &str, lambda_m: f64) -> PathBuf {
+    let lambda_um = (lambda_m * 1e6).round() as u64;
+    dir.join(format!("{}_{lambda_um}.cov", city.to_ascii_lowercase()))
+}
+
+/// Loads the model from `path` when its fingerprint matches `(U, T, λ)`,
+/// else builds it and rewrites the cache. Either way the returned model
+/// has every derived structure warm ([`CoverageModel::precompute`]).
+pub fn load_or_build(
+    billboards: &BillboardStore,
+    trajectories: &TrajectoryStore,
+    lambda_m: f64,
+    path: &Path,
+) -> (CoverageModel, CacheStatus) {
+    let fingerprint = ModelFingerprint::new(billboards, trajectories, lambda_m);
+    match std::fs::read(path) {
+        Ok(bytes) => match storage::read_model_checked(&bytes, &fingerprint) {
+            Ok(model) => {
+                model.precompute();
+                return (model, CacheStatus::Hit);
+            }
+            Err(e) => {
+                eprintln!("[model-cache] {}: {e}; rebuilding", path.display());
+            }
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => eprintln!("[model-cache] cannot read {}: {e}", path.display()),
+    }
+    let model = CoverageModel::build(billboards, trajectories, lambda_m);
+    model.precompute();
+    let bytes = storage::encode_v2(&model, &fingerprint, true);
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(path, &bytes) {
+        eprintln!("[model-cache] cannot write {}: {e}", path.display());
+    }
+    (model, CacheStatus::Rebuilt)
+}
+
+/// Coverage model for a generated [`City`], optionally cached under
+/// `cache_dir` at [`cache_path`]`(dir, city.name, λ)`. With no cache dir
+/// this is `city.coverage(λ)` plus an eager
+/// [`precompute`](CoverageModel::precompute) — either way the model
+/// comes back with its derived structures warm.
+pub fn city_model(city: &City, lambda_m: f64, cache_dir: Option<&Path>) -> CoverageModel {
+    match cache_dir {
+        Some(dir) => {
+            let path = cache_path(dir, &city.name, lambda_m);
+            let (model, status) =
+                load_or_build(&city.billboards, &city.trajectories, lambda_m, &path);
+            eprintln!(
+                "[model-cache] {} λ={lambda_m}m: {} {}",
+                city.name,
+                match status {
+                    CacheStatus::Hit => "loaded from",
+                    CacheStatus::Rebuilt => "built and cached to",
+                },
+                path.display()
+            );
+            model
+        }
+        None => {
+            let model = city.coverage(lambda_m);
+            model.precompute();
+            model
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mroam_geo::Point;
+
+    fn tiny_stores() -> (BillboardStore, TrajectoryStore) {
+        let mut billboards = BillboardStore::new();
+        billboards.push(Point::new(0.0, 0.0));
+        billboards.push(Point::new(500.0, 0.0));
+        let mut trajectories = TrajectoryStore::new();
+        trajectories.push_at_speed(&[Point::new(10.0, 0.0)], 10.0);
+        trajectories.push_at_speed(&[Point::new(490.0, 0.0)], 10.0);
+        trajectories.push_at_speed(&[Point::new(250.0, 0.0)], 10.0);
+        (billboards, trajectories)
+    }
+
+    fn scratch_file(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mroam_cache_test_{}_{tag}.cov", std::process::id()))
+    }
+
+    #[test]
+    fn miss_then_hit_roundtrip() {
+        let (billboards, trajectories) = tiny_stores();
+        let path = scratch_file("roundtrip");
+        let _ = std::fs::remove_file(&path);
+
+        let (built, s1) = load_or_build(&billboards, &trajectories, 50.0, &path);
+        assert_eq!(s1, CacheStatus::Rebuilt);
+        let (loaded, s2) = load_or_build(&billboards, &trajectories, 50.0, &path);
+        assert_eq!(s2, CacheStatus::Hit);
+        assert_eq!(loaded.coverage_lists(), built.coverage_lists());
+        assert_eq!(loaded.inverted_index(), built.inverted_index());
+        assert_eq!(loaded.overlap_graph(), built.overlap_graph());
+        assert_eq!(loaded.coverage_bitmap(), built.coverage_bitmap());
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_lambda_rebuilds_instead_of_loading() {
+        let (billboards, trajectories) = tiny_stores();
+        let path = scratch_file("stale");
+        let _ = std::fs::remove_file(&path);
+
+        let (narrow, _) = load_or_build(&billboards, &trajectories, 50.0, &path);
+        // Same file path, wider λ: must NOT serve the λ=50 model.
+        let (wide, status) = load_or_build(&billboards, &trajectories, 260.0, &path);
+        assert_eq!(status, CacheStatus::Rebuilt);
+        assert!(wide.supply() > narrow.supply());
+        // The rewrite upgraded the file to the new λ.
+        let (again, status) = load_or_build(&billboards, &trajectories, 260.0, &path);
+        assert_eq!(status, CacheStatus::Hit);
+        assert_eq!(again.coverage_lists(), wide.coverage_lists());
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn changed_inputs_rebuild() {
+        let (billboards, trajectories) = tiny_stores();
+        let path = scratch_file("inputs");
+        let _ = std::fs::remove_file(&path);
+
+        load_or_build(&billboards, &trajectories, 50.0, &path);
+        let mut moved = BillboardStore::new();
+        moved.push(Point::new(0.0, 1.0));
+        moved.push(Point::new(500.0, 0.0));
+        let (_, status) = load_or_build(&moved, &trajectories, 50.0, &path);
+        assert_eq!(status, CacheStatus::Rebuilt);
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cache_path_is_lambda_exact() {
+        let dir = Path::new("/tmp/cache");
+        assert_eq!(
+            cache_path(dir, "NYC", 100.0),
+            Path::new("/tmp/cache/nyc_100000000.cov")
+        );
+        assert_ne!(
+            cache_path(dir, "nyc", 100.0),
+            cache_path(dir, "nyc", 100.000001)
+        );
+    }
+}

@@ -11,6 +11,7 @@
 //! rendering ([`table`]).
 
 pub mod args;
+pub mod cache;
 pub mod chart;
 pub mod cli_io;
 pub mod params;

@@ -4,7 +4,70 @@
 use crate::counter::CoverageCounter;
 use crate::meets;
 use mroam_data::{BillboardId, BillboardStore, TrajectoryStore};
-use std::sync::OnceLock;
+use rayon::prelude::*;
+use std::ops::Range;
+use std::sync::{Arc, OnceLock};
+
+/// Below this many total coverage entries the derived-structure builds stay
+/// serial: the work is too small to amortise one OS thread per shard.
+const PARALLEL_BUILD_MIN_ITEMS: usize = 1 << 14;
+
+/// Partitions billboards `0..cov.len()` into at most `n_shards` contiguous
+/// ranges of roughly equal total coverage-list length (each empty list
+/// still counts 1 so degenerate inputs spread too). Used by the parallel
+/// builds: contiguous ranges keep every shard's output a contiguous region
+/// of the final CSR arrays.
+fn shard_ranges(cov: &[Vec<u32>], n_shards: usize) -> Vec<Range<usize>> {
+    let n = cov.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let n_shards = n_shards.clamp(1, n);
+    let total: usize = cov.iter().map(|l| l.len().max(1)).sum();
+    let target = total.div_ceil(n_shards);
+    let mut ranges = Vec::with_capacity(n_shards);
+    let (mut start, mut acc) = (0usize, 0usize);
+    for (b, list) in cov.iter().enumerate() {
+        acc += list.len().max(1);
+        if acc >= target {
+            ranges.push(start..b + 1);
+            start = b + 1;
+            acc = 0;
+        }
+    }
+    if start < n {
+        ranges.push(start..n);
+    }
+    ranges
+}
+
+/// Partitions trajectories `0..n_trajectories` into at most `n_parts`
+/// contiguous ranges of roughly equal CSR data volume, judged by the
+/// (already prefix-summed) `offsets`. Mirrors [`shard_ranges`] on the
+/// transpose side.
+fn trajectory_ranges(offsets: &[u64], n_parts: usize) -> Vec<Range<usize>> {
+    let n = offsets.len().saturating_sub(1);
+    if n == 0 {
+        return Vec::new();
+    }
+    let n_parts = n_parts.clamp(1, n);
+    let total = (*offsets.last().unwrap() as usize).max(n);
+    let target = total.div_ceil(n_parts);
+    let mut ranges = Vec::with_capacity(n_parts);
+    let (mut start, mut acc) = (0usize, 0usize);
+    for t in 0..n {
+        acc += ((offsets[t + 1] - offsets[t]) as usize).max(1);
+        if acc >= target {
+            ranges.push(start..t + 1);
+            start = t + 1;
+            acc = 0;
+        }
+    }
+    if start < n {
+        ranges.push(start..n);
+    }
+    ranges
+}
 
 /// The transpose of the meets relation: for every trajectory, the sorted
 /// billboard ids that influence it, packed in CSR (offsets + flat data)
@@ -14,7 +77,7 @@ use std::sync::OnceLock;
 /// `o` changes hands, the set of billboards whose cached marginal gains may
 /// have changed is exactly `⋃_{t ∈ cov(o)} billboards_covering(t)` — walked
 /// here in O(output) instead of re-deriving it from the forward lists.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct InvertedIndex {
     /// `offsets[t]..offsets[t+1]` indexes `data` for trajectory `t`.
     offsets: Vec<u64>,
@@ -23,7 +86,23 @@ pub struct InvertedIndex {
 }
 
 impl InvertedIndex {
-    fn build(cov: &[Vec<u32>], n_trajectories: usize) -> Self {
+    /// Builds the transpose, choosing the parallel scheme when the pool
+    /// and the input are both big enough. Serial and parallel builds are
+    /// bit-identical (property-tested below), so the choice only affects
+    /// wall-clock time.
+    pub fn build(cov: &[Vec<u32>], n_trajectories: usize) -> Self {
+        let total: usize = cov.iter().map(Vec::len).sum();
+        if rayon::current_num_threads() > 1 && total >= PARALLEL_BUILD_MIN_ITEMS {
+            Self::build_parallel(cov, n_trajectories)
+        } else {
+            Self::build_serial(cov, n_trajectories)
+        }
+    }
+
+    /// The reference single-threaded build: counting pass, prefix sum,
+    /// billboard-order scatter. Public so benches and property tests can
+    /// pin the parallel build against it.
+    pub fn build_serial(cov: &[Vec<u32>], n_trajectories: usize) -> Self {
         let mut counts = vec![0u64; n_trajectories + 1];
         for list in cov {
             for &t in list {
@@ -44,6 +123,82 @@ impl InvertedIndex {
                 next[t as usize] += 1;
             }
         }
+        Self { offsets, data }
+    }
+
+    /// The multithreaded build: per-shard counting (each shard transposes
+    /// a contiguous billboard range on its own thread), a serial prefix
+    /// sum over the per-trajectory totals, then a parallel stitch that
+    /// hands each thread a disjoint trajectory range of the output array.
+    /// Within one trajectory's slice the shards are concatenated in shard
+    /// order and shard-local ids rebased, which reproduces the serial
+    /// billboard-ascending order exactly.
+    pub fn build_parallel(cov: &[Vec<u32>], n_trajectories: usize) -> Self {
+        Self::build_parallel_with(cov, n_trajectories, rayon::current_num_threads())
+    }
+
+    /// [`build_parallel`](Self::build_parallel) with an explicit shard
+    /// count, so tests and benches can force the sharded path regardless
+    /// of pool width.
+    pub fn build_parallel_with(cov: &[Vec<u32>], n_trajectories: usize, n_shards: usize) -> Self {
+        let shards = shard_ranges(cov, n_shards);
+        if shards.len() <= 1 {
+            return Self::build_serial(cov, n_trajectories);
+        }
+
+        // Pass 1: shard-local transposes (ids local to the shard's range).
+        let mut locals: Vec<Option<InvertedIndex>> = (0..shards.len()).map(|_| None).collect();
+        rayon::scope(|s| {
+            for (slot, range) in locals.iter_mut().zip(&shards) {
+                let range = range.clone();
+                s.spawn(move |_| {
+                    *slot = Some(InvertedIndex::build_serial(&cov[range], n_trajectories));
+                });
+            }
+        });
+        let locals: Vec<InvertedIndex> = locals.into_iter().map(Option::unwrap).collect();
+
+        // Pass 2: global offsets from the per-shard slice lengths.
+        let mut offsets = vec![0u64; n_trajectories + 1];
+        for t in 0..n_trajectories {
+            let total: u64 = locals.iter().map(|l| l.offsets[t + 1] - l.offsets[t]).sum();
+            offsets[t + 1] = offsets[t] + total;
+        }
+
+        // Pass 3: parallel stitch into disjoint output regions, one
+        // contiguous trajectory range per task.
+        let mut data = vec![0u32; *offsets.last().unwrap() as usize];
+        let t_ranges = trajectory_ranges(&offsets, shards.len());
+        rayon::scope(|s| {
+            let mut rest: &mut [u32] = &mut data;
+            for tr in &t_ranges {
+                let len = (offsets[tr.end] - offsets[tr.start]) as usize;
+                let (head, tail) = rest.split_at_mut(len);
+                rest = tail;
+                let (locals, shards, tr) = (&locals, &shards, tr.clone());
+                s.spawn(move |_| {
+                    let mut out = head;
+                    for t in tr {
+                        for (local, shard) in locals.iter().zip(shards) {
+                            let lo = local.offsets[t] as usize;
+                            let hi = local.offsets[t + 1] as usize;
+                            let (dst, next) = out.split_at_mut(hi - lo);
+                            for (d, &b) in dst.iter_mut().zip(&local.data[lo..hi]) {
+                                *d = b + shard.start as u32;
+                            }
+                            out = next;
+                        }
+                    }
+                });
+            }
+        });
+        Self { offsets, data }
+    }
+
+    /// Reassembles an index from raw CSR parts (storage decode). The
+    /// caller guarantees the invariants (monotone offsets, sorted slices);
+    /// the storage layer validates ids against the model dimensions.
+    pub(crate) fn from_raw(offsets: Vec<u64>, data: Vec<u32>) -> Self {
         Self { offsets, data }
     }
 
@@ -71,7 +226,7 @@ impl InvertedIndex {
 /// shares a trajectory with the advertiser's plan, never on how many — so
 /// one counter bump per neighbour (O(deg) per move) replaces a
 /// per-trajectory fan-out walk.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct OverlapGraph {
     /// `offsets[b]..offsets[b+1]` indexes `data` for billboard `b`.
     offsets: Vec<u64>,
@@ -80,7 +235,22 @@ pub struct OverlapGraph {
 }
 
 impl OverlapGraph {
-    fn build(cov: &[Vec<u32>], inv: &InvertedIndex) -> Self {
+    /// Builds the overlap graph, choosing the parallel scheme when the
+    /// pool and the input are both big enough. Serial and parallel builds
+    /// are bit-identical (property-tested below).
+    pub fn build(cov: &[Vec<u32>], inv: &InvertedIndex) -> Self {
+        let total: usize = cov.iter().map(Vec::len).sum();
+        if rayon::current_num_threads() > 1 && total >= PARALLEL_BUILD_MIN_ITEMS {
+            Self::build_parallel(cov, inv)
+        } else {
+            Self::build_serial(cov, inv)
+        }
+    }
+
+    /// The reference single-threaded build: one `seen`-bitmap sweep per
+    /// billboard over its trajectories' inverted slices. Public so benches
+    /// and property tests can pin the parallel build against it.
+    pub fn build_serial(cov: &[Vec<u32>], inv: &InvertedIndex) -> Self {
         let n_b = cov.len();
         let mut offsets = Vec::with_capacity(n_b + 1);
         offsets.push(0u64);
@@ -104,6 +274,91 @@ impl OverlapGraph {
             data.extend_from_slice(&scratch);
             offsets.push(data.len() as u64);
         }
+        Self { offsets, data }
+    }
+
+    /// The multithreaded build. Pass 1 runs neighbour discovery for a
+    /// contiguous billboard shard per thread — each with its own `seen`
+    /// bitmap and scratch vector, emitting per-billboard degrees plus the
+    /// shard's concatenated sorted neighbour lists. Pass 2 prefix-sums the
+    /// degrees into global offsets. Pass 3 copies every shard's block into
+    /// its (contiguous, disjoint) region of the output array in parallel.
+    pub fn build_parallel(cov: &[Vec<u32>], inv: &InvertedIndex) -> Self {
+        Self::build_parallel_with(cov, inv, rayon::current_num_threads())
+    }
+
+    /// [`build_parallel`](Self::build_parallel) with an explicit shard
+    /// count, so tests and benches can force the sharded path regardless
+    /// of pool width.
+    pub fn build_parallel_with(cov: &[Vec<u32>], inv: &InvertedIndex, n_shards: usize) -> Self {
+        let n_b = cov.len();
+        let shards = shard_ranges(cov, n_shards);
+        if shards.len() <= 1 {
+            return Self::build_serial(cov, inv);
+        }
+
+        // Pass 1: per-shard discovery with thread-local seen/scratch.
+        let mut parts: Vec<Option<(Vec<u32>, Vec<u32>)>> =
+            (0..shards.len()).map(|_| None).collect();
+        rayon::scope(|s| {
+            for (slot, range) in parts.iter_mut().zip(&shards) {
+                let range = range.clone();
+                s.spawn(move |_| {
+                    let mut seen = vec![false; n_b];
+                    let mut scratch: Vec<u32> = Vec::new();
+                    let mut degrees = Vec::with_capacity(range.len());
+                    let mut block: Vec<u32> = Vec::new();
+                    for b in range {
+                        scratch.clear();
+                        for &t in &cov[b] {
+                            for &c in inv.billboards_covering(t) {
+                                if c as usize != b && !seen[c as usize] {
+                                    seen[c as usize] = true;
+                                    scratch.push(c);
+                                }
+                            }
+                        }
+                        scratch.sort_unstable();
+                        for &c in &scratch {
+                            seen[c as usize] = false;
+                        }
+                        degrees.push(scratch.len() as u32);
+                        block.extend_from_slice(&scratch);
+                    }
+                    *slot = Some((degrees, block));
+                });
+            }
+        });
+        let parts: Vec<(Vec<u32>, Vec<u32>)> = parts.into_iter().map(Option::unwrap).collect();
+
+        // Pass 2: global offsets from the concatenated degree sequences.
+        let mut offsets = Vec::with_capacity(n_b + 1);
+        offsets.push(0u64);
+        let mut running = 0u64;
+        for (degrees, _) in &parts {
+            for &d in degrees {
+                running += u64::from(d);
+                offsets.push(running);
+            }
+        }
+
+        // Pass 3: parallel fill — shard blocks land in contiguous,
+        // disjoint slices of the output, in shard order.
+        let mut data = vec![0u32; running as usize];
+        rayon::scope(|s| {
+            let mut rest: &mut [u32] = &mut data;
+            for (_, block) in &parts {
+                let (head, tail) = rest.split_at_mut(block.len());
+                rest = tail;
+                s.spawn(move |_| head.copy_from_slice(block));
+            }
+        });
+        Self { offsets, data }
+    }
+
+    /// Reassembles a graph from raw CSR parts (storage decode); see
+    /// [`InvertedIndex::from_raw`].
+    pub(crate) fn from_raw(offsets: Vec<u64>, data: Vec<u32>) -> Self {
         Self { offsets, data }
     }
 
@@ -155,15 +410,31 @@ impl OverlapGraph {
 /// `I({o}) − popcount(row(o) ∧ covered(S_a))`, replacing an O(|cov(o)|)
 /// random-access counter walk by `⌈|T|/64⌉` sequential word ops. Dense rows
 /// cost `|U|·⌈|T|/64⌉·8` bytes, so the bitmap is only materialised under
-/// [`BITMAP_BUDGET_BYTES`]; past that, callers fall back to counter walks.
-#[derive(Debug, Clone)]
+/// the model's bitmap budget (default
+/// [`DEFAULT_BITMAP_BUDGET_BYTES`]); past that, callers fall back to
+/// counter walks.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoverageBitmap {
     words_per_row: usize,
     bits: Vec<u64>,
 }
 
 impl CoverageBitmap {
-    fn build(cov: &[Vec<u32>], n_trajectories: usize) -> Self {
+    /// Builds the bitmap, choosing the parallel scheme when the pool and
+    /// the input are both big enough. Serial and parallel builds are
+    /// bit-identical (rows are disjoint; only the fill order differs).
+    pub fn build(cov: &[Vec<u32>], n_trajectories: usize) -> Self {
+        let total: usize = cov.iter().map(Vec::len).sum();
+        if rayon::current_num_threads() > 1 && total >= PARALLEL_BUILD_MIN_ITEMS {
+            Self::build_parallel(cov, n_trajectories)
+        } else {
+            Self::build_serial(cov, n_trajectories)
+        }
+    }
+
+    /// The reference single-threaded build. Public so benches and property
+    /// tests can pin the parallel build against it.
+    pub fn build_serial(cov: &[Vec<u32>], n_trajectories: usize) -> Self {
         let words_per_row = n_trajectories.div_ceil(64);
         let mut bits = vec![0u64; words_per_row * cov.len()];
         for (b, list) in cov.iter().enumerate() {
@@ -172,6 +443,43 @@ impl CoverageBitmap {
                 row[t as usize / 64] |= 1u64 << (t % 64);
             }
         }
+        Self {
+            words_per_row,
+            bits,
+        }
+    }
+
+    /// The multithreaded build: rows are disjoint fixed-width slices of
+    /// the backing array, so `par_chunks_mut` over row groups needs no
+    /// synchronisation at all.
+    pub fn build_parallel(cov: &[Vec<u32>], n_trajectories: usize) -> Self {
+        Self::build_parallel_with(cov, n_trajectories, rayon::current_num_threads())
+    }
+
+    /// [`build_parallel`](Self::build_parallel) with an explicit task
+    /// count, so tests and benches can force the chunked path regardless
+    /// of pool width.
+    pub fn build_parallel_with(cov: &[Vec<u32>], n_trajectories: usize, n_tasks: usize) -> Self {
+        let words_per_row = n_trajectories.div_ceil(64);
+        let mut bits = vec![0u64; words_per_row * cov.len()];
+        if words_per_row == 0 || cov.is_empty() {
+            return Self {
+                words_per_row,
+                bits,
+            };
+        }
+        // A few chunks per task so one dense shard doesn't straggle.
+        let rows_per_chunk = cov.len().div_ceil(n_tasks.max(1) * 4).max(1);
+        bits.par_chunks_mut(rows_per_chunk * words_per_row)
+            .enumerate()
+            .for_each(|(chunk, rows)| {
+                let first_row = chunk * rows_per_chunk;
+                for (r, row) in rows.chunks_mut(words_per_row).enumerate() {
+                    for &t in &cov[first_row + r] {
+                        row[t as usize / 64] |= 1u64 << (t % 64);
+                    }
+                }
+            });
         Self {
             words_per_row,
             bits,
@@ -191,10 +499,26 @@ impl CoverageBitmap {
     }
 }
 
-/// Upper bound on the materialised [`CoverageBitmap`] size (64 MiB). At
-/// paper scale (millions of trajectories × thousands of billboards) the
-/// dense bitmap would dwarf the sparse coverage lists it mirrors.
-const BITMAP_BUDGET_BYTES: usize = 64 << 20;
+/// Default upper bound on the materialised [`CoverageBitmap`] size
+/// (64 MiB). At paper scale (millions of trajectories × thousands of
+/// billboards) the dense bitmap would dwarf the sparse coverage lists it
+/// mirrors. Override per model with
+/// [`CoverageModel::set_bitmap_budget`]/[`CoverageModel::with_bitmap_budget`]
+/// or process-wide with the `MROAM_BITMAP_BUDGET_MB` environment variable
+/// (big-memory serving hosts keep the popcount fast path at full scale).
+pub const DEFAULT_BITMAP_BUDGET_BYTES: usize = 64 << 20;
+
+/// The bitmap budget new models start from: `MROAM_BITMAP_BUDGET_MB` (in
+/// MiB) if set and parseable, else [`DEFAULT_BITMAP_BUDGET_BYTES`]. Read
+/// afresh per model so tests (and long-lived processes re-exec'd with new
+/// limits) see the current environment.
+fn default_bitmap_budget() -> usize {
+    std::env::var("MROAM_BITMAP_BUDGET_MB")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .map(|mb| mb.saturating_mul(1 << 20))
+        .unwrap_or(DEFAULT_BITMAP_BUDGET_BYTES)
+}
 
 /// An immutable snapshot of the meets relation for one `(U, T, λ)` triple.
 ///
@@ -207,14 +531,19 @@ pub struct CoverageModel {
     cov: Vec<Vec<u32>>,
     n_trajectories: usize,
     supply: u64,
+    /// Budget the bitmap decision is made against; see
+    /// [`DEFAULT_BITMAP_BUDGET_BYTES`].
+    bitmap_budget: usize,
     /// Trajectory→billboard transpose, built on first use (queries only —
-    /// cloning a model carries an already-built index along).
-    inverted: OnceLock<InvertedIndex>,
+    /// cloning a model shares an already-built index via the `Arc`).
+    inverted: OnceLock<Arc<InvertedIndex>>,
     /// Billboard overlap graph, built on first use like the transpose.
-    overlap: OnceLock<OverlapGraph>,
+    overlap: OnceLock<Arc<OverlapGraph>>,
     /// Dense coverage bitmaps, built on first use; `None` once computed
-    /// means the model is over the bitmap budget.
-    bitmap: OnceLock<Option<CoverageBitmap>>,
+    /// means the model is over the bitmap budget. Behind an `Arc` so
+    /// cloning a model (BLS scratch clones, serve snapshots) is O(lists),
+    /// never an O(budget) bitmap copy.
+    bitmap: OnceLock<Option<Arc<CoverageBitmap>>>,
 }
 
 impl CoverageModel {
@@ -247,6 +576,7 @@ impl CoverageModel {
             cov,
             n_trajectories,
             supply,
+            bitmap_budget: default_bitmap_budget(),
             inverted: OnceLock::new(),
             overlap: OnceLock::new(),
             bitmap: OnceLock::new(),
@@ -257,28 +587,84 @@ impl CoverageModel {
     /// lazily on first access and cached for the lifetime of the model.
     pub fn inverted_index(&self) -> &InvertedIndex {
         self.inverted
-            .get_or_init(|| InvertedIndex::build(&self.cov, self.n_trajectories))
+            .get_or_init(|| Arc::new(InvertedIndex::build(&self.cov, self.n_trajectories)))
     }
 
     /// The billboard overlap graph, built lazily on first access and cached
     /// for the lifetime of the model.
     pub fn overlap_graph(&self) -> &OverlapGraph {
         self.overlap
-            .get_or_init(|| OverlapGraph::build(&self.cov, self.inverted_index()))
+            .get_or_init(|| Arc::new(OverlapGraph::build(&self.cov, self.inverted_index())))
     }
 
     /// The dense per-billboard coverage bitmaps, built lazily on first
     /// access. Returns `None` when materialising them would exceed the
-    /// 64 MiB bitmap budget (the decision is cached either way).
+    /// bitmap budget (the decision is cached either way); see
+    /// [`bitmap_budget`](Self::bitmap_budget).
     pub fn coverage_bitmap(&self) -> Option<&CoverageBitmap> {
         self.bitmap
             .get_or_init(|| {
                 let words = self.n_trajectories.div_ceil(64);
                 let bytes = self.cov.len().saturating_mul(words).saturating_mul(8);
-                (bytes <= BITMAP_BUDGET_BYTES)
-                    .then(|| CoverageBitmap::build(&self.cov, self.n_trajectories))
+                (bytes <= self.bitmap_budget)
+                    .then(|| Arc::new(CoverageBitmap::build(&self.cov, self.n_trajectories)))
             })
-            .as_ref()
+            .as_deref()
+    }
+
+    /// Eagerly builds every derived structure (transpose, overlap graph,
+    /// bitmap) instead of letting the first solver touch pay for them. The
+    /// transpose is built first (the overlap graph consumes it), then the
+    /// overlap graph and the bitmap build concurrently; each individual
+    /// build additionally parallelises internally past
+    /// [`PARALLEL_BUILD_MIN_ITEMS`] entries.
+    pub fn precompute(&self) {
+        self.inverted_index();
+        rayon::join(|| self.overlap_graph(), || self.coverage_bitmap());
+    }
+
+    /// The budget (bytes) the dense-bitmap decision is made against.
+    /// Defaults to [`DEFAULT_BITMAP_BUDGET_BYTES`], overridable process-wide
+    /// via the `MROAM_BITMAP_BUDGET_MB` environment variable.
+    pub fn bitmap_budget(&self) -> usize {
+        self.bitmap_budget
+    }
+
+    /// Replaces the bitmap budget, discarding any cached bitmap decision so
+    /// the next [`coverage_bitmap`](Self::coverage_bitmap) call re-evaluates
+    /// against the new budget. Needs `&mut` — reconfigure before sharing the
+    /// model across threads.
+    pub fn set_bitmap_budget(&mut self, bytes: usize) {
+        self.bitmap_budget = bytes;
+        self.bitmap = OnceLock::new();
+    }
+
+    /// Builder-style form of [`set_bitmap_budget`](Self::set_bitmap_budget).
+    pub fn with_bitmap_budget(mut self, bytes: usize) -> Self {
+        self.set_bitmap_budget(bytes);
+        self
+    }
+
+    /// The raw per-billboard coverage lists (sorted ascending). Exposed for
+    /// the storage layer's fingerprint/derived-structure encoding.
+    pub fn coverage_lists(&self) -> &[Vec<u32>] {
+        &self.cov
+    }
+
+    /// Installs externally decoded derived structures (cache load path).
+    /// Silently keeps an already-built structure — callers install into
+    /// freshly constructed models.
+    pub(crate) fn install_derived(
+        &self,
+        inverted: Option<InvertedIndex>,
+        overlap: Option<OverlapGraph>,
+    ) {
+        if let Some(inv) = inverted {
+            let _ = self.inverted.set(Arc::new(inv));
+        }
+        if let Some(ov) = overlap {
+            let _ = self.overlap.set(Arc::new(ov));
+        }
     }
 
     /// Number of billboards `|U|`.
@@ -356,7 +742,9 @@ impl CoverageModel {
             "duplicate billboard in restriction"
         );
         let lists: Vec<Vec<u32>> = back.iter().map(|&b| self.coverage(b).to_vec()).collect();
-        (CoverageModel::from_lists(lists, self.n_trajectories), back)
+        let sub = CoverageModel::from_lists(lists, self.n_trajectories)
+            .with_bitmap_budget(self.bitmap_budget);
+        (sub, back)
     }
 
     /// All billboard ids, ascending.
@@ -381,6 +769,7 @@ impl CoverageModel {
 mod tests {
     use super::*;
     use mroam_geo::Point;
+    use proptest::prelude::*;
 
     fn model_from(lists: Vec<Vec<u32>>, n: usize) -> CoverageModel {
         CoverageModel::from_lists(lists, n)
@@ -605,5 +994,153 @@ mod tests {
         let _ = m.inverted_index();
         let c = m.clone();
         assert_eq!(c.inverted_index().billboards_covering(0), &[0, 1]);
+    }
+
+    #[test]
+    fn clone_shares_derived_structures_by_pointer() {
+        // The satellite fix: clones must share derived structures behind
+        // the `Arc`, never deep-copy a (potentially 64 MiB) bitmap.
+        let m = model_from(vec![vec![0, 1, 2], vec![1, 3], vec![]], 4);
+        m.precompute();
+        let c = m.clone();
+        assert!(std::ptr::eq(m.inverted_index(), c.inverted_index()));
+        assert!(std::ptr::eq(m.overlap_graph(), c.overlap_graph()));
+        assert!(std::ptr::eq(
+            m.coverage_bitmap().unwrap(),
+            c.coverage_bitmap().unwrap()
+        ));
+    }
+
+    #[test]
+    fn precompute_matches_lazy_builds() {
+        let lists = vec![vec![0u32, 1, 2], vec![1, 3], vec![0, 3], vec![]];
+        let eager = model_from(lists.clone(), 4);
+        eager.precompute();
+        let lazy = model_from(lists, 4);
+        assert_eq!(eager.inverted_index(), lazy.inverted_index());
+        assert_eq!(eager.overlap_graph(), lazy.overlap_graph());
+        assert_eq!(eager.coverage_bitmap(), lazy.coverage_bitmap());
+    }
+
+    #[test]
+    fn over_budget_model_falls_back_to_counter_walks() {
+        // Budget 0 ⇒ no bitmap, but set_influence (the counter path the
+        // solvers fall back to) is unaffected.
+        let mut m = model_from(vec![vec![0, 1, 2], vec![2, 3]], 5);
+        assert!(m.coverage_bitmap().is_some(), "tiny model under budget");
+        m.set_bitmap_budget(0);
+        assert_eq!(m.bitmap_budget(), 0);
+        assert!(m.coverage_bitmap().is_none(), "budget 0 must refuse");
+        assert_eq!(m.set_influence([BillboardId(0), BillboardId(1)]), 4);
+        // Raising the budget back re-materialises the rows.
+        m.set_bitmap_budget(DEFAULT_BITMAP_BUDGET_BYTES);
+        assert!(m.coverage_bitmap().is_some());
+    }
+
+    #[test]
+    fn with_bitmap_budget_builder_and_restriction_propagation() {
+        let m = model_from(vec![vec![0, 1], vec![1, 2], vec![2]], 3).with_bitmap_budget(0);
+        assert!(m.coverage_bitmap().is_none());
+        let (sub, _) = m.restricted(&[BillboardId(0), BillboardId(2)]);
+        assert_eq!(sub.bitmap_budget(), 0, "restriction must inherit budget");
+        assert!(sub.coverage_bitmap().is_none());
+    }
+
+    #[test]
+    fn bitmap_budget_env_override_applies_to_new_models() {
+        // A large override is safe against concurrently running tests:
+        // every test model is far under both the default and this value.
+        std::env::set_var("MROAM_BITMAP_BUDGET_MB", "128");
+        let m = model_from(vec![vec![0]], 1);
+        std::env::remove_var("MROAM_BITMAP_BUDGET_MB");
+        assert_eq!(m.bitmap_budget(), 128 << 20);
+        let after = model_from(vec![vec![0]], 1);
+        assert_eq!(after.bitmap_budget(), DEFAULT_BITMAP_BUDGET_BYTES);
+    }
+
+    #[test]
+    fn rayon_num_threads_one_matches_default_pool() {
+        // Mirrors the PR 2 solver regression: the pool width must never
+        // change what a build produces, only how long it takes. The env
+        // var is latched on first use, so this pins the invariant on
+        // whichever configuration the test process initialised with;
+        // the explicit `build_parallel_with` tests force the sharded
+        // path directly.
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let lists = vec![
+            vec![0u32, 2, 4],
+            vec![1, 2],
+            vec![4],
+            vec![],
+            vec![0, 1, 2, 3, 4],
+        ];
+        let narrow_inv = InvertedIndex::build(&lists, 5);
+        let narrow_ov = OverlapGraph::build(&lists, &narrow_inv);
+        let narrow_bm = CoverageBitmap::build(&lists, 5);
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(narrow_inv, InvertedIndex::build_serial(&lists, 5));
+        assert_eq!(narrow_ov, OverlapGraph::build_serial(&lists, &narrow_inv));
+        assert_eq!(narrow_bm, CoverageBitmap::build_serial(&lists, 5));
+    }
+
+    /// Asserts parallel == serial for all three derived builds over a
+    /// range of forced shard counts (including more shards than items).
+    fn assert_parallel_builds_match(lists: &[Vec<u32>], n_trajectories: usize) {
+        let inv = InvertedIndex::build_serial(lists, n_trajectories);
+        let ov = OverlapGraph::build_serial(lists, &inv);
+        let bm = CoverageBitmap::build_serial(lists, n_trajectories);
+        for n_shards in [2usize, 3, 4, 7, lists.len().max(1) * 2] {
+            let pinv = InvertedIndex::build_parallel_with(lists, n_trajectories, n_shards);
+            assert_eq!(pinv, inv, "inverted, {n_shards} shards");
+            assert_eq!(
+                OverlapGraph::build_parallel_with(lists, &pinv, n_shards),
+                ov,
+                "overlap, {n_shards} shards"
+            );
+            assert_eq!(
+                CoverageBitmap::build_parallel_with(lists, n_trajectories, n_shards),
+                bm,
+                "bitmap, {n_shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_builds_match_serial_edge_cases() {
+        // No billboards at all.
+        assert_parallel_builds_match(&[], 0);
+        assert_parallel_builds_match(&[], 7);
+        // Billboards with all-empty coverage.
+        assert_parallel_builds_match(&vec![vec![]; 5], 3);
+        // Singleton trajectories: every list covers exactly one id.
+        assert_parallel_builds_match(&[vec![0], vec![1], vec![2], vec![0]], 3);
+        // Fully-overlapping boards: identical lists, dense overlap graph.
+        assert_parallel_builds_match(&vec![vec![0, 1, 2, 3]; 6], 4);
+        // Mixed: empties interleaved with dense and sparse lists.
+        assert_parallel_builds_match(
+            &[
+                vec![],
+                vec![0, 63, 64],
+                vec![],
+                vec![64, 65],
+                vec![1],
+                vec![],
+            ],
+            66,
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_parallel_builds_match_serial(
+            lists in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..300, 0..40), 0..24)
+        ) {
+            let lists: Vec<Vec<u32>> =
+                lists.into_iter().map(|s| s.into_iter().collect()).collect();
+            assert_parallel_builds_match(&lists, 300);
+        }
     }
 }

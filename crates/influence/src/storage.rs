@@ -11,22 +11,95 @@
 //!
 //! ```text
 //! magic   b"MROAMCOV"            (8 bytes)
-//! version u8 = 1
+//! version u8 = 1 | 2
+//! v2 only: flags u8 (bit 0: derived CSR sections appended)
+//! v2 only: fingerprint λ_µm, input_checksum
 //! n_trajectories, n_billboards
 //! per billboard: list_len, first_id, then (gap − 1) per subsequent id
+//! v2, flags bit 0: inverted index — per trajectory: len + delta ids;
+//!                  overlap graph  — per billboard:  len + delta ids
 //! checksum u64 LE               (FxHash of everything after the magic)
 //! ```
+//!
+//! v1 identifies a file only by its own payload checksum, so a cached
+//! model from a different λ or city silently loads as valid. v2 embeds a
+//! *source fingerprint* — λ in micrometres, the input-store checksum, and
+//! the store dimensions — which [`read_model_checked`] verifies before
+//! accepting a cache hit, and optionally appends the derived CSR
+//! structures so a warm start is decode + verify instead of rebuild.
 
 use crate::hash::FxHasher;
-use crate::model::CoverageModel;
+use crate::model::{CoverageModel, InvertedIndex, OverlapGraph};
 use bytes::{Buf, BufMut};
-use mroam_data::BillboardId;
+use mroam_data::{BillboardId, BillboardStore, TrajectoryStore};
 use std::hash::Hasher;
 
 /// File magic.
 pub const MAGIC: &[u8; 8] = b"MROAMCOV";
-/// Current format version.
+/// Legacy format version (coverage lists only, no fingerprint).
 pub const VERSION: u8 = 1;
+/// Current format version (fingerprint + optional derived structures).
+pub const VERSION_V2: u8 = 2;
+
+/// v2 flags bit: the derived CSR sections follow the coverage lists.
+const FLAG_DERIVED: u8 = 1;
+
+/// Identity of the inputs a stored model was computed from. Two model
+/// files with equal fingerprints were built from bit-identical stores at
+/// the same λ, so loading one in place of a rebuild is sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelFingerprint {
+    /// Influence radius λ in micrometres (exact for any λ expressed in
+    /// metres with ≤ 6 decimal places, which covers every config knob).
+    pub lambda_um: u64,
+    /// [`stores_checksum`] over the billboard + trajectory stores.
+    pub input_checksum: u64,
+    /// `|U|` of the source billboard store.
+    pub n_billboards: u64,
+    /// `|T|` of the source trajectory store.
+    pub n_trajectories: u64,
+}
+
+impl ModelFingerprint {
+    /// Fingerprints a `(U, T, λ)` triple.
+    pub fn new(billboards: &BillboardStore, trajectories: &TrajectoryStore, lambda_m: f64) -> Self {
+        Self {
+            lambda_um: (lambda_m * 1e6).round() as u64,
+            input_checksum: stores_checksum(billboards, trajectories),
+            n_billboards: billboards.len() as u64,
+            n_trajectories: trajectories.len() as u64,
+        }
+    }
+}
+
+/// Order-sensitive FxHash over every coordinate, cost, timestamp, and
+/// offset in the stores. Both ingestion paths (CSV and datagen) produce
+/// stores, so one checksum definition covers both cache keys.
+pub fn stores_checksum(billboards: &BillboardStore, trajectories: &TrajectoryStore) -> u64 {
+    let mut h = FxHasher::default();
+    for p in billboards.locations() {
+        h.write(&p.x.to_bits().to_le_bytes());
+        h.write(&p.y.to_bits().to_le_bytes());
+    }
+    if billboards.has_costs() {
+        for &c in billboards.costs() {
+            h.write(&c.to_le_bytes());
+        }
+    }
+    for &o in trajectories.offsets() {
+        h.write(&o.to_le_bytes());
+    }
+    for p in trajectories.point_column() {
+        h.write(&p.x.to_bits().to_le_bytes());
+        h.write(&p.y.to_bits().to_le_bytes());
+    }
+    for t in trajectories.iter() {
+        for &ts in t.timestamps {
+            h.write(&ts.to_bits().to_le_bytes());
+        }
+    }
+    h.finish()
+}
 
 /// Errors produced when decoding a stored model.
 #[derive(Debug, PartialEq, Eq)]
@@ -43,6 +116,15 @@ pub enum StorageError {
     ChecksumMismatch,
     /// A coverage list referenced a trajectory id out of range.
     IdOutOfRange { billboard: usize, id: u64 },
+    /// A v2 file's source fingerprint does not match the inputs the caller
+    /// is about to serve — the cache is stale (different λ, city, or store
+    /// contents) and must be rebuilt, never silently loaded.
+    FingerprintMismatch {
+        /// What the caller's inputs fingerprint to.
+        expected: ModelFingerprint,
+        /// What the file claims it was built from.
+        found: ModelFingerprint,
+    },
 }
 
 impl std::fmt::Display for StorageError {
@@ -57,6 +139,12 @@ impl std::fmt::Display for StorageError {
                 write!(
                     f,
                     "billboard {billboard} references trajectory {id} out of range"
+                )
+            }
+            StorageError::FingerprintMismatch { expected, found } => {
+                write!(
+                    f,
+                    "stale model cache: file was built from {found:?}, inputs are {expected:?}"
                 )
             }
         }
@@ -98,6 +186,45 @@ fn checksum(payload: &[u8]) -> u64 {
     h.finish()
 }
 
+/// Writes a sorted-ascending id list as `len, first, (gap − 1)…` — the
+/// same delta scheme v1 uses for coverage lists, shared by every v2
+/// section (coverage lists, inverted slices, overlap neighbour lists).
+fn put_delta_list(out: &mut Vec<u8>, list: &[u32]) {
+    put_varint(out, list.len() as u64);
+    let mut prev: Option<u32> = None;
+    for &id in list {
+        match prev {
+            None => put_varint(out, id as u64),
+            Some(p) => put_varint(out, (id - p - 1) as u64),
+        }
+        prev = Some(id);
+    }
+}
+
+/// Inverse of [`put_delta_list`]; `bound` is the exclusive id ceiling and
+/// `slice` the slice index reported on out-of-range ids.
+fn get_delta_list(buf: &mut impl Buf, bound: u64, slice: usize) -> Result<Vec<u32>, StorageError> {
+    let len = get_varint(buf)? as usize;
+    let mut list = Vec::with_capacity(len.min(1 << 20));
+    let mut prev: Option<u64> = None;
+    for _ in 0..len {
+        let raw = get_varint(buf)?;
+        let id = match prev {
+            None => raw,
+            Some(p) => p + 1 + raw,
+        };
+        if id >= bound {
+            return Err(StorageError::IdOutOfRange {
+                billboard: slice,
+                id,
+            });
+        }
+        list.push(id as u32);
+        prev = Some(id);
+    }
+    Ok(list)
+}
+
 /// Serialises a model into `out` (appended).
 pub fn write_model(model: &CoverageModel, out: &mut Vec<u8>) {
     out.extend_from_slice(MAGIC);
@@ -121,8 +248,68 @@ pub fn write_model(model: &CoverageModel, out: &mut Vec<u8>) {
     out.put_u64_le(sum);
 }
 
-/// Deserialises a model written by [`write_model`].
+/// Serialises a model into `out` (appended) in the v2 format: fingerprint
+/// header plus, when `include_derived`, the inverted index and overlap
+/// graph as CSR sections (forcing their builds if not yet materialised) so
+/// a cache load skips those rebuilds entirely. The bitmap is never stored:
+/// rebuilding it from the decoded lists is a sequential OR-sweep, cheaper
+/// than reading the equivalent bytes back from disk.
+pub fn write_model_v2(
+    model: &CoverageModel,
+    fingerprint: &ModelFingerprint,
+    include_derived: bool,
+    out: &mut Vec<u8>,
+) {
+    debug_assert_eq!(fingerprint.n_billboards, model.n_billboards() as u64);
+    debug_assert_eq!(fingerprint.n_trajectories, model.n_trajectories() as u64);
+    out.extend_from_slice(MAGIC);
+    let payload_start = out.len();
+    out.put_u8(VERSION_V2);
+    out.put_u8(if include_derived { FLAG_DERIVED } else { 0 });
+    put_varint(out, fingerprint.lambda_um);
+    put_varint(out, fingerprint.input_checksum);
+    put_varint(out, model.n_trajectories() as u64);
+    put_varint(out, model.n_billboards() as u64);
+    for b in model.billboard_ids() {
+        put_delta_list(out, model.coverage(b));
+    }
+    if include_derived {
+        let inv = model.inverted_index();
+        for t in 0..model.n_trajectories() {
+            put_delta_list(out, inv.billboards_covering(t as u32));
+        }
+        let ov = model.overlap_graph();
+        for b in 0..model.n_billboards() {
+            put_delta_list(out, ov.neighbors(b as u32));
+        }
+    }
+    let sum = checksum(&out[payload_start..]);
+    out.put_u64_le(sum);
+}
+
+/// Deserialises a model written by [`write_model`] or [`write_model_v2`],
+/// accepting any fingerprint (see [`read_model_checked`] for the cache
+/// path that refuses stale files).
 pub fn read_model(data: &[u8]) -> Result<CoverageModel, StorageError> {
+    read_model_impl(data, None)
+}
+
+/// Deserialises a cached model, refusing a v2 file whose source
+/// fingerprint differs from `expected`
+/// ([`StorageError::FingerprintMismatch`]). Legacy v1 files carry no
+/// fingerprint; they still load, with a logged warning, so pre-v2 caches
+/// keep working — rewrite them to get staleness detection.
+pub fn read_model_checked(
+    data: &[u8],
+    expected: &ModelFingerprint,
+) -> Result<CoverageModel, StorageError> {
+    read_model_impl(data, Some(expected))
+}
+
+fn read_model_impl(
+    data: &[u8],
+    expected: Option<&ModelFingerprint>,
+) -> Result<CoverageModel, StorageError> {
     if data.len() < MAGIC.len() + 1 + 8 {
         return Err(
             if data.len() >= MAGIC.len() && &data[..MAGIC.len()] != MAGIC {
@@ -147,31 +334,116 @@ pub fn read_model(data: &[u8]) -> Result<CoverageModel, StorageError> {
         return Err(StorageError::Truncated);
     }
     let version = buf.get_u8();
-    if version != VERSION {
-        return Err(StorageError::BadVersion(version));
+    let flags = match version {
+        VERSION => {
+            if expected.is_some() {
+                eprintln!(
+                    "warning: model cache is legacy v1 (no source fingerprint); \
+                     staleness cannot be detected — rewrite the cache to upgrade"
+                );
+            }
+            0u8
+        }
+        VERSION_V2 => {
+            if !buf.has_remaining() {
+                return Err(StorageError::Truncated);
+            }
+            buf.get_u8()
+        }
+        v => return Err(StorageError::BadVersion(v)),
+    };
+    let mut fingerprint = None;
+    if version == VERSION_V2 {
+        let lambda_um = get_varint(&mut buf)?;
+        let input_checksum = get_varint(&mut buf)?;
+        fingerprint = Some((lambda_um, input_checksum));
     }
     let n_trajectories = get_varint(&mut buf)? as usize;
     let n_billboards = get_varint(&mut buf)? as usize;
+    if let (Some(expected), Some((lambda_um, input_checksum))) = (expected, fingerprint) {
+        let found = ModelFingerprint {
+            lambda_um,
+            input_checksum,
+            n_billboards: n_billboards as u64,
+            n_trajectories: n_trajectories as u64,
+        };
+        if found != *expected {
+            return Err(StorageError::FingerprintMismatch {
+                expected: *expected,
+                found,
+            });
+        }
+    }
     let mut lists = Vec::with_capacity(n_billboards);
     for billboard in 0..n_billboards {
-        let len = get_varint(&mut buf)? as usize;
-        let mut list = Vec::with_capacity(len);
-        let mut prev: Option<u64> = None;
-        for _ in 0..len {
-            let raw = get_varint(&mut buf)?;
-            let id = match prev {
-                None => raw,
-                Some(p) => p + 1 + raw,
-            };
-            if id >= n_trajectories as u64 {
-                return Err(StorageError::IdOutOfRange { billboard, id });
-            }
-            list.push(id as u32);
-            prev = Some(id);
-        }
-        lists.push(list);
+        lists.push(get_delta_list(&mut buf, n_trajectories as u64, billboard)?);
     }
-    Ok(CoverageModel::from_lists(lists, n_trajectories))
+    let model = CoverageModel::from_lists(lists, n_trajectories);
+    if flags & FLAG_DERIVED != 0 {
+        let mut inv_offsets = Vec::with_capacity(n_trajectories + 1);
+        inv_offsets.push(0u64);
+        let mut inv_data = Vec::new();
+        for t in 0..n_trajectories {
+            let slice = get_delta_list(&mut buf, n_billboards as u64, t)?;
+            inv_data.extend_from_slice(&slice);
+            inv_offsets.push(inv_data.len() as u64);
+        }
+        let mut ov_offsets = Vec::with_capacity(n_billboards + 1);
+        ov_offsets.push(0u64);
+        let mut ov_data = Vec::new();
+        for b in 0..n_billboards {
+            let slice = get_delta_list(&mut buf, n_billboards as u64, b)?;
+            ov_data.extend_from_slice(&slice);
+            ov_offsets.push(ov_data.len() as u64);
+        }
+        model.install_derived(
+            Some(InvertedIndex::from_raw(inv_offsets, inv_data)),
+            Some(OverlapGraph::from_raw(ov_offsets, ov_data)),
+        );
+    }
+    Ok(model)
+}
+
+/// Reads just the source fingerprint of a stored model: `Ok(None)` for a
+/// legacy v1 file (no fingerprint recorded), `Ok(Some(..))` for v2. A
+/// header-only probe — it does **not** verify the payload checksum, so a
+/// fresh-looking answer must still be followed by
+/// [`read_model_checked`]/[`read_model`] to actually load.
+pub fn read_fingerprint(data: &[u8]) -> Result<Option<ModelFingerprint>, StorageError> {
+    if data.len() < MAGIC.len() + 1 {
+        return Err(
+            if data.len() >= MAGIC.len() && &data[..MAGIC.len()] != MAGIC {
+                StorageError::BadMagic
+            } else {
+                StorageError::Truncated
+            },
+        );
+    }
+    let (head, rest) = data.split_at(MAGIC.len());
+    if head != MAGIC {
+        return Err(StorageError::BadMagic);
+    }
+    let mut buf = rest;
+    match buf.get_u8() {
+        VERSION => Ok(None),
+        VERSION_V2 => {
+            if !buf.has_remaining() {
+                return Err(StorageError::Truncated);
+            }
+            let _flags = buf.get_u8();
+            let lambda_um = get_varint(&mut buf)?;
+            let input_checksum = get_varint(&mut buf)?;
+            let n_trajectories = get_varint(&mut buf)?;
+            let n_billboards = get_varint(&mut buf)?;
+            Ok(Some(ModelFingerprint {
+                lambda_um,
+                input_checksum,
+                n_billboards,
+                n_trajectories,
+            }))
+        }
+        v => Err(StorageError::BadVersion(v)),
+    }
 }
 
 /// Convenience: round-trips one model through a fresh buffer (used by the
@@ -179,6 +451,17 @@ pub fn read_model(data: &[u8]) -> Result<CoverageModel, StorageError> {
 pub fn encode(model: &CoverageModel) -> Vec<u8> {
     let mut out = Vec::new();
     write_model(model, &mut out);
+    out
+}
+
+/// [`encode`] in the v2 format; see [`write_model_v2`].
+pub fn encode_v2(
+    model: &CoverageModel,
+    fingerprint: &ModelFingerprint,
+    include_derived: bool,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_model_v2(model, fingerprint, include_derived, &mut out);
     out
 }
 
@@ -197,8 +480,19 @@ pub fn read_one_list(data: &[u8], target: BillboardId) -> Result<Vec<u32>, Stora
     let payload = &data[MAGIC.len()..data.len() - 8];
     let mut buf = payload;
     let version = buf.get_u8();
-    if version != VERSION {
-        return Err(StorageError::BadVersion(version));
+    match version {
+        VERSION => {}
+        VERSION_V2 => {
+            // Skip flags + fingerprint; the coverage lists precede any
+            // derived sections, so the scan below is version-agnostic.
+            if !buf.has_remaining() {
+                return Err(StorageError::Truncated);
+            }
+            let _flags = buf.get_u8();
+            let _lambda_um = get_varint(&mut buf)?;
+            let _input_checksum = get_varint(&mut buf)?;
+        }
+        v => return Err(StorageError::BadVersion(v)),
     }
     let n_trajectories = get_varint(&mut buf)?;
     let n_billboards = get_varint(&mut buf)? as usize;
@@ -346,6 +640,129 @@ mod tests {
         ));
     }
 
+    fn sample_fingerprint() -> ModelFingerprint {
+        let m = sample_model();
+        ModelFingerprint {
+            lambda_um: 100_000_000, // λ = 100 m
+            input_checksum: 0xfeed_beef,
+            n_billboards: m.n_billboards() as u64,
+            n_trajectories: m.n_trajectories() as u64,
+        }
+    }
+
+    #[test]
+    fn v2_roundtrip_preserves_model_and_derived_structures() {
+        let model = sample_model();
+        let fp = sample_fingerprint();
+        let bytes = encode_v2(&model, &fp, true);
+        let back = read_model(&bytes).unwrap();
+        for b in model.billboard_ids() {
+            assert_eq!(back.coverage(b), model.coverage(b));
+        }
+        // The derived structures must be pre-installed (no rebuild) and
+        // identical to what a fresh build produces.
+        assert_eq!(back.inverted_index(), model.inverted_index());
+        assert_eq!(back.overlap_graph(), model.overlap_graph());
+    }
+
+    #[test]
+    fn v2_without_derived_sections_roundtrips() {
+        let model = sample_model();
+        let fp = sample_fingerprint();
+        let lean = encode_v2(&model, &fp, false);
+        let fat = encode_v2(&model, &fp, true);
+        assert!(lean.len() < fat.len());
+        let back = read_model_checked(&lean, &fp).unwrap();
+        assert_eq!(back.inverted_index(), model.inverted_index());
+    }
+
+    #[test]
+    fn v2_fingerprint_probe_and_checked_load() {
+        let model = sample_model();
+        let fp = sample_fingerprint();
+        let bytes = encode_v2(&model, &fp, true);
+        assert_eq!(read_fingerprint(&bytes).unwrap(), Some(fp));
+        assert!(read_model_checked(&bytes, &fp).is_ok());
+    }
+
+    #[test]
+    fn v2_refuses_stale_fingerprint() {
+        let model = sample_model();
+        let fp = sample_fingerprint();
+        let bytes = encode_v2(&model, &fp, true);
+        // Same stores, different λ — the classic stale-cache hazard.
+        let other = ModelFingerprint {
+            lambda_um: fp.lambda_um + 1,
+            ..fp
+        };
+        match read_model_checked(&bytes, &other).unwrap_err() {
+            StorageError::FingerprintMismatch { expected, found } => {
+                assert_eq!(expected, other);
+                assert_eq!(found, fp);
+            }
+            e => panic!("expected FingerprintMismatch, got {e:?}"),
+        }
+        // Different input contents at the same λ are equally refused.
+        let other = ModelFingerprint {
+            input_checksum: fp.input_checksum ^ 1,
+            ..fp
+        };
+        assert!(matches!(
+            read_model_checked(&bytes, &other),
+            Err(StorageError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn v1_still_loads_through_the_checked_path() {
+        // Legacy files have no fingerprint: the checked load warns (to
+        // stderr) but succeeds, and the probe reports None.
+        let model = sample_model();
+        let v1 = encode(&model);
+        assert_eq!(read_fingerprint(&v1).unwrap(), None);
+        let back = read_model_checked(&v1, &sample_fingerprint()).unwrap();
+        for b in model.billboard_ids() {
+            assert_eq!(back.coverage(b), model.coverage(b));
+        }
+    }
+
+    #[test]
+    fn v2_point_lookup_matches_full_decode() {
+        let model = sample_model();
+        let bytes = encode_v2(&model, &sample_fingerprint(), true);
+        for b in model.billboard_ids() {
+            assert_eq!(read_one_list(&bytes, b).unwrap(), model.coverage(b));
+        }
+    }
+
+    #[test]
+    fn v2_bit_flip_detected_by_checksum() {
+        let mut bytes = encode_v2(&sample_model(), &sample_fingerprint(), true);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert_eq!(
+            read_model(&bytes).unwrap_err(),
+            StorageError::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn stores_checksum_is_content_sensitive() {
+        use mroam_geo::Point;
+        let mut billboards = BillboardStore::new();
+        billboards.push(Point::new(1.0, 2.0));
+        let mut trajectories = TrajectoryStore::new();
+        trajectories.push_at_speed(&[Point::new(3.0, 4.0)], 10.0);
+        let base = stores_checksum(&billboards, &trajectories);
+        assert_eq!(base, stores_checksum(&billboards, &trajectories));
+        let mut moved = BillboardStore::new();
+        moved.push(Point::new(1.0, 2.5));
+        assert_ne!(base, stores_checksum(&moved, &trajectories));
+        let mut longer = TrajectoryStore::new();
+        longer.push_at_speed(&[Point::new(3.0, 4.0), Point::new(5.0, 4.0)], 10.0);
+        assert_ne!(base, stores_checksum(&billboards, &longer));
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
         #[test]
@@ -360,6 +777,33 @@ mod tests {
             for b in model.billboard_ids() {
                 prop_assert_eq!(back.coverage(b), model.coverage(b));
             }
+        }
+
+        #[test]
+        fn prop_v2_roundtrip_with_derived(
+            lists in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..2_000, 0..40), 0..10),
+            lambda_um in 1u64..10_000_000_000,
+            input_checksum in any::<u64>(),
+        ) {
+            let lists: Vec<Vec<u32>> =
+                lists.into_iter().map(|s| s.into_iter().collect()).collect();
+            let model = CoverageModel::from_lists(lists, 2_000);
+            let fp = ModelFingerprint {
+                lambda_um,
+                input_checksum,
+                n_billboards: model.n_billboards() as u64,
+                n_trajectories: model.n_trajectories() as u64,
+            };
+            let bytes = encode_v2(&model, &fp, true);
+            prop_assert_eq!(read_fingerprint(&bytes).unwrap(), Some(fp));
+            let back = read_model_checked(&bytes, &fp).unwrap();
+            for b in model.billboard_ids() {
+                prop_assert_eq!(back.coverage(b), model.coverage(b));
+            }
+            prop_assert_eq!(back.inverted_index(), model.inverted_index());
+            prop_assert_eq!(back.overlap_graph(), model.overlap_graph());
+            prop_assert_eq!(back.coverage_bitmap(), model.coverage_bitmap());
         }
 
         #[test]

@@ -12,7 +12,11 @@
 //! loadgen [--requests 500] [--rps 1000] [--seed 42] [--city nyc|sg]
 //!         [--scale test|bench|paper] [--algo g-global] [--gamma 0.5]
 //!         [--p-avg 0.05] [--max-batch 64] [--max-wait-ms 20]
+//!         [--model-cache path/to/model.cov]
 //! ```
+//!
+//! `--model-cache` reuses a fingerprinted coverage-model file across
+//! runs, so repeated load tests skip the cold-start model build.
 //!
 //! Prints throughput and client-observed p50/p95/p99, cross-checked
 //! against the server's own histogram, and exits nonzero if the run is
@@ -21,6 +25,7 @@
 
 use mroam_core::solver::{SolverSpec, SOLVER_NAMES};
 use mroam_experiments::args::Args;
+use mroam_experiments::cache;
 use mroam_experiments::setup::{build_city, CityKind, Scale};
 use mroam_market::Proposal;
 use mroam_serve::batch::BatchPolicy;
@@ -57,7 +62,28 @@ fn main() {
 
     // Build the dataset and spawn the server on an ephemeral port.
     let city = build_city(args.city(CityKind::Nyc), scale);
-    let model = city.coverage(mroam_experiments::params::DEFAULT_LAMBDA);
+    let lambda = mroam_experiments::params::DEFAULT_LAMBDA;
+    let model = match args.get("model-cache") {
+        Some(path) => {
+            let start = Instant::now();
+            let (model, status) = cache::load_or_build(
+                &city.billboards,
+                &city.trajectories,
+                lambda,
+                std::path::Path::new(path),
+            );
+            println!(
+                "model {} {path} in {:.1?}",
+                match status {
+                    cache::CacheStatus::Hit => "loaded from cache",
+                    cache::CacheStatus::Rebuilt => "built and cached to",
+                },
+                start.elapsed()
+            );
+            model
+        }
+        None => city.coverage(lambda),
+    };
     let supply = model.supply();
     let config = ServeConfig {
         host: HostConfig {

@@ -8,7 +8,12 @@
 //!              [--algo g-order|g-global|als|bls|exact] [--gamma 0.5] [--seed N]
 //!              [--restarts N] [--max-batch N] [--min-wait-ms F] [--max-wait-ms F]
 //!              [--fixed-window true] [--restore path/to/snapshot.json]
+//!              [--model-cache path/to/model.cov]
 //! ```
+//!
+//! `--model-cache` skips the coverage-model build on restart when the
+//! cache file's fingerprint still matches the generated city (ignored
+//! under `--restore`, which embeds its own model).
 //!
 //! With `--restore`, the city flags are ignored: the snapshot embeds the
 //! coverage model, solver configuration, locks, and ledger, and the
@@ -16,6 +21,7 @@
 
 use mroam_core::solver::{SolverSpec, SOLVER_NAMES};
 use mroam_experiments::args::Args;
+use mroam_experiments::cache;
 use mroam_experiments::setup::{build_city, CityKind};
 use mroam_serve::batch::BatchPolicy;
 use mroam_serve::host::HostConfig;
@@ -60,9 +66,28 @@ fn main() {
             .with_restarts(args.usize_or("restarts", 5))
             .with_improvement_ratio(args.f64_or("improvement-ratio", 0.0));
         let city = build_city(args.city(CityKind::Nyc), args.scale());
-        let model = city.coverage(mroam_experiments::params::DEFAULT_LAMBDA);
+        let lambda = mroam_experiments::params::DEFAULT_LAMBDA;
+        let model = match args.get("model-cache") {
+            Some(path) => {
+                let (model, status) = cache::load_or_build(
+                    &city.billboards,
+                    &city.trajectories,
+                    lambda,
+                    std::path::Path::new(path),
+                );
+                eprintln!(
+                    "model {} {path}",
+                    match status {
+                        cache::CacheStatus::Hit => "loaded from cache",
+                        cache::CacheStatus::Rebuilt => "built and cached to",
+                    }
+                );
+                model
+            }
+            None => city.coverage(lambda),
+        };
         eprintln!(
-            "built {} ({} billboards, {} trajectories)",
+            "serving {} ({} billboards, {} trajectories)",
             city.name,
             model.n_billboards(),
             model.n_trajectories()

@@ -113,6 +113,10 @@ pub fn spawn(
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let bound = listener.local_addr()?;
+    // Warm the derived structures (inverted index, overlap graph, bitmap)
+    // before the first batch arrives, so no request pays the one-time
+    // build cost inside its latency window.
+    model.precompute();
     let stopping = Arc::new(AtomicBool::new(false));
     let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
     let (tx, rx) = mpsc::channel::<Incoming>();

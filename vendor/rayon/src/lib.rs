@@ -1,11 +1,183 @@
 //! Offline stand-in for `rayon`.
 //!
 //! The build container has no network access (see `vendor/README.md`), so
-//! this crate mirrors the parallel-iterator API surface the workspace uses
-//! and executes it **sequentially**. Every algorithm in the workspace is
-//! written so that its parallel and sequential results are identical
-//! (associative reductions, first-hit `position_first` semantics), which
-//! makes the swap observationally equivalent apart from wall-clock time.
+//! this crate mirrors the rayon API surface the workspace uses. It comes in
+//! two halves:
+//!
+//! * The **lazy parallel-iterator combinators** ([`ParIter`]) execute
+//!   sequentially, exactly as before. Every algorithm in the workspace is
+//!   written so that its parallel and sequential results are identical
+//!   (associative reductions, first-hit `position_first` semantics), which
+//!   makes the swap observationally equivalent apart from wall-clock time.
+//! * The **fork-join primitives** — [`scope`], [`join`], and
+//!   [`ParallelSliceMut::par_chunks_mut`] — execute on genuine OS threads
+//!   (`std::thread::scope`), honouring `RAYON_NUM_THREADS`. These carry the
+//!   coarse-grained work (derived-structure builds, chunked CSV parsing)
+//!   where one thread per shard amortises the spawn cost. Unlike real
+//!   rayon there is no work-stealing pool: each `Scope::spawn` is an OS
+//!   thread, so callers should spawn O(`current_num_threads()`) tasks, not
+//!   one per item.
+
+use std::sync::OnceLock;
+
+/// Number of worker threads fork-join primitives fan out to: the
+/// `RAYON_NUM_THREADS` environment variable if set (like rayon's global
+/// pool, it is read once, at first use), else the machine's available
+/// parallelism.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// A fork-join scope handed to [`scope`]'s closure; mirrors
+/// `rayon::Scope`. Every spawned task is joined before [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task on a fresh OS thread (rayon queues it on the pool;
+    /// the observable semantics — run concurrently, joined at scope exit —
+    /// are the same).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Creates a fork-join scope: tasks spawned inside may borrow from the
+/// enclosing stack frame and are all joined before `scope` returns.
+/// Mirrors `rayon::scope`.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+/// Mirrors `rayon::join`. With a single-thread pool the closures run
+/// sequentially on the caller's thread.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (oper_a(), oper_b());
+    }
+    std::thread::scope(|s| {
+        let b = s.spawn(oper_b);
+        let ra = oper_a();
+        let rb = b.join().expect("rayon::join task panicked");
+        (ra, rb)
+    })
+}
+
+/// Shared driver for the eager mutable-chunk iterators: distributes the
+/// chunks across `current_num_threads()` OS threads in round-robin order.
+/// Chunk indices are assigned before any thread runs, so the mapping from
+/// index to chunk is deterministic regardless of scheduling.
+fn run_indexed<T, F>(chunks: Vec<&mut [T]>, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Send + Sync,
+{
+    let n_threads = current_num_threads().min(chunks.len());
+    if n_threads <= 1 {
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let mut buckets: Vec<Vec<(usize, &mut [T])>> = (0..n_threads).map(|_| Vec::new()).collect();
+    for (i, chunk) in chunks.into_iter().enumerate() {
+        buckets[i % n_threads].push((i, chunk));
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        for bucket in buckets {
+            s.spawn(move || {
+                for (i, chunk) in bucket {
+                    f(i, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Eager parallel iterator over disjoint mutable chunks of a slice
+/// (`rayon`'s `par_chunks_mut`). Unlike [`ParIter`] this one genuinely
+/// runs on threads — the chunks are disjoint `&mut` slices, so handing
+/// them to separate threads is safe without any synchronisation.
+pub struct ParChunksMut<'a, T: Send> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index (deterministic: chunk `i` covers
+    /// elements `i * chunk_size ..`).
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Runs `f` over every chunk, distributed across the pool.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Send + Sync,
+    {
+        run_indexed(self.chunks, |_, chunk| f(chunk));
+    }
+}
+
+/// [`ParChunksMut`] with indices attached; see `ParChunksMut::enumerate`.
+pub struct ParChunksMutEnumerate<'a, T: Send> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    /// Runs `f` over every `(index, chunk)` pair, distributed across the
+    /// pool.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Send + Sync,
+    {
+        run_indexed(self.chunks, |i, chunk| f((i, chunk)));
+    }
+}
+
+/// `par_chunks_mut()` on mutable slices — the genuinely-parallel half of
+/// the slice traits (cf. [`ParallelSlice`], which is sequential).
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size != 0, "chunk size must be non-zero");
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
 
 /// The sequential "parallel" iterator: a thin wrapper over a [`Iterator`]
 /// exposing rayon's method names.
@@ -148,7 +320,7 @@ impl<T> ParallelSlice<T> for [T] {
 }
 
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParallelSlice};
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
@@ -185,5 +357,63 @@ mod tests {
             .map(|x| (x as i32 - 7).abs())
             .min_by(|a, b| a.cmp(b));
         assert_eq!(m, Some(0));
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = crate::join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn scope_joins_all_spawned_tasks() {
+        let mut left = 0u64;
+        let mut right = 0u64;
+        crate::scope(|s| {
+            s.spawn(|_| left = (1..=100).sum());
+            s.spawn(|_| right = (1..=10).product());
+        });
+        assert_eq!(left, 5050);
+        assert_eq!(right, 3628800);
+    }
+
+    #[test]
+    fn scope_spawn_nests() {
+        let mut inner = 0u32;
+        crate::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| inner = 7);
+            });
+        });
+        assert_eq!(inner, 7);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_every_chunk() {
+        let mut xs = vec![0u32; 103];
+        xs.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = (i * 10 + j) as u32;
+            }
+        });
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(x, i as u32);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_for_each_without_enumerate() {
+        let mut xs = vec![1u64; 64];
+        xs.par_chunks_mut(7).for_each(|chunk| {
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert_eq!(xs.iter().sum::<u64>(), 128);
+    }
+
+    #[test]
+    fn current_num_threads_is_at_least_one() {
+        assert!(crate::current_num_threads() >= 1);
     }
 }
