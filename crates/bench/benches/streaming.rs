@@ -1,0 +1,134 @@
+//! Streaming-pipeline benchmarks: delta ingestion, compaction, and
+//! warm-start re-solving versus the cold alternative.
+//!
+//! Two groups:
+//!
+//! * `streaming_ingest` — applying a 100-trajectory delta batch to a live
+//!   [`StreamEngine`] (overlay append), folding it down (`compact`), and
+//!   the cold alternative both replace: rebuilding the coverage model from
+//!   scratch over the grown stores.
+//! * `streaming_warm_solve` — re-solving the allocation on the
+//!   post-ingest model, warm-started from the previous epoch's sets
+//!   ([`warm_solve`]) versus a cold solve, for both solvers with a warm
+//!   path (G-Global, BLS).
+//!
+//! The recorded baseline lives in `results/BENCH_streaming.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mroam_bench::{nyc_city, workload};
+use mroam_core::instance::Instance;
+use mroam_core::solver::SolverSpec;
+use mroam_core::warm::warm_solve;
+use mroam_data::{TrajectoryId, TrajectoryStore};
+use mroam_influence::CoverageModel;
+use mroam_stream::{IngestBatch, StreamEngine, TrajectoryDelta};
+use std::sync::Arc;
+
+const LAMBDA: f64 = 100.0;
+const BATCH: usize = 100;
+
+/// The fixture split: everything but the last `BATCH` trajectories is the
+/// live base; the tail arrives as one ingest batch.
+struct Fixture {
+    city: mroam_datagen::City,
+    head: TrajectoryStore,
+    base: Arc<CoverageModel>,
+    batch: IngestBatch,
+}
+
+fn fixture() -> Fixture {
+    let city = nyc_city();
+    let n = city.trajectories.len();
+    let mut head = TrajectoryStore::new();
+    let mut tail = Vec::with_capacity(BATCH);
+    for i in 0..n {
+        let t = city.trajectories.get(TrajectoryId(i as u32));
+        if i < n - BATCH {
+            head.push_with_timestamps(t.points, t.timestamps)
+                .expect("head fits the column budget");
+        } else {
+            tail.push(TrajectoryDelta {
+                points: t.points.to_vec(),
+                timestamps: t.timestamps.to_vec(),
+            });
+        }
+    }
+    let base = Arc::new(CoverageModel::build(&city.billboards, &head, LAMBDA));
+    Fixture {
+        city,
+        head,
+        base,
+        batch: IngestBatch {
+            billboard_events: vec![],
+            trajectories: tail,
+        },
+    }
+}
+
+fn live_engine(f: &Fixture) -> StreamEngine {
+    StreamEngine::from_model(
+        Arc::clone(&f.base),
+        f.city.billboards.clone(),
+        f.head.clone(),
+        LAMBDA,
+    )
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("streaming_ingest");
+    group.sample_size(20);
+    // The vendored criterion has no batched setup, so the mutating benches
+    // time self-contained pipelines; `engine_setup_only` isolates the
+    // shared store-clone + engine-wrap overhead for subtraction.
+    group.bench_function("engine_setup_only", |b| b.iter(|| live_engine(&f)));
+    group.bench_function("setup_plus_ingest_100", |b| {
+        b.iter(|| {
+            let mut e = live_engine(&f);
+            e.ingest(&f.batch).expect("valid batch");
+            e
+        })
+    });
+    group.bench_function("setup_plus_ingest_100_plus_compact", |b| {
+        b.iter(|| {
+            let mut e = live_engine(&f);
+            e.ingest(&f.batch).expect("valid batch");
+            e.compact();
+            e
+        })
+    });
+    group.bench_function("rebuild_from_scratch", |b| {
+        b.iter(|| CoverageModel::build(&f.city.billboards, &f.city.trajectories, LAMBDA))
+    });
+    group.finish();
+}
+
+fn bench_warm_solve(c: &mut Criterion) {
+    let f = fixture();
+    let advertisers = workload(&f.base, 1.0, 0.05);
+    let mut post = live_engine(&f);
+    post.ingest(&f.batch).expect("valid batch");
+    let grown = post.materialized();
+    let instance = Instance::new(&grown, &advertisers, 0.5);
+
+    let mut group = c.benchmark_group("streaming_warm_solve");
+    group.sample_size(20);
+    for name in ["g-global", "bls"] {
+        let spec = SolverSpec::by_name(name).unwrap().with_seed(7);
+        // The previous epoch's allocation, solved on the pre-ingest base.
+        let prev = {
+            let base_instance = Instance::new(&f.base, &advertisers, 0.5);
+            spec.build().solve(&base_instance)
+        };
+        group.bench_function(format!("{name}/cold"), |b| {
+            b.iter(|| spec.build().solve(&instance))
+        });
+        group.bench_function(format!("{name}/warm"), |b| {
+            b.iter(|| warm_solve(&instance, &prev.sets, &spec))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_warm_solve);
+criterion_main!(benches);

@@ -71,12 +71,36 @@ pub fn synchronous_greedy_naive(alloc: &mut Allocation<'_>) {
     synchronous_greedy_impl(alloc, &mut |al, a| best_billboard_for(al, a));
 }
 
+/// [`synchronous_greedy`] with explicit initial service-loop activity
+/// flags. Cross-epoch warm starts (see [`crate::warm`]) pass
+/// `active[i] = false` for advertisers the previous solve released, so
+/// the release decisions of line 2.10 survive the re-solve — which makes a
+/// warm re-run on an *unchanged* model reproduce the cold solution
+/// exactly instead of re-admitting victims. Panics on a length mismatch.
+pub fn synchronous_greedy_from(alloc: &mut Allocation<'_>, active: Vec<bool>) {
+    assert_eq!(
+        active.len(),
+        alloc.n_advertisers(),
+        "one activity flag per advertiser required"
+    );
+    let mut engine = GainEngine::new(alloc);
+    synchronous_greedy_impl_from(alloc, active, &mut |al, a| engine.best_billboard(al, a));
+}
+
 fn synchronous_greedy_impl(
     alloc: &mut Allocation<'_>,
     pick: &mut dyn FnMut(&Allocation<'_>, AdvertiserId) -> Option<BillboardId>,
 ) {
+    let active = vec![true; alloc.n_advertisers()];
+    synchronous_greedy_impl_from(alloc, active, pick);
+}
+
+fn synchronous_greedy_impl_from(
+    alloc: &mut Allocation<'_>,
+    mut active: Vec<bool>,
+    pick: &mut dyn FnMut(&Allocation<'_>, AdvertiserId) -> Option<BillboardId>,
+) {
     let n = alloc.n_advertisers();
-    let mut active = vec![true; n];
     loop {
         // Lines 2.3–2.8: one round of single-billboard grants.
         let mut assigned_this_round = false;

@@ -57,6 +57,7 @@ pub mod n3dm;
 pub mod regret;
 pub mod solver;
 pub mod theory;
+pub mod warm;
 
 #[cfg(test)]
 pub(crate) mod testutil;
@@ -68,6 +69,7 @@ pub use instance::Instance;
 pub use moves::MoveEngine;
 pub use regret::{dual_revenue, regret, RegretBreakdown};
 pub use solver::{Solution, Solver};
+pub use warm::{solution_carries_over, warm_solve};
 
 /// Convenient glob import for downstream code.
 pub mod prelude {
@@ -82,4 +84,5 @@ pub mod prelude {
     pub use crate::moves::MoveEngine;
     pub use crate::regret::{dual_revenue, regret, RegretBreakdown};
     pub use crate::solver::{Solution, Solver};
+    pub use crate::warm::{solution_carries_over, warm_bls, warm_g_global, warm_solve};
 }

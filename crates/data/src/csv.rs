@@ -21,7 +21,7 @@
 //! line numbers, same messages, regardless of chunking.
 
 use crate::billboard::BillboardStore;
-use crate::trajectory::TrajectoryStore;
+use crate::trajectory::{StoreError, TrajectoryStore};
 use mroam_geo::Point;
 use std::fmt::Write as _;
 use std::io::{self, Read, Write};
@@ -34,6 +34,8 @@ pub enum CsvError {
     Io(io::Error),
     /// A malformed row, with its 1-based line number and a description.
     Parse { line: usize, message: String },
+    /// The parsed data did not fit the target store.
+    Store(StoreError),
 }
 
 impl std::fmt::Display for CsvError {
@@ -43,6 +45,7 @@ impl std::fmt::Display for CsvError {
             CsvError::Parse { line, message } => {
                 write!(f, "csv parse error at line {line}: {message}")
             }
+            CsvError::Store(e) => write!(f, "csv store error: {e}"),
         }
     }
 }
@@ -52,6 +55,12 @@ impl std::error::Error for CsvError {}
 impl From<io::Error> for CsvError {
     fn from(e: io::Error) -> Self {
         CsvError::Io(e)
+    }
+}
+
+impl From<StoreError> for CsvError {
+    fn from(e: StoreError) -> Self {
+        CsvError::Store(e)
     }
 }
 
@@ -370,13 +379,15 @@ fn read_trajectories_from_bytes(data: &[u8], n_chunks: usize) -> Result<Trajecto
     let mut cur_id: Option<u64> = None;
     let mut points: Vec<Point> = Vec::new();
     let mut timestamps: Vec<f32> = Vec::new();
-    let mut flush = |points: &mut Vec<Point>, timestamps: &mut Vec<f32>| {
-        if !points.is_empty() {
-            store.push_with_timestamps(points, timestamps);
-            points.clear();
-            timestamps.clear();
-        }
-    };
+    let mut flush =
+        |points: &mut Vec<Point>, timestamps: &mut Vec<f32>| -> Result<(), StoreError> {
+            if !points.is_empty() {
+                store.push_with_timestamps(points, timestamps)?;
+                points.clear();
+                timestamps.clear();
+            }
+            Ok(())
+        };
 
     for row in chunks.into_iter().flatten() {
         let lineno = row.line;
@@ -394,7 +405,7 @@ fn read_trajectories_from_bytes(data: &[u8], n_chunks: usize) -> Result<Trajecto
                         message: format!("trajectory ids must be dense, got {id} after {prev}"),
                     });
                 }
-                flush(&mut points, &mut timestamps);
+                flush(&mut points, &mut timestamps)?;
                 cur_id = Some(id);
             }
             None => {
@@ -416,7 +427,7 @@ fn read_trajectories_from_bytes(data: &[u8], n_chunks: usize) -> Result<Trajecto
         points.push(Point::new(x, y));
         timestamps.push(t);
     }
-    flush(&mut points, &mut timestamps);
+    flush(&mut points, &mut timestamps)?;
     Ok(store)
 }
 
@@ -433,8 +444,10 @@ mod tests {
 
     fn sample_trajectories() -> TrajectoryStore {
         let mut s = TrajectoryStore::new();
-        s.push_with_timestamps(&[Point::new(0.0, 0.0), Point::new(10.0, 0.0)], &[0.0, 5.0]);
-        s.push_with_timestamps(&[Point::new(7.0, 7.0)], &[0.0]);
+        s.push_with_timestamps(&[Point::new(0.0, 0.0), Point::new(10.0, 0.0)], &[0.0, 5.0])
+            .unwrap();
+        s.push_with_timestamps(&[Point::new(7.0, 7.0)], &[0.0])
+            .unwrap();
         s
     }
 
@@ -523,7 +536,7 @@ mod tests {
                 .map(|j| Point::new(i as f64 * 3.5 + j as f64, j as f64 * 0.25 - i as f64))
                 .collect();
             let ts: Vec<f32> = (0..pts.len()).map(|j| j as f32 * 1.5).collect();
-            s.push_with_timestamps(&pts, &ts);
+            s.push_with_timestamps(&pts, &ts).unwrap();
         }
         s
     }
@@ -628,7 +641,7 @@ mod tests {
         let mut s = TrajectoryStore::new();
         let pts: Vec<Point> = (0..12).map(|j| Point::new(j as f64, 0.0)).collect();
         let ts: Vec<f32> = (0..12).map(|j| j as f32).collect();
-        s.push_with_timestamps(&pts, &ts);
+        s.push_with_timestamps(&pts, &ts).unwrap();
         let mut buf = Vec::new();
         write_trajectories(&s, &mut buf).unwrap();
         let read = read_trajectories_from_bytes(&buf, 6).unwrap();

@@ -24,7 +24,10 @@ where
     let mut mapping = Vec::new();
     for t in store.iter() {
         if keep(&t) {
-            out.push_with_timestamps(t.points, t.timestamps);
+            // Cannot overflow: `out` holds a subset of `store`, whose point
+            // column already fits the u32 offsets.
+            out.push_with_timestamps(t.points, t.timestamps)
+                .expect("filtered subset fits the source store");
             mapping.push(t.id);
         }
     }
@@ -95,14 +98,17 @@ mod tests {
     fn store() -> TrajectoryStore {
         let mut s = TrajectoryStore::new();
         // t0: 100 m inside [0,10]²-ish region.
-        s.push_at_speed(&[Point::new(0.0, 0.0), Point::new(100.0, 0.0)], 10.0);
+        s.push_at_speed(&[Point::new(0.0, 0.0), Point::new(100.0, 0.0)], 10.0)
+            .unwrap();
         // t1: 1000 m far away.
         s.push_at_speed(
             &[Point::new(5000.0, 5000.0), Point::new(5000.0, 6000.0)],
             10.0,
-        );
+        )
+        .unwrap();
         // t2: 50 m straddling the window edge.
-        s.push_at_speed(&[Point::new(-25.0, 0.0), Point::new(25.0, 0.0)], 10.0);
+        s.push_at_speed(&[Point::new(-25.0, 0.0), Point::new(25.0, 0.0)], 10.0)
+            .unwrap();
         s
     }
 
@@ -141,7 +147,7 @@ mod tests {
     fn systematic_subsample() {
         let mut s = TrajectoryStore::new();
         for i in 0..10 {
-            s.push_at_speed(&[Point::new(i as f64, 0.0)], 1.0);
+            s.push_at_speed(&[Point::new(i as f64, 0.0)], 1.0).unwrap();
         }
         let (sub, mapping) = subsample(&s, 3, 1);
         assert_eq!(sub.len(), 3);

@@ -25,4 +25,4 @@ pub mod trajectory;
 pub use billboard::BillboardStore;
 pub use ids::{AdvertiserId, BillboardId, TrajectoryId};
 pub use stats::DatasetStats;
-pub use trajectory::{TrajectoryRef, TrajectoryStore};
+pub use trajectory::{StoreError, TrajectoryRef, TrajectoryStore};

@@ -68,9 +68,11 @@ mod tests {
     fn stats_of_known_store() {
         let mut t = TrajectoryStore::new();
         // 1000 m at 10 m/s = 100 s.
-        t.push_at_speed(&[Point::new(0.0, 0.0), Point::new(1000.0, 0.0)], 10.0);
+        t.push_at_speed(&[Point::new(0.0, 0.0), Point::new(1000.0, 0.0)], 10.0)
+            .unwrap();
         // 3000 m at 10 m/s = 300 s.
-        t.push_at_speed(&[Point::new(0.0, 0.0), Point::new(0.0, 3000.0)], 10.0);
+        t.push_at_speed(&[Point::new(0.0, 0.0), Point::new(0.0, 3000.0)], 10.0)
+            .unwrap();
         let mut b = BillboardStore::new();
         b.push(Point::new(5.0, 5.0));
 

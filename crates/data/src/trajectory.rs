@@ -9,6 +9,35 @@
 use crate::ids::TrajectoryId;
 use mroam_geo::{Point, Polyline};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors from appending to a [`TrajectoryStore`].
+///
+/// Programming errors (empty trajectories, mismatched column lengths) still
+/// panic; `StoreError` covers conditions that depend on the *data volume*,
+/// which long-running ingestion paths must handle without crashing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreError {
+    /// The flat point column is indexed by `u32` CSR offsets; appending this
+    /// trajectory would push the column past `u32::MAX` points.
+    PointColumnOverflow {
+        /// Points the column would need to hold.
+        needed: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::PointColumnOverflow { needed } => write!(
+                f,
+                "point column overflow: {needed} points exceed the u32 offset range"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
 
 /// A columnar store of trajectories.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -72,25 +101,36 @@ impl TrajectoryStore {
     }
 
     /// Appends a trajectory with explicit per-point timestamps; returns its
-    /// id. Panics if lengths differ or the trajectory is empty.
-    pub fn push_with_timestamps(&mut self, points: &[Point], timestamps: &[f32]) -> TrajectoryId {
+    /// id, or [`StoreError::PointColumnOverflow`] if the flat point column
+    /// would outgrow its `u32` offsets. Panics if lengths differ or the
+    /// trajectory is empty (programming errors, not data conditions).
+    pub fn push_with_timestamps(
+        &mut self,
+        points: &[Point],
+        timestamps: &[f32],
+    ) -> Result<TrajectoryId, StoreError> {
         assert!(!points.is_empty(), "empty trajectory");
         assert_eq!(
             points.len(),
             timestamps.len(),
             "points/timestamps length mismatch"
         );
+        let needed = self.points.len() + points.len();
+        let end = u32::try_from(needed).map_err(|_| StoreError::PointColumnOverflow { needed })?;
         let id = TrajectoryId::from_index(self.len());
         self.points.extend_from_slice(points);
         self.timestamps.extend_from_slice(timestamps);
-        self.offsets
-            .push(u32::try_from(self.points.len()).expect("point column overflow"));
-        id
+        self.offsets.push(end);
+        Ok(id)
     }
 
     /// Appends a trajectory assuming a constant travel `speed` (m/s) along
     /// the path; timestamps are derived from cumulative arc length.
-    pub fn push_at_speed(&mut self, points: &[Point], speed_mps: f64) -> TrajectoryId {
+    pub fn push_at_speed(
+        &mut self,
+        points: &[Point],
+        speed_mps: f64,
+    ) -> Result<TrajectoryId, StoreError> {
         assert!(speed_mps > 0.0, "speed must be positive");
         let mut ts = Vec::with_capacity(points.len());
         let mut acc = 0.0f64;
@@ -103,7 +143,11 @@ impl TrajectoryStore {
     }
 
     /// Appends a polyline at a constant speed.
-    pub fn push_polyline(&mut self, line: &Polyline, speed_mps: f64) -> TrajectoryId {
+    pub fn push_polyline(
+        &mut self,
+        line: &Polyline,
+        speed_mps: f64,
+    ) -> Result<TrajectoryId, StoreError> {
         self.push_at_speed(line.points(), speed_mps)
     }
 
@@ -162,8 +206,12 @@ mod tests {
     #[test]
     fn push_and_get_roundtrip() {
         let mut store = TrajectoryStore::new();
-        let a = store.push_with_timestamps(&pts(&[(0.0, 0.0), (1.0, 0.0)]), &[0.0, 10.0]);
-        let b = store.push_with_timestamps(&pts(&[(5.0, 5.0)]), &[0.0]);
+        let a = store
+            .push_with_timestamps(&pts(&[(0.0, 0.0), (1.0, 0.0)]), &[0.0, 10.0])
+            .unwrap();
+        let b = store
+            .push_with_timestamps(&pts(&[(5.0, 5.0)]), &[0.0])
+            .unwrap();
         assert_eq!(store.len(), 2);
         assert_eq!(store.total_points(), 3);
         let ta = store.get(a);
@@ -178,7 +226,9 @@ mod tests {
     fn push_at_speed_derives_timestamps() {
         let mut store = TrajectoryStore::new();
         // 300 m at 10 m/s = 30 s.
-        let id = store.push_at_speed(&pts(&[(0.0, 0.0), (300.0, 0.0)]), 10.0);
+        let id = store
+            .push_at_speed(&pts(&[(0.0, 0.0), (300.0, 0.0)]), 10.0)
+            .unwrap();
         let t = store.get(id);
         assert_eq!(t.timestamps, &[0.0, 30.0]);
         assert_eq!(t.travel_time(), 30.0);
@@ -189,7 +239,9 @@ mod tests {
     fn iter_visits_in_id_order() {
         let mut store = TrajectoryStore::new();
         for i in 0..5 {
-            store.push_at_speed(&pts(&[(i as f64, 0.0), (i as f64, 1.0)]), 1.0);
+            store
+                .push_at_speed(&pts(&[(i as f64, 0.0), (i as f64, 1.0)]), 1.0)
+                .unwrap();
         }
         let ids: Vec<u32> = store.iter().map(|t| t.id.0).collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4]);
@@ -205,13 +257,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty trajectory")]
     fn empty_trajectory_rejected() {
-        TrajectoryStore::new().push_with_timestamps(&[], &[]);
+        let _ = TrajectoryStore::new().push_with_timestamps(&[], &[]);
     }
 
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn mismatched_timestamps_rejected() {
-        TrajectoryStore::new().push_with_timestamps(&pts(&[(0.0, 0.0)]), &[0.0, 1.0]);
+        let _ = TrajectoryStore::new().push_with_timestamps(&pts(&[(0.0, 0.0)]), &[0.0, 1.0]);
     }
 
     #[test]
@@ -224,7 +276,9 @@ mod tests {
     fn with_capacity_behaves_like_new() {
         let mut store = TrajectoryStore::with_capacity(10, 4);
         assert!(store.is_empty());
-        store.push_at_speed(&pts(&[(0.0, 0.0), (1.0, 1.0)]), 1.0);
+        store
+            .push_at_speed(&pts(&[(0.0, 0.0), (1.0, 1.0)]), 1.0)
+            .unwrap();
         assert_eq!(store.len(), 1);
     }
 }

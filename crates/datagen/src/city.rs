@@ -81,7 +81,9 @@ mod tests {
         billboards.push(Point::new(0.0, 0.0));
         billboards.push(Point::new(1000.0, 0.0));
         let mut trajectories = TrajectoryStore::new();
-        trajectories.push_at_speed(&[Point::new(10.0, 0.0), Point::new(50.0, 0.0)], 5.0);
+        trajectories
+            .push_at_speed(&[Point::new(10.0, 0.0), Point::new(50.0, 0.0)], 5.0)
+            .unwrap();
         City {
             name: "TINY".into(),
             billboards,

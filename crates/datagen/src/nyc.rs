@@ -223,7 +223,9 @@ impl NycConfig {
             let dest = self.sample_destination(rng, bbox, hotspots, origin);
             let route = self.manhattan_route(rng, origin, dest);
             let sampled = route.resample(self.gps_spacing_m);
-            store.push_polyline(&sampled, self.speed_mps);
+            store
+                .push_polyline(&sampled, self.speed_mps)
+                .expect("point column overflow");
         }
         store
     }

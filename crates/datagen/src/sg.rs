@@ -248,7 +248,9 @@ impl SgConfig {
                 .expect("weights cover all routes");
             if route.len() < 2 {
                 // Degenerate single-stop route: ride that stop only.
-                store.push_at_speed(&[route[0]], self.speed_mps);
+                store
+                    .push_at_speed(&[route[0]], self.speed_mps)
+                    .expect("point column overflow");
                 continue;
             }
             // Contiguous segment: draw the hop count first (geometric around
@@ -259,7 +261,9 @@ impl SgConfig {
                 .max(1);
             let start = rng.gen_range(0..route.len() - hops);
             let segment = &route[start..=start + hops];
-            store.push_at_speed(segment, self.speed_mps);
+            store
+                .push_at_speed(segment, self.speed_mps)
+                .expect("point column overflow");
         }
         store
     }

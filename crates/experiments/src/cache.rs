@@ -110,9 +110,15 @@ mod tests {
         billboards.push(Point::new(0.0, 0.0));
         billboards.push(Point::new(500.0, 0.0));
         let mut trajectories = TrajectoryStore::new();
-        trajectories.push_at_speed(&[Point::new(10.0, 0.0)], 10.0);
-        trajectories.push_at_speed(&[Point::new(490.0, 0.0)], 10.0);
-        trajectories.push_at_speed(&[Point::new(250.0, 0.0)], 10.0);
+        trajectories
+            .push_at_speed(&[Point::new(10.0, 0.0)], 10.0)
+            .unwrap();
+        trajectories
+            .push_at_speed(&[Point::new(490.0, 0.0)], 10.0)
+            .unwrap();
+        trajectories
+            .push_at_speed(&[Point::new(250.0, 0.0)], 10.0)
+            .unwrap();
         (billboards, trajectories)
     }
 

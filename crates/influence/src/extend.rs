@@ -1,0 +1,510 @@
+//! Incremental extension of the coverage model and its derived structures.
+//!
+//! The streaming subsystem (`mroam-stream`) applies batches of new
+//! trajectories and billboard add/retire events to a live model. A full
+//! rebuild re-derives the inverted index, overlap graph, and bitmap from
+//! scratch — the exact cost PR 4 parallelized and the stream layer must
+//! avoid. This module extends each structure *from its base*, touching
+//! only the rows a delta actually changes, and guarantees the result is
+//! **bit-identical** (`==`) to a from-scratch [`build_serial`] over the
+//! merged coverage lists (property-tested below). The bit-identity is what
+//! lets compaction swap in an extended base without perturbing any solver
+//! downstream.
+//!
+//! Key ordering invariants the whole scheme leans on:
+//!
+//! * new trajectory ids are `>= n_trajectories(base)`, so appending them
+//!   to a base billboard's coverage list preserves ascending order;
+//! * new billboard ids are `>= n_billboards(base)`, so appending them to a
+//!   base trajectory's inverted slice preserves ascending order;
+//! * a *retired* billboard keeps its id but its coverage list becomes
+//!   empty — id stability is what keeps locks, ledgers, and allocations
+//!   valid across epochs.
+//!
+//! [`build_serial`]: InvertedIndex::build_serial
+
+use crate::model::{CoverageBitmap, CoverageModel, InvertedIndex, OverlapGraph};
+
+/// One epoch's worth of coverage change relative to a base model.
+///
+/// All ids are in the *merged* id space: base billboards keep their ids,
+/// new billboards take `n_billboards(base)..`, new trajectories take
+/// `n_trajectories(base)..n_trajectories`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoverageDelta {
+    /// Retirement mask over the base billboards (`true` → the billboard's
+    /// coverage list becomes empty; its id remains valid).
+    pub retired: Vec<bool>,
+    /// Per base billboard, the new trajectory ids appended to its coverage
+    /// list. Sparse and sorted by billboard id; each id list is sorted
+    /// ascending and every id is `>= n_trajectories(base)`. A retired
+    /// billboard must not appear here.
+    pub appended: Vec<(u32, Vec<u32>)>,
+    /// Full coverage lists of brand-new billboards (taking ids
+    /// `n_billboards(base) + j`), over *all* trajectories — base and new.
+    pub new_billboards: Vec<Vec<u32>>,
+    /// Total trajectory count after the delta.
+    pub n_trajectories: usize,
+}
+
+impl CoverageDelta {
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self, base_n_trajectories: usize) -> bool {
+        self.appended.is_empty()
+            && self.new_billboards.is_empty()
+            && !self.retired.iter().any(|&r| r)
+            && self.n_trajectories == base_n_trajectories
+    }
+
+    /// Sorted ids of every billboard whose coverage list changes under
+    /// this delta (retired, appended-to, or brand new). This is the
+    /// invalidation frontier solvers warm-start against: an advertiser
+    /// whose set avoids all of these keeps its exact influence and regret.
+    pub fn changed_billboards(&self, base_n_billboards: usize) -> Vec<u32> {
+        let mut changed: Vec<u32> = self
+            .retired
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r)
+            .map(|(b, _)| b as u32)
+            .collect();
+        changed.extend(self.appended.iter().map(|(b, _)| *b));
+        changed.extend((0..self.new_billboards.len()).map(|j| (base_n_billboards + j) as u32));
+        changed.sort_unstable();
+        changed.dedup();
+        changed
+    }
+
+    /// Debug-checks the delta's invariants against the base dimensions.
+    fn debug_validate(&self, n_b0: usize, n_t0: usize) {
+        debug_assert_eq!(self.retired.len(), n_b0, "retired mask length");
+        debug_assert!(self.n_trajectories >= n_t0, "trajectory count shrank");
+        debug_assert!(
+            self.appended.windows(2).all(|w| w[0].0 < w[1].0),
+            "appended not sorted by billboard id"
+        );
+        #[cfg(debug_assertions)]
+        for (b, ts) in &self.appended {
+            debug_assert!((*b as usize) < n_b0, "appended references new billboard");
+            debug_assert!(!self.retired[*b as usize], "appended to retired billboard");
+            debug_assert!(ts.windows(2).all(|w| w[0] < w[1]), "appended ids unsorted");
+            debug_assert!(
+                ts.iter().all(|&t| (t as usize) >= n_t0),
+                "appended id not new"
+            );
+            debug_assert!(
+                ts.last()
+                    .is_none_or(|&t| (t as usize) < self.n_trajectories),
+                "appended id out of range"
+            );
+        }
+        #[cfg(debug_assertions)]
+        for list in &self.new_billboards {
+            debug_assert!(list.windows(2).all(|w| w[0] < w[1]), "new list unsorted");
+            debug_assert!(
+                list.last()
+                    .is_none_or(|&t| (t as usize) < self.n_trajectories),
+                "new list id out of range"
+            );
+        }
+    }
+}
+
+/// Transposes *only the delta entries* into per-trajectory CSR rows over
+/// the merged trajectory range (counting pass + billboard-order scatter,
+/// the same scheme as [`InvertedIndex::build_serial`]). Row `t` holds, in
+/// ascending billboard order, exactly the billboards that *newly* cover
+/// `t`: for a base trajectory those are new billboards only; for a new
+/// trajectory the row is its complete inverted slice.
+fn delta_transpose(delta: &CoverageDelta, n_b0: usize) -> InvertedIndex {
+    let n_t1 = delta.n_trajectories;
+    let mut counts = vec![0u64; n_t1 + 1];
+    for (_, ts) in &delta.appended {
+        for &t in ts {
+            counts[t as usize + 1] += 1;
+        }
+    }
+    for list in &delta.new_billboards {
+        for &t in list {
+            counts[t as usize + 1] += 1;
+        }
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    let offsets = counts;
+    let mut next = offsets.clone();
+    let mut data = vec![0u32; *offsets.last().unwrap_or(&0) as usize];
+    // Scatter in ascending billboard-id order (base appends first, then new
+    // billboards), so every row comes out sorted without a sort pass.
+    for (b, ts) in &delta.appended {
+        for &t in ts {
+            data[next[t as usize] as usize] = *b;
+            next[t as usize] += 1;
+        }
+    }
+    for (j, list) in delta.new_billboards.iter().enumerate() {
+        let id = (n_b0 + j) as u32;
+        for &t in list {
+            data[next[t as usize] as usize] = id;
+            next[t as usize] += 1;
+        }
+    }
+    InvertedIndex::from_raw(offsets, data)
+}
+
+impl InvertedIndex {
+    /// Extends the transpose with a delta's rows: base rows keep their
+    /// (retirement-filtered) prefix and gain the delta's new-billboard
+    /// suffix; new-trajectory rows are the delta rows verbatim.
+    /// Bit-identical to `build_serial` over the merged coverage lists.
+    pub fn extended(&self, retired: &[bool], delta_rows: &InvertedIndex) -> InvertedIndex {
+        let n_t0 = self.n_trajectories();
+        let n_t1 = delta_rows.n_trajectories();
+        debug_assert!(n_t1 >= n_t0);
+        let any_retired = retired.iter().any(|&r| r);
+
+        let mut offsets = Vec::with_capacity(n_t1 + 1);
+        offsets.push(0u64);
+        let mut data = Vec::new();
+        for t in 0..n_t1 as u32 {
+            if (t as usize) < n_t0 {
+                let base = self.billboards_covering(t);
+                if any_retired {
+                    data.extend(base.iter().copied().filter(|&b| !retired[b as usize]));
+                } else {
+                    data.extend_from_slice(base);
+                }
+            }
+            data.extend_from_slice(delta_rows.billboards_covering(t));
+            offsets.push(data.len() as u64);
+        }
+        InvertedIndex::from_raw(offsets, data)
+    }
+}
+
+impl OverlapGraph {
+    /// Extends the overlap graph: rows outside the `affected` mask are
+    /// copied from the base verbatim (their neighbourhoods provably cannot
+    /// have changed); affected rows are re-derived with the same
+    /// seen-bitmap sweep as [`build_serial`](Self::build_serial), over the
+    /// merged coverage lists and the already-extended inverted index — so
+    /// every row, copied or re-derived, is bit-identical to a from-scratch
+    /// build.
+    pub fn extended(
+        &self,
+        cov_new: &[Vec<u32>],
+        inv_new: &InvertedIndex,
+        affected: &[bool],
+    ) -> OverlapGraph {
+        let n_b1 = cov_new.len();
+        debug_assert_eq!(affected.len(), n_b1);
+        let n_b0 = self.n_billboards();
+        let mut offsets = Vec::with_capacity(n_b1 + 1);
+        offsets.push(0u64);
+        let mut data = Vec::new();
+        let mut seen = vec![false; n_b1];
+        let mut scratch: Vec<u32> = Vec::new();
+        for b in 0..n_b1 {
+            if b < n_b0 && !affected[b] {
+                data.extend_from_slice(self.neighbors(b as u32));
+            } else {
+                scratch.clear();
+                for &t in &cov_new[b] {
+                    for &c in inv_new.billboards_covering(t) {
+                        if c as usize != b && !seen[c as usize] {
+                            seen[c as usize] = true;
+                            scratch.push(c);
+                        }
+                    }
+                }
+                scratch.sort_unstable();
+                for &c in &scratch {
+                    seen[c as usize] = false;
+                }
+                data.extend_from_slice(&scratch);
+            }
+            offsets.push(data.len() as u64);
+        }
+        OverlapGraph::from_raw(offsets, data)
+    }
+}
+
+impl CoverageBitmap {
+    /// Extends the bitmap: every surviving base row is copied into the
+    /// (possibly wider) new row width, appended trajectory bits are set,
+    /// retired rows come out zeroed, and new billboards get fresh rows.
+    /// Bit-identical to `build_serial` over the merged coverage lists.
+    pub fn extended(&self, n_billboards_old: usize, delta: &CoverageDelta) -> CoverageBitmap {
+        let words_old = self.words_per_row();
+        let words_new = delta.n_trajectories.div_ceil(64);
+        let n_b1 = n_billboards_old + delta.new_billboards.len();
+        let mut bits = vec![0u64; words_new * n_b1];
+        for b in 0..n_billboards_old {
+            if delta.retired[b] {
+                continue;
+            }
+            bits[b * words_new..b * words_new + words_old].copy_from_slice(self.row(b as u32));
+        }
+        let set_bits = |row: &mut [u64], list: &[u32]| {
+            for &t in list {
+                row[t as usize / 64] |= 1u64 << (t % 64);
+            }
+        };
+        for (b, ts) in &delta.appended {
+            let lo = *b as usize * words_new;
+            set_bits(&mut bits[lo..lo + words_new], ts);
+        }
+        for (j, list) in delta.new_billboards.iter().enumerate() {
+            let lo = (n_billboards_old + j) * words_new;
+            set_bits(&mut bits[lo..lo + words_new], list);
+        }
+        CoverageBitmap::from_raw(words_new, bits)
+    }
+}
+
+impl CoverageModel {
+    /// The merged per-billboard coverage lists after applying `delta`.
+    fn merged_lists(&self, delta: &CoverageDelta) -> Vec<Vec<u32>> {
+        let mut cov: Vec<Vec<u32>> = self
+            .coverage_lists()
+            .iter()
+            .enumerate()
+            .map(|(b, list)| {
+                if delta.retired[b] {
+                    Vec::new()
+                } else {
+                    list.clone()
+                }
+            })
+            .collect();
+        for (b, ts) in &delta.appended {
+            cov[*b as usize].extend_from_slice(ts);
+        }
+        cov.extend(delta.new_billboards.iter().cloned());
+        cov
+    }
+
+    /// Applies one [`CoverageDelta`], producing a fresh model whose derived
+    /// structures are *extended incrementally* from this model's — never
+    /// rebuilt from scratch — yet bit-identical to a from-scratch build
+    /// over the merged lists (the streaming layer's correctness anchor,
+    /// property-tested in this module and in `mroam-stream`).
+    ///
+    /// The base's inverted index and overlap graph are forced if not yet
+    /// built (extension needs them); the bitmap is extended only if the
+    /// base materialised one and the new size still fits the budget.
+    pub fn extended(&self, delta: &CoverageDelta) -> CoverageModel {
+        let n_b0 = self.n_billboards();
+        let n_t0 = self.n_trajectories();
+        delta.debug_validate(n_b0, n_t0);
+
+        let cov_new = self.merged_lists(delta);
+        let delta_rows = delta_transpose(delta, n_b0);
+        let inv_new = self.inverted_index().extended(&delta.retired, &delta_rows);
+
+        // The overlap rows that must be re-derived: every billboard whose
+        // own list changed, every neighbour of a retired billboard (it
+        // loses that neighbour), and every billboard covering a trajectory
+        // whose inverted slice changed (it may gain neighbours there).
+        let n_b1 = cov_new.len();
+        let mut affected = vec![false; n_b1];
+        let base_overlap = self.overlap_graph();
+        for (b, &r) in delta.retired.iter().enumerate() {
+            if r {
+                affected[b] = true;
+                for &c in base_overlap.neighbors(b as u32) {
+                    affected[c as usize] = true;
+                }
+            }
+        }
+        for (b, _) in &delta.appended {
+            affected[*b as usize] = true;
+        }
+        affected[n_b0..n_b1].fill(true);
+        for t in 0..delta.n_trajectories as u32 {
+            if !delta_rows.billboards_covering(t).is_empty() {
+                for &c in inv_new.billboards_covering(t) {
+                    affected[c as usize] = true;
+                }
+            }
+        }
+        let ov_new = base_overlap.extended(&cov_new, &inv_new, &affected);
+
+        let bitmap_new = {
+            let words = delta.n_trajectories.div_ceil(64);
+            let bytes = n_b1.saturating_mul(words).saturating_mul(8);
+            match self.coverage_bitmap() {
+                Some(bm) if bytes <= self.bitmap_budget() => Some(bm.extended(n_b0, delta)),
+                _ => None,
+            }
+        };
+
+        let model = CoverageModel::from_lists(cov_new, delta.n_trajectories)
+            .with_bitmap_budget(self.bitmap_budget());
+        model.install_derived(Some(inv_new), Some(ov_new), bitmap_new);
+        model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mroam_data::BillboardId;
+    use proptest::prelude::*;
+
+    /// From-scratch serial builds over the merged lists — the reference
+    /// every extension is pinned against.
+    fn reference(cov: &[Vec<u32>], n_t: usize) -> (InvertedIndex, OverlapGraph, CoverageBitmap) {
+        let inv = InvertedIndex::build_serial(cov, n_t);
+        let ov = OverlapGraph::build_serial(cov, &inv);
+        let bm = CoverageBitmap::build_serial(cov, n_t);
+        (inv, ov, bm)
+    }
+
+    fn check_delta(base_cov: Vec<Vec<u32>>, n_t0: usize, delta: CoverageDelta) {
+        let base = CoverageModel::from_lists(base_cov, n_t0);
+        base.precompute();
+        let ext = base.extended(&delta);
+        let merged = ext.coverage_lists().to_vec();
+        let (inv, ov, bm) = reference(&merged, delta.n_trajectories);
+        assert_eq!(ext.inverted_index(), &inv, "inverted index diverged");
+        assert_eq!(ext.overlap_graph(), &ov, "overlap graph diverged");
+        assert_eq!(ext.coverage_bitmap(), Some(&bm), "bitmap diverged");
+        // I(S) over the full set agrees with a from-scratch model.
+        let fresh = CoverageModel::from_lists(merged, delta.n_trajectories);
+        assert_eq!(
+            ext.set_influence(ext.billboard_ids()),
+            fresh.set_influence(fresh.billboard_ids())
+        );
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let cov = vec![vec![0, 2], vec![1, 2], vec![]];
+        let delta = CoverageDelta {
+            retired: vec![false; 3],
+            appended: vec![],
+            new_billboards: vec![],
+            n_trajectories: 3,
+        };
+        check_delta(cov, 3, delta);
+    }
+
+    #[test]
+    fn appended_trajectories_extend_rows() {
+        let cov = vec![vec![0, 1], vec![1]];
+        let delta = CoverageDelta {
+            retired: vec![false; 2],
+            appended: vec![(0, vec![2, 3]), (1, vec![3])],
+            new_billboards: vec![],
+            n_trajectories: 4,
+        };
+        check_delta(cov, 2, delta);
+    }
+
+    #[test]
+    fn new_billboards_cover_old_and_new_trajectories() {
+        let cov = vec![vec![0], vec![0, 1]];
+        let delta = CoverageDelta {
+            retired: vec![false; 2],
+            appended: vec![(0, vec![2])],
+            new_billboards: vec![vec![0, 2], vec![1]],
+            n_trajectories: 3,
+        };
+        check_delta(cov, 2, delta);
+    }
+
+    #[test]
+    fn retirement_empties_rows_and_drops_edges() {
+        let cov = vec![vec![0, 1], vec![1, 2], vec![2]];
+        let delta = CoverageDelta {
+            retired: vec![false, true, false],
+            appended: vec![],
+            new_billboards: vec![],
+            n_trajectories: 3,
+        };
+        let base = CoverageModel::from_lists(cov, 3);
+        base.precompute();
+        let ext = base.extended(&delta);
+        assert!(ext.coverage(BillboardId(1)).is_empty());
+        assert!(ext.overlap_graph().neighbors(1).is_empty());
+        assert!(ext.overlap_graph().neighbors(0).is_empty());
+        assert!(ext.overlap_graph().neighbors(2).is_empty());
+        check_delta(
+            vec![vec![0, 1], vec![1, 2], vec![2]],
+            3,
+            CoverageDelta {
+                retired: vec![false, true, false],
+                appended: vec![],
+                new_billboards: vec![],
+                n_trajectories: 3,
+            },
+        );
+    }
+
+    #[test]
+    fn changed_billboards_is_the_union_of_event_targets() {
+        let delta = CoverageDelta {
+            retired: vec![false, true, false],
+            appended: vec![(0, vec![5])],
+            new_billboards: vec![vec![1]],
+            n_trajectories: 6,
+        };
+        assert_eq!(delta.changed_billboards(3), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn base_without_bitmap_stays_without() {
+        let cov = vec![vec![0u32; 0]; 2];
+        let base = CoverageModel::from_lists(cov, 1).with_bitmap_budget(0);
+        base.precompute();
+        let delta = CoverageDelta {
+            retired: vec![false; 2],
+            appended: vec![],
+            new_billboards: vec![vec![0]],
+            n_trajectories: 1,
+        };
+        let ext = base.extended(&delta);
+        assert_eq!(ext.coverage_bitmap(), None);
+    }
+
+    // Random base + delta: a base relation over `n_t0` trajectories, a
+    // retirement mask, appended new-trajectory ids, and new billboards
+    // covering any trajectory. The extension must be bit-identical to the
+    // serial rebuild in all three structures.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn extension_matches_rebuild(
+            base in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..12, 0..8), 0..10),
+            retire_bits in proptest::collection::vec(any::<bool>(), 10),
+            appends in proptest::collection::vec(
+                proptest::collection::btree_set(12u32..20, 0..5), 10),
+            newbies in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..20, 0..10), 0..4),
+        ) {
+            let n_t0 = 12usize;
+            let n_t1 = 20usize;
+            let base_cov: Vec<Vec<u32>> =
+                base.iter().map(|s| s.iter().copied().collect()).collect();
+            let n_b0 = base_cov.len();
+            let retired: Vec<bool> = retire_bits[..n_b0].to_vec();
+            let appended: Vec<(u32, Vec<u32>)> = appends[..n_b0]
+                .iter()
+                .enumerate()
+                .filter(|(b, s)| !s.is_empty() && !retired[*b])
+                .map(|(b, s)| (b as u32, s.iter().copied().collect()))
+                .collect();
+            let delta = CoverageDelta {
+                retired,
+                appended,
+                new_billboards: newbies.iter()
+                    .map(|s| s.iter().copied().collect()).collect(),
+                n_trajectories: n_t1,
+            };
+            check_delta(base_cov, n_t0, delta);
+        }
+    }
+}

@@ -21,6 +21,7 @@
 pub mod bitset;
 pub mod counter;
 pub mod curves;
+pub mod extend;
 pub mod hash;
 pub mod measure;
 pub mod meets;
@@ -30,6 +31,7 @@ pub mod storage;
 
 pub use bitset::BitSet;
 pub use counter::CoverageCounter;
+pub use extend::CoverageDelta;
 pub use measure::{InfluenceMeasure, MeasuredCounter};
 pub use model::{CoverageBitmap, CoverageModel, InvertedIndex, OverlapGraph};
 pub use slots::{SlotGrid, SlottedModel};

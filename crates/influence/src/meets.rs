@@ -80,7 +80,7 @@ mod tests {
         let mut s = TrajectoryStore::new();
         for t in trajs {
             let pts: Vec<Point> = t.iter().map(|&(x, y)| Point::new(x, y)).collect();
-            s.push_at_speed(&pts, 10.0);
+            s.push_at_speed(&pts, 10.0).unwrap();
         }
         s
     }
@@ -159,7 +159,7 @@ mod tests {
             let mut ts = TrajectoryStore::new();
             for t in &trajs {
                 let pts: Vec<Point> = t.iter().map(|&(x, y)| Point::new(x, y)).collect();
-                ts.push_at_speed(&pts, 10.0);
+                ts.push_at_speed(&pts, 10.0).unwrap();
             }
             let cov = billboard_coverage(&billboards, &ts, lambda);
 

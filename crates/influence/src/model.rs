@@ -486,6 +486,15 @@ impl CoverageBitmap {
         }
     }
 
+    /// Reassembles a bitmap from raw parts (incremental extension); see
+    /// [`InvertedIndex::from_raw`].
+    pub(crate) fn from_raw(words_per_row: usize, bits: Vec<u64>) -> Self {
+        Self {
+            words_per_row,
+            bits,
+        }
+    }
+
     /// Words per row — the length callers must size companion bitsets to.
     pub fn words_per_row(&self) -> usize {
         self.words_per_row
@@ -651,19 +660,25 @@ impl CoverageModel {
         &self.cov
     }
 
-    /// Installs externally decoded derived structures (cache load path).
-    /// Silently keeps an already-built structure — callers install into
-    /// freshly constructed models.
-    pub(crate) fn install_derived(
+    /// Installs externally built derived structures (cache load and
+    /// incremental-extension paths). Silently keeps an already-built
+    /// structure — callers install into freshly constructed models. The
+    /// caller guarantees the structures match `coverage_lists()`; the
+    /// streaming layer's epoch-equivalence tests enforce this.
+    pub fn install_derived(
         &self,
         inverted: Option<InvertedIndex>,
         overlap: Option<OverlapGraph>,
+        bitmap: Option<CoverageBitmap>,
     ) {
         if let Some(inv) = inverted {
             let _ = self.inverted.set(Arc::new(inv));
         }
         if let Some(ov) = overlap {
             let _ = self.overlap.set(Arc::new(ov));
+        }
+        if let Some(bm) = bitmap {
+            let _ = self.bitmap.set(Some(Arc::new(bm)));
         }
     }
 
@@ -821,9 +836,15 @@ mod tests {
         billboards.push(Point::new(0.0, 0.0));
         billboards.push(Point::new(500.0, 0.0));
         let mut trajectories = TrajectoryStore::new();
-        trajectories.push_at_speed(&[Point::new(10.0, 0.0)], 10.0);
-        trajectories.push_at_speed(&[Point::new(490.0, 0.0)], 10.0);
-        trajectories.push_at_speed(&[Point::new(250.0, 0.0)], 10.0);
+        trajectories
+            .push_at_speed(&[Point::new(10.0, 0.0)], 10.0)
+            .unwrap();
+        trajectories
+            .push_at_speed(&[Point::new(490.0, 0.0)], 10.0)
+            .unwrap();
+        trajectories
+            .push_at_speed(&[Point::new(250.0, 0.0)], 10.0)
+            .unwrap();
         let m = CoverageModel::build(&billboards, &trajectories, 50.0);
         assert_eq!(m.n_billboards(), 2);
         assert_eq!(m.n_trajectories(), 3);

@@ -220,8 +220,12 @@ mod tests {
         // One board; two trips pass it, one in the morning, one at night.
         let billboards = billboard_at(&[(0.0, 0.0)]);
         let mut trajectories = TrajectoryStore::new();
-        trajectories.push_at_speed(&[Point::new(5.0, 0.0)], 10.0);
-        trajectories.push_at_speed(&[Point::new(-5.0, 0.0)], 10.0);
+        trajectories
+            .push_at_speed(&[Point::new(5.0, 0.0)], 10.0)
+            .unwrap();
+        trajectories
+            .push_at_speed(&[Point::new(-5.0, 0.0)], 10.0)
+            .unwrap();
         let starts = [8.0 * 3600.0, 22.0 * 3600.0];
         let slotted = SlottedModel::build(
             &billboards,
@@ -254,7 +258,8 @@ mod tests {
         let billboards = billboard_at(&[(0.0, 0.0)]);
         let mut trajectories = TrajectoryStore::new();
         trajectories
-            .push_with_timestamps(&[Point::new(5.0, 0.0), Point::new(6.0, 0.0)], &[0.0, 120.0]);
+            .push_with_timestamps(&[Point::new(5.0, 0.0), Point::new(6.0, 0.0)], &[0.0, 120.0])
+            .unwrap();
         let slotted = SlottedModel::build(
             &billboards,
             &trajectories,
@@ -284,7 +289,9 @@ mod tests {
         let mut trajectories = TrajectoryStore::new();
         for i in 0..20 {
             let x = (i as f64) * 30.0;
-            trajectories.push_at_speed(&[Point::new(x, 0.0), Point::new(x + 40.0, 0.0)], 10.0);
+            trajectories
+                .push_at_speed(&[Point::new(x, 0.0), Point::new(x + 40.0, 0.0)], 10.0)
+                .unwrap();
         }
         let starts: Vec<f64> = (0..20).map(|i| (i % 24) as f64 * 3600.0).collect();
         let grid = SlotGrid::hourly_day();
@@ -341,7 +348,9 @@ mod tests {
     #[should_panic(expected = "one start time per trajectory")]
     fn start_time_length_mismatch_panics() {
         let mut trajectories = TrajectoryStore::new();
-        trajectories.push_at_speed(&[Point::new(0.0, 0.0)], 1.0);
+        trajectories
+            .push_at_speed(&[Point::new(0.0, 0.0)], 1.0)
+            .unwrap();
         SlottedModel::build(
             &BillboardStore::new(),
             &trajectories,

@@ -399,6 +399,7 @@ fn read_model_impl(
         model.install_derived(
             Some(InvertedIndex::from_raw(inv_offsets, inv_data)),
             Some(OverlapGraph::from_raw(ov_offsets, ov_data)),
+            None,
         );
     }
     Ok(model)
@@ -752,14 +753,18 @@ mod tests {
         let mut billboards = BillboardStore::new();
         billboards.push(Point::new(1.0, 2.0));
         let mut trajectories = TrajectoryStore::new();
-        trajectories.push_at_speed(&[Point::new(3.0, 4.0)], 10.0);
+        trajectories
+            .push_at_speed(&[Point::new(3.0, 4.0)], 10.0)
+            .unwrap();
         let base = stores_checksum(&billboards, &trajectories);
         assert_eq!(base, stores_checksum(&billboards, &trajectories));
         let mut moved = BillboardStore::new();
         moved.push(Point::new(1.0, 2.5));
         assert_ne!(base, stores_checksum(&moved, &trajectories));
         let mut longer = TrajectoryStore::new();
-        longer.push_at_speed(&[Point::new(3.0, 4.0), Point::new(5.0, 4.0)], 10.0);
+        longer
+            .push_at_speed(&[Point::new(3.0, 4.0), Point::new(5.0, 4.0)], 10.0)
+            .unwrap();
         assert_ne!(base, stores_checksum(&billboards, &longer));
     }
 

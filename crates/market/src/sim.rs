@@ -35,6 +35,20 @@ impl LockState {
     pub fn locked_count(&self) -> usize {
         self.locked_until.iter().filter(|l| l.is_some()).count()
     }
+
+    /// Grows the state to an inventory of `n_billboards` (new billboards
+    /// start free). The streaming layer calls this when an epoch swap
+    /// added inventory; existing locks — including on retired billboards,
+    /// whose contracts run to expiry — are untouched. Panics if asked to
+    /// shrink: billboard ids are never reissued.
+    pub fn resized(mut self, n_billboards: usize) -> Self {
+        assert!(
+            n_billboards >= self.locked_until.len(),
+            "inventory cannot shrink across epochs"
+        );
+        self.locked_until.resize(n_billboards, None);
+        self
+    }
 }
 
 /// One proposal's realised outcome inside a solved day: what the host

@@ -95,6 +95,7 @@ fn main() {
             max_wait_nanos: (args.f64_or("max-wait-ms", 20.0) * 1e6) as u64,
             ..BatchPolicy::default()
         },
+        ..ServeConfig::default()
     };
     let handle = spawn(model, None, config, "127.0.0.1:0").unwrap_or_else(|e| {
         eprintln!("cannot spawn server: {e}");

@@ -8,7 +8,8 @@
 //!              [--algo g-order|g-global|als|bls|exact] [--gamma 0.5] [--seed N]
 //!              [--restarts N] [--max-batch N] [--min-wait-ms F] [--max-wait-ms F]
 //!              [--fixed-window true] [--restore path/to/snapshot.json]
-//!              [--model-cache path/to/model.cov]
+//!              [--model-cache path/to/model.cov] [--static true]
+//!              [--ingest-queue N]
 //! ```
 //!
 //! `--model-cache` skips the coverage-model build on restart when the
@@ -18,6 +19,14 @@
 //! With `--restore`, the city flags are ignored: the snapshot embeds the
 //! coverage model, solver configuration, locks, and ledger, and the
 //! daemon continues exactly where the snapshotted process stopped.
+//!
+//! The daemon serves *streaming* by default: `ingest`, `compact`, and
+//! `epoch_stats` requests apply live trajectory/inventory deltas on top
+//! of the city build (`--static true` disables this and pins the model).
+//! A restored daemon streams exactly when its snapshot carries the
+//! streaming section — restored engines accept new trajectories and
+//! retirements but refuse billboard adds (the snapshot does not carry
+//! historical trajectory geometry).
 
 use mroam_core::solver::{SolverSpec, SOLVER_NAMES};
 use mroam_experiments::args::Args;
@@ -25,9 +34,12 @@ use mroam_experiments::cache;
 use mroam_experiments::setup::{build_city, CityKind};
 use mroam_serve::batch::BatchPolicy;
 use mroam_serve::host::HostConfig;
-use mroam_serve::server::{spawn, ServeConfig};
+use mroam_serve::server::{spawn, spawn_streaming, ServeConfig, ServerHandle};
 use mroam_serve::snapshot;
+use mroam_stream::StreamEngine;
+use std::io;
 use std::process::exit;
+use std::sync::Arc;
 
 fn main() {
     let args = Args::from_env();
@@ -38,8 +50,10 @@ fn main() {
         max_wait_nanos: (args.f64_or("max-wait-ms", 20.0) * 1e6) as u64,
         adaptive: args.get("fixed-window") != Some("true"),
     };
+    let want_static = args.get("static") == Some("true");
+    let ingest_queue = args.usize_or("ingest-queue", 16);
 
-    let (model, resume, host) = if let Some(path) = args.get("restore") {
+    let handle: io::Result<ServerHandle> = if let Some(path) = args.get("restore") {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read snapshot {path:?}: {e}");
             exit(2);
@@ -54,7 +68,22 @@ fn main() {
             restored.model.n_billboards(),
             restored.seed.lock.locked_count()
         );
-        (restored.model, Some(restored.seed), restored.config)
+        let config = ServeConfig {
+            host: restored.config,
+            batch,
+            ingest_queue,
+        };
+        match restored.stream {
+            Some(stream) if !want_static => {
+                eprintln!(
+                    "streaming restored at epoch {} ({} compactions)",
+                    stream.epoch, stream.compactions
+                );
+                let engine = stream.into_engine(Arc::new(restored.model));
+                spawn_streaming(engine, Some(restored.seed), config, &addr)
+            }
+            _ => spawn(restored.model, Some(restored.seed), config, &addr),
+        }
     } else {
         let algo = args.get("algo").unwrap_or("g-global");
         let solver = SolverSpec::by_name(algo)
@@ -65,7 +94,24 @@ fn main() {
             .with_seed(args.seed())
             .with_restarts(args.usize_or("restarts", 5))
             .with_improvement_ratio(args.f64_or("improvement-ratio", 0.0));
-        let city = build_city(args.city(CityKind::Nyc), args.scale());
+        let mut city = build_city(args.city(CityKind::Nyc), args.scale());
+        // `--head-trajectories N` keeps only the first N generated
+        // trajectories in the initial build, leaving the rest to arrive
+        // over `ingest` (replay harnesses, the CI smoke step).
+        if let Some(n) = args.get("head-trajectories") {
+            let n: usize = n.parse().unwrap_or_else(|_| {
+                eprintln!("bad --head-trajectories {n:?}: expected a count");
+                exit(2);
+            });
+            if n < city.trajectories.len() {
+                let mut head = mroam_data::TrajectoryStore::new();
+                for t in city.trajectories.iter().take(n) {
+                    head.push_with_timestamps(t.points, t.timestamps)
+                        .expect("head prefix fits the column budget");
+                }
+                city.trajectories = head;
+            }
+        }
         let lambda = mroam_experiments::params::DEFAULT_LAMBDA;
         let model = match args.get("model-cache") {
             Some(path) => {
@@ -87,19 +133,35 @@ fn main() {
             None => city.coverage(lambda),
         };
         eprintln!(
-            "serving {} ({} billboards, {} trajectories)",
+            "serving {} ({} billboards, {} trajectories{})",
             city.name,
             model.n_billboards(),
-            model.n_trajectories()
+            model.n_trajectories(),
+            if want_static { "" } else { ", streaming" }
         );
         let host = HostConfig {
             gamma: args.f64_or("gamma", 0.5),
             solver,
         };
-        (model, None, host)
+        let config = ServeConfig {
+            host,
+            batch,
+            ingest_queue,
+        };
+        if want_static {
+            spawn(model, None, config, &addr)
+        } else {
+            let engine = StreamEngine::from_model(
+                Arc::new(model),
+                city.billboards,
+                city.trajectories,
+                lambda,
+            );
+            spawn_streaming(engine, None, config, &addr)
+        }
     };
 
-    let handle = spawn(model, resume, ServeConfig { host, batch }, &addr).unwrap_or_else(|e| {
+    let handle = handle.unwrap_or_else(|e| {
         eprintln!("cannot bind {addr}: {e}");
         exit(1);
     });

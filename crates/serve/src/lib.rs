@@ -36,5 +36,5 @@ pub use client::Client;
 pub use histogram::{LogHistogram, Percentiles};
 pub use host::{Host, HostConfig, HostSeed};
 pub use protocol::{Request, Response, StatsReport};
-pub use server::{spawn, ServeConfig, ServerHandle};
-pub use snapshot::{Restored, SnapshotError, SNAPSHOT_VERSION};
+pub use server::{spawn, spawn_streaming, ServeConfig, ServerHandle};
+pub use snapshot::{Restored, SnapshotError, StreamRestore, SNAPSHOT_VERSION};

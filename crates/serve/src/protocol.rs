@@ -17,14 +17,31 @@
 //! {"type":"query_coverage","id":N,"billboards":[o,...]}
 //! {"type":"stats","id":N}
 //! {"type":"snapshot","id":N}
+//! {"type":"ingest","id":N,"trajectories":[{"points":[[x,y],...],"timestamps":[t,...]},...],
+//!  "add_billboards":[[x,y],...],"retire_billboards":[o,...]}
+//! {"type":"compact","id":N}
+//! {"type":"epoch_stats","id":N}
 //! {"type":"shutdown","id":N}
 //! ```
+//!
+//! `ingest` applies billboard adds, then retires, then the new
+//! trajectories, as one epoch (see `mroam_stream::IngestBatch`). A
+//! trajectory's `timestamps` may be omitted, in which case they are
+//! derived from arc length at [`DEFAULT_INGEST_SPEED_MPS`].
 
 use crate::histogram::Percentiles;
+use mroam_geo::Point;
 use mroam_market::json::{self, DecodeError};
 use mroam_market::{DayRecord, Proposal, ProposalOutcome};
+use mroam_stream::{
+    BillboardEvent, CompactionReport, EpochStats, IngestBatch, IngestReport, TrajectoryDelta,
+};
 use serde::Serialize;
 use serde_json::Value;
+
+/// Speed used to derive timestamps for ingested trajectories that omit
+/// them, matching the datagen default.
+pub const DEFAULT_INGEST_SPEED_MPS: f64 = 10.0;
 
 /// A decoded client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +56,14 @@ pub enum Request {
     Stats { id: u64 },
     /// Full host snapshot for crash recovery.
     Snapshot { id: u64 },
+    /// One epoch of streaming input (new trajectories + inventory
+    /// events), applied behind the bounded pending-delta queue.
+    Ingest { id: u64, batch: IngestBatch },
+    /// Fold the delta overlay into a fresh base model and re-seed the
+    /// host against it.
+    Compact { id: u64 },
+    /// Streaming epoch counters and overlay occupancy.
+    EpochStats { id: u64 },
     /// Drain in-flight work, reply, and stop the server.
     Shutdown { id: u64 },
 }
@@ -52,6 +77,9 @@ impl Request {
             | Request::QueryCoverage { id, .. }
             | Request::Stats { id }
             | Request::Snapshot { id }
+            | Request::Ingest { id, .. }
+            | Request::Compact { id }
+            | Request::EpochStats { id }
             | Request::Shutdown { id } => *id,
         }
     }
@@ -88,15 +116,23 @@ impl Request {
             }
             Some("stats") => Ok(Request::Stats { id }),
             Some("snapshot") => Ok(Request::Snapshot { id }),
+            Some("ingest") => Ok(Request::Ingest {
+                id,
+                batch: decode_ingest_batch(v)?,
+            }),
+            Some("compact") => Ok(Request::Compact { id }),
+            Some("epoch_stats") => Ok(Request::EpochStats { id }),
             Some("shutdown") => Ok(Request::Shutdown { id }),
             _ => Err(DecodeError {
                 field: "type".into(),
-                expected: "submit|run_day|solve|query_coverage|stats|snapshot|shutdown",
+                expected:
+                    "submit|run_day|solve|query_coverage|stats|snapshot|ingest|compact|epoch_stats|shutdown",
             }),
         }
     }
 
     /// Encodes a request as its wire JSON (used by clients).
+    #[allow(clippy::format_push_string)]
     pub fn encode(&self) -> String {
         match self {
             Request::Submit { id, proposal } => format!(
@@ -110,9 +146,144 @@ impl Request {
             }
             Request::Stats { id } => format!("{{\"type\":\"stats\",\"id\":{id}}}"),
             Request::Snapshot { id } => format!("{{\"type\":\"snapshot\",\"id\":{id}}}"),
+            Request::Ingest { id, batch } => {
+                let mut out = format!("{{\"type\":\"ingest\",\"id\":{id},\"trajectories\":[");
+                for (i, t) in batch.trajectories.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"points\":");
+                    out.push_str(&encode_points(t.points.iter()));
+                    out.push_str(",\"timestamps\":[");
+                    for (j, ts) in t.timestamps.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&format!("{ts}"));
+                    }
+                    out.push_str("]}");
+                }
+                out.push_str("],\"add_billboards\":");
+                out.push_str(&encode_points(batch.billboard_events.iter().filter_map(
+                    |e| match e {
+                        BillboardEvent::Add { location } => Some(location),
+                        BillboardEvent::Retire { .. } => None,
+                    },
+                )));
+                let retires: Vec<u32> = batch
+                    .billboard_events
+                    .iter()
+                    .filter_map(|e| match e {
+                        BillboardEvent::Retire { id } => Some(*id),
+                        BillboardEvent::Add { .. } => None,
+                    })
+                    .collect();
+                out.push_str(",\"retire_billboards\":");
+                out.push_str(&serde_json::to_string(&retires).expect("stub never fails"));
+                out.push('}');
+                out
+            }
+            Request::Compact { id } => format!("{{\"type\":\"compact\",\"id\":{id}}}"),
+            Request::EpochStats { id } => format!("{{\"type\":\"epoch_stats\",\"id\":{id}}}"),
             Request::Shutdown { id } => format!("{{\"type\":\"shutdown\",\"id\":{id}}}"),
         }
     }
+}
+
+/// Encodes points as a `[[x,y],...]` JSON array.
+fn encode_points<'a, I: Iterator<Item = &'a Point>>(points: I) -> String {
+    let mut out = String::from("[");
+    for (i, p) in points.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{},{}]", p.x, p.y));
+    }
+    out.push(']');
+    out
+}
+
+/// Parses a `[[x,y],...]` array field into points. A missing field reads
+/// as empty.
+fn decode_points(v: &Value, field: &str) -> Result<Vec<Point>, DecodeError> {
+    match &v[field] {
+        Value::Null => Ok(Vec::new()),
+        Value::Array(items) => items
+            .iter()
+            .map(|item| {
+                let (Some(x), Some(y)) = (item[0].as_f64(), item[1].as_f64()) else {
+                    return Err(DecodeError {
+                        field: format!("{field}[]"),
+                        expected: "[x, y] metre pair",
+                    });
+                };
+                Ok(Point::new(x, y))
+            })
+            .collect(),
+        _ => Err(DecodeError {
+            field: field.into(),
+            expected: "array of [x, y] pairs",
+        }),
+    }
+}
+
+/// Decodes the streaming fields of an `ingest` request into an
+/// [`IngestBatch`]: adds first, then retires, then trajectories.
+fn decode_ingest_batch(v: &Value) -> Result<IngestBatch, DecodeError> {
+    let mut billboard_events: Vec<BillboardEvent> = decode_points(v, "add_billboards")?
+        .into_iter()
+        .map(|location| BillboardEvent::Add { location })
+        .collect();
+    if let Value::Array(ids) = &v["retire_billboards"] {
+        for item in ids {
+            match item.as_f64() {
+                Some(n) if n >= 0.0 && n.fract() == 0.0 && n <= u32::MAX as f64 => {
+                    billboard_events.push(BillboardEvent::Retire { id: n as u32 });
+                }
+                _ => {
+                    return Err(DecodeError {
+                        field: "retire_billboards[]".into(),
+                        expected: "billboard id",
+                    })
+                }
+            }
+        }
+    }
+    let mut trajectories = Vec::new();
+    if let Value::Array(items) = &v["trajectories"] {
+        for (i, item) in items.iter().enumerate() {
+            let points = decode_points(item, "points").map_err(|e| DecodeError {
+                field: format!("trajectories[{i}].{}", e.field),
+                expected: e.expected,
+            })?;
+            let delta = match &item["timestamps"] {
+                Value::Null => TrajectoryDelta::at_speed(points, DEFAULT_INGEST_SPEED_MPS),
+                Value::Array(ts) => {
+                    let timestamps = ts
+                        .iter()
+                        .map(|t| {
+                            t.as_f64().map(|n| n as f32).ok_or(DecodeError {
+                                field: format!("trajectories[{i}].timestamps[]"),
+                                expected: "seconds from trip start",
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    TrajectoryDelta { points, timestamps }
+                }
+                _ => {
+                    return Err(DecodeError {
+                        field: format!("trajectories[{i}].timestamps"),
+                        expected: "array of seconds",
+                    })
+                }
+            };
+            trajectories.push(delta);
+        }
+    }
+    Ok(IngestBatch {
+        billboard_events,
+        trajectories,
+    })
 }
 
 /// The serving statistics block of a `stats` response.
@@ -146,6 +317,14 @@ pub struct StatsReport {
     pub collected: f64,
     /// Total regret so far.
     pub regret: f64,
+    /// Current adaptive batch window, in microseconds (satellite: the
+    /// window adapts to solve time, so clients can see the knee).
+    pub batch_window_micros: u64,
+    /// Epoch a snapshot taken right now would carry (0 when the server
+    /// is not streaming).
+    pub snapshot_epoch: u64,
+    /// Ingest batches parked behind the open solve batch.
+    pub ingest_pending: u64,
 }
 
 /// A server response, ready to encode.
@@ -176,6 +355,13 @@ pub enum Response {
     Stats { id: u64, stats: StatsReport },
     /// Snapshot; `state` is the snapshot document itself (already JSON).
     Snapshot { id: u64, state_json: String },
+    /// An ingest batch was applied (sent when it actually lands, which
+    /// may be after the open solve batch closes).
+    Ingested { id: u64, report: IngestReport },
+    /// The overlay was folded into a fresh base.
+    Compacted { id: u64, report: CompactionReport },
+    /// Streaming epoch counters.
+    EpochStats { id: u64, stats: EpochStats },
     /// Acknowledged shutdown.
     Bye { id: u64 },
     /// Malformed or unserviceable request.
@@ -228,6 +414,36 @@ impl Response {
             Response::Snapshot { id, state_json } => {
                 format!("{{\"type\":\"snapshot\",\"id\":{id},\"state\":{state_json}}}")
             }
+            Response::Ingested { id, report } => format!(
+                "{{\"type\":\"ingested\",\"id\":{id},\"epoch\":{},\"new_trajectories\":{},\
+                 \"new_billboards\":{},\"retired\":{},\"changed_billboards\":{}}}",
+                report.epoch,
+                report.new_trajectories,
+                report.new_billboards,
+                report.retired,
+                serde_json::to_string(&report.changed_billboards).expect("stub never fails"),
+            ),
+            Response::Compacted { id, report } => format!(
+                "{{\"type\":\"compacted\",\"id\":{id},\"epoch\":{},\"folded_trajectories\":{},\
+                 \"folded_billboards\":{},\"changed_billboards\":{}}}",
+                report.epoch,
+                report.folded_trajectories,
+                report.folded_billboards,
+                serde_json::to_string(&report.changed_billboards).expect("stub never fails"),
+            ),
+            Response::EpochStats { id, stats } => format!(
+                "{{\"type\":\"epoch_stats\",\"id\":{id},\"epoch\":{},\"base_epoch\":{},\
+                 \"compactions\":{},\"n_billboards\":{},\"n_trajectories\":{},\"n_retired\":{},\
+                 \"overlay_trajectories\":{},\"overlay_billboards\":{}}}",
+                stats.epoch,
+                stats.base_epoch,
+                stats.compactions,
+                stats.n_billboards,
+                stats.n_trajectories,
+                stats.n_retired,
+                stats.overlay_trajectories,
+                stats.overlay_billboards,
+            ),
             Response::Bye { id } => format!("{{\"type\":\"bye\",\"id\":{id}}}"),
             Response::Error { id, message } => {
                 let mut quoted = String::new();
@@ -261,6 +477,23 @@ mod tests {
             },
             Request::Stats { id: 6 },
             Request::Snapshot { id: 7 },
+            Request::Ingest {
+                id: 9,
+                batch: IngestBatch {
+                    billboard_events: vec![
+                        BillboardEvent::Add {
+                            location: Point::new(10.5, -3.25),
+                        },
+                        BillboardEvent::Retire { id: 2 },
+                    ],
+                    trajectories: vec![TrajectoryDelta {
+                        points: vec![Point::new(0.0, 0.0), Point::new(5.0, 5.0)],
+                        timestamps: vec![0.0, 0.5],
+                    }],
+                },
+            },
+            Request::Compact { id: 10 },
+            Request::EpochStats { id: 11 },
             Request::Shutdown { id: 8 },
         ];
         for req in reqs {
@@ -279,6 +512,38 @@ mod tests {
     fn unknown_type_is_rejected() {
         let v = serde_json::from_str(r#"{"type":"frobnicate","id":1}"#).unwrap();
         assert!(Request::decode(&v).is_err());
+    }
+
+    #[test]
+    fn ingest_timestamps_default_to_constant_speed() {
+        let v = serde_json::from_str(
+            r#"{"type":"ingest","id":1,"trajectories":[{"points":[[0,0],[20,0]]}]}"#,
+        )
+        .unwrap();
+        let Request::Ingest { batch, .. } = Request::decode(&v).unwrap() else {
+            panic!("expected ingest");
+        };
+        assert_eq!(
+            batch.trajectories,
+            vec![TrajectoryDelta::at_speed(
+                vec![Point::new(0.0, 0.0), Point::new(20.0, 0.0)],
+                DEFAULT_INGEST_SPEED_MPS,
+            )]
+        );
+        assert!(batch.billboard_events.is_empty());
+    }
+
+    #[test]
+    fn malformed_ingest_fields_are_rejected() {
+        for doc in [
+            r#"{"type":"ingest","id":1,"trajectories":[{"points":[[0]]}]}"#,
+            r#"{"type":"ingest","id":1,"trajectories":[{"points":[[0,0]],"timestamps":["x"]}]}"#,
+            r#"{"type":"ingest","id":1,"add_billboards":[[1]]}"#,
+            r#"{"type":"ingest","id":1,"retire_billboards":[-1]}"#,
+        ] {
+            let v = serde_json::from_str(doc).unwrap();
+            assert!(Request::decode(&v).is_err(), "should reject: {doc}");
+        }
     }
 
     #[test]
@@ -314,6 +579,38 @@ mod tests {
             Response::Snapshot {
                 id: 5,
                 state_json: "{\"version\":1}".into(),
+            },
+            Response::Ingested {
+                id: 8,
+                report: IngestReport {
+                    epoch: 2,
+                    new_trajectories: 5,
+                    new_billboards: 1,
+                    retired: 1,
+                    changed_billboards: vec![0, 3, 9],
+                },
+            },
+            Response::Compacted {
+                id: 9,
+                report: CompactionReport {
+                    epoch: 2,
+                    folded_trajectories: 5,
+                    folded_billboards: 1,
+                    changed_billboards: vec![0, 3, 9],
+                },
+            },
+            Response::EpochStats {
+                id: 10,
+                stats: EpochStats {
+                    epoch: 4,
+                    base_epoch: 2,
+                    compactions: 1,
+                    n_billboards: 12,
+                    n_trajectories: 90,
+                    n_retired: 2,
+                    overlay_trajectories: 10,
+                    overlay_billboards: 1,
+                },
             },
             Response::Bye { id: 6 },
             Response::Error {

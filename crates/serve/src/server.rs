@@ -22,6 +22,19 @@
 //!   batch (every in-flight `submit` still gets its `allocated`
 //!   response), then acknowledges, then stops the acceptor and unblocks
 //!   any parked readers by shutting their sockets down.
+//!
+//! **Streaming epochs** ([`spawn_streaming`]): the loop owns a
+//! [`StreamEngine`] instead of a bare model and runs one host per
+//! *serving epoch* — the host borrows the engine's compacted base, so
+//! allocation always sees a consistent model while ingestion lands in
+//! the overlay. `ingest` requests apply immediately at a batch boundary;
+//! while a solve batch is open they park in a bounded pending-delta
+//! queue (backpressure: a full queue answers `error` instead of growing
+//! without bound) and drain when the batch closes. A compaction —
+//! explicit `compact` request or the engine's policy firing at a batch
+//! boundary — folds the overlay into a fresh base and *re-seeds* the
+//! host against it: day clock, locks (resized for added inventory), and
+//! ledger carry over, exactly like a snapshot resume.
 
 use crate::batch::{BatchPolicy, Batcher, CloseReason};
 use crate::frame::{read_frame, write_frame};
@@ -31,6 +44,8 @@ use crate::protocol::{Request, Response, StatsReport};
 use crate::snapshot;
 use mroam_influence::CoverageModel;
 use mroam_market::{DayRecord, Proposal};
+use mroam_stream::{IngestBatch, StreamEngine};
+use std::collections::VecDeque;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -40,12 +55,56 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 /// Full server configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Host configuration (γ + solver).
     pub host: HostConfig,
     /// Batching policy.
     pub batch: BatchPolicy,
+    /// Ingest batches that may park behind an open solve batch before
+    /// further `ingest` requests are refused (streaming backpressure).
+    pub ingest_queue: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            host: HostConfig::default(),
+            batch: BatchPolicy::default(),
+            ingest_queue: 16,
+        }
+    }
+}
+
+/// What the command loop serves: a fixed model, or a live streaming
+/// engine whose compacted base the current host borrows.
+enum World {
+    Static(Arc<CoverageModel>),
+    Streaming(Box<StreamEngine>),
+}
+
+impl World {
+    fn engine(&self) -> Option<&StreamEngine> {
+        match self {
+            World::Static(_) => None,
+            World::Streaming(e) => Some(e),
+        }
+    }
+
+    fn engine_mut(&mut self) -> Option<&mut StreamEngine> {
+        match self {
+            World::Static(_) => None,
+            World::Streaming(e) => Some(e),
+        }
+    }
+
+    /// The model the *next* host should borrow.
+    fn serving_model(&self) -> Arc<CoverageModel> {
+        match self {
+            World::Static(m) => Arc::clone(m),
+            World::Streaming(e) => Arc::clone(e.model()),
+        }
+    }
 }
 
 /// One decoded request en route to the command loop.
@@ -61,6 +120,14 @@ struct PendingSubmit {
     proposal: Proposal,
     reply: Sender<String>,
     received: Instant,
+}
+
+/// An `ingest` parked behind the open solve batch; its `ingested`
+/// response is sent when the batch closes and the delta actually lands.
+struct PendingIngest {
+    id: u64,
+    batch: IngestBatch,
+    reply: Sender<String>,
 }
 
 /// Serving counters owned by the command loop.
@@ -103,9 +170,33 @@ impl ServerHandle {
 }
 
 /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving `model`.
-/// `resume` continues from a snapshot seed instead of day 0.
+/// `resume` continues from a snapshot seed instead of day 0. Streaming
+/// requests (`ingest`/`compact`/`epoch_stats`) answer `error`; use
+/// [`spawn_streaming`] to accept them.
 pub fn spawn(
     model: CoverageModel,
+    resume: Option<HostSeed>,
+    config: ServeConfig,
+    addr: &str,
+) -> io::Result<ServerHandle> {
+    spawn_world(World::Static(Arc::new(model)), resume, config, addr)
+}
+
+/// Binds `addr` and starts serving a live [`StreamEngine`]: allocation
+/// runs against the engine's compacted base while `ingest` requests land
+/// new trajectories and inventory events as epochs (see the module docs
+/// for the batching/backpressure rules).
+pub fn spawn_streaming(
+    engine: StreamEngine,
+    resume: Option<HostSeed>,
+    config: ServeConfig,
+    addr: &str,
+) -> io::Result<ServerHandle> {
+    spawn_world(World::Streaming(Box::new(engine)), resume, config, addr)
+}
+
+fn spawn_world(
+    world: World,
     resume: Option<HostSeed>,
     config: ServeConfig,
     addr: &str,
@@ -116,14 +207,14 @@ pub fn spawn(
     // Warm the derived structures (inverted index, overlap graph, bitmap)
     // before the first batch arrives, so no request pays the one-time
     // build cost inside its latency window.
-    model.precompute();
+    world.serving_model().precompute();
     let stopping = Arc::new(AtomicBool::new(false));
     let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
     let (tx, rx) = mpsc::channel::<Incoming>();
 
     let command = {
         let stopping = Arc::clone(&stopping);
-        thread::spawn(move || command_loop(model, resume, config, rx, stopping))
+        thread::spawn(move || command_loop(world, resume, config, rx, stopping))
     };
 
     let acceptor = {
@@ -242,7 +333,7 @@ fn reader_loop(mut stream: TcpStream, tx: Sender<Incoming>, reply: Sender<String
 }
 
 fn command_loop(
-    model: CoverageModel,
+    mut world: World,
     resume: Option<HostSeed>,
     config: ServeConfig,
     rx: Receiver<Incoming>,
@@ -250,108 +341,261 @@ fn command_loop(
 ) {
     let started = Instant::now();
     let now_nanos = move || started.elapsed().as_nanos() as u64;
-    let mut host = match resume {
-        Some(seed) => Host::resume(&model, config.host.clone(), seed),
-        None => Host::new(&model, config.host.clone()),
-    };
     let mut batcher: Batcher<PendingSubmit> = Batcher::new(config.batch);
     let mut stats = ServerStats::default();
+    let mut pending_ingest: VecDeque<PendingIngest> = VecDeque::new();
+    let mut seed = resume;
+    let mut running = true;
 
-    loop {
-        let msg = match batcher.deadline_nanos() {
-            Some(deadline) => {
-                let now = now_nanos();
-                if now >= deadline {
-                    Err(RecvTimeoutError::Timeout)
-                } else {
-                    rx.recv_timeout(Duration::from_nanos(deadline - now))
-                }
-            }
-            None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+    // One outer iteration per serving epoch: the host borrows the
+    // world's current base model; a compaction re-bases the world, so we
+    // break inward, carry the host state out as a seed (locks resized
+    // for any added inventory), and re-enter against the fresh base.
+    while running {
+        let model = world.serving_model();
+        let mut host = match seed.take() {
+            Some(s) => Host::resume(&model, config.host.clone(), s),
+            None => Host::new(&model, config.host.clone()),
         };
-        match msg {
-            Ok(incoming) => {
-                stats.requests += 1;
-                let Incoming {
-                    req,
-                    reply,
-                    received,
-                } = incoming;
-                match req {
-                    Request::Submit { id, proposal } => {
-                        stats.submits += 1;
-                        let close = batcher.push(
-                            PendingSubmit {
-                                id,
-                                proposal,
-                                reply,
-                                received,
-                            },
-                            now_nanos(),
-                        );
-                        if close == Some(CloseReason::SizeCap) {
-                            solve_batch(&mut host, &mut batcher, &mut stats);
-                        }
-                    }
-                    Request::RunDay { id } => {
-                        let (record, batch_size) = solve_batch(&mut host, &mut batcher, &mut stats);
-                        send(
-                            &reply,
-                            Response::DayClosed {
-                                id,
-                                batch_size,
-                                record,
-                            },
-                        );
-                    }
-                    Request::QueryCoverage { id, billboards } => {
-                        let response = match host.query_coverage(&billboards) {
-                            Some(influence) => Response::Coverage {
-                                id,
-                                influence,
-                                free_total: host.free_count(),
-                            },
-                            None => Response::Error {
-                                id,
-                                message: "billboard id out of range".into(),
-                            },
-                        };
-                        send(&reply, response);
-                    }
-                    Request::Stats { id } => {
-                        let report = stats_report(&stats, &host, &batcher, started);
-                        send(&reply, Response::Stats { id, stats: report });
-                    }
-                    Request::Snapshot { id } => {
-                        send(
-                            &reply,
-                            Response::Snapshot {
-                                id,
-                                state_json: snapshot::encode(&host),
-                            },
-                        );
-                    }
-                    Request::Shutdown { id } => {
-                        // Drain the in-flight batch first: every queued
-                        // submit still gets its allocation.
-                        if !batcher.is_empty() {
-                            solve_batch(&mut host, &mut batcher, &mut stats);
-                        }
-                        send(&reply, Response::Bye { id });
-                        break;
+        let mut rebase = false;
+
+        while !rebase {
+            let msg = match batcher.deadline_nanos() {
+                Some(deadline) => {
+                    let now = now_nanos();
+                    if now >= deadline {
+                        Err(RecvTimeoutError::Timeout)
+                    } else {
+                        rx.recv_timeout(Duration::from_nanos(deadline - now))
                     }
                 }
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                // Batch window elapsed.
-                if !batcher.is_empty() {
-                    solve_batch(&mut host, &mut batcher, &mut stats);
+                None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+            };
+            match msg {
+                Ok(incoming) => {
+                    stats.requests += 1;
+                    let Incoming {
+                        req,
+                        reply,
+                        received,
+                    } = incoming;
+                    match req {
+                        Request::Submit { id, proposal } => {
+                            stats.submits += 1;
+                            let close = batcher.push(
+                                PendingSubmit {
+                                    id,
+                                    proposal,
+                                    reply,
+                                    received,
+                                },
+                                now_nanos(),
+                            );
+                            if close == Some(CloseReason::SizeCap) {
+                                solve_batch(&mut host, &mut batcher, &mut stats);
+                                rebase = after_batch(&mut world, &mut pending_ingest);
+                            }
+                        }
+                        Request::RunDay { id } => {
+                            let (record, batch_size) =
+                                solve_batch(&mut host, &mut batcher, &mut stats);
+                            send(
+                                &reply,
+                                Response::DayClosed {
+                                    id,
+                                    batch_size,
+                                    record,
+                                },
+                            );
+                            rebase = after_batch(&mut world, &mut pending_ingest);
+                        }
+                        Request::QueryCoverage { id, billboards } => {
+                            // Streaming hosts answer from the merged
+                            // base+overlay view — the freshest epoch —
+                            // while `free_total` stays the allocation
+                            // inventory of the serving base.
+                            let response = match world.engine() {
+                                Some(engine) => {
+                                    if billboards
+                                        .iter()
+                                        .any(|&b| b as usize >= engine.n_billboards())
+                                    {
+                                        Response::Error {
+                                            id,
+                                            message: "billboard id out of range".into(),
+                                        }
+                                    } else {
+                                        Response::Coverage {
+                                            id,
+                                            influence: engine.set_influence(&billboards),
+                                            free_total: host.free_count(),
+                                        }
+                                    }
+                                }
+                                None => match host.query_coverage(&billboards) {
+                                    Some(influence) => Response::Coverage {
+                                        id,
+                                        influence,
+                                        free_total: host.free_count(),
+                                    },
+                                    None => Response::Error {
+                                        id,
+                                        message: "billboard id out of range".into(),
+                                    },
+                                },
+                            };
+                            send(&reply, response);
+                        }
+                        Request::Stats { id } => {
+                            let report = stats_report(
+                                &stats,
+                                &host,
+                                &batcher,
+                                started,
+                                &world,
+                                pending_ingest.len(),
+                            );
+                            send(&reply, Response::Stats { id, stats: report });
+                        }
+                        Request::Snapshot { id } => {
+                            send(
+                                &reply,
+                                Response::Snapshot {
+                                    id,
+                                    state_json: snapshot::encode(&host, world.engine()),
+                                },
+                            );
+                        }
+                        Request::Ingest { id, batch } => {
+                            if world.engine().is_none() {
+                                send(&reply, streaming_disabled(id));
+                            } else if batcher.is_empty() {
+                                // Batch boundary: land the delta now,
+                                // compacting (and re-basing) if the
+                                // policy fires.
+                                pending_ingest.push_back(PendingIngest { id, batch, reply });
+                                rebase = after_batch(&mut world, &mut pending_ingest);
+                            } else if pending_ingest.len() >= config.ingest_queue {
+                                send(
+                                    &reply,
+                                    Response::Error {
+                                        id,
+                                        message: format!(
+                                            "ingest queue full ({} pending)",
+                                            pending_ingest.len()
+                                        ),
+                                    },
+                                );
+                            } else {
+                                pending_ingest.push_back(PendingIngest { id, batch, reply });
+                            }
+                        }
+                        Request::Compact { id } => {
+                            if world.engine().is_none() {
+                                send(&reply, streaming_disabled(id));
+                            } else {
+                                // A compaction is a batch boundary by
+                                // definition: close the open batch (its
+                                // submits keep their allocations), land
+                                // queued deltas, then fold.
+                                if !batcher.is_empty() {
+                                    solve_batch(&mut host, &mut batcher, &mut stats);
+                                }
+                                let engine = world.engine_mut().expect("checked streaming");
+                                for p in pending_ingest.drain(..) {
+                                    apply_ingest(engine, p.id, &p.batch, &p.reply);
+                                }
+                                let report = engine.compact();
+                                send(&reply, Response::Compacted { id, report });
+                                rebase = true;
+                            }
+                        }
+                        Request::EpochStats { id } => {
+                            let response = match world.engine() {
+                                Some(engine) => Response::EpochStats {
+                                    id,
+                                    stats: engine.epoch_stats(),
+                                },
+                                None => streaming_disabled(id),
+                            };
+                            send(&reply, response);
+                        }
+                        Request::Shutdown { id } => {
+                            // Drain the in-flight batch first: every
+                            // queued submit still gets its allocation,
+                            // and every parked ingest its epoch.
+                            if !batcher.is_empty() {
+                                solve_batch(&mut host, &mut batcher, &mut stats);
+                            }
+                            if let Some(engine) = world.engine_mut() {
+                                for p in pending_ingest.drain(..) {
+                                    apply_ingest(engine, p.id, &p.batch, &p.reply);
+                                }
+                            }
+                            send(&reply, Response::Bye { id });
+                            running = false;
+                            rebase = true;
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Batch window elapsed.
+                    if !batcher.is_empty() {
+                        solve_batch(&mut host, &mut batcher, &mut stats);
+                    }
+                    rebase = after_batch(&mut world, &mut pending_ingest);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    running = false;
+                    rebase = true;
                 }
             }
-            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        if running {
+            let mut carried = host.seed();
+            carried.lock = carried.lock.resized(world.serving_model().n_billboards());
+            seed = Some(carried);
         }
     }
     stopping.store(true, Ordering::SeqCst);
+}
+
+/// Runs the streaming work owed at a batch boundary: applies every
+/// parked ingest (answering each), then compacts if the engine's policy
+/// fires. Returns whether the base changed, i.e. whether the caller must
+/// re-seed the host against the new epoch.
+fn after_batch(world: &mut World, pending: &mut VecDeque<PendingIngest>) -> bool {
+    let Some(engine) = world.engine_mut() else {
+        return false;
+    };
+    for p in pending.drain(..) {
+        apply_ingest(engine, p.id, &p.batch, &p.reply);
+    }
+    if engine.needs_compaction() {
+        engine.compact();
+        true
+    } else {
+        false
+    }
+}
+
+/// Applies one ingest batch and answers its client.
+fn apply_ingest(engine: &mut StreamEngine, id: u64, batch: &IngestBatch, reply: &Sender<String>) {
+    let response = match engine.ingest(batch) {
+        Ok(report) => Response::Ingested { id, report },
+        Err(e) => Response::Error {
+            id,
+            message: e.to_string(),
+        },
+    };
+    send(reply, response);
+}
+
+fn streaming_disabled(id: u64) -> Response {
+    Response::Error {
+        id,
+        message: "streaming disabled: server was started on a static model".into(),
+    }
 }
 
 /// Closes the open batch (possibly empty), solves it as one market day,
@@ -399,6 +643,8 @@ fn stats_report(
     host: &Host<'_>,
     batcher: &Batcher<PendingSubmit>,
     started: Instant,
+    world: &World,
+    ingest_pending: usize,
 ) -> StatsReport {
     StatsReport {
         uptime_micros: started.elapsed().as_micros() as u64,
@@ -419,6 +665,9 @@ fn stats_report(
         free: host.free_count(),
         collected: host.ledger().total_collected(),
         regret: host.ledger().total_regret(),
+        batch_window_micros: batcher.window_nanos() / 1_000,
+        snapshot_epoch: world.engine().map_or(0, |e| e.epoch()),
+        ingest_pending: ingest_pending as u64,
     }
 }
 

@@ -17,15 +17,20 @@
 
 use crate::host::{Host, HostConfig, HostSeed};
 use mroam_core::solver::SolverSpec;
+use mroam_data::BillboardStore;
+use mroam_geo::Point;
 use mroam_influence::CoverageModel;
 use mroam_market::json::{self, DecodeError};
 use mroam_market::{Ledger, LockState};
+use mroam_stream::{DeltaOverlay, StreamEngine};
 use serde::Serialize;
 use serde_json::Value;
 use std::fmt;
+use std::sync::Arc;
 
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version. Version 1 (no `stream` section) is
+/// still accepted on restore.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// The serialized snapshot document (named-field struct so the vendored
 /// serde derive produces real JSON glue).
@@ -43,6 +48,30 @@ struct SnapshotDoc {
     coverage: Vec<Vec<u32>>,
     lock: LockState,
     ledger: Ledger,
+    stream: Option<StreamDoc>,
+}
+
+/// The streaming section of a v2 snapshot: everything
+/// [`StreamEngine::restore`] needs on top of the base model (whose lists
+/// are the document's `coverage` — the host serves the engine's
+/// compacted base, so they coincide). Historical trajectory geometry is
+/// deliberately not carried: a restored engine keeps ingesting
+/// trajectories and retiring billboards but refuses billboard adds.
+#[derive(Debug, Clone, Serialize)]
+struct StreamDoc {
+    lambda_m: f64,
+    epoch: u64,
+    compactions: u64,
+    /// Logical trajectory count at the snapshot epoch (base + overlay).
+    stream_trajectories: u64,
+    /// Billboard locations for every id ever issued (base + overlay).
+    locations: Vec<Point>,
+    /// Global retirement tombstones, same length as `locations`.
+    retired: Vec<bool>,
+    /// Overlay appends to base billboards, as `[id, [trajectories...]]`.
+    appended: Vec<(u32, Vec<u32>)>,
+    /// Coverage lists of overlay-born billboards (ids follow the base).
+    new_billboards: Vec<Vec<u32>>,
 }
 
 /// Why a snapshot failed to restore.
@@ -87,10 +116,50 @@ pub struct Restored {
     pub config: HostConfig,
     /// Day clock, locks, ledger.
     pub seed: HostSeed,
+    /// Streaming state, when the snapshot came from a streaming server.
+    pub stream: Option<StreamRestore>,
 }
 
-/// Encodes a host's full state as one JSON document.
-pub fn encode(host: &Host<'_>) -> String {
+/// The decoded streaming section; [`StreamRestore::into_engine`] turns
+/// it back into a live engine around the restored base model.
+#[derive(Debug)]
+pub struct StreamRestore {
+    /// Meeting radius λ in metres.
+    pub lambda_m: f64,
+    /// Ingest epochs applied before the snapshot.
+    pub epoch: u64,
+    /// Compactions performed before the snapshot.
+    pub compactions: u64,
+    /// Logical trajectory count at the snapshot epoch.
+    pub n_trajectories: usize,
+    /// Billboard locations for every id ever issued.
+    pub locations: Vec<Point>,
+    /// Global retirement tombstones.
+    pub retired: Vec<bool>,
+    /// The pending (uncompacted) overlay.
+    pub overlay: DeltaOverlay,
+}
+
+impl StreamRestore {
+    /// Rebuilds the engine around the restored base model (the
+    /// `Restored::model`, wrapped in an `Arc` by the caller).
+    pub fn into_engine(self, model: Arc<CoverageModel>) -> StreamEngine {
+        StreamEngine::restore(
+            model,
+            BillboardStore::from_locations(self.locations),
+            self.retired,
+            self.lambda_m,
+            self.overlay,
+            self.n_trajectories,
+            self.epoch,
+            self.compactions,
+        )
+    }
+}
+
+/// Encodes a host's full state as one JSON document; `stream` adds the
+/// engine's overlay + epoch counters when the server is streaming.
+pub fn encode(host: &Host<'_>, stream: Option<&StreamEngine>) -> String {
     let model = host.model();
     let seed = host.seed();
     let spec = &host.config().solver;
@@ -110,6 +179,26 @@ pub fn encode(host: &Host<'_>) -> String {
             .collect(),
         lock: seed.lock,
         ledger: seed.ledger,
+        stream: stream.map(|engine| {
+            debug_assert!(
+                std::ptr::eq(model, engine.model().as_ref()),
+                "the host must serve the engine's base when snapshotting"
+            );
+            StreamDoc {
+                lambda_m: engine.lambda_m(),
+                epoch: engine.epoch(),
+                compactions: engine.compactions(),
+                stream_trajectories: engine.n_trajectories() as u64,
+                locations: engine.billboards().locations().to_vec(),
+                retired: engine.retired_mask().to_vec(),
+                appended: engine
+                    .overlay()
+                    .entries()
+                    .map(|(b, list)| (b, list.to_vec()))
+                    .collect(),
+                new_billboards: engine.overlay().new_billboard_lists().to_vec(),
+            }
+        }),
     };
     serde_json::to_string(&doc).expect("stub never fails")
 }
@@ -124,7 +213,7 @@ pub fn decode(json_text: &str) -> Result<Restored, SnapshotError> {
 /// `state` field of a `snapshot` response).
 pub fn decode_value(v: &Value) -> Result<Restored, SnapshotError> {
     let version = json::u32_field(v, "version")?;
-    if version != SNAPSHOT_VERSION {
+    if version == 0 || version > SNAPSHOT_VERSION {
         return Err(SnapshotError::Version(version));
     }
     let solver_name = v["solver"].as_str().ok_or(DecodeError {
@@ -170,6 +259,10 @@ pub fn decode_value(v: &Value) -> Result<Restored, SnapshotError> {
         .collect::<Result<Vec<_>, _>>()?;
     let n_trajectories = json::usize_field(v, "n_trajectories")?;
     let model = CoverageModel::from_lists(coverage, n_trajectories);
+    let stream = match &v["stream"] {
+        Value::Null => None,
+        section => Some(decode_stream(section, &model)?),
+    };
     Ok(Restored {
         model,
         config: HostConfig {
@@ -181,7 +274,118 @@ pub fn decode_value(v: &Value) -> Result<Restored, SnapshotError> {
             lock: json::decode_lock_state(&v["lock"])?,
             ledger: json::decode_ledger(&v["ledger"])?,
         },
+        stream,
     })
+}
+
+/// Decodes the `stream` section of a v2 snapshot against the
+/// already-decoded base model (needed for the overlay's base dims).
+fn decode_stream(v: &Value, model: &CoverageModel) -> Result<StreamRestore, SnapshotError> {
+    let Value::Array(loc_rows) = &v["locations"] else {
+        return Err(DecodeError {
+            field: "stream.locations".into(),
+            expected: "array of {x, y} points",
+        }
+        .into());
+    };
+    let locations = loc_rows
+        .iter()
+        .map(|p| {
+            Ok(Point::new(
+                json::f64_field(p, "x")?,
+                json::f64_field(p, "y")?,
+            ))
+        })
+        .collect::<Result<Vec<_>, DecodeError>>()?;
+    let Value::Array(flags) = &v["retired"] else {
+        return Err(DecodeError {
+            field: "stream.retired".into(),
+            expected: "array of booleans",
+        }
+        .into());
+    };
+    let retired = flags
+        .iter()
+        .map(|f| match f {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DecodeError {
+                field: "stream.retired[]".into(),
+                expected: "boolean",
+            }),
+        })
+        .collect::<Result<Vec<bool>, _>>()?;
+    let appended = match &v["appended"] {
+        Value::Null => Vec::new(),
+        Value::Array(pairs) => pairs
+            .iter()
+            .enumerate()
+            .map(|(i, pair)| {
+                let id = u32_item(&pair[0], "stream.appended[][0]")?;
+                let list = u32_list(&pair[1], &format!("stream.appended[{i}][1]"))?;
+                Ok((id, list))
+            })
+            .collect::<Result<Vec<_>, DecodeError>>()?,
+        _ => {
+            return Err(DecodeError {
+                field: "stream.appended".into(),
+                expected: "array of [id, [trajectories]] pairs",
+            }
+            .into())
+        }
+    };
+    let new_billboards = match &v["new_billboards"] {
+        Value::Null => Vec::new(),
+        Value::Array(rows) => rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| u32_list(row, &format!("stream.new_billboards[{i}]")))
+            .collect::<Result<Vec<_>, DecodeError>>()?,
+        _ => {
+            return Err(DecodeError {
+                field: "stream.new_billboards".into(),
+                expected: "array of coverage lists",
+            }
+            .into())
+        }
+    };
+    let overlay = DeltaOverlay::from_parts(
+        model.n_billboards(),
+        model.n_trajectories(),
+        appended,
+        new_billboards,
+    );
+    Ok(StreamRestore {
+        lambda_m: json::f64_field(v, "lambda_m")?,
+        epoch: json::u64_field(v, "epoch")?,
+        compactions: json::u64_field(v, "compactions")?,
+        n_trajectories: json::usize_field(v, "stream_trajectories")?,
+        locations,
+        retired,
+        overlay,
+    })
+}
+
+fn u32_item(v: &Value, field: &str) -> Result<u32, DecodeError> {
+    match v.as_f64() {
+        Some(n) if n >= 0.0 && n.fract() == 0.0 && n <= u32::MAX as f64 => Ok(n as u32),
+        _ => Err(DecodeError {
+            field: field.into(),
+            expected: "unsigned 32-bit integer",
+        }),
+    }
+}
+
+fn u32_list(v: &Value, field: &str) -> Result<Vec<u32>, DecodeError> {
+    let Value::Array(items) = v else {
+        return Err(DecodeError {
+            field: field.into(),
+            expected: "array of unsigned 32-bit integers",
+        });
+    };
+    items
+        .iter()
+        .map(|item| u32_item(item, &format!("{field}[]")))
+        .collect()
 }
 
 #[cfg(test)]
@@ -223,7 +427,7 @@ mod tests {
         for day in 0..5 {
             host.run_day(&g.day_batch(day));
         }
-        let restored = decode(&encode(&host)).expect("restores");
+        let restored = decode(&encode(&host, None)).expect("restores");
         assert_eq!(restored.seed, host.seed());
         assert_eq!(restored.config.gamma, 0.5);
         assert_eq!(restored.config.solver, config().solver);
@@ -238,7 +442,7 @@ mod tests {
     fn sixty_four_bit_seed_survives_the_float_wire() {
         let model = disjoint_model(&[3]);
         let host = Host::new(&model, config());
-        let restored = decode(&encode(&host)).unwrap();
+        let restored = decode(&encode(&host, None)).unwrap();
         assert_eq!(restored.config.solver.seed, 0xDEAD_BEEF_CAFE_F00D);
     }
 
@@ -258,7 +462,7 @@ mod tests {
             uninterrupted.run_day(&g.day_batch(day));
             doomed.run_day(&g.day_batch(day));
         }
-        let snapshot = encode(&doomed);
+        let snapshot = encode(&doomed, None);
         drop(doomed); // the "crash"
         let restored = decode(&snapshot).unwrap();
         let mut resumed = Host::resume(&restored.model, restored.config, restored.seed);
@@ -279,7 +483,7 @@ mod tests {
         ));
         let model = disjoint_model(&[2]);
         let host = Host::new(&model, config());
-        let good = encode(&host);
+        let good = encode(&host, None);
         let evil = good.replace("\"bls\"", "\"simplex\"");
         assert!(matches!(
             decode(&evil),
@@ -298,7 +502,7 @@ mod tests {
             payment: 9.0,
             duration_days: 5,
         }]);
-        let restored = decode(&encode(&host)).unwrap();
+        let restored = decode(&encode(&host, None)).unwrap();
         assert_eq!(restored.seed.day, 1);
         assert_eq!(restored.seed.lock.locked_count(), host.locked_count());
         assert_eq!(restored.seed.ledger.days.len(), 1);

@@ -1,0 +1,146 @@
+//! CI smoke test: spawn the real `mroam-served` binary on an empty
+//! trajectory set, replay a small city's trajectories in 4 wire chunks,
+//! and check the served coverage converges to the offline build — before
+//! *and* after compaction.
+
+use mroam_data::ids::{BillboardId, TrajectoryId};
+use mroam_experiments::params::DEFAULT_LAMBDA;
+use mroam_experiments::setup::{build_city, CityKind, Scale};
+use mroam_serve::client::Client;
+use mroam_serve::protocol::Request;
+use mroam_stream::{IngestBatch, TrajectoryDelta};
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+const CHUNKS: usize = 4;
+
+struct Daemon {
+    child: Child,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        // A failed assertion must not leave the server running.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn replayed_city_matches_the_offline_build() {
+    // The daemon builds the same city (same generator, same seed) but
+    // starts serving with zero trajectories: everything arrives as
+    // streamed deltas.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mroam-served"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--city",
+            "nyc",
+            "--scale",
+            "test",
+            "--head-trajectories",
+            "0",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn mroam-served");
+    // Stdout carries exactly the bound address.
+    let stdout = child.stdout.take().expect("stdout piped");
+    let daemon = Daemon { child };
+    let mut addr = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut addr)
+        .expect("read bound address");
+    let addr = addr.trim().parse().expect("daemon printed a socket addr");
+    let mut conn = Client::connect(addr).expect("connect");
+
+    let city = build_city(CityKind::Nyc, Scale::Test);
+    let offline = city.coverage(DEFAULT_LAMBDA);
+    let n_trajectories = city.trajectories.len();
+    let n_billboards = offline.n_billboards();
+
+    // Replay in CHUNKS roughly-equal chunks, timestamps included so the
+    // served hit predicate sees the exact offline inputs.
+    let per_chunk = n_trajectories.div_ceil(CHUNKS);
+    let mut sent = 0usize;
+    for (chunk, start) in (0..n_trajectories).step_by(per_chunk).enumerate() {
+        let end = (start + per_chunk).min(n_trajectories);
+        let trajectories: Vec<TrajectoryDelta> = (start..end)
+            .map(|i| {
+                let t = city.trajectories.get(TrajectoryId(i as u32));
+                TrajectoryDelta {
+                    points: t.points.to_vec(),
+                    timestamps: t.timestamps.to_vec(),
+                }
+            })
+            .collect();
+        sent += trajectories.len();
+        let v = conn
+            .call(&Request::Ingest {
+                id: chunk as u64,
+                batch: IngestBatch {
+                    billboard_events: vec![],
+                    trajectories,
+                },
+            })
+            .expect("ingest chunk");
+        assert_eq!(v["type"].as_str(), Some("ingested"), "chunk {chunk}: {v:?}");
+        assert_eq!(v["epoch"].as_f64(), Some((chunk + 1) as f64));
+    }
+    assert_eq!(sent, n_trajectories);
+
+    let verify = |conn: &mut Client, label: &str| {
+        for b in 0..n_billboards as u32 {
+            let v = conn
+                .call(&Request::QueryCoverage {
+                    id: 1000 + b as u64,
+                    billboards: vec![b],
+                })
+                .expect("query");
+            assert_eq!(
+                v["influence"].as_f64(),
+                Some(offline.influence_of(BillboardId(b)) as f64),
+                "{label}: influence of billboard {b} diverged"
+            );
+        }
+        let all: Vec<u32> = (0..n_billboards as u32).collect();
+        let union: HashSet<u32> = all
+            .iter()
+            .flat_map(|&b| offline.coverage(BillboardId(b)).iter().copied())
+            .collect();
+        let v = conn
+            .call(&Request::QueryCoverage {
+                id: 2000,
+                billboards: all,
+            })
+            .expect("query all");
+        assert_eq!(
+            v["influence"].as_f64(),
+            Some(union.len() as f64),
+            "{label}: full-set influence diverged"
+        );
+    };
+
+    // The merged overlay view matches offline...
+    verify(&mut conn, "pre-compaction");
+
+    // ...and so does the folded base after an explicit compaction.
+    let v = conn.call(&Request::Compact { id: 3000 }).expect("compact");
+    assert_eq!(v["type"].as_str(), Some("compacted"), "got {v:?}");
+    let v = conn.call(&Request::EpochStats { id: 3001 }).expect("stats");
+    assert_eq!(v["base_epoch"].as_f64(), v["epoch"].as_f64());
+    assert_eq!(v["n_trajectories"].as_f64(), Some(n_trajectories as f64));
+    assert_eq!(v["overlay_trajectories"].as_f64(), Some(0.0));
+    verify(&mut conn, "post-compaction");
+
+    let bye = conn
+        .call(&Request::Shutdown { id: 4000 })
+        .expect("shutdown");
+    assert_eq!(bye["type"].as_str(), Some("bye"));
+    let mut daemon = daemon;
+    let status = daemon.child.wait().expect("daemon exit");
+    assert!(status.success(), "daemon exited with {status}");
+}

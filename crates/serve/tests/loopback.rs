@@ -47,6 +47,7 @@ fn manual_server(model: CoverageModel, max_batch: usize) -> ServerHandle {
                 max_wait_nanos: 60_000_000_000,
                 adaptive: false,
             },
+            ..ServeConfig::default()
         },
         "127.0.0.1:0",
     )

@@ -59,7 +59,7 @@ proptest! {
             doomed.run_day(&generator.day_batch(day));
         }
 
-        let snapshot_text = snapshot::encode(&doomed);
+        let snapshot_text = snapshot::encode(&doomed, None);
         drop(doomed); // the crash: only the string survives
 
         let restored = snapshot::decode(&snapshot_text).expect("snapshot restores");

@@ -1,0 +1,182 @@
+//! Wire-level ingestion types: what one epoch's batch contains and the
+//! typed errors the pipeline can refuse it with.
+
+use mroam_data::StoreError;
+use mroam_geo::Point;
+use std::fmt;
+
+/// One new trajectory: points plus per-point timestamps (seconds from trip
+/// start), exactly the columns [`mroam_data::TrajectoryStore`] holds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryDelta {
+    /// GPS points in travel order.
+    pub points: Vec<Point>,
+    /// Seconds from trip start, parallel to `points`.
+    pub timestamps: Vec<f32>,
+}
+
+impl TrajectoryDelta {
+    /// A delta with timestamps derived from arc length at constant speed,
+    /// mirroring [`mroam_data::TrajectoryStore::push_at_speed`].
+    pub fn at_speed(points: Vec<Point>, speed_mps: f64) -> Self {
+        assert!(speed_mps > 0.0, "speed must be positive");
+        let mut timestamps = Vec::with_capacity(points.len());
+        let mut acc = 0.0f64;
+        timestamps.push(0.0f32);
+        for w in points.windows(2) {
+            acc += w[0].distance(&w[1]) / speed_mps;
+            timestamps.push(acc as f32);
+        }
+        Self { points, timestamps }
+    }
+}
+
+/// A billboard inventory event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BillboardEvent {
+    /// A new billboard goes live at `location`; it takes the next id and
+    /// covers every trajectory (past and future) within λ.
+    Add {
+        /// Panel location in planar metres.
+        location: Point,
+    },
+    /// Billboard `id` leaves the inventory: its coverage list empties but
+    /// the id stays valid (allocations, locks, and ledgers keep working).
+    Retire {
+        /// The billboard to retire.
+        id: u32,
+    },
+}
+
+/// One epoch's worth of input: inventory events are applied first, then
+/// the new trajectories (so an added billboard covers the batch's own
+/// trajectories and a retired one does not).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IngestBatch {
+    /// Billboard add/retire events, in order.
+    pub billboard_events: Vec<BillboardEvent>,
+    /// New trajectories, taking ids in arrival order.
+    pub trajectories: Vec<TrajectoryDelta>,
+}
+
+impl IngestBatch {
+    /// Whether the batch contains nothing.
+    pub fn is_empty(&self) -> bool {
+        self.billboard_events.is_empty() && self.trajectories.is_empty()
+    }
+}
+
+/// Why an [`IngestBatch`] was rejected. Validation runs before any state
+/// changes, so a rejected batch leaves the engine untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestError {
+    /// A trajectory with zero points.
+    EmptyTrajectory {
+        /// Index within the batch.
+        index: usize,
+    },
+    /// Points and timestamps columns differ in length.
+    LengthMismatch {
+        /// Index within the batch.
+        index: usize,
+    },
+    /// A retire event names a billboard the engine has never seen.
+    UnknownBillboard {
+        /// The offending id.
+        id: u32,
+    },
+    /// A retire event names an already-retired billboard.
+    AlreadyRetired {
+        /// The offending id.
+        id: u32,
+    },
+    /// A billboard add needs the historical trajectory geometry, which a
+    /// snapshot-restored engine does not carry (only new-trajectory
+    /// ingestion works after restore).
+    NoTrajectoryGeometry,
+    /// The columnar trajectory store refused the append.
+    Store(StoreError),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::EmptyTrajectory { index } => {
+                write!(f, "trajectory {index} in batch is empty")
+            }
+            IngestError::LengthMismatch { index } => {
+                write!(
+                    f,
+                    "trajectory {index} has mismatched point/timestamp columns"
+                )
+            }
+            IngestError::UnknownBillboard { id } => write!(f, "unknown billboard id {id}"),
+            IngestError::AlreadyRetired { id } => write!(f, "billboard {id} already retired"),
+            IngestError::NoTrajectoryGeometry => write!(
+                f,
+                "billboard add requires trajectory geometry the restored engine lacks"
+            ),
+            IngestError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<StoreError> for IngestError {
+    fn from(e: StoreError) -> Self {
+        IngestError::Store(e)
+    }
+}
+
+/// What one accepted batch did, epoch-stamped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestReport {
+    /// The epoch this batch created (first batch → epoch 1).
+    pub epoch: u64,
+    /// Trajectories appended.
+    pub new_trajectories: usize,
+    /// Billboards added.
+    pub new_billboards: usize,
+    /// Billboards retired.
+    pub retired: usize,
+    /// Sorted ids of every billboard whose coverage changed in this batch
+    /// — the warm-start invalidation frontier (see `mroam_core::warm`).
+    pub changed_billboards: Vec<u32>,
+}
+
+/// What one compaction did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactionReport {
+    /// The epoch the new base now reflects.
+    pub epoch: u64,
+    /// Trajectories folded out of the overlay.
+    pub folded_trajectories: usize,
+    /// Billboards folded out of the overlay.
+    pub folded_billboards: usize,
+    /// Sorted ids of every billboard whose coverage changed since the
+    /// previous base — what solvers must treat as invalidated when
+    /// re-solving against the new base.
+    pub changed_billboards: Vec<u32>,
+}
+
+/// A point-in-time description of the engine, served by `epoch_stats`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Ingest epochs applied so far.
+    pub epoch: u64,
+    /// The epoch the compacted base model reflects.
+    pub base_epoch: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// Total billboards (live + retired).
+    pub n_billboards: usize,
+    /// Total trajectories.
+    pub n_trajectories: usize,
+    /// Retired billboards.
+    pub n_retired: usize,
+    /// Trajectories still in the overlay (not yet compacted).
+    pub overlay_trajectories: usize,
+    /// Billboards still in the overlay.
+    pub overlay_billboards: usize,
+}

@@ -1,0 +1,184 @@
+//! The delta overlay: coverage changes accumulated since the last
+//! compaction, kept separate from the immutable base [`CoverageModel`]
+//! so ingestion never blocks readers of the compacted base.
+//!
+//! [`mroam_influence::CoverageModel`]'s extension invariants shape the
+//! representation: new trajectory ids are always `>= base n_trajectories`
+//! (so per-billboard appends stay sorted by construction) and new
+//! billboard ids always extend the id space at the end. Retirement lives
+//! *outside* the overlay — the engine keeps one global tombstone mask
+//! that survives compactions, because a billboard retired two epochs ago
+//! must still refuse re-retirement after its empty list has been folded
+//! into the base.
+
+use std::collections::BTreeMap;
+
+/// Coverage changes since the last compaction, relative to a base model
+/// with `base_n_billboards` rows over `base_n_trajectories` trajectories.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaOverlay {
+    base_n_billboards: usize,
+    base_n_trajectories: usize,
+    /// New trajectory ids appended to *base* billboards, keyed by
+    /// billboard id. `BTreeMap` iteration yields the sorted-by-billboard
+    /// order `CoverageDelta` requires; each list is ascending because new
+    /// ids are assigned monotonically.
+    appended: BTreeMap<u32, Vec<u32>>,
+    /// Full coverage lists of billboards added since the last compaction,
+    /// in id order (`base_n_billboards`, `base_n_billboards + 1`, ...).
+    /// Lists may reference both base and overlay trajectories.
+    new_billboards: Vec<Vec<u32>>,
+}
+
+impl DeltaOverlay {
+    /// An empty overlay over a base of the given dimensions.
+    pub fn new(base_n_billboards: usize, base_n_trajectories: usize) -> Self {
+        Self {
+            base_n_billboards,
+            base_n_trajectories,
+            appended: BTreeMap::new(),
+            new_billboards: Vec::new(),
+        }
+    }
+
+    /// Rebuilds an overlay from its serialized parts (snapshot restore).
+    /// `appended` must be sorted by billboard id with ascending lists —
+    /// exactly what [`entries`](Self::entries) produced.
+    pub fn from_parts(
+        base_n_billboards: usize,
+        base_n_trajectories: usize,
+        appended: Vec<(u32, Vec<u32>)>,
+        new_billboards: Vec<Vec<u32>>,
+    ) -> Self {
+        debug_assert!(appended.windows(2).all(|w| w[0].0 < w[1].0));
+        Self {
+            base_n_billboards,
+            base_n_trajectories,
+            appended: appended.into_iter().collect(),
+            new_billboards,
+        }
+    }
+
+    /// Base billboard count this overlay is relative to.
+    pub fn base_n_billboards(&self) -> usize {
+        self.base_n_billboards
+    }
+
+    /// Base trajectory count this overlay is relative to.
+    pub fn base_n_trajectories(&self) -> usize {
+        self.base_n_trajectories
+    }
+
+    /// Billboards added since the last compaction.
+    pub fn n_new_billboards(&self) -> usize {
+        self.new_billboards.len()
+    }
+
+    /// Whether the overlay holds any coverage change at all.
+    pub fn is_empty(&self) -> bool {
+        self.appended.is_empty() && self.new_billboards.is_empty()
+    }
+
+    /// Records that new trajectory `t` is covered by billboard `b`
+    /// (either a base billboard or one added in this overlay window).
+    pub fn append(&mut self, b: u32, t: u32) {
+        debug_assert!(t as usize >= self.base_n_trajectories);
+        if (b as usize) < self.base_n_billboards {
+            let list = self.appended.entry(b).or_default();
+            debug_assert!(list.last().is_none_or(|&last| last < t));
+            list.push(t);
+        } else {
+            let j = b as usize - self.base_n_billboards;
+            debug_assert!(self.new_billboards[j].last().is_none_or(|&last| last < t));
+            self.new_billboards[j].push(t);
+        }
+    }
+
+    /// Adds a billboard with coverage `list` (over all existing
+    /// trajectories, sorted) and returns its global id.
+    pub fn push_new_billboard(&mut self, list: Vec<u32>) -> u32 {
+        debug_assert!(list.windows(2).all(|w| w[0] < w[1]));
+        let id = (self.base_n_billboards + self.new_billboards.len()) as u32;
+        self.new_billboards.push(list);
+        id
+    }
+
+    /// Empties billboard `b`'s pending coverage on retirement. For a base
+    /// billboard this drops its append list (the merged list is empty
+    /// regardless — `CoverageDelta` forbids appends to retired rows); for
+    /// an overlay billboard it clears the list in place so the id keeps
+    /// resolving.
+    pub fn clear_billboard(&mut self, b: u32) {
+        if (b as usize) < self.base_n_billboards {
+            self.appended.remove(&b);
+        } else {
+            self.new_billboards[b as usize - self.base_n_billboards].clear();
+        }
+    }
+
+    /// New trajectory ids appended to base billboard `b` so far (empty if
+    /// none).
+    pub fn appended_to(&self, b: u32) -> &[u32] {
+        self.appended.get(&b).map_or(&[], Vec::as_slice)
+    }
+
+    /// Coverage list of overlay billboard `b` (a *global* id, which must
+    /// be `>= base_n_billboards`).
+    pub fn new_billboard_coverage(&self, b: u32) -> &[u32] {
+        &self.new_billboards[b as usize - self.base_n_billboards]
+    }
+
+    /// The append map as sorted `(billboard, new trajectory ids)` pairs —
+    /// the exact shape `CoverageDelta::appended` and the snapshot encoder
+    /// consume.
+    pub fn entries(&self) -> impl Iterator<Item = (u32, &[u32])> + '_ {
+        self.appended.iter().map(|(&b, list)| (b, list.as_slice()))
+    }
+
+    /// Coverage lists of the billboards added in this overlay window, in
+    /// id order.
+    pub fn new_billboard_lists(&self) -> &[Vec<u32>] {
+        &self.new_billboards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_routes_between_base_and_new() {
+        let mut ov = DeltaOverlay::new(2, 10);
+        let id = ov.push_new_billboard(vec![3, 7]);
+        assert_eq!(id, 2);
+        ov.append(0, 10);
+        ov.append(2, 10);
+        ov.append(0, 12);
+        assert_eq!(ov.appended_to(0), &[10, 12]);
+        assert_eq!(ov.appended_to(1), &[] as &[u32]);
+        assert_eq!(ov.new_billboard_coverage(2), &[3, 7, 10]);
+        assert!(!ov.is_empty());
+    }
+
+    #[test]
+    fn clear_billboard_empties_both_kinds() {
+        let mut ov = DeltaOverlay::new(1, 5);
+        ov.push_new_billboard(vec![1, 2]);
+        ov.append(0, 5);
+        ov.clear_billboard(0);
+        ov.clear_billboard(1);
+        assert_eq!(ov.appended_to(0), &[] as &[u32]);
+        assert_eq!(ov.new_billboard_coverage(1), &[] as &[u32]);
+    }
+
+    #[test]
+    fn round_trips_through_parts() {
+        let mut ov = DeltaOverlay::new(3, 4);
+        ov.push_new_billboard(vec![0, 4]);
+        ov.append(1, 4);
+        ov.append(1, 5);
+        let parts: Vec<(u32, Vec<u32>)> = ov.entries().map(|(b, l)| (b, l.to_vec())).collect();
+        let back = DeltaOverlay::from_parts(3, 4, parts, ov.new_billboard_lists().to_vec());
+        assert_eq!(back, ov);
+    }
+}
