@@ -62,8 +62,39 @@ use rayon::prelude::*;
 /// identical result.
 const PAR_SCAN_MIN: usize = 1024;
 
-/// Chunk size for the parallel exact scans.
-const PAR_CHUNK: usize = 256;
+/// Partitioned argmax over `items`: contiguous chunks folded on their own
+/// OS threads ([`rayon::scope`] — the vendored rayon's `ParIter`
+/// combinators run sequentially, so genuine pick-round parallelism must
+/// spawn scoped tasks), then merged **in chunk order** with
+/// [`merge_best`]. The comparison is a total order on `(score, −id)`, so
+/// the reduction is associative and the result is bit-identical to the
+/// sequential left fold regardless of thread count, chunk boundaries, or
+/// scheduling. `n_tasks ≤ 1` (or a single item) short-circuits to the
+/// plain fold.
+pub(crate) fn partitioned_fold_best<T, F>(
+    items: &[T],
+    n_tasks: usize,
+    eval: &F,
+) -> Option<(f64, BillboardId)>
+where
+    T: Sync,
+    F: Fn(Option<(f64, BillboardId)>, &T) -> Option<(f64, BillboardId)> + Sync,
+{
+    let n_tasks = n_tasks.clamp(1, items.len().max(1));
+    if n_tasks <= 1 {
+        return items.iter().fold(None, eval);
+    }
+    let chunk = items.len().div_ceil(n_tasks);
+    let mut parts: Vec<Option<(f64, BillboardId)>> = vec![None; items.len().div_ceil(chunk)];
+    rayon::scope(|s| {
+        for (slot, ch) in parts.iter_mut().zip(items.chunks(chunk)) {
+            s.spawn(move |_| {
+                *slot = ch.iter().fold(None, eval);
+            });
+        }
+    });
+    parts.into_iter().fold(None, merge_best)
+}
 
 /// Per-advertiser lazy state: one overlap counter per billboard, allocated
 /// on first query (many advertisers are never queried).
@@ -159,6 +190,10 @@ pub struct GainEngine {
     cursor: usize,
     /// Whether lazy evaluation is sound for the instance's measure.
     lazy: bool,
+    /// Forced task count for the partitioned frontier scans; `None`
+    /// follows the rayon pool width. Tests force >1 to exercise the
+    /// sharded path on single-core hosts.
+    scan_tasks: Option<usize>,
     advs: Vec<AdvState>,
 }
 
@@ -169,10 +204,28 @@ impl GainEngine {
         Self {
             cursor: alloc.event_cursor(),
             lazy: alloc.instance().measure.is_submodular(),
+            scan_tasks: None,
             advs: (0..alloc.n_advertisers())
                 .map(|_| AdvState::default())
                 .collect(),
         }
+    }
+
+    /// Forces the partitioned pick-round scans onto `n_tasks` scoped
+    /// tasks (or back to the pool width with `None`). Any value returns
+    /// bit-identical picks — the reduction is associative with a total
+    /// order — so this only exists for tests and benches to pin the
+    /// sharded path regardless of host width, mirroring the
+    /// `build_parallel_with` convention of the derived-structure builds.
+    pub fn set_scan_tasks(&mut self, n_tasks: Option<usize>) {
+        self.scan_tasks = n_tasks;
+    }
+
+    /// The task count the partitioned scans run at.
+    fn tasks(&self) -> usize {
+        self.scan_tasks
+            .unwrap_or_else(rayon::current_num_threads)
+            .max(1)
     }
 
     /// Catches up with moves made since the last query. Each event costs
@@ -235,43 +288,63 @@ impl GainEngine {
         }
         let gap = adv.demand - influence;
         let model = alloc.instance().model;
+        let tasks = self.tasks();
         let st = &mut self.advs[a.index()];
         if !st.seeded {
             st.seed(alloc, a);
         }
 
-        // O(1) pass over all candidates. `have_safe_zero` records whether
-        // some free zero-overlap candidate is safe (`gain < gap`) with a
-        // positive normal score: every overlapped safe candidate is then
-        // strictly dominated. Strictness survives float rounding: both
-        // scores evaluate `((p·γ)·g/d)/I` with identical factors except
-        // `g`, so their ratio is `g_d/I_d ≤ 1 − 1/I_d` up to a handful of
-        // ulps — and `1/I_d` (at least 2⁻⁶⁴ for any representable
-        // influence) dwarfs the ulps for any normal score.
-        let mut best: Option<(f64, BillboardId)> = None;
-        let mut have_safe_zero = false;
+        // O(1) pass over all candidates — the pick round's frontier scan.
+        // `have_safe_zero` records whether some free zero-overlap
+        // candidate is safe (`gain < gap`) with a positive normal score:
+        // every overlapped safe candidate is then strictly dominated.
+        // Strictness survives float rounding: both scores evaluate
+        // `((p·γ)·g/d)/I` with identical factors except `g`, so their
+        // ratio is `g_d/I_d ≤ 1 − 1/I_d` up to a handful of ulps — and
+        // `1/I_d` (at least 2⁻⁶⁴ for any representable influence) dwarfs
+        // the ulps for any normal score.
+        //
+        // Past `PAR_SCAN_MIN` candidates the scan is partitioned over
+        // scoped tasks, one contiguous billboard range each. Shard
+        // results are merged **in shard order**: the running best through
+        // the associative [`merge_best`] total order, `have_safe_zero` as
+        // a boolean OR, and the deferred lists by concatenation — ranges
+        // ascend, so the concatenation reproduces the sequential deferred
+        // order exactly and every downstream step sees identical state.
+        let n_b = model.n_billboards();
+        let mut best: Option<(f64, BillboardId)>;
+        let mut have_safe_zero;
         st.deferred.clear();
-        for id in 0..model.n_billboards() as u32 {
-            let b = BillboardId(id);
-            if alloc.owner_of(b).is_some() {
-                continue;
-            }
-            let infl = model.influence_of(b);
-            if infl == 0 {
-                continue;
-            }
-            if st.adj_cnt[id as usize] == 0 {
-                // Zero overlap with the plan ⇒ gain = I({o}) exactly; the
-                // score is the same float the naive scan computes, on
-                // either side of the demand boundary.
-                let score = alloc.regret_decrease_of_gain(a, infl) / infl as f64;
-                best = fold_candidate(best, score, b);
-                if infl < gap && score > 0.0 && score.is_normal() {
-                    have_safe_zero = true;
+        if tasks > 1 && n_b >= PAR_SCAN_MIN {
+            let shard = n_b.div_ceil(tasks);
+            let adj_cnt = &st.adj_cnt;
+            type ShardResult = (Option<(f64, BillboardId)>, bool, Vec<u32>);
+            let mut parts: Vec<Option<ShardResult>> = vec![None; n_b.div_ceil(shard)];
+            rayon::scope(|s| {
+                for (i, slot) in parts.iter_mut().enumerate() {
+                    let lo = (i * shard) as u32;
+                    let hi = ((i + 1) * shard).min(n_b) as u32;
+                    s.spawn(move |_| {
+                        let mut deferred = Vec::new();
+                        let (b, safe) =
+                            scan_frontier_range(alloc, a, gap, adj_cnt, lo..hi, &mut deferred);
+                        *slot = Some((b, safe, deferred));
+                    });
                 }
-            } else {
-                st.deferred.push(id);
+            });
+            best = None;
+            have_safe_zero = false;
+            for part in parts {
+                let (b, safe, deferred) = part.expect("scan shard completed");
+                best = merge_best(best, b);
+                have_safe_zero |= safe;
+                st.deferred.extend_from_slice(&deferred);
             }
+        } else {
+            let (b, safe) =
+                scan_frontier_range(alloc, a, gap, &st.adj_cnt, 0..n_b as u32, &mut st.deferred);
+            best = b;
+            have_safe_zero = safe;
         }
 
         // Exact evaluation of the deferred candidates the O(1) pass could
@@ -292,29 +365,62 @@ impl GainEngine {
             }
             match bitmap {
                 Some(bm) if infl as usize * 2 >= bm.words_per_row() => {
-                    let overlap: u64 = bm
-                        .row(id)
-                        .iter()
-                        .zip(covered)
-                        .map(|(&r, &c)| u64::from((r & c).count_ones()))
-                        .sum();
+                    let overlap = bm.row_and_popcount(id, covered);
                     let score = alloc.regret_decrease_of_gain(a, infl - overlap) / infl as f64;
                     fold_candidate(acc, score, b)
                 }
                 _ => fold_free(alloc, a, acc, b),
             }
         };
-        let deferred_best = if st.deferred.len() < PAR_SCAN_MIN {
+        let deferred_best = if tasks <= 1 || st.deferred.len() < PAR_SCAN_MIN {
             st.deferred.iter().fold(None, eval_one)
         } else {
-            st.deferred
-                .par_chunks(PAR_CHUNK)
-                .map(|chunk| chunk.iter().fold(None, eval_one))
-                .reduce(|| None, merge_best)
+            partitioned_fold_best(&st.deferred, tasks, &eval_one)
         };
         best = merge_best(best, deferred_best);
         best.map(|(_, b)| b)
     }
+}
+
+/// The sequential frontier scan over one contiguous billboard range: the
+/// body of [`GainEngine::best_billboard`]'s O(1) pass, factored out so the
+/// partitioned pick rounds run it per shard. Returns the range's best
+/// zero-overlap candidate and whether a safe positive zero-overlap score
+/// was seen; overlapped candidates are appended to `deferred` in id order.
+fn scan_frontier_range(
+    alloc: &Allocation<'_>,
+    a: AdvertiserId,
+    gap: u64,
+    adj_cnt: &[u32],
+    range: std::ops::Range<u32>,
+    deferred: &mut Vec<u32>,
+) -> (Option<(f64, BillboardId)>, bool) {
+    let model = alloc.instance().model;
+    let mut best: Option<(f64, BillboardId)> = None;
+    let mut have_safe_zero = false;
+    for id in range {
+        let b = BillboardId(id);
+        if alloc.owner_of(b).is_some() {
+            continue;
+        }
+        let infl = model.influence_of(b);
+        if infl == 0 {
+            continue;
+        }
+        if adj_cnt[id as usize] == 0 {
+            // Zero overlap with the plan ⇒ gain = I({o}) exactly; the
+            // score is the same float the naive scan computes, on
+            // either side of the demand boundary.
+            let score = alloc.regret_decrease_of_gain(a, infl) / infl as f64;
+            best = fold_candidate(best, score, b);
+            if infl < gap && score > 0.0 && score.is_normal() {
+                have_safe_zero = true;
+            }
+        } else {
+            deferred.push(id);
+        }
+    }
+    (best, have_safe_zero)
 }
 
 /// Folds one fresh score into the running best with the naive scan's exact
@@ -385,17 +491,12 @@ pub(crate) fn scan_free(
     par_min: usize,
 ) -> Option<(f64, BillboardId)> {
     let free = alloc.free_billboards();
-    if free.len() < par_min {
+    let tasks = rayon::current_num_threads();
+    if tasks <= 1 || free.len() < par_min {
         free.iter()
             .fold(None, |acc, &b| fold_free(alloc, a, acc, b))
     } else {
-        free.par_chunks(PAR_CHUNK)
-            .map(|chunk| {
-                chunk
-                    .iter()
-                    .fold(None, |acc, &b| fold_free(alloc, a, acc, b))
-            })
-            .reduce(|| None, merge_best)
+        partitioned_fold_best(free, tasks, &|acc, &b| fold_free(alloc, a, acc, b))
     }
 }
 
@@ -684,6 +785,129 @@ mod tests {
         );
 
         replay_in_lockstep(&mut naive, &mut lazy, &mut engine, "post-release").unwrap();
+    }
+
+    /// A deterministic overlapping instance big enough to cross
+    /// `PAR_SCAN_MIN` (so the partitioned pick rounds actually shard):
+    /// `n_b` billboards over `n_t` trajectories with a mix of hub overlap
+    /// and pseudo-random spread.
+    fn large_overlapping_lists(n_b: usize, n_t: u32, seed: u64) -> Vec<Vec<u32>> {
+        (0..n_b)
+            .map(|b| {
+                let mut x = seed ^ (b as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let mut list: Vec<u32> = (0..(b % 5 + 1))
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        (x % u64::from(n_t)) as u32
+                    })
+                    .collect();
+                // A shared hub trajectory gives dense overlap so most
+                // candidates defer once an advertiser holds a hub member.
+                if b % 3 == 0 {
+                    list.push(0);
+                }
+                list.sort_unstable();
+                list.dedup();
+                list
+            })
+            .collect()
+    }
+
+    /// The parallel-pick tentpole contract: forcing the partitioned
+    /// frontier scan onto any task count reproduces the sequential pick
+    /// sequence bit-identically, through a full G-Global-style replay.
+    /// (`RAYON_NUM_THREADS` is latched process-wide, so the width itself
+    /// is pinned the same way the derived-build tests pin theirs: by
+    /// forcing the shard count explicitly; CI additionally runs the whole
+    /// suite at `RAYON_NUM_THREADS=4`.)
+    #[test]
+    fn sharded_pick_sequence_matches_sequential() {
+        for seed in [1u64, 42] {
+            let lists = large_overlapping_lists(1500, 160, seed);
+            let model = CoverageModel::from_lists(lists, 160);
+            let advs = AdvertiserSet::new(vec![
+                Advertiser::new(60, 50.0),
+                Advertiser::new(25, 9.0),
+                Advertiser::new(90, 120.0),
+            ]);
+            let inst = Instance::new(&model, &advs, 0.7);
+
+            let mut seq_alloc = Allocation::new(inst);
+            let mut seq_engine = GainEngine::new(&seq_alloc);
+            seq_engine.set_scan_tasks(Some(1));
+
+            for tasks in [2usize, 3, 7] {
+                let mut par_alloc = Allocation::new(inst);
+                let mut par_engine = GainEngine::new(&par_alloc);
+                par_engine.set_scan_tasks(Some(tasks));
+
+                // Round-robin G-Global grants, in lockstep.
+                let n = seq_alloc.n_advertisers();
+                loop {
+                    let mut advanced = false;
+                    for i in 0..n {
+                        let a = AdvertiserId::from_index(i);
+                        if seq_alloc.is_satisfied(a) {
+                            continue;
+                        }
+                        let want = seq_engine.best_billboard(&seq_alloc, a);
+                        let got = par_engine.best_billboard(&par_alloc, a);
+                        assert_eq!(want, got, "tasks={tasks} advertiser {i} diverged");
+                        if let Some(b) = want {
+                            seq_alloc.assign(b, a);
+                            par_alloc.assign(b, a);
+                            advanced = true;
+                        }
+                    }
+                    if !advanced {
+                        break;
+                    }
+                }
+                assert_eq!(seq_alloc.total_regret(), par_alloc.total_regret());
+                // Reset the sequential twin for the next task count.
+                seq_alloc = Allocation::new(inst);
+                seq_engine = GainEngine::new(&seq_alloc);
+                seq_engine.set_scan_tasks(Some(1));
+            }
+        }
+    }
+
+    /// The partitioned reduction primitive itself: any task count equals
+    /// the sequential fold, including counts above the item count.
+    #[test]
+    fn partitioned_fold_matches_sequential_fold() {
+        let scores: Vec<(f64, u32)> = (0..333u32)
+            .map(|i| {
+                (
+                    (i.wrapping_mul(2654435761).wrapping_add(i) % 97) as f64 / 97.0,
+                    i,
+                )
+            })
+            .collect();
+        let eval = |acc: Option<(f64, BillboardId)>, it: &(f64, u32)| {
+            fold_candidate(acc, it.0, BillboardId(it.1))
+        };
+        let want = scores.iter().fold(None, eval);
+        for tasks in [1usize, 2, 3, 8, 64, 1000] {
+            assert_eq!(
+                partitioned_fold_best(&scores, tasks, &eval),
+                want,
+                "{tasks} tasks"
+            );
+        }
+        // Ties: equal scores must resolve to the smallest id through any
+        // chunking.
+        let ties: Vec<(f64, u32)> = (0..2048u32).rev().map(|i| (0.5, i)).collect();
+        for tasks in [1usize, 2, 7, 31] {
+            assert_eq!(
+                partitioned_fold_best(&ties, tasks, &eval),
+                Some((0.5, BillboardId(0))),
+                "{tasks} tasks (ties)"
+            );
+        }
+        assert_eq!(partitioned_fold_best::<(f64, u32), _>(&[], 4, &eval), None);
     }
 
     /// The rayon-chunked paths must compute the identical result as the

@@ -139,6 +139,24 @@ pub struct MoveEngine {
     /// Allocated on first use; entries are only meaningful for current
     /// plan members.
     loss: Vec<Vec<u64>>,
+    /// Per advertiser: word-aligned bitset of the trajectories the plan
+    /// covers, sized to the model's
+    /// [`CoverageBitmap`](mroam_influence::CoverageBitmap) rows. Lets the
+    /// swap scans evaluate an exact Distinct gain as
+    /// `I({o}) − popcount(row(o) ∧ covered)` through the
+    /// [`kernel`](mroam_influence::kernel) dispatch point instead of an
+    /// `I({o})`-lookup counter walk. Invalidated whole (not per-bit) on
+    /// any own-plan move and rebuilt lazily per scan — one O(plan
+    /// coverage) OR pass amortised over an O(|S_a|·|free|) scan.
+    covered: Vec<CoveredSet>,
+}
+
+/// A lazily rebuilt covered-trajectory bitset for one advertiser; see
+/// [`MoveEngine::covered`].
+#[derive(Debug, Clone, Default)]
+struct CoveredSet {
+    valid: bool,
+    words: Vec<u64>,
 }
 
 impl MoveEngine {
@@ -156,6 +174,7 @@ impl MoveEngine {
             free_clean: vec![ScanCert::NONE; n],
             release_clean: vec![ScanCert::NONE; n],
             loss: vec![Vec::new(); n],
+            covered: vec![CoveredSet::default(); n],
         }
     }
 
@@ -177,19 +196,22 @@ impl MoveEngine {
                 AllocEvent::Assigned { b, a } => {
                     self.ver[a.index()] += 1;
                     self.dirty_losses(alloc, a, b);
+                    self.covered[a.index()].valid = false;
                 }
                 AllocEvent::Released { b, a } => {
                     self.ver[a.index()] += 1;
                     self.free_add_ver += 1;
                     self.dirty_losses(alloc, a, b);
+                    self.covered[a.index()].valid = false;
                 }
                 AllocEvent::PlansExchanged { i, j } => {
                     self.ver[i.index()] += 1;
                     self.ver[j.index()] += 1;
                     // Counters and sets swapped wholesale: each cached
-                    // loss follows its plan to the other advertiser and
-                    // stays exact.
+                    // loss (and covered bitset) follows its plan to the
+                    // other advertiser and stays exact.
                     self.loss.swap(i.index(), j.index());
+                    self.covered.swap(i.index(), j.index());
                 }
             }
         }
@@ -229,6 +251,59 @@ impl MoveEngine {
         let loss = alloc.marginal_loss_of(a, m);
         self.loss[a.index()][m.index()] = loss;
         loss
+    }
+
+    /// Ensures `a`'s covered bitset is current and returns whether the
+    /// bitmap gain path is usable at all: the `I({o}) − popcount` identity
+    /// only holds for the Distinct measure (overlap-sensitive *and*
+    /// submodular), and only while the model's coverage bitmap is within
+    /// budget. A stale bitset is rebuilt with one OR pass over the plan's
+    /// coverage lists — `coverage_count > 0` iff some member covers the
+    /// trajectory, so the OR of member rows is exactly the counter
+    /// support.
+    fn refresh_covered(&mut self, alloc: &Allocation<'_>, a: AdvertiserId) -> bool {
+        let measure = alloc.instance().measure;
+        if !(measure.overlap_sensitive() && measure.is_submodular()) {
+            return false;
+        }
+        let model = alloc.instance().model;
+        let Some(bm) = model.coverage_bitmap() else {
+            return false;
+        };
+        let slot = &mut self.covered[a.index()];
+        if slot.valid && slot.words.len() == bm.words_per_row() {
+            return true;
+        }
+        slot.words.clear();
+        slot.words.resize(bm.words_per_row(), 0);
+        for &m in alloc.set_of(a) {
+            mroam_influence::kernel::or_merge(&mut slot.words, bm.row(m.0));
+        }
+        slot.valid = true;
+        true
+    }
+
+    /// Exact Distinct marginal gain of adding free/foreign billboard `f`
+    /// to `a`'s plan, choosing per candidate between the kernel popcount
+    /// intersection and the counter walk — the same integer either way,
+    /// so downstream float deltas are bit-identical.
+    #[inline]
+    fn gain_of(
+        alloc: &Allocation<'_>,
+        covered: Option<&[u64]>,
+        a: AdvertiserId,
+        f: BillboardId,
+    ) -> u64 {
+        let model = alloc.instance().model;
+        if let Some(c) = covered {
+            let infl = model.influence_of(f);
+            if infl as usize * 2 >= c.len() {
+                if let Some(bm) = model.coverage_bitmap() {
+                    return infl - bm.row_and_popcount(f.0, c);
+                }
+            }
+        }
+        alloc.marginal_gain(a, f)
     }
 
     /// Whether exchanging the whole plans of `i` and `j` (the ALS move)
@@ -308,13 +383,17 @@ impl MoveEngine {
             .iter()
             .map(|&x| self.loss_of(alloc, b, x) as i64)
             .collect();
+        let cov_a = self.refresh_covered(alloc, a);
+        let cov_b = self.refresh_covered(alloc, b);
+        let covered_a = cov_a.then(|| self.covered[a.index()].words.as_slice());
+        let covered_b = cov_b.then(|| self.covered[b.index()].words.as_slice());
         let gain_a_of: Vec<i64> = sb
             .iter()
-            .map(|&x| alloc.marginal_gain(a, x) as i64)
+            .map(|&x| Self::gain_of(alloc, covered_a, a, x) as i64)
             .collect();
         let gain_b_of: Vec<i64> = sa
             .iter()
-            .map(|&m| alloc.marginal_gain(b, m) as i64)
+            .map(|&m| Self::gain_of(alloc, covered_b, b, m) as i64)
             .collect();
         let graph = alloc.instance().model.overlap_graph();
 
@@ -380,6 +459,8 @@ impl MoveEngine {
             .iter()
             .map(|&m| self.loss_of(alloc, a, m) as i64)
             .collect();
+        let has_covered = self.refresh_covered(alloc, a);
+        let covered = has_covered.then(|| self.covered[a.index()].words.as_slice());
         let graph = alloc.instance().model.overlap_graph();
         let free = alloc.free_billboards();
         for (mi, &m) in sa.iter().enumerate() {
@@ -388,7 +469,8 @@ impl MoveEngine {
                 let delta = if graph.are_adjacent(m.0, f.0) {
                     alloc.eval_replace_with_free(m, f)
                 } else {
-                    alloc.regret_delta_of_change(a, alloc.marginal_gain(a, f) as i64 - loss_m)
+                    let gain = Self::gain_of(alloc, covered, a, f) as i64;
+                    alloc.regret_delta_of_change(a, gain - loss_m)
                 };
                 delta < -threshold
             };

@@ -295,18 +295,91 @@ fn read_billboards_from_bytes(data: &[u8], n_chunks: usize) -> Result<BillboardS
 }
 
 /// Writes a trajectory store as `traj_id,seq,x,y,t` rows with a header.
-pub fn write_trajectories<W: Write>(store: &TrajectoryStore, mut w: W) -> io::Result<()> {
-    let mut buf = String::from("traj_id,seq,x,y,t\n");
+pub fn write_trajectories<W: Write>(store: &TrajectoryStore, w: W) -> io::Result<()> {
+    let mut out = TrajectoryCsvWriter::new(w);
     for t in store.iter() {
-        for (seq, (p, ts)) in t.points.iter().zip(t.timestamps).enumerate() {
-            writeln!(buf, "{},{},{},{},{}", t.id.0, seq, p.x, p.y, ts).unwrap();
-            if buf.len() > 1 << 16 {
-                w.write_all(buf.as_bytes())?;
-                buf.clear();
-            }
+        out.write_trip(t.points, t.timestamps)?;
+    }
+    out.finish().map(|_| ())
+}
+
+/// Incremental writer for the `traj_id,seq,x,y,t` trajectory schema:
+/// trips are appended one at a time and buffered rows flush as they fill,
+/// so a generator can stream millions of trajectories straight to disk
+/// without ever materialising a [`TrajectoryStore`].
+/// [`write_trajectories`] is this writer driven by a store iterator, so
+/// the two paths produce byte-identical files.
+pub struct TrajectoryCsvWriter<W: Write> {
+    w: W,
+    buf: String,
+    next_id: u64,
+}
+
+impl<W: Write> TrajectoryCsvWriter<W> {
+    /// Starts a writer; the header row is buffered immediately.
+    pub fn new(w: W) -> Self {
+        Self {
+            w,
+            buf: String::from("traj_id,seq,x,y,t\n"),
+            next_id: 0,
         }
     }
-    w.write_all(buf.as_bytes())
+
+    /// Number of trips appended so far.
+    pub fn trips_written(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Appends one trip with explicit per-point timestamps.
+    pub fn write_trip(&mut self, points: &[Point], timestamps: &[f32]) -> io::Result<()> {
+        assert!(!points.is_empty(), "empty trajectory");
+        assert_eq!(
+            points.len(),
+            timestamps.len(),
+            "points/timestamps length mismatch"
+        );
+        let id = self.next_id;
+        self.next_id += 1;
+        for (seq, (p, ts)) in points.iter().zip(timestamps).enumerate() {
+            writeln!(self.buf, "{id},{seq},{},{},{ts}", p.x, p.y).unwrap();
+            if self.buf.len() > 1 << 16 {
+                self.w.write_all(self.buf.as_bytes())?;
+                self.buf.clear();
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends one trip travelled at constant `speed_mps`, deriving
+    /// timestamps from cumulative arc length exactly like
+    /// [`TrajectoryStore::push_at_speed`] — a streamed file round-trips
+    /// through [`read_trajectories`] to the same store the collector path
+    /// builds.
+    pub fn write_trip_at_speed(&mut self, points: &[Point], speed_mps: f64) -> io::Result<()> {
+        assert!(speed_mps > 0.0, "speed must be positive");
+        assert!(!points.is_empty(), "empty trajectory");
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut acc = 0.0f64;
+        for (seq, p) in points.iter().enumerate() {
+            if seq > 0 {
+                acc += points[seq - 1].distance(p) / speed_mps;
+            }
+            let ts = acc as f32;
+            writeln!(self.buf, "{id},{seq},{},{},{ts}", p.x, p.y).unwrap();
+            if self.buf.len() > 1 << 16 {
+                self.w.write_all(self.buf.as_bytes())?;
+                self.buf.clear();
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes the tail buffer and returns the inner writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.w.write_all(self.buf.as_bytes())?;
+        Ok(self.w)
+    }
 }
 
 /// One pre-parsed trajectory point row; see [`BillboardRow`] for why each
@@ -486,6 +559,42 @@ mod tests {
         assert_eq!(t0.travel_time(), 5.0);
         let t1 = read.get(crate::TrajectoryId(1));
         assert_eq!(t1.points, &[Point::new(7.0, 7.0)]);
+    }
+
+    #[test]
+    fn streaming_writer_matches_bulk_writer() {
+        let store = sample_trajectories();
+        let mut bulk = Vec::new();
+        write_trajectories(&store, &mut bulk).unwrap();
+        let mut w = TrajectoryCsvWriter::new(Vec::new());
+        for t in store.iter() {
+            w.write_trip(t.points, t.timestamps).unwrap();
+        }
+        assert_eq!(w.trips_written(), 2);
+        assert_eq!(w.finish().unwrap(), bulk);
+    }
+
+    #[test]
+    fn streamed_at_speed_roundtrips_to_push_at_speed_store() {
+        let trips: &[&[Point]] = &[
+            &[Point::new(0.0, 0.0), Point::new(30.0, 40.0)],
+            &[Point::new(5.0, 5.0)],
+            &[
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(1.0, 9.0),
+            ],
+        ];
+        let mut store = TrajectoryStore::new();
+        let mut w = TrajectoryCsvWriter::new(Vec::new());
+        for points in trips {
+            store.push_at_speed(points, 2.5).unwrap();
+            w.write_trip_at_speed(points, 2.5).unwrap();
+        }
+        let read = read_trajectories(&w.finish().unwrap()[..]).unwrap();
+        assert_eq!(read.offsets(), store.offsets());
+        assert_eq!(read.point_column(), store.point_column());
+        assert_eq!(read.timestamp_column(), store.timestamp_column());
     }
 
     #[test]

@@ -16,13 +16,17 @@
 //! * [`stats::DatasetStats`] reproducing the Table 5 columns.
 
 pub mod billboard;
+pub mod col;
 pub mod csv;
 pub mod filter;
 pub mod ids;
+#[cfg(feature = "mmap")]
+pub mod mmap;
 pub mod stats;
 pub mod trajectory;
 
 pub use billboard::BillboardStore;
+pub use col::Col;
 pub use ids::{AdvertiserId, BillboardId, TrajectoryId};
 pub use stats::DatasetStats;
 pub use trajectory::{StoreError, TrajectoryRef, TrajectoryStore};

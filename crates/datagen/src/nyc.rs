@@ -18,7 +18,7 @@
 
 use crate::city::City;
 use mroam_data::{BillboardStore, TrajectoryStore};
-use mroam_geo::{BoundingBox, Point, Polyline};
+use mroam_geo::{resample_into, BoundingBox, Point};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -110,18 +110,46 @@ impl NycConfig {
 
     /// Generates the city.
     pub fn generate(&self) -> City {
+        let mut store = TrajectoryStore::with_capacity(
+            self.n_trajectories,
+            (self.mean_trip_m / self.gps_spacing_m) as usize + 2,
+        );
+        let billboards = self.generate_streamed(|points, speed| {
+            store
+                .push_at_speed(points, speed)
+                .expect("point column overflow");
+        });
+        City {
+            name: "NYC".into(),
+            billboards,
+            trajectories: store,
+        }
+    }
+
+    /// Generates the city in streaming form: billboards are returned (they
+    /// are small — ≤ thousands), while each trip's resampled GPS points are
+    /// handed to `emit(points, speed_mps)` one at a time and never retained.
+    /// Route and resample scratch buffers are reused across trips, so peak
+    /// memory is O(billboards + one trip) regardless of `n_trajectories` —
+    /// this is the 10⁶–10⁷-trip path, with [`generate`](Self::generate) a
+    /// thin collector over it (identical RNG consumption, identical output).
+    pub fn generate_streamed<F: FnMut(&[Point], f64)>(&self, mut emit: F) -> BillboardStore {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let bbox = BoundingBox::new(0.0, 0.0, self.width_m, self.height_m);
         let hotspots = self.sample_hotspots(&mut rng, &bbox);
 
         let billboards = self.place_billboards(&mut rng, &bbox, &hotspots);
-        let trajectories = self.generate_trips(&mut rng, &bbox, &hotspots);
-
-        City {
-            name: "NYC".into(),
-            billboards,
-            trajectories,
+        let mut route: Vec<Point> = Vec::with_capacity(4);
+        let mut sampled: Vec<Point> =
+            Vec::with_capacity((self.mean_trip_m / self.gps_spacing_m) as usize + 2);
+        for _ in 0..self.n_trajectories {
+            let origin = self.sample_location(&mut rng, &bbox, &hotspots);
+            let dest = self.sample_destination(&mut rng, &bbox, &hotspots, origin);
+            self.manhattan_route_into(&mut rng, origin, dest, &mut route);
+            resample_into(&route, self.gps_spacing_m, &mut sampled);
+            emit(&sampled, self.speed_mps);
         }
+        billboards
     }
 
     fn sample_hotspots<R: Rng>(&self, rng: &mut R, bbox: &BoundingBox) -> Vec<Point> {
@@ -208,28 +236,6 @@ impl NycConfig {
         store
     }
 
-    fn generate_trips<R: Rng>(
-        &self,
-        rng: &mut R,
-        bbox: &BoundingBox,
-        hotspots: &[Point],
-    ) -> TrajectoryStore {
-        let mut store = TrajectoryStore::with_capacity(
-            self.n_trajectories,
-            (self.mean_trip_m / self.gps_spacing_m) as usize + 2,
-        );
-        for _ in 0..self.n_trajectories {
-            let origin = self.sample_location(rng, bbox, hotspots);
-            let dest = self.sample_destination(rng, bbox, hotspots, origin);
-            let route = self.manhattan_route(rng, origin, dest);
-            let sampled = route.resample(self.gps_spacing_m);
-            store
-                .push_polyline(&sampled, self.speed_mps)
-                .expect("point column overflow");
-        }
-        store
-    }
-
     /// Picks a destination whose Manhattan distance from `origin` follows an
     /// exponential-ish distribution with the configured mean trip length.
     fn sample_destination<R: Rng>(
@@ -257,23 +263,25 @@ impl NycConfig {
     }
 
     /// A rectilinear route from `a` to `b` with one or two randomly placed
-    /// turns (staircase), mimicking grid driving.
-    fn manhattan_route<R: Rng>(&self, rng: &mut R, a: Point, b: Point) -> Polyline {
-        let mut points = vec![a];
+    /// turns (staircase), mimicking grid driving. Written into a
+    /// caller-owned buffer (cleared first) so trip streaming reuses one
+    /// allocation.
+    fn manhattan_route_into<R: Rng>(&self, rng: &mut R, a: Point, b: Point, out: &mut Vec<Point>) {
+        out.clear();
+        out.push(a);
         if rng.gen_bool(0.5) {
             // Single L: horizontal then vertical.
-            points.push(Point::new(b.x, a.y));
+            out.push(Point::new(b.x, a.y));
         } else {
             // Staircase via a midpoint column.
             let t = rng.gen_range(0.25..0.75);
             let mid_x = a.x + (b.x - a.x) * t;
             let mid_x = (mid_x / self.block_m).round() * self.block_m;
-            points.push(Point::new(mid_x, a.y));
-            points.push(Point::new(mid_x, b.y));
+            out.push(Point::new(mid_x, a.y));
+            out.push(Point::new(mid_x, b.y));
         }
-        points.push(b);
-        points.dedup_by(|p, q| p.x == q.x && p.y == q.y);
-        Polyline::new(points)
+        out.push(b);
+        out.dedup_by(|p, q| p.x == q.x && p.y == q.y);
     }
 }
 
@@ -366,6 +374,23 @@ mod tests {
             stats.overlap_ratio > 0.5,
             "NYC coverage should overlap heavily, overlap = {}",
             stats.overlap_ratio
+        );
+    }
+
+    #[test]
+    fn streamed_emission_matches_generate() {
+        let cfg = NycConfig::test_scale();
+        let city = cfg.generate();
+        let mut store = TrajectoryStore::new();
+        let billboards = cfg.generate_streamed(|points, speed| {
+            store.push_at_speed(points, speed).unwrap();
+        });
+        assert_eq!(billboards.locations(), city.billboards.locations());
+        assert_eq!(store.offsets(), city.trajectories.offsets());
+        assert_eq!(store.point_column(), city.trajectories.point_column());
+        assert_eq!(
+            store.timestamp_column(),
+            city.trajectories.timestamp_column()
         );
     }
 

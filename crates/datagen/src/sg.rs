@@ -96,6 +96,27 @@ impl SgConfig {
 
     /// Generates the city.
     pub fn generate(&self) -> City {
+        let mut store =
+            TrajectoryStore::with_capacity(self.n_trajectories, self.mean_trip_stops as usize + 2);
+        let billboards = self.generate_streamed(|points, speed| {
+            store
+                .push_at_speed(points, speed)
+                .expect("point column overflow");
+        });
+        City {
+            name: "SG".into(),
+            billboards,
+            trajectories: store,
+        }
+    }
+
+    /// Generates the city in streaming form: the stop/billboard network is
+    /// returned, while each trip (a contiguous stop segment) is handed to
+    /// `emit(points, speed_mps)` and never retained. Peak memory is
+    /// O(stop network) regardless of `n_trajectories`;
+    /// [`generate`](Self::generate) is a thin collector over this path with
+    /// identical RNG consumption and output.
+    pub fn generate_streamed<F: FnMut(&[Point], f64)>(&self, mut emit: F) -> BillboardStore {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let bbox = BoundingBox::new(0.0, 0.0, self.width_m, self.height_m);
 
@@ -107,12 +128,8 @@ impl SgConfig {
             }
         }
 
-        let trajectories = self.generate_trips(&mut rng, &routes);
-        City {
-            name: "SG".into(),
-            billboards,
-            trajectories,
-        }
+        self.for_each_trip(&mut rng, &routes, |segment| emit(segment, self.speed_mps));
+        billboards
     }
 
     /// Generates routes as jittered straight-ish walks of stops; returns the
@@ -227,9 +244,14 @@ impl SgConfig {
         stops
     }
 
-    fn generate_trips<R: Rng>(&self, rng: &mut R, routes: &[Vec<Point>]) -> TrajectoryStore {
-        let mut store =
-            TrajectoryStore::with_capacity(self.n_trajectories, self.mean_trip_stops as usize + 2);
+    /// Streams each trip's stop sequence to `emit`. Trips are slices of the
+    /// route network, so no per-trip scratch is needed at all.
+    fn for_each_trip<R: Rng>(
+        &self,
+        rng: &mut R,
+        routes: &[Vec<Point>],
+        mut emit: impl FnMut(&[Point]),
+    ) {
         // Routes weighted by length so stop-level ridership stays uniform.
         let total_stops: usize = routes.iter().map(Vec::len).sum();
         for _ in 0..self.n_trajectories {
@@ -248,9 +270,7 @@ impl SgConfig {
                 .expect("weights cover all routes");
             if route.len() < 2 {
                 // Degenerate single-stop route: ride that stop only.
-                store
-                    .push_at_speed(&[route[0]], self.speed_mps)
-                    .expect("point column overflow");
+                emit(&route[..1]);
                 continue;
             }
             // Contiguous segment: draw the hop count first (geometric around
@@ -260,12 +280,8 @@ impl SgConfig {
                 .min(route.len() - 1)
                 .max(1);
             let start = rng.gen_range(0..route.len() - hops);
-            let segment = &route[start..=start + hops];
-            store
-                .push_at_speed(segment, self.speed_mps)
-                .expect("point column overflow");
+            emit(&route[start..=start + hops]);
         }
-        store
     }
 }
 
@@ -376,6 +392,23 @@ mod tests {
         assert!(
             supply_200 > supply_150,
             "interchange clusters must add coverage at λ = 200 ({supply_150} vs {supply_200})"
+        );
+    }
+
+    #[test]
+    fn streamed_emission_matches_generate() {
+        let cfg = SgConfig::test_scale();
+        let city = cfg.generate();
+        let mut store = TrajectoryStore::new();
+        let billboards = cfg.generate_streamed(|points, speed| {
+            store.push_at_speed(points, speed).unwrap();
+        });
+        assert_eq!(billboards.locations(), city.billboards.locations());
+        assert_eq!(store.offsets(), city.trajectories.offsets());
+        assert_eq!(store.point_column(), city.trajectories.point_column());
+        assert_eq!(
+            store.timestamp_column(),
+            city.trajectories.timestamp_column()
         );
     }
 

@@ -74,6 +74,13 @@ impl Args {
             .map(|s| s.parse().unwrap_or_else(|_| panic!("bad --{key} {s:?}")))
             .unwrap_or(default)
     }
+
+    /// Boolean flag (the parser is strictly `--key value`, so flags take
+    /// an explicit value): `--key 1|true|yes` → true, `0|false|no` or
+    /// absent → false.
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("1") | Some("true") | Some("yes"))
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +106,14 @@ mod tests {
         assert_eq!(a.city(CityKind::Nyc), CityKind::Nyc);
         assert_eq!(a.f64_or("alpha", 1.0), 1.0);
         assert_eq!(a.usize_or("figure", 4), 4);
+    }
+
+    #[test]
+    fn flags_take_explicit_values() {
+        let a = parse(&["--memory", "1", "--verbose", "no"]);
+        assert!(a.flag("memory"));
+        assert!(!a.flag("verbose"));
+        assert!(!a.flag("absent"));
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! `exp_scale` — the scale-layer benchmark: kernel on/off × mmap on/off,
+//! plus partitioned pick-round task sweeps, recorded as the
+//! `results/BENCH_scale.json` baseline.
+//!
+//! ```text
+//! exp_scale [--city nyc] [--scale bench] [--trajectories N] [--iters 5]
+//!           [--date YYYY-MM-DD] [--out results/BENCH_scale.json]
+//! ```
+//!
+//! Three axes, all on the same fixture city (λ = 100 m, the Section 7.1.2
+//! workload at α = 1.0, p = 0.05, γ = 0.5):
+//!
+//! * **kernel** — `G-Global` end-to-end and a bitmap union sweep with the
+//!   bit kernels forced to `scalar` vs `chunked` (the 8-lane dispatch
+//!   default). Solutions are asserted identical first.
+//! * **pick rounds** — one full round of `GainEngine::best_billboard`
+//!   picks with the partitioned frontier scan forced to 1/2/4/8 tasks;
+//!   picks are asserted bit-identical to the sequential scan.
+//! * **mmap** — the v3 model file decoded onto the heap vs memory-mapped
+//!   (`storage::open_model_mmap`), then an identical query sweep on both
+//!   models; answers are asserted equal.
+//!
+//! Every timing is the mean of `--iters` runs. The emitted JSON annotates
+//! `host_threads` because partitioned scans cannot beat sequential on a
+//! single hardware thread — see the honesty notes in the output.
+
+use mroam_core::prelude::*;
+use mroam_datagen::WorkloadConfig;
+use mroam_experiments::{rss, setup, Args, CityKind};
+use mroam_influence::kernel::{self, Kernel};
+use mroam_influence::storage::{self, ModelFingerprint};
+use mroam_influence::CoverageModel;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Mean wall-clock seconds of `iters` runs of `f` (result is black-boxed
+/// so the optimiser cannot elide the work).
+fn time_mean<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+fn main() {
+    let args = Args::from_env();
+    let kind = args.city(CityKind::Nyc);
+    let mut cfg = setup::city_config(kind, args.scale());
+    if args.get("trajectories").is_some() {
+        cfg.set_trajectories(args.usize_or("trajectories", 0));
+    }
+    let iters = args.usize_or("iters", 5);
+    let lambda = args.f64_or("lambda", 100.0);
+
+    eprintln!("[exp_scale] generating {} fixture...", kind.label());
+    let city = cfg.generate();
+    let model = city.coverage(lambda);
+    model.precompute();
+    let advertisers = WorkloadConfig {
+        alpha: 1.0,
+        p_avg: 0.05,
+        seed: 42,
+    }
+    .generate(model.supply());
+    let instance = Instance::new(&model, &advertisers, 0.5);
+    eprintln!(
+        "[exp_scale] {} billboards, {} trajectories, {} advertisers",
+        model.n_billboards(),
+        model.n_trajectories(),
+        advertisers.len()
+    );
+
+    let mut rows: Vec<(String, f64)> = Vec::new();
+
+    // ---- kernel axis -------------------------------------------------
+    // Identity gate first: forcing either kernel must not change the
+    // G-Global solution.
+    kernel::force(Kernel::Scalar);
+    let scalar_sol = GGlobal.solve(&instance);
+    kernel::force(Kernel::Chunked);
+    let chunked_sol = GGlobal.solve(&instance);
+    assert_eq!(scalar_sol.sets, chunked_sol.sets, "kernel changed G-Global");
+    assert_eq!(scalar_sol.total_regret, chunked_sol.total_regret);
+
+    let all_ids: Vec<_> = model.billboard_ids().collect();
+    let bitmap = model
+        .coverage_bitmap()
+        .expect("fixture fits the bitmap budget");
+    let mask = bitmap.row(0).to_vec();
+    for (name, k) in [("scalar", Kernel::Scalar), ("chunked", Kernel::Chunked)] {
+        kernel::force(k);
+        rows.push((
+            format!("kernel/{name}/g_global_solve"),
+            time_mean(iters, || GGlobal.solve(&instance)),
+        ));
+        rows.push((
+            format!("kernel/{name}/bitmap_union_sweep"),
+            time_mean(iters, || model.set_influence(all_ids.iter().copied())),
+        ));
+        // Pure kernel row: AND+popcount of every bitmap row against a
+        // fixed covered mask — the exact-gain primitive with no engine or
+        // allocation noise around it.
+        rows.push((
+            format!("kernel/{name}/and_popcount_rows"),
+            time_mean(iters.max(20), || {
+                let mut acc = 0u64;
+                for b in 0..model.n_billboards() as u32 {
+                    acc += bitmap.row_and_popcount(b, &mask);
+                }
+                acc
+            }),
+        ));
+    }
+    kernel::force(Kernel::Chunked);
+
+    // ---- pick-round axis ---------------------------------------------
+    // One full round of first picks per task count, asserted identical.
+    let pick_round = |tasks: usize| -> Vec<Option<_>> {
+        let alloc = Allocation::new(instance);
+        let mut engine = GainEngine::new(&alloc);
+        engine.set_scan_tasks(Some(tasks));
+        (0..advertisers.len())
+            .map(|i| engine.best_billboard(&alloc, mroam_data::AdvertiserId::from_index(i)))
+            .collect()
+    };
+    let sequential = pick_round(1);
+    for tasks in [1usize, 2, 4, 8] {
+        assert_eq!(pick_round(tasks), sequential, "{tasks}-task picks diverge");
+        rows.push((
+            format!("pick_round/tasks_{tasks}"),
+            time_mean(iters, || pick_round(tasks)),
+        ));
+    }
+
+    // ---- mmap axis ---------------------------------------------------
+    let fingerprint = ModelFingerprint::new(&city.billboards, &city.trajectories, lambda);
+    let bytes = storage::encode_v3(&model, &fingerprint, true);
+    rows.push((
+        "mmap/off/heap_decode".into(),
+        time_mean(iters, || {
+            storage::read_model_checked(&bytes, &fingerprint).expect("decode")
+        }),
+    ));
+    let sweep = |m: &CoverageModel| -> (u64, usize) {
+        let influence = m.set_influence(m.billboard_ids());
+        let inv = m.inverted_index();
+        let touched: usize = (0..m.n_trajectories())
+            .map(|t| inv.billboards_covering(t as u32).len())
+            .sum();
+        (influence, touched)
+    };
+    let heap_model = storage::read_model_checked(&bytes, &fingerprint).expect("decode");
+    rows.push((
+        "mmap/off/query_sweep".into(),
+        time_mean(iters, || sweep(&heap_model)),
+    ));
+    #[cfg(feature = "mmap")]
+    {
+        let path = std::env::temp_dir().join(format!("mroam_exp_scale_{}.cov", std::process::id()));
+        std::fs::write(&path, &bytes).expect("write v3 cache");
+        rows.push((
+            "mmap/on/map_open".into(),
+            time_mean(iters, || {
+                storage::open_model_mmap(&path, Some(&fingerprint)).expect("mmap")
+            }),
+        ));
+        let mapped_model = storage::open_model_mmap(&path, Some(&fingerprint)).expect("mmap");
+        assert!(mapped_model.coverage_lists().is_mapped());
+        assert_eq!(
+            sweep(&heap_model),
+            sweep(&mapped_model),
+            "mmap answers diverge"
+        );
+        rows.push((
+            "mmap/on/query_sweep".into(),
+            time_mean(iters, || sweep(&mapped_model)),
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // ---- emit --------------------------------------------------------
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let speedup = |num: &str, den: &str| -> f64 {
+        let get = |k: &str| rows.iter().find(|(n, _)| n == k).map(|&(_, v)| v).unwrap();
+        get(num) / get(den)
+    };
+    let kernel_speedup = speedup(
+        "kernel/scalar/g_global_solve",
+        "kernel/chunked/g_global_solve",
+    );
+    let sweep_speedup = speedup(
+        "kernel/scalar/bitmap_union_sweep",
+        "kernel/chunked/bitmap_union_sweep",
+    );
+    #[cfg(feature = "mmap")]
+    let mmap_open_speedup = speedup("mmap/off/heap_decode", "mmap/on/map_open");
+    #[cfg(not(feature = "mmap"))]
+    let mmap_open_speedup = f64::NAN; // axis compiled out
+
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"bench\": \"scale\",").unwrap();
+    writeln!(
+        json,
+        "  \"command\": \"cargo run --release -p mroam-experiments --bin exp_scale\","
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"date\": \"{}\",",
+        args.get("date").unwrap_or("unknown")
+    )
+    .unwrap();
+    writeln!(json, "  \"host_threads\": {host_threads},").unwrap();
+    writeln!(
+        json,
+        "  \"fixture\": \"{} at {:?} scale ({} billboards, {} trajectories), lambda = {lambda} m, workload alpha=1.0 p=0.05 gamma=0.5\",",
+        kind.label(),
+        args.scale(),
+        model.n_billboards(),
+        model.n_trajectories()
+    )
+    .unwrap();
+    writeln!(json, "  \"iters\": {iters},").unwrap();
+    writeln!(json, "  \"results\": [").unwrap();
+    for (i, (name, mean)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{ \"benchmark\": \"{name}\", \"mean_s\": {mean:.9} }}{comma}"
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
+    let kernel_micro_speedup = speedup(
+        "kernel/scalar/and_popcount_rows",
+        "kernel/chunked/and_popcount_rows",
+    );
+    let mut speedups = vec![
+        ("kernel_chunked_vs_scalar_g_global", kernel_speedup),
+        ("kernel_chunked_vs_scalar_bitmap_sweep", sweep_speedup),
+        (
+            "kernel_chunked_vs_scalar_and_popcount",
+            kernel_micro_speedup,
+        ),
+    ];
+    if mmap_open_speedup.is_finite() {
+        speedups.push(("mmap_open_vs_heap_decode", mmap_open_speedup));
+    }
+    writeln!(json, "  \"speedups\": {{").unwrap();
+    for (i, (name, v)) in speedups.iter().enumerate() {
+        let comma = if i + 1 < speedups.len() { "," } else { "" };
+        writeln!(json, "    \"{name}\": {v:.2}{comma}").unwrap();
+    }
+    writeln!(json, "  }},").unwrap();
+    let peak = rss::peak_rss_bytes()
+        .map(|b| format!("{:.1} MiB", b as f64 / (1 << 20) as f64))
+        .unwrap_or_else(|| "n/a".into());
+    writeln!(json, "  \"peak_rss\": \"{peak}\",").unwrap();
+    writeln!(json, "  \"notes\": [").unwrap();
+    writeln!(
+        json,
+        "    \"Recorded on a {host_threads}-thread host. With host_threads = 1 every scoped task of the partitioned pick scan runs on the same core, so the tasks_2/4/8 rows measure spawn+merge overhead, not speedup — the >=2x parallel G-Global target needs a multi-core host; the rows are kept to pin the sharded path's identity and overhead. (Same precedent as BENCH_model_build.json.)\","
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"All cross-axis identity gates ran in-process before timing: G-Global solutions identical under both kernels, pick rounds identical at 1/2/4/8 tasks, heap and mmap models answer the query sweep identically.\","
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"mmap/on/map_open validates the checksum with one sequential file pass, so its advantage over the heap decode is avoided allocation + lazy paging, not skipped I/O; the query sweep rows compare steady-state answer costs.\","
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"Kernel chunked ~= scalar on this host: LLVM already lowers the scalar popcount fold to hardware popcnt and unrolls it, so the 8-lane chunked layout has no extra ILP to claim at one thread. The chunked path is kept as the default because it is never slower, is proptested bit-identical, and is the layout wide-SIMD hosts (AVX2/AVX-512) vectorise; re-record there for the speedup.\""
+    )
+    .unwrap();
+    writeln!(json, "  ]").unwrap();
+    json.push_str("}\n");
+
+    match args.get("out") {
+        Some(out) => {
+            std::fs::write(out, &json).expect("write bench json");
+            eprintln!("[exp_scale] wrote {out}");
+        }
+        None => print!("{json}"),
+    }
+    eprintln!(
+        "[exp_scale] kernel chunked vs scalar: {kernel_speedup:.2}x (solve), {sweep_speedup:.2}x (bitmap sweep); mmap open vs decode: {mmap_open_speedup:.2}x"
+    );
+}

@@ -13,7 +13,11 @@
 //!     the inputs, else built and saved there for the next run.
 //!
 //! mroam stats --billboards b.csv --trajectories t.csv
-//!     Print the Table 5 statistics row for a dataset.
+//!       [--memory 1] [--lambda 100] [--model-cache model.cov]
+//!     Print the Table 5 statistics row for a dataset. With --memory 1,
+//!     also build (or load) the coverage model and print the per-structure
+//!     resident-size breakdown, split heap vs mapped — run with
+//!     MROAM_MMAP=1 and a v3 --model-cache to see the mmap savings.
 //!
 //! mroam coverage --billboards b.csv --trajectories t.csv --lambda 100
 //!       --out model.cov
@@ -21,8 +25,15 @@
 //!     format (see mroam_influence::storage).
 //!
 //! mroam gen --city nyc --scale test --out-prefix data/nyc
+//!       [--trajectories N] [--billboards N] [--seed S] [--stream 1]
 //!     Generate a synthetic city to CSV files (<prefix>_billboards.csv,
-//!     <prefix>_trajectories.csv).
+//!     <prefix>_trajectories.csv). --trajectories/--billboards override
+//!     the scale preset's counts (SG treats billboards as the stop
+//!     budget). With --stream 1 each trip is written straight to the CSV
+//!     as it is generated — peak memory stays flat no matter how many
+//!     trips, which is the 10⁶–10⁷-trajectory path; the file is
+//!     byte-identical to the materialised path. Either way the peak RSS
+//!     (VmHWM) is reported afterwards.
 //!
 //! mroam cache-smoke [--path /tmp/smoke.cov]
 //!     Self-test for the fingerprinted model cache: build a tiny model,
@@ -34,10 +45,10 @@ use mroam_data::csv;
 use mroam_data::DatasetStats;
 use mroam_experiments::cache::{self, CacheStatus};
 use mroam_experiments::cli_io;
-use mroam_experiments::{build_city, Args, CityKind, Scale};
+use mroam_experiments::{setup, Args, CityKind, Scale};
 use mroam_influence::{storage, CoverageModel, InfluenceMeasure};
 use std::fs::File;
-use std::io::Write as _;
+use std::io::{self, Write as _};
 use std::path::Path;
 use std::process::exit;
 
@@ -194,6 +205,68 @@ fn cmd_stats(args: &Args) {
             .expect("parse");
     let stats = DatasetStats::compute("data", &trajectories, &billboards);
     println!("{}", stats.table_row());
+    if args.flag("memory") {
+        print_memory_breakdown(args, &billboards, &trajectories);
+    }
+}
+
+/// `mroam stats --memory 1`: the resident-size breakdown of the stores
+/// and a coverage model over them (heap vs file-mapped bytes per
+/// structure), so the savings from `MROAM_MMAP=1` + a v3 `--model-cache`
+/// are directly observable.
+fn print_memory_breakdown(
+    args: &Args,
+    billboards: &mroam_data::BillboardStore,
+    trajectories: &mroam_data::TrajectoryStore,
+) {
+    let lambda = args.f64_or("lambda", 100.0);
+    let model = match args.get("model-cache") {
+        Some(cache_file) => {
+            let (model, _) =
+                cache::load_or_build(billboards, trajectories, lambda, Path::new(cache_file));
+            model
+        }
+        None => {
+            let model = CoverageModel::build(billboards, trajectories, lambda);
+            model.precompute();
+            model
+        }
+    };
+    let m = model.memory_stats();
+    let billboard_bytes = billboards.len()
+        * (std::mem::size_of::<mroam_geo::Point>() + 8 * usize::from(billboards.has_costs()));
+    let rows: [(&str, usize, usize); 6] = [
+        (
+            "trajectory store",
+            trajectories.heap_bytes(),
+            trajectories.mapped_bytes(),
+        ),
+        ("billboard store", billboard_bytes, 0),
+        ("coverage lists", m.lists_heap_bytes, m.lists_mapped_bytes),
+        (
+            "inverted index",
+            m.inverted_heap_bytes,
+            m.inverted_mapped_bytes,
+        ),
+        (
+            "overlap graph",
+            m.overlap_heap_bytes,
+            m.overlap_mapped_bytes,
+        ),
+        ("coverage bitmap", m.bitmap_heap_bytes, 0),
+    ];
+    println!("memory breakdown (λ={lambda}m):");
+    println!(
+        "  {:<18} {:>14} {:>14}",
+        "structure", "heap bytes", "mapped bytes"
+    );
+    let (mut heap_total, mut mapped_total) = (0usize, 0usize);
+    for (name, heap, mapped) in rows {
+        println!("  {name:<18} {heap:>14} {mapped:>14}");
+        heap_total += heap;
+        mapped_total += mapped;
+    }
+    println!("  {:<18} {heap_total:>14} {mapped_total:>14}", "total");
 }
 
 fn cmd_coverage(args: &Args) {
@@ -221,7 +294,7 @@ fn cmd_cache_smoke(args: &Args) {
         .map(std::path::PathBuf::from)
         .unwrap_or(default_path);
     let _ = std::fs::remove_file(&path);
-    let city = build_city(args.city(CityKind::Nyc), Scale::Test);
+    let city = setup::build_city(args.city(CityKind::Nyc), Scale::Test);
     let lambda = args.f64_or("lambda", 100.0);
 
     let (built, status) = cache::load_or_build(&city.billboards, &city.trajectories, lambda, &path);
@@ -256,17 +329,49 @@ fn cmd_cache_smoke(args: &Args) {
 
 fn cmd_gen(args: &Args) {
     let kind = args.city(CityKind::Nyc);
-    let city = build_city(kind, args.scale());
+    let mut cfg = setup::city_config(kind, args.scale());
+    if args.get("trajectories").is_some() {
+        cfg.set_trajectories(args.usize_or("trajectories", 0));
+    }
+    if args.get("billboards").is_some() {
+        cfg.set_billboards(args.usize_or("billboards", 0));
+    }
+    if args.get("seed").is_some() {
+        cfg.set_seed(args.seed());
+    }
     let prefix = args.get("out-prefix").unwrap_or("city").to_string();
     let b_path = format!("{prefix}_billboards.csv");
     let t_path = format!("{prefix}_trajectories.csv");
-    csv::write_billboards(&city.billboards, File::create(&b_path).expect("create")).expect("write");
-    csv::write_trajectories(&city.trajectories, File::create(&t_path).expect("create"))
-        .expect("write");
+
+    let (n_billboards, n_trajectories) = if args.flag("stream") {
+        // Bounded-memory path: trips go straight from the generator's
+        // scratch buffer into the CSV writer; only the billboard store is
+        // ever materialised.
+        let mut out = csv::TrajectoryCsvWriter::new(io::BufWriter::new(
+            File::create(&t_path).expect("create"),
+        ));
+        let billboards = cfg.generate_streamed(|points, speed| {
+            out.write_trip_at_speed(points, speed).expect("write trip");
+        });
+        let trips = out.trips_written() as usize;
+        out.finish().expect("flush").flush().expect("flush");
+        csv::write_billboards(&billboards, File::create(&b_path).expect("create")).expect("write");
+        (billboards.len(), trips)
+    } else {
+        let city = cfg.generate();
+        csv::write_billboards(&city.billboards, File::create(&b_path).expect("create"))
+            .expect("write");
+        csv::write_trajectories(&city.trajectories, File::create(&t_path).expect("create"))
+            .expect("write");
+        (city.billboards.len(), city.trajectories.len())
+    };
+    let peak = match mroam_experiments::rss::peak_rss_bytes() {
+        Some(b) => format!("{:.1} MiB", b as f64 / (1 << 20) as f64),
+        None => "n/a".into(),
+    };
     println!(
-        "{}: wrote {} billboards to {b_path}, {} trajectories to {t_path}",
-        city.name,
-        city.billboards.len(),
-        city.trajectories.len()
+        "{}: wrote {n_billboards} billboards to {b_path}, {n_trajectories} trajectories to \
+         {t_path} (peak rss {peak})",
+        kind.label(),
     );
 }

@@ -1,13 +1,19 @@
 //! Fingerprinted on-disk model cache shared by the `mroam` CLI, the
 //! experiment binaries, and the serving daemon.
 //!
-//! The cache file is the storage v2 format: coverage lists plus the
-//! derived CSR structures, keyed by a [`ModelFingerprint`] of the inputs
-//! (λ, store checksum, dimensions). `load_or_build` is the one entry
-//! point: a fresh file is decode + verify, anything else (missing, stale
-//! λ or city, corrupt, legacy v1 without derived sections) falls back to
-//! a full build and rewrites the file. The cache is advisory — I/O
-//! failures log and degrade to building, never abort.
+//! The cache file is the storage v3 format: coverage lists plus the
+//! derived CSR structures as fixed-width 8-aligned sections, keyed by a
+//! [`ModelFingerprint`] of the inputs (λ, store checksum, dimensions).
+//! `load_or_build` is the one entry point: a fresh file is decode +
+//! verify, anything else (missing, stale λ or city, corrupt, legacy
+//! format) falls back to a full build and rewrites the file. The cache is
+//! advisory — I/O failures log and degrade to building, never abort.
+//!
+//! With `MROAM_MMAP=1` (and the default `mmap` feature) a fresh v3 file
+//! is *mapped* instead of decoded: the coverage and derived CSR columns
+//! stay on disk and page in lazily, so models larger than RAM serve
+//! queries with identical semantics at a fraction of the resident
+//! footprint. v1/v2 files degrade gracefully to the heap decode.
 
 use mroam_data::{BillboardStore, TrajectoryStore};
 use mroam_datagen::City;
@@ -35,9 +41,52 @@ pub fn cache_path(dir: &Path, city: &str, lambda_m: f64) -> PathBuf {
     dir.join(format!("{}_{lambda_um}.cov", city.to_ascii_lowercase()))
 }
 
+/// Whether cache loads should map the file instead of decoding it onto
+/// the heap: `MROAM_MMAP=1` (or any value other than `0`/empty). Read
+/// afresh per load so tests and re-exec'd processes see the current
+/// environment.
+pub fn mmap_requested() -> bool {
+    std::env::var("MROAM_MMAP")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// Attempts the mmap load path; `None` means "fall through to the heap
+/// path" (feature off, env off, or any error — mmap is an optimisation,
+/// never a correctness gate).
+fn try_open_mmap(path: &Path, fingerprint: &ModelFingerprint) -> Option<CoverageModel> {
+    if !mmap_requested() {
+        return None;
+    }
+    #[cfg(feature = "mmap")]
+    {
+        match storage::open_model_mmap(path, Some(fingerprint)) {
+            Ok(model) => Some(model),
+            Err(storage::StorageError::Io(std::io::ErrorKind::NotFound)) => None,
+            Err(e) => {
+                eprintln!(
+                    "[model-cache] mmap open {}: {e}; rebuilding",
+                    path.display()
+                );
+                None
+            }
+        }
+    }
+    #[cfg(not(feature = "mmap"))]
+    {
+        let _ = (path, fingerprint);
+        eprintln!("[model-cache] MROAM_MMAP set but the mmap feature is compiled out");
+        None
+    }
+}
+
 /// Loads the model from `path` when its fingerprint matches `(U, T, λ)`,
 /// else builds it and rewrites the cache. Either way the returned model
 /// has every derived structure warm ([`CoverageModel::precompute`]).
+///
+/// Under `MROAM_MMAP=1` a fresh v3 cache file is memory-mapped instead of
+/// decoded (see the module docs); the bitmap is still materialised on the
+/// heap by `precompute`, under the model's bitmap budget.
 pub fn load_or_build(
     billboards: &BillboardStore,
     trajectories: &TrajectoryStore,
@@ -45,6 +94,10 @@ pub fn load_or_build(
     path: &Path,
 ) -> (CoverageModel, CacheStatus) {
     let fingerprint = ModelFingerprint::new(billboards, trajectories, lambda_m);
+    if let Some(model) = try_open_mmap(path, &fingerprint) {
+        model.precompute();
+        return (model, CacheStatus::Hit);
+    }
     match std::fs::read(path) {
         Ok(bytes) => match storage::read_model_checked(&bytes, &fingerprint) {
             Ok(model) => {
@@ -60,12 +113,18 @@ pub fn load_or_build(
     }
     let model = CoverageModel::build(billboards, trajectories, lambda_m);
     model.precompute();
-    let bytes = storage::encode_v2(&model, &fingerprint, true);
+    let bytes = storage::encode_v3(&model, &fingerprint, true);
     if let Some(parent) = path.parent() {
         let _ = std::fs::create_dir_all(parent);
     }
     if let Err(e) = std::fs::write(path, &bytes) {
         eprintln!("[model-cache] cannot write {}: {e}", path.display());
+    } else if let Some(model) = try_open_mmap(path, &fingerprint) {
+        // The caller asked for mapped models and we just wrote a fresh v3
+        // file: serve the mapped view so even the building process gets
+        // the reduced-residency benefit.
+        model.precompute();
+        return (model, CacheStatus::Rebuilt);
     }
     (model, CacheStatus::Rebuilt)
 }
@@ -177,6 +236,39 @@ mod tests {
         assert_eq!(status, CacheStatus::Rebuilt);
 
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[cfg(feature = "mmap")]
+    fn mmap_env_serves_mapped_model_with_identical_answers() {
+        let (billboards, trajectories) = tiny_stores();
+        let path = scratch_file("mmap");
+        let _ = std::fs::remove_file(&path);
+
+        // Heap build first (env untouched by this test's assertions).
+        let (heap, _) = load_or_build(&billboards, &trajectories, 50.0, &path);
+
+        // Force the mmap path directly rather than mutating the process
+        // env (other tests run concurrently): the cache file is fresh, so
+        // this is exactly what load_or_build does under MROAM_MMAP=1.
+        let fp = ModelFingerprint::new(&billboards, &trajectories, 50.0);
+        let mapped = storage::open_model_mmap(&path, Some(&fp)).unwrap();
+        assert!(mapped.coverage_lists().is_mapped());
+        assert_eq!(mapped.coverage_lists(), heap.coverage_lists());
+        assert_eq!(mapped.inverted_index(), heap.inverted_index());
+        assert_eq!(mapped.overlap_graph(), heap.overlap_graph());
+        assert_eq!(
+            mapped.set_influence(mapped.billboard_ids()),
+            heap.set_influence(heap.billboard_ids())
+        );
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mmap_requested_reads_env_shape() {
+        // Only checks the parsing contract on values no other test sets.
+        assert!(!mmap_requested() || std::env::var("MROAM_MMAP").is_ok());
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub mod cache;
 pub mod chart;
 pub mod cli_io;
 pub mod params;
+pub mod rss;
 pub mod run;
 pub mod setup;
 pub mod table;

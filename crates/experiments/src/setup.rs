@@ -1,6 +1,8 @@
 //! Dataset construction shared by all experiment binaries.
 
+use mroam_data::BillboardStore;
 use mroam_datagen::{City, NycConfig, SgConfig};
+use mroam_geo::Point;
 
 /// Which synthetic city to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,13 +58,84 @@ impl Scale {
 
 /// Builds the requested city at the requested scale (deterministic).
 pub fn build_city(kind: CityKind, scale: Scale) -> City {
+    city_config(kind, scale).generate()
+}
+
+/// Generator configuration for a `(city, scale)` pair, with count
+/// overrides for the million-trajectory scale pushes (`mroam gen
+/// --trajectories N`). Both variants expose the same two entry points the
+/// underlying configs do: materialise a [`City`], or stream trips with
+/// bounded memory.
+#[derive(Debug, Clone)]
+pub enum CityConfig {
+    /// NYC-like taxi model configuration.
+    Nyc(NycConfig),
+    /// SG-like bus model configuration.
+    Sg(SgConfig),
+}
+
+/// The generator configuration [`build_city`] uses for `(kind, scale)`.
+pub fn city_config(kind: CityKind, scale: Scale) -> CityConfig {
     match (kind, scale) {
-        (CityKind::Nyc, Scale::Test) => NycConfig::test_scale().generate(),
-        (CityKind::Nyc, Scale::Bench) => NycConfig::default().generate(),
-        (CityKind::Nyc, Scale::Paper) => NycConfig::paper_scale().generate(),
-        (CityKind::Sg, Scale::Test) => SgConfig::test_scale().generate(),
-        (CityKind::Sg, Scale::Bench) => SgConfig::default().generate(),
-        (CityKind::Sg, Scale::Paper) => SgConfig::paper_scale().generate(),
+        (CityKind::Nyc, Scale::Test) => CityConfig::Nyc(NycConfig::test_scale()),
+        (CityKind::Nyc, Scale::Bench) => CityConfig::Nyc(NycConfig::default()),
+        (CityKind::Nyc, Scale::Paper) => CityConfig::Nyc(NycConfig::paper_scale()),
+        (CityKind::Sg, Scale::Test) => CityConfig::Sg(SgConfig::test_scale()),
+        (CityKind::Sg, Scale::Bench) => CityConfig::Sg(SgConfig::default()),
+        (CityKind::Sg, Scale::Paper) => CityConfig::Sg(SgConfig::paper_scale()),
+    }
+}
+
+impl CityConfig {
+    /// Overrides the trip count (scale presets stay authoritative for the
+    /// spatial shape).
+    pub fn set_trajectories(&mut self, n: usize) {
+        match self {
+            CityConfig::Nyc(c) => c.n_trajectories = n,
+            CityConfig::Sg(c) => c.n_trajectories = n,
+        }
+    }
+
+    /// Overrides the billboard count (SG: target stop count).
+    pub fn set_billboards(&mut self, n: usize) {
+        match self {
+            CityConfig::Nyc(c) => c.n_billboards = n,
+            CityConfig::Sg(c) => c.n_stops = n,
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn set_seed(&mut self, seed: u64) {
+        match self {
+            CityConfig::Nyc(c) => c.seed = seed,
+            CityConfig::Sg(c) => c.seed = seed,
+        }
+    }
+
+    /// Configured trip count.
+    pub fn n_trajectories(&self) -> usize {
+        match self {
+            CityConfig::Nyc(c) => c.n_trajectories,
+            CityConfig::Sg(c) => c.n_trajectories,
+        }
+    }
+
+    /// Materialises the full city in memory.
+    pub fn generate(&self) -> City {
+        match self {
+            CityConfig::Nyc(c) => c.generate(),
+            CityConfig::Sg(c) => c.generate(),
+        }
+    }
+
+    /// Streams every trip to `emit(points, speed_mps)` with bounded memory,
+    /// returning the (small) billboard store; output is identical to
+    /// [`generate`](Self::generate) collected trip by trip.
+    pub fn generate_streamed<F: FnMut(&[Point], f64)>(&self, emit: F) -> BillboardStore {
+        match self {
+            CityConfig::Nyc(c) => c.generate_streamed(emit),
+            CityConfig::Sg(c) => c.generate_streamed(emit),
+        }
     }
 }
 
@@ -82,6 +155,39 @@ mod tests {
         assert_eq!(Scale::parse("bench"), Some(Scale::Bench));
         assert_eq!(Scale::parse("TEST"), Some(Scale::Test));
         assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn config_overrides_change_counts() {
+        for kind in [CityKind::Nyc, CityKind::Sg] {
+            let mut cfg = city_config(kind, Scale::Test);
+            cfg.set_trajectories(137);
+            cfg.set_billboards(23);
+            cfg.set_seed(9);
+            assert_eq!(cfg.n_trajectories(), 137);
+            let city = cfg.generate();
+            assert_eq!(city.trajectories.len(), 137);
+            // SG treats the count as a target stop budget; NYC is exact.
+            match kind {
+                CityKind::Nyc => assert_eq!(city.billboards.len(), 23),
+                CityKind::Sg => assert!(city.billboards.len() <= 23),
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_config_matches_generate() {
+        let cfg = city_config(CityKind::Sg, Scale::Test);
+        let city = cfg.generate();
+        let mut n = 0usize;
+        let mut points = 0usize;
+        let billboards = cfg.generate_streamed(|pts, _| {
+            n += 1;
+            points += pts.len();
+        });
+        assert_eq!(n, city.trajectories.len());
+        assert_eq!(points, city.trajectories.total_points());
+        assert_eq!(billboards.len(), city.billboards.len());
     }
 
     #[test]

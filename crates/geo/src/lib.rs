@@ -29,5 +29,5 @@ pub use bbox::BoundingBox;
 pub use grid::GridIndex;
 pub use kdtree::KdTree;
 pub use point::Point;
-pub use polyline::Polyline;
+pub use polyline::{resample_into, Polyline};
 pub use projection::{LatLon, Projection};

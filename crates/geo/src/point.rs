@@ -7,7 +7,11 @@ use serde::{Deserialize, Serialize};
 /// The MROAM influence model only ever needs Euclidean distances between
 /// trajectory points and billboard locations, so a flat `f64` pair is the
 /// entire representation.
+/// `repr(C)` pins the `{x, y}` layout so the columnar store can persist
+/// point columns as fixed-width records and reload them zero-copy from a
+/// memory mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[repr(C)]
 pub struct Point {
     /// Easting in metres.
     pub x: f64,

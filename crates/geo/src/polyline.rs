@@ -47,31 +47,8 @@ impl Polyline {
     /// with fewer than two points is returned unchanged. Zero-length
     /// polylines (all points identical) collapse to first+last.
     pub fn resample(&self, spacing: f64) -> Polyline {
-        assert!(spacing > 0.0, "resample spacing must be positive");
-        if self.points.len() < 2 {
-            return self.clone();
-        }
-        let mut out = Vec::with_capacity((self.length() / spacing) as usize + 2);
-        out.push(self.points[0]);
-        let mut carried = 0.0; // arc length consumed since the last sample
-        for w in self.points.windows(2) {
-            let (a, b) = (w[0], w[1]);
-            let seg = a.distance(&b);
-            if seg == 0.0 {
-                continue;
-            }
-            let mut along = spacing - carried;
-            while along <= seg {
-                out.push(a.lerp(&b, along / seg));
-                along += spacing;
-            }
-            carried = seg - (along - spacing);
-        }
-        let last = *self.points.last().expect("len >= 2");
-        // Avoid duplicating the endpoint when a sample landed exactly on it.
-        if out.last() != Some(&last) {
-            out.push(last);
-        }
+        let mut out = Vec::new();
+        resample_into(&self.points, spacing, &mut out);
         Polyline::new(out)
     }
 
@@ -83,6 +60,42 @@ impl Polyline {
     /// Consumes the polyline, returning its points.
     pub fn into_points(self) -> Vec<Point> {
         self.points
+    }
+}
+
+/// Resamples `points` at (approximately) fixed `spacing` metres into a
+/// caller-owned buffer (cleared first). Semantics match
+/// [`Polyline::resample`]; the split exists so bulk generators can reuse
+/// one scratch vector across millions of trips instead of allocating per
+/// call.
+pub fn resample_into(points: &[Point], spacing: f64, out: &mut Vec<Point>) {
+    assert!(spacing > 0.0, "resample spacing must be positive");
+    out.clear();
+    if points.len() < 2 {
+        out.extend_from_slice(points);
+        return;
+    }
+    let length: f64 = points.windows(2).map(|w| w[0].distance(&w[1])).sum();
+    out.reserve((length / spacing) as usize + 2);
+    out.push(points[0]);
+    let mut carried = 0.0; // arc length consumed since the last sample
+    for w in points.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let seg = a.distance(&b);
+        if seg == 0.0 {
+            continue;
+        }
+        let mut along = spacing - carried;
+        while along <= seg {
+            out.push(a.lerp(&b, along / seg));
+            along += spacing;
+        }
+        carried = seg - (along - spacing);
+    }
+    let last = *points.last().expect("len >= 2");
+    // Avoid duplicating the endpoint when a sample landed exactly on it.
+    if out.last() != Some(&last) {
+        out.push(last);
     }
 }
 
@@ -160,6 +173,21 @@ mod tests {
     #[should_panic(expected = "spacing must be positive")]
     fn resample_zero_spacing_panics() {
         let _ = line(&[(0.0, 0.0), (1.0, 0.0)]).resample(0.0);
+    }
+
+    #[test]
+    fn resample_into_reuses_buffer_and_matches_resample() {
+        let mut buf = vec![Point::new(-1.0, -1.0); 7]; // stale contents
+        for pts in [
+            vec![(0.0, 0.0), (10.0, 0.0)],
+            vec![(0.0, 0.0), (7.0, 0.0), (7.0, 6.0)],
+            vec![(3.0, 3.0)],
+            vec![],
+        ] {
+            let p = line(&pts);
+            resample_into(p.points(), 2.5, &mut buf);
+            assert_eq!(buf.as_slice(), p.resample(2.5).points());
+        }
     }
 
     proptest! {

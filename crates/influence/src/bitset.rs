@@ -5,6 +5,8 @@
 //! here rather than pulled in as a dependency because it is a trivial,
 //! hot-path substrate and the approved crate list has no bitset.
 
+use crate::kernel;
+
 /// A fixed-capacity set of `u32` ids backed by `u64` blocks.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitSet {
@@ -63,9 +65,10 @@ impl BitSet {
         self.blocks[b] & mask != 0
     }
 
-    /// Number of ids present (popcount over blocks).
+    /// Number of ids present (popcount over blocks, through the
+    /// [`kernel`] dispatch point).
     pub fn len(&self) -> usize {
-        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+        kernel::popcount(&self.blocks) as usize
     }
 
     /// Whether the set is empty.
@@ -81,29 +84,19 @@ impl BitSet {
     /// In-place union; both sets must share a capacity.
     pub fn union_with(&mut self, other: &BitSet) {
         assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
-        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
-            *a |= b;
-        }
+        kernel::or_merge(&mut self.blocks, &other.blocks);
     }
 
     /// Size of the union without materialising it.
     pub fn union_len(&self, other: &BitSet) -> usize {
         assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
-        self.blocks
-            .iter()
-            .zip(&other.blocks)
-            .map(|(a, b)| (a | b).count_ones() as usize)
-            .sum()
+        kernel::or_popcount(&self.blocks, &other.blocks) as usize
     }
 
     /// Size of the intersection without materialising it.
     pub fn intersection_len(&self, other: &BitSet) -> usize {
         assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
-        self.blocks
-            .iter()
-            .zip(&other.blocks)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        kernel::and_popcount(&self.blocks, &other.blocks) as usize
     }
 
     /// Iterates present ids in ascending order.

@@ -274,7 +274,7 @@ impl CoverageModel {
                 if delta.retired[b] {
                     Vec::new()
                 } else {
-                    list.clone()
+                    list.to_vec()
                 }
             })
             .collect();

@@ -9,6 +9,8 @@
 //! removals, and swaps, which is what this crate provides:
 //!
 //! * [`bitset::BitSet`] — a fixed-size bitset substrate,
+//! * [`kernel`] — the chunked popcount/AND/OR word kernels every bit-level
+//!   hot loop dispatches through,
 //! * [`hash`] — an FxHash-style hasher for hot integer-keyed maps,
 //! * [`meets`] — computes the billboard→trajectory meets relation with a
 //!   grid index (parallelised over trajectories),
@@ -23,6 +25,7 @@ pub mod counter;
 pub mod curves;
 pub mod extend;
 pub mod hash;
+pub mod kernel;
 pub mod measure;
 pub mod meets;
 pub mod model;
@@ -33,5 +36,8 @@ pub use bitset::BitSet;
 pub use counter::CoverageCounter;
 pub use extend::CoverageDelta;
 pub use measure::{InfluenceMeasure, MeasuredCounter};
-pub use model::{CoverageBitmap, CoverageModel, InvertedIndex, OverlapGraph};
+pub use model::{
+    CovSource, CoverageBitmap, CoverageLists, CoverageModel, InvertedIndex, ModelMemoryStats,
+    OverlapGraph,
+};
 pub use slots::{SlotGrid, SlottedModel};

@@ -3,7 +3,7 @@
 
 use crate::counter::CoverageCounter;
 use crate::meets;
-use mroam_data::{BillboardId, BillboardStore, TrajectoryStore};
+use mroam_data::{BillboardId, BillboardStore, Col, TrajectoryStore};
 use rayon::prelude::*;
 use std::ops::Range;
 use std::sync::{Arc, OnceLock};
@@ -12,23 +12,190 @@ use std::sync::{Arc, OnceLock};
 /// serial: the work is too small to amortise one OS thread per shard.
 const PARALLEL_BUILD_MIN_ITEMS: usize = 1 << 14;
 
-/// Partitions billboards `0..cov.len()` into at most `n_shards` contiguous
-/// ranges of roughly equal total coverage-list length (each empty list
-/// still counts 1 so degenerate inputs spread too). Used by the parallel
-/// builds: contiguous ranges keep every shard's output a contiguous region
-/// of the final CSR arrays.
-fn shard_ranges(cov: &[Vec<u32>], n_shards: usize) -> Vec<Range<usize>> {
-    let n = cov.len();
+/// Read-only access to per-billboard coverage lists.
+///
+/// Implemented by plain `Vec<Vec<u32>>`/`[Vec<u32>]` inputs (the meets
+/// output, tests, benches) *and* by the CSR-packed [`CoverageLists`] a
+/// model actually stores — so every derived-structure build runs unchanged
+/// on either representation, including mmap-backed CSRs.
+pub trait CovSource: Sync {
+    /// Number of billboards (lists).
+    fn n_lists(&self) -> usize;
+    /// The sorted trajectory ids of billboard `b`.
+    fn list(&self, b: usize) -> &[u32];
+    /// Total entries across all lists.
+    fn total_entries(&self) -> usize {
+        (0..self.n_lists()).map(|b| self.list(b).len()).sum()
+    }
+}
+
+impl CovSource for [Vec<u32>] {
+    fn n_lists(&self) -> usize {
+        self.len()
+    }
+    fn list(&self, b: usize) -> &[u32] {
+        &self[b]
+    }
+    fn total_entries(&self) -> usize {
+        self.iter().map(Vec::len).sum()
+    }
+}
+
+impl CovSource for Vec<Vec<u32>> {
+    fn n_lists(&self) -> usize {
+        self.len()
+    }
+    fn list(&self, b: usize) -> &[u32] {
+        &self[b]
+    }
+    fn total_entries(&self) -> usize {
+        self.iter().map(Vec::len).sum()
+    }
+}
+
+/// A contiguous sub-range view of another source (what the sharded builds
+/// hand each worker, replacing `&cov[range]` slicing).
+struct SubLists<'a, L: CovSource + ?Sized> {
+    src: &'a L,
+    base: usize,
+    len: usize,
+}
+
+impl<L: CovSource + ?Sized> CovSource for SubLists<'_, L> {
+    fn n_lists(&self) -> usize {
+        self.len
+    }
+    fn list(&self, b: usize) -> &[u32] {
+        debug_assert!(b < self.len);
+        self.src.list(self.base + b)
+    }
+}
+
+/// The per-billboard coverage lists in CSR form: one flat entry column and
+/// an offsets column, each an owned-or-mapped [`Col`]. This is the
+/// representation a [`CoverageModel`] stores — heap-built models own their
+/// columns; models opened from a v3 cache file with the mmap loader view
+/// them zero-copy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageLists {
+    /// `offsets[b]..offsets[b+1]` indexes `data` for billboard `b`.
+    offsets: Col<u64>,
+    /// Trajectory ids, ascending within each billboard's slice.
+    data: Col<u32>,
+}
+
+impl CoverageLists {
+    /// Packs nested lists into CSR form.
+    pub fn from_lists(lists: Vec<Vec<u32>>) -> Self {
+        let total: usize = lists.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        offsets.push(0u64);
+        let mut data = Vec::with_capacity(total);
+        for list in &lists {
+            data.extend_from_slice(list);
+            offsets.push(data.len() as u64);
+        }
+        Self {
+            offsets: offsets.into(),
+            data: data.into(),
+        }
+    }
+
+    /// Wraps raw CSR columns (storage decode / mmap views). The caller
+    /// guarantees monotone offsets and sorted in-range slices; the storage
+    /// layer validates before calling.
+    pub(crate) fn from_cols(offsets: Col<u64>, data: Col<u32>) -> Self {
+        Self { offsets, data }
+    }
+
+    /// Number of billboards.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Whether there are no billboards.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The sorted trajectory ids of billboard `b`.
+    #[inline]
+    pub fn list(&self, b: usize) -> &[u32] {
+        let lo = self.offsets[b] as usize;
+        let hi = self.offsets[b + 1] as usize;
+        &self.data[lo..hi]
+    }
+
+    /// Iterates the lists in billboard-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.len()).map(|b| self.list(b))
+    }
+
+    /// Total entries across all lists.
+    pub fn total_entries(&self) -> usize {
+        self.offsets.last().copied().unwrap_or(0) as usize
+    }
+
+    /// Copies out to nested lists (tests, benches, incremental merges).
+    pub fn to_vec(&self) -> Vec<Vec<u32>> {
+        self.iter().map(<[u32]>::to_vec).collect()
+    }
+
+    /// The raw offsets column (storage encode).
+    pub(crate) fn offset_column(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw entry column (storage encode).
+    pub(crate) fn entry_column(&self) -> &[u32] {
+        &self.data
+    }
+
+    /// Anonymous heap bytes held by the columns.
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.heap_bytes() + self.data.heap_bytes()
+    }
+
+    /// Bytes viewed through file mappings.
+    pub fn mapped_bytes(&self) -> usize {
+        self.offsets.mapped_bytes() + self.data.mapped_bytes()
+    }
+
+    /// Whether any column is a mapped view.
+    pub fn is_mapped(&self) -> bool {
+        self.offsets.is_mapped() || self.data.is_mapped()
+    }
+}
+
+impl CovSource for CoverageLists {
+    fn n_lists(&self) -> usize {
+        self.len()
+    }
+    fn list(&self, b: usize) -> &[u32] {
+        CoverageLists::list(self, b)
+    }
+    fn total_entries(&self) -> usize {
+        CoverageLists::total_entries(self)
+    }
+}
+
+/// Partitions billboards `0..cov.n_lists()` into at most `n_shards`
+/// contiguous ranges of roughly equal total coverage-list length (each
+/// empty list still counts 1 so degenerate inputs spread too). Used by the
+/// parallel builds: contiguous ranges keep every shard's output a
+/// contiguous region of the final CSR arrays.
+fn shard_ranges<L: CovSource + ?Sized>(cov: &L, n_shards: usize) -> Vec<Range<usize>> {
+    let n = cov.n_lists();
     if n == 0 {
         return Vec::new();
     }
     let n_shards = n_shards.clamp(1, n);
-    let total: usize = cov.iter().map(|l| l.len().max(1)).sum();
+    let total: usize = (0..n).map(|b| cov.list(b).len().max(1)).sum();
     let target = total.div_ceil(n_shards);
     let mut ranges = Vec::with_capacity(n_shards);
     let (mut start, mut acc) = (0usize, 0usize);
-    for (b, list) in cov.iter().enumerate() {
-        acc += list.len().max(1);
+    for b in 0..n {
+        acc += cov.list(b).len().max(1);
         if acc >= target {
             ranges.push(start..b + 1);
             start = b + 1;
@@ -80,9 +247,9 @@ fn trajectory_ranges(offsets: &[u64], n_parts: usize) -> Vec<Range<usize>> {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct InvertedIndex {
     /// `offsets[t]..offsets[t+1]` indexes `data` for trajectory `t`.
-    offsets: Vec<u64>,
+    offsets: Col<u64>,
     /// Billboard ids, ascending within each trajectory's slice.
-    data: Vec<u32>,
+    data: Col<u32>,
 }
 
 impl InvertedIndex {
@@ -90,8 +257,8 @@ impl InvertedIndex {
     /// and the input are both big enough. Serial and parallel builds are
     /// bit-identical (property-tested below), so the choice only affects
     /// wall-clock time.
-    pub fn build(cov: &[Vec<u32>], n_trajectories: usize) -> Self {
-        let total: usize = cov.iter().map(Vec::len).sum();
+    pub fn build<L: CovSource + ?Sized>(cov: &L, n_trajectories: usize) -> Self {
+        let total = cov.total_entries();
         if rayon::current_num_threads() > 1 && total >= PARALLEL_BUILD_MIN_ITEMS {
             Self::build_parallel(cov, n_trajectories)
         } else {
@@ -102,10 +269,11 @@ impl InvertedIndex {
     /// The reference single-threaded build: counting pass, prefix sum,
     /// billboard-order scatter. Public so benches and property tests can
     /// pin the parallel build against it.
-    pub fn build_serial(cov: &[Vec<u32>], n_trajectories: usize) -> Self {
+    pub fn build_serial<L: CovSource + ?Sized>(cov: &L, n_trajectories: usize) -> Self {
+        let n_b = cov.n_lists();
         let mut counts = vec![0u64; n_trajectories + 1];
-        for list in cov {
-            for &t in list {
+        for b in 0..n_b {
+            for &t in cov.list(b) {
                 counts[t as usize + 1] += 1;
             }
         }
@@ -117,13 +285,16 @@ impl InvertedIndex {
         let mut data = vec![0u32; *offsets.last().unwrap_or(&0) as usize];
         // Billboards are visited in ascending id order, so each trajectory's
         // slice comes out sorted without an explicit sort pass.
-        for (b, list) in cov.iter().enumerate() {
-            for &t in list {
+        for b in 0..n_b {
+            for &t in cov.list(b) {
                 data[next[t as usize] as usize] = b as u32;
                 next[t as usize] += 1;
             }
         }
-        Self { offsets, data }
+        Self {
+            offsets: offsets.into(),
+            data: data.into(),
+        }
     }
 
     /// The multithreaded build: per-shard counting (each shard transposes
@@ -133,14 +304,18 @@ impl InvertedIndex {
     /// Within one trajectory's slice the shards are concatenated in shard
     /// order and shard-local ids rebased, which reproduces the serial
     /// billboard-ascending order exactly.
-    pub fn build_parallel(cov: &[Vec<u32>], n_trajectories: usize) -> Self {
+    pub fn build_parallel<L: CovSource + ?Sized>(cov: &L, n_trajectories: usize) -> Self {
         Self::build_parallel_with(cov, n_trajectories, rayon::current_num_threads())
     }
 
     /// [`build_parallel`](Self::build_parallel) with an explicit shard
     /// count, so tests and benches can force the sharded path regardless
     /// of pool width.
-    pub fn build_parallel_with(cov: &[Vec<u32>], n_trajectories: usize, n_shards: usize) -> Self {
+    pub fn build_parallel_with<L: CovSource + ?Sized>(
+        cov: &L,
+        n_trajectories: usize,
+        n_shards: usize,
+    ) -> Self {
         let shards = shard_ranges(cov, n_shards);
         if shards.len() <= 1 {
             return Self::build_serial(cov, n_trajectories);
@@ -152,7 +327,12 @@ impl InvertedIndex {
             for (slot, range) in locals.iter_mut().zip(&shards) {
                 let range = range.clone();
                 s.spawn(move |_| {
-                    *slot = Some(InvertedIndex::build_serial(&cov[range], n_trajectories));
+                    let view = SubLists {
+                        src: cov,
+                        base: range.start,
+                        len: range.len(),
+                    };
+                    *slot = Some(InvertedIndex::build_serial(&view, n_trajectories));
                 });
             }
         });
@@ -192,14 +372,46 @@ impl InvertedIndex {
                 });
             }
         });
-        Self { offsets, data }
+        Self {
+            offsets: offsets.into(),
+            data: data.into(),
+        }
     }
 
     /// Reassembles an index from raw CSR parts (storage decode). The
     /// caller guarantees the invariants (monotone offsets, sorted slices);
     /// the storage layer validates ids against the model dimensions.
     pub(crate) fn from_raw(offsets: Vec<u64>, data: Vec<u32>) -> Self {
+        Self {
+            offsets: offsets.into(),
+            data: data.into(),
+        }
+    }
+
+    /// Wraps CSR columns directly (mmap-backed storage decode).
+    #[cfg(feature = "mmap")]
+    pub(crate) fn from_cols(offsets: Col<u64>, data: Col<u32>) -> Self {
         Self { offsets, data }
+    }
+
+    /// The raw offsets column (storage encode).
+    pub(crate) fn offset_column(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw entry column (storage encode).
+    pub(crate) fn entry_column(&self) -> &[u32] {
+        &self.data
+    }
+
+    /// Anonymous heap bytes held by the columns.
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.heap_bytes() + self.data.heap_bytes()
+    }
+
+    /// Bytes viewed through file mappings.
+    pub fn mapped_bytes(&self) -> usize {
+        self.offsets.mapped_bytes() + self.data.mapped_bytes()
     }
 
     /// Number of trajectories indexed.
@@ -229,17 +441,17 @@ impl InvertedIndex {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct OverlapGraph {
     /// `offsets[b]..offsets[b+1]` indexes `data` for billboard `b`.
-    offsets: Vec<u64>,
+    offsets: Col<u64>,
     /// Neighbour billboard ids, ascending within each billboard's slice.
-    data: Vec<u32>,
+    data: Col<u32>,
 }
 
 impl OverlapGraph {
     /// Builds the overlap graph, choosing the parallel scheme when the
     /// pool and the input are both big enough. Serial and parallel builds
     /// are bit-identical (property-tested below).
-    pub fn build(cov: &[Vec<u32>], inv: &InvertedIndex) -> Self {
-        let total: usize = cov.iter().map(Vec::len).sum();
+    pub fn build<L: CovSource + ?Sized>(cov: &L, inv: &InvertedIndex) -> Self {
+        let total = cov.total_entries();
         if rayon::current_num_threads() > 1 && total >= PARALLEL_BUILD_MIN_ITEMS {
             Self::build_parallel(cov, inv)
         } else {
@@ -250,16 +462,16 @@ impl OverlapGraph {
     /// The reference single-threaded build: one `seen`-bitmap sweep per
     /// billboard over its trajectories' inverted slices. Public so benches
     /// and property tests can pin the parallel build against it.
-    pub fn build_serial(cov: &[Vec<u32>], inv: &InvertedIndex) -> Self {
-        let n_b = cov.len();
+    pub fn build_serial<L: CovSource + ?Sized>(cov: &L, inv: &InvertedIndex) -> Self {
+        let n_b = cov.n_lists();
         let mut offsets = Vec::with_capacity(n_b + 1);
         offsets.push(0u64);
         let mut data = Vec::new();
         let mut seen = vec![false; n_b];
         let mut scratch: Vec<u32> = Vec::new();
-        for (b, list) in cov.iter().enumerate() {
+        for b in 0..n_b {
             scratch.clear();
-            for &t in list {
+            for &t in cov.list(b) {
                 for &c in inv.billboards_covering(t) {
                     if c as usize != b && !seen[c as usize] {
                         seen[c as usize] = true;
@@ -274,7 +486,10 @@ impl OverlapGraph {
             data.extend_from_slice(&scratch);
             offsets.push(data.len() as u64);
         }
-        Self { offsets, data }
+        Self {
+            offsets: offsets.into(),
+            data: data.into(),
+        }
     }
 
     /// The multithreaded build. Pass 1 runs neighbour discovery for a
@@ -283,15 +498,19 @@ impl OverlapGraph {
     /// shard's concatenated sorted neighbour lists. Pass 2 prefix-sums the
     /// degrees into global offsets. Pass 3 copies every shard's block into
     /// its (contiguous, disjoint) region of the output array in parallel.
-    pub fn build_parallel(cov: &[Vec<u32>], inv: &InvertedIndex) -> Self {
+    pub fn build_parallel<L: CovSource + ?Sized>(cov: &L, inv: &InvertedIndex) -> Self {
         Self::build_parallel_with(cov, inv, rayon::current_num_threads())
     }
 
     /// [`build_parallel`](Self::build_parallel) with an explicit shard
     /// count, so tests and benches can force the sharded path regardless
     /// of pool width.
-    pub fn build_parallel_with(cov: &[Vec<u32>], inv: &InvertedIndex, n_shards: usize) -> Self {
-        let n_b = cov.len();
+    pub fn build_parallel_with<L: CovSource + ?Sized>(
+        cov: &L,
+        inv: &InvertedIndex,
+        n_shards: usize,
+    ) -> Self {
+        let n_b = cov.n_lists();
         let shards = shard_ranges(cov, n_shards);
         if shards.len() <= 1 {
             return Self::build_serial(cov, inv);
@@ -310,7 +529,7 @@ impl OverlapGraph {
                     let mut block: Vec<u32> = Vec::new();
                     for b in range {
                         scratch.clear();
-                        for &t in &cov[b] {
+                        for &t in cov.list(b) {
                             for &c in inv.billboards_covering(t) {
                                 if c as usize != b && !seen[c as usize] {
                                     seen[c as usize] = true;
@@ -353,13 +572,45 @@ impl OverlapGraph {
                 s.spawn(move |_| head.copy_from_slice(block));
             }
         });
-        Self { offsets, data }
+        Self {
+            offsets: offsets.into(),
+            data: data.into(),
+        }
     }
 
     /// Reassembles a graph from raw CSR parts (storage decode); see
     /// [`InvertedIndex::from_raw`].
     pub(crate) fn from_raw(offsets: Vec<u64>, data: Vec<u32>) -> Self {
+        Self {
+            offsets: offsets.into(),
+            data: data.into(),
+        }
+    }
+
+    /// Wraps CSR columns directly (mmap-backed storage decode).
+    #[cfg(feature = "mmap")]
+    pub(crate) fn from_cols(offsets: Col<u64>, data: Col<u32>) -> Self {
         Self { offsets, data }
+    }
+
+    /// The raw offsets column (storage encode).
+    pub(crate) fn offset_column(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw entry column (storage encode).
+    pub(crate) fn entry_column(&self) -> &[u32] {
+        &self.data
+    }
+
+    /// Anonymous heap bytes held by the columns.
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.heap_bytes() + self.data.heap_bytes()
+    }
+
+    /// Bytes viewed through file mappings.
+    pub fn mapped_bytes(&self) -> usize {
+        self.offsets.mapped_bytes() + self.data.mapped_bytes()
     }
 
     /// Number of billboards in the graph.
@@ -423,8 +674,8 @@ impl CoverageBitmap {
     /// Builds the bitmap, choosing the parallel scheme when the pool and
     /// the input are both big enough. Serial and parallel builds are
     /// bit-identical (rows are disjoint; only the fill order differs).
-    pub fn build(cov: &[Vec<u32>], n_trajectories: usize) -> Self {
-        let total: usize = cov.iter().map(Vec::len).sum();
+    pub fn build<L: CovSource + ?Sized>(cov: &L, n_trajectories: usize) -> Self {
+        let total = cov.total_entries();
         if rayon::current_num_threads() > 1 && total >= PARALLEL_BUILD_MIN_ITEMS {
             Self::build_parallel(cov, n_trajectories)
         } else {
@@ -434,12 +685,12 @@ impl CoverageBitmap {
 
     /// The reference single-threaded build. Public so benches and property
     /// tests can pin the parallel build against it.
-    pub fn build_serial(cov: &[Vec<u32>], n_trajectories: usize) -> Self {
+    pub fn build_serial<L: CovSource + ?Sized>(cov: &L, n_trajectories: usize) -> Self {
         let words_per_row = n_trajectories.div_ceil(64);
-        let mut bits = vec![0u64; words_per_row * cov.len()];
-        for (b, list) in cov.iter().enumerate() {
+        let mut bits = vec![0u64; words_per_row * cov.n_lists()];
+        for b in 0..cov.n_lists() {
             let row = &mut bits[b * words_per_row..(b + 1) * words_per_row];
-            for &t in list {
+            for &t in cov.list(b) {
                 row[t as usize / 64] |= 1u64 << (t % 64);
             }
         }
@@ -452,30 +703,35 @@ impl CoverageBitmap {
     /// The multithreaded build: rows are disjoint fixed-width slices of
     /// the backing array, so `par_chunks_mut` over row groups needs no
     /// synchronisation at all.
-    pub fn build_parallel(cov: &[Vec<u32>], n_trajectories: usize) -> Self {
+    pub fn build_parallel<L: CovSource + ?Sized>(cov: &L, n_trajectories: usize) -> Self {
         Self::build_parallel_with(cov, n_trajectories, rayon::current_num_threads())
     }
 
     /// [`build_parallel`](Self::build_parallel) with an explicit task
     /// count, so tests and benches can force the chunked path regardless
     /// of pool width.
-    pub fn build_parallel_with(cov: &[Vec<u32>], n_trajectories: usize, n_tasks: usize) -> Self {
+    pub fn build_parallel_with<L: CovSource + ?Sized>(
+        cov: &L,
+        n_trajectories: usize,
+        n_tasks: usize,
+    ) -> Self {
         let words_per_row = n_trajectories.div_ceil(64);
-        let mut bits = vec![0u64; words_per_row * cov.len()];
-        if words_per_row == 0 || cov.is_empty() {
+        let n_b = cov.n_lists();
+        let mut bits = vec![0u64; words_per_row * n_b];
+        if words_per_row == 0 || n_b == 0 {
             return Self {
                 words_per_row,
                 bits,
             };
         }
         // A few chunks per task so one dense shard doesn't straggle.
-        let rows_per_chunk = cov.len().div_ceil(n_tasks.max(1) * 4).max(1);
+        let rows_per_chunk = n_b.div_ceil(n_tasks.max(1) * 4).max(1);
         bits.par_chunks_mut(rows_per_chunk * words_per_row)
             .enumerate()
             .for_each(|(chunk, rows)| {
                 let first_row = chunk * rows_per_chunk;
                 for (r, row) in rows.chunks_mut(words_per_row).enumerate() {
-                    for &t in &cov[first_row + r] {
+                    for &t in cov.list(first_row + r) {
                         row[t as usize / 64] |= 1u64 << (t % 64);
                     }
                 }
@@ -500,11 +756,33 @@ impl CoverageBitmap {
         self.words_per_row
     }
 
+    /// Heap bytes held by the backing bit array.
+    pub fn heap_bytes(&self) -> usize {
+        self.bits.capacity() * 8
+    }
+
     /// The bitset row of billboard `b`.
     #[inline]
     pub fn row(&self, b: u32) -> &[u64] {
         let lo = b as usize * self.words_per_row;
         &self.bits[lo..lo + self.words_per_row]
+    }
+
+    /// Popcount of row `b` — `I({o_b})` recomputed from the bits, through
+    /// the [`kernel`](crate::kernel) dispatch point.
+    #[inline]
+    pub fn row_popcount(&self, b: u32) -> u64 {
+        crate::kernel::popcount(self.row(b))
+    }
+
+    /// Popcount of `row(b) ∧ other` — the number of trajectories billboard
+    /// `b` shares with an externally maintained covered bitset. `other`
+    /// must be [`words_per_row`](Self::words_per_row) words long. This is
+    /// the exact-gain primitive of the lazy engines, routed through the
+    /// [`kernel`](crate::kernel) dispatch point.
+    #[inline]
+    pub fn row_and_popcount(&self, b: u32, other: &[u64]) -> u64 {
+        crate::kernel::and_popcount(self.row(b), other)
     }
 }
 
@@ -537,7 +815,7 @@ fn default_bitmap_budget() -> usize {
 /// demand-supply ratio α (Section 7.1.3).
 #[derive(Debug, Clone)]
 pub struct CoverageModel {
-    cov: Vec<Vec<u32>>,
+    cov: CoverageLists,
     n_trajectories: usize,
     supply: u64,
     /// Budget the bitmap decision is made against; see
@@ -580,7 +858,14 @@ impl CoverageModel {
                 "coverage list of o{b} references unknown trajectory"
             );
         }
-        let supply = cov.iter().map(|c| c.len() as u64).sum();
+        Self::from_cov(CoverageLists::from_lists(cov), n_trajectories)
+    }
+
+    /// Wraps an already CSR-packed coverage relation (storage decode, mmap
+    /// views). The caller guarantees sorted in-range slices; the storage
+    /// layer validates before calling.
+    pub fn from_cov(cov: CoverageLists, n_trajectories: usize) -> Self {
+        let supply = cov.total_entries() as u64;
         Self {
             cov,
             n_trajectories,
@@ -621,6 +906,35 @@ impl CoverageModel {
             .as_deref()
     }
 
+    /// Resident-size breakdown of the model and its derived structures,
+    /// split into anonymous heap bytes vs file-mapped bytes. Lazy
+    /// structures that have not been built yet report zero (`OnceLock`
+    /// peeks — calling this never triggers a build).
+    pub fn memory_stats(&self) -> ModelMemoryStats {
+        let (inv_heap, inv_mapped) = self
+            .inverted
+            .get()
+            .map_or((0, 0), |i| (i.heap_bytes(), i.mapped_bytes()));
+        let (ov_heap, ov_mapped) = self
+            .overlap
+            .get()
+            .map_or((0, 0), |g| (g.heap_bytes(), g.mapped_bytes()));
+        let bitmap_bytes = self
+            .bitmap
+            .get()
+            .and_then(|b| b.as_ref())
+            .map_or(0, |b| b.heap_bytes());
+        ModelMemoryStats {
+            lists_heap_bytes: self.cov.heap_bytes(),
+            lists_mapped_bytes: self.cov.mapped_bytes(),
+            inverted_heap_bytes: inv_heap,
+            inverted_mapped_bytes: inv_mapped,
+            overlap_heap_bytes: ov_heap,
+            overlap_mapped_bytes: ov_mapped,
+            bitmap_heap_bytes: bitmap_bytes,
+        }
+    }
+
     /// Eagerly builds every derived structure (transpose, overlap graph,
     /// bitmap) instead of letting the first solver touch pay for them. The
     /// transpose is built first (the overlap graph consumes it), then the
@@ -654,9 +968,10 @@ impl CoverageModel {
         self
     }
 
-    /// The raw per-billboard coverage lists (sorted ascending). Exposed for
-    /// the storage layer's fingerprint/derived-structure encoding.
-    pub fn coverage_lists(&self) -> &[Vec<u32>] {
+    /// The CSR-packed per-billboard coverage lists (sorted ascending).
+    /// Exposed for the storage layer's fingerprint/derived-structure
+    /// encoding and for equality checks in tests.
+    pub fn coverage_lists(&self) -> &CoverageLists {
         &self.cov
     }
 
@@ -695,13 +1010,13 @@ impl CoverageModel {
     /// Sorted trajectory ids influenced by billboard `id`.
     #[inline]
     pub fn coverage(&self, id: BillboardId) -> &[u32] {
-        &self.cov[id.index()]
+        self.cov.list(id.index())
     }
 
     /// Individual influence `I({o})` of billboard `id`.
     #[inline]
     pub fn influence_of(&self, id: BillboardId) -> u64 {
-        self.cov[id.index()].len() as u64
+        self.cov.list(id.index()).len() as u64
     }
 
     /// The host's supply `I* = Σ_{o∈U} I({o})`.
@@ -777,6 +1092,42 @@ impl CoverageModel {
             .zip(taus)
             .map(|(c, &tau)| (tau * c.len() as f64 / 10.0).floor() as u64)
             .collect()
+    }
+}
+
+/// Resident-size breakdown of a [`CoverageModel`], split by structure and
+/// by backing (anonymous heap vs file mapping). Produced by
+/// [`CoverageModel::memory_stats`]; surfaced by `mroam stats --memory`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelMemoryStats {
+    /// Coverage-list CSR columns on the heap.
+    pub lists_heap_bytes: usize,
+    /// Coverage-list CSR columns viewed through a file mapping.
+    pub lists_mapped_bytes: usize,
+    /// Inverted-index CSR columns on the heap (0 until built).
+    pub inverted_heap_bytes: usize,
+    /// Inverted-index CSR columns viewed through a file mapping.
+    pub inverted_mapped_bytes: usize,
+    /// Overlap-graph CSR columns on the heap (0 until built).
+    pub overlap_heap_bytes: usize,
+    /// Overlap-graph CSR columns viewed through a file mapping.
+    pub overlap_mapped_bytes: usize,
+    /// Dense coverage bitmap (always heap; 0 until built or over budget).
+    pub bitmap_heap_bytes: usize,
+}
+
+impl ModelMemoryStats {
+    /// Total anonymous heap bytes across all structures.
+    pub fn total_heap_bytes(&self) -> usize {
+        self.lists_heap_bytes
+            + self.inverted_heap_bytes
+            + self.overlap_heap_bytes
+            + self.bitmap_heap_bytes
+    }
+
+    /// Total file-mapped bytes across all structures.
+    pub fn total_mapped_bytes(&self) -> usize {
+        self.lists_mapped_bytes + self.inverted_mapped_bytes + self.overlap_mapped_bytes
     }
 }
 

@@ -27,10 +27,32 @@
 //! the store dimensions — which [`read_model_checked`] verifies before
 //! accepting a cache hit, and optionally appends the derived CSR
 //! structures so a warm start is decode + verify instead of rebuild.
+//!
+//! v3 trades the varint compression for *fixed-width, 8-aligned* CSR
+//! sections so the file doubles as an in-memory representation:
+//!
+//! ```text
+//! [0]  magic   b"MROAMCOV"
+//! [8]  version u8 = 3, flags u8 (bit 0: derived), 6 pad bytes
+//! [16] λ_µm u64, input_checksum u64, |T| u64, |U| u64   (all LE)
+//! [48] cov_offsets  (|U|+1) × u64
+//!      cov_data     total  × u32, zero-padded to 8
+//!      flags bit 0: inv_offsets (|T|+1) × u64, inv_data × u32 pad8,
+//!                   ov_offsets  (|U|+1) × u64, ov_data  × u32 pad8
+//! [-8] checksum u64 LE (FxHash of everything after the magic)
+//! ```
+//!
+//! A v3 file loads two ways with identical read semantics: the heap path
+//! copies each section into owned columns (any alignment, any endianness
+//! of the *host* — sections are LE), and [`open_model_mmap`] (feature
+//! `mmap`) maps the file and serves every column as a zero-copy view, so
+//! cities larger than RAM fault pages in lazily instead of materialising
+//! gigabytes up front.
 
 use crate::hash::FxHasher;
-use crate::model::{CoverageModel, InvertedIndex, OverlapGraph};
+use crate::model::{CoverageLists, CoverageModel, InvertedIndex, OverlapGraph};
 use bytes::{Buf, BufMut};
+use mroam_data::col::{align8, put_pod_section, read_pod_vec};
 use mroam_data::{BillboardId, BillboardStore, TrajectoryStore};
 use std::hash::Hasher;
 
@@ -38,11 +60,18 @@ use std::hash::Hasher;
 pub const MAGIC: &[u8; 8] = b"MROAMCOV";
 /// Legacy format version (coverage lists only, no fingerprint).
 pub const VERSION: u8 = 1;
-/// Current format version (fingerprint + optional derived structures).
+/// Compact format version (fingerprint + optional derived structures,
+/// varint + delta coded).
 pub const VERSION_V2: u8 = 2;
+/// Current format version: fingerprint + fixed-width 8-aligned CSR
+/// sections, loadable by copy or by mmap.
+pub const VERSION_V3: u8 = 3;
 
-/// v2 flags bit: the derived CSR sections follow the coverage lists.
+/// v2/v3 flags bit: the derived CSR sections follow the coverage lists.
 const FLAG_DERIVED: u8 = 1;
+
+/// Byte offset of the first v3 section (the fixed-width header ends here).
+const V3_SECTIONS_START: usize = 48;
 
 /// Identity of the inputs a stored model was computed from. Two model
 /// files with equal fingerprints were built from bit-identical stores at
@@ -116,15 +145,20 @@ pub enum StorageError {
     ChecksumMismatch,
     /// A coverage list referenced a trajectory id out of range.
     IdOutOfRange { billboard: usize, id: u64 },
-    /// A v2 file's source fingerprint does not match the inputs the caller
-    /// is about to serve — the cache is stale (different λ, city, or store
-    /// contents) and must be rebuilt, never silently loaded.
+    /// A v2/v3 file's source fingerprint does not match the inputs the
+    /// caller is about to serve — the cache is stale (different λ, city, or
+    /// store contents) and must be rebuilt, never silently loaded.
     FingerprintMismatch {
         /// What the caller's inputs fingerprint to.
         expected: ModelFingerprint,
         /// What the file claims it was built from.
         found: ModelFingerprint,
     },
+    /// A v3 section table is internally inconsistent (non-monotone offsets,
+    /// sections past the payload, bad padding).
+    Inconsistent(&'static str),
+    /// The file could not be opened or mapped ([`open_model_mmap`]).
+    Io(std::io::ErrorKind),
 }
 
 impl std::fmt::Display for StorageError {
@@ -147,6 +181,10 @@ impl std::fmt::Display for StorageError {
                     "stale model cache: file was built from {found:?}, inputs are {expected:?}"
                 )
             }
+            StorageError::Inconsistent(what) => {
+                write!(f, "inconsistent v3 section table: {what}")
+            }
+            StorageError::Io(kind) => write!(f, "model file I/O error: {kind}"),
         }
     }
 }
@@ -287,6 +325,319 @@ pub fn write_model_v2(
     out.put_u64_le(sum);
 }
 
+/// Serialises a model into `out` (appended) in the v3 format: fixed-width
+/// header plus 8-aligned CSR sections (see the module docs for the
+/// layout). `out` must be 8-aligned (normally empty) so the sections land
+/// on mappable offsets. Like v2, `include_derived` appends the inverted
+/// index and overlap graph (forcing their builds); the bitmap is never
+/// stored.
+pub fn write_model_v3(
+    model: &CoverageModel,
+    fingerprint: &ModelFingerprint,
+    include_derived: bool,
+    out: &mut Vec<u8>,
+) {
+    debug_assert_eq!(out.len() % 8, 0, "v3 sections must start 8-aligned");
+    debug_assert_eq!(fingerprint.n_billboards, model.n_billboards() as u64);
+    debug_assert_eq!(fingerprint.n_trajectories, model.n_trajectories() as u64);
+    out.extend_from_slice(MAGIC);
+    let payload_start = out.len();
+    out.push(VERSION_V3);
+    out.push(if include_derived { FLAG_DERIVED } else { 0 });
+    out.resize(payload_start + 8, 0); // pad the version/flags word
+    for word in [
+        fingerprint.lambda_um,
+        fingerprint.input_checksum,
+        model.n_trajectories() as u64,
+        model.n_billboards() as u64,
+    ] {
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    let cov = model.coverage_lists();
+    put_pod_section(out, cov.offset_column());
+    put_pod_section(out, cov.entry_column());
+    align8(out);
+    if include_derived {
+        let inv = model.inverted_index();
+        put_pod_section(out, inv.offset_column());
+        put_pod_section(out, inv.entry_column());
+        align8(out);
+        let ov = model.overlap_graph();
+        put_pod_section(out, ov.offset_column());
+        put_pod_section(out, ov.entry_column());
+        align8(out);
+    }
+    let sum = checksum(&out[payload_start..]);
+    out.put_u64_le(sum);
+}
+
+/// [`encode`] in the v3 format; see [`write_model_v3`].
+pub fn encode_v3(
+    model: &CoverageModel,
+    fingerprint: &ModelFingerprint,
+    include_derived: bool,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_model_v3(model, fingerprint, include_derived, &mut out);
+    out
+}
+
+/// One fixed-width v3 section: `n` records starting at byte `at`.
+#[derive(Debug, Clone, Copy)]
+struct V3Section {
+    at: usize,
+    n: usize,
+}
+
+/// The decoded v3 header plus the byte positions of every CSR section.
+/// Pure arithmetic over the header words — no section data is touched, so
+/// building a layout from a mapped file faults in one page.
+struct V3Layout {
+    lambda_um: u64,
+    input_checksum: u64,
+    n_trajectories: usize,
+    n_billboards: usize,
+    /// (offsets, data) of the coverage CSR.
+    cov: (V3Section, V3Section),
+    /// (offsets, data) of the inverted index then the overlap graph, when
+    /// `flags` has [`FLAG_DERIVED`].
+    derived: Option<[(V3Section, V3Section); 2]>,
+}
+
+fn read_u64_at(data: &[u8], at: usize) -> Result<u64, StorageError> {
+    data.get(at..at + 8)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        .ok_or(StorageError::Truncated)
+}
+
+/// Walks the v3 section table. `data` is the whole file (magic through
+/// checksum trailer), already checksum-verified by the caller; this only
+/// validates that the claimed dimensions fit inside the payload.
+fn v3_layout(data: &[u8]) -> Result<V3Layout, StorageError> {
+    if data.len() < V3_SECTIONS_START + 8 + 8 {
+        return Err(StorageError::Truncated);
+    }
+    debug_assert_eq!(data[8], VERSION_V3);
+    let flags = data[9];
+    let payload_end = data.len() - 8;
+    let lambda_um = read_u64_at(data, 16)?;
+    let input_checksum = read_u64_at(data, 24)?;
+    let n_trajectories = read_u64_at(data, 32)? as usize;
+    let n_billboards = read_u64_at(data, 40)? as usize;
+
+    let mut at = V3_SECTIONS_START;
+    // Reads one (offsets, data) CSR pair at the cursor, sized by the
+    // offsets section's own last element, and advances past the padding.
+    let mut csr = |n_slices: usize| -> Result<(V3Section, V3Section), StorageError> {
+        let n_offsets = n_slices
+            .checked_add(1)
+            .ok_or(StorageError::Inconsistent("slice count overflows"))?;
+        let off_bytes = n_offsets
+            .checked_mul(8)
+            .ok_or(StorageError::Inconsistent("offsets section overflows"))?;
+        let off = V3Section { at, n: n_offsets };
+        let off_end = at
+            .checked_add(off_bytes)
+            .filter(|&e| e <= payload_end)
+            .ok_or(StorageError::Truncated)?;
+        let total = read_u64_at(data, off_end - 8)? as usize;
+        let dat = V3Section {
+            at: off_end,
+            n: total,
+        };
+        let dat_end = total
+            .checked_mul(4)
+            .and_then(|b| off_end.checked_add(b))
+            .filter(|&e| e <= payload_end)
+            .ok_or(StorageError::Truncated)?;
+        at = dat_end.div_ceil(8) * 8;
+        if at > payload_end {
+            return Err(StorageError::Truncated);
+        }
+        Ok((off, dat))
+    };
+
+    let cov = csr(n_billboards)?;
+    let derived = if flags & FLAG_DERIVED != 0 {
+        Some([csr(n_trajectories)?, csr(n_billboards)?])
+    } else {
+        None
+    };
+    if at != payload_end {
+        return Err(StorageError::Inconsistent("trailing bytes after sections"));
+    }
+    Ok(V3Layout {
+        lambda_um,
+        input_checksum,
+        n_trajectories,
+        n_billboards,
+        cov,
+        derived,
+    })
+}
+
+impl V3Layout {
+    fn fingerprint(&self) -> ModelFingerprint {
+        ModelFingerprint {
+            lambda_um: self.lambda_um,
+            input_checksum: self.input_checksum,
+            n_billboards: self.n_billboards as u64,
+            n_trajectories: self.n_trajectories as u64,
+        }
+    }
+
+    fn check_fingerprint(&self, expected: Option<&ModelFingerprint>) -> Result<(), StorageError> {
+        if let Some(expected) = expected {
+            let found = self.fingerprint();
+            if found != *expected {
+                return Err(StorageError::FingerprintMismatch {
+                    expected: *expected,
+                    found,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validates one CSR: offsets start at 0, never decrease, end exactly at
+/// the data length, and every id is `< bound`. Shared by the heap and
+/// mmap load paths so both refuse the same malformed inputs.
+fn validate_csr(
+    offsets: &[u64],
+    data: &[u32],
+    bound: u64,
+    what: &'static str,
+) -> Result<(), StorageError> {
+    if offsets.first() != Some(&0) {
+        return Err(StorageError::Inconsistent(what));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(StorageError::Inconsistent(what));
+    }
+    if *offsets.last().expect("non-empty offsets") != data.len() as u64 {
+        return Err(StorageError::Inconsistent(what));
+    }
+    for (slice, w) in offsets.windows(2).enumerate() {
+        for &id in &data[w[0] as usize..w[1] as usize] {
+            if u64::from(id) >= bound {
+                return Err(StorageError::IdOutOfRange {
+                    billboard: slice,
+                    id: u64::from(id),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Heap decode of a v3 file: every section is copied into owned columns
+/// via [`read_pod_vec`] (alignment-safe). `data` is checksum-verified by
+/// the caller.
+fn read_model_v3(
+    data: &[u8],
+    expected: Option<&ModelFingerprint>,
+) -> Result<CoverageModel, StorageError> {
+    let lay = v3_layout(data)?;
+    lay.check_fingerprint(expected)?;
+    let read_csr = |s: (V3Section, V3Section)| -> Result<(Vec<u64>, Vec<u32>), StorageError> {
+        let (off, _) =
+            read_pod_vec::<u64>(&data[s.0.at..], s.0.n).ok_or(StorageError::Truncated)?;
+        let (dat, _) =
+            read_pod_vec::<u32>(&data[s.1.at..], s.1.n).ok_or(StorageError::Truncated)?;
+        Ok((off, dat))
+    };
+
+    let (cov_off, cov_dat) = read_csr(lay.cov)?;
+    validate_csr(&cov_off, &cov_dat, lay.n_trajectories as u64, "coverage")?;
+    let cov = CoverageLists::from_cols(cov_off.into(), cov_dat.into());
+    let model = CoverageModel::from_cov(cov, lay.n_trajectories);
+    if let Some([inv, ov]) = lay.derived {
+        let (inv_off, inv_dat) = read_csr(inv)?;
+        validate_csr(&inv_off, &inv_dat, lay.n_billboards as u64, "inverted")?;
+        let (ov_off, ov_dat) = read_csr(ov)?;
+        validate_csr(&ov_off, &ov_dat, lay.n_billboards as u64, "overlap")?;
+        model.install_derived(
+            Some(InvertedIndex::from_raw(inv_off, inv_dat)),
+            Some(OverlapGraph::from_raw(ov_off, ov_dat)),
+            None,
+        );
+    }
+    Ok(model)
+}
+
+/// Opens a model file through a memory mapping. For a v3 file every CSR
+/// column (coverage plus any stored derived structures) becomes a
+/// zero-copy view of the mapping — pages fault in on first touch, so a
+/// model bigger than RAM opens in O(validation) and the OS evicts cold
+/// pages under pressure. Older versions (v1/v2) fall back to the heap
+/// decode over the mapped bytes, so callers can point this at any cache
+/// file.
+///
+/// Pass `Some(fingerprint)` to refuse stale caches exactly like
+/// [`read_model_checked`]. The payload checksum and CSR invariants are
+/// verified up front (one sequential pass — this is the only part that
+/// touches every page), so the returned model answers every query
+/// identically to a heap load of the same file.
+#[cfg(feature = "mmap")]
+pub fn open_model_mmap(
+    path: &std::path::Path,
+    expected: Option<&ModelFingerprint>,
+) -> Result<CoverageModel, StorageError> {
+    use mroam_data::Col;
+
+    let map = mroam_data::mmap::Mmap::open(path).map_err(|e| StorageError::Io(e.kind()))?;
+    let data: &[u8] = map.as_slice();
+    if data.len() < MAGIC.len() + 1 + 8 {
+        return Err(
+            if data.len() >= MAGIC.len() && &data[..MAGIC.len()] != MAGIC {
+                StorageError::BadMagic
+            } else {
+                StorageError::Truncated
+            },
+        );
+    }
+    if &data[..MAGIC.len()] != MAGIC {
+        return Err(StorageError::BadMagic);
+    }
+    let (payload, trailer) = data[MAGIC.len()..].split_at(data.len() - MAGIC.len() - 8);
+    let stored_sum = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+    if checksum(payload) != stored_sum {
+        return Err(StorageError::ChecksumMismatch);
+    }
+    if data[8] != VERSION_V3 {
+        // Varint formats can't be viewed in place; decode onto the heap.
+        return match expected {
+            Some(fp) => read_model_checked(data, fp),
+            None => read_model(data),
+        };
+    }
+
+    let lay = v3_layout(data)?;
+    lay.check_fingerprint(expected)?;
+    let col_u64 = |s: V3Section| Col::<u64>::mapped(map.clone(), s.at, s.n);
+    let col_u32 = |s: V3Section| Col::<u32>::mapped(map.clone(), s.at, s.n);
+
+    let (cov_off, cov_dat) = (col_u64(lay.cov.0), col_u32(lay.cov.1));
+    validate_csr(&cov_off, &cov_dat, lay.n_trajectories as u64, "coverage")?;
+    let model = CoverageModel::from_cov(
+        CoverageLists::from_cols(cov_off, cov_dat),
+        lay.n_trajectories,
+    );
+    if let Some([inv, ov]) = lay.derived {
+        let (inv_off, inv_dat) = (col_u64(inv.0), col_u32(inv.1));
+        validate_csr(&inv_off, &inv_dat, lay.n_billboards as u64, "inverted")?;
+        let (ov_off, ov_dat) = (col_u64(ov.0), col_u32(ov.1));
+        validate_csr(&ov_off, &ov_dat, lay.n_billboards as u64, "overlap")?;
+        model.install_derived(
+            Some(InvertedIndex::from_cols(inv_off, inv_dat)),
+            Some(OverlapGraph::from_cols(ov_off, ov_dat)),
+            None,
+        );
+    }
+    Ok(model)
+}
+
 /// Deserialises a model written by [`write_model`] or [`write_model_v2`],
 /// accepting any fingerprint (see [`read_model_checked`] for the cache
 /// path that refuses stale files).
@@ -350,6 +701,7 @@ fn read_model_impl(
             }
             buf.get_u8()
         }
+        VERSION_V3 => return read_model_v3(data, expected),
         v => return Err(StorageError::BadVersion(v)),
     };
     let mut fingerprint = None;
@@ -443,6 +795,15 @@ pub fn read_fingerprint(data: &[u8]) -> Result<Option<ModelFingerprint>, Storage
                 n_trajectories,
             }))
         }
+        VERSION_V3 => {
+            // Fixed-width header: four u64 words straight after the pad.
+            Ok(Some(ModelFingerprint {
+                lambda_um: read_u64_at(data, 16)?,
+                input_checksum: read_u64_at(data, 24)?,
+                n_trajectories: read_u64_at(data, 32)?,
+                n_billboards: read_u64_at(data, 40)?,
+            }))
+        }
         v => Err(StorageError::BadVersion(v)),
     }
 }
@@ -492,6 +853,34 @@ pub fn read_one_list(data: &[u8], target: BillboardId) -> Result<Vec<u32>, Stora
             let _flags = buf.get_u8();
             let _lambda_um = get_varint(&mut buf)?;
             let _input_checksum = get_varint(&mut buf)?;
+        }
+        VERSION_V3 => {
+            // Fixed-width sections make this a true point lookup: two
+            // offset words, then exactly the target's records.
+            let lay = v3_layout(data)?;
+            if target.index() >= lay.n_billboards {
+                return Err(StorageError::IdOutOfRange {
+                    billboard: target.index(),
+                    id: 0,
+                });
+            }
+            let lo = read_u64_at(data, lay.cov.0.at + target.index() * 8)? as usize;
+            let hi = read_u64_at(data, lay.cov.0.at + (target.index() + 1) * 8)? as usize;
+            if lo > hi || hi > lay.cov.1.n {
+                return Err(StorageError::Inconsistent("coverage"));
+            }
+            let start = lay.cov.1.at + lo * 4;
+            let tail = data.get(start..).ok_or(StorageError::Truncated)?;
+            let (list, _) = read_pod_vec::<u32>(tail, hi - lo).ok_or(StorageError::Truncated)?;
+            for &id in &list {
+                if u64::from(id) >= lay.n_trajectories as u64 {
+                    return Err(StorageError::IdOutOfRange {
+                        billboard: target.index(),
+                        id: u64::from(id),
+                    });
+                }
+            }
+            return Ok(list);
         }
         v => return Err(StorageError::BadVersion(v)),
     }
@@ -748,6 +1137,190 @@ mod tests {
     }
 
     #[test]
+    fn v3_roundtrip_preserves_model_and_derived_structures() {
+        let model = sample_model();
+        let fp = sample_fingerprint();
+        for include_derived in [false, true] {
+            let bytes = encode_v3(&model, &fp, include_derived);
+            assert_eq!(bytes.len() % 8, 0, "v3 files are whole words");
+            assert_eq!(read_fingerprint(&bytes).unwrap(), Some(fp));
+            let back = read_model_checked(&bytes, &fp).unwrap();
+            for b in model.billboard_ids() {
+                assert_eq!(back.coverage(b), model.coverage(b));
+            }
+            assert_eq!(back.supply(), model.supply());
+            assert_eq!(back.inverted_index(), model.inverted_index());
+            assert_eq!(back.overlap_graph(), model.overlap_graph());
+        }
+    }
+
+    #[test]
+    fn v3_empty_model_roundtrips() {
+        let model = CoverageModel::from_lists(vec![], 0);
+        let fp = ModelFingerprint {
+            lambda_um: 1,
+            input_checksum: 2,
+            n_billboards: 0,
+            n_trajectories: 0,
+        };
+        let back = read_model(&encode_v3(&model, &fp, true)).unwrap();
+        assert_eq!(back.n_billboards(), 0);
+        assert_eq!(back.n_trajectories(), 0);
+    }
+
+    #[test]
+    fn v3_refuses_stale_fingerprint() {
+        let model = sample_model();
+        let fp = sample_fingerprint();
+        let bytes = encode_v3(&model, &fp, true);
+        let other = ModelFingerprint {
+            lambda_um: fp.lambda_um + 1,
+            ..fp
+        };
+        match read_model_checked(&bytes, &other).unwrap_err() {
+            StorageError::FingerprintMismatch { expected, found } => {
+                assert_eq!(expected, other);
+                assert_eq!(found, fp);
+            }
+            e => panic!("expected FingerprintMismatch, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn v3_bit_flip_detected_by_checksum() {
+        let mut bytes = encode_v3(&sample_model(), &sample_fingerprint(), true);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert_eq!(
+            read_model(&bytes).unwrap_err(),
+            StorageError::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn v3_point_lookup_matches_full_decode() {
+        let model = sample_model();
+        for include_derived in [false, true] {
+            let bytes = encode_v3(&model, &sample_fingerprint(), include_derived);
+            for b in model.billboard_ids() {
+                assert_eq!(read_one_list(&bytes, b).unwrap(), model.coverage(b));
+            }
+            assert!(matches!(
+                read_one_list(&bytes, BillboardId(99)),
+                Err(StorageError::IdOutOfRange { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn v3_out_of_range_id_rejected() {
+        // Hand-corrupt one coverage entry past |T| and fix the checksum:
+        // the structural validation must catch what the checksum now
+        // blesses.
+        let model = sample_model();
+        let fp = sample_fingerprint();
+        let mut bytes = encode_v3(&model, &fp, false);
+        let n_b = model.n_billboards();
+        let data_at = V3_SECTIONS_START + (n_b + 1) * 8;
+        bytes[data_at..data_at + 4].copy_from_slice(&(model.n_trajectories() as u32).to_le_bytes());
+        let sum = checksum(&bytes[MAGIC.len()..bytes.len() - 8]);
+        let at = bytes.len() - 8;
+        bytes[at..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            read_model(&bytes).unwrap_err(),
+            StorageError::IdOutOfRange { billboard: 0, .. }
+        ));
+    }
+
+    #[cfg(feature = "mmap")]
+    mod mmap_tests {
+        use super::*;
+
+        fn scratch(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+            let path = std::env::temp_dir()
+                .join(format!("mroam-storage-{}-{name}.bin", std::process::id()));
+            std::fs::write(&path, bytes).unwrap();
+            path
+        }
+
+        #[test]
+        fn mmap_load_matches_heap_load() {
+            let model = sample_model();
+            let fp = sample_fingerprint();
+            for include_derived in [false, true] {
+                let bytes = encode_v3(&model, &fp, include_derived);
+                let path = scratch(&format!("ident-{include_derived}"), &bytes);
+                let mapped = open_model_mmap(&path, Some(&fp)).unwrap();
+                assert!(mapped.coverage_lists().is_mapped());
+                assert_eq!(mapped.coverage_lists(), model.coverage_lists());
+                assert_eq!(mapped.supply(), model.supply());
+                for b in model.billboard_ids() {
+                    assert_eq!(mapped.coverage(b), model.coverage(b));
+                }
+                // Query semantics identical to the heap model, including
+                // derived structures (stored or rebuilt from the views).
+                assert_eq!(mapped.inverted_index(), model.inverted_index());
+                assert_eq!(mapped.overlap_graph(), model.overlap_graph());
+                assert_eq!(
+                    mapped.set_influence(mapped.billboard_ids()),
+                    model.set_influence(model.billboard_ids())
+                );
+                let stats = mapped.memory_stats();
+                assert!(stats.lists_mapped_bytes > 0);
+                assert_eq!(stats.lists_heap_bytes, 0);
+                std::fs::remove_file(&path).ok();
+            }
+        }
+
+        #[test]
+        fn mmap_refuses_stale_fingerprint_and_corruption() {
+            let model = sample_model();
+            let fp = sample_fingerprint();
+            let mut bytes = encode_v3(&model, &fp, true);
+            let path = scratch("stale", &bytes);
+            let other = ModelFingerprint {
+                input_checksum: fp.input_checksum ^ 1,
+                ..fp
+            };
+            assert!(matches!(
+                open_model_mmap(&path, Some(&other)),
+                Err(StorageError::FingerprintMismatch { .. })
+            ));
+            std::fs::remove_file(&path).ok();
+
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x40;
+            let path = scratch("corrupt", &bytes);
+            assert_eq!(
+                open_model_mmap(&path, None).unwrap_err(),
+                StorageError::ChecksumMismatch
+            );
+            std::fs::remove_file(&path).ok();
+        }
+
+        #[test]
+        fn mmap_open_falls_back_to_heap_for_v2() {
+            let model = sample_model();
+            let fp = sample_fingerprint();
+            let bytes = encode_v2(&model, &fp, true);
+            let path = scratch("v2", &bytes);
+            let back = open_model_mmap(&path, Some(&fp)).unwrap();
+            assert!(!back.coverage_lists().is_mapped());
+            assert_eq!(back.coverage_lists(), model.coverage_lists());
+            std::fs::remove_file(&path).ok();
+        }
+
+        #[test]
+        fn mmap_missing_file_is_io_error() {
+            let path = std::env::temp_dir().join("mroam-storage-definitely-missing.bin");
+            assert!(matches!(
+                open_model_mmap(&path, None),
+                Err(StorageError::Io(std::io::ErrorKind::NotFound))
+            ));
+        }
+    }
+
+    #[test]
     fn stores_checksum_is_content_sensitive() {
         use mroam_geo::Point;
         let mut billboards = BillboardStore::new();
@@ -809,6 +1382,56 @@ mod tests {
             prop_assert_eq!(back.inverted_index(), model.inverted_index());
             prop_assert_eq!(back.overlap_graph(), model.overlap_graph());
             prop_assert_eq!(back.coverage_bitmap(), model.coverage_bitmap());
+        }
+
+        #[test]
+        fn prop_v3_roundtrip_with_derived(
+            lists in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..2_000, 0..40), 0..10),
+            lambda_um in 1u64..10_000_000_000,
+            input_checksum in any::<u64>(),
+            include_derived in any::<bool>(),
+        ) {
+            let lists: Vec<Vec<u32>> =
+                lists.into_iter().map(|s| s.into_iter().collect()).collect();
+            let model = CoverageModel::from_lists(lists, 2_000);
+            let fp = ModelFingerprint {
+                lambda_um,
+                input_checksum,
+                n_billboards: model.n_billboards() as u64,
+                n_trajectories: model.n_trajectories() as u64,
+            };
+            let bytes = encode_v3(&model, &fp, include_derived);
+            prop_assert_eq!(read_fingerprint(&bytes).unwrap(), Some(fp));
+            let back = read_model_checked(&bytes, &fp).unwrap();
+            prop_assert_eq!(back.coverage_lists(), model.coverage_lists());
+            prop_assert_eq!(back.inverted_index(), model.inverted_index());
+            prop_assert_eq!(back.overlap_graph(), model.overlap_graph());
+            for b in model.billboard_ids() {
+                prop_assert_eq!(read_one_list(&bytes, b).unwrap(), model.coverage(b));
+            }
+        }
+
+        #[test]
+        fn prop_v3_random_corruption_never_panics(
+            lists in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..500, 0..20), 1..6),
+            flip in any::<(usize, u8)>(),
+            include_derived in any::<bool>(),
+        ) {
+            let lists: Vec<Vec<u32>> =
+                lists.into_iter().map(|s| s.into_iter().collect()).collect();
+            let model = CoverageModel::from_lists(lists, 500);
+            let fp = ModelFingerprint {
+                lambda_um: 1, input_checksum: 2,
+                n_billboards: model.n_billboards() as u64,
+                n_trajectories: model.n_trajectories() as u64,
+            };
+            let mut bytes = encode_v3(&model, &fp, include_derived);
+            let idx = flip.0 % bytes.len();
+            bytes[idx] ^= flip.1;
+            let _ = read_model(&bytes);
+            let _ = read_one_list(&bytes, BillboardId(0));
         }
 
         #[test]
