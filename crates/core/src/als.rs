@@ -105,9 +105,12 @@ pub struct Als {
     pub restarts: usize,
     /// RNG seed; restarts are deterministic given the seed.
     pub seed: u64,
-    /// Run restarts on the rayon pool. Off by default to match the paper's
-    /// sequential loop; the result set is identical because restarts are
-    /// independent and the minimum is associative.
+    /// Run restarts on the rayon pool. On by default since the
+    /// work-stealing runtime landed: restart tasks compose with the
+    /// parallel move scans inside them (stolen across workers instead of
+    /// multiplying OS threads), and the result is identical to the
+    /// paper's sequential loop because restarts are independent and the
+    /// minimum is associative.
     pub parallel: bool,
     /// Use the naive full-scan paths — from-scratch exchange sweeps instead
     /// of the incremental [`MoveEngine`], and naive greedy completions
@@ -122,7 +125,7 @@ impl Default for Als {
         Self {
             restarts: 10,
             seed: 0x5EED,
-            parallel: false,
+            parallel: true,
             naive_scan: false,
         }
     }

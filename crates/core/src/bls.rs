@@ -40,8 +40,8 @@ pub struct Bls {
     /// more than `r · R(S)` to be accepted. `0.0` accepts any strict
     /// improvement.
     pub improvement_ratio: f64,
-    /// Run restarts on the rayon pool (identical results; see
-    /// [`crate::als::Als::parallel`]).
+    /// Run restarts on the rayon pool (on by default, identical results;
+    /// see [`crate::als::Als::parallel`]).
     pub parallel: bool,
     /// Use the naive from-scratch scans instead of the incremental
     /// [`MoveEngine`] for moves 1–3 and the lazy
@@ -57,7 +57,7 @@ impl Default for Bls {
             restarts: 10,
             seed: 0x5EED,
             improvement_ratio: 0.0,
-            parallel: false,
+            parallel: true,
             naive_scan: false,
         }
     }

@@ -57,20 +57,19 @@ use crate::allocation::{AllocEvent, Allocation};
 use mroam_data::{AdvertiserId, BillboardId};
 use rayon::prelude::*;
 
-/// Below this many candidates the exact scans stay sequential — rayon
-/// fork/join overhead beats the win on small pools. Both paths compute the
-/// identical result.
-const PAR_SCAN_MIN: usize = 1024;
+/// Below this many candidates the exact scans stay sequential. With the
+/// work-stealing pool a parallel dispatch is a deque push (~100ns), not an
+/// OS-thread spawn, so the break-even sits far lower than the old stub's
+/// 1024. Both paths compute the identical result.
+const PAR_SCAN_MIN: usize = 256;
 
-/// Partitioned argmax over `items`: contiguous chunks folded on their own
-/// OS threads ([`rayon::scope`] — the vendored rayon's `ParIter`
-/// combinators run sequentially, so genuine pick-round parallelism must
-/// spawn scoped tasks), then merged **in chunk order** with
-/// [`merge_best`]. The comparison is a total order on `(score, −id)`, so
-/// the reduction is associative and the result is bit-identical to the
-/// sequential left fold regardless of thread count, chunk boundaries, or
-/// scheduling. `n_tasks ≤ 1` (or a single item) short-circuits to the
-/// plain fold.
+/// Partitioned argmax over `items`: contiguous chunks folded as scoped
+/// pool tasks ([`rayon::scope`] on the work-stealing runtime), then merged
+/// **in chunk order** with [`merge_best`]. The comparison is a total order
+/// on `(score, −id)`, so the reduction is associative and the result is
+/// bit-identical to the sequential left fold regardless of thread count,
+/// chunk boundaries, or scheduling. `n_tasks ≤ 1` (or a single item)
+/// short-circuits to the plain fold.
 pub(crate) fn partitioned_fold_best<T, F>(
     items: &[T],
     n_tasks: usize,
@@ -212,7 +211,7 @@ impl GainEngine {
     }
 
     /// Forces the partitioned pick-round scans onto `n_tasks` scoped
-    /// tasks (or back to the pool width with `None`). Any value returns
+    /// tasks (or back to the width-scaled default with `None`). Any value returns
     /// bit-identical picks — the reduction is associative with a total
     /// order — so this only exists for tests and benches to pin the
     /// sharded path regardless of host width, mirroring the
@@ -221,11 +220,23 @@ impl GainEngine {
         self.scan_tasks = n_tasks;
     }
 
-    /// The task count the partitioned scans run at.
+    /// The task count the partitioned scans run at. The default splits by
+    /// pool width with a ×4 over-partition: shards are pool jobs (a deque
+    /// push each), so extra shards cost ~nothing and let a straggling
+    /// dense shard be balanced by stealing; width 1 stays at one task
+    /// (pure sequential scans). Any count yields bit-identical picks.
     fn tasks(&self) -> usize {
-        self.scan_tasks
-            .unwrap_or_else(rayon::current_num_threads)
-            .max(1)
+        match self.scan_tasks {
+            Some(n) => n.max(1),
+            None => {
+                let width = rayon::current_num_threads();
+                if width > 1 {
+                    width * 4
+                } else {
+                    1
+                }
+            }
+        }
     }
 
     /// Catches up with moves made since the last query. Each event costs

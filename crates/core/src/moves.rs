@@ -59,10 +59,11 @@ use crate::allocation::{AllocEvent, Allocation};
 use mroam_data::{AdvertiserId, BillboardId};
 use rayon::prelude::*;
 
-/// Below this many candidates a scan stays sequential — fork/join
-/// overhead beats the win on small neighbourhoods. Both paths compute the
-/// identical result (minimum-index semantics).
-const PAR_SCAN_MIN: usize = 1024;
+/// Below this many candidates a scan stays sequential. A parallel
+/// dispatch on the work-stealing pool is a deque push, not an OS-thread
+/// spawn, so the break-even sits far lower than the old stub's 1024. Both
+/// paths compute the identical result (minimum-index semantics).
+const PAR_SCAN_MIN: usize = 256;
 
 /// Sentinel marking a cached unique contribution as stale. Real losses
 /// are bounded by the trajectory count and can never reach it.

@@ -1,0 +1,101 @@
+//! Stress tests for the work-stealing runtime under the shapes the
+//! solvers actually produce: many small nested scopes, joins inside
+//! scopes, and repeated pool construction/teardown. Each case must
+//! complete (no deadlock), account for every spawned task (no lost
+//! jobs), and drop the pool cleanly (workers joined, no leak).
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `fan` spawns at each of `depth` nesting levels on a dedicated
+/// pool and returns how many tasks executed. The expected count is
+/// fan^1 + fan^2 + ... + fan^depth.
+fn nested_scope_count(pool: &rayon::ThreadPool, depth: u32, fan: u32) -> usize {
+    fn level(counter: &AtomicUsize, depth: u32, fan: u32) {
+        if depth == 0 {
+            return;
+        }
+        rayon::scope(|s| {
+            for _ in 0..fan {
+                s.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    level(counter, depth - 1, fan);
+                });
+            }
+        });
+    }
+    let counter = AtomicUsize::new(0);
+    pool.install(|| level(&counter, depth, fan));
+    counter.into_inner()
+}
+
+fn expected_tasks(depth: u32, fan: u32) -> usize {
+    (1..=depth).map(|d| (fan as usize).pow(d)).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Nested scopes at arbitrary (bounded) depth × fan-out on pools of
+    /// varying width: every spawn runs exactly once and the scope
+    /// barrier holds, regardless of which worker steals what.
+    #[test]
+    fn nested_scopes_account_for_every_spawn(
+        width in 1usize..=8,
+        depth in 1u32..=3,
+        fan in 1u32..=4,
+    ) {
+        let pool = rayon::ThreadPool::new(width);
+        let got = nested_scope_count(&pool, depth, fan);
+        prop_assert_eq!(got, expected_tasks(depth, fan));
+        // Drop joins the workers; reaching the next case proves it.
+    }
+
+    /// Joins nested inside scope spawns — the mix ALS produces when a
+    /// parallel restart (scope task) runs partitioned scans (joins) —
+    /// must not deadlock even when every worker is busy with an outer
+    /// task and has to execute inner work inline.
+    #[test]
+    fn joins_inside_scopes_complete(
+        width in 1usize..=4,
+        tasks in 1usize..=12,
+        n in 1usize..=64,
+    ) {
+        let pool = rayon::ThreadPool::new(width);
+        let total = AtomicUsize::new(0);
+        pool.install(|| {
+            rayon::scope(|s| {
+                for _ in 0..tasks {
+                    let total = &total;
+                    s.spawn(move |_| {
+                        let (a, b) = rayon::join(
+                            || (0..n).sum::<usize>(),
+                            || (n..2 * n).sum::<usize>(),
+                        );
+                        total.fetch_add(a + b, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        let per_task = (0..2 * n).sum::<usize>();
+        prop_assert_eq!(total.into_inner(), tasks * per_task);
+    }
+}
+
+/// Rapid create/use/drop cycles: every cycle's workers must be joined
+/// on drop so handles never accumulate. A leak or missed wake turns
+/// this into a hang or a thread explosion; completing quickly is the
+/// assertion.
+#[test]
+fn pool_churn_drops_cleanly() {
+    for i in 0..16 {
+        let width = 1 + (i % 4);
+        let pool = rayon::ThreadPool::new(width);
+        let sum: usize = pool.install(|| {
+            let (a, b) = rayon::join(|| 21usize, || 21usize);
+            a + b
+        });
+        assert_eq!(sum, 42);
+        drop(pool); // joins all workers before the next iteration
+    }
+}

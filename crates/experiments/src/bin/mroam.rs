@@ -13,11 +13,14 @@
 //!     the inputs, else built and saved there for the next run.
 //!
 //! mroam stats --billboards b.csv --trajectories t.csv
-//!       [--memory 1] [--lambda 100] [--model-cache model.cov]
+//!       [--memory 1] [--threads 1] [--lambda 100] [--model-cache model.cov]
 //!     Print the Table 5 statistics row for a dataset. With --memory 1,
 //!     also build (or load) the coverage model and print the per-structure
 //!     resident-size breakdown, split heap vs mapped — run with
-//!     MROAM_MMAP=1 and a v3 --model-cache to see the mmap savings.
+//!     MROAM_MMAP=1 and a v3 --model-cache to see the mmap savings. With
+//!     --threads 1, print the work-stealing pool's counters (width, jobs,
+//!     steals, park ratio); combined with --memory the numbers reflect
+//!     the model build that just ran.
 //!
 //! mroam coverage --billboards b.csv --trajectories t.csv --lambda 100
 //!       --out model.cov
@@ -207,6 +210,42 @@ fn cmd_stats(args: &Args) {
     println!("{}", stats.table_row());
     if args.flag("memory") {
         print_memory_breakdown(args, &billboards, &trajectories);
+    }
+    if args.flag("threads") {
+        // When --memory also ran, the model build above exercised the
+        // pool and the counters below reflect it; --threads alone warms
+        // the pool and reports an idle snapshot.
+        rayon::warm_up();
+        print_thread_stats();
+    }
+}
+
+/// `mroam stats --threads 1`: the work-stealing pool's runtime counters —
+/// width, jobs executed, steals, injected submissions, and how much of
+/// the workers' lifetime was spent parked (idle) vs available.
+fn print_thread_stats() {
+    let s = rayon::pool_stats();
+    println!("thread pool (RAYON_NUM_THREADS or host width):");
+    println!("  {:<18} {:>14}", "pool width", s.num_threads);
+    if !s.started {
+        println!("  (pool not started — width 1 runs everything inline)");
+        return;
+    }
+    let park_ratio = if s.uptime_nanos > 0 && s.num_threads > 0 {
+        s.park_nanos as f64 / (s.uptime_nanos as f64 * s.num_threads as f64)
+    } else {
+        0.0
+    };
+    println!("  {:<18} {:>14}", "jobs executed", s.jobs_executed);
+    println!("  {:<18} {:>14}", "steals", s.steals);
+    println!("  {:<18} {:>14}", "injected", s.injected);
+    println!("  {:<18} {:>14}", "parks", s.parks);
+    println!("  {:<18} {:>13.1}%", "park ratio", park_ratio * 100.0);
+    for (i, w) in s.workers.iter().enumerate() {
+        println!(
+            "  worker {i:<2} jobs {:>10}  steals {:>8}  parks {:>6}",
+            w.jobs, w.steals, w.parks
+        );
     }
 }
 

@@ -9,8 +9,10 @@ use std::ops::Range;
 use std::sync::{Arc, OnceLock};
 
 /// Below this many total coverage entries the derived-structure builds stay
-/// serial: the work is too small to amortise one OS thread per shard.
-const PARALLEL_BUILD_MIN_ITEMS: usize = 1 << 14;
+/// serial. Shards are work-stealing pool jobs (a deque push each, not an
+/// OS thread), so the break-even sits 4× lower than under the old
+/// thread-per-shard stub.
+const PARALLEL_BUILD_MIN_ITEMS: usize = 1 << 12;
 
 /// Read-only access to per-billboard coverage lists.
 ///

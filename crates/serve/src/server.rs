@@ -204,9 +204,11 @@ fn spawn_world(
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let bound = listener.local_addr()?;
-    // Warm the derived structures (inverted index, overlap graph, bitmap)
-    // before the first batch arrives, so no request pays the one-time
-    // build cost inside its latency window.
+    // Warm the rayon pool and the derived structures (inverted index,
+    // overlap graph, bitmap) before the first batch arrives, so no request
+    // pays worker startup or the one-time build cost inside its latency
+    // window.
+    rayon::warm_up();
     world.serving_model().precompute();
     let stopping = Arc::new(AtomicBool::new(false));
     let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));

@@ -1,0 +1,131 @@
+//! A Chase–Lev work-stealing deque over [`JobRef`]s.
+//!
+//! One deque per pool worker: the owner pushes and pops at the *bottom*
+//! (LIFO, so the hot path keeps cache-warm child tasks), thieves steal
+//! from the *top* (FIFO, so they take the oldest — usually largest —
+//! pending task). The implementation is the fixed-capacity variant of the
+//! classic algorithm with the memory orderings of Lê et al., *"Correct
+//! and Efficient Work-Stealing for Weak Memory Models"* (PPoPP '13):
+//!
+//! * `push` writes the slot, then publishes with a `Release` store of
+//!   `bottom`;
+//! * `pop` decrements `bottom`, issues a `SeqCst` fence, and resolves the
+//!   last-element race against thieves with a `SeqCst` CAS on `top`;
+//! * `steal` reads `top`/`bottom` across a `SeqCst` fence and claims the
+//!   slot with a `SeqCst` CAS on `top`.
+//!
+//! Indices grow monotonically (64-bit, they never wrap in practice) and
+//! are masked into the power-of-two buffer, so a slot is only reused once
+//! `top` has passed it — the capacity check in `push` guarantees no live
+//! entry is overwritten. Instead of growing the buffer on overflow (which
+//! needs epoch reclamation), `push` reports failure and the caller routes
+//! the job to the registry's shared injector; with `CAPACITY` = 8192 this
+//! happens only under pathological fan-out.
+
+use crate::job::JobRef;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{fence, AtomicI64, Ordering};
+
+/// Fixed slot count per worker deque (power of two).
+const CAPACITY: usize = 8192;
+const MASK: i64 = (CAPACITY as i64) - 1;
+
+/// Outcome of a steal attempt.
+pub(crate) enum Steal {
+    /// Nothing to steal.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+    /// Claimed the oldest pending job.
+    Success(JobRef),
+}
+
+pub(crate) struct Deque {
+    /// Next slot the owner will push into; only the owner writes it.
+    bottom: AtomicI64,
+    /// Oldest live slot; thieves CAS it forward to claim.
+    top: AtomicI64,
+    buf: Box<[UnsafeCell<JobRef>]>,
+}
+
+// Slots are plain (non-atomic) cells; the top/bottom protocol above is
+// what makes cross-thread slot access sound. JobRef is Copy + Send.
+unsafe impl Sync for Deque {}
+unsafe impl Send for Deque {}
+
+impl Deque {
+    pub(crate) fn new() -> Self {
+        Self {
+            bottom: AtomicI64::new(0),
+            top: AtomicI64::new(0),
+            buf: (0..CAPACITY)
+                .map(|_| UnsafeCell::new(JobRef::dangling()))
+                .collect(),
+        }
+    }
+
+    /// Owner-only: push a job at the bottom. Returns the job back if the
+    /// deque is full (caller overflows to the injector).
+    pub(crate) fn push(&self, job: JobRef) -> Result<(), JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b - t >= CAPACITY as i64 {
+            return Err(job);
+        }
+        unsafe {
+            *self.buf[(b & MASK) as usize].get() = job;
+        }
+        self.bottom.store(b + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Owner-only: pop the most recently pushed job (LIFO).
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Empty: restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        let job = unsafe { *self.buf[(b & MASK) as usize].get() };
+        if t == b {
+            // Last element: race thieves for it.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return won.then_some(job);
+        }
+        Some(job)
+    }
+
+    /// Thief: try to claim the oldest pending job (FIFO).
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let job = unsafe { *self.buf[(t & MASK) as usize].get() };
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return Steal::Retry;
+        }
+        Steal::Success(job)
+    }
+
+    /// Whether the deque *looks* non-empty (advisory, for sleep rechecks).
+    pub(crate) fn is_empty(&self) -> bool {
+        let t = self.top.load(Ordering::Acquire);
+        let b = self.bottom.load(Ordering::Acquire);
+        t >= b
+    }
+}

@@ -1,0 +1,797 @@
+//! Parallel iterators with adaptive splitting.
+//!
+//! The model is deliberately simpler than real rayon's producer/consumer
+//! plumbing but keeps the two properties the workspace relies on:
+//!
+//! 1. **Index-stable driving.** Every iterator is backed by a dense base
+//!    range `0..base_len()`; adapters ([`Map`], [`Filter`], …) transform
+//!    items without renumbering them. Terminal operations recurse by
+//!    *splitting the base range* and merge leaf results in left-to-right
+//!    order, so ordered terminals (`collect`, `position_first`, tie-break
+//!    rules of `min_by`/`max_by`) are bit-identical to a sequential run at
+//!    any pool width — including width 1, where every terminal
+//!    short-circuits to a plain sequential loop.
+//! 2. **Adaptive splitting.** Ranges split by halves while a per-task
+//!    [`Splitter`] budget (seeded with the pool width, halved per split,
+//!    replenished when a task is observed *stolen*) allows; a task that
+//!    was never stolen stops splitting quickly, so an idle pool costs one
+//!    leaf per worker, while a loaded pool keeps subdividing to feed
+//!    thieves. This is rayon's heuristic, minus the length-based cap.
+//!
+//! Reductions here must be associative and the merge order is always
+//! left-subrange-then-right-subrange; see DESIGN.md §11 for why each
+//! terminal below is deterministic under stealing.
+
+use crate::registry;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+// ---------------------------------------------------------------------
+// Adaptive splitter
+// ---------------------------------------------------------------------
+
+/// rayon-style split budget: start with the pool width worth of splits,
+/// halve on every split, and replenish to full width whenever the task is
+/// observed to have migrated (been stolen) — a signal that thieves are
+/// hungry and finer granularity pays.
+#[derive(Copy, Clone)]
+pub(crate) struct Splitter {
+    splits: usize,
+}
+
+impl Splitter {
+    pub(crate) fn new() -> Splitter {
+        Splitter {
+            // ×2 so an even split per worker still leaves slack for
+            // imbalance; mirrors rayon's `current_num_threads() * 2` seed.
+            splits: registry::active_width() * 2,
+        }
+    }
+
+    pub(crate) fn try_split(&mut self, migrated: bool) -> bool {
+        if migrated {
+            self.splits = self.splits.max(registry::active_width() * 2);
+        }
+        if self.splits > 0 {
+            self.splits /= 2;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Recursive join-tree driver: split `lo..hi` while the splitter allows,
+/// run `leaf` on the remaining subranges, and combine results with
+/// `merge` in left-to-right order.
+fn split_drive<R, LEAF, MERGE>(
+    leaf: &LEAF,
+    merge: &MERGE,
+    lo: usize,
+    hi: usize,
+    mut splitter: Splitter,
+    migrated: bool,
+) -> R
+where
+    R: Send,
+    LEAF: Fn(usize, usize) -> R + Sync,
+    MERGE: Fn(R, R) -> R + Sync,
+{
+    if hi - lo > 1 && splitter.try_split(migrated) {
+        let mid = lo + (hi - lo) / 2;
+        let (a, b) = crate::join_context(
+            move |m| split_drive(leaf, merge, lo, mid, splitter, m),
+            move |m| split_drive(leaf, merge, mid, hi, splitter, m),
+        );
+        merge(a, b)
+    } else {
+        leaf(lo, hi)
+    }
+}
+
+/// Entry point for terminals: sequential when the pool is width-1 (or the
+/// range trivial), else the adaptive join tree.
+fn drive<P, R, LEAF, MERGE>(iter: &P, leaf: LEAF, merge: MERGE) -> R
+where
+    P: ParallelIterator,
+    R: Send,
+    LEAF: Fn(usize, usize) -> R + Sync,
+    MERGE: Fn(R, R) -> R + Sync,
+{
+    let n = iter.base_len();
+    if n <= 1 || registry::active_width() <= 1 {
+        return leaf(0, n);
+    }
+    split_drive(&leaf, &merge, 0, n, Splitter::new(), false)
+}
+
+// ---------------------------------------------------------------------
+// The iterator trait
+// ---------------------------------------------------------------------
+
+/// A splittable iterator over a dense base range.
+///
+/// `feed` drives base positions `lo..hi` in ascending order, handing each
+/// produced item — tagged with the base position it came from — to `f`;
+/// `f` returns `false` to stop early. Adapters preserve base positions
+/// (a [`Filter`] produces fewer items, never renumbered ones), which is
+/// what makes `position_first` and the ordered merges deterministic.
+pub trait ParallelIterator: Sized + Sync {
+    type Item: Send;
+
+    /// Number of base positions (items *before* filtering adapters).
+    fn base_len(&self) -> usize;
+
+    /// Sequentially produce the items of base positions `lo..hi`.
+    fn feed(&self, lo: usize, hi: usize, f: &mut dyn FnMut(usize, Self::Item) -> bool);
+
+    // -- adapters ------------------------------------------------------
+
+    fn map<B, F>(self, f: F) -> Map<Self, F>
+    where
+        B: Send,
+        F: Fn(Self::Item) -> B + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    fn filter<P>(self, p: P) -> Filter<Self, P>
+    where
+        P: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter { base: self, p }
+    }
+
+    fn filter_map<B, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        B: Send,
+        F: Fn(Self::Item) -> Option<B> + Sync + Send,
+    {
+        FilterMap { base: self, f }
+    }
+
+    fn flat_map<B, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        B: IntoIterator,
+        B::Item: Send,
+        F: Fn(Self::Item) -> B + Sync + Send,
+    {
+        FlatMap { base: self, f }
+    }
+
+    // -- terminals -----------------------------------------------------
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        drive(
+            &self,
+            |lo, hi| {
+                self.feed(lo, hi, &mut |_, x| {
+                    f(x);
+                    true
+                })
+            },
+            |(), ()| (),
+        )
+    }
+
+    /// Collect in base order (leaf vectors are concatenated
+    /// left-to-right, so the result order is exactly the sequential one).
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        let items: Vec<Self::Item> = drive(
+            &self,
+            |lo, hi| {
+                let mut out = Vec::with_capacity(hi - lo);
+                self.feed(lo, hi, &mut |_, x| {
+                    out.push(x);
+                    true
+                });
+                out
+            },
+            |mut a: Vec<Self::Item>, b| {
+                a.extend(b);
+                a
+            },
+        );
+        items.into_iter().collect()
+    }
+
+    /// rayon's `reduce(identity, op)`. `op` must be associative and
+    /// `identity()` a true identity for it — the fold tree's shape varies
+    /// with splitting, only the left-to-right operand order is fixed.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        drive(
+            &self,
+            |lo, hi| {
+                let mut acc = identity();
+                self.feed(lo, hi, &mut |_, x| {
+                    acc = op(std::mem::replace(&mut acc, identity()), x);
+                    true
+                });
+                acc
+            },
+            &op,
+        )
+    }
+
+    /// Minimum with sequential tie-breaking: among equal minima the item
+    /// at the *lowest base position* wins (std's `Iterator::min_by`
+    /// returns the first), at any pool width.
+    fn min_by<F>(self, f: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> std::cmp::Ordering + Sync + Send,
+    {
+        drive(
+            &self,
+            |lo, hi| {
+                let mut best: Option<Self::Item> = None;
+                self.feed(lo, hi, &mut |_, x| {
+                    best = match best.take() {
+                        None => Some(x),
+                        // Strictly-less replaces: first minimum is kept.
+                        Some(b) => {
+                            if f(&x, &b) == std::cmp::Ordering::Less {
+                                Some(x)
+                            } else {
+                                Some(b)
+                            }
+                        }
+                    };
+                    true
+                });
+                best
+            },
+            |a, b| match (a, b) {
+                (Some(a), Some(b)) => {
+                    // Keep the left (earlier) side on ties.
+                    if f(&b, &a) == std::cmp::Ordering::Less {
+                        Some(b)
+                    } else {
+                        Some(a)
+                    }
+                }
+                (a, None) => a,
+                (None, b) => b,
+            },
+        )
+    }
+
+    /// Maximum with sequential tie-breaking: among equal maxima the item
+    /// at the *highest base position* wins (std's `Iterator::max_by`
+    /// returns the last), at any pool width.
+    fn max_by<F>(self, f: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> std::cmp::Ordering + Sync + Send,
+    {
+        drive(
+            &self,
+            |lo, hi| {
+                let mut best: Option<Self::Item> = None;
+                self.feed(lo, hi, &mut |_, x| {
+                    best = match best.take() {
+                        None => Some(x),
+                        // Greater-or-equal replaces: last maximum is kept.
+                        Some(b) => {
+                            if f(&x, &b) == std::cmp::Ordering::Less {
+                                Some(b)
+                            } else {
+                                Some(x)
+                            }
+                        }
+                    };
+                    true
+                });
+                best
+            },
+            |a, b| match (a, b) {
+                (Some(a), Some(b)) => {
+                    // Keep the right (later) side on ties.
+                    if f(&b, &a) == std::cmp::Ordering::Less {
+                        Some(a)
+                    } else {
+                        Some(b)
+                    }
+                }
+                (a, None) => a,
+                (None, b) => b,
+            },
+        )
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        drive(
+            &self,
+            |lo, hi| {
+                let mut items = Vec::with_capacity(hi - lo);
+                self.feed(lo, hi, &mut |_, x| {
+                    items.push(x);
+                    true
+                });
+                items.into_iter().sum::<S>()
+            },
+            |a: S, b: S| [a, b].into_iter().sum(),
+        )
+    }
+
+    fn count(self) -> usize {
+        drive(
+            &self,
+            |lo, hi| {
+                let mut n = 0usize;
+                self.feed(lo, hi, &mut |_, _| {
+                    n += 1;
+                    true
+                });
+                n
+            },
+            |a, b| a + b,
+        )
+    }
+
+    /// Existence is order-independent, so leaves short-circuit through a
+    /// shared flag; the amount of work varies with scheduling but the
+    /// result cannot.
+    fn any<P>(self, p: P) -> bool
+    where
+        P: Fn(Self::Item) -> bool + Sync + Send,
+    {
+        let found = AtomicBool::new(false);
+        drive(
+            &self,
+            |lo, hi| {
+                self.feed(lo, hi, &mut |_, x| {
+                    if found.load(Ordering::Relaxed) {
+                        return false;
+                    }
+                    if p(x) {
+                        found.store(true, Ordering::Relaxed);
+                        return false;
+                    }
+                    true
+                });
+            },
+            |(), ()| (),
+        );
+        found.load(Ordering::Relaxed)
+    }
+
+    fn all<P>(self, p: P) -> bool
+    where
+        P: Fn(Self::Item) -> bool + Sync + Send,
+    {
+        !self.any(move |x| !p(x))
+    }
+
+    /// Base position of the first matching item — the *minimum* position,
+    /// like rayon's `position_first` and a sequential `position`. Leaves
+    /// prune against the best match found so far (shared atomic), so
+    /// late subranges stop almost immediately once an early match lands.
+    ///
+    /// Positions are base positions: on a filtered chain this is not "the
+    /// n-th surviving item" — use it on 1:1 chains (sources and `map`),
+    /// which is the only way the workspace calls it.
+    fn position_first<P>(self, p: P) -> Option<usize>
+    where
+        P: Fn(Self::Item) -> bool + Sync + Send,
+    {
+        let best = AtomicUsize::new(usize::MAX);
+        drive(
+            &self,
+            |lo, hi| {
+                if best.load(Ordering::Relaxed) <= lo {
+                    return None;
+                }
+                let mut hit = None;
+                self.feed(lo, hi, &mut |i, x| {
+                    if best.load(Ordering::Relaxed) <= i {
+                        return false;
+                    }
+                    if p(x) {
+                        best.fetch_min(i, Ordering::Relaxed);
+                        hit = Some(i);
+                        return false;
+                    }
+                    true
+                });
+                hit
+            },
+            |a: Option<usize>, b| match (a, b) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (x, None) => x,
+                (None, y) => y,
+            },
+        )
+    }
+
+    /// First matching item by base position (minimum position wins), with
+    /// the same pruning as [`Self::position_first`].
+    fn find_first<P>(self, p: P) -> Option<Self::Item>
+    where
+        P: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        let best = AtomicUsize::new(usize::MAX);
+        let hit = drive(
+            &self,
+            |lo, hi| {
+                if best.load(Ordering::Relaxed) <= lo {
+                    return None;
+                }
+                let mut found: Option<(usize, Self::Item)> = None;
+                self.feed(lo, hi, &mut |i, x| {
+                    if best.load(Ordering::Relaxed) <= i {
+                        return false;
+                    }
+                    if p(&x) {
+                        best.fetch_min(i, Ordering::Relaxed);
+                        found = Some((i, x));
+                        return false;
+                    }
+                    true
+                });
+                found
+            },
+            |a: Option<(usize, Self::Item)>, b| match (a, b) {
+                (Some(a), Some(b)) => Some(if b.0 < a.0 { b } else { a }),
+                (x, None) => x,
+                (None, y) => y,
+            },
+        );
+        hit.map(|(_, x)| x)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------
+
+/// Parallel iterator over an integer range.
+pub struct RangePar<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! range_par {
+    ($t:ty) => {
+        impl ParallelIterator for RangePar<$t> {
+            type Item = $t;
+
+            fn base_len(&self) -> usize {
+                self.len
+            }
+
+            fn feed(&self, lo: usize, hi: usize, f: &mut dyn FnMut(usize, $t) -> bool) {
+                for i in lo..hi {
+                    if !f(i, self.start + i as $t) {
+                        return;
+                    }
+                }
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangePar<$t>;
+
+            fn into_par_iter(self) -> RangePar<$t> {
+                RangePar {
+                    start: self.start,
+                    len: (self.end.max(self.start) - self.start) as usize,
+                }
+            }
+        }
+    };
+}
+
+range_par!(usize);
+range_par!(u32);
+range_par!(u64);
+
+/// Parallel iterator over `&[T]`.
+pub struct SlicePar<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SlicePar<'a, T> {
+    type Item = &'a T;
+
+    fn base_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn feed(&self, lo: usize, hi: usize, f: &mut dyn FnMut(usize, &'a T) -> bool) {
+        for (i, x) in self.slice[lo..hi].iter().enumerate() {
+            if !f(lo + i, x) {
+                return;
+            }
+        }
+    }
+}
+
+/// Parallel iterator over non-overlapping `&[T]` chunks.
+pub struct ChunksPar<'a, T: Sync> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksPar<'a, T> {
+    type Item = &'a [T];
+
+    fn base_len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn feed(&self, lo: usize, hi: usize, f: &mut dyn FnMut(usize, &'a [T]) -> bool) {
+        for k in lo..hi {
+            let start = k * self.chunk_size;
+            let end = (start + self.chunk_size).min(self.slice.len());
+            if !f(k, &self.slice[start..end]) {
+                return;
+            }
+        }
+    }
+}
+
+/// `into_par_iter()` — implemented for the concrete sources the workspace
+/// drives in parallel (integer ranges). Unlike the old sequential stub
+/// this can no longer blanket-cover every `IntoIterator`: genuine
+/// splitting needs random access.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` / `par_chunks()` on slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> SlicePar<'_, T>;
+    fn par_chunks(&self, chunk_size: usize) -> ChunksPar<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SlicePar<'_, T> {
+        SlicePar { slice: self }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ChunksPar<'_, T> {
+        assert!(chunk_size != 0, "chunk size must be non-zero");
+        ChunksPar {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------
+
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, B, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    B: Send,
+    F: Fn(P::Item) -> B + Sync + Send,
+{
+    type Item = B;
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn feed(&self, lo: usize, hi: usize, f: &mut dyn FnMut(usize, B) -> bool) {
+        self.base.feed(lo, hi, &mut |i, x| f(i, (self.f)(x)))
+    }
+}
+
+pub struct Filter<P, Pr> {
+    base: P,
+    p: Pr,
+}
+
+impl<P, Pr> ParallelIterator for Filter<P, Pr>
+where
+    P: ParallelIterator,
+    Pr: Fn(&P::Item) -> bool + Sync + Send,
+{
+    type Item = P::Item;
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn feed(&self, lo: usize, hi: usize, f: &mut dyn FnMut(usize, P::Item) -> bool) {
+        self.base.feed(lo, hi, &mut |i, x| {
+            if (self.p)(&x) {
+                f(i, x)
+            } else {
+                true
+            }
+        })
+    }
+}
+
+pub struct FilterMap<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, B, F> ParallelIterator for FilterMap<P, F>
+where
+    P: ParallelIterator,
+    B: Send,
+    F: Fn(P::Item) -> Option<B> + Sync + Send,
+{
+    type Item = B;
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn feed(&self, lo: usize, hi: usize, f: &mut dyn FnMut(usize, B) -> bool) {
+        self.base.feed(lo, hi, &mut |i, x| match (self.f)(x) {
+            Some(y) => f(i, y),
+            None => true,
+        })
+    }
+}
+
+pub struct FlatMap<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, B, F> ParallelIterator for FlatMap<P, F>
+where
+    P: ParallelIterator,
+    B: IntoIterator,
+    B::Item: Send,
+    F: Fn(P::Item) -> B + Sync + Send,
+{
+    type Item = B::Item;
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn feed(&self, lo: usize, hi: usize, f: &mut dyn FnMut(usize, B::Item) -> bool) {
+        self.base.feed(lo, hi, &mut |i, x| {
+            for y in (self.f)(x) {
+                if !f(i, y) {
+                    return false;
+                }
+            }
+            true
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutable chunks (par_chunks_mut)
+// ---------------------------------------------------------------------
+
+/// Recursive splitter over disjoint mutable chunks: `split_at_mut` at
+/// chunk boundaries, so each leaf owns its sub-slice exclusively and the
+/// chunk index is a pure function of position (deterministic).
+fn chunks_mut_drive<T, F>(
+    slice: &mut [T],
+    first_chunk: usize,
+    chunk_size: usize,
+    f: &F,
+    mut splitter: Splitter,
+    migrated: bool,
+) where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n_chunks = slice.len().div_ceil(chunk_size);
+    if n_chunks > 1 && splitter.try_split(migrated) {
+        let mid = n_chunks / 2;
+        let (a, b) = slice.split_at_mut(mid * chunk_size);
+        crate::join_context(
+            move |m| chunks_mut_drive(a, first_chunk, chunk_size, f, splitter, m),
+            move |m| chunks_mut_drive(b, first_chunk + mid, chunk_size, f, splitter, m),
+        );
+    } else {
+        for (k, chunk) in slice.chunks_mut(chunk_size).enumerate() {
+            f(first_chunk + k, chunk);
+        }
+    }
+}
+
+fn run_chunks_mut<T, F>(slice: &mut [T], chunk_size: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync + Send,
+{
+    if slice.is_empty() {
+        return;
+    }
+    if registry::active_width() <= 1 || slice.len() <= chunk_size {
+        for (k, chunk) in slice.chunks_mut(chunk_size).enumerate() {
+            f(k, chunk);
+        }
+        return;
+    }
+    // Run inside the pool so splits land on the worker deque; catch the
+    // closure's panic at the boundary like every other terminal.
+    let result = registry::in_worker(|_| {
+        panic::catch_unwind(AssertUnwindSafe(|| {
+            chunks_mut_drive(slice, 0, chunk_size, &f, Splitter::new(), false)
+        }))
+    });
+    if let Err(p) = result {
+        panic::resume_unwind(p);
+    }
+}
+
+/// Parallel iterator over disjoint mutable chunks of a slice
+/// (rayon's `par_chunks_mut`).
+pub struct ParChunksMut<'a, T: Send> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index (chunk `i` covers elements
+    /// `i * chunk_size ..`, regardless of scheduling).
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            slice: self.slice,
+            chunk_size: self.chunk_size,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync + Send,
+    {
+        run_chunks_mut(self.slice, self.chunk_size, |_, chunk| f(chunk));
+    }
+}
+
+/// [`ParChunksMut`] with indices attached; see [`ParChunksMut::enumerate`].
+pub struct ParChunksMutEnumerate<'a, T: Send> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync + Send,
+    {
+        run_chunks_mut(self.slice, self.chunk_size, |k, chunk| f((k, chunk)));
+    }
+}
+
+/// `par_chunks_mut()` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size != 0, "chunk size must be non-zero");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Type-erased jobs and the latches that signal their completion.
+//!
+//! A [`JobRef`] is two words — a data pointer and an execute function —
+//! small enough to live by value in the deque slots. The pointee is either
+//! a [`StackJob`] (a `join` arm or an external submission, pinned on its
+//! creator's stack, which *must* wait for the latch before the frame
+//! exits) or a [`HeapJob`] (a `scope` spawn, boxed, freed by execution).
+//!
+//! Panics never cross the pool: every execute path runs the user closure
+//! under `catch_unwind` and hands the payload back to whoever waits on the
+//! latch, where it is resumed on the waiter's thread — the same
+//! observable behaviour as the old thread-per-task stub (and as real
+//! rayon).
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// A borrowed, type-erased job pointer. The creator guarantees the
+/// pointee outlives execution (stack jobs via latch-wait, heap jobs via
+/// ownership transfer).
+#[derive(Copy, Clone)]
+pub(crate) struct JobRef {
+    this: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+unsafe impl Send for JobRef {}
+unsafe impl Sync for JobRef {}
+
+impl JobRef {
+    pub(crate) unsafe fn new<T>(data: *const T, execute_fn: unsafe fn(*const ())) -> JobRef {
+        JobRef {
+            this: data as *const (),
+            execute_fn,
+        }
+    }
+
+    /// Placeholder for uninitialised deque slots; never executed.
+    pub(crate) fn dangling() -> JobRef {
+        unsafe fn never(_: *const ()) {
+            unreachable!("dangling JobRef executed")
+        }
+        JobRef {
+            this: std::ptr::null(),
+            execute_fn: never,
+        }
+    }
+
+    #[inline]
+    pub(crate) unsafe fn execute(self) {
+        (self.execute_fn)(self.this)
+    }
+
+    /// Pointer identity, used by `join` to recognise its own arm when
+    /// popping the local deque.
+    #[inline]
+    pub(crate) fn id(&self) -> *const () {
+        self.this
+    }
+}
+
+/// A set-once completion flag. Worker threads wait on it by stealing
+/// (see `Registry::wait_until`); external threads block on the condvar
+/// half. `set` is `Release`, `probe` is `Acquire`, so everything the job
+/// wrote (its result, a panic payload) is visible to the waiter.
+pub(crate) struct Latch {
+    set: AtomicBool,
+    lock: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    pub(crate) fn new() -> Latch {
+        Latch {
+            set: AtomicBool::new(false),
+            lock: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn set(&self) {
+        self.set.store(true, Ordering::Release);
+        let mut done = self.lock.lock().unwrap();
+        *done = true;
+        self.cv.notify_all();
+    }
+
+    /// Block the calling (non-pool) thread until set.
+    pub(crate) fn wait_blocking(&self) {
+        let mut done = self.lock.lock().unwrap();
+        while !*done {
+            done = self.cv.wait(done).unwrap();
+        }
+    }
+}
+
+pub(crate) type PanicPayload = Box<dyn Any + Send>;
+
+/// A job whose closure and result live on the creating thread's stack.
+/// The creator must not leave the frame until `latch` is set.
+///
+/// The closure receives `migrated`: whether it executed on a different
+/// worker than the one that pushed it (i.e. it was stolen). Adaptive
+/// splitting keys off this.
+pub(crate) struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    /// Identity of the pushing worker (`WorkerThread::current()` at
+    /// creation; null when pushed from outside the pool).
+    creator: *const (),
+    pub(crate) latch: Latch,
+}
+
+// The job is shared with exactly one executor thread; the latch protocol
+// serialises access to the cells.
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce(bool) -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(creator: *const (), func: F) -> StackJob<F, R> {
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            creator,
+            latch: Latch::new(),
+        }
+    }
+
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef::new(self as *const Self, Self::execute)
+    }
+
+    unsafe fn execute(this: *const ()) {
+        let this = &*(this as *const Self);
+        let func = (*this.func.get()).take().expect("StackJob executed twice");
+        let migrated = crate::registry::current_worker_id() != this.creator;
+        let result = panic::catch_unwind(AssertUnwindSafe(|| func(migrated)));
+        *this.result.get() = Some(result);
+        this.latch.set();
+    }
+
+    /// Run the closure inline on the creating thread (the `join` fast
+    /// path when the pushed arm was not stolen). The latch is *not* set —
+    /// the caller owns the job and is done with it.
+    pub(crate) unsafe fn run_inline(&self) -> std::thread::Result<R> {
+        let func = (*self.func.get()).take().expect("StackJob executed twice");
+        panic::catch_unwind(AssertUnwindSafe(|| func(false)))
+    }
+
+    /// Take the result after the latch is set.
+    pub(crate) unsafe fn take_result(&self) -> std::thread::Result<R> {
+        (*self.result.get())
+            .take()
+            .expect("StackJob result missing after latch")
+    }
+}
+
+/// A boxed, lifetime-erased job for `scope` spawns: executed exactly once,
+/// which also frees it.
+pub(crate) struct HeapJob {
+    func: Box<dyn FnOnce() + Send>,
+}
+
+impl HeapJob {
+    /// # Safety
+    /// The caller erases the closure's lifetime to `'static`; it must
+    /// guarantee every borrow in `func` outlives execution (the scope
+    /// counter-latch wait provides this).
+    pub(crate) unsafe fn into_job_ref(func: Box<dyn FnOnce() + Send>) -> JobRef {
+        let job = Box::new(HeapJob { func });
+        JobRef::new(Box::into_raw(job), Self::execute)
+    }
+
+    unsafe fn execute(this: *const ()) {
+        let job = Box::from_raw(this as *mut HeapJob);
+        // The closure itself is responsible for catching panics (scope
+        // spawns wrap user code and store the payload in the scope).
+        (job.func)();
+    }
+}
+
+/// Resume a caught panic on the current thread.
+pub(crate) fn resume(payload: PanicPayload) -> ! {
+    panic::resume_unwind(payload)
+}

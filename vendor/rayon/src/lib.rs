@@ -1,29 +1,52 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`: a genuine work-stealing runtime.
 //!
 //! The build container has no network access (see `vendor/README.md`), so
-//! this crate mirrors the rayon API surface the workspace uses. It comes in
-//! two halves:
+//! this crate mirrors the rayon API surface the workspace uses — but since
+//! PR 7 it is no longer a thread-per-task stub. Parallel work runs on a
+//! **persistent, lazily-started global pool** (`RAYON_NUM_THREADS`-sized,
+//! workers parked on a condvar when idle) with:
 //!
-//! * The **lazy parallel-iterator combinators** ([`ParIter`]) execute
-//!   sequentially, exactly as before. Every algorithm in the workspace is
-//!   written so that its parallel and sequential results are identical
-//!   (associative reductions, first-hit `position_first` semantics), which
-//!   makes the swap observationally equivalent apart from wall-clock time.
-//! * The **fork-join primitives** — [`scope`], [`join`], and
-//!   [`ParallelSliceMut::par_chunks_mut`] — execute on genuine OS threads
-//!   (`std::thread::scope`), honouring `RAYON_NUM_THREADS`. These carry the
-//!   coarse-grained work (derived-structure builds, chunked CSV parsing)
-//!   where one thread per shard amortises the spawn cost. Unlike real
-//!   rayon there is no work-stealing pool: each `Scope::spawn` is an OS
-//!   thread, so callers should spawn O(`current_num_threads()`) tasks, not
-//!   one per item.
+//! * one Chase–Lev deque per worker ([`mod@deque`]) plus a shared injector
+//!   for submissions from outside the pool;
+//! * [`join`] / [`scope`] that push the forked half to the local deque and
+//!   *execute or steal while waiting*, so nested parallelism (ALS restart
+//!   portfolios over parallel move scans, scans inside builds) composes on
+//!   a fixed set of OS threads instead of multiplying them;
+//! * **adaptive splitting** for `into_par_iter` / `par_iter` /
+//!   `par_chunks_mut` ([`mod@iter`]): ranges subdivide while a split
+//!   budget allows, and the budget replenishes when a task is observed
+//!   stolen — idle pools stop splitting early, loaded pools keep feeding
+//!   thieves;
+//! * per-worker counters (jobs, steals, park time) surfaced through
+//!   [`pool_stats`] for `mroam stats --threads`.
+//!
+//! **Determinism contract** (unchanged from the sequential stub): every
+//! terminal operation is bit-identical to its sequential counterpart at
+//! any pool width. Ordered merges (`collect`), minimum-base-index
+//! selection (`position_first` / `find_first`), and sequential tie-break
+//! rules (`min_by` keeps the first minimum, `max_by` the last maximum)
+//! are preserved under arbitrary stealing; width-1 pools short-circuit to
+//! plain sequential loops. See DESIGN.md §11 for the argument.
 
-use std::sync::OnceLock;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// Number of worker threads fork-join primitives fan out to: the
-/// `RAYON_NUM_THREADS` environment variable if set (like rayon's global
-/// pool, it is read once, at first use), else the machine's available
-/// parallelism.
+mod deque;
+mod iter;
+mod job;
+mod registry;
+
+pub use iter::{
+    ChunksPar, Filter, FilterMap, FlatMap, IntoParallelIterator, Map, ParChunksMut,
+    ParChunksMutEnumerate, ParallelIterator, ParallelSlice, ParallelSliceMut, RangePar, SlicePar,
+};
+
+use job::{HeapJob, PanicPayload, StackJob};
+
+/// Width of the global pool: the `RAYON_NUM_THREADS` environment variable
+/// if set (like rayon, it is read once, at first use), else the machine's
+/// available parallelism.
 pub fn current_num_threads() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
@@ -39,39 +62,24 @@ pub fn current_num_threads() -> usize {
     })
 }
 
-/// A fork-join scope handed to [`scope`]'s closure; mirrors
-/// `rayon::Scope`. Every spawned task is joined before [`scope`] returns.
-pub struct Scope<'scope, 'env: 'scope> {
-    inner: &'scope std::thread::Scope<'scope, 'env>,
-}
-
-impl<'scope, 'env> Scope<'scope, 'env> {
-    /// Spawns a task on a fresh OS thread (rayon queues it on the pool;
-    /// the observable semantics — run concurrently, joined at scope exit —
-    /// are the same).
-    pub fn spawn<F>(&self, f: F)
-    where
-        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
-    {
-        let inner = self.inner;
-        inner.spawn(move || f(&Scope { inner }));
+/// Start the global pool now (it is otherwise started on first parallel
+/// call). Servers call this at spawn time so the first request doesn't
+/// pay worker startup.
+pub fn warm_up() {
+    if current_num_threads() > 1 {
+        let _ = registry::global_registry();
     }
 }
 
-/// Creates a fork-join scope: tasks spawned inside may borrow from the
-/// enclosing stack frame and are all joined before `scope` returns.
-/// Mirrors `rayon::scope`.
-pub fn scope<'env, F, R>(f: F) -> R
-where
-    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
-    R: Send,
-{
-    std::thread::scope(|s| f(&Scope { inner: s }))
-}
+// ---------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------
 
 /// Runs both closures, potentially in parallel, and returns both results.
-/// Mirrors `rayon::join`. With a single-thread pool the closures run
-/// sequentially on the caller's thread.
+/// Mirrors `rayon::join`: `oper_b` is pushed to the calling worker's
+/// deque (stealable), `oper_a` runs inline; while `oper_b` is stolen and
+/// in flight the caller executes other pending jobs instead of blocking.
+/// With a width-1 pool both closures run sequentially on the caller.
 pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -79,258 +87,270 @@ where
     RA: Send,
     RB: Send,
 {
-    if current_num_threads() <= 1 {
-        return (oper_a(), oper_b());
+    join_context(move |_| oper_a(), move |_| oper_b())
+}
+
+/// [`join`] with a `migrated` flag handed to each closure: whether it ran
+/// on a different worker than the one that forked it (i.e. was stolen).
+/// The adaptive splitter keys off this.
+pub(crate) fn join_context<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce(bool) -> RA + Send,
+    B: FnOnce(bool) -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if registry::active_width() <= 1 {
+        return (oper_a(false), oper_b(false));
     }
-    std::thread::scope(|s| {
-        let b = s.spawn(oper_b);
-        let ra = oper_a();
-        let rb = b.join().expect("rayon::join task panicked");
-        (ra, rb)
+    registry::in_worker(|worker| {
+        let job_b = StackJob::new(worker.id(), oper_b);
+        let job_ref = unsafe { job_b.as_job_ref() };
+        let b_id = job_ref.id();
+        worker.push(job_ref);
+        let result_a = panic::catch_unwind(AssertUnwindSafe(|| oper_a(false)));
+        // Retrieve b: pop it back if nobody stole it (the common case —
+        // run inline), else execute other jobs until the thief finishes.
+        // Either way this frame does not exit before b has run, which is
+        // what keeps the stack-pinned job sound.
+        let result_b = loop {
+            if job_b.latch.probe() {
+                break unsafe { job_b.take_result() };
+            }
+            match worker.pop() {
+                Some(job) if job.id() == b_id => break unsafe { job_b.run_inline() },
+                Some(job) => unsafe { worker.execute(job) },
+                None => worker.wait_until(&job_b.latch),
+            }
+        };
+        match result_a {
+            Err(p) => {
+                drop(result_b);
+                job::resume(p)
+            }
+            Ok(ra) => match result_b {
+                Ok(rb) => (ra, rb),
+                Err(p) => job::resume(p),
+            },
+        }
     })
 }
 
-/// Shared driver for the eager mutable-chunk iterators: distributes the
-/// chunks across `current_num_threads()` OS threads in round-robin order.
-/// Chunk indices are assigned before any thread runs, so the mapping from
-/// index to chunk is deterministic regardless of scheduling.
-fn run_indexed<T, F>(chunks: Vec<&mut [T]>, f: F)
-where
-    T: Send,
-    F: Fn(usize, &mut [T]) + Send + Sync,
-{
-    let n_threads = current_num_threads().min(chunks.len());
-    if n_threads <= 1 {
-        for (i, chunk) in chunks.into_iter().enumerate() {
-            f(i, chunk);
-        }
-        return;
-    }
-    let mut buckets: Vec<Vec<(usize, &mut [T])>> = (0..n_threads).map(|_| Vec::new()).collect();
-    for (i, chunk) in chunks.into_iter().enumerate() {
-        buckets[i % n_threads].push((i, chunk));
-    }
-    let f = &f;
-    std::thread::scope(|s| {
-        for bucket in buckets {
-            s.spawn(move || {
-                for (i, chunk) in bucket {
-                    f(i, chunk);
+// ---------------------------------------------------------------------
+// scope
+// ---------------------------------------------------------------------
+
+/// A fork-join scope handed to [`scope`]'s closure; mirrors
+/// `rayon::Scope`. Every spawned task completes before [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    /// Spawned-but-unfinished task count; the scope owner drains work
+    /// until it reaches zero.
+    pending: AtomicUsize,
+    /// First panic from a spawned task, resumed at scope exit.
+    panic: Mutex<Option<PanicPayload>>,
+    _marker: std::marker::PhantomData<&'scope mut &'env ()>,
+}
+
+/// Raw scope pointer smuggled into the lifetime-erased spawn closure; the
+/// scope outlives every spawn (counter wait), so the deref is sound.
+struct ScopePtr<T>(*const T);
+unsafe impl<T: Sync> Send for ScopePtr<T> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task onto the pool (the calling worker's deque, where it
+    /// is popped LIFO by the owner or stolen FIFO by an idle worker).
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let ptr = ScopePtr(self as *const Self);
+        let task = move || {
+            // Rebind the wrapper so the closure captures `ScopePtr` (Send)
+            // rather than the raw pointer field (2021 precise capture).
+            let ptr = ptr;
+            let scope = unsafe { &*ptr.0 };
+            if let Err(p) = panic::catch_unwind(AssertUnwindSafe(|| body(scope))) {
+                let mut slot = scope.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(p);
                 }
-            });
+            }
+            // Release-pairs with the Acquire poll in wait_while_pending.
+            scope.pending.fetch_sub(1, Ordering::Release);
+        };
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(task);
+        // Erase 'scope: the counter wait above guarantees every borrow in
+        // the closure outlives its execution.
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        registry::push_or_inject(unsafe { HeapJob::into_job_ref(task) });
+    }
+}
+
+/// Creates a fork-join scope: tasks spawned inside may borrow from the
+/// enclosing stack frame and all complete before `scope` returns. Mirrors
+/// `rayon::scope`. Runs on the worker pool; while spawned tasks are in
+/// flight the scope owner executes and steals pending work rather than
+/// blocking, so scopes nest freely without adding OS threads.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    registry::in_worker(|worker| {
+        let s = Scope {
+            pending: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            _marker: std::marker::PhantomData,
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| f(&s)));
+        worker.wait_while_pending(&s.pending);
+        let spawned_panic = s.panic.lock().unwrap().take();
+        match result {
+            Err(p) => job::resume(p),
+            Ok(r) => match spawned_panic {
+                Some(p) => job::resume(p),
+                None => r,
+            },
         }
-    });
+    })
 }
 
-/// Eager parallel iterator over disjoint mutable chunks of a slice
-/// (`rayon`'s `par_chunks_mut`). Unlike [`ParIter`] this one genuinely
-/// runs on threads — the chunks are disjoint `&mut` slices, so handing
-/// them to separate threads is safe without any synchronisation.
-pub struct ParChunksMut<'a, T: Send> {
-    chunks: Vec<&'a mut [T]>,
+// ---------------------------------------------------------------------
+// Explicit pools (tests, isolation)
+// ---------------------------------------------------------------------
+
+/// An explicitly-constructed worker pool, independent of the global one.
+/// The workspace runs on the global pool; `ThreadPool` exists so tests
+/// can exercise specific widths in-process and verify clean shutdown —
+/// dropping the pool signals termination, wakes parked workers, and joins
+/// every OS thread.
+pub struct ThreadPool {
+    registry: Arc<registry::Registry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
 }
 
-impl<'a, T: Send> ParChunksMut<'a, T> {
-    /// Pairs each chunk with its index (deterministic: chunk `i` covers
-    /// elements `i * chunk_size ..`).
-    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
-        ParChunksMutEnumerate {
-            chunks: self.chunks,
-        }
+impl ThreadPool {
+    pub fn new(num_threads: usize) -> ThreadPool {
+        let (registry, handles) = registry::Registry::spawn_pool(num_threads);
+        ThreadPool { registry, handles }
     }
 
-    /// Runs `f` over every chunk, distributed across the pool.
-    pub fn for_each<F>(self, f: F)
+    pub fn num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
+
+    /// Runs `f` on a worker of *this* pool, blocking until it returns.
+    /// Nested `join`/`scope`/par-iter calls inside `f` schedule onto this
+    /// pool (the enclosing worker's registry), not the global one.
+    pub fn install<F, R>(&self, f: F) -> R
     where
-        F: Fn(&mut [T]) + Send + Sync,
+        F: FnOnce() -> R + Send,
+        R: Send,
     {
-        run_indexed(self.chunks, |_, chunk| f(chunk));
+        self.registry.in_worker_cold(|_| f())
+    }
+
+    /// Counter snapshot for this pool (see [`pool_stats`] for the global
+    /// equivalent).
+    pub fn stats(&self) -> PoolStats {
+        self.registry.stats_snapshot()
     }
 }
 
-/// [`ParChunksMut`] with indices attached; see `ParChunksMut::enumerate`.
-pub struct ParChunksMutEnumerate<'a, T: Send> {
-    chunks: Vec<&'a mut [T]>,
-}
-
-impl<T: Send> ParChunksMutEnumerate<'_, T> {
-    /// Runs `f` over every `(index, chunk)` pair, distributed across the
-    /// pool.
-    pub fn for_each<F>(self, f: F)
-    where
-        F: Fn((usize, &mut [T])) + Send + Sync,
-    {
-        run_indexed(self.chunks, |i, chunk| f((i, chunk)));
-    }
-}
-
-/// `par_chunks_mut()` on mutable slices — the genuinely-parallel half of
-/// the slice traits (cf. [`ParallelSlice`], which is sequential).
-pub trait ParallelSliceMut<T: Send> {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
-}
-
-impl<T: Send> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
-        assert!(chunk_size != 0, "chunk size must be non-zero");
-        ParChunksMut {
-            chunks: self.chunks_mut(chunk_size).collect(),
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
         }
     }
 }
 
-/// The sequential "parallel" iterator: a thin wrapper over a [`Iterator`]
-/// exposing rayon's method names.
-pub struct ParIter<I>(I);
+// ---------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------
 
-impl<I: Iterator> ParIter<I> {
-    pub fn map<B, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
-    where
-        F: FnMut(I::Item) -> B,
-    {
-        ParIter(self.0.map(f))
-    }
-
-    pub fn filter<P>(self, p: P) -> ParIter<std::iter::Filter<I, P>>
-    where
-        P: FnMut(&I::Item) -> bool,
-    {
-        ParIter(self.0.filter(p))
-    }
-
-    pub fn filter_map<B, F>(self, f: F) -> ParIter<std::iter::FilterMap<I, F>>
-    where
-        F: FnMut(I::Item) -> Option<B>,
-    {
-        ParIter(self.0.filter_map(f))
-    }
-
-    pub fn flat_map<B, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, B, F>>
-    where
-        B: IntoIterator,
-        F: FnMut(I::Item) -> B,
-    {
-        ParIter(self.0.flat_map(f))
-    }
-
-    pub fn for_each<F>(self, f: F)
-    where
-        F: FnMut(I::Item),
-    {
-        self.0.for_each(f)
-    }
-
-    pub fn collect<C>(self) -> C
-    where
-        C: FromIterator<I::Item>,
-    {
-        self.0.collect()
-    }
-
-    /// rayon's `reduce(identity, op)`: folds from `identity()`.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
-    where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
-    {
-        self.0.fold(identity(), op)
-    }
-
-    pub fn min_by<F>(self, f: F) -> Option<I::Item>
-    where
-        F: Fn(&I::Item, &I::Item) -> std::cmp::Ordering,
-    {
-        self.0.min_by(f)
-    }
-
-    pub fn max_by<F>(self, f: F) -> Option<I::Item>
-    where
-        F: Fn(&I::Item, &I::Item) -> std::cmp::Ordering,
-    {
-        self.0.max_by(f)
-    }
-
-    pub fn sum<S>(self) -> S
-    where
-        S: std::iter::Sum<I::Item>,
-    {
-        self.0.sum()
-    }
-
-    pub fn count(self) -> usize {
-        self.0.count()
-    }
-
-    pub fn any<P>(mut self, p: P) -> bool
-    where
-        P: FnMut(I::Item) -> bool,
-    {
-        self.0.any(p)
-    }
-
-    pub fn all<P>(mut self, p: P) -> bool
-    where
-        P: FnMut(I::Item) -> bool,
-    {
-        self.0.all(p)
-    }
-
-    /// Index of the first item (in the original order) matching the
-    /// predicate — rayon guarantees the *minimum* index, which is exactly
-    /// what a sequential `position` returns.
-    pub fn position_first<P>(mut self, p: P) -> Option<usize>
-    where
-        P: FnMut(I::Item) -> bool,
-    {
-        self.0.position(p)
-    }
-
-    /// First item (in the original order) matching the predicate.
-    pub fn find_first<P>(mut self, mut p: P) -> Option<I::Item>
-    where
-        P: FnMut(&I::Item) -> bool,
-    {
-        self.0.find(|x| p(x))
-    }
+/// Lifetime counters for one worker thread.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerStatsSnapshot {
+    /// Jobs this worker executed (its own pops, steals, injector takes).
+    pub jobs: u64,
+    /// Jobs it stole from sibling deques (subset of `jobs`).
+    pub steals: u64,
+    /// Times it parked on the sleep condvar.
+    pub parks: u64,
+    /// Total nanoseconds spent parked.
+    pub park_nanos: u64,
 }
 
-/// `into_par_iter()` for anything iterable (ranges, vectors, ...).
-pub trait IntoParallelIterator: IntoIterator + Sized {
-    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
-        ParIter(self.into_iter())
-    }
+/// Aggregate pool counters; see [`pool_stats`].
+#[derive(Clone, Debug, Default)]
+pub struct PoolStats {
+    /// Configured pool width.
+    pub num_threads: usize,
+    /// Whether the pool's workers have been started (it starts lazily on
+    /// first parallel call or [`warm_up`]).
+    pub started: bool,
+    pub jobs_executed: u64,
+    pub steals: u64,
+    /// Jobs submitted from outside the pool (or deque overflow).
+    pub injected: u64,
+    pub parks: u64,
+    /// Wakeups signalled to parked workers.
+    pub unparks: u64,
+    /// Nanoseconds since the pool started (0 if not started).
+    pub uptime_nanos: u64,
+    /// Summed park time across workers.
+    pub park_nanos: u64,
+    pub workers: Vec<WorkerStatsSnapshot>,
 }
 
-impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
-
-/// `par_iter()` / `par_chunks()` on slices.
-pub trait ParallelSlice<T> {
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
-    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
-}
-
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
-        ParIter(self.iter())
-    }
-
-    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-        ParIter(self.chunks(chunk_size))
+/// Snapshot of the global pool's counters. If the pool has not started
+/// yet, returns zeros with the configured width and `started: false` —
+/// calling this does *not* start the pool.
+pub fn pool_stats() -> PoolStats {
+    if registry::global_started() {
+        registry::global_registry().stats_snapshot()
+    } else {
+        PoolStats {
+            num_threads: current_num_threads(),
+            ..PoolStats::default()
+        }
     }
 }
 
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    // The test host may expose a single CPU and the global pool latches
+    // RAYON_NUM_THREADS once, so genuinely-parallel assertions run inside
+    // explicit multi-worker pools.
+    fn with_pool<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+        crate::ThreadPool::new(threads).install(f)
+    }
 
     #[test]
     fn map_collect_matches_sequential() {
-        let v: Vec<i32> = (0..10).into_par_iter().map(|x| x * 2).collect();
-        assert_eq!(v, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+        let v: Vec<u32> = (0..10u32).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..10u32).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_is_ordered_on_wide_pool() {
+        let expected: Vec<u64> = (0..10_000u64).map(|x| x * 3 + 1).collect();
+        for threads in [2, 4, 8] {
+            let v: Vec<u64> = with_pool(threads, || {
+                (0..10_000u64).into_par_iter().map(|x| x * 3 + 1).collect()
+            });
+            assert_eq!(v, expected, "order broke at width {threads}");
+        }
     }
 
     #[test]
@@ -338,6 +358,35 @@ mod tests {
         let xs = [1, 5, 3, 5, 2];
         assert_eq!(xs.par_iter().position_first(|&x| x == 5), Some(1));
         assert_eq!(xs.par_iter().position_first(|&x| x == 9), None);
+    }
+
+    #[test]
+    fn position_first_is_minimum_index_on_wide_pool() {
+        // Many matches; the minimum index must win at every width.
+        let xs: Vec<u32> = (0..50_000).map(|i| (i % 97) as u32).collect();
+        for threads in [2, 4, 8] {
+            let pos = with_pool(threads, || xs.par_iter().position_first(|&x| x == 96));
+            assert_eq!(pos, Some(96), "width {threads}");
+        }
+    }
+
+    #[test]
+    fn min_by_max_by_tie_breaks_match_sequential() {
+        // Keys collide heavily; sequential min_by keeps the first
+        // minimum, max_by the last maximum.
+        let xs: Vec<(u32, usize)> = (0..20_000).map(|i| ((i % 13) as u32, i)).collect();
+        let seq_min = xs.iter().min_by(|a, b| a.0.cmp(&b.0)).copied();
+        let seq_max = xs.iter().max_by(|a, b| a.0.cmp(&b.0)).copied();
+        for threads in [2, 4, 8] {
+            let par_min = with_pool(threads, || {
+                xs.par_iter().min_by(|a, b| a.0.cmp(&b.0)).copied()
+            });
+            let par_max = with_pool(threads, || {
+                xs.par_iter().max_by(|a, b| a.0.cmp(&b.0)).copied()
+            });
+            assert_eq!(par_min, seq_min, "min_by tie-break at width {threads}");
+            assert_eq!(par_max, seq_max, "max_by tie-break at width {threads}");
+        }
     }
 
     #[test]
@@ -351,8 +400,22 @@ mod tests {
     }
 
     #[test]
+    fn filter_and_sum_and_count() {
+        let n: usize = (0..1000usize)
+            .into_par_iter()
+            .filter(|x| x % 3 == 0)
+            .count();
+        assert_eq!(n, 334);
+        let s: u64 = (0..1000u64).into_par_iter().sum();
+        assert_eq!(s, 499_500);
+        assert!((0..1000usize).into_par_iter().any(|x| x == 999));
+        assert!(!(0..1000usize).into_par_iter().any(|x| x == 1000));
+        assert!((0..1000usize).into_par_iter().all(|x| x < 1000));
+    }
+
+    #[test]
     fn min_by_over_range() {
-        let m = (0..20)
+        let m = (0..20usize)
             .into_par_iter()
             .map(|x| (x as i32 - 7).abs())
             .min_by(|a, b| a.cmp(b));
@@ -363,6 +426,19 @@ mod tests {
     fn join_returns_both_results() {
         let (a, b) = crate::join(|| 1 + 1, || "two");
         assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn join_nests_deeply_on_pool() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = crate::join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        let r = with_pool(4, || fib(16));
+        assert_eq!(r, 987);
     }
 
     #[test]
@@ -389,6 +465,26 @@ mod tests {
     }
 
     #[test]
+    fn nested_scopes_on_pool_complete() {
+        let hits = AtomicUsize::new(0);
+        let hits_ref = &hits;
+        with_pool(4, move || {
+            crate::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(move |s2| {
+                        for _ in 0..8 {
+                            s2.spawn(move |_| {
+                                hits_ref.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                }
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
     fn par_chunks_mut_writes_every_chunk() {
         let mut xs = vec![0u32; 103];
         xs.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
@@ -402,6 +498,23 @@ mod tests {
     }
 
     #[test]
+    fn par_chunks_mut_indices_stable_on_wide_pool() {
+        let mut xs = vec![0u64; 64 * 1024 + 11];
+        let expected_len = xs.len();
+        with_pool(8, || {
+            xs.par_chunks_mut(64).enumerate().for_each(|(i, chunk)| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = (i * 64 + j) as u64;
+                }
+            });
+        });
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(x, i as u64);
+        }
+        assert_eq!(xs.len(), expected_len);
+    }
+
+    #[test]
     fn par_chunks_mut_for_each_without_enumerate() {
         let mut xs = vec![1u64; 64];
         xs.par_chunks_mut(7).for_each(|chunk| {
@@ -410,6 +523,68 @@ mod tests {
             }
         });
         assert_eq!(xs.iter().sum::<u64>(), 128);
+    }
+
+    #[test]
+    fn join_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            with_pool(2, || {
+                crate::join(|| 1, || panic!("boom-b"));
+            })
+        });
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| {
+            with_pool(2, || {
+                crate::join(|| panic!("boom-a"), || 2);
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn scope_spawn_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            with_pool(2, || {
+                crate::scope(|s| {
+                    s.spawn(|_| panic!("spawned boom"));
+                });
+            })
+        });
+        assert!(r.is_err());
+        // The pool survives a panicked job: it still runs new work.
+        let ok = with_pool(2, || (0..100usize).into_par_iter().count());
+        assert_eq!(ok, 100);
+    }
+
+    #[test]
+    fn thread_pool_drop_joins_workers() {
+        for _ in 0..20 {
+            let pool = crate::ThreadPool::new(4);
+            let total: u64 = pool.install(|| (0..10_000u64).into_par_iter().sum());
+            assert_eq!(total, 49_995_000);
+            drop(pool); // must terminate + join without hanging
+        }
+    }
+
+    #[test]
+    fn pool_stats_counts_jobs() {
+        let pool = crate::ThreadPool::new(4);
+        pool.install(|| {
+            crate::scope(|s| {
+                for _ in 0..32 {
+                    s.spawn(|_| {
+                        std::hint::black_box(0u64);
+                    });
+                }
+            });
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.num_threads, 4);
+        assert!(stats.started);
+        // 32 spawned heap jobs + the installed stack job, at minimum.
+        assert!(stats.jobs_executed >= 33, "jobs={}", stats.jobs_executed);
+        assert!(stats.injected >= 1);
+        assert_eq!(stats.workers.len(), 4);
     }
 
     #[test]

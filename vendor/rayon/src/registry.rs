@@ -1,0 +1,501 @@
+//! The worker-thread registry: a persistent pool with per-worker
+//! Chase–Lev deques, a shared FIFO injector for external submissions, and
+//! condvar-parked idle workers.
+//!
+//! One *global* registry (sized by [`crate::current_num_threads`], i.e.
+//! `RAYON_NUM_THREADS` or the machine width) is started lazily on first
+//! use and lives for the process. Additional registries can be created
+//! through [`crate::ThreadPool`] — mainly so tests can exercise clean
+//! shutdown: dropping a `ThreadPool` signals termination, wakes every
+//! parked worker, and joins the OS threads.
+//!
+//! ## Scheduling
+//!
+//! * A worker prefers its **own deque** (LIFO — the task it just forked),
+//!   then the **injector** (external submissions), then **steals** the
+//!   oldest task from a sibling, scanning from a per-worker rotating
+//!   start so thieves spread out.
+//! * A worker with nothing to do **parks** on the registry condvar after
+//!   re-checking every queue under the sleep lock; pushers follow the
+//!   Dekker-style `sleepers_hint` protocol (SeqCst fences on both sides)
+//!   so a job published concurrently with a worker falling asleep is
+//!   never lost.
+//! * A worker *waiting* for a latch (a stolen `join` arm, a scope's
+//!   spawn counter) does not park: it keeps executing and stealing other
+//!   jobs — this is what lets nested parallelism compose on a fixed
+//!   number of OS threads — and only spin-yields briefly when the whole
+//!   pool is saturated.
+//!
+//! ## Counters
+//!
+//! Per-worker `Relaxed` atomics (jobs executed, steals, park time) plus
+//! registry-wide injection/unpark counts feed [`crate::pool_stats`]; the
+//! only per-job cost is one relaxed increment.
+
+use crate::deque::{Deque, Steal};
+use crate::job::{resume, JobRef, Latch, StackJob};
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+pub(crate) struct WorkerStats {
+    pub(crate) jobs: AtomicU64,
+    pub(crate) steals: AtomicU64,
+    pub(crate) parks: AtomicU64,
+    pub(crate) park_nanos: AtomicU64,
+}
+
+impl WorkerStats {
+    fn new() -> Self {
+        Self {
+            jobs: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            park_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+struct SleepCounters {
+    /// Workers currently inside `park` (between recheck and wake).
+    sleepers: usize,
+    /// Wakeups issued but not yet consumed.
+    signals: usize,
+}
+
+pub(crate) struct Registry {
+    deques: Vec<Deque>,
+    worker_stats: Vec<WorkerStats>,
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Advisory length of `injector`, so `find_work` skips the lock when
+    /// the queue is empty.
+    injector_len: AtomicUsize,
+    sleep: Mutex<SleepCounters>,
+    wake: Condvar,
+    /// Advisory copy of `sleepers` for the push fast path; see
+    /// [`Registry::notify_job_pushed`].
+    sleepers_hint: AtomicUsize,
+    terminate: AtomicBool,
+    injected: AtomicU64,
+    unparks: AtomicU64,
+    started_at: Instant,
+}
+
+impl Registry {
+    fn new(num_threads: usize) -> Arc<Registry> {
+        let num_threads = num_threads.max(1);
+        Arc::new(Registry {
+            deques: (0..num_threads).map(|_| Deque::new()).collect(),
+            worker_stats: (0..num_threads).map(|_| WorkerStats::new()).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            injector_len: AtomicUsize::new(0),
+            sleep: Mutex::new(SleepCounters {
+                sleepers: 0,
+                signals: 0,
+            }),
+            wake: Condvar::new(),
+            sleepers_hint: AtomicUsize::new(0),
+            terminate: AtomicBool::new(false),
+            injected: AtomicU64::new(0),
+            unparks: AtomicU64::new(0),
+            started_at: Instant::now(),
+        })
+    }
+
+    /// Create the registry and spawn its workers, returning the join
+    /// handles (the global pool leaks them; `ThreadPool` keeps them for
+    /// shutdown).
+    pub(crate) fn spawn_pool(
+        num_threads: usize,
+    ) -> (Arc<Registry>, Vec<std::thread::JoinHandle<()>>) {
+        let registry = Registry::new(num_threads);
+        let handles = (0..registry.num_threads())
+            .map(|index| {
+                let registry = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("mroam-rayon-{index}"))
+                    .spawn(move || worker_main(registry, index))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        (registry, handles)
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// External submission: enqueue on the shared injector and wake a
+    /// parked worker if any.
+    pub(crate) fn inject(&self, job: JobRef) {
+        {
+            let mut q = self.injector.lock().unwrap();
+            q.push_back(job);
+            self.injector_len.store(q.len(), Ordering::Release);
+        }
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        self.notify_job_pushed();
+    }
+
+    fn pop_injected(&self) -> Option<JobRef> {
+        if self.injector_len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut q = self.injector.lock().unwrap();
+        let job = q.pop_front();
+        self.injector_len.store(q.len(), Ordering::Release);
+        job
+    }
+
+    /// Dekker-style wakeup: the job push (deque `Release` store or
+    /// injector under its lock) happened before this fence; a worker
+    /// increments `sleepers_hint` (SeqCst) *before* its final queue
+    /// recheck. Whichever order the two SeqCst accesses take, either we
+    /// see the sleeper here and signal it, or its recheck sees the job.
+    pub(crate) fn notify_job_pushed(&self) {
+        fence(Ordering::SeqCst);
+        if self.sleepers_hint.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let mut c = self.sleep.lock().unwrap();
+        if c.sleepers > c.signals {
+            c.signals += 1;
+            self.unparks.fetch_add(1, Ordering::Relaxed);
+            self.wake.notify_one();
+        }
+    }
+
+    fn wake_all_for_terminate(&self) {
+        let mut c = self.sleep.lock().unwrap();
+        c.signals = c.sleepers;
+        self.wake.notify_all();
+    }
+
+    pub(crate) fn terminate(&self) {
+        self.terminate.store(true, Ordering::SeqCst);
+        self.wake_all_for_terminate();
+    }
+
+    fn has_any_work(&self) -> bool {
+        self.injector_len.load(Ordering::Acquire) > 0 || self.deques.iter().any(|d| !d.is_empty())
+    }
+
+    /// Run `f` on some worker of this registry, blocking the calling
+    /// external thread until it completes.
+    pub(crate) fn in_worker_cold<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&WorkerThread) -> R + Send,
+        R: Send,
+    {
+        debug_assert!(WorkerThread::current().is_null());
+        let job = StackJob::new(std::ptr::null(), move |_migrated| {
+            let worker = WorkerThread::current();
+            debug_assert!(!worker.is_null());
+            f(unsafe { &*worker })
+        });
+        unsafe {
+            self.inject(job.as_job_ref());
+        }
+        job.latch.wait_blocking();
+        match unsafe { job.take_result() } {
+            Ok(r) => r,
+            Err(p) => resume(p),
+        }
+    }
+
+    pub(crate) fn stats_snapshot(&self) -> crate::PoolStats {
+        let workers: Vec<crate::WorkerStatsSnapshot> = self
+            .worker_stats
+            .iter()
+            .map(|w| crate::WorkerStatsSnapshot {
+                jobs: w.jobs.load(Ordering::Relaxed),
+                steals: w.steals.load(Ordering::Relaxed),
+                parks: w.parks.load(Ordering::Relaxed),
+                park_nanos: w.park_nanos.load(Ordering::Relaxed),
+            })
+            .collect();
+        crate::PoolStats {
+            num_threads: self.num_threads(),
+            started: true,
+            jobs_executed: workers.iter().map(|w| w.jobs).sum(),
+            steals: workers.iter().map(|w| w.steals).sum(),
+            parks: workers.iter().map(|w| w.parks).sum(),
+            park_nanos: workers.iter().map(|w| w.park_nanos).sum(),
+            injected: self.injected.load(Ordering::Relaxed),
+            unparks: self.unparks.load(Ordering::Relaxed),
+            uptime_nanos: self.started_at.elapsed().as_nanos() as u64,
+            workers,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker threads
+// ---------------------------------------------------------------------
+
+/// Per-worker context, allocated on the worker's own stack; the TLS slot
+/// below points at it while the worker runs.
+pub(crate) struct WorkerThread {
+    registry: Arc<Registry>,
+    index: usize,
+    /// Rotating start offset for steal scans.
+    steal_start: Cell<usize>,
+}
+
+thread_local! {
+    static WORKER: Cell<*const WorkerThread> = const { Cell::new(std::ptr::null()) };
+}
+
+/// Identity of the current pool worker (null on non-pool threads); used
+/// by `StackJob` to detect migration (stealing).
+pub(crate) fn current_worker_id() -> *const () {
+    WORKER.with(|w| w.get()) as *const ()
+}
+
+impl WorkerThread {
+    pub(crate) fn current() -> *const WorkerThread {
+        WORKER.with(|w| w.get())
+    }
+
+    pub(crate) fn id(&self) -> *const () {
+        self as *const WorkerThread as *const ()
+    }
+
+    pub(crate) fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    fn deque(&self) -> &Deque {
+        &self.registry.deques[self.index]
+    }
+
+    fn stats(&self) -> &WorkerStats {
+        &self.registry.worker_stats[self.index]
+    }
+
+    /// Push onto the local deque (overflowing to the injector) and wake a
+    /// sleeper if one is parked.
+    pub(crate) fn push(&self, job: JobRef) {
+        if let Err(job) = self.deque().push(job) {
+            self.registry.inject(job);
+            return;
+        }
+        self.registry.notify_job_pushed();
+    }
+
+    /// Pop the most recent local job, if any.
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        self.deque().pop()
+    }
+
+    #[inline]
+    pub(crate) unsafe fn execute(&self, job: JobRef) {
+        self.stats().jobs.fetch_add(1, Ordering::Relaxed);
+        job.execute();
+    }
+
+    /// Local deque, then injector, then steal — one full attempt.
+    fn find_work(&self) -> Option<JobRef> {
+        if let Some(job) = self.pop() {
+            return Some(job);
+        }
+        if let Some(job) = self.registry.pop_injected() {
+            return Some(job);
+        }
+        self.steal()
+    }
+
+    /// One sweep over every sibling deque, restarted while any steal
+    /// reports a race. Starts at a rotating offset so concurrent thieves
+    /// fan out over different victims.
+    fn steal(&self) -> Option<JobRef> {
+        let n = self.registry.num_threads();
+        if n <= 1 {
+            return None;
+        }
+        loop {
+            let start = self.steal_start.get();
+            self.steal_start.set((start + 1) % n);
+            let mut saw_retry = false;
+            for off in 0..n {
+                let victim = (start + off) % n;
+                if victim == self.index {
+                    continue;
+                }
+                match self.registry.deques[victim].steal() {
+                    Steal::Success(job) => {
+                        self.stats().steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(job);
+                    }
+                    Steal::Retry => saw_retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !saw_retry {
+                return None;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Execute-and-steal until `latch` is set. Never parks: the latch is
+    /// set by a job some thread is actively running, so the wait is
+    /// bounded by real work; when the pool is saturated we yield (with a
+    /// micro-sleep fallback so a long-running partner doesn't spin a
+    /// whole core).
+    pub(crate) fn wait_until(&self, latch: &Latch) {
+        let mut idle_rounds = 0u32;
+        while !latch.probe() {
+            if let Some(job) = self.find_work() {
+                unsafe { self.execute(job) };
+                idle_rounds = 0;
+            } else {
+                idle_rounds += 1;
+                if idle_rounds < 32 {
+                    std::hint::spin_loop();
+                } else if idle_rounds < 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+            }
+        }
+    }
+
+    /// Like [`Self::wait_until`] but for a counter latch (scope pending
+    /// count) — waits until it reaches zero.
+    pub(crate) fn wait_while_pending(&self, pending: &AtomicUsize) {
+        let mut idle_rounds = 0u32;
+        while pending.load(Ordering::Acquire) != 0 {
+            if let Some(job) = self.find_work() {
+                unsafe { self.execute(job) };
+                idle_rounds = 0;
+            } else {
+                idle_rounds += 1;
+                if idle_rounds < 32 {
+                    std::hint::spin_loop();
+                } else if idle_rounds < 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+            }
+        }
+    }
+
+    /// Park until new work is signalled. The `sleepers_hint` increment
+    /// (SeqCst) *before* the final recheck pairs with the fence in
+    /// [`Registry::notify_job_pushed`].
+    fn park(&self) {
+        let registry = &*self.registry;
+        let mut c = registry.sleep.lock().unwrap();
+        c.sleepers += 1;
+        registry.sleepers_hint.fetch_add(1, Ordering::SeqCst);
+        // Final recheck with sleeper registration visible to pushers.
+        if registry.has_any_work() || registry.terminate.load(Ordering::SeqCst) {
+            c.sleepers -= 1;
+            registry.sleepers_hint.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        self.stats().parks.fetch_add(1, Ordering::Relaxed);
+        let parked_at = Instant::now();
+        loop {
+            c = registry.wake.wait(c).unwrap();
+            if c.signals > 0 {
+                c.signals -= 1;
+                break;
+            }
+            if registry.terminate.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        c.sleepers -= 1;
+        registry.sleepers_hint.fetch_sub(1, Ordering::SeqCst);
+        drop(c);
+        self.stats()
+            .park_nanos
+            .fetch_add(parked_at.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+fn worker_main(registry: Arc<Registry>, index: usize) {
+    let worker = WorkerThread {
+        registry,
+        index,
+        steal_start: Cell::new(index + 1),
+    };
+    WORKER.with(|w| w.set(&worker as *const WorkerThread));
+    loop {
+        if let Some(job) = worker.find_work() {
+            // User panics are caught inside the jobs themselves; a panic
+            // escaping here would take the worker down, so guard anyway.
+            let _ = panic::catch_unwind(AssertUnwindSafe(|| unsafe { worker.execute(job) }));
+            continue;
+        }
+        if worker.registry.terminate.load(Ordering::SeqCst) {
+            break;
+        }
+        worker.park();
+    }
+    WORKER.with(|w| w.set(std::ptr::null()));
+}
+
+// ---------------------------------------------------------------------
+// Global pool + entry points
+// ---------------------------------------------------------------------
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+pub(crate) fn global_registry() -> &'static Arc<Registry> {
+    GLOBAL.get_or_init(|| {
+        let (registry, _handles) = Registry::spawn_pool(crate::current_num_threads());
+        // Global workers live for the process; handles are dropped
+        // (detached) and the threads park when idle.
+        registry
+    })
+}
+
+/// Whether the global pool has been started.
+pub(crate) fn global_started() -> bool {
+    GLOBAL.get().is_some()
+}
+
+/// The width of the pool the *current* thread schedules onto: the
+/// enclosing pool's width on a worker thread, the (possibly not yet
+/// started) global pool's width elsewhere.
+pub(crate) fn active_width() -> usize {
+    let worker = WorkerThread::current();
+    if !worker.is_null() {
+        unsafe { (*worker).registry().num_threads() }
+    } else {
+        crate::current_num_threads()
+    }
+}
+
+/// Route a detached job (a scope spawn): onto the current worker's deque
+/// when called from inside a pool, else into the global injector.
+pub(crate) fn push_or_inject(job: JobRef) {
+    let worker = WorkerThread::current();
+    if !worker.is_null() {
+        unsafe { (*worker).push(job) };
+    } else {
+        global_registry().inject(job);
+    }
+}
+
+/// Run `f` with worker context: directly when already on a pool worker,
+/// else by injecting into the global pool and blocking until done.
+pub(crate) fn in_worker<F, R>(f: F) -> R
+where
+    F: FnOnce(&WorkerThread) -> R + Send,
+    R: Send,
+{
+    let worker = WorkerThread::current();
+    if !worker.is_null() {
+        return f(unsafe { &*worker });
+    }
+    global_registry().in_worker_cold(f)
+}
