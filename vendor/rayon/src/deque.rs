@@ -14,21 +14,39 @@
 //! * `steal` reads `top`/`bottom` across a `SeqCst` fence and claims the
 //!   slot with a `SeqCst` CAS on `top`.
 //!
+//! Slots are pairs of `AtomicUsize` (a `JobRef` is two words) accessed
+//! with `Relaxed` loads/stores. This matters for `steal`: a thief reads
+//! the slot *before* its claiming CAS, and the owner may concurrently
+//! reuse that slot (other thieves can have advanced `top` past the
+//! thief's snapshot, re-enabling the slot for `push`). That lost-race
+//! read must be defined behaviour — with plain cells it would be a data
+//! race under the Rust memory model. Atomic word loads make it defined;
+//! the possibly-mixed value is discarded when the CAS fails, and when the
+//! CAS succeeds `top` was still at the thief's snapshot, so the capacity
+//! check in `push` (`b - t < CAPACITY` against a `top` it loaded with
+//! `Acquire`) proves the slot was not reused and the read words belong to
+//! one job, published by the `Release` store of `bottom` the thief
+//! acquired.
+//!
 //! Indices grow monotonically (64-bit, they never wrap in practice) and
-//! are masked into the power-of-two buffer, so a slot is only reused once
-//! `top` has passed it — the capacity check in `push` guarantees no live
-//! entry is overwritten. Instead of growing the buffer on overflow (which
-//! needs epoch reclamation), `push` reports failure and the caller routes
-//! the job to the registry's shared injector; with `CAPACITY` = 8192 this
-//! happens only under pathological fan-out.
+//! are masked into the power-of-two buffer. Instead of growing the buffer
+//! on overflow (which needs epoch reclamation), `push` reports failure
+//! and the caller routes the job to the registry's shared injector; with
+//! `CAPACITY` = 8192 this happens only under pathological fan-out.
 
 use crate::job::JobRef;
-use std::cell::UnsafeCell;
-use std::sync::atomic::{fence, AtomicI64, Ordering};
+use std::sync::atomic::{fence, AtomicI64, AtomicUsize, Ordering};
 
 /// Fixed slot count per worker deque (power of two).
 const CAPACITY: usize = 8192;
 const MASK: i64 = (CAPACITY as i64) - 1;
+
+/// One deque slot: a [`JobRef`] split into its two machine words so
+/// cross-thread slot accesses are atomic (see module docs).
+struct Slot {
+    this: AtomicUsize,
+    exec: AtomicUsize,
+}
 
 /// Outcome of a steal attempt.
 pub(crate) enum Steal {
@@ -45,13 +63,8 @@ pub(crate) struct Deque {
     bottom: AtomicI64,
     /// Oldest live slot; thieves CAS it forward to claim.
     top: AtomicI64,
-    buf: Box<[UnsafeCell<JobRef>]>,
+    buf: Box<[Slot]>,
 }
-
-// Slots are plain (non-atomic) cells; the top/bottom protocol above is
-// what makes cross-thread slot access sound. JobRef is Copy + Send.
-unsafe impl Sync for Deque {}
-unsafe impl Send for Deque {}
 
 impl Deque {
     pub(crate) fn new() -> Self {
@@ -59,9 +72,31 @@ impl Deque {
             bottom: AtomicI64::new(0),
             top: AtomicI64::new(0),
             buf: (0..CAPACITY)
-                .map(|_| UnsafeCell::new(JobRef::dangling()))
+                .map(|_| Slot {
+                    this: AtomicUsize::new(0),
+                    exec: AtomicUsize::new(0),
+                })
                 .collect(),
         }
+    }
+
+    #[inline]
+    fn write_slot(&self, index: i64, job: JobRef) {
+        let (this, exec) = job.into_raw_parts();
+        let slot = &self.buf[(index & MASK) as usize];
+        slot.this.store(this, Ordering::Relaxed);
+        slot.exec.store(exec, Ordering::Relaxed);
+    }
+
+    /// The read is only meaningful if the caller subsequently validates
+    /// ownership of the slot (pop: owner-side bottom/top protocol;
+    /// steal: successful CAS on `top`).
+    #[inline]
+    fn read_slot(&self, index: i64) -> JobRef {
+        let slot = &self.buf[(index & MASK) as usize];
+        let this = slot.this.load(Ordering::Relaxed);
+        let exec = slot.exec.load(Ordering::Relaxed);
+        unsafe { JobRef::from_raw_parts(this, exec) }
     }
 
     /// Owner-only: push a job at the bottom. Returns the job back if the
@@ -72,9 +107,7 @@ impl Deque {
         if b - t >= CAPACITY as i64 {
             return Err(job);
         }
-        unsafe {
-            *self.buf[(b & MASK) as usize].get() = job;
-        }
+        self.write_slot(b, job);
         self.bottom.store(b + 1, Ordering::Release);
         Ok(())
     }
@@ -90,7 +123,7 @@ impl Deque {
             self.bottom.store(b + 1, Ordering::Relaxed);
             return None;
         }
-        let job = unsafe { *self.buf[(b & MASK) as usize].get() };
+        let job = self.read_slot(b);
         if t == b {
             // Last element: race thieves for it.
             let won = self
@@ -111,7 +144,10 @@ impl Deque {
         if t >= b {
             return Steal::Empty;
         }
-        let job = unsafe { *self.buf[(t & MASK) as usize].get() };
+        // Speculative read: the owner may be reusing this slot right now
+        // (defined because slots are atomic); a successful CAS proves it
+        // was not, a failed CAS discards the value.
+        let job = self.read_slot(t);
         if self
             .top
             .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)

@@ -38,17 +38,6 @@ impl JobRef {
         }
     }
 
-    /// Placeholder for uninitialised deque slots; never executed.
-    pub(crate) fn dangling() -> JobRef {
-        unsafe fn never(_: *const ()) {
-            unreachable!("dangling JobRef executed")
-        }
-        JobRef {
-            this: std::ptr::null(),
-            execute_fn: never,
-        }
-    }
-
     #[inline]
     pub(crate) unsafe fn execute(self) {
         (self.execute_fn)(self.this)
@@ -60,41 +49,105 @@ impl JobRef {
     pub(crate) fn id(&self) -> *const () {
         self.this
     }
+
+    /// Decompose into two machine words so deque slots can store the job
+    /// in atomics (see `deque.rs`: thieves may read a slot that the owner
+    /// is concurrently reusing, which is only defined for atomic slots).
+    #[inline]
+    pub(crate) fn into_raw_parts(self) -> (usize, usize) {
+        (self.this as usize, self.execute_fn as usize)
+    }
+
+    /// # Safety
+    /// Both words must come from [`JobRef::into_raw_parts`] of a job that
+    /// is still live (the deque top/bottom protocol guarantees this for
+    /// any slot claimed by a successful CAS).
+    #[inline]
+    pub(crate) unsafe fn from_raw_parts(this: usize, exec: usize) -> JobRef {
+        JobRef {
+            this: this as *const (),
+            execute_fn: std::mem::transmute::<usize, unsafe fn(*const ())>(exec),
+        }
+    }
 }
 
-/// A set-once completion flag. Worker threads wait on it by stealing
-/// (see `Registry::wait_until`); external threads block on the condvar
-/// half. `set` is `Release`, `probe` is `Acquire`, so everything the job
-/// wrote (its result, a panic payload) is visible to the waiter.
+/// A set-once completion flag with exactly one waiter, whose kind is
+/// fixed at construction:
+///
+/// * **Spin** (the creator is a pool worker): the waiter polls [`probe`]
+///   while executing/stealing other jobs, parking on the *registry's*
+///   sleep state when idle (`Registry::wait_until`). The waiter may free
+///   the latch the instant the set flag becomes visible, so [`set`] on a
+///   spin latch is a single `Release` store and touches **nothing** on
+///   the latch afterwards — the wakeup goes through the registry
+///   (`tickle_workers`), whose memory outlives every job.
+/// * **Blocking** (the creator is an external thread): the waiter blocks
+///   in [`wait_blocking`] on the latch's own mutex/condvar, and [`set`]
+///   does flag-write + notify entirely under that mutex. The waiter can
+///   only observe completion while holding the mutex, so the setter has
+///   left its critical section (bar the final unlock, the standard
+///   condvar-destruction-safe pattern) before the latch can be freed.
+///
+/// Mixing the modes — probing a blocking latch, or blocking on a spin
+/// latch — would reintroduce the use-after-free; nothing in this crate
+/// does either.
+///
+/// `set` publishes with `Release` (or the mutex), `probe` reads with
+/// `Acquire`, so everything the job wrote (its result, a panic payload)
+/// is visible to the waiter.
+///
+/// [`probe`]: Latch::probe
+/// [`set`]: Latch::set
+/// [`wait_blocking`]: Latch::wait_blocking
 pub(crate) struct Latch {
+    /// Completion flag for spin latches; never written for blocking ones.
     set: AtomicBool,
+    blocking: bool,
     lock: Mutex<bool>,
     cv: Condvar,
 }
 
 impl Latch {
-    pub(crate) fn new() -> Latch {
+    pub(crate) fn new(blocking: bool) -> Latch {
         Latch {
             set: AtomicBool::new(false),
+            blocking,
             lock: Mutex::new(false),
             cv: Condvar::new(),
         }
     }
 
+    /// Spin-latch waiters only.
     #[inline]
     pub(crate) fn probe(&self) -> bool {
+        debug_assert!(!self.blocking, "probe() on a blocking latch");
         self.set.load(Ordering::Acquire)
     }
 
-    pub(crate) fn set(&self) {
-        self.set.store(true, Ordering::Release);
-        let mut done = self.lock.lock().unwrap();
-        *done = true;
-        self.cv.notify_all();
+    /// Signal completion. Returns `true` when the caller must follow up
+    /// with a registry tickle (`registry::tickle_workers`) because the
+    /// waiter may be parked on the registry — i.e. for spin latches.
+    ///
+    /// For a spin latch the `Release` store below is the **last** access
+    /// to this latch (and to the job containing it): the waiter is free
+    /// to pop the owning stack frame as soon as it observes the flag.
+    #[must_use]
+    pub(crate) fn set(&self) -> bool {
+        if self.blocking {
+            let mut done = self.lock.lock().unwrap();
+            *done = true;
+            self.cv.notify_all();
+            false
+        } else {
+            self.set.store(true, Ordering::Release);
+            true
+        }
     }
 
-    /// Block the calling (non-pool) thread until set.
+    /// Block the calling (non-pool) thread until set. Blocking-latch
+    /// waiters only.
     pub(crate) fn wait_blocking(&self) {
+        debug_assert!(self.blocking, "wait_blocking() on a spin latch");
         let mut done = self.lock.lock().unwrap();
         while !*done {
             done = self.cv.wait(done).unwrap();
@@ -133,7 +186,9 @@ where
             func: UnsafeCell::new(Some(func)),
             result: UnsafeCell::new(None),
             creator,
-            latch: Latch::new(),
+            // A worker creator waits by spinning/stealing (spin latch);
+            // an external creator (null) blocks on the latch condvar.
+            latch: Latch::new(creator.is_null()),
         }
     }
 
@@ -147,7 +202,13 @@ where
         let migrated = crate::registry::current_worker_id() != this.creator;
         let result = panic::catch_unwind(AssertUnwindSafe(|| func(migrated)));
         *this.result.get() = Some(result);
-        this.latch.set();
+        let needs_tickle = this.latch.set();
+        // For a spin latch the waiter may have freed the job (and this
+        // latch) the moment set() stored the flag — from here on touch
+        // only registry state, which outlives every job.
+        if needs_tickle {
+            crate::registry::tickle_workers();
+        }
     }
 
     /// Run the closure inline on the creating thread (the `join` fast

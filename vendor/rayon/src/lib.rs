@@ -177,7 +177,13 @@ impl<'scope, 'env> Scope<'scope, 'env> {
                 }
             }
             // Release-pairs with the Acquire poll in wait_while_pending.
-            scope.pending.fetch_sub(1, Ordering::Release);
+            // Once the owner observes zero it may free the scope, so on
+            // the last decrement wake a possibly-parked owner through
+            // the registry (which outlives the scope), touching nothing
+            // scope-owned afterwards.
+            if scope.pending.fetch_sub(1, Ordering::Release) == 1 {
+                registry::tickle_workers();
+            }
         };
         let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(task);
         // Erase 'scope: the counter wait above guarantees every borrow in
@@ -243,11 +249,25 @@ impl ThreadPool {
     /// Runs `f` on a worker of *this* pool, blocking until it returns.
     /// Nested `join`/`scope`/par-iter calls inside `f` schedule onto this
     /// pool (the enclosing worker's registry), not the global one.
+    ///
+    /// Called from a worker that already belongs to this pool, `f` runs
+    /// inline on that worker — blocking would wait on a job only the
+    /// blocked thread's pool-mates could run, which deadlocks a width-1
+    /// pool and wastes a worker otherwise.
     pub fn install<F, R>(&self, f: F) -> R
     where
         F: FnOnce() -> R + Send,
         R: Send,
     {
+        let worker = registry::WorkerThread::current();
+        if !worker.is_null()
+            && std::ptr::eq(
+                Arc::as_ptr(unsafe { (*worker).registry() }),
+                Arc::as_ptr(&self.registry),
+            )
+        {
+            return f();
+        }
         self.registry.in_worker_cold(|_| f())
     }
 
@@ -554,6 +574,64 @@ mod tests {
         // The pool survives a panicked job: it still runs new work.
         let ok = with_pool(2, || (0..100usize).into_par_iter().count());
         assert_eq!(ok, 100);
+    }
+
+    #[test]
+    fn install_reentrant_from_same_pool_runs_inline() {
+        // A worker of the pool calling install on its own pool must run
+        // inline; blocking would self-deadlock a width-1 pool.
+        let pool = crate::ThreadPool::new(1);
+        let r = pool.install(|| pool.install(|| 6 * 7));
+        assert_eq!(r, 42);
+        let pool = crate::ThreadPool::new(2);
+        let r = pool.install(|| pool.install(|| (0..100u64).into_par_iter().sum::<u64>()));
+        assert_eq!(r, 4950);
+    }
+
+    #[test]
+    fn install_across_pools_blocks_like_external() {
+        let p1 = crate::ThreadPool::new(2);
+        let p2 = crate::ThreadPool::new(2);
+        let r = p1.install(|| p2.install(|| 11 * 3));
+        assert_eq!(r, 33);
+    }
+
+    #[test]
+    fn join_waiter_parks_until_stolen_arm_completes() {
+        // `a` is slow enough that the idle sibling steals `b`; `b` then
+        // outlives `a`, so the owner runs dry, parks on the registry,
+        // and must be woken by the thief's completion tickle.
+        let (a, b) = with_pool(2, || {
+            crate::join(
+                || {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    1u32
+                },
+                || {
+                    std::thread::sleep(std::time::Duration::from_millis(60));
+                    2u32
+                },
+            )
+        });
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn scope_owner_parks_until_last_spawn_completes() {
+        let done = AtomicUsize::new(0);
+        let done_ref = &done;
+        with_pool(2, move || {
+            crate::scope(|s| {
+                s.spawn(move |_| {
+                    std::thread::sleep(std::time::Duration::from_millis(40));
+                    done_ref.fetch_add(1, Ordering::Relaxed);
+                });
+                // Give the sibling time to steal the spawn so the scope
+                // owner finds no local work and actually parks.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            });
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -21,10 +21,15 @@
 //!   so a job published concurrently with a worker falling asleep is
 //!   never lost.
 //! * A worker *waiting* for a latch (a stolen `join` arm, a scope's
-//!   spawn counter) does not park: it keeps executing and stealing other
-//!   jobs — this is what lets nested parallelism compose on a fixed
-//!   number of OS threads — and only spin-yields briefly when the whole
-//!   pool is saturated.
+//!   spawn counter) first keeps executing and stealing other jobs — this
+//!   is what lets nested parallelism compose on a fixed number of OS
+//!   threads. When it runs dry it parks on the same sleep state as idle
+//!   workers, so it is woken by job pushes like any other sleeper and by
+//!   the completion it waits for: finishing a stolen arm (or draining a
+//!   scope) ends with [`Registry::tickle_all`], which wakes every parked
+//!   worker to re-check its condition. The tickle touches only
+//!   registry-owned memory — by then the waiter may already have freed
+//!   the stack-pinned job whose latch was set.
 //!
 //! ## Counters
 //!
@@ -168,6 +173,30 @@ impl Registry {
         }
     }
 
+    /// Wake **every** parked worker so each re-checks its wake condition.
+    /// Called (via [`tickle_workers`]) after publishing a completion a
+    /// parked worker may be waiting on — a stolen arm's spin latch, a
+    /// scope counter reaching zero. Those completions live in job/stack
+    /// memory that may be freed as soon as the waiter observes them, so
+    /// the wakeup is routed through this registry (whose `Arc` every
+    /// worker keeps alive) instead of through the latch itself. The
+    /// `SeqCst` fence pairs with the one in [`WorkerThread::park_until`]:
+    /// either we observe the sleeper's registration here, or its
+    /// post-registration re-check observes the completion.
+    pub(crate) fn tickle_all(&self) {
+        fence(Ordering::SeqCst);
+        if self.sleepers_hint.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let mut c = self.sleep.lock().unwrap();
+        if c.sleepers > c.signals {
+            self.unparks
+                .fetch_add((c.sleepers - c.signals) as u64, Ordering::Relaxed);
+            c.signals = c.sleepers;
+            self.wake.notify_all();
+        }
+    }
+
     fn wake_all_for_terminate(&self) {
         let mut c = self.sleep.lock().unwrap();
         c.signals = c.sleepers;
@@ -184,13 +213,29 @@ impl Registry {
     }
 
     /// Run `f` on some worker of this registry, blocking the calling
-    /// external thread until it completes.
+    /// thread until it completes. The caller must not be a worker of
+    /// *this* registry — it would block on a job only it could run
+    /// (`ThreadPool::install` detects that case and runs `f` inline).
+    /// A worker of a *different* registry may call this; it blocks like
+    /// an external thread while the target pool makes progress.
     pub(crate) fn in_worker_cold<F, R>(&self, f: F) -> R
     where
         F: FnOnce(&WorkerThread) -> R + Send,
         R: Send,
     {
-        debug_assert!(WorkerThread::current().is_null());
+        debug_assert!(
+            {
+                let caller = WorkerThread::current();
+                caller.is_null()
+                    || !std::ptr::eq(
+                        Arc::as_ptr(unsafe { (*caller).registry() }),
+                        self as *const Registry,
+                    )
+            },
+            "in_worker_cold called from a worker of the same registry (self-deadlock)"
+        );
+        // Null creator => blocking latch: this thread waits on the
+        // latch's own condvar, not by spinning (see job.rs).
         let job = StackJob::new(std::ptr::null(), move |_migrated| {
             let worker = WorkerThread::current();
             debug_assert!(!worker.is_null());
@@ -341,11 +386,11 @@ impl WorkerThread {
         }
     }
 
-    /// Execute-and-steal until `latch` is set. Never parks: the latch is
-    /// set by a job some thread is actively running, so the wait is
-    /// bounded by real work; when the pool is saturated we yield (with a
-    /// micro-sleep fallback so a long-running partner doesn't spin a
-    /// whole core).
+    /// Execute-and-steal until `latch` is set. After a short spin/yield
+    /// phase the worker parks on the registry sleep state like an idle
+    /// worker — job pushes wake it through [`Registry::notify_job_pushed`]
+    /// and the latch setter wakes it through [`Registry::tickle_all`], so
+    /// there is no blind sleeping between polls.
     pub(crate) fn wait_until(&self, latch: &Latch) {
         let mut idle_rounds = 0u32;
         while !latch.probe() {
@@ -359,14 +404,15 @@ impl WorkerThread {
                 } else if idle_rounds < 64 {
                     std::thread::yield_now();
                 } else {
-                    std::thread::sleep(std::time::Duration::from_micros(50));
+                    self.park_until(|| latch.probe());
                 }
             }
         }
     }
 
     /// Like [`Self::wait_until`] but for a counter latch (scope pending
-    /// count) — waits until it reaches zero.
+    /// count) — waits until it reaches zero. The final decrement tickles
+    /// the registry (see `Scope::spawn`), which unparks this worker.
     pub(crate) fn wait_while_pending(&self, pending: &AtomicUsize) {
         let mut idle_rounds = 0u32;
         while pending.load(Ordering::Acquire) != 0 {
@@ -380,22 +426,34 @@ impl WorkerThread {
                 } else if idle_rounds < 64 {
                     std::thread::yield_now();
                 } else {
-                    std::thread::sleep(std::time::Duration::from_micros(50));
+                    self.park_until(|| pending.load(Ordering::Acquire) == 0);
                 }
             }
         }
     }
 
-    /// Park until new work is signalled. The `sleepers_hint` increment
-    /// (SeqCst) *before* the final recheck pairs with the fence in
-    /// [`Registry::notify_job_pushed`].
-    fn park(&self) {
+    /// Park until new work (or a tickled completion) is signalled.
+    /// `done` is the caller's wake condition beyond "work available" — a
+    /// latch probe or a drained scope counter; idle workers pass
+    /// `|| false`.
+    ///
+    /// Dekker protocol, both directions: the sleeper registers in
+    /// `sleepers_hint` (SeqCst) and only then re-checks `done`, the
+    /// queues, and termination across a `SeqCst` fence; publishers
+    /// (deque/injector push, latch store, scope decrement) publish first
+    /// and then check `sleepers_hint` across their own `SeqCst` fence
+    /// ([`Registry::notify_job_pushed`], [`Registry::tickle_all`]).
+    /// Whichever order the fences take, either the publisher sees the
+    /// sleeper and signals it, or the sleeper's re-check sees the
+    /// publication and never parks.
+    fn park_until(&self, done: impl Fn() -> bool) {
         let registry = &*self.registry;
         let mut c = registry.sleep.lock().unwrap();
         c.sleepers += 1;
         registry.sleepers_hint.fetch_add(1, Ordering::SeqCst);
-        // Final recheck with sleeper registration visible to pushers.
-        if registry.has_any_work() || registry.terminate.load(Ordering::SeqCst) {
+        fence(Ordering::SeqCst);
+        // Final recheck with sleeper registration visible to publishers.
+        if done() || registry.has_any_work() || registry.terminate.load(Ordering::SeqCst) {
             c.sleepers -= 1;
             registry.sleepers_hint.fetch_sub(1, Ordering::SeqCst);
             return;
@@ -438,7 +496,7 @@ fn worker_main(registry: Arc<Registry>, index: usize) {
         if worker.registry.terminate.load(Ordering::SeqCst) {
             break;
         }
-        worker.park();
+        worker.park_until(|| false);
     }
     WORKER.with(|w| w.set(std::ptr::null()));
 }
@@ -483,6 +541,18 @@ pub(crate) fn push_or_inject(job: JobRef) {
         unsafe { (*worker).push(job) };
     } else {
         global_registry().inject(job);
+    }
+}
+
+/// Tickle the current worker's registry (no-op off-pool): wakes every
+/// parked worker to re-check its wait condition. Call after publishing a
+/// completion that lives outside the registry — a spin latch's set flag,
+/// a scope counter hitting zero — since the waiter parked on the registry
+/// cannot be woken through memory it may free on observing the event.
+pub(crate) fn tickle_workers() {
+    let worker = WorkerThread::current();
+    if !worker.is_null() {
+        unsafe { (*worker).registry().tickle_all() };
     }
 }
 
