@@ -59,8 +59,7 @@ pub mod solver;
 pub mod theory;
 pub mod warm;
 
-#[cfg(test)]
-pub(crate) mod testutil;
+pub mod testutil;
 
 pub use advertiser::{Advertiser, AdvertiserSet};
 pub use allocation::Allocation;

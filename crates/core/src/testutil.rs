@@ -1,7 +1,9 @@
-//! Shared test fixtures for the core crate (compiled only under
-//! `cfg(test)`). Deduplicates the disjoint-coverage model builder and the
-//! paper's Example 1 data that were previously copy-pasted into every
-//! algorithm module's test block.
+//! Shared test fixtures. Deduplicates the disjoint-coverage model
+//! builder and the paper's Example 1 data that were previously
+//! copy-pasted into every algorithm module's test block. The
+//! disjoint-model builder is `pub` (not just crate-visible) because the
+//! serve/wal crash-recovery tests lean on the same trick: disjoint
+//! coverage makes expected ledgers computable by plain addition.
 
 use crate::advertiser::{Advertiser, AdvertiserSet};
 use mroam_data::BillboardId;
@@ -10,7 +12,7 @@ use mroam_influence::CoverageModel;
 /// Disjoint-coverage model with the given individual influences: billboard
 /// `k` covers its own private block of `influences[k]` trajectories, so
 /// `I(S)` is plain addition.
-pub(crate) fn disjoint_model(influences: &[u32]) -> CoverageModel {
+pub fn disjoint_model(influences: &[u32]) -> CoverageModel {
     let mut lists = Vec::new();
     let mut next = 0u32;
     for &k in influences {
@@ -21,25 +23,25 @@ pub(crate) fn disjoint_model(influences: &[u32]) -> CoverageModel {
 }
 
 /// Shorthand for billboard-id vectors in assertions.
-pub(crate) fn ids(v: &[u32]) -> Vec<BillboardId> {
+pub fn ids(v: &[u32]) -> Vec<BillboardId> {
     v.iter().map(|&i| BillboardId(i)).collect()
 }
 
 /// Example 1 of the paper as introduced in the prose: influences
 /// 2, 6, 7, 7, 1, 1 over disjoint trajectory sets.
-pub(crate) fn example1_model() -> CoverageModel {
+pub fn example1_model() -> CoverageModel {
     disjoint_model(&[2, 6, 7, 7, 1, 1])
 }
 
 /// Example 1 with the actual Table 1 influences 2, 6, 3, 7, 1, 1 (the o3
 /// column reads 3; see the discussion in the allocation tests).
-pub(crate) fn example1_table1_model() -> CoverageModel {
+pub fn example1_table1_model() -> CoverageModel {
     disjoint_model(&[2, 6, 3, 7, 1, 1])
 }
 
 /// The Example 1 contracts (Table 2): `(demand, payment)` = (5, $10),
 /// (7, $11), (8, $20).
-pub(crate) fn example1_advertisers() -> AdvertiserSet {
+pub fn example1_advertisers() -> AdvertiserSet {
     AdvertiserSet::new(vec![
         Advertiser::new(5, 10.0),
         Advertiser::new(7, 11.0),

@@ -41,6 +41,19 @@
 //! mroam cache-smoke [--path /tmp/smoke.cov]
 //!     Self-test for the fingerprinted model cache: build a tiny model,
 //!     save it, reload it, and verify the round trip is identical.
+//!
+//! mroam wal-replay --dir WALDIR [--inspect 1] [--verify 1]
+//!     Offline tooling for a `mroam-served --wal-dir` directory. The
+//!     default replays the log (newest valid snapshot + suffix) and
+//!     prints the recovered day, epoch, collected, and regret. With
+//!     --inspect 1, only lists segments, snapshots, and a record-kind
+//!     histogram — no replay. With --verify 1, replays independently
+//!     from *every* decodable snapshot on disk and requires all of them
+//!     to converge on a bit-identical ledger; exits nonzero otherwise.
+//!
+//! mroam stats --wal WALDIR
+//!     Shortcut for the same segment/snapshot listing (`stats` keeps its
+//!     dataset mode when --wal is absent).
 //! ```
 
 use mroam_core::prelude::*;
@@ -58,7 +71,9 @@ use std::process::exit;
 fn main() {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() {
-        eprintln!("usage: mroam <solve|stats|coverage|gen|cache-smoke> [--key value ...]");
+        eprintln!(
+            "usage: mroam <solve|stats|coverage|gen|cache-smoke|wal-replay> [--key value ...]"
+        );
         exit(2);
     }
     let command = raw.remove(0);
@@ -69,8 +84,11 @@ fn main() {
         "coverage" => cmd_coverage(&args),
         "gen" => cmd_gen(&args),
         "cache-smoke" => cmd_cache_smoke(&args),
+        "wal-replay" => cmd_wal_replay(&args),
         other => {
-            eprintln!("unknown command {other:?}; expected solve|stats|coverage|gen|cache-smoke");
+            eprintln!(
+                "unknown command {other:?}; expected solve|stats|coverage|gen|cache-smoke|wal-replay"
+            );
             exit(2);
         }
     }
@@ -201,6 +219,12 @@ fn cmd_solve(args: &Args) {
 }
 
 fn cmd_stats(args: &Args) {
+    // `stats --wal DIR` is the durability inspection mode: no dataset
+    // needed, just the log directory.
+    if let Some(dir) = args.get("wal") {
+        print_wal_inspection(Path::new(dir));
+        return;
+    }
     let billboards = csv::read_billboards(File::open(required(args, "billboards")).expect("open"))
         .expect("parse");
     let trajectories =
@@ -413,4 +437,170 @@ fn cmd_gen(args: &Args) {
          {t_path} (peak rss {peak})",
         kind.label(),
     );
+}
+
+/// `mroam stats --wal` / `mroam wal-replay --inspect 1`: the physical
+/// state of a WAL directory — segments, seq range, record kinds, and
+/// every snapshot's health — without replaying anything.
+fn print_wal_inspection(dir: &Path) {
+    let reader = mroam_wal::WalReader::open(dir).unwrap_or_else(|e| {
+        eprintln!("cannot read WAL in {}: {e}", dir.display());
+        exit(1);
+    });
+    println!("wal {}:", dir.display());
+    for seg in &reader.segments {
+        println!(
+            "  segment {:>24} start seq {:<8} {:>6} records {:>9} bytes{}",
+            seg.path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+            seg.start_seq,
+            seg.records,
+            seg.valid_bytes,
+            if seg.torn_bytes > 0 {
+                format!("  ({} torn)", seg.torn_bytes)
+            } else {
+                String::new()
+            }
+        );
+    }
+    println!(
+        "  seqs {}..={} ({} records)",
+        reader.first_seq(),
+        reader.last_seq(),
+        reader.len()
+    );
+    match reader.records_after(0) {
+        Ok(records) => {
+            let mut kinds: Vec<(&'static str, usize)> = Vec::new();
+            for (_, r) in &records {
+                let k = r.kind();
+                match kinds.iter_mut().find(|(n, _)| *n == k) {
+                    Some((_, c)) => *c += 1,
+                    None => kinds.push((k, 1)),
+                }
+            }
+            for (k, c) in kinds {
+                println!("  records {k:<14} {c}");
+            }
+        }
+        Err(e) => println!("  (records undecodable: {e})"),
+    }
+    match mroam_wal::state::list_snapshots(dir) {
+        Ok(snaps) if snaps.is_empty() => println!("  no snapshots"),
+        Ok(snaps) => {
+            for (seq, path) in snaps {
+                let status = mroam_wal::state::read_snapshot_file(&path)
+                    .and_then(|doc| mroam_wal::state::decode(&doc))
+                    .map(|r| {
+                        format!(
+                            "ok: day {}, {} billboards{}",
+                            r.seed.day,
+                            r.model.n_billboards(),
+                            r.stream
+                                .as_ref()
+                                .map_or(String::new(), |s| format!(", epoch {}", s.epoch))
+                        )
+                    })
+                    .unwrap_or_else(|e| format!("BAD: {e}"));
+                println!("  snapshot seq {seq:<8} {status}");
+            }
+        }
+        Err(e) => println!("  (snapshots unreadable: {e})"),
+    }
+}
+
+fn cmd_wal_replay(args: &Args) {
+    let dir = required(args, "dir");
+    let dir = Path::new(&dir);
+    if args.flag("inspect") {
+        print_wal_inspection(dir);
+        return;
+    }
+    let start = std::time::Instant::now();
+    let (world, report) = mroam_wal::recover(dir).unwrap_or_else(|e| {
+        eprintln!("replay failed: {e}");
+        exit(1);
+    });
+    println!(
+        "replayed {} records from snapshot seq {} (log head seq {}) in {:.1?}",
+        report.replayed,
+        report.snapshot_seq,
+        report.last_seq,
+        start.elapsed()
+    );
+    for (seq, reason) in &report.skipped_snapshots {
+        println!("  skipped snapshot {seq}: {reason}");
+    }
+    if report.torn_tail_bytes > 0 {
+        println!("  torn tail: {} bytes discarded", report.torn_tail_bytes);
+    }
+    println!(
+        "state: day {}, epoch {}, collected {:.3}, regret {:.3}",
+        world.day(),
+        world.epoch(),
+        world.ledger().total_collected(),
+        world.ledger().total_regret()
+    );
+    if args.flag("verify") {
+        verify_bit_identity(dir, &world);
+    }
+}
+
+/// `wal-replay --verify 1`: replays the log independently from *every*
+/// decodable snapshot on disk; recovery is only trusted if all bases
+/// converge on the same day and a bit-identical ledger. Exits nonzero
+/// on any divergence.
+fn verify_bit_identity(dir: &Path, primary: &mroam_wal::ReplayWorld) {
+    let reader = mroam_wal::WalReader::open(dir).unwrap_or_else(|e| {
+        eprintln!("verify: cannot reopen log: {e}");
+        exit(1);
+    });
+    let snaps = mroam_wal::state::list_snapshots(dir).unwrap_or_else(|e| {
+        eprintln!("verify: cannot list snapshots: {e}");
+        exit(1);
+    });
+    let mut checked = 0usize;
+    let mut failures = 0usize;
+    for (seq, path) in snaps {
+        let restored = match mroam_wal::state::read_snapshot_file(&path)
+            .and_then(|doc| mroam_wal::state::decode(&doc))
+        {
+            Ok(r) => r,
+            Err(e) => {
+                println!("verify: snapshot {seq} undecodable ({e}); skipped");
+                continue;
+            }
+        };
+        let mut world = mroam_wal::ReplayWorld::from_restored(restored);
+        let records = reader.records_after(seq).unwrap_or_else(|e| {
+            eprintln!("verify: records after {seq} undecodable: {e}");
+            exit(1);
+        });
+        for (s, record) in &records {
+            if let Err(e) = world.apply(*s, record) {
+                eprintln!("verify: replay from snapshot {seq} refused record {s}: {e}");
+                exit(1);
+            }
+        }
+        let identical = world.day() == primary.day()
+            && world.epoch() == primary.epoch()
+            && world.ledger().days == primary.ledger().days;
+        println!(
+            "verify: from snapshot {seq}: +{} records -> day {} [{}]",
+            records.len(),
+            world.day(),
+            if identical { "identical" } else { "MISMATCH" }
+        );
+        checked += 1;
+        if !identical {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("verify: FAILED — {failures}/{checked} snapshot bases diverged");
+        exit(1);
+    }
+    println!("verify: OK — {checked} snapshot base(s) converge bit-identically");
 }

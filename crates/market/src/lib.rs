@@ -18,11 +18,13 @@
 //! The simulation lets a host compare deployment strategies on the metric
 //! it actually banks: cumulative collected revenue, not one-shot regret.
 
+pub mod host;
 pub mod json;
 pub mod ledger;
 pub mod proposal;
 pub mod sim;
 
+pub use host::{Host, HostConfig, HostSeed};
 pub use ledger::{DayRecord, Ledger};
 pub use proposal::{Proposal, ProposalGenerator};
 pub use sim::{DayOutcome, LockState, MarketConfig, MarketSim, ProposalOutcome};

@@ -273,17 +273,7 @@ impl<'a> MarketSim<'a> {
 mod tests {
     use super::*;
     use mroam_core::prelude::*;
-
-    /// Disjoint-coverage model with the given individual influences.
-    fn disjoint_model(influences: &[u32]) -> CoverageModel {
-        let mut lists = Vec::new();
-        let mut next = 0u32;
-        for &k in influences {
-            lists.push((next..next + k).collect::<Vec<u32>>());
-            next += k;
-        }
-        CoverageModel::from_lists(lists, next as usize)
-    }
+    use mroam_core::testutil::disjoint_model;
 
     fn generator(supply: u64) -> ProposalGenerator {
         ProposalGenerator {

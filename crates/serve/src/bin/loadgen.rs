@@ -13,10 +13,17 @@
 //!         [--scale test|bench|paper] [--algo g-global] [--gamma 0.5]
 //!         [--p-avg 0.05] [--max-batch 64] [--max-wait-ms 20]
 //!         [--model-cache path/to/model.cov]
+//!         [--addr HOST:PORT] [--supply N] [--shutdown true]
 //! ```
 //!
 //! `--model-cache` reuses a fingerprinted coverage-model file across
 //! runs, so repeated load tests skip the cold-start model build.
+//!
+//! With `--addr`, loadgen targets an already-running `mroam-served`
+//! instead of spawning one: no city build, demand sized from `--supply`
+//! (default 1000), and the server is left running afterwards unless
+//! `--shutdown true`. This is how the crash-recovery smoke drives a
+//! WAL-enabled daemon across a kill and restart.
 //!
 //! Prints throughput and client-observed p50/p95/p99, cross-checked
 //! against the server's own histogram, and exits nonzero if the run is
@@ -60,51 +67,61 @@ fn main() {
     assert!(n >= 1, "--requests must be at least 1");
     assert!(rps > 0.0, "--rps must be positive");
 
-    // Build the dataset and spawn the server on an ephemeral port.
-    let city = build_city(args.city(CityKind::Nyc), scale);
-    let lambda = mroam_experiments::params::DEFAULT_LAMBDA;
-    let model = match args.get("model-cache") {
-        Some(path) => {
-            let start = Instant::now();
-            let (model, status) = cache::load_or_build(
-                &city.billboards,
-                &city.trajectories,
-                lambda,
-                std::path::Path::new(path),
-            );
-            println!(
-                "model {} {path} in {:.1?}",
-                match status {
-                    cache::CacheStatus::Hit => "loaded from cache",
-                    cache::CacheStatus::Rebuilt => "built and cached to",
-                },
-                start.elapsed()
-            );
-            model
-        }
-        None => city.coverage(lambda),
+    // Target: an external server (`--addr`), or build the dataset and
+    // spawn one in-process on an ephemeral port.
+    let (addr, supply, handle, target) = if let Some(a) = args.get("addr") {
+        let addr: std::net::SocketAddr = a.parse().unwrap_or_else(|_| {
+            eprintln!("bad --addr {a:?}: expected HOST:PORT");
+            exit(2);
+        });
+        let supply = args.usize_or("supply", 1000) as u64;
+        (addr, supply, None, "external server".to_string())
+    } else {
+        let city = build_city(args.city(CityKind::Nyc), scale);
+        let lambda = mroam_experiments::params::DEFAULT_LAMBDA;
+        let model = match args.get("model-cache") {
+            Some(path) => {
+                let start = Instant::now();
+                let (model, status) = cache::load_or_build(
+                    &city.billboards,
+                    &city.trajectories,
+                    lambda,
+                    std::path::Path::new(path),
+                );
+                println!(
+                    "model {} {path} in {:.1?}",
+                    match status {
+                        cache::CacheStatus::Hit => "loaded from cache",
+                        cache::CacheStatus::Rebuilt => "built and cached to",
+                    },
+                    start.elapsed()
+                );
+                model
+            }
+            None => city.coverage(lambda),
+        };
+        let supply = model.supply();
+        let config = ServeConfig {
+            host: HostConfig {
+                gamma: args.f64_or("gamma", 0.5),
+                solver,
+            },
+            batch: BatchPolicy {
+                max_batch: args.usize_or("max-batch", 64),
+                max_wait_nanos: (args.f64_or("max-wait-ms", 20.0) * 1e6) as u64,
+                ..BatchPolicy::default()
+            },
+            ..ServeConfig::default()
+        };
+        let handle = spawn(model, None, config, "127.0.0.1:0").unwrap_or_else(|e| {
+            eprintln!("cannot spawn server: {e}");
+            exit(1);
+        });
+        let target = format!("{}/{scale:?}", city.name);
+        (handle.addr(), supply, Some(handle), target)
     };
-    let supply = model.supply();
-    let config = ServeConfig {
-        host: HostConfig {
-            gamma: args.f64_or("gamma", 0.5),
-            solver,
-        },
-        batch: BatchPolicy {
-            max_batch: args.usize_or("max-batch", 64),
-            max_wait_nanos: (args.f64_or("max-wait-ms", 20.0) * 1e6) as u64,
-            ..BatchPolicy::default()
-        },
-        ..ServeConfig::default()
-    };
-    let handle = spawn(model, None, config, "127.0.0.1:0").unwrap_or_else(|e| {
-        eprintln!("cannot spawn server: {e}");
-        exit(1);
-    });
-    let addr = handle.addr();
     println!(
-        "loadgen: {n} submits @ ~{rps} rps against {} ({}/{:?}, algo {algo}, seed {seed})",
-        addr, city.name, scale
+        "loadgen: {n} submits @ ~{rps} rps against {addr} ({target}, algo {algo}, seed {seed})"
     );
 
     // Draw the whole workload up front from the seed: proposals and the
@@ -191,20 +208,26 @@ fn main() {
     let elapsed = started.elapsed();
     sender.join().expect("sender thread");
 
-    // Control connection: pull the server's own view, then stop it.
+    // Control connection: pull the server's own view, then stop it —
+    // except in `--addr` mode, where the server outlives the run unless
+    // `--shutdown true` asks otherwise.
     let mut control = Client::connect(addr).expect("connect control stream");
     let stats = control
         .call(&Request::Stats { id: n as u64 })
         .expect("stats call");
-    let bye = control
-        .call(&Request::Shutdown { id: n as u64 + 1 })
-        .expect("shutdown call");
-    assert_eq!(
-        bye["type"].as_str(),
-        Some("bye"),
-        "shutdown not acknowledged"
-    );
-    handle.join();
+    if handle.is_some() || args.get("shutdown") == Some("true") {
+        let bye = control
+            .call(&Request::Shutdown { id: n as u64 + 1 })
+            .expect("shutdown call");
+        assert_eq!(
+            bye["type"].as_str(),
+            Some("bye"),
+            "shutdown not acknowledged"
+        );
+    }
+    if let Some(handle) = handle {
+        handle.join();
+    }
 
     let p = latency.percentiles();
     let w = wait.percentiles();
@@ -254,11 +277,13 @@ fn main() {
             p.p50, p.p95, p.p99
         ));
     }
-    if s["submits"].as_f64() != Some(n as f64) {
-        failures.push(format!(
-            "server saw {} submits, expected {n}",
-            s["submits"].as_f64().unwrap_or(-1.0)
-        ));
+    // An external server may carry submits from earlier runs (the
+    // crash-recovery smoke restarts it mid-traffic), so `--addr` mode
+    // only requires that our own submits were counted.
+    let seen = s["submits"].as_f64().unwrap_or(-1.0);
+    let external = args.get("addr").is_some();
+    if (external && seen < n as f64) || (!external && seen != n as f64) {
+        failures.push(format!("server saw {seen} submits, expected {n}"));
     }
     if !failures.is_empty() {
         for f in &failures {

@@ -9,8 +9,18 @@
 //!              [--restarts N] [--max-batch N] [--min-wait-ms F] [--max-wait-ms F]
 //!              [--fixed-window true] [--restore path/to/snapshot.json]
 //!              [--model-cache path/to/model.cov] [--static true]
-//!              [--ingest-queue N]
+//!              [--ingest-queue N] [--wal-dir DIR] [--wal-sync record|batch|interval:MS]
+//!              [--wal-segment-kb N] [--snapshot-every N]
 //! ```
+//!
+//! `--wal-dir` turns on durable write-ahead logging: every served day,
+//! ingest, and compaction is logged (and fsynced per `--wal-sync`,
+//! default `batch`) *before* it applies, and a checksummed snapshot is
+//! written every `--snapshot-every` days (default 8). If the directory
+//! already holds a log, the daemon **recovers** from it — newest valid
+//! snapshot plus WAL suffix replay — and the city/solver flags are
+//! ignored in favour of the logged configuration (`--restore` too: the
+//! WAL is the fresher history).
 //!
 //! `--model-cache` skips the coverage-model build on restart when the
 //! cache file's fingerprint still matches the generated city (ignored
@@ -34,10 +44,12 @@ use mroam_experiments::cache;
 use mroam_experiments::setup::{build_city, CityKind};
 use mroam_serve::batch::BatchPolicy;
 use mroam_serve::host::HostConfig;
-use mroam_serve::server::{spawn, spawn_streaming, ServeConfig, ServerHandle};
+use mroam_serve::server::{spawn, spawn_streaming, ServeConfig, ServerHandle, WalConfig};
 use mroam_serve::snapshot;
 use mroam_stream::StreamEngine;
+use mroam_wal::{ReplayedState, SyncPolicy};
 use std::io;
+use std::path::PathBuf;
 use std::process::exit;
 use std::sync::Arc;
 
@@ -52,8 +64,67 @@ fn main() {
     };
     let want_static = args.get("static") == Some("true");
     let ingest_queue = args.usize_or("ingest-queue", 16);
+    let wal = args.get("wal-dir").map(|dir| {
+        let mut config = WalConfig::new(PathBuf::from(dir));
+        if let Some(s) = args.get("wal-sync") {
+            config.options.sync = SyncPolicy::parse(s).unwrap_or_else(|| {
+                eprintln!("bad --wal-sync {s:?}: expected record|batch|interval:<ms>");
+                exit(2);
+            });
+        }
+        if let Some(kb) = args.get("wal-segment-kb") {
+            let kb: u64 = kb.parse().unwrap_or_else(|_| {
+                eprintln!("bad --wal-segment-kb {kb:?}: expected a size in KiB");
+                exit(2);
+            });
+            config.options.segment_bytes = kb.max(1) * 1024;
+        }
+        config.snapshot_every = args.usize_or("snapshot-every", 8).max(1) as u32;
+        config
+    });
+    // A WAL directory that already holds a snapshot is an existing
+    // history: recover from it (and keep logging to it).
+    let recoverable = wal.as_ref().filter(|wc| {
+        snapshot::list_snapshots(&wc.dir)
+            .map(|s| !s.is_empty())
+            .unwrap_or(false)
+    });
 
-    let handle: io::Result<ServerHandle> = if let Some(path) = args.get("restore") {
+    let handle: io::Result<ServerHandle> = if let Some(wc) = recoverable {
+        let (world, report) = mroam_wal::recover(&wc.dir).unwrap_or_else(|e| {
+            eprintln!("wal recovery failed in {:?}: {e}", wc.dir);
+            exit(2);
+        });
+        eprintln!(
+            "wal recovery: snapshot seq {} + {} replayed records -> day {}, epoch {}{}",
+            report.snapshot_seq,
+            report.replayed,
+            report.day,
+            report.epoch,
+            if report.torn_tail_bytes > 0 {
+                format!(" ({} torn tail bytes discarded)", report.torn_tail_bytes)
+            } else {
+                String::new()
+            }
+        );
+        for (seq, reason) in &report.skipped_snapshots {
+            eprintln!("wal recovery: skipped snapshot {seq}: {reason}");
+        }
+        let (host, seed, state) = world.into_parts();
+        let config = ServeConfig {
+            host,
+            batch,
+            ingest_queue,
+            wal: wal.clone(),
+        };
+        match state {
+            ReplayedState::Static(m) => {
+                let model = Arc::try_unwrap(m).unwrap_or_else(|a| (*a).clone());
+                spawn(model, Some(seed), config, &addr)
+            }
+            ReplayedState::Streaming(engine) => spawn_streaming(*engine, Some(seed), config, &addr),
+        }
+    } else if let Some(path) = args.get("restore") {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read snapshot {path:?}: {e}");
             exit(2);
@@ -72,6 +143,7 @@ fn main() {
             host: restored.config,
             batch,
             ingest_queue,
+            wal: wal.clone(),
         };
         match restored.stream {
             Some(stream) if !want_static => {
@@ -147,6 +219,7 @@ fn main() {
             host,
             batch,
             ingest_queue,
+            wal: wal.clone(),
         };
         if want_static {
             spawn(model, None, config, &addr)

@@ -30,18 +30,13 @@
 //! derived from arc length at [`DEFAULT_INGEST_SPEED_MPS`].
 
 use crate::histogram::Percentiles;
-use mroam_geo::Point;
 use mroam_market::json::{self, DecodeError};
 use mroam_market::{DayRecord, Proposal, ProposalOutcome};
-use mroam_stream::{
-    BillboardEvent, CompactionReport, EpochStats, IngestBatch, IngestReport, TrajectoryDelta,
-};
+use mroam_stream::{CompactionReport, EpochStats, IngestBatch, IngestReport};
 use serde::Serialize;
 use serde_json::Value;
 
-/// Speed used to derive timestamps for ingested trajectories that omit
-/// them, matching the datagen default.
-pub const DEFAULT_INGEST_SPEED_MPS: f64 = 10.0;
+pub use mroam_stream::json::DEFAULT_INGEST_SPEED_MPS;
 
 /// A decoded client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -147,39 +142,8 @@ impl Request {
             Request::Stats { id } => format!("{{\"type\":\"stats\",\"id\":{id}}}"),
             Request::Snapshot { id } => format!("{{\"type\":\"snapshot\",\"id\":{id}}}"),
             Request::Ingest { id, batch } => {
-                let mut out = format!("{{\"type\":\"ingest\",\"id\":{id},\"trajectories\":[");
-                for (i, t) in batch.trajectories.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push_str("{\"points\":");
-                    out.push_str(&encode_points(t.points.iter()));
-                    out.push_str(",\"timestamps\":[");
-                    for (j, ts) in t.timestamps.iter().enumerate() {
-                        if j > 0 {
-                            out.push(',');
-                        }
-                        out.push_str(&format!("{ts}"));
-                    }
-                    out.push_str("]}");
-                }
-                out.push_str("],\"add_billboards\":");
-                out.push_str(&encode_points(batch.billboard_events.iter().filter_map(
-                    |e| match e {
-                        BillboardEvent::Add { location } => Some(location),
-                        BillboardEvent::Retire { .. } => None,
-                    },
-                )));
-                let retires: Vec<u32> = batch
-                    .billboard_events
-                    .iter()
-                    .filter_map(|e| match e {
-                        BillboardEvent::Retire { id } => Some(*id),
-                        BillboardEvent::Add { .. } => None,
-                    })
-                    .collect();
-                out.push_str(",\"retire_billboards\":");
-                out.push_str(&serde_json::to_string(&retires).expect("stub never fails"));
+                let mut out = format!("{{\"type\":\"ingest\",\"id\":{id},");
+                mroam_stream::json::encode_ingest_batch_fields(batch, &mut out);
                 out.push('}');
                 out
             }
@@ -190,99 +154,13 @@ impl Request {
     }
 }
 
-/// Encodes points as a `[[x,y],...]` JSON array.
-fn encode_points<'a, I: Iterator<Item = &'a Point>>(points: I) -> String {
-    let mut out = String::from("[");
-    for (i, p) in points.enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!("[{},{}]", p.x, p.y));
-    }
-    out.push(']');
-    out
-}
-
-/// Parses a `[[x,y],...]` array field into points. A missing field reads
-/// as empty.
-fn decode_points(v: &Value, field: &str) -> Result<Vec<Point>, DecodeError> {
-    match &v[field] {
-        Value::Null => Ok(Vec::new()),
-        Value::Array(items) => items
-            .iter()
-            .map(|item| {
-                let (Some(x), Some(y)) = (item[0].as_f64(), item[1].as_f64()) else {
-                    return Err(DecodeError {
-                        field: format!("{field}[]"),
-                        expected: "[x, y] metre pair",
-                    });
-                };
-                Ok(Point::new(x, y))
-            })
-            .collect(),
-        _ => Err(DecodeError {
-            field: field.into(),
-            expected: "array of [x, y] pairs",
-        }),
-    }
-}
-
 /// Decodes the streaming fields of an `ingest` request into an
-/// [`IngestBatch`]: adds first, then retires, then trajectories.
+/// [`IngestBatch`] via the shared stream codec (the same codec decodes
+/// WAL `ingest` payloads, so the wire and the log can't drift).
 fn decode_ingest_batch(v: &Value) -> Result<IngestBatch, DecodeError> {
-    let mut billboard_events: Vec<BillboardEvent> = decode_points(v, "add_billboards")?
-        .into_iter()
-        .map(|location| BillboardEvent::Add { location })
-        .collect();
-    if let Value::Array(ids) = &v["retire_billboards"] {
-        for item in ids {
-            match item.as_f64() {
-                Some(n) if n >= 0.0 && n.fract() == 0.0 && n <= u32::MAX as f64 => {
-                    billboard_events.push(BillboardEvent::Retire { id: n as u32 });
-                }
-                _ => {
-                    return Err(DecodeError {
-                        field: "retire_billboards[]".into(),
-                        expected: "billboard id",
-                    })
-                }
-            }
-        }
-    }
-    let mut trajectories = Vec::new();
-    if let Value::Array(items) = &v["trajectories"] {
-        for (i, item) in items.iter().enumerate() {
-            let points = decode_points(item, "points").map_err(|e| DecodeError {
-                field: format!("trajectories[{i}].{}", e.field),
-                expected: e.expected,
-            })?;
-            let delta = match &item["timestamps"] {
-                Value::Null => TrajectoryDelta::at_speed(points, DEFAULT_INGEST_SPEED_MPS),
-                Value::Array(ts) => {
-                    let timestamps = ts
-                        .iter()
-                        .map(|t| {
-                            t.as_f64().map(|n| n as f32).ok_or(DecodeError {
-                                field: format!("trajectories[{i}].timestamps[]"),
-                                expected: "seconds from trip start",
-                            })
-                        })
-                        .collect::<Result<_, _>>()?;
-                    TrajectoryDelta { points, timestamps }
-                }
-                _ => {
-                    return Err(DecodeError {
-                        field: format!("trajectories[{i}].timestamps"),
-                        expected: "array of seconds",
-                    })
-                }
-            };
-            trajectories.push(delta);
-        }
-    }
-    Ok(IngestBatch {
-        billboard_events,
-        trajectories,
+    mroam_stream::json::decode_ingest_batch(v).map_err(|e| DecodeError {
+        field: e.field,
+        expected: e.expected,
     })
 }
 
@@ -325,6 +203,22 @@ pub struct StatsReport {
     pub snapshot_epoch: u64,
     /// Ingest batches parked behind the open solve batch.
     pub ingest_pending: u64,
+    /// WAL: segment files on disk (all `wal_*` fields read 0 when the
+    /// server runs without `--wal-dir`).
+    pub wal_segments: u64,
+    /// WAL: records appended since this process opened the log.
+    pub wal_records: u64,
+    /// WAL: frame bytes appended since open.
+    pub wal_bytes: u64,
+    /// WAL: fsyncs since open.
+    pub wal_fsyncs: u64,
+    /// WAL: microseconds since the last fsync.
+    pub wal_last_sync_age_micros: u64,
+    /// WAL: next sequence number to be assigned.
+    pub wal_next_seq: u64,
+    /// WAL: the replay watermark — sequence of the last durable
+    /// snapshot (recovery replays strictly after it).
+    pub wal_snapshot_seq: u64,
 }
 
 /// A server response, ready to encode.
@@ -458,6 +352,8 @@ impl Response {
 mod tests {
     use super::*;
     use mroam_data::BillboardId;
+    use mroam_geo::Point;
+    use mroam_stream::{BillboardEvent, TrajectoryDelta};
 
     #[test]
     fn request_encode_decode_roundtrip() {

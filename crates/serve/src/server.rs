@@ -45,14 +45,42 @@ use crate::snapshot;
 use mroam_influence::CoverageModel;
 use mroam_market::{DayRecord, Proposal};
 use mroam_stream::{IngestBatch, StreamEngine};
+use mroam_wal::{WalOptions, WalRecord, WalWriter};
 use std::collections::VecDeque;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Write-ahead logging configuration. `None` in [`ServeConfig`] means
+/// the server keeps no durable log (the pre-WAL behaviour).
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding `wal-*.seg` segments and `snap-*.snap`
+    /// snapshots. Created if missing.
+    pub dir: PathBuf,
+    /// Fsync policy and segment rotation size.
+    pub options: WalOptions,
+    /// Write a durable snapshot every this many served days (≥ 1).
+    /// Snapshots bound replay time and let old segments be pruned.
+    pub snapshot_every: u32,
+}
+
+impl WalConfig {
+    /// Defaults (per-batch fsync, 4 MiB segments, snapshot every 8
+    /// days) for the given directory.
+    pub fn new(dir: PathBuf) -> Self {
+        Self {
+            dir,
+            options: WalOptions::default(),
+            snapshot_every: 8,
+        }
+    }
+}
 
 /// Full server configuration.
 #[derive(Debug, Clone)]
@@ -64,6 +92,8 @@ pub struct ServeConfig {
     /// Ingest batches that may park behind an open solve batch before
     /// further `ingest` requests are refused (streaming backpressure).
     pub ingest_queue: usize,
+    /// Durable write-ahead log; `None` disables logging.
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +102,7 @@ impl Default for ServeConfig {
             host: HostConfig::default(),
             batch: BatchPolicy::default(),
             ingest_queue: 16,
+            wal: None,
         }
     }
 }
@@ -334,6 +365,92 @@ fn reader_loop(mut stream: TcpStream, tx: Sender<Incoming>, reply: Sender<String
     }
 }
 
+/// Durable-logging state owned by the command loop. Every mutation the
+/// loop applies — a served day, an ingest, a compaction — is appended
+/// (and, per policy, fsynced) *before* it applies; see `crates/wal` for
+/// the frame format and the recovery protocol.
+///
+/// WAL failures are fatal by design: a server that cannot make its log
+/// durable must not keep acknowledging mutations, so every append/sync
+/// here `expect`s.
+struct WalState {
+    writer: WalWriter,
+    dir: PathBuf,
+    snapshot_every: u32,
+    /// Days served since the last snapshot.
+    days_since_snapshot: u32,
+    /// No snapshot exists yet; write the genesis snapshot (watermark =
+    /// current log head) as soon as the first host is constructed.
+    genesis_needed: bool,
+    /// Watermark of the newest durable snapshot.
+    last_snapshot_seq: u64,
+}
+
+fn open_wal(wc: &WalConfig) -> WalState {
+    let writer = WalWriter::open(&wc.dir, wc.options.clone()).expect("wal: cannot open log");
+    let snaps = snapshot::list_snapshots(&wc.dir).expect("wal: cannot list snapshots");
+    let last = snaps.last().map(|(seq, _)| *seq);
+    WalState {
+        writer,
+        dir: wc.dir.clone(),
+        snapshot_every: wc.snapshot_every.max(1),
+        days_since_snapshot: 0,
+        genesis_needed: last.is_none(),
+        last_snapshot_seq: last.unwrap_or(0),
+    }
+}
+
+impl WalState {
+    /// Logs one record and makes it as durable as the sync policy
+    /// promises, *before* the caller applies the mutation.
+    fn log(&mut self, record: &WalRecord) {
+        self.writer.append(record).expect("wal: append failed");
+        self.writer
+            .batch_boundary()
+            .expect("wal: sync failed at batch boundary");
+    }
+}
+
+/// Writes a durable snapshot at the current log head if one is due,
+/// then prunes segments and snapshots recovery can no longer reach.
+/// Retention keeps the new snapshot *and* the previous one (with its
+/// full replay suffix), so recovery survives a torn newest snapshot.
+fn maybe_snapshot(wal: &mut Option<WalState>, host: &Host<'_>, world: &World) {
+    let Some(w) = wal.as_mut() else { return };
+    if w.days_since_snapshot < w.snapshot_every {
+        return;
+    }
+    // Everything up to the watermark must be durable before the
+    // snapshot claims to cover it.
+    w.writer.sync().expect("wal: sync before snapshot");
+    let watermark = w.writer.next_seq() - 1;
+    snapshot::write_snapshot_file(&w.dir, watermark, &snapshot::encode(host, world.engine()))
+        .expect("wal: snapshot write failed");
+    w.log(&WalRecord::SnapshotMark {
+        wal_seq: watermark,
+        day: host.day(),
+        epoch: world.engine().map_or(0, |e| e.epoch()),
+    });
+    let floor = w.last_snapshot_seq;
+    w.last_snapshot_seq = watermark;
+    w.days_since_snapshot = 0;
+    w.writer.prune_below(floor).expect("wal: prune failed");
+    prune_snapshots(&w.dir, floor);
+}
+
+/// Removes snapshot files below the retention floor (the previous
+/// snapshot's watermark) — recovery never reaches past it because the
+/// matching log segments are pruned too.
+fn prune_snapshots(dir: &Path, keep_from: u64) {
+    if let Ok(snaps) = snapshot::list_snapshots(dir) {
+        for (seq, path) in snaps {
+            if seq < keep_from {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    }
+}
+
 fn command_loop(
     mut world: World,
     resume: Option<HostSeed>,
@@ -348,6 +465,7 @@ fn command_loop(
     let mut pending_ingest: VecDeque<PendingIngest> = VecDeque::new();
     let mut seed = resume;
     let mut running = true;
+    let mut wal = config.wal.as_ref().map(open_wal);
 
     // One outer iteration per serving epoch: the host borrows the
     // world's current base model; a compaction re-bases the world, so we
@@ -360,6 +478,22 @@ fn command_loop(
             None => Host::new(&model, config.host.clone()),
         };
         let mut rebase = false;
+        if let Some(w) = wal.as_mut() {
+            // A fresh WAL directory gets a genesis snapshot so recovery
+            // always has a base state; its watermark is the current log
+            // head (0 on a brand-new log).
+            if w.genesis_needed {
+                let watermark = w.writer.next_seq() - 1;
+                snapshot::write_snapshot_file(
+                    &w.dir,
+                    watermark,
+                    &snapshot::encode(&host, world.engine()),
+                )
+                .expect("wal: genesis snapshot failed");
+                w.last_snapshot_seq = watermark;
+                w.genesis_needed = false;
+            }
+        }
 
         while !rebase {
             let msg = match batcher.deadline_nanos() {
@@ -394,13 +528,16 @@ fn command_loop(
                                 now_nanos(),
                             );
                             if close == Some(CloseReason::SizeCap) {
-                                solve_batch(&mut host, &mut batcher, &mut stats);
-                                rebase = after_batch(&mut world, &mut pending_ingest);
+                                solve_batch(&mut host, &mut batcher, &mut stats, &mut wal);
+                                rebase = after_batch(&mut world, &mut pending_ingest, &mut wal);
+                                if !rebase {
+                                    maybe_snapshot(&mut wal, &host, &world);
+                                }
                             }
                         }
                         Request::RunDay { id } => {
                             let (record, batch_size) =
-                                solve_batch(&mut host, &mut batcher, &mut stats);
+                                solve_batch(&mut host, &mut batcher, &mut stats, &mut wal);
                             send(
                                 &reply,
                                 Response::DayClosed {
@@ -409,7 +546,10 @@ fn command_loop(
                                     record,
                                 },
                             );
-                            rebase = after_batch(&mut world, &mut pending_ingest);
+                            rebase = after_batch(&mut world, &mut pending_ingest, &mut wal);
+                            if !rebase {
+                                maybe_snapshot(&mut wal, &host, &world);
+                            }
                         }
                         Request::QueryCoverage { id, billboards } => {
                             // Streaming hosts answer from the merged
@@ -456,6 +596,7 @@ fn command_loop(
                                 started,
                                 &world,
                                 pending_ingest.len(),
+                                wal.as_ref(),
                             );
                             send(&reply, Response::Stats { id, stats: report });
                         }
@@ -476,7 +617,7 @@ fn command_loop(
                                 // compacting (and re-basing) if the
                                 // policy fires.
                                 pending_ingest.push_back(PendingIngest { id, batch, reply });
-                                rebase = after_batch(&mut world, &mut pending_ingest);
+                                rebase = after_batch(&mut world, &mut pending_ingest, &mut wal);
                             } else if pending_ingest.len() >= config.ingest_queue {
                                 send(
                                     &reply,
@@ -501,11 +642,16 @@ fn command_loop(
                                 // submits keep their allocations), land
                                 // queued deltas, then fold.
                                 if !batcher.is_empty() {
-                                    solve_batch(&mut host, &mut batcher, &mut stats);
+                                    solve_batch(&mut host, &mut batcher, &mut stats, &mut wal);
                                 }
                                 let engine = world.engine_mut().expect("checked streaming");
                                 for p in pending_ingest.drain(..) {
-                                    apply_ingest(engine, p.id, &p.batch, &p.reply);
+                                    apply_ingest(engine, p.id, &p.batch, &p.reply, &mut wal);
+                                }
+                                if let Some(w) = wal.as_mut() {
+                                    w.log(&WalRecord::Compact {
+                                        epoch: engine.epoch(),
+                                    });
                                 }
                                 let report = engine.compact();
                                 send(&reply, Response::Compacted { id, report });
@@ -527,11 +673,11 @@ fn command_loop(
                             // queued submit still gets its allocation,
                             // and every parked ingest its epoch.
                             if !batcher.is_empty() {
-                                solve_batch(&mut host, &mut batcher, &mut stats);
+                                solve_batch(&mut host, &mut batcher, &mut stats, &mut wal);
                             }
                             if let Some(engine) = world.engine_mut() {
                                 for p in pending_ingest.drain(..) {
-                                    apply_ingest(engine, p.id, &p.batch, &p.reply);
+                                    apply_ingest(engine, p.id, &p.batch, &p.reply, &mut wal);
                                 }
                             }
                             send(&reply, Response::Bye { id });
@@ -543,9 +689,12 @@ fn command_loop(
                 Err(RecvTimeoutError::Timeout) => {
                     // Batch window elapsed.
                     if !batcher.is_empty() {
-                        solve_batch(&mut host, &mut batcher, &mut stats);
+                        solve_batch(&mut host, &mut batcher, &mut stats, &mut wal);
                     }
-                    rebase = after_batch(&mut world, &mut pending_ingest);
+                    rebase = after_batch(&mut world, &mut pending_ingest, &mut wal);
+                    if !rebase {
+                        maybe_snapshot(&mut wal, &host, &world);
+                    }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     running = false;
@@ -559,6 +708,11 @@ fn command_loop(
             seed = Some(carried);
         }
     }
+    // Make every acknowledged record durable before the process exits,
+    // whatever the interval policy left unsynced.
+    if let Some(w) = wal.as_mut() {
+        w.writer.sync().expect("wal: final sync failed");
+    }
     stopping.store(true, Ordering::SeqCst);
 }
 
@@ -566,14 +720,25 @@ fn command_loop(
 /// parked ingest (answering each), then compacts if the engine's policy
 /// fires. Returns whether the base changed, i.e. whether the caller must
 /// re-seed the host against the new epoch.
-fn after_batch(world: &mut World, pending: &mut VecDeque<PendingIngest>) -> bool {
+fn after_batch(
+    world: &mut World,
+    pending: &mut VecDeque<PendingIngest>,
+    wal: &mut Option<WalState>,
+) -> bool {
     let Some(engine) = world.engine_mut() else {
         return false;
     };
     for p in pending.drain(..) {
-        apply_ingest(engine, p.id, &p.batch, &p.reply);
+        apply_ingest(engine, p.id, &p.batch, &p.reply, wal);
     }
     if engine.needs_compaction() {
+        // Compactions are logged explicitly so replay never consults
+        // the (possibly retuned) compaction policy.
+        if let Some(w) = wal.as_mut() {
+            w.log(&WalRecord::Compact {
+                epoch: engine.epoch(),
+            });
+        }
         engine.compact();
         true
     } else {
@@ -581,8 +746,22 @@ fn after_batch(world: &mut World, pending: &mut VecDeque<PendingIngest>) -> bool
     }
 }
 
-/// Applies one ingest batch and answers its client.
-fn apply_ingest(engine: &mut StreamEngine, id: u64, batch: &IngestBatch, reply: &Sender<String>) {
+/// Applies one ingest batch and answers its client. The record is
+/// logged first even when the engine rejects it — replay re-applies the
+/// same batch to the same engine state and deterministically re-rejects.
+fn apply_ingest(
+    engine: &mut StreamEngine,
+    id: u64,
+    batch: &IngestBatch,
+    reply: &Sender<String>,
+    wal: &mut Option<WalState>,
+) {
+    if let Some(w) = wal.as_mut() {
+        w.log(&WalRecord::Ingest {
+            epoch: engine.epoch(),
+            batch: batch.clone(),
+        });
+    }
     let response = match engine.ingest(batch) {
         Ok(report) => Response::Ingested { id, report },
         Err(e) => Response::Error {
@@ -607,10 +786,20 @@ fn solve_batch(
     host: &mut Host<'_>,
     batcher: &mut Batcher<PendingSubmit>,
     stats: &mut ServerStats,
+    wal: &mut Option<WalState>,
 ) -> (DayRecord, usize) {
     let pending = batcher.take();
     let day = host.day();
     let proposals: Vec<Proposal> = pending.iter().map(|p| p.proposal).collect();
+    if let Some(w) = wal.as_mut() {
+        // Log-before-apply: the day's full proposal batch is durable
+        // before any allocation response leaves the loop.
+        w.log(&WalRecord::RunDay {
+            day,
+            proposals: proposals.clone(),
+        });
+        w.days_since_snapshot += 1;
+    }
     let solve_started = Instant::now();
     let outcome = host.run_day(&proposals);
     let solve_elapsed = solve_started.elapsed();
@@ -647,7 +836,9 @@ fn stats_report(
     started: Instant,
     world: &World,
     ingest_pending: usize,
+    wal: Option<&WalState>,
 ) -> StatsReport {
+    let ws = wal.map(|w| w.writer.stats()).unwrap_or_default();
     StatsReport {
         uptime_micros: started.elapsed().as_micros() as u64,
         requests: stats.requests,
@@ -670,6 +861,13 @@ fn stats_report(
         batch_window_micros: batcher.window_nanos() / 1_000,
         snapshot_epoch: world.engine().map_or(0, |e| e.epoch()),
         ingest_pending: ingest_pending as u64,
+        wal_segments: ws.segments as u64,
+        wal_records: ws.records_appended,
+        wal_bytes: ws.bytes_appended,
+        wal_fsyncs: ws.fsyncs,
+        wal_last_sync_age_micros: ws.last_sync_age_micros,
+        wal_next_seq: ws.next_seq,
+        wal_snapshot_seq: wal.map_or(0, |w| w.last_snapshot_seq),
     }
 }
 

@@ -1,510 +1,14 @@
 //! Snapshot/restore of the full host state.
 //!
-//! A snapshot is one JSON document containing everything a fresh process
-//! needs to continue serving exactly where the old one stopped: the day
-//! clock, inventory locks, the ledger, the solver configuration (with its
-//! RNG seed — local-search solvers must replay the same restart streams),
-//! γ, and the coverage model itself as per-billboard trajectory lists, so
-//! restore needs no side channel. Snapshots are taken by the command loop
-//! between batches, which makes them transactionally consistent for free:
-//! a snapshot never contains half a day.
-//!
-//! The round-trip guarantee (encode → decode → resume produces the same
-//! ledger as never stopping) is enforced by a property test in
-//! `tests/snapshot_roundtrip.rs`. The solver seed is split into two `u32`
-//! halves because the wire JSON parses numbers as `f64`, which cannot
-//! carry all 64 bits exactly.
+//! The codec lives in [`mroam_wal::state`] so the recovery path
+//! (`mroam-wal`) and the offline `mroam wal-replay` tool decode exactly
+//! the documents the server encodes; this module re-exports it under
+//! the historical serving-layer path. The round-trip property
+//! (encode → decode → resume equals never stopping) is still pinned by
+//! `tests/snapshot_roundtrip.rs` in this crate.
 
-use crate::host::{Host, HostConfig, HostSeed};
-use mroam_core::solver::SolverSpec;
-use mroam_data::BillboardStore;
-use mroam_geo::Point;
-use mroam_influence::CoverageModel;
-use mroam_market::json::{self, DecodeError};
-use mroam_market::{Ledger, LockState};
-use mroam_stream::{DeltaOverlay, StreamEngine};
-use serde::Serialize;
-use serde_json::Value;
-use std::fmt;
-use std::sync::Arc;
-
-/// Current snapshot format version. Version 1 (no `stream` section) is
-/// still accepted on restore.
-pub const SNAPSHOT_VERSION: u32 = 2;
-
-/// The serialized snapshot document (named-field struct so the vendored
-/// serde derive produces real JSON glue).
-#[derive(Debug, Clone, Serialize)]
-struct SnapshotDoc {
-    version: u32,
-    day: u32,
-    gamma: f64,
-    solver: String,
-    restarts: u64,
-    improvement_ratio: f64,
-    seed_lo: u32,
-    seed_hi: u32,
-    n_trajectories: u64,
-    coverage: Vec<Vec<u32>>,
-    lock: LockState,
-    ledger: Ledger,
-    stream: Option<StreamDoc>,
-}
-
-/// The streaming section of a v2 snapshot: everything
-/// [`StreamEngine::restore`] needs on top of the base model (whose lists
-/// are the document's `coverage` — the host serves the engine's
-/// compacted base, so they coincide). Historical trajectory geometry is
-/// deliberately not carried: a restored engine keeps ingesting
-/// trajectories and retiring billboards but refuses billboard adds.
-#[derive(Debug, Clone, Serialize)]
-struct StreamDoc {
-    lambda_m: f64,
-    epoch: u64,
-    compactions: u64,
-    /// Logical trajectory count at the snapshot epoch (base + overlay).
-    stream_trajectories: u64,
-    /// Billboard locations for every id ever issued (base + overlay).
-    locations: Vec<Point>,
-    /// Global retirement tombstones, same length as `locations`.
-    retired: Vec<bool>,
-    /// Overlay appends to base billboards, as `[id, [trajectories...]]`.
-    appended: Vec<(u32, Vec<u32>)>,
-    /// Coverage lists of overlay-born billboards (ids follow the base).
-    new_billboards: Vec<Vec<u32>>,
-}
-
-/// Why a snapshot failed to restore.
-#[derive(Debug)]
-pub enum SnapshotError {
-    /// Not valid JSON.
-    Parse(serde_json::Error),
-    /// Valid JSON, wrong structure.
-    Decode(DecodeError),
-    /// Unknown format version.
-    Version(u32),
-    /// Solver name not in the registry.
-    UnknownSolver(String),
-}
-
-impl fmt::Display for SnapshotError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SnapshotError::Parse(e) => write!(f, "snapshot is not valid JSON: {e}"),
-            SnapshotError::Decode(e) => write!(f, "snapshot structure: {e}"),
-            SnapshotError::Version(v) => write!(f, "unsupported snapshot version {v}"),
-            SnapshotError::UnknownSolver(s) => write!(f, "snapshot names unknown solver {s:?}"),
-        }
-    }
-}
-
-impl std::error::Error for SnapshotError {}
-
-impl From<DecodeError> for SnapshotError {
-    fn from(e: DecodeError) -> Self {
-        SnapshotError::Decode(e)
-    }
-}
-
-/// Everything a restore yields. The model is returned by value — the
-/// caller keeps it alive and borrows it to [`Host::resume`].
-#[derive(Debug)]
-pub struct Restored {
-    /// The coverage model the snapshot embedded.
-    pub model: CoverageModel,
-    /// Host configuration (γ + solver spec, seed included).
-    pub config: HostConfig,
-    /// Day clock, locks, ledger.
-    pub seed: HostSeed,
-    /// Streaming state, when the snapshot came from a streaming server.
-    pub stream: Option<StreamRestore>,
-}
-
-/// The decoded streaming section; [`StreamRestore::into_engine`] turns
-/// it back into a live engine around the restored base model.
-#[derive(Debug)]
-pub struct StreamRestore {
-    /// Meeting radius λ in metres.
-    pub lambda_m: f64,
-    /// Ingest epochs applied before the snapshot.
-    pub epoch: u64,
-    /// Compactions performed before the snapshot.
-    pub compactions: u64,
-    /// Logical trajectory count at the snapshot epoch.
-    pub n_trajectories: usize,
-    /// Billboard locations for every id ever issued.
-    pub locations: Vec<Point>,
-    /// Global retirement tombstones.
-    pub retired: Vec<bool>,
-    /// The pending (uncompacted) overlay.
-    pub overlay: DeltaOverlay,
-}
-
-impl StreamRestore {
-    /// Rebuilds the engine around the restored base model (the
-    /// `Restored::model`, wrapped in an `Arc` by the caller).
-    pub fn into_engine(self, model: Arc<CoverageModel>) -> StreamEngine {
-        StreamEngine::restore(
-            model,
-            BillboardStore::from_locations(self.locations),
-            self.retired,
-            self.lambda_m,
-            self.overlay,
-            self.n_trajectories,
-            self.epoch,
-            self.compactions,
-        )
-    }
-}
-
-/// Encodes a host's full state as one JSON document; `stream` adds the
-/// engine's overlay + epoch counters when the server is streaming.
-pub fn encode(host: &Host<'_>, stream: Option<&StreamEngine>) -> String {
-    let model = host.model();
-    let seed = host.seed();
-    let spec = &host.config().solver;
-    let doc = SnapshotDoc {
-        version: SNAPSHOT_VERSION,
-        day: seed.day,
-        gamma: host.config().gamma,
-        solver: spec.name.to_string(),
-        restarts: spec.restarts as u64,
-        improvement_ratio: spec.improvement_ratio,
-        seed_lo: (spec.seed & 0xFFFF_FFFF) as u32,
-        seed_hi: (spec.seed >> 32) as u32,
-        n_trajectories: model.n_trajectories() as u64,
-        coverage: model
-            .billboard_ids()
-            .map(|b| model.coverage(b).to_vec())
-            .collect(),
-        lock: seed.lock,
-        ledger: seed.ledger,
-        stream: stream.map(|engine| {
-            debug_assert!(
-                std::ptr::eq(model, engine.model().as_ref()),
-                "the host must serve the engine's base when snapshotting"
-            );
-            StreamDoc {
-                lambda_m: engine.lambda_m(),
-                epoch: engine.epoch(),
-                compactions: engine.compactions(),
-                stream_trajectories: engine.n_trajectories() as u64,
-                locations: engine.billboards().locations().to_vec(),
-                retired: engine.retired_mask().to_vec(),
-                appended: engine
-                    .overlay()
-                    .entries()
-                    .map(|(b, list)| (b, list.to_vec()))
-                    .collect(),
-                new_billboards: engine.overlay().new_billboard_lists().to_vec(),
-            }
-        }),
-    };
-    serde_json::to_string(&doc).expect("stub never fails")
-}
-
-/// Decodes a snapshot document (the inverse of [`encode`]).
-pub fn decode(json_text: &str) -> Result<Restored, SnapshotError> {
-    let v = serde_json::from_str(json_text).map_err(SnapshotError::Parse)?;
-    decode_value(&v)
-}
-
-/// Decodes a snapshot from an already-parsed JSON value (e.g. the
-/// `state` field of a `snapshot` response).
-pub fn decode_value(v: &Value) -> Result<Restored, SnapshotError> {
-    let version = json::u32_field(v, "version")?;
-    if version == 0 || version > SNAPSHOT_VERSION {
-        return Err(SnapshotError::Version(version));
-    }
-    let solver_name = v["solver"].as_str().ok_or(DecodeError {
-        field: "solver".into(),
-        expected: "solver name",
-    })?;
-    let spec = SolverSpec::by_name(solver_name)
-        .ok_or_else(|| SnapshotError::UnknownSolver(solver_name.to_string()))?
-        .with_restarts(json::usize_field(v, "restarts")?)
-        .with_improvement_ratio(json::f64_field(v, "improvement_ratio")?)
-        .with_seed(
-            u64::from(json::u32_field(v, "seed_lo")?)
-                | (u64::from(json::u32_field(v, "seed_hi")?) << 32),
-        );
-    let Value::Array(rows) = &v["coverage"] else {
-        return Err(DecodeError {
-            field: "coverage".into(),
-            expected: "array of coverage lists",
-        }
-        .into());
-    };
-    let coverage = rows
-        .iter()
-        .enumerate()
-        .map(|(i, row)| {
-            let Value::Array(items) = row else {
-                return Err(DecodeError {
-                    field: format!("coverage[{i}]"),
-                    expected: "array of trajectory ids",
-                });
-            };
-            items
-                .iter()
-                .map(|t| match t.as_f64() {
-                    Some(n) if n >= 0.0 && n.fract() == 0.0 && n <= u32::MAX as f64 => Ok(n as u32),
-                    _ => Err(DecodeError {
-                        field: format!("coverage[{i}][]"),
-                        expected: "trajectory id",
-                    }),
-                })
-                .collect::<Result<Vec<u32>, _>>()
-        })
-        .collect::<Result<Vec<_>, _>>()?;
-    let n_trajectories = json::usize_field(v, "n_trajectories")?;
-    let model = CoverageModel::from_lists(coverage, n_trajectories);
-    let stream = match &v["stream"] {
-        Value::Null => None,
-        section => Some(decode_stream(section, &model)?),
-    };
-    Ok(Restored {
-        model,
-        config: HostConfig {
-            gamma: json::f64_field(v, "gamma")?,
-            solver: spec,
-        },
-        seed: HostSeed {
-            day: json::u32_field(v, "day")?,
-            lock: json::decode_lock_state(&v["lock"])?,
-            ledger: json::decode_ledger(&v["ledger"])?,
-        },
-        stream,
-    })
-}
-
-/// Decodes the `stream` section of a v2 snapshot against the
-/// already-decoded base model (needed for the overlay's base dims).
-fn decode_stream(v: &Value, model: &CoverageModel) -> Result<StreamRestore, SnapshotError> {
-    let Value::Array(loc_rows) = &v["locations"] else {
-        return Err(DecodeError {
-            field: "stream.locations".into(),
-            expected: "array of {x, y} points",
-        }
-        .into());
-    };
-    let locations = loc_rows
-        .iter()
-        .map(|p| {
-            Ok(Point::new(
-                json::f64_field(p, "x")?,
-                json::f64_field(p, "y")?,
-            ))
-        })
-        .collect::<Result<Vec<_>, DecodeError>>()?;
-    let Value::Array(flags) = &v["retired"] else {
-        return Err(DecodeError {
-            field: "stream.retired".into(),
-            expected: "array of booleans",
-        }
-        .into());
-    };
-    let retired = flags
-        .iter()
-        .map(|f| match f {
-            Value::Bool(b) => Ok(*b),
-            _ => Err(DecodeError {
-                field: "stream.retired[]".into(),
-                expected: "boolean",
-            }),
-        })
-        .collect::<Result<Vec<bool>, _>>()?;
-    let appended = match &v["appended"] {
-        Value::Null => Vec::new(),
-        Value::Array(pairs) => pairs
-            .iter()
-            .enumerate()
-            .map(|(i, pair)| {
-                let id = u32_item(&pair[0], "stream.appended[][0]")?;
-                let list = u32_list(&pair[1], &format!("stream.appended[{i}][1]"))?;
-                Ok((id, list))
-            })
-            .collect::<Result<Vec<_>, DecodeError>>()?,
-        _ => {
-            return Err(DecodeError {
-                field: "stream.appended".into(),
-                expected: "array of [id, [trajectories]] pairs",
-            }
-            .into())
-        }
-    };
-    let new_billboards = match &v["new_billboards"] {
-        Value::Null => Vec::new(),
-        Value::Array(rows) => rows
-            .iter()
-            .enumerate()
-            .map(|(i, row)| u32_list(row, &format!("stream.new_billboards[{i}]")))
-            .collect::<Result<Vec<_>, DecodeError>>()?,
-        _ => {
-            return Err(DecodeError {
-                field: "stream.new_billboards".into(),
-                expected: "array of coverage lists",
-            }
-            .into())
-        }
-    };
-    let overlay = DeltaOverlay::from_parts(
-        model.n_billboards(),
-        model.n_trajectories(),
-        appended,
-        new_billboards,
-    );
-    Ok(StreamRestore {
-        lambda_m: json::f64_field(v, "lambda_m")?,
-        epoch: json::u64_field(v, "epoch")?,
-        compactions: json::u64_field(v, "compactions")?,
-        n_trajectories: json::usize_field(v, "stream_trajectories")?,
-        locations,
-        retired,
-        overlay,
-    })
-}
-
-fn u32_item(v: &Value, field: &str) -> Result<u32, DecodeError> {
-    match v.as_f64() {
-        Some(n) if n >= 0.0 && n.fract() == 0.0 && n <= u32::MAX as f64 => Ok(n as u32),
-        _ => Err(DecodeError {
-            field: field.into(),
-            expected: "unsigned 32-bit integer",
-        }),
-    }
-}
-
-fn u32_list(v: &Value, field: &str) -> Result<Vec<u32>, DecodeError> {
-    let Value::Array(items) = v else {
-        return Err(DecodeError {
-            field: field.into(),
-            expected: "array of unsigned 32-bit integers",
-        });
-    };
-    items
-        .iter()
-        .map(|item| u32_item(item, &format!("{field}[]")))
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use mroam_market::{Proposal, ProposalGenerator};
-
-    fn disjoint_model(influences: &[u32]) -> CoverageModel {
-        let mut lists = Vec::new();
-        let mut next = 0u32;
-        for &k in influences {
-            lists.push((next..next + k).collect::<Vec<u32>>());
-            next += k;
-        }
-        CoverageModel::from_lists(lists, next as usize)
-    }
-
-    fn config() -> HostConfig {
-        HostConfig {
-            gamma: 0.5,
-            solver: SolverSpec::by_name("bls")
-                .unwrap()
-                .with_seed(0xDEAD_BEEF_CAFE_F00D)
-                .with_restarts(2),
-        }
-    }
-
-    #[test]
-    fn snapshot_roundtrips_state_and_config() {
-        let model = disjoint_model(&[8, 7, 6, 5, 4]);
-        let g = ProposalGenerator {
-            supply: model.supply(),
-            p_avg: 0.15,
-            arrivals_per_day: (1, 2),
-            duration_days: (1, 4),
-            seed: 3,
-        };
-        let mut host = Host::new(&model, config());
-        for day in 0..5 {
-            host.run_day(&g.day_batch(day));
-        }
-        let restored = decode(&encode(&host, None)).expect("restores");
-        assert_eq!(restored.seed, host.seed());
-        assert_eq!(restored.config.gamma, 0.5);
-        assert_eq!(restored.config.solver, config().solver);
-        assert_eq!(restored.model.n_billboards(), model.n_billboards());
-        assert_eq!(restored.model.n_trajectories(), model.n_trajectories());
-        for b in model.billboard_ids() {
-            assert_eq!(restored.model.coverage(b), model.coverage(b));
-        }
-    }
-
-    #[test]
-    fn sixty_four_bit_seed_survives_the_float_wire() {
-        let model = disjoint_model(&[3]);
-        let host = Host::new(&model, config());
-        let restored = decode(&encode(&host, None)).unwrap();
-        assert_eq!(restored.config.solver.seed, 0xDEAD_BEEF_CAFE_F00D);
-    }
-
-    #[test]
-    fn resumed_host_continues_exactly() {
-        let model = disjoint_model(&[9, 8, 7, 6, 5]);
-        let g = ProposalGenerator {
-            supply: model.supply(),
-            p_avg: 0.12,
-            arrivals_per_day: (1, 3),
-            duration_days: (1, 3),
-            seed: 11,
-        };
-        let mut uninterrupted = Host::new(&model, config());
-        let mut doomed = Host::new(&model, config());
-        for day in 0..3 {
-            uninterrupted.run_day(&g.day_batch(day));
-            doomed.run_day(&g.day_batch(day));
-        }
-        let snapshot = encode(&doomed, None);
-        drop(doomed); // the "crash"
-        let restored = decode(&snapshot).unwrap();
-        let mut resumed = Host::resume(&restored.model, restored.config, restored.seed);
-        for day in 3..8 {
-            let a = uninterrupted.run_day(&g.day_batch(day));
-            let b = resumed.run_day(&g.day_batch(day));
-            assert_eq!(a, b, "day {day} diverged after restore");
-        }
-        assert_eq!(uninterrupted.ledger().days, resumed.ledger().days);
-    }
-
-    #[test]
-    fn bad_snapshots_are_rejected_with_reasons() {
-        assert!(matches!(decode("not json"), Err(SnapshotError::Parse(_))));
-        assert!(matches!(
-            decode("{\"version\":99}"),
-            Err(SnapshotError::Version(99))
-        ));
-        let model = disjoint_model(&[2]);
-        let host = Host::new(&model, config());
-        let good = encode(&host, None);
-        let evil = good.replace("\"bls\"", "\"simplex\"");
-        assert!(matches!(
-            decode(&evil),
-            Err(SnapshotError::UnknownSolver(_))
-        ));
-    }
-
-    #[test]
-    fn snapshot_is_consistent_mid_horizon() {
-        // Locks present in the snapshot must reflect exactly the solved
-        // days (no half-day state).
-        let model = disjoint_model(&[10, 9, 8]);
-        let mut host = Host::new(&model, config());
-        host.run_day(&[Proposal {
-            demand: 9,
-            payment: 9.0,
-            duration_days: 5,
-        }]);
-        let restored = decode(&encode(&host, None)).unwrap();
-        assert_eq!(restored.seed.day, 1);
-        assert_eq!(restored.seed.lock.locked_count(), host.locked_count());
-        assert_eq!(restored.seed.ledger.days.len(), 1);
-    }
-}
+pub use mroam_wal::state::{
+    decode, decode_value, encode, list_snapshots, read_snapshot_file, snapshot_file_name,
+    write_snapshot_file, Restored, SnapshotCorruption, SnapshotError, StreamRestore,
+    SNAPSHOT_VERSION,
+};

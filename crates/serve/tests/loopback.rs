@@ -6,6 +6,7 @@
 //! same solver seed.
 
 use mroam_core::solver::SolverSpec;
+use mroam_core::testutil::disjoint_model;
 use mroam_influence::CoverageModel;
 use mroam_market::json::decode_day_record;
 use mroam_market::{MarketConfig, MarketSim, Proposal};
@@ -15,16 +16,6 @@ use mroam_serve::host::HostConfig;
 use mroam_serve::protocol::{Request, Response};
 use mroam_serve::server::{spawn, ServeConfig, ServerHandle};
 use serde_json::Value;
-
-fn disjoint_model(influences: &[u32]) -> CoverageModel {
-    let mut lists = Vec::new();
-    let mut next = 0u32;
-    for &k in influences {
-        lists.push((next..next + k).collect::<Vec<u32>>());
-        next += k;
-    }
-    CoverageModel::from_lists(lists, next as usize)
-}
 
 fn solver_spec() -> SolverSpec {
     SolverSpec::by_name("g-global").unwrap().with_seed(7)

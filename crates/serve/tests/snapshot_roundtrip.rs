@@ -8,23 +8,13 @@
 //! travel through it.
 
 use mroam_core::solver::SolverSpec;
-use mroam_influence::CoverageModel;
+use mroam_core::testutil::disjoint_model;
 use mroam_market::ProposalGenerator;
 use mroam_serve::host::{Host, HostConfig};
 use mroam_serve::snapshot;
 use proptest::prelude::*;
 
 const HORIZON: u32 = 8;
-
-fn disjoint_model(influences: &[u32]) -> CoverageModel {
-    let mut lists = Vec::new();
-    let mut next = 0u32;
-    for &k in influences {
-        lists.push((next..next + k).collect::<Vec<u32>>());
-        next += k;
-    }
-    CoverageModel::from_lists(lists, next as usize)
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

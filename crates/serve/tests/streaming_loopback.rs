@@ -54,6 +54,7 @@ fn streaming_server(engine: StreamEngine, ingest_queue: usize) -> ServerHandle {
                 adaptive: false,
             },
             ingest_queue,
+            wal: None,
         },
         "127.0.0.1:0",
     )

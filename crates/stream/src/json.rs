@@ -1,0 +1,256 @@
+//! JSON codec for the streaming wire types.
+//!
+//! One [`IngestBatch`] has exactly one JSON shape — three top-level
+//! fields — used everywhere a batch crosses a serialization boundary:
+//! the serve protocol's `ingest` request, and the WAL's `ingest` record
+//! payload. Keeping the codec here (instead of per consumer) means the
+//! live wire and the replay log can never drift apart.
+//!
+//! ```text
+//! "trajectories":      [{"points":[[x,y],...],"timestamps":[t,...]},...]
+//! "add_billboards":    [[x,y],...]
+//! "retire_billboards": [id,...]
+//! ```
+//!
+//! A trajectory's `timestamps` may be omitted, in which case they are
+//! derived from arc length at [`DEFAULT_INGEST_SPEED_MPS`]. The vendored
+//! `serde` stub only serializes, so decoding walks untyped
+//! [`serde_json::Value`] documents.
+
+use crate::delta::{BillboardEvent, IngestBatch, TrajectoryDelta};
+use mroam_geo::Point;
+use serde_json::Value;
+use std::fmt;
+
+/// Speed used to derive timestamps for ingested trajectories that omit
+/// them, matching the datagen default.
+pub const DEFAULT_INGEST_SPEED_MPS: f64 = 10.0;
+
+/// A structural decoding failure: which field, and what was wrong.
+/// Mirrors `mroam_market::json::DecodeError` (the stream crate sits
+/// below the market crate, so it carries its own copy of the shape).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchDecodeError {
+    /// Dotted path of the offending field.
+    pub field: String,
+    /// What the decoder expected there.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for BatchDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "field {:?}: expected {}", self.field, self.expected)
+    }
+}
+
+impl std::error::Error for BatchDecodeError {}
+
+/// Encodes points as a `[[x,y],...]` JSON array.
+fn encode_points<'a, I: Iterator<Item = &'a Point>>(points: I, out: &mut String) {
+    out.push('[');
+    for (i, p) in points.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{},{}]", p.x, p.y));
+    }
+    out.push(']');
+}
+
+/// Appends the batch's three fields (no surrounding braces) onto `out`,
+/// so callers can splice them into their own JSON objects.
+pub fn encode_ingest_batch_fields(batch: &IngestBatch, out: &mut String) {
+    out.push_str("\"trajectories\":[");
+    for (i, t) in batch.trajectories.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"points\":");
+        encode_points(t.points.iter(), out);
+        out.push_str(",\"timestamps\":[");
+        for (j, ts) in t.timestamps.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{ts}"));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"add_billboards\":");
+    encode_points(
+        batch.billboard_events.iter().filter_map(|e| match e {
+            BillboardEvent::Add { location } => Some(location),
+            BillboardEvent::Retire { .. } => None,
+        }),
+        out,
+    );
+    out.push_str(",\"retire_billboards\":[");
+    let mut first = true;
+    for e in &batch.billboard_events {
+        if let BillboardEvent::Retire { id } = e {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("{id}"));
+        }
+    }
+    out.push(']');
+}
+
+/// Encodes a batch as a standalone JSON object (the WAL payload form).
+pub fn encode_ingest_batch(batch: &IngestBatch) -> String {
+    let mut out = String::from("{");
+    encode_ingest_batch_fields(batch, &mut out);
+    out.push('}');
+    out
+}
+
+/// Parses a `[[x,y],...]` array field into points. A missing field reads
+/// as empty.
+fn decode_points(v: &Value, field: &str) -> Result<Vec<Point>, BatchDecodeError> {
+    match &v[field] {
+        Value::Null => Ok(Vec::new()),
+        Value::Array(items) => items
+            .iter()
+            .map(|item| {
+                let (Some(x), Some(y)) = (item[0].as_f64(), item[1].as_f64()) else {
+                    return Err(BatchDecodeError {
+                        field: format!("{field}[]"),
+                        expected: "[x, y] metre pair",
+                    });
+                };
+                Ok(Point::new(x, y))
+            })
+            .collect(),
+        _ => Err(BatchDecodeError {
+            field: field.into(),
+            expected: "array of [x, y] pairs",
+        }),
+    }
+}
+
+/// Decodes the three batch fields of `v` into an [`IngestBatch`]: adds
+/// first, then retires, then trajectories (the epoch application order).
+/// Works on any object carrying the fields at its top level — an
+/// `ingest` request or a WAL record payload.
+pub fn decode_ingest_batch(v: &Value) -> Result<IngestBatch, BatchDecodeError> {
+    let mut billboard_events: Vec<BillboardEvent> = decode_points(v, "add_billboards")?
+        .into_iter()
+        .map(|location| BillboardEvent::Add { location })
+        .collect();
+    if let Value::Array(ids) = &v["retire_billboards"] {
+        for item in ids {
+            match item.as_f64() {
+                Some(n) if n >= 0.0 && n.fract() == 0.0 && n <= u32::MAX as f64 => {
+                    billboard_events.push(BillboardEvent::Retire { id: n as u32 });
+                }
+                _ => {
+                    return Err(BatchDecodeError {
+                        field: "retire_billboards[]".into(),
+                        expected: "billboard id",
+                    })
+                }
+            }
+        }
+    }
+    let mut trajectories = Vec::new();
+    if let Value::Array(items) = &v["trajectories"] {
+        for (i, item) in items.iter().enumerate() {
+            let points = decode_points(item, "points").map_err(|e| BatchDecodeError {
+                field: format!("trajectories[{i}].{}", e.field),
+                expected: e.expected,
+            })?;
+            let delta = match &item["timestamps"] {
+                Value::Null => TrajectoryDelta::at_speed(points, DEFAULT_INGEST_SPEED_MPS),
+                Value::Array(ts) => {
+                    let timestamps = ts
+                        .iter()
+                        .map(|t| {
+                            t.as_f64().map(|n| n as f32).ok_or(BatchDecodeError {
+                                field: format!("trajectories[{i}].timestamps[]"),
+                                expected: "seconds from trip start",
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    TrajectoryDelta { points, timestamps }
+                }
+                _ => {
+                    return Err(BatchDecodeError {
+                        field: format!("trajectories[{i}].timestamps"),
+                        expected: "array of seconds",
+                    })
+                }
+            };
+            trajectories.push(delta);
+        }
+    }
+    Ok(IngestBatch {
+        billboard_events,
+        trajectories,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> IngestBatch {
+        IngestBatch {
+            billboard_events: vec![
+                BillboardEvent::Add {
+                    location: Point::new(10.5, -3.25),
+                },
+                BillboardEvent::Retire { id: 2 },
+            ],
+            trajectories: vec![TrajectoryDelta {
+                points: vec![Point::new(0.0, 0.0), Point::new(5.0, 5.0)],
+                timestamps: vec![0.0, 0.5],
+            }],
+        }
+    }
+
+    #[test]
+    fn batch_roundtrips_through_the_object_form() {
+        let b = batch();
+        let v = serde_json::from_str(&encode_ingest_batch(&b)).expect("valid JSON");
+        assert_eq!(decode_ingest_batch(&v).expect("decodes"), b);
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let b = IngestBatch::default();
+        let v = serde_json::from_str(&encode_ingest_batch(&b)).expect("valid JSON");
+        assert_eq!(decode_ingest_batch(&v).expect("decodes"), b);
+    }
+
+    #[test]
+    fn missing_timestamps_derive_from_constant_speed() {
+        let v = serde_json::from_str(r#"{"trajectories":[{"points":[[0,0],[20,0]]}]}"#).unwrap();
+        let b = decode_ingest_batch(&v).unwrap();
+        assert_eq!(
+            b.trajectories,
+            vec![TrajectoryDelta::at_speed(
+                vec![Point::new(0.0, 0.0), Point::new(20.0, 0.0)],
+                DEFAULT_INGEST_SPEED_MPS,
+            )]
+        );
+    }
+
+    #[test]
+    fn malformed_fields_are_rejected_with_paths() {
+        for (doc, path) in [
+            (r#"{"trajectories":[{"points":[[0]]}]}"#, "trajectories[0]"),
+            (
+                r#"{"trajectories":[{"points":[[0,0]],"timestamps":["x"]}]}"#,
+                "timestamps",
+            ),
+            (r#"{"add_billboards":[[1]]}"#, "add_billboards"),
+            (r#"{"retire_billboards":[-1]}"#, "retire_billboards"),
+        ] {
+            let v = serde_json::from_str(doc).unwrap();
+            let err = decode_ingest_batch(&v).expect_err(doc);
+            assert!(err.field.contains(path), "{doc} -> {err}");
+        }
+    }
+}

@@ -33,6 +33,7 @@
 
 pub mod delta;
 pub mod engine;
+pub mod json;
 pub mod overlay;
 
 pub use delta::{

@@ -1,0 +1,270 @@
+//! The logical WAL record set and its JSON payload codec.
+//!
+//! Every state mutation the serving loop applies is one record, logged
+//! *before* it is applied:
+//!
+//! * [`WalRecord::Ingest`] — one [`IngestBatch`] handed to the stream
+//!   engine, tagged with the engine epoch it was applied at (or rejected
+//!   at: rejected batches are logged too, so replay re-rejects them
+//!   deterministically and the epoch counter stays aligned).
+//! * [`WalRecord::RunDay`] — one serving day: the exact proposal batch
+//!   the host solved. Replay feeds the same batch through the same
+//!   [`mroam_market::Host`] transition, so the ledger is bit-identical.
+//! * [`WalRecord::Compact`] — the engine folded its overlay into a new
+//!   base (auto or requested). Logged explicitly so replay never has to
+//!   evaluate a [`CompactionPolicy`] — policy changes can't fork history.
+//! * [`WalRecord::SnapshotMark`] — a durable snapshot exists covering
+//!   everything up to `wal_seq`; segments wholly below it are prunable.
+//!
+//! Payloads are JSON (one object per record) inside the binary frame of
+//! [`crate::log`]. JSON costs bytes over a fixed binary layout but keeps
+//! records greppable with standard tools and lets the codec reuse the
+//! exact wire shapes of `mroam_stream::json` and `mroam_market::json` —
+//! the live protocol and the log can't drift.
+//!
+//! [`CompactionPolicy`]: mroam_stream::CompactionPolicy
+
+use mroam_market::json::{u32_field, u64_field, DecodeError};
+use mroam_market::Proposal;
+use mroam_stream::IngestBatch;
+use serde_json::Value;
+use std::fmt;
+
+/// One logged state mutation. See the module docs for semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// An ingest batch applied (or deterministically rejected) at
+    /// `epoch` — the engine epoch *before* application.
+    Ingest {
+        /// Engine epoch when the batch arrived.
+        epoch: u64,
+        /// The batch, verbatim.
+        batch: IngestBatch,
+    },
+    /// One serving day run with exactly these proposals.
+    RunDay {
+        /// The host day *before* the run (days are 0-based).
+        day: u32,
+        /// The solved proposal batch, in arrival order.
+        proposals: Vec<Proposal>,
+    },
+    /// The stream engine compacted its overlay into a new base.
+    Compact {
+        /// Engine epoch at which compaction ran.
+        epoch: u64,
+    },
+    /// A durable snapshot covers every record with `seq <= wal_seq`.
+    SnapshotMark {
+        /// Highest WAL seq folded into the snapshot.
+        wal_seq: u64,
+        /// Host day at snapshot time.
+        day: u32,
+        /// Engine epoch at snapshot time.
+        epoch: u64,
+    },
+}
+
+/// Why a frame payload failed to decode into a [`WalRecord`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// The payload was not valid JSON.
+    Json(String),
+    /// The payload was JSON but a field was missing or mistyped.
+    Field(DecodeError),
+    /// The payload's `kind` names no known record type.
+    UnknownKind(String),
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::Json(e) => write!(f, "payload is not JSON: {e}"),
+            RecordError::Field(e) => write!(f, "payload field error: {e}"),
+            RecordError::UnknownKind(k) => write!(f, "unknown record kind {k:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+impl From<DecodeError> for RecordError {
+    fn from(e: DecodeError) -> Self {
+        RecordError::Field(e)
+    }
+}
+
+impl WalRecord {
+    /// The record's `kind` tag as it appears in the payload.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WalRecord::Ingest { .. } => "ingest",
+            WalRecord::RunDay { .. } => "run_day",
+            WalRecord::Compact { .. } => "compact",
+            WalRecord::SnapshotMark { .. } => "snapshot_mark",
+        }
+    }
+
+    /// Encodes the payload JSON (the bytes inside the frame).
+    pub fn encode(&self) -> String {
+        match self {
+            WalRecord::Ingest { epoch, batch } => {
+                let mut out = format!("{{\"kind\":\"ingest\",\"epoch\":{epoch},");
+                mroam_stream::json::encode_ingest_batch_fields(batch, &mut out);
+                out.push('}');
+                out
+            }
+            WalRecord::RunDay { day, proposals } => format!(
+                "{{\"kind\":\"run_day\",\"day\":{day},\"proposals\":{}}}",
+                serde_json::to_string(proposals).expect("proposals serialize"),
+            ),
+            WalRecord::Compact { epoch } => {
+                format!("{{\"kind\":\"compact\",\"epoch\":{epoch}}}")
+            }
+            WalRecord::SnapshotMark {
+                wal_seq,
+                day,
+                epoch,
+            } => format!(
+                "{{\"kind\":\"snapshot_mark\",\"wal_seq\":{wal_seq},\"day\":{day},\"epoch\":{epoch}}}"
+            ),
+        }
+    }
+
+    /// Decodes a frame payload back into a record.
+    pub fn decode(payload: &[u8]) -> Result<WalRecord, RecordError> {
+        let text = std::str::from_utf8(payload).map_err(|e| RecordError::Json(e.to_string()))?;
+        let v: Value = serde_json::from_str(text).map_err(|e| RecordError::Json(e.to_string()))?;
+        Self::decode_value(&v)
+    }
+
+    /// Decodes an already-parsed payload document.
+    pub fn decode_value(v: &Value) -> Result<WalRecord, RecordError> {
+        let kind = v["kind"].as_str().ok_or(RecordError::Field(DecodeError {
+            field: "kind".into(),
+            expected: "record kind string",
+        }))?;
+        match kind {
+            "ingest" => Ok(WalRecord::Ingest {
+                epoch: u64_field(v, "epoch")?,
+                batch: mroam_stream::json::decode_ingest_batch(v).map_err(|e| {
+                    RecordError::Field(DecodeError {
+                        field: e.field,
+                        expected: e.expected,
+                    })
+                })?,
+            }),
+            "run_day" => {
+                let Value::Array(items) = &v["proposals"] else {
+                    return Err(RecordError::Field(DecodeError {
+                        field: "proposals".into(),
+                        expected: "array of proposals",
+                    }));
+                };
+                Ok(WalRecord::RunDay {
+                    day: u32_field(v, "day")?,
+                    proposals: items
+                        .iter()
+                        .map(mroam_market::json::decode_proposal)
+                        .collect::<Result<_, _>>()?,
+                })
+            }
+            "compact" => Ok(WalRecord::Compact {
+                epoch: u64_field(v, "epoch")?,
+            }),
+            "snapshot_mark" => Ok(WalRecord::SnapshotMark {
+                wal_seq: u64_field(v, "wal_seq")?,
+                day: u32_field(v, "day")?,
+                epoch: u64_field(v, "epoch")?,
+            }),
+            other => Err(RecordError::UnknownKind(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mroam_geo::Point;
+    use mroam_stream::{BillboardEvent, TrajectoryDelta};
+
+    fn samples() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Ingest {
+                epoch: 7,
+                batch: IngestBatch {
+                    billboard_events: vec![
+                        BillboardEvent::Add {
+                            location: Point::new(3.5, -1.0),
+                        },
+                        BillboardEvent::Retire { id: 4 },
+                    ],
+                    trajectories: vec![TrajectoryDelta {
+                        points: vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+                        timestamps: vec![0.0, 1.0],
+                    }],
+                },
+            },
+            WalRecord::RunDay {
+                day: 12,
+                proposals: vec![
+                    Proposal {
+                        demand: 100,
+                        payment: 90.0,
+                        duration_days: 3,
+                    },
+                    Proposal {
+                        demand: 50,
+                        payment: 55.5,
+                        duration_days: 1,
+                    },
+                ],
+            },
+            WalRecord::Compact { epoch: 9 },
+            WalRecord::SnapshotMark {
+                wal_seq: 41,
+                day: 12,
+                epoch: 9,
+            },
+        ]
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        for record in samples() {
+            let back = WalRecord::decode(record.encode().as_bytes()).expect("decodes");
+            assert_eq!(back, record, "{}", record.kind());
+        }
+    }
+
+    #[test]
+    fn empty_proposal_day_roundtrips() {
+        let record = WalRecord::RunDay {
+            day: 0,
+            proposals: vec![],
+        };
+        assert_eq!(
+            WalRecord::decode(record.encode().as_bytes()).unwrap(),
+            record
+        );
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        assert!(matches!(
+            WalRecord::decode(b"not json"),
+            Err(RecordError::Json(_))
+        ));
+        assert!(matches!(
+            WalRecord::decode(br#"{"kind":"warp"}"#),
+            Err(RecordError::UnknownKind(_))
+        ));
+        assert!(matches!(
+            WalRecord::decode(br#"{"kind":"run_day","day":1}"#),
+            Err(RecordError::Field(_))
+        ));
+        assert!(matches!(
+            WalRecord::decode(br#"{"epoch":3}"#),
+            Err(RecordError::Field(_))
+        ));
+    }
+}

@@ -1,0 +1,263 @@
+//! Deterministic re-execution of the logged mutation stream.
+//!
+//! [`ReplayWorld`] mirrors the serve command loop's world exactly: a
+//! static coverage model or a live [`StreamEngine`] whose compacted base
+//! the market [`Host`] borrows, one serving epoch at a time. Each
+//! [`WalRecord`] drives the *same* state machine the live server ran —
+//! `Host::run_day` for day records, `StreamEngine::ingest`/`compact` for
+//! stream records — so a replayed world is bit-identical to the one that
+//! logged the records:
+//!
+//! * **Days** resume the host from the carried [`HostSeed`] per record;
+//!   `Host::resume` at day *k* is proven equal to an uninterrupted host
+//!   (market host tests), so per-record reconstruction cannot diverge.
+//! * **Ingests** re-run verbatim; a batch the live server rejected is
+//!   deterministically re-rejected (same validation, same state), and
+//!   either way the engine epoch advances identically.
+//! * **Compactions** are logged explicitly, so replay never evaluates a
+//!   [`CompactionPolicy`] — the operator can retune the policy without
+//!   forking history. After folding, the carried locks are resized to
+//!   the new base (the same `lock.resized` the live epoch swap does).
+//!
+//! Every stream record carries the engine epoch it was applied at; a
+//! mismatch during replay means the log and the snapshot disagree about
+//! history and surfaces as a typed [`ReplayError`] instead of silently
+//! diverging.
+//!
+//! [`CompactionPolicy`]: mroam_stream::CompactionPolicy
+
+use crate::record::WalRecord;
+use crate::state::Restored;
+use mroam_influence::CoverageModel;
+use mroam_market::host::{Host, HostConfig, HostSeed};
+use mroam_market::Ledger;
+use mroam_stream::StreamEngine;
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a record could not be applied to the replayed world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// A stream record (ingest/compact) hit a static-model world.
+    NotStreaming {
+        /// WAL seq of the offending record.
+        seq: u64,
+    },
+    /// The record's logged engine epoch disagrees with the replayed
+    /// engine — snapshot and log tell different histories.
+    EpochMismatch {
+        /// WAL seq of the offending record.
+        seq: u64,
+        /// Epoch the record was logged at.
+        logged: u64,
+        /// Epoch the replayed engine is actually at.
+        actual: u64,
+    },
+    /// The record's logged day disagrees with the replayed host clock.
+    DayMismatch {
+        /// WAL seq of the offending record.
+        seq: u64,
+        /// Day the record was logged at.
+        logged: u32,
+        /// Day the replayed host is actually at.
+        actual: u32,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::NotStreaming { seq } => {
+                write!(
+                    f,
+                    "record {seq} needs a streaming engine but the world is static"
+                )
+            }
+            ReplayError::EpochMismatch {
+                seq,
+                logged,
+                actual,
+            } => write!(
+                f,
+                "record {seq} logged at engine epoch {logged} but replay is at {actual}"
+            ),
+            ReplayError::DayMismatch {
+                seq,
+                logged,
+                actual,
+            } => write!(
+                f,
+                "record {seq} logged at day {logged} but replay is at {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// The world being replayed into: what the command loop would own.
+enum World {
+    Static(Arc<CoverageModel>),
+    Streaming(Box<StreamEngine>),
+}
+
+impl World {
+    fn serving_model(&self) -> Arc<CoverageModel> {
+        match self {
+            World::Static(m) => Arc::clone(m),
+            World::Streaming(e) => Arc::clone(e.model()),
+        }
+    }
+}
+
+/// What a finished replay hands back to whoever resumes serving.
+pub enum ReplayedState {
+    /// A static world: the model to serve.
+    Static(Arc<CoverageModel>),
+    /// A streaming world: the live engine (host borrows its base).
+    Streaming(Box<StreamEngine>),
+}
+
+/// A world stepping through WAL records. Construct from a restored
+/// snapshot, [`ReplayWorld::apply`] each record past the snapshot's
+/// watermark, then [`ReplayWorld::into_parts`] to start serving.
+pub struct ReplayWorld {
+    world: World,
+    config: HostConfig,
+    seed: HostSeed,
+    replayed: usize,
+}
+
+impl ReplayWorld {
+    /// Builds the world a restored snapshot describes (streaming iff the
+    /// snapshot carried a stream section).
+    pub fn from_restored(restored: Restored) -> ReplayWorld {
+        let model = Arc::new(restored.model);
+        let world = match restored.stream {
+            Some(sr) => World::Streaming(Box::new(sr.into_engine(Arc::clone(&model)))),
+            None => World::Static(model),
+        };
+        ReplayWorld {
+            world,
+            config: restored.config,
+            seed: restored.seed,
+            replayed: 0,
+        }
+    }
+
+    /// Applies one record (at WAL seq `seq`, for error reporting).
+    pub fn apply(&mut self, seq: u64, record: &WalRecord) -> Result<(), ReplayError> {
+        match record {
+            WalRecord::Ingest { epoch, batch } => {
+                let engine = self.engine_mut(seq)?;
+                if engine.epoch() != *epoch {
+                    return Err(ReplayError::EpochMismatch {
+                        seq,
+                        logged: *epoch,
+                        actual: engine.epoch(),
+                    });
+                }
+                // A batch the live server rejected fails the same
+                // validation here; either way state and epoch advance
+                // identically, so the error is not a replay failure.
+                let _ = engine.ingest(batch);
+            }
+            WalRecord::RunDay { day, proposals } => {
+                if self.seed.day != *day {
+                    return Err(ReplayError::DayMismatch {
+                        seq,
+                        logged: *day,
+                        actual: self.seed.day,
+                    });
+                }
+                let model = self.world.serving_model();
+                let carried = HostSeed {
+                    day: self.seed.day,
+                    lock: std::mem::take(&mut self.seed.lock),
+                    ledger: std::mem::take(&mut self.seed.ledger),
+                };
+                let mut host = Host::resume(&model, self.config.clone(), carried);
+                host.run_day(proposals);
+                self.seed = host.seed();
+            }
+            WalRecord::Compact { epoch } => {
+                let engine = self.engine_mut(seq)?;
+                if engine.epoch() != *epoch {
+                    return Err(ReplayError::EpochMismatch {
+                        seq,
+                        logged: *epoch,
+                        actual: engine.epoch(),
+                    });
+                }
+                engine.compact();
+                // The live epoch swap: carried locks grow to the new
+                // base's inventory.
+                let n = self.world.serving_model().n_billboards();
+                self.seed.lock = std::mem::take(&mut self.seed.lock).resized(n);
+            }
+            WalRecord::SnapshotMark { .. } => {
+                // Informational: marks a durable snapshot watermark for
+                // pruning; no state transition.
+            }
+        }
+        self.replayed += 1;
+        Ok(())
+    }
+
+    fn engine_mut(&mut self, seq: u64) -> Result<&mut StreamEngine, ReplayError> {
+        match &mut self.world {
+            World::Streaming(e) => Ok(e),
+            World::Static(_) => Err(ReplayError::NotStreaming { seq }),
+        }
+    }
+
+    /// The replayed host clock (next day index).
+    pub fn day(&self) -> u32 {
+        self.seed.day
+    }
+
+    /// The replayed ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.seed.ledger
+    }
+
+    /// The replayed engine epoch (0 for a static world).
+    pub fn epoch(&self) -> u64 {
+        match &self.world {
+            World::Static(_) => 0,
+            World::Streaming(e) => e.epoch(),
+        }
+    }
+
+    /// The streaming engine, if this world has one.
+    pub fn engine(&self) -> Option<&StreamEngine> {
+        match &self.world {
+            World::Static(_) => None,
+            World::Streaming(e) => Some(e),
+        }
+    }
+
+    /// Records applied so far.
+    pub fn replayed(&self) -> usize {
+        self.replayed
+    }
+
+    /// The carried host seed (clone; locks sized to the current base).
+    pub fn seed(&self) -> HostSeed {
+        self.seed.clone()
+    }
+
+    /// Host configuration.
+    pub fn config(&self) -> &HostConfig {
+        &self.config
+    }
+
+    /// Disassembles into the pieces a server spawn needs.
+    pub fn into_parts(self) -> (HostConfig, HostSeed, ReplayedState) {
+        let state = match self.world {
+            World::Static(m) => ReplayedState::Static(m),
+            World::Streaming(e) => ReplayedState::Streaming(e),
+        };
+        (self.config, self.seed, state)
+    }
+}

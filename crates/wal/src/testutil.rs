@@ -1,0 +1,36 @@
+//! Small test helpers shared by the wal crate's own tests and the
+//! serve/experiments crash tests (no tempfile crate in the vendored
+//! dependency set, so the scoped temp dir lives here).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under the system temp dir, removed on
+/// drop. Unique per process id + counter, so parallel test binaries
+/// can't collide.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `<tmp>/<label>-<pid>-<n>`.
+    pub fn new(label: &str) -> TempDir {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("mroam-{label}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
