@@ -193,6 +193,9 @@ pub struct GainEngine {
     /// follows the rayon pool width. Tests force >1 to exercise the
     /// sharded path on single-core hosts.
     scan_tasks: Option<usize>,
+    /// Lets in-module tests run a forced multi-task scan even on a
+    /// 1-wide pool, bypassing the width-1 clamp in [`Self::tasks`].
+    scan_unclamped: bool,
     advs: Vec<AdvState>,
 }
 
@@ -204,6 +207,7 @@ impl GainEngine {
             cursor: alloc.event_cursor(),
             lazy: alloc.instance().measure.is_submodular(),
             scan_tasks: None,
+            scan_unclamped: false,
             advs: (0..alloc.n_advertisers())
                 .map(|_| AdvState::default())
                 .collect(),
@@ -216,26 +220,41 @@ impl GainEngine {
     /// order — so this only exists for tests and benches to pin the
     /// sharded path regardless of host width, mirroring the
     /// `build_parallel_with` convention of the derived-structure builds.
+    ///
+    /// The count is a *hint*: on a 1-wide pool every task would run
+    /// inline on the caller anyway, so the forced count is clamped to
+    /// one sequential scan (see [`Self::tasks`]).
     pub fn set_scan_tasks(&mut self, n_tasks: Option<usize>) {
         self.scan_tasks = n_tasks;
+        self.scan_unclamped = false;
+    }
+
+    /// Test hook: like [`Self::set_scan_tasks`] but exempt from the
+    /// width-1 clamp, so the spawn+merge machinery itself stays covered
+    /// by `cargo test` on single-core hosts.
+    #[cfg(test)]
+    fn set_scan_tasks_unclamped(&mut self, n_tasks: usize) {
+        self.scan_tasks = Some(n_tasks);
+        self.scan_unclamped = true;
     }
 
     /// The task count the partitioned scans run at. The default splits by
     /// pool width with a ×4 over-partition: shards are pool jobs (a deque
     /// push each), so extra shards cost ~nothing and let a straggling
     /// dense shard be balanced by stealing; width 1 stays at one task
-    /// (pure sequential scans). Any count yields bit-identical picks.
+    /// (pure sequential scans). Any count yields bit-identical picks, so
+    /// a forced count is also clamped to 1 when the pool is 1 wide —
+    /// `BENCH_scale.json` measured forced 8-task scans at 1.6× the
+    /// sequential cost on a 1-core host, pure spawn+merge overhead for
+    /// work that all runs inline on the caller anyway.
     fn tasks(&self) -> usize {
+        let width = rayon::current_num_threads();
+        if width <= 1 && !self.scan_unclamped {
+            return 1;
+        }
         match self.scan_tasks {
             Some(n) => n.max(1),
-            None => {
-                let width = rayon::current_num_threads();
-                if width > 1 {
-                    width * 4
-                } else {
-                    1
-                }
-            }
+            None => width.max(1) * 4,
         }
     }
 
@@ -852,7 +871,9 @@ mod tests {
             for tasks in [2usize, 3, 7] {
                 let mut par_alloc = Allocation::new(inst);
                 let mut par_engine = GainEngine::new(&par_alloc);
-                par_engine.set_scan_tasks(Some(tasks));
+                // Unclamped: the whole point is to exercise the sharded
+                // scan machinery even on a 1-wide test host.
+                par_engine.set_scan_tasks_unclamped(tasks);
 
                 // Round-robin G-Global grants, in lockstep.
                 let n = seq_alloc.n_advertisers();

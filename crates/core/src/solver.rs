@@ -9,7 +9,7 @@ use crate::regret::RegretBreakdown;
 use mroam_data::BillboardId;
 
 /// An owned, frozen deployment plan plus its quality metrics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Solution {
     /// Per-advertiser billboard sets, each sorted ascending.
     pub sets: Vec<Vec<BillboardId>>,

@@ -1,0 +1,187 @@
+//! Sharded-solve identity matrix: `solve_sharded` must produce
+//! bit-identical merged solutions at `RAYON_NUM_THREADS ∈ {1, 2, 4, 8}`
+//! for every shard count in {1, 2, 4, 8} — and one shard must be
+//! bit-identical to the lone engine regardless of width.
+//!
+//! The pool width is latched once per process (like real rayon), so the
+//! matrix cannot vary it in-process: the parent test re-executes this
+//! same test binary once per width with `RAYON_NUM_THREADS` set and a
+//! child marker in the environment, then compares the `DIGEST` lines the
+//! children print. Each child also asserts the shard-local invariants
+//! itself (one-shard identity, homed advertisers staying in their shard),
+//! so a width that broke determinism *or* correctness fails loudly.
+
+use mroam_core::prelude::*;
+use mroam_core::shard::{solve_sharded, ShardSpec};
+use mroam_influence::CoverageModel;
+use std::process::Command;
+
+const CHILD_ENV: &str = "MROAM_SHARD_IDENTITY_CHILD";
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Disjoint-coverage fixture: billboard `k` covers a private block of
+/// trajectories sized by a deterministic LCG. 600 billboards crosses the
+/// 256-candidate parallel-scan threshold, so the shard-local solves
+/// themselves fan out nested scans inside the per-shard spawns.
+fn fixture_model() -> CoverageModel {
+    let n_b = 600usize;
+    let mut lists = Vec::with_capacity(n_b);
+    let mut next = 0u32;
+    let mut state = 0x2545F4914F6CDD1Du64;
+    for _ in 0..n_b {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let k = 1 + (state >> 59) as u32 % 5;
+        lists.push((next..next + k).collect::<Vec<u32>>());
+        next += k;
+    }
+    CoverageModel::from_lists(lists, next as usize)
+}
+
+/// Over-subscribed demand so shard-local solvers face real contention
+/// and the router actually splits (half the advertisers are unzoned).
+fn fixture_advertisers() -> AdvertiserSet {
+    AdvertiserSet::new(vec![
+        Advertiser::new(400, 50.0),
+        Advertiser::new(250, 30.0),
+        Advertiser::new(600, 45.0),
+        Advertiser::new(100, 18.0),
+        Advertiser::new(330, 22.0),
+        Advertiser::new(150, 40.0),
+        Advertiser::new(550, 35.0),
+        Advertiser::new(200, 12.0),
+    ])
+}
+
+/// Round-robin block assignment: billboard `b` belongs to shard
+/// `(b / block) % n_shards`, giving every shard a contiguous slice of
+/// the disjoint fixture at every count.
+fn spec_for(n_b: usize, n_shards: usize) -> ShardSpec {
+    let block = n_b.div_ceil(n_shards);
+    ShardSpec::new(
+        n_shards,
+        (0..n_b).map(|b| ((b / block) % n_shards) as u32).collect(),
+    )
+}
+
+/// Advertisers 0..4 are homed round-robin; 4..8 are split by the router.
+fn homes_for(n_adv: usize, n_shards: usize) -> Vec<Option<u32>> {
+    (0..n_adv)
+        .map(|i| {
+            if i < n_adv / 2 {
+                Some((i % n_shards) as u32)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+fn digest(tag: &str, s: &Solution) -> String {
+    let sets: Vec<String> = s
+        .sets
+        .iter()
+        .map(|set| {
+            set.iter()
+                .map(|b| b.0.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    format!(
+        "DIGEST {tag} regret_bits={:016x} influences={:?} sets=[{}]",
+        s.total_regret.to_bits(),
+        s.influences,
+        sets.join(";")
+    )
+}
+
+/// Child half: runs `solve_sharded` at every shard count, asserts the
+/// in-process invariants, and prints one DIGEST line per count. A plain
+/// `cargo test` run (no marker env) is a no-op.
+#[test]
+fn child_emit_shard_digests() {
+    if std::env::var(CHILD_ENV).is_err() {
+        return;
+    }
+    let model = fixture_model();
+    let advs = fixture_advertisers();
+    let inst = Instance::new(&model, &advs, 0.5);
+    let solver = Bls {
+        restarts: 4,
+        seed: 9,
+        improvement_ratio: 0.0,
+        parallel: true,
+        naive_scan: false,
+    };
+    let lone = solver.solve(&inst);
+
+    for &n in &SHARD_COUNTS {
+        let spec = spec_for(model.n_billboards(), n);
+        let homes = homes_for(advs.len(), n);
+        let (solution, report) = solve_sharded(&inst, &spec, &homes, &solver);
+        solution.assert_disjoint();
+        if n == 1 {
+            assert_eq!(solution, lone, "one shard must match the lone engine");
+        }
+        // A homed advertiser's billboards all live in its shard.
+        for (i, home) in homes.iter().enumerate() {
+            if let Some(h) = home {
+                for b in &solution.sets[i] {
+                    assert_eq!(
+                        spec.shard_of(b.index()),
+                        *h,
+                        "advertiser {i} homed to shard {h} holds billboard {}",
+                        b.0
+                    );
+                }
+            }
+        }
+        assert_eq!(report.n_shards, n);
+        println!("{}", digest(&format!("shards_{n}"), &solution));
+    }
+}
+
+fn run_child_at_width(width: usize) -> Vec<String> {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = Command::new(exe)
+        .args(["child_emit_shard_digests", "--exact", "--nocapture"])
+        .env(CHILD_ENV, "1")
+        .env("RAYON_NUM_THREADS", width.to_string())
+        .output()
+        .expect("spawn child test process");
+    assert!(
+        out.status.success(),
+        "child at width {width} failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let digests: Vec<String> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .filter_map(|l| l.find("DIGEST ").map(|i| l[i..].to_owned()))
+        .collect();
+    assert_eq!(
+        digests.len(),
+        SHARD_COUNTS.len(),
+        "child at width {width} printed {} digests, expected {}",
+        digests.len(),
+        SHARD_COUNTS.len()
+    );
+    digests
+}
+
+#[test]
+fn shard_matrix_bit_identical_across_widths() {
+    if std::env::var(CHILD_ENV).is_ok() {
+        return; // don't recurse when running inside a child
+    }
+    let baseline = run_child_at_width(1);
+    for width in [2usize, 4, 8] {
+        let got = run_child_at_width(width);
+        assert_eq!(
+            got, baseline,
+            "sharded solutions diverged between width 1 and width {width}"
+        );
+    }
+}

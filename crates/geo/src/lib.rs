@@ -21,6 +21,7 @@
 pub mod bbox;
 pub mod grid;
 pub mod kdtree;
+pub mod partition;
 pub mod point;
 pub mod polyline;
 pub mod projection;
@@ -28,6 +29,7 @@ pub mod projection;
 pub use bbox::BoundingBox;
 pub use grid::GridIndex;
 pub use kdtree::KdTree;
+pub use partition::SpatialPartition;
 pub use point::Point;
 pub use polyline::{resample_into, Polyline};
 pub use projection::{LatLon, Projection};

@@ -1,0 +1,251 @@
+//! Spatial sharding: cutting a city into N contiguous cell-range shards.
+//!
+//! The sharded solve engine (ROADMAP item 1) needs a deterministic rule
+//! that maps every billboard — and any point, so future billboards land
+//! somewhere too — to one of `n_shards` spatial shards. This module
+//! derives that rule from the same uniform-grid geometry [`GridIndex`]
+//! already uses for the meets computation: cells are ordered row-major
+//! (x-major stripes), and the cell sequence is cut into `n_shards`
+//! contiguous groups balanced by *item count*, so shards hold roughly
+//! equal inventory even when density is skewed. Contiguous row-major
+//! ranges keep shards spatially coherent (a shard is a band of the
+//! city), which is what bounds cross-shard coverage: a trajectory only
+//! straddles shards near a band boundary, within the influence radius λ.
+//!
+//! The partition is a pure function of the build inputs (points, cell
+//! size, shard count), so two processes that build from the same
+//! inventory agree on every assignment — the property the serve layer's
+//! snapshot/WAL replay path relies on.
+
+use crate::bbox::BoundingBox;
+use crate::grid::GridIndex;
+use crate::point::Point;
+
+/// A spatial partition of grid cells into `n_shards` contiguous
+/// row-major ranges, balanced by indexed-item count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatialPartition {
+    bbox: BoundingBox,
+    cell_size: f64,
+    cols: usize,
+    rows: usize,
+    /// `cuts[s]..cuts[s+1]` is the row-major cell range of shard `s`;
+    /// `cuts.len() == n_shards + 1`, `cuts[0] == 0`, last == `n_cells`.
+    cuts: Vec<u32>,
+}
+
+impl SpatialPartition {
+    /// Builds a partition over `points` with the grid geometry a
+    /// [`GridIndex`] of the same `cell_size` would use. `n_shards` is
+    /// clamped to at least 1; asking for more shards than cells leaves
+    /// the surplus shards empty (their cell range is empty).
+    pub fn build(points: &[Point], cell_size: f64, n_shards: usize) -> Self {
+        Self::from_grid(&GridIndex::build(points, cell_size), n_shards)
+    }
+
+    /// Builds a partition from an existing grid's geometry and per-cell
+    /// occupancy.
+    pub fn from_grid(grid: &GridIndex, n_shards: usize) -> Self {
+        let n_shards = n_shards.max(1);
+        let (cols, rows) = grid.dims();
+        let n_cells = cols * rows;
+        let total = grid.len() as u64;
+
+        // Greedy balanced cut: walk cells in row-major order, closing a
+        // shard once its item count reaches the ideal share of what
+        // remains. Always leaves enough cells for the remaining shards
+        // to exist (possibly empty only when cells run out first).
+        let mut cuts = Vec::with_capacity(n_shards + 1);
+        cuts.push(0u32);
+        let mut cell = 0usize;
+        let mut placed = 0u64;
+        for s in 0..n_shards - 1 {
+            let shards_left = (n_shards - s) as u64;
+            let target = (total - placed).div_ceil(shards_left);
+            let mut here = 0u64;
+            while cell < n_cells && (here < target || here == 0) {
+                here += grid.cell_len(cell) as u64;
+                cell += 1;
+            }
+            placed += here;
+            cuts.push(cell as u32);
+        }
+        cuts.push(n_cells as u32);
+
+        Self {
+            bbox: *grid.bbox(),
+            cell_size: grid.cell_size(),
+            cols,
+            rows,
+            cuts,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.cuts.len() - 1
+    }
+
+    /// The shard a point falls in. Points outside the original bounding
+    /// box clamp to the nearest edge cell (same rule as the grid), so
+    /// every point gets a shard.
+    pub fn shard_of_point(&self, p: &Point) -> u32 {
+        let cx = (((p.x - self.bbox.min_x) / self.cell_size).max(0.0) as usize).min(self.cols - 1);
+        let cy = (((p.y - self.bbox.min_y) / self.cell_size).max(0.0) as usize).min(self.rows - 1);
+        self.shard_of_cell((cy * self.cols + cx) as u32)
+    }
+
+    /// The shard owning row-major cell `c` (binary search over the cuts).
+    pub fn shard_of_cell(&self, c: u32) -> u32 {
+        // partition_point: count of cut starts <= c, minus one.
+        let idx = self.cuts[1..].partition_point(|&cut| cut <= c);
+        (idx as u32).min(self.n_shards() as u32 - 1)
+    }
+
+    /// Assigns every point its shard — the dense `id -> shard` table the
+    /// solver router consumes (index `i` is the id `GridIndex::build`
+    /// would give point `i`).
+    pub fn assign(&self, points: &[Point]) -> Vec<u32> {
+        points.iter().map(|p| self.shard_of_point(p)).collect()
+    }
+
+    /// The row-major cell range of shard `s`.
+    pub fn cell_range(&self, s: usize) -> std::ops::Range<usize> {
+        self.cuts[s] as usize..self.cuts[s + 1] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(n: usize, spacing: f64) -> Vec<Point> {
+        // n×n lattice.
+        (0..n * n)
+            .map(|i| Point::new((i % n) as f64 * spacing, (i / n) as f64 * spacing))
+            .collect()
+    }
+
+    #[test]
+    fn one_shard_owns_everything() {
+        let pts = grid_points(10, 50.0);
+        let part = SpatialPartition::build(&pts, 100.0, 1);
+        assert_eq!(part.n_shards(), 1);
+        assert!(part.assign(&pts).iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn every_point_gets_a_valid_shard() {
+        let pts = grid_points(12, 37.0);
+        for n in [1usize, 2, 3, 4, 7, 8] {
+            let part = SpatialPartition::build(&pts, 100.0, n);
+            assert_eq!(part.n_shards(), n);
+            for s in part.assign(&pts) {
+                assert!((s as usize) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn shards_are_balanced_on_uniform_density() {
+        let pts = grid_points(20, 40.0); // 400 points
+        for n in [2usize, 4, 8] {
+            let part = SpatialPartition::build(&pts, 100.0, n);
+            let mut counts = vec![0usize; n];
+            for s in part.assign(&pts) {
+                counts[s as usize] += 1;
+            }
+            let ideal = pts.len() / n;
+            for (s, &c) in counts.iter().enumerate() {
+                assert!(
+                    c > 0 && c < ideal * 3,
+                    "shard {s} holds {c} of {} points at n={n}: {counts:?}",
+                    pts.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_density_still_splits() {
+        // 90% of points in one corner cell, the rest spread out.
+        let mut pts = vec![Point::new(5.0, 5.0); 90];
+        pts.extend((0..10).map(|i| Point::new(200.0 + 100.0 * i as f64, 900.0)));
+        let part = SpatialPartition::build(&pts, 100.0, 2);
+        let assign = part.assign(&pts);
+        assert!(assign.contains(&0) && assign.contains(&1));
+    }
+
+    #[test]
+    fn assignment_matches_point_lookup_and_cell_lookup() {
+        let pts = grid_points(9, 55.0);
+        let grid = GridIndex::build(&pts, 100.0);
+        let part = SpatialPartition::from_grid(&grid, 4);
+        for p in &pts {
+            assert_eq!(
+                part.shard_of_point(p),
+                part.shard_of_cell(grid.cell_of(p) as u32)
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_bbox_points_clamp_to_edge_shards() {
+        let pts = grid_points(10, 50.0);
+        let part = SpatialPartition::build(&pts, 100.0, 4);
+        for p in [
+            Point::new(-1e6, -1e6),
+            Point::new(1e6, 1e6),
+            Point::new(-1e6, 1e6),
+        ] {
+            assert!((part.shard_of_point(&p) as usize) < 4);
+        }
+    }
+
+    #[test]
+    fn more_shards_than_cells_leaves_trailing_shards_empty() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        let part = SpatialPartition::build(&pts, 100.0, 8);
+        assert_eq!(part.n_shards(), 8);
+        // All points land in some shard; ranges stay well-formed.
+        for s in 0..8 {
+            let r = part.cell_range(s);
+            assert!(r.start <= r.end);
+        }
+        for p in &pts {
+            assert!((part.shard_of_point(p) as usize) < 8);
+        }
+    }
+
+    #[test]
+    fn cell_ranges_tile_the_grid() {
+        let pts = grid_points(15, 45.0);
+        let grid = GridIndex::build(&pts, 100.0);
+        for n in [1usize, 3, 5, 8] {
+            let part = SpatialPartition::from_grid(&grid, n);
+            let mut next = 0usize;
+            for s in 0..n {
+                let r = part.cell_range(s);
+                assert_eq!(r.start, next, "shard {s} range not contiguous at n={n}");
+                next = r.end;
+            }
+            assert_eq!(next, grid.n_cells());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let pts = grid_points(11, 60.0);
+        let a = SpatialPartition::build(&pts, 100.0, 4);
+        let b = SpatialPartition::build(&pts, 100.0, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.assign(&pts), b.assign(&pts));
+    }
+
+    #[test]
+    fn empty_points_make_a_degenerate_but_total_partition() {
+        let part = SpatialPartition::build(&[], 100.0, 4);
+        assert_eq!(part.n_shards(), 4);
+        assert!((part.shard_of_point(&Point::new(3.0, 3.0)) as usize) < 4);
+    }
+}

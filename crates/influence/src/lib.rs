@@ -29,6 +29,7 @@ pub mod kernel;
 pub mod measure;
 pub mod meets;
 pub mod model;
+pub mod shard;
 pub mod slots;
 pub mod storage;
 

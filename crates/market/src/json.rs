@@ -67,12 +67,22 @@ pub fn usize_field(v: &Value, field: &str) -> Result<usize, DecodeError> {
     usize::try_from(n).map_err(|_| DecodeError::new(field, "usize"))
 }
 
+/// `v[field]` as an optional `u32`: absent or `null` decodes to `None`.
+/// Records written before the field existed decode unchanged.
+pub fn opt_u32_field(v: &Value, field: &str) -> Result<Option<u32>, DecodeError> {
+    match &v[field] {
+        Value::Null => Ok(None),
+        _ => u32_field(v, field).map(Some),
+    }
+}
+
 /// Decodes a [`Proposal`] from its serialized object form.
 pub fn decode_proposal(v: &Value) -> Result<Proposal, DecodeError> {
     Ok(Proposal {
         demand: u64_field(v, "demand")?,
         payment: f64_field(v, "payment")?,
         duration_days: u32_field(v, "duration_days")?,
+        zone: opt_u32_field(v, "zone")?,
     })
 }
 
@@ -140,9 +150,19 @@ mod tests {
             demand: 120,
             payment: 110.0,
             duration_days: 4,
+            zone: None,
         };
         let v = reparse(&serde_json::to_string(&p).unwrap());
         assert_eq!(decode_proposal(&v).unwrap(), p);
+        let zoned = Proposal { zone: Some(3), ..p };
+        let v = reparse(&serde_json::to_string(&zoned).unwrap());
+        assert_eq!(decode_proposal(&v).unwrap(), zoned);
+    }
+
+    #[test]
+    fn pre_zone_proposals_decode_with_no_zone() {
+        let v = reparse(r#"{"demand":10,"payment":9.0,"duration_days":2}"#);
+        assert_eq!(decode_proposal(&v).unwrap().zone, None);
     }
 
     #[test]

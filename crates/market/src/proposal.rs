@@ -15,6 +15,10 @@ pub struct Proposal {
     pub payment: f64,
     /// Days the deployment stays locked once signed (≥ 1).
     pub duration_days: u32,
+    /// Home zone for sharded solving: `Some(z)` pins the campaign to
+    /// spatial shard `z % n_shards` (shard-local, solved exactly);
+    /// `None` lets the router split demand across shards.
+    pub zone: Option<u32>,
 }
 
 impl Proposal {
@@ -71,6 +75,7 @@ impl ProposalGenerator {
                     demand,
                     payment,
                     duration_days,
+                    zone: None,
                 }
             })
             .collect()
@@ -120,6 +125,7 @@ mod tests {
             demand: 50,
             payment: 45.0,
             duration_days: 3,
+            zone: None,
         };
         let a = p.advertiser();
         assert_eq!(a.demand, 50);

@@ -4,6 +4,7 @@ use crate::ledger::{DayRecord, Ledger};
 use crate::proposal::{Proposal, ProposalGenerator};
 use mroam_core::advertiser::AdvertiserSet;
 use mroam_core::instance::Instance;
+use mroam_core::shard::{solve_sharded, ShardReport, ShardSpec};
 use mroam_core::solver::Solver;
 use mroam_data::BillboardId;
 use mroam_influence::CoverageModel;
@@ -89,6 +90,11 @@ pub struct MarketSim<'a> {
     /// Scratch for the per-day free-billboard list, reused across steps so
     /// the day loop does not allocate a fresh `Vec` per day.
     free_scratch: Vec<BillboardId>,
+    /// Spatial sharding for the daily solve; `None` (or one shard) keeps
+    /// the single-engine path, bit for bit.
+    shards: Option<ShardSpec>,
+    /// What the most recent sharded solve did, for stats endpoints.
+    last_shard_report: Option<ShardReport>,
 }
 
 impl<'a> MarketSim<'a> {
@@ -98,7 +104,28 @@ impl<'a> MarketSim<'a> {
             model,
             locked_until: vec![None; model.n_billboards()],
             free_scratch: Vec::new(),
+            shards: None,
+            last_shard_report: None,
         }
+    }
+
+    /// Routes future daily solves through the sharded engine (`None` or a
+    /// one-shard spec restores the single-engine path). The spec's
+    /// assignment table is indexed by full-model billboard id; billboards
+    /// past its end take shard `id % n_shards`.
+    pub fn set_shards(&mut self, shards: Option<ShardSpec>) {
+        self.shards = shards.filter(|s| s.n_shards > 1);
+    }
+
+    /// The active sharding spec, if any.
+    pub fn shards(&self) -> Option<&ShardSpec> {
+        self.shards.as_ref()
+    }
+
+    /// The report of the most recent sharded day solve (`None` before the
+    /// first sharded solve or when sharding is off).
+    pub fn last_shard_report(&self) -> Option<&ShardReport> {
+        self.last_shard_report.as_ref()
     }
 
     /// Rebuilds a simulator from an extracted [`LockState`] against the
@@ -114,6 +141,8 @@ impl<'a> MarketSim<'a> {
             model,
             locked_until: state.locked_until,
             free_scratch: Vec::new(),
+            shards: None,
+            last_shard_report: None,
         }
     }
 
@@ -165,7 +194,7 @@ impl<'a> MarketSim<'a> {
     pub fn run(
         mut self,
         generator: &ProposalGenerator,
-        solver: &dyn Solver,
+        solver: &(dyn Solver + Sync),
         config: MarketConfig,
     ) -> Ledger {
         assert!((0.0..=1.0).contains(&config.gamma), "γ must be in [0, 1]");
@@ -182,7 +211,7 @@ impl<'a> MarketSim<'a> {
         &mut self,
         day: u32,
         generator: &ProposalGenerator,
-        solver: &dyn Solver,
+        solver: &(dyn Solver + Sync),
         config: MarketConfig,
     ) -> DayRecord {
         let proposals = generator.day_batch(day);
@@ -200,7 +229,7 @@ impl<'a> MarketSim<'a> {
         &mut self,
         day: u32,
         proposals: &[Proposal],
-        solver: &dyn Solver,
+        solver: &(dyn Solver + Sync),
         config: MarketConfig,
     ) -> DayOutcome {
         assert!((0.0..=1.0).contains(&config.gamma), "γ must be in [0, 1]");
@@ -228,7 +257,25 @@ impl<'a> MarketSim<'a> {
         self.free_scratch = free;
         let advertisers: AdvertiserSet = proposals.iter().map(|p| p.advertiser()).collect();
         let instance = Instance::new(&sub_model, &advertisers, config.gamma);
-        let solution = solver.solve(&instance);
+        let solution = match &self.shards {
+            Some(spec) => {
+                // The spec indexes full-model ids; the day's instance is
+                // over the free sub-model, so restate the table in sub-id
+                // space (the overflow rule keeps post-partition billboards
+                // deterministic too).
+                let sub_assignment: Vec<u32> =
+                    back.iter().map(|b| spec.shard_of(b.index())).collect();
+                let sub_spec = ShardSpec::new(spec.n_shards, sub_assignment);
+                let homes: Vec<Option<u32>> = proposals
+                    .iter()
+                    .map(|p| p.zone.map(|z| z % spec.n_shards as u32))
+                    .collect();
+                let (solution, report) = solve_sharded(&instance, &sub_spec, &homes, solver);
+                self.last_shard_report = Some(report);
+                solution
+            }
+            None => solver.solve(&instance),
+        };
 
         let mut outcomes = Vec::with_capacity(proposals.len());
         for (i, proposal) in proposals.iter().enumerate() {
@@ -360,7 +407,7 @@ mod tests {
     #[test]
     fn simulation_is_deterministic() {
         let model = disjoint_model(&[9, 8, 7, 6, 5, 4]);
-        let run = |solver: &dyn Solver| {
+        let run = |solver: &(dyn Solver + Sync)| {
             MarketSim::new(&model).run(
                 &generator(model.supply()),
                 solver,
@@ -499,6 +546,107 @@ mod tests {
         // The free list can only shrink or stay within the inventory size,
         // so the buffer never needs to regrow past the first allocation.
         assert_eq!(sim.free_scratch.capacity(), cap);
+    }
+
+    #[test]
+    fn sharded_sim_is_deterministic_and_books_consistently() {
+        let model = disjoint_model(&[9, 8, 7, 6, 5, 4, 3, 2]);
+        let g = generator(model.supply());
+        let cfg = MarketConfig {
+            days: 10,
+            gamma: 0.5,
+        };
+        // Blocks of two billboards per shard.
+        let spec = ShardSpec::new(4, (0..8u32).map(|b| b / 2).collect());
+        let run = || {
+            let mut sim = MarketSim::new(&model);
+            sim.set_shards(Some(spec.clone()));
+            let mut ledger = Ledger::default();
+            for day in 0..cfg.days {
+                ledger.days.push(sim.step(day, &g, &GGlobal, cfg));
+            }
+            (ledger, sim.last_shard_report().cloned())
+        };
+        let (a, report_a) = run();
+        let (b, report_b) = run();
+        assert_eq!(a.days, b.days);
+        // Wall-clock fields differ run to run; the loads must not.
+        let report = report_a.expect("sharded days must leave a report");
+        let report_b = report_b.expect("sharded days must leave a report");
+        for (x, y) in report.per_shard.iter().zip(&report_b.per_shard) {
+            assert_eq!(
+                (x.shard, x.billboards, x.advertisers),
+                (y.shard, y.billboards, y.advertisers)
+            );
+            assert_eq!(x.routed_demand, y.routed_demand);
+            assert_eq!(x.local_regret, y.local_regret);
+        }
+        assert_eq!(report.boundary_advertisers, report_b.boundary_advertisers);
+        assert_eq!(report.reconcile_added, report_b.reconcile_added);
+        assert_eq!(report.n_shards, 4);
+        for d in &a.days {
+            assert!(d.collected <= d.committed + 1e-9);
+            assert!(d.utilization() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn one_shard_spec_keeps_the_single_engine_path() {
+        let model = disjoint_model(&[9, 8, 7, 6, 5, 4]);
+        let g = generator(model.supply());
+        let cfg = MarketConfig {
+            days: 8,
+            gamma: 0.5,
+        };
+        let mut plain = MarketSim::new(&model);
+        let mut one_shard = MarketSim::new(&model);
+        one_shard.set_shards(Some(ShardSpec::new(1, vec![0; 6])));
+        for day in 0..cfg.days {
+            let a = plain.step(day, &g, &GGlobal, cfg);
+            let b = one_shard.step(day, &g, &GGlobal, cfg);
+            assert_eq!(a, b, "day {day} diverged under a one-shard spec");
+        }
+        assert!(one_shard.last_shard_report().is_none());
+        assert_eq!(plain.lock_state(), one_shard.lock_state());
+    }
+
+    #[test]
+    fn zoned_proposals_stay_inside_their_shard() {
+        // Shard 0 owns billboards 0..3, shard 1 owns 3..6. A proposal
+        // pinned to zone 1 must deploy only shard-1 billboards.
+        let model = disjoint_model(&[9, 8, 7, 6, 5, 4]);
+        let spec = ShardSpec::new(2, vec![0, 0, 0, 1, 1, 1]);
+        let mut sim = MarketSim::new(&model);
+        sim.set_shards(Some(spec.clone()));
+        let batch = [
+            Proposal {
+                demand: 6,
+                payment: 6.0,
+                duration_days: 1,
+                zone: Some(1),
+            },
+            Proposal {
+                demand: 9,
+                payment: 9.0,
+                duration_days: 1,
+                zone: Some(0),
+            },
+        ];
+        let out = sim.step_with_proposals(
+            0,
+            &batch,
+            &GGlobal,
+            MarketConfig {
+                days: 1,
+                gamma: 0.5,
+            },
+        );
+        for b in &out.outcomes[0].billboards {
+            assert_eq!(spec.shard_of(b.index()), 1, "zone-1 deploy left shard 1");
+        }
+        for b in &out.outcomes[1].billboards {
+            assert_eq!(spec.shard_of(b.index()), 0, "zone-0 deploy left shard 0");
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! Request grammar (`type` selects the variant):
 //!
 //! ```text
-//! {"type":"submit","id":N,"demand":D,"payment":P,"duration_days":K}
+//! {"type":"submit","id":N,"demand":D,"payment":P,"duration_days":K,"zone":Z?}
 //! {"type":"run_day","id":N}            ("solve" is an accepted alias)
 //! {"type":"query_coverage","id":N,"billboards":[o,...]}
 //! {"type":"stats","id":N}
@@ -130,10 +130,16 @@ impl Request {
     #[allow(clippy::format_push_string)]
     pub fn encode(&self) -> String {
         match self {
-            Request::Submit { id, proposal } => format!(
-                "{{\"type\":\"submit\",\"id\":{id},\"demand\":{},\"payment\":{},\"duration_days\":{}}}",
-                proposal.demand, proposal.payment, proposal.duration_days
-            ),
+            Request::Submit { id, proposal } => {
+                let zone = match proposal.zone {
+                    Some(z) => format!(",\"zone\":{z}"),
+                    None => String::new(),
+                };
+                format!(
+                    "{{\"type\":\"submit\",\"id\":{id},\"demand\":{},\"payment\":{},\"duration_days\":{}{zone}}}",
+                    proposal.demand, proposal.payment, proposal.duration_days
+                )
+            }
             Request::RunDay { id } => format!("{{\"type\":\"run_day\",\"id\":{id}}}"),
             Request::QueryCoverage { id, billboards } => {
                 let ids = serde_json::to_string(billboards).expect("stub never fails");
@@ -219,6 +225,32 @@ pub struct StatsReport {
     /// WAL: the replay watermark — sequence of the last durable
     /// snapshot (recovery replays strictly after it).
     pub wal_snapshot_seq: u64,
+    /// Spatial shard count of the solve engine (0 when sharding is off).
+    pub shards: u64,
+    /// Advertisers whose demand the router split across ≥ 2 shards in
+    /// the most recent sharded solve.
+    pub boundary_advertisers: u64,
+    /// Billboards the reconciliation pass added in the most recent
+    /// sharded solve.
+    pub reconcile_added: u64,
+    /// Per-shard loads and timings of the most recent sharded solve
+    /// (empty when sharding is off or no day has been solved).
+    pub shard_stats: Vec<ShardRow>,
+}
+
+/// One shard's row in a `stats` response.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct ShardRow {
+    /// Shard index.
+    pub shard: u64,
+    /// Billboards the shard owned in the last solve (free inventory).
+    pub billboards: u64,
+    /// Advertiser shares routed to the shard.
+    pub advertisers: u64,
+    /// Demand routed to the shard.
+    pub routed_demand: u64,
+    /// Wall time of the shard-local solve, in microseconds.
+    pub solve_micros: u64,
 }
 
 /// A server response, ready to encode.
@@ -246,7 +278,7 @@ pub enum Response {
         free_total: usize,
     },
     /// Statistics.
-    Stats { id: u64, stats: StatsReport },
+    Stats { id: u64, stats: Box<StatsReport> },
     /// Snapshot; `state` is the snapshot document itself (already JSON).
     Snapshot { id: u64, state_json: String },
     /// An ingest batch was applied (sent when it actually lands, which
@@ -303,7 +335,7 @@ impl Response {
             ),
             Response::Stats { id, stats } => format!(
                 "{{\"type\":\"stats\",\"id\":{id},\"stats\":{}}}",
-                serde_json::to_string(stats).expect("stub never fails"),
+                serde_json::to_string(stats.as_ref()).expect("stub never fails"),
             ),
             Response::Snapshot { id, state_json } => {
                 format!("{{\"type\":\"snapshot\",\"id\":{id},\"state\":{state_json}}}")
@@ -364,6 +396,16 @@ mod tests {
                     demand: 40,
                     payment: 38.0,
                     duration_days: 2,
+                    zone: None,
+                },
+            },
+            Request::Submit {
+                id: 9,
+                proposal: Proposal {
+                    demand: 12,
+                    payment: 10.5,
+                    duration_days: 1,
+                    zone: Some(3),
                 },
             },
             Request::RunDay { id: 4 },
@@ -470,7 +512,7 @@ mod tests {
             },
             Response::Stats {
                 id: 4,
-                stats: StatsReport::default(),
+                stats: Box::default(),
             },
             Response::Snapshot {
                 id: 5,

@@ -598,7 +598,13 @@ fn command_loop(
                                 pending_ingest.len(),
                                 wal.as_ref(),
                             );
-                            send(&reply, Response::Stats { id, stats: report });
+                            send(
+                                &reply,
+                                Response::Stats {
+                                    id,
+                                    stats: Box::new(report),
+                                },
+                            );
                         }
                         Request::Snapshot { id } => {
                             send(
@@ -868,6 +874,27 @@ fn stats_report(
         wal_last_sync_age_micros: ws.last_sync_age_micros,
         wal_next_seq: ws.next_seq,
         wal_snapshot_seq: wal.map_or(0, |w| w.last_snapshot_seq),
+        shards: host
+            .config()
+            .shards
+            .as_ref()
+            .map_or(0, |s| s.n_shards as u64),
+        boundary_advertisers: host
+            .shard_report()
+            .map_or(0, |r| r.boundary_advertisers as u64),
+        reconcile_added: host.shard_report().map_or(0, |r| r.reconcile_added as u64),
+        shard_stats: host.shard_report().map_or_else(Vec::new, |r| {
+            r.per_shard
+                .iter()
+                .map(|s| crate::protocol::ShardRow {
+                    shard: u64::from(s.shard),
+                    billboards: s.billboards as u64,
+                    advertisers: s.advertisers as u64,
+                    routed_demand: s.routed_demand,
+                    solve_micros: s.solve_micros,
+                })
+                .collect()
+        }),
     }
 }
 

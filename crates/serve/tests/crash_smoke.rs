@@ -100,6 +100,7 @@ fn drive_days(conn: &mut Client, days: u32, base_id: u64) -> Value {
                 demand: 5 + d % 3,
                 payment: 6.0,
                 duration_days: 1 + (d % 2) as u32,
+                zone: None,
             },
         })
         .expect("send submit");

@@ -31,6 +31,7 @@ fn manual_server(model: CoverageModel, max_batch: usize) -> ServerHandle {
             host: HostConfig {
                 gamma: 0.5,
                 solver: solver_spec(),
+                shards: None,
             },
             batch: BatchPolicy {
                 max_batch,
@@ -51,6 +52,7 @@ fn proposals_for_day(day: u64) -> Vec<Proposal> {
             demand: 5 + 3 * i + 2 * day,
             payment: (5 + 3 * i + 2 * day) as f64,
             duration_days: (1 + (day + i) % 3) as u32,
+            zone: None,
         })
         .collect()
 }
@@ -146,6 +148,7 @@ fn size_cap_closes_a_batch_without_run_day() {
                 demand: 4,
                 payment: 4.0,
                 duration_days: 1,
+                zone: None,
             },
         })
         .expect("send");
@@ -271,6 +274,7 @@ fn malformed_frames_get_errors_and_shutdown_drains_the_open_batch() {
             demand: 3,
             payment: 3.0,
             duration_days: 1,
+            zone: None,
         },
     })
     .expect("send submit");

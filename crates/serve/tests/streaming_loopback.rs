@@ -46,6 +46,7 @@ fn streaming_server(engine: StreamEngine, ingest_queue: usize) -> ServerHandle {
             host: HostConfig {
                 gamma: 0.5,
                 solver: SolverSpec::by_name("g-global").unwrap().with_seed(7),
+                shards: None,
             },
             batch: BatchPolicy {
                 max_batch: 1024,
@@ -172,6 +173,7 @@ fn ingest_parks_behind_an_open_batch_and_backpressure_kicks_in() {
             demand: 1,
             payment: 2.0,
             duration_days: 1,
+            zone: None,
         },
     })
     .expect("submit");

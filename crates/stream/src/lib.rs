@@ -35,6 +35,7 @@ pub mod delta;
 pub mod engine;
 pub mod json;
 pub mod overlay;
+pub mod shard;
 
 pub use delta::{
     BillboardEvent, CompactionReport, EpochStats, IngestBatch, IngestError, IngestReport,
@@ -42,6 +43,7 @@ pub use delta::{
 };
 pub use engine::{CompactionPolicy, StreamEngine};
 pub use overlay::DeltaOverlay;
+pub use shard::{route_batch, RoutedBatch};
 
 #[cfg(test)]
 mod tests {

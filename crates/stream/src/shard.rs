@@ -1,0 +1,186 @@
+//! Spatial routing of [`IngestBatch`]es to per-shard engines.
+//!
+//! A sharded deployment runs one [`StreamEngine`](crate::StreamEngine)
+//! per spatial shard. This module splits one incoming batch into one
+//! sub-batch per shard, deterministically:
+//!
+//! * a **billboard add** goes to the shard its location falls in
+//!   ([`SpatialPartition::shard_of_point`]);
+//! * a **billboard retire** goes to the shard that owns the id — table
+//!   lookup with the same `id % n_shards` overflow rule the solve router
+//!   uses ([`mroam_influence::shard::shard_of`]);
+//! * a **trajectory** goes to the shard of its *first* point (the trip's
+//!   origin). A trajectory can physically cross several shards; the
+//!   boundary coverage it contributes elsewhere is exactly the
+//!   cross-shard mass `boundary_report` measures and the merge recount
+//!   absorbs — routing by origin keeps every trajectory in exactly one
+//!   shard's ingest stream, so per-shard trajectory ids stay dense.
+//!
+//! Order within each sub-batch preserves the input order, so two routers
+//! fed the same batch produce byte-identical sub-batches (WAL replay
+//! routes the same way live ingest did).
+
+use crate::delta::{BillboardEvent, IngestBatch};
+use mroam_geo::SpatialPartition;
+use mroam_influence::shard::shard_of;
+
+/// One batch split into per-shard sub-batches, indexed by shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedBatch {
+    /// `batches[s]` is shard `s`'s slice of the input (possibly empty).
+    pub batches: Vec<IngestBatch>,
+}
+
+impl RoutedBatch {
+    /// Total events and trajectories across all shards — always equal to
+    /// the input batch's counts (routing never drops or duplicates).
+    pub fn totals(&self) -> (usize, usize) {
+        self.batches.iter().fold((0, 0), |(e, t), b| {
+            (e + b.billboard_events.len(), t + b.trajectories.len())
+        })
+    }
+}
+
+/// Splits `batch` into per-shard sub-batches. `assignment` maps existing
+/// billboard ids to shards (retires route through it, with the modulo
+/// overflow rule past its end); adds and trajectories route through the
+/// partition's geometry.
+pub fn route_batch(
+    batch: &IngestBatch,
+    partition: &SpatialPartition,
+    assignment: &[u32],
+) -> RoutedBatch {
+    let n_shards = partition.n_shards();
+    let mut batches = vec![IngestBatch::default(); n_shards];
+    for event in &batch.billboard_events {
+        let s = match event {
+            BillboardEvent::Add { location } => partition.shard_of_point(location),
+            BillboardEvent::Retire { id } => shard_of(assignment, *id as usize, n_shards),
+        };
+        batches[s as usize].billboard_events.push(event.clone());
+    }
+    for tr in &batch.trajectories {
+        // Origin-shard routing; a pointless trajectory (rejected by
+        // ingest validation anyway) parks deterministically in shard 0.
+        let s = tr.points.first().map_or(0, |p| partition.shard_of_point(p));
+        batches[s as usize].trajectories.push(tr.clone());
+    }
+    RoutedBatch { batches }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::TrajectoryDelta;
+    use mroam_geo::Point;
+
+    /// Ten billboard sites on a 1000 m line; cell size 100 m; the
+    /// partition owns contiguous bands of the line.
+    fn partition(n_shards: usize) -> (Vec<Point>, SpatialPartition) {
+        let pts: Vec<Point> = (0..10).map(|i| Point::new(i as f64 * 100.0, 0.0)).collect();
+        let part = SpatialPartition::build(&pts, 100.0, n_shards);
+        (pts, part)
+    }
+
+    fn traj(x: f64) -> TrajectoryDelta {
+        TrajectoryDelta::at_speed(vec![Point::new(x, 0.0), Point::new(x + 10.0, 0.0)], 5.0)
+    }
+
+    #[test]
+    fn routing_conserves_every_item() {
+        let (pts, part) = partition(4);
+        let assignment = part.assign(&pts);
+        let batch = IngestBatch {
+            billboard_events: vec![
+                BillboardEvent::Add {
+                    location: Point::new(50.0, 0.0),
+                },
+                BillboardEvent::Retire { id: 9 },
+                BillboardEvent::Add {
+                    location: Point::new(950.0, 0.0),
+                },
+            ],
+            trajectories: vec![traj(0.0), traj(500.0), traj(900.0)],
+        };
+        let routed = route_batch(&batch, &part, &assignment);
+        assert_eq!(routed.batches.len(), 4);
+        assert_eq!(routed.totals(), (3, 3));
+    }
+
+    #[test]
+    fn adds_follow_geometry_and_retires_follow_ownership() {
+        let (pts, part) = partition(2);
+        let assignment = part.assign(&pts);
+        let batch = IngestBatch {
+            billboard_events: vec![
+                BillboardEvent::Add {
+                    location: Point::new(10.0, 0.0),
+                },
+                BillboardEvent::Retire { id: 9 },
+            ],
+            trajectories: vec![],
+        };
+        let routed = route_batch(&batch, &part, &assignment);
+        let add_shard = part.shard_of_point(&Point::new(10.0, 0.0)) as usize;
+        let retire_shard = assignment[9] as usize;
+        assert!(matches!(
+            routed.batches[add_shard].billboard_events[..],
+            [BillboardEvent::Add { .. }]
+        ));
+        assert!(routed.batches[retire_shard]
+            .billboard_events
+            .iter()
+            .any(|e| matches!(e, BillboardEvent::Retire { id: 9 })));
+    }
+
+    #[test]
+    fn retire_of_post_partition_billboard_uses_the_modulo_rule() {
+        let (pts, part) = partition(4);
+        let assignment = part.assign(&pts); // covers ids 0..10 only
+        let batch = IngestBatch {
+            billboard_events: vec![BillboardEvent::Retire { id: 13 }],
+            trajectories: vec![],
+        };
+        let routed = route_batch(&batch, &part, &assignment);
+        assert_eq!(routed.batches[13 % 4].billboard_events.len(), 1);
+    }
+
+    #[test]
+    fn trajectories_route_by_origin_and_keep_order() {
+        let (pts, part) = partition(2);
+        let assignment = part.assign(&pts);
+        let batch = IngestBatch {
+            billboard_events: vec![],
+            trajectories: vec![traj(0.0), traj(900.0), traj(10.0), traj(20.0)],
+        };
+        let routed = route_batch(&batch, &part, &assignment);
+        let home = part.shard_of_point(&Point::new(0.0, 0.0)) as usize;
+        let far = part.shard_of_point(&Point::new(900.0, 0.0)) as usize;
+        assert_ne!(home, far);
+        assert_eq!(
+            routed.batches[home].trajectories,
+            vec![traj(0.0), traj(10.0), traj(20.0)],
+            "input order must survive within a shard"
+        );
+        assert_eq!(routed.batches[far].trajectories, vec![traj(900.0)]);
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let (pts, part) = partition(3);
+        let assignment = part.assign(&pts);
+        let batch = IngestBatch {
+            billboard_events: vec![
+                BillboardEvent::Retire { id: 2 },
+                BillboardEvent::Add {
+                    location: Point::new(420.0, 0.0),
+                },
+            ],
+            trajectories: vec![traj(300.0), traj(800.0)],
+        };
+        assert_eq!(
+            route_batch(&batch, &part, &assignment),
+            route_batch(&batch, &part, &assignment)
+        );
+    }
+}

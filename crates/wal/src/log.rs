@@ -714,6 +714,7 @@ mod tests {
                 demand: 10 + day as u64,
                 payment: 9.5,
                 duration_days: 1,
+                zone: None,
             }],
         }
     }

@@ -211,11 +211,13 @@ mod tests {
                         demand: 100,
                         payment: 90.0,
                         duration_days: 3,
+                        zone: None,
                     },
                     Proposal {
                         demand: 50,
                         payment: 55.5,
                         duration_days: 1,
+                        zone: None,
                     },
                 ],
             },

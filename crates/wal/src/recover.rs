@@ -167,6 +167,7 @@ mod tests {
                 .unwrap()
                 .with_seed(77)
                 .with_restarts(2),
+            shards: None,
         }
     }
 

@@ -35,6 +35,7 @@
 //! where `wal_seq` is the replay watermark: every WAL record with
 //! `seq <= wal_seq` is folded in, recovery replays strictly after it.
 
+use mroam_core::shard::ShardSpec;
 use mroam_core::solver::SolverSpec;
 use mroam_data::BillboardStore;
 use mroam_geo::Point;
@@ -91,6 +92,19 @@ struct SnapshotDoc {
     lock: LockState,
     ledger: Ledger,
     stream: Option<StreamDoc>,
+    shards: Option<ShardsDoc>,
+}
+
+/// The sharding section: absent for single-engine hosts (and in every
+/// pre-sharding snapshot, which therefore restores unchanged). The
+/// assignment table rides in the snapshot because recovery must solve
+/// with the *same* partition to replay bit-identically — deriving it
+/// from geometry at restore time would silently break on any partitioner
+/// change.
+#[derive(Debug, Clone, Serialize)]
+struct ShardsDoc {
+    n_shards: u64,
+    assignment: Vec<u32>,
 }
 
 /// The streaming section of a v2 snapshot: everything
@@ -297,6 +311,10 @@ pub fn encode(host: &Host<'_>, stream: Option<&StreamEngine>) -> String {
                 new_billboards: engine.overlay().new_billboard_lists().to_vec(),
             }
         }),
+        shards: host.config().shards.as_ref().map(|spec| ShardsDoc {
+            n_shards: spec.n_shards as u64,
+            assignment: spec.assignment.as_ref().clone(),
+        }),
     };
     serde_json::to_string(&doc).expect("stub never fails")
 }
@@ -454,11 +472,34 @@ pub fn decode_value(v: &Value) -> Result<Restored, SnapshotError> {
         Value::Null => None,
         section => Some(decode_stream(section, &model)?),
     };
+    let shards = match &v["shards"] {
+        Value::Null => None,
+        section => {
+            let n_shards = json::usize_field(section, "n_shards")?;
+            if n_shards == 0 {
+                return Err(DecodeError {
+                    field: "shards.n_shards".into(),
+                    expected: "positive shard count",
+                }
+                .into());
+            }
+            let assignment = u32_list(&section["assignment"], "shards.assignment")?;
+            if assignment.iter().any(|&s| s as usize >= n_shards) {
+                return Err(DecodeError {
+                    field: "shards.assignment".into(),
+                    expected: "shard indices below n_shards",
+                }
+                .into());
+            }
+            Some(ShardSpec::new(n_shards, assignment))
+        }
+    };
     Ok(Restored {
         model,
         config: HostConfig {
             gamma: json::f64_field(v, "gamma")?,
             solver: spec,
+            shards,
         },
         seed: HostSeed {
             day: json::u32_field(v, "day")?,
@@ -593,6 +634,7 @@ mod tests {
                 .unwrap()
                 .with_seed(0xDEAD_BEEF_CAFE_F00D)
                 .with_restarts(2),
+            shards: None,
         }
     }
 
@@ -619,6 +661,27 @@ mod tests {
         for b in model.billboard_ids() {
             assert_eq!(restored.model.coverage(b), model.coverage(b));
         }
+    }
+
+    #[test]
+    fn shard_spec_roundtrips_through_the_snapshot() {
+        let model = disjoint_model(&[8, 7, 6, 5, 4, 3]);
+        let spec = ShardSpec::new(3, vec![0, 0, 1, 1, 2, 2]);
+        let mut cfg = config();
+        cfg.shards = Some(spec.clone());
+        let mut host = Host::new(&model, cfg);
+        host.run_day(&[Proposal {
+            demand: 5,
+            payment: 5.0,
+            duration_days: 2,
+            zone: Some(1),
+        }]);
+        let restored = decode(&encode(&host, None)).expect("restores");
+        assert_eq!(restored.config.shards, Some(spec));
+        // Unsharded hosts keep an absent section.
+        let plain = Host::new(&model, config());
+        let restored = decode(&encode(&plain, None)).unwrap();
+        assert_eq!(restored.config.shards, None);
     }
 
     #[test]
@@ -684,6 +747,7 @@ mod tests {
             demand: 9,
             payment: 9.0,
             duration_days: 5,
+            zone: None,
         }]);
         let restored = decode(&encode(&host, None)).unwrap();
         assert_eq!(restored.seed.day, 1);

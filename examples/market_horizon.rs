@@ -38,7 +38,7 @@ fn main() {
         "{:<10} {:>12} {:>12} {:>10} {:>8} {:>8}",
         "strategy", "committed", "collected", "regret", "sat%", "util%"
     );
-    let strategies: Vec<(&str, Box<dyn Solver>)> = vec![
+    let strategies: Vec<(&str, Box<dyn Solver + Sync>)> = vec![
         ("G-Order", Box::new(GOrder)),
         ("G-Global", Box::new(GGlobal)),
         ("BLS", Box::new(Bls::default())),
