@@ -61,6 +61,16 @@
 //! mroam stats --wal WALDIR
 //!     Shortcut for the same segment/snapshot listing (`stats` keeps its
 //!     dataset mode when --wal is absent).
+//!
+//! mroam stats --replication 1 --addr HOST:PORT [--follower-addr HOST:PORT]
+//!     Replication health of a running `mroam-served --replica-addr`
+//!     leader: WAL head vs durable seq, feed totals (connects, shipped
+//!     frames/bytes, snapshot sends, slow disconnects), and one row per
+//!     follower connection with its shipped/acked seq and lag. With
+//!     --follower-addr, also asks that follower for its own view:
+//!     applied seq vs the leader's durable horizon, snapshots received,
+//!     reconnects, and last catch-up time. Speaks the wire protocol
+//!     directly, so it works against any reachable daemon.
 //! ```
 
 use mroam_core::prelude::*;
@@ -226,6 +236,12 @@ fn cmd_solve(args: &Args) {
 }
 
 fn cmd_stats(args: &Args) {
+    // `stats --replication` interrogates live daemons over the wire: no
+    // dataset, no filesystem — just addresses.
+    if args.flag("replication") {
+        print_replication_stats(args);
+        return;
+    }
     // `stats --wal DIR` is the durability inspection mode: no dataset
     // needed, just the log directory.
     if let Some(dir) = args.get("wal") {
@@ -255,6 +271,99 @@ fn cmd_stats(args: &Args) {
             exit(2);
         });
         print_shard_breakdown(args, &billboards, &trajectories, n.max(1));
+    }
+}
+
+/// One `stats` round-trip against a daemon, over a throwaway socket.
+/// The wire protocol is tiny (8-byte LE length + one JSON document per
+/// frame), so this avoids a dependency on the serve crate — `mroam` is
+/// below it in the crate DAG.
+fn wire_stats(addr: &str) -> serde_json::Value {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        exit(1);
+    });
+    let payload = br#"{"type":"stats","id":1}"#;
+    let mut msg = Vec::with_capacity(8 + payload.len());
+    msg.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    msg.extend_from_slice(payload);
+    stream.write_all(&msg).expect("send stats request");
+    let mut header = [0u8; 8];
+    stream.read_exact(&mut header).expect("read frame header");
+    let len = u64::from_le_bytes(header);
+    assert!(len <= 256 << 20, "oversized frame from {addr}");
+    let mut buf = vec![0u8; len as usize];
+    stream.read_exact(&mut buf).expect("read frame payload");
+    let text = std::str::from_utf8(&buf).expect("frame is not UTF-8");
+    let v: serde_json::Value = serde_json::from_str(text).expect("frame is not JSON");
+    assert_eq!(
+        v["type"].as_str(),
+        Some("stats"),
+        "unexpected response from {addr}: {v:?}"
+    );
+    v
+}
+
+/// `mroam stats --replication 1 --addr L [--follower-addr F]`: the
+/// leader's feed counters and per-follower lag table, plus (optionally)
+/// one follower's own applied/reconnect/catch-up view.
+fn print_replication_stats(args: &Args) {
+    let addr = required(args, "addr");
+    let v = wire_stats(&addr);
+    let s = &v["stats"];
+    let num = |v: &serde_json::Value| v.as_f64().unwrap_or(0.0) as u64;
+    let head = num(&s["wal_next_seq"]).saturating_sub(1);
+    let durable = num(&s["wal_durable_seq"]);
+    println!(
+        "leader {addr}: day {}, wal head seq {head}, durable seq {durable}",
+        num(&s["day"])
+    );
+    if num(&s["repl_connects"]) == 0 && s["replica_rows"].as_array().is_none_or(Vec::is_empty) {
+        println!("replication: no follower has ever connected (is the leader running with --replica-addr?)");
+    } else {
+        println!(
+            "replication: {} connected ({} connects total), {} snapshots shipped, {} frames / {} bytes shipped, {} slow disconnects",
+            num(&s["repl_followers"]),
+            num(&s["repl_connects"]),
+            num(&s["repl_snapshot_sends"]),
+            num(&s["repl_shipped_frames"]),
+            num(&s["repl_shipped_bytes"]),
+            num(&s["repl_slow_disconnects"]),
+        );
+        println!(
+            "  {:>4}  {:<12} {:>10} {:>10} {:>6} {:>12} {:>9}",
+            "conn", "state", "shipped", "acked", "lag", "bytes", "snapshots"
+        );
+        for row in s["replica_rows"].as_array().into_iter().flatten() {
+            println!(
+                "  {:>4}  {:<12} {:>10} {:>10} {:>6} {:>12} {:>9}",
+                num(&row["id"]),
+                if num(&row["connected"]) == 1 {
+                    "connected"
+                } else {
+                    "disconnected"
+                },
+                num(&row["shipped_seq"]),
+                num(&row["acked_seq"]),
+                num(&row["lag"]),
+                num(&row["shipped_bytes"]),
+                num(&row["snapshot_sends"]),
+            );
+        }
+    }
+    if let Some(faddr) = args.get("follower-addr") {
+        let v = wire_stats(faddr);
+        let s = &v["stats"];
+        let applied = num(&s["repl_applied_seq"]);
+        let leader_durable = num(&s["repl_leader_durable"]);
+        println!(
+            "follower {faddr}: applied seq {applied} (leader durable {leader_durable}, lag {}), {} snapshots received, {} reconnects, last catch-up {:.1} ms",
+            leader_durable.saturating_sub(applied),
+            num(&s["repl_snapshots_received"]),
+            num(&s["repl_reconnects"]),
+            num(&s["repl_catch_up_micros"]) as f64 / 1e3,
+        );
     }
 }
 

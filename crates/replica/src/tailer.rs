@@ -1,0 +1,334 @@
+//! The replication client: one feed session, plus the reconnect loop.
+//!
+//! A [`Session`] is deliberately *step-wise*: [`Session::step`] reads
+//! and applies exactly one shipped message, so tests can kill a
+//! follower after any record and prove the watermark reconnect path
+//! recovers bit-identically. [`Tailer::run`] wraps it in the production
+//! loop — connect, drain until the stream ends, reconnect with the
+//! current watermark after a backoff.
+//!
+//! Every shipped frame is CRC-verified against its seq (the same
+//! `frame_crc` the on-disk log uses) before it is decoded; a mismatch
+//! or a seq gap is a hard protocol error, never a skip. Frames at or
+//! below `applied_seq` (possible right after a snapshot catch-up whose
+//! watermark trails the follower's old position) are acknowledged and
+//! dropped without re-applying.
+
+use mroam_wal::ship::{self, ShipMsg};
+use mroam_wal::{state, ReplayWorld, WalRecord};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The follower's replicated world plus progress counters, shared
+/// between the tailer (writer) and the read-only server (reader).
+#[derive(Default)]
+pub struct FollowerState {
+    /// The replicated world; `None` until the first snapshot lands.
+    world: Option<ReplayWorld>,
+    /// Highest WAL seq applied (0 = nothing).
+    applied_seq: u64,
+    /// The leader's durable seq as last heard (heartbeats).
+    leader_durable: u64,
+    /// Feed connections established (reconnects = this minus one).
+    connects: u64,
+    /// Snapshots restored (catch-ups).
+    snapshots_received: u64,
+    /// Frames applied.
+    frames_applied: u64,
+    /// Wall time of the most recent catch-up: connect to first reaching
+    /// the leader's durable horizon.
+    last_catch_up_micros: u64,
+    /// Whether the current session has reached the durable horizon.
+    caught_up: bool,
+}
+
+/// The shared handle both halves of a follower hold.
+pub type SharedState = Arc<Mutex<FollowerState>>;
+
+impl FollowerState {
+    /// A fresh follower: no world, watermark 0.
+    pub fn new() -> SharedState {
+        Arc::default()
+    }
+
+    /// The replicated world, if a snapshot has landed yet.
+    pub fn world(&self) -> Option<&ReplayWorld> {
+        self.world.as_ref()
+    }
+
+    /// Highest WAL seq applied.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// The leader's durable seq as last heard.
+    pub fn leader_durable(&self) -> u64 {
+        self.leader_durable
+    }
+
+    /// Reconnects since the first session.
+    pub fn reconnects(&self) -> u64 {
+        self.connects.saturating_sub(1)
+    }
+
+    /// Snapshots restored.
+    pub fn snapshots_received(&self) -> u64 {
+        self.snapshots_received
+    }
+
+    /// Frames applied.
+    pub fn frames_applied(&self) -> u64 {
+        self.frames_applied
+    }
+
+    /// Wall time of the most recent connect→caught-up interval.
+    pub fn last_catch_up_micros(&self) -> u64 {
+        self.last_catch_up_micros
+    }
+
+    /// Whether the current session has caught up to the leader's
+    /// durable horizon.
+    pub fn caught_up(&self) -> bool {
+        self.caught_up
+    }
+
+    fn mark_caught_up(&mut self, connected_at: Instant) {
+        if !self.caught_up {
+            self.caught_up = true;
+            self.last_catch_up_micros = connected_at.elapsed().as_micros() as u64;
+        }
+    }
+}
+
+/// What one [`Session::step`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionEvent {
+    /// A snapshot was restored; the world now stands at this seq.
+    Snapshot { wal_seq: u64 },
+    /// One frame applied; `applied_seq` is now this.
+    Applied { seq: u64 },
+    /// A frame at or below the watermark was acknowledged and dropped.
+    Skipped { seq: u64 },
+    /// Leader heartbeat carrying its durable horizon.
+    Heartbeat { durable_seq: u64 },
+    /// The leader closed the stream cleanly.
+    Closed,
+}
+
+/// One live feed connection. Dropping it mid-stream *is* the follower
+/// kill: no state beyond [`FollowerState`] survives, and the next
+/// [`Session::connect`] resumes from `applied_seq`.
+pub struct Session {
+    stream: TcpStream,
+    state: SharedState,
+    connected_at: Instant,
+}
+
+impl Session {
+    /// Connects to the leader's feed and sends the handshake hello
+    /// (watermark = `applied_seq`, snapshot requested when no world).
+    pub fn connect(leader: SocketAddr, state: SharedState) -> io::Result<Session> {
+        let mut stream = TcpStream::connect(leader)?;
+        stream.set_nodelay(true)?;
+        let (watermark, need_snapshot) = {
+            let mut st = state.lock().expect("follower state");
+            st.connects += 1;
+            st.caught_up = false;
+            (st.applied_seq, st.world.is_none())
+        };
+        ship::write_msg(
+            &mut stream,
+            &ShipMsg::Hello {
+                watermark,
+                need_snapshot,
+            },
+        )?;
+        Ok(Session {
+            stream,
+            state,
+            connected_at: Instant::now(),
+        })
+    }
+
+    /// Reads and applies exactly one shipped message.
+    pub fn step(&mut self) -> io::Result<SessionEvent> {
+        let Some(msg) = ship::read_msg(&mut self.stream)? else {
+            return Ok(SessionEvent::Closed);
+        };
+        match msg {
+            ShipMsg::Snapshot { wal_seq, sealed } => self.apply_snapshot(wal_seq, &sealed),
+            ShipMsg::Frame { seq, crc, payload } => self.apply_frame(seq, crc, &payload),
+            ShipMsg::Heartbeat { durable_seq } => {
+                let mut st = self.state.lock().expect("follower state");
+                st.leader_durable = st.leader_durable.max(durable_seq);
+                if st.applied_seq >= durable_seq {
+                    st.mark_caught_up(self.connected_at);
+                }
+                Ok(SessionEvent::Heartbeat { durable_seq })
+            }
+            ShipMsg::Hello { .. } | ShipMsg::Ack { .. } => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unexpected message from leader",
+            )),
+        }
+    }
+
+    /// Drains the stream until it closes or `stopping` is set. Errors
+    /// surface to the caller (the [`Tailer`] reconnects; tests assert).
+    pub fn run(&mut self, stopping: &AtomicBool) -> io::Result<()> {
+        loop {
+            if stopping.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            match self.step()? {
+                SessionEvent::Closed => return Ok(()),
+                _ => continue,
+            }
+        }
+    }
+
+    /// A second handle onto the session socket, so an owner can shut it
+    /// down from another thread to unblock [`Session::step`].
+    pub fn try_clone_stream(&self) -> io::Result<TcpStream> {
+        self.stream.try_clone()
+    }
+
+    /// Restores a shipped sealed snapshot as the new world. The seal is
+    /// the same CRC container recovery verifies, so a corrupt ship is
+    /// caught here, before anything is replaced.
+    fn apply_snapshot(&mut self, wal_seq: u64, sealed: &[u8]) -> io::Result<SessionEvent> {
+        let text = std::str::from_utf8(sealed)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "snapshot is not UTF-8"))?;
+        let json = state::unseal(text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let restored = state::decode(json)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let world = ReplayWorld::from_restored(restored);
+        {
+            let mut st = self.state.lock().expect("follower state");
+            st.world = Some(world);
+            st.applied_seq = wal_seq;
+            st.snapshots_received += 1;
+        }
+        self.ack(wal_seq)?;
+        Ok(SessionEvent::Snapshot { wal_seq })
+    }
+
+    /// CRC-verifies and applies one shipped frame in seq order.
+    fn apply_frame(&mut self, seq: u64, crc: u32, payload: &[u8]) -> io::Result<SessionEvent> {
+        if !ship::verify_frame(seq, crc, payload) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("shipped frame {seq} failed CRC verification"),
+            ));
+        }
+        let applied = self.state.lock().expect("follower state").applied_seq;
+        if seq <= applied {
+            // Overlap after a snapshot whose watermark trails our old
+            // position: already part of the restored state.
+            self.ack(applied)?;
+            return Ok(SessionEvent::Skipped { seq });
+        }
+        if seq != applied + 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame gap: applied {applied}, leader shipped {seq}"),
+            ));
+        }
+        let record = WalRecord::decode(payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        {
+            let mut st = self.state.lock().expect("follower state");
+            let world = st.world.as_mut().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "frame shipped before any snapshot",
+                )
+            })?;
+            world
+                .apply(seq, &record)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            st.applied_seq = seq;
+            st.frames_applied += 1;
+            if st.leader_durable > 0 && seq >= st.leader_durable {
+                st.mark_caught_up(self.connected_at);
+            }
+        }
+        self.ack(seq)?;
+        Ok(SessionEvent::Applied { seq })
+    }
+
+    fn ack(&mut self, applied_seq: u64) -> io::Result<()> {
+        ship::write_msg(&mut self.stream, &ShipMsg::Ack { applied_seq })
+    }
+}
+
+/// The production tail loop: session after session, reconnecting with
+/// the current watermark after exponential backoff (20 ms → 1 s).
+pub struct Tailer {
+    leader: SocketAddr,
+    state: SharedState,
+    stopping: Arc<AtomicBool>,
+    /// The live session's socket, so [`Tailer::disconnect`] can unblock
+    /// a parked read from another thread.
+    current: Arc<Mutex<Option<TcpStream>>>,
+}
+
+impl Tailer {
+    /// A tailer for the given leader feed address.
+    pub fn new(leader: SocketAddr, state: SharedState, stopping: Arc<AtomicBool>) -> Tailer {
+        Tailer {
+            leader,
+            state,
+            stopping,
+            current: Arc::default(),
+        }
+    }
+
+    /// A handle that can sever the live session (used by the follower's
+    /// shutdown path; also how tests simulate a network drop).
+    pub fn disconnector(&self) -> Disconnector {
+        Disconnector {
+            current: Arc::clone(&self.current),
+        }
+    }
+
+    /// Runs until `stopping` is set. Never returns an error: a failed
+    /// session is a reconnect, not a crash.
+    pub fn run(&self) {
+        let mut backoff = Duration::from_millis(20);
+        while !self.stopping.load(Ordering::SeqCst) {
+            match Session::connect(self.leader, Arc::clone(&self.state)) {
+                Ok(mut session) => {
+                    backoff = Duration::from_millis(20);
+                    *self.current.lock().expect("tailer socket slot") =
+                        session.try_clone_stream().ok();
+                    let _ = session.run(&self.stopping);
+                    *self.current.lock().expect("tailer socket slot") = None;
+                }
+                Err(_) => {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_secs(1));
+                }
+            }
+        }
+    }
+}
+
+/// Severs the tailer's live session from outside its thread.
+pub struct Disconnector {
+    current: Arc<Mutex<Option<TcpStream>>>,
+}
+
+impl Disconnector {
+    /// Shuts the live session socket down, if one is up. The tailer
+    /// reconnects (or exits, if its stopping flag is set).
+    pub fn disconnect(&self) {
+        if let Some(sock) = self.current.lock().expect("tailer socket slot").as_ref() {
+            let _ = sock.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}

@@ -15,6 +15,7 @@
 //!         [--model-cache path/to/model.cov] [--shards N]
 //!         [--zipf S] [--zones N]
 //!         [--addr HOST:PORT] [--supply N] [--shutdown true]
+//!         [--follower-addr HOST:PORT]
 //! ```
 //!
 //! `--zipf S` pins each proposal to a demand zone drawn Zipf(S) over
@@ -35,6 +36,14 @@
 //! `--shutdown true`. This is how the crash-recovery smoke drives a
 //! WAL-enabled daemon across a kill and restart.
 //!
+//! With `--follower-addr`, read-only traffic (`query_coverage`,
+//! `stats`) is routed to a replica while every write still goes to the
+//! leader — the read-scaling deployment shape. The run then
+//! self-checks the replication contract: once the follower advertises
+//! the leader's final WAL seq, its coverage and stats answers must be
+//! byte-identical to the leader's (same history prefix ⇒ same bytes),
+//! and any mismatch fails the smoke.
+//!
 //! Prints throughput and client-observed p50/p95/p99, cross-checked
 //! against the server's own histogram, and exits nonzero if the run is
 //! inconsistent (lost responses, non-monotone percentiles, zero
@@ -54,6 +63,7 @@ use mroam_serve::server::{spawn, ServeConfig};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -145,9 +155,18 @@ fn main() {
         let target = format!("{}/{scale:?}", city.name);
         (handle.addr(), supply, Some(handle), target)
     };
+    let follower_addr: Option<std::net::SocketAddr> = args.get("follower-addr").map(|a| {
+        a.parse().unwrap_or_else(|_| {
+            eprintln!("bad --follower-addr {a:?}: expected HOST:PORT");
+            exit(2);
+        })
+    });
     println!(
         "loadgen: {n} submits @ ~{rps} rps against {addr} ({target}, algo {algo}, seed {seed})"
     );
+    if let Some(f) = follower_addr {
+        println!("loadgen: read traffic routed to follower {f}");
+    }
 
     // Draw the whole workload up front from the seed: proposals and the
     // open-loop send schedule (exponential gaps with mean 1/rps).
@@ -200,6 +219,51 @@ fn main() {
     // empty slot.
     let mut submit_conn = Client::connect(addr).expect("connect submit stream");
     let sender_conn = Client::connect_clone(&submit_conn).expect("clone submit stream");
+
+    // Read traffic rides the follower while writes hammer the leader:
+    // a closed-loop reader alternating coverage queries and stats. The
+    // follower answers at whatever seq it has applied, so mid-run
+    // responses are only counted (the strict byte-comparison happens
+    // after the run, at a converged seq). Errors before the first
+    // snapshot lands ("no world yet") are routed-but-unanswered.
+    let read_stop = Arc::new(AtomicBool::new(false));
+    let reader = follower_addr.map(|faddr| {
+        let stop = Arc::clone(&read_stop);
+        thread::spawn(move || -> (u64, u64) {
+            let mut conn = match Client::connect(faddr) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cannot connect follower {faddr}: {e}");
+                    return (0, 0);
+                }
+            };
+            let (mut routed, mut answered) = (0u64, 0u64);
+            let mut i = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                let id = 1_000_000 + i;
+                let req = if i % 8 == 7 {
+                    Request::Stats { id }
+                } else {
+                    Request::QueryCoverage {
+                        id,
+                        billboards: vec![(i % 4) as u32],
+                    }
+                };
+                match conn.call(&req) {
+                    Ok(v) => {
+                        routed += 1;
+                        if v["type"].as_str() != Some("error") {
+                            answered += 1;
+                        }
+                    }
+                    Err(_) => break,
+                }
+                i += 1;
+                thread::sleep(Duration::from_millis(1));
+            }
+            (routed, answered)
+        })
+    });
     let sent_at: Arc<Mutex<Vec<Option<Instant>>>> = Arc::new(Mutex::new(vec![None; n]));
     let started = Instant::now();
     let sender = {
@@ -256,6 +320,92 @@ fn main() {
     }
     let elapsed = started.elapsed();
     sender.join().expect("sender thread");
+
+    // Follower self-check, before anything can shut the leader down:
+    // wait until the follower advertises the leader's (now quiescent)
+    // WAL head twice in a row, then demand byte-identical answers.
+    let mut follower_failures: Vec<String> = Vec::new();
+    if let Some(faddr) = follower_addr {
+        read_stop.store(true, Ordering::SeqCst);
+        let (routed, answered) = reader
+            .expect("reader thread")
+            .join()
+            .expect("join reader thread");
+        let mut lc = Client::connect(addr).expect("leader check stream");
+        let mut fc = Client::connect(faddr).expect("follower check stream");
+        let head_of = |c: &mut Client, field: &str| -> u64 {
+            c.call(&Request::Stats { id: 2_000_000 })
+                .expect("stats for convergence")["stats"][field]
+                .as_f64()
+                .unwrap_or(0.0) as u64
+        };
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let head = loop {
+            let head = head_of(&mut lc, "wal_next_seq").saturating_sub(1);
+            while head_of(&mut fc, "repl_applied_seq") < head {
+                if Instant::now() > deadline {
+                    break;
+                }
+                thread::sleep(Duration::from_millis(2));
+            }
+            // A trailing snapshot mark may land after the first read;
+            // only a stable head counts as converged.
+            if head_of(&mut lc, "wal_next_seq").saturating_sub(1) == head
+                || Instant::now() > deadline
+            {
+                break head;
+            }
+        };
+        let applied = head_of(&mut fc, "repl_applied_seq");
+        if applied < head {
+            follower_failures.push(format!(
+                "follower stuck at seq {applied}, leader head {head}"
+            ));
+        } else {
+            let n_billboards = {
+                let s = lc.call(&Request::Stats { id: 2_000_001 }).expect("stats");
+                (s["stats"]["locked"].as_f64().unwrap_or(0.0)
+                    + s["stats"]["free"].as_f64().unwrap_or(0.0)) as u32
+            };
+            let mut sets: Vec<Vec<u32>> = vec![(0..n_billboards.min(8)).collect()];
+            if n_billboards > 0 {
+                sets.push(vec![0]);
+                sets.push(vec![n_billboards / 2]);
+                sets.push(vec![n_billboards - 1]);
+            }
+            for billboards in sets {
+                let req = Request::QueryCoverage {
+                    id: 2_000_002,
+                    billboards: billboards.clone(),
+                };
+                let l = lc.call(&req).expect("leader coverage");
+                let f = fc.call(&req).expect("follower coverage");
+                if l != f {
+                    follower_failures.push(format!(
+                        "coverage of {billboards:?} diverges at seq {head}: leader {l:?}, follower {f:?}"
+                    ));
+                }
+            }
+            let l = lc.call(&Request::Stats { id: 2_000_003 }).expect("stats");
+            let f = fc.call(&Request::Stats { id: 2_000_003 }).expect("stats");
+            for field in ["day", "locked", "free", "collected", "regret"] {
+                if l["stats"][field].as_f64() != f["stats"][field].as_f64() {
+                    follower_failures.push(format!(
+                        "stats field {field} diverges at seq {head}: leader {:?}, follower {:?}",
+                        l["stats"][field], f["stats"][field]
+                    ));
+                }
+            }
+        }
+        println!(
+            "follower: {routed} reads routed ({answered} answered), leader head seq {head}: {}",
+            if follower_failures.is_empty() {
+                "answers match the leader byte-for-byte"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
 
     // Control connection: pull the server's own view, then stop it —
     // except in `--addr` mode, where the server outlives the run unless
@@ -316,7 +466,7 @@ fn main() {
     );
 
     // Self-checking smoke: a plain run is the CI acceptance test.
-    let mut failures = Vec::new();
+    let mut failures = follower_failures;
     if throughput <= 0.0 {
         failures.push("throughput is not positive".to_string());
     }

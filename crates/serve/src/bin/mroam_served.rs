@@ -10,7 +10,7 @@
 //!              [--max-wait-ms F] [--fixed-window true] [--restore path/to/snapshot.json]
 //!              [--model-cache path/to/model.cov] [--static true]
 //!              [--ingest-queue N] [--wal-dir DIR] [--wal-sync record|batch|interval:MS]
-//!              [--wal-segment-kb N] [--snapshot-every N]
+//!              [--wal-segment-kb N] [--snapshot-every N] [--replica-addr ADDR]
 //! ```
 //!
 //! `--wal-dir` turns on durable write-ahead logging: every served day,
@@ -52,6 +52,7 @@ use mroam_serve::batch::BatchPolicy;
 use mroam_serve::host::HostConfig;
 use mroam_serve::server::{spawn, spawn_streaming, ServeConfig, ServerHandle, WalConfig};
 use mroam_serve::snapshot;
+use mroam_serve::ReplicationConfig;
 use mroam_stream::StreamEngine;
 use mroam_wal::{ReplayedState, SyncPolicy};
 use std::io;
@@ -88,6 +89,17 @@ fn main() {
         config.snapshot_every = args.usize_or("snapshot-every", 8).max(1) as u32;
         config
     });
+    // `--replica-addr` turns on the replication feed: a second listener
+    // shipping the WAL (and snapshots for catch-up) to read-only
+    // followers. Requires --wal-dir — there is nothing to ship without
+    // a log.
+    let replication = args.get("replica-addr").map(|a| {
+        if wal.is_none() {
+            eprintln!("--replica-addr requires --wal-dir: replication ships the WAL");
+            exit(2);
+        }
+        ReplicationConfig::new(a.to_string())
+    });
     // A WAL directory that already holds a snapshot is an existing
     // history: recover from it (and keep logging to it).
     let recoverable = wal.as_ref().filter(|wc| {
@@ -122,6 +134,7 @@ fn main() {
             batch,
             ingest_queue,
             wal: wal.clone(),
+            replication: replication.clone(),
         };
         match state {
             ReplayedState::Static(m) => {
@@ -150,6 +163,7 @@ fn main() {
             batch,
             ingest_queue,
             wal: wal.clone(),
+            replication: replication.clone(),
         };
         match restored.stream {
             Some(stream) if !want_static => {
@@ -256,6 +270,7 @@ fn main() {
             batch,
             ingest_queue,
             wal: wal.clone(),
+            replication: replication.clone(),
         };
         if want_static {
             spawn(model, None, config, &addr)
@@ -274,9 +289,13 @@ fn main() {
         eprintln!("cannot bind {addr}: {e}");
         exit(1);
     });
-    // Stdout carries exactly the bound address, so harnesses (loadgen
-    // with --spawn, the CI smoke test) can parse it.
+    // Stdout line 1 carries the bound address, so harnesses (loadgen
+    // with --spawn, the CI smoke test) can parse it. With replication
+    // on, line 2 carries the feed address for followers.
     println!("{}", handle.addr());
+    if let Some(feed) = handle.replica_addr() {
+        println!("replica {feed}");
+    }
     handle.join();
     eprintln!("server stopped");
 }

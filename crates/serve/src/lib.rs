@@ -24,6 +24,7 @@
 
 pub mod batch;
 pub mod client;
+pub mod feed;
 pub mod frame;
 pub mod histogram;
 pub mod host;
@@ -33,6 +34,7 @@ pub mod snapshot;
 
 pub use batch::{BatchPolicy, Batcher, CloseReason};
 pub use client::Client;
+pub use feed::{FeedStats, FollowerRow, ReplicationConfig};
 pub use histogram::{LogHistogram, Percentiles};
 pub use host::{Host, HostConfig, HostSeed};
 pub use protocol::{Request, Response, StatsReport};

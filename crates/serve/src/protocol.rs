@@ -236,6 +236,38 @@ pub struct StatsReport {
     /// Per-shard loads and timings of the most recent sharded solve
     /// (empty when sharding is off or no day has been solved).
     pub shard_stats: Vec<ShardRow>,
+    /// WAL: highest seq on stable storage (the replication shipping
+    /// horizon; 0 without a WAL).
+    pub wal_durable_seq: u64,
+    /// Replication (leader): followers connected right now (all
+    /// `repl_*` leader fields read 0 when replication is off).
+    pub repl_followers: u64,
+    /// Replication (leader): follower connections accepted since start.
+    pub repl_connects: u64,
+    /// Replication (leader): snapshots shipped to followers.
+    pub repl_snapshot_sends: u64,
+    /// Replication (leader): WAL frames shipped.
+    pub repl_shipped_frames: u64,
+    /// Replication (leader): payload bytes shipped (frames + snapshots).
+    pub repl_shipped_bytes: u64,
+    /// Replication (leader): followers dropped for outrunning their
+    /// bounded send queue.
+    pub repl_slow_disconnects: u64,
+    /// Replication (leader): one row per follower connection.
+    pub replica_rows: Vec<ReplicaRow>,
+    /// Replication (follower): highest WAL seq applied to the local
+    /// replay world (0 on a leader).
+    pub repl_applied_seq: u64,
+    /// Replication (follower): tailer reconnects since start.
+    pub repl_reconnects: u64,
+    /// Replication (follower): snapshots received (catch-ups).
+    pub repl_snapshots_received: u64,
+    /// Replication (follower): wall time of the last catch-up, from
+    /// connect to reaching the leader's durable horizon.
+    pub repl_catch_up_micros: u64,
+    /// Replication (follower): the leader's durable seq as last heard
+    /// (lag = this minus `repl_applied_seq`).
+    pub repl_leader_durable: u64,
 }
 
 /// One shard's row in a `stats` response.
@@ -251,6 +283,25 @@ pub struct ShardRow {
     pub routed_demand: u64,
     /// Wall time of the shard-local solve, in microseconds.
     pub solve_micros: u64,
+}
+
+/// One follower connection's row in a leader `stats` response.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct ReplicaRow {
+    /// Connection id (monotonic; a reconnect is a new row).
+    pub id: u64,
+    /// 1 while connected, 0 after disconnect.
+    pub connected: u64,
+    /// Highest seq shipped to this follower.
+    pub shipped_seq: u64,
+    /// Highest seq the follower acknowledged applying.
+    pub acked_seq: u64,
+    /// Leader durable seq minus `acked_seq`.
+    pub lag: u64,
+    /// Payload bytes shipped on this connection.
+    pub shipped_bytes: u64,
+    /// Snapshots shipped on this connection.
+    pub snapshot_sends: u64,
 }
 
 /// A server response, ready to encode.
@@ -290,6 +341,9 @@ pub enum Response {
     EpochStats { id: u64, stats: EpochStats },
     /// Acknowledged shutdown.
     Bye { id: u64 },
+    /// A mutation hit a read-only follower: the typed redirect carries
+    /// the leader's command address (may be empty when unknown).
+    Redirect { id: u64, leader: String },
     /// Malformed or unserviceable request.
     Error { id: u64, message: String },
 }
@@ -371,6 +425,14 @@ impl Response {
                 stats.overlay_billboards,
             ),
             Response::Bye { id } => format!("{{\"type\":\"bye\",\"id\":{id}}}"),
+            Response::Redirect { id, leader } => {
+                let mut quoted = String::new();
+                serde::write_json_string(leader, &mut quoted);
+                format!(
+                    "{{\"type\":\"redirect\",\"id\":{id},\"leader\":{quoted},\
+                     \"message\":\"read-only follower: send mutations to the leader\"}}"
+                )
+            }
             Response::Error { id, message } => {
                 let mut quoted = String::new();
                 serde::write_json_string(message, &mut quoted);
@@ -551,6 +613,10 @@ mod tests {
                 },
             },
             Response::Bye { id: 6 },
+            Response::Redirect {
+                id: 12,
+                leader: "127.0.0.1:7464".into(),
+            },
             Response::Error {
                 id: 7,
                 message: "bad \"quote\"".into(),

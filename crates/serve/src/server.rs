@@ -37,6 +37,7 @@
 //! ledger carry over, exactly like a snapshot resume.
 
 use crate::batch::{BatchPolicy, Batcher, CloseReason};
+use crate::feed::{self, FeedHandle, FeedStats, ReplicationConfig};
 use crate::frame::{read_frame, write_frame};
 use crate::histogram::LogHistogram;
 use crate::host::{Host, HostConfig, HostSeed};
@@ -45,7 +46,7 @@ use crate::snapshot;
 use mroam_influence::CoverageModel;
 use mroam_market::{DayRecord, Proposal};
 use mroam_stream::{IngestBatch, StreamEngine};
-use mroam_wal::{WalOptions, WalRecord, WalWriter};
+use mroam_wal::{SharedWal, WalOptions, WalRecord};
 use std::collections::VecDeque;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -94,6 +95,9 @@ pub struct ServeConfig {
     pub ingest_queue: usize,
     /// Durable write-ahead log; `None` disables logging.
     pub wal: Option<WalConfig>,
+    /// Replication feed for read-only followers; requires `wal`
+    /// (followers are fed from the log). `None` disables.
+    pub replication: Option<ReplicationConfig>,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +107,7 @@ impl Default for ServeConfig {
             batch: BatchPolicy::default(),
             ingest_queue: 16,
             wal: None,
+            replication: None,
         }
     }
 }
@@ -180,12 +185,18 @@ pub struct ServerHandle {
     command: JoinHandle<()>,
     acceptor: JoinHandle<()>,
     conns: Arc<Mutex<Vec<TcpStream>>>,
+    feed: Option<FeedHandle>,
 }
 
 impl ServerHandle {
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The replication feed's bound address, when replication is on.
+    pub fn replica_addr(&self) -> Option<SocketAddr> {
+        self.feed.as_ref().map(FeedHandle::addr)
     }
 
     /// Waits for the server to stop (i.e. for a `shutdown` request to be
@@ -196,6 +207,9 @@ impl ServerHandle {
         let _ = self.acceptor.join();
         for conn in self.conns.lock().expect("conn registry").drain(..) {
             let _ = conn.shutdown(Shutdown::Both);
+        }
+        if let Some(feed) = self.feed {
+            feed.join();
         }
     }
 }
@@ -245,9 +259,33 @@ fn spawn_world(
     let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
     let (tx, rx) = mpsc::channel::<Incoming>();
 
+    // The WAL opens here (not inside the command loop) so the
+    // replication feed can share the same `SharedWal` handle; a log
+    // that cannot open fails the spawn instead of a later panic.
+    let wal = match config.wal.as_ref() {
+        Some(wc) => Some(open_wal(wc).map_err(io::Error::other)?),
+        None => None,
+    };
+    let feed = match (&config.replication, &wal) {
+        (Some(rc), Some(w)) => Some(feed::spawn_feed(
+            w.dir.clone(),
+            Arc::clone(&w.shared),
+            rc.clone(),
+            Arc::clone(&stopping),
+        )?),
+        (Some(_), None) => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "replication requires a wal directory",
+            ))
+        }
+        _ => None,
+    };
+    let feed_stats = feed.as_ref().map(FeedHandle::stats_handle);
+
     let command = {
         let stopping = Arc::clone(&stopping);
-        thread::spawn(move || command_loop(world, resume, config, rx, stopping))
+        thread::spawn(move || command_loop(world, resume, config, rx, stopping, wal, feed_stats))
     };
 
     let acceptor = {
@@ -261,6 +299,7 @@ fn spawn_world(
         command,
         acceptor,
         conns,
+        feed,
     })
 }
 
@@ -374,7 +413,9 @@ fn reader_loop(mut stream: TcpStream, tx: Sender<Incoming>, reply: Sender<String
 /// durable must not keep acknowledging mutations, so every append/sync
 /// here `expect`s.
 struct WalState {
-    writer: WalWriter,
+    /// The group-commit log handle, shared with the replication feed
+    /// (which tails it read-only, gated on `durable_seq`).
+    shared: Arc<SharedWal>,
     dir: PathBuf,
     snapshot_every: u32,
     /// Days served since the last snapshot.
@@ -386,26 +427,27 @@ struct WalState {
     last_snapshot_seq: u64,
 }
 
-fn open_wal(wc: &WalConfig) -> WalState {
-    let writer = WalWriter::open(&wc.dir, wc.options.clone()).expect("wal: cannot open log");
-    let snaps = snapshot::list_snapshots(&wc.dir).expect("wal: cannot list snapshots");
+fn open_wal(wc: &WalConfig) -> Result<WalState, mroam_wal::WalError> {
+    let shared = Arc::new(SharedWal::open(&wc.dir, wc.options.clone())?);
+    let snaps = snapshot::list_snapshots(&wc.dir)
+        .map_err(|e| mroam_wal::WalError::Io(io::Error::other(e.to_string())))?;
     let last = snaps.last().map(|(seq, _)| *seq);
-    WalState {
-        writer,
+    Ok(WalState {
+        shared,
         dir: wc.dir.clone(),
         snapshot_every: wc.snapshot_every.max(1),
         days_since_snapshot: 0,
         genesis_needed: last.is_none(),
         last_snapshot_seq: last.unwrap_or(0),
-    }
+    })
 }
 
 impl WalState {
     /// Logs one record and makes it as durable as the sync policy
     /// promises, *before* the caller applies the mutation.
     fn log(&mut self, record: &WalRecord) {
-        self.writer.append(record).expect("wal: append failed");
-        self.writer
+        self.shared.append(record).expect("wal: append failed");
+        self.shared
             .batch_boundary()
             .expect("wal: sync failed at batch boundary");
     }
@@ -422,8 +464,8 @@ fn maybe_snapshot(wal: &mut Option<WalState>, host: &Host<'_>, world: &World) {
     }
     // Everything up to the watermark must be durable before the
     // snapshot claims to cover it.
-    w.writer.sync().expect("wal: sync before snapshot");
-    let watermark = w.writer.next_seq() - 1;
+    w.shared.sync().expect("wal: sync before snapshot");
+    let watermark = w.shared.next_seq() - 1;
     snapshot::write_snapshot_file(&w.dir, watermark, &snapshot::encode(host, world.engine()))
         .expect("wal: snapshot write failed");
     w.log(&WalRecord::SnapshotMark {
@@ -434,7 +476,7 @@ fn maybe_snapshot(wal: &mut Option<WalState>, host: &Host<'_>, world: &World) {
     let floor = w.last_snapshot_seq;
     w.last_snapshot_seq = watermark;
     w.days_since_snapshot = 0;
-    w.writer.prune_below(floor).expect("wal: prune failed");
+    w.shared.prune_below(floor).expect("wal: prune failed");
     prune_snapshots(&w.dir, floor);
 }
 
@@ -457,6 +499,8 @@ fn command_loop(
     config: ServeConfig,
     rx: Receiver<Incoming>,
     stopping: Arc<AtomicBool>,
+    mut wal: Option<WalState>,
+    feed_stats: Option<Arc<Mutex<FeedStats>>>,
 ) {
     let started = Instant::now();
     let now_nanos = move || started.elapsed().as_nanos() as u64;
@@ -465,7 +509,6 @@ fn command_loop(
     let mut pending_ingest: VecDeque<PendingIngest> = VecDeque::new();
     let mut seed = resume;
     let mut running = true;
-    let mut wal = config.wal.as_ref().map(open_wal);
 
     // One outer iteration per serving epoch: the host borrows the
     // world's current base model; a compaction re-bases the world, so we
@@ -483,7 +526,7 @@ fn command_loop(
             // always has a base state; its watermark is the current log
             // head (0 on a brand-new log).
             if w.genesis_needed {
-                let watermark = w.writer.next_seq() - 1;
+                let watermark = w.shared.next_seq() - 1;
                 snapshot::write_snapshot_file(
                     &w.dir,
                     watermark,
@@ -597,6 +640,7 @@ fn command_loop(
                                 &world,
                                 pending_ingest.len(),
                                 wal.as_ref(),
+                                feed_stats.as_ref(),
                             );
                             send(
                                 &reply,
@@ -717,7 +761,7 @@ fn command_loop(
     // Make every acknowledged record durable before the process exits,
     // whatever the interval policy left unsynced.
     if let Some(w) = wal.as_mut() {
-        w.writer.sync().expect("wal: final sync failed");
+        w.shared.sync().expect("wal: final sync failed");
     }
     stopping.store(true, Ordering::SeqCst);
 }
@@ -835,6 +879,7 @@ fn solve_batch(
     (outcome.record, proposals.len())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn stats_report(
     stats: &ServerStats,
     host: &Host<'_>,
@@ -843,8 +888,39 @@ fn stats_report(
     world: &World,
     ingest_pending: usize,
     wal: Option<&WalState>,
+    feed: Option<&Arc<Mutex<FeedStats>>>,
 ) -> StatsReport {
-    let ws = wal.map(|w| w.writer.stats()).unwrap_or_default();
+    let ws = wal.map(|w| w.shared.stats()).unwrap_or_default();
+    let durable = wal.map_or(0, |w| w.shared.durable_seq());
+    let (repl, rows) = match feed.and_then(|f| f.lock().ok()) {
+        Some(fs) => {
+            let rows = fs
+                .rows
+                .iter()
+                .map(|r| crate::protocol::ReplicaRow {
+                    id: r.id,
+                    connected: u64::from(r.connected),
+                    shipped_seq: r.shipped_seq,
+                    acked_seq: r.acked_seq,
+                    lag: durable.saturating_sub(r.acked_seq),
+                    shipped_bytes: r.shipped_bytes,
+                    snapshot_sends: r.snapshot_sends,
+                })
+                .collect();
+            (
+                (
+                    fs.connected() as u64,
+                    fs.connects,
+                    fs.snapshot_sends,
+                    fs.shipped_frames,
+                    fs.shipped_bytes,
+                    fs.slow_disconnects,
+                ),
+                rows,
+            )
+        }
+        None => ((0, 0, 0, 0, 0, 0), Vec::new()),
+    };
     StatsReport {
         uptime_micros: started.elapsed().as_micros() as u64,
         requests: stats.requests,
@@ -874,6 +950,19 @@ fn stats_report(
         wal_last_sync_age_micros: ws.last_sync_age_micros,
         wal_next_seq: ws.next_seq,
         wal_snapshot_seq: wal.map_or(0, |w| w.last_snapshot_seq),
+        wal_durable_seq: durable,
+        repl_followers: repl.0,
+        repl_connects: repl.1,
+        repl_snapshot_sends: repl.2,
+        repl_shipped_frames: repl.3,
+        repl_shipped_bytes: repl.4,
+        repl_slow_disconnects: repl.5,
+        replica_rows: rows,
+        repl_applied_seq: 0,
+        repl_reconnects: 0,
+        repl_snapshots_received: 0,
+        repl_catch_up_micros: 0,
+        repl_leader_durable: 0,
         shards: host
             .config()
             .shards

@@ -56,6 +56,7 @@ fn streaming_server(engine: StreamEngine, ingest_queue: usize) -> ServerHandle {
             },
             ingest_queue,
             wal: None,
+            replication: None,
         },
         "127.0.0.1:0",
     )

@@ -25,21 +25,27 @@
 //! `mroam-experiments` for the offline `mroam wal-replay` tool.
 
 pub mod crc;
+pub mod group;
 pub mod log;
 pub mod record;
 pub mod recover;
 pub mod replay;
+pub mod ship;
 pub mod state;
+pub mod tail;
 pub mod testutil;
 
+pub use group::SharedWal;
 pub use log::{
-    segment_file_name, SegmentInfo, SyncPolicy, WalError, WalOptions, WalReader, WalStats,
-    WalWriter,
+    frame_crc, segment_file_name, SegmentInfo, SyncPolicy, WalError, WalOptions, WalReader,
+    WalStats, WalWriter,
 };
 pub use record::{RecordError, WalRecord};
 pub use recover::{recover, RecoverError, RecoveryReport};
 pub use replay::{ReplayError, ReplayWorld, ReplayedState};
+pub use ship::{read_msg, verify_frame, write_msg, ShipMsg};
 pub use state::{
     snapshot_file_name, Restored, SnapshotCorruption, SnapshotError, StreamRestore,
     SNAPSHOT_VERSION,
 };
+pub use tail::{ShippedFrame, TailError, WalCursor};

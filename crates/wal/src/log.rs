@@ -54,12 +54,12 @@ use std::time::{Duration, Instant};
 /// First 8 bytes of every segment file.
 pub const SEGMENT_MAGIC: &[u8; 8] = b"MWALSEG1";
 /// Segment header: magic + start_seq.
-const SEGMENT_HEADER_LEN: usize = 16;
+pub(crate) const SEGMENT_HEADER_LEN: usize = 16;
 /// Frame header: len + crc + seq.
-const FRAME_HEADER_LEN: usize = 16;
+pub(crate) const FRAME_HEADER_LEN: usize = 16;
 /// Upper bound on a sane payload; larger lengths are treated as torn
 /// garbage rather than attempted as allocations.
-const MAX_PAYLOAD_LEN: u32 = 1 << 30;
+pub(crate) const MAX_PAYLOAD_LEN: u32 = 1 << 30;
 
 /// File name for the segment whose first record is `start_seq`.
 pub fn segment_file_name(start_seq: u64) -> String {
@@ -206,15 +206,17 @@ pub struct WalStats {
     pub truncated_tail_bytes: u64,
 }
 
-fn read_u32(bytes: &[u8]) -> u32 {
+pub(crate) fn read_u32(bytes: &[u8]) -> u32 {
     u32::from_le_bytes(bytes[..4].try_into().unwrap())
 }
 
-fn read_u64(bytes: &[u8]) -> u64 {
+pub(crate) fn read_u64(bytes: &[u8]) -> u64 {
     u64::from_le_bytes(bytes[..8].try_into().unwrap())
 }
 
-fn frame_crc(seq: u64, payload: &[u8]) -> u32 {
+/// CRC32 over `seq LE ++ payload` — the per-frame checksum both the log
+/// scanner and the replication follower verify.
+pub fn frame_crc(seq: u64, payload: &[u8]) -> u32 {
     crc::finalize(crc::update(
         crc::update(crc::INIT, &seq.to_le_bytes()),
         payload,
@@ -296,7 +298,7 @@ fn scan_segment(path: &Path) -> Result<Option<SegmentScan>, WalError> {
 }
 
 /// Sorted list of `(start_seq, path)` for every segment in `dir`.
-fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
+pub(crate) fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
     let mut segments = Vec::new();
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
@@ -466,6 +468,15 @@ impl WalWriter {
         }
         self.last_sync = Instant::now();
         Ok(())
+    }
+
+    /// `(head_seq, handle)` for an out-of-lock group-commit fsync
+    /// ([`crate::group::SharedWal`]). The clone of the active segment
+    /// file covers every un-synced frame: rotation syncs the sealed
+    /// file before the new one opens, so dirty bytes only ever live in
+    /// the active segment.
+    pub(crate) fn sync_handle(&self) -> Result<(u64, File), WalError> {
+        Ok((self.next_seq - 1, self.file.try_clone()?))
     }
 
     /// Seals the active segment (after syncing it) and starts a new one

@@ -242,6 +242,18 @@ impl ReplayWorld {
         self.replayed
     }
 
+    /// The model coverage queries serve from (for a streaming world,
+    /// the engine's compacted base). Follower reads go through this so
+    /// they match the leader's `query_coverage` bit for bit.
+    pub fn serving_model(&self) -> Arc<CoverageModel> {
+        self.world.serving_model()
+    }
+
+    /// The carried lock state, sized to the serving base.
+    pub fn lock(&self) -> &mroam_market::LockState {
+        &self.seed.lock
+    }
+
     /// The carried host seed (clone; locks sized to the current base).
     pub fn seed(&self) -> HostSeed {
         self.seed.clone()

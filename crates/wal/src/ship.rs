@@ -1,0 +1,280 @@
+//! The log-shipping wire protocol: what flows between the leader's
+//! replication feed and a follower's tailer.
+//!
+//! Framing is deliberately dumber than the JSON command protocol in
+//! `mroam-serve`: a `u32 LE` length (covering everything after it), one
+//! tag byte, then a fixed binary body. WAL record payloads are shipped
+//! as the *exact bytes* that sit in the leader's log frames, alongside
+//! the on-disk CRC — the follower recomputes
+//! [`crate::log::frame_crc`]`(seq, payload)` and refuses the frame on
+//! mismatch, so a flipped bit anywhere between the leader's disk and
+//! the follower's memory is caught, not applied.
+//!
+//! ```text
+//! | len u32 LE | tag u8 | body (len - 1 bytes) |
+//! ```
+//!
+//! Messages:
+//!
+//! | tag | message | body |
+//! |-----|-----------|------|
+//! | `H` | Hello | `watermark u64 LE ++ need_snapshot u8` (follower → leader, once) |
+//! | `S` | Snapshot | `wal_seq u64 LE ++ sealed snapshot bytes` (the `%MSNAP1` container verbatim) |
+//! | `W` | Frame | `seq u64 LE ++ crc u32 LE ++ payload` |
+//! | `B` | Heartbeat | `durable_seq u64 LE` |
+//! | `A` | Ack | `applied_seq u64 LE` (follower → leader) |
+//!
+//! The snapshot body is the sealed `%MSNAP1` file text verbatim:
+//! unsealing on the follower *is* the checksum verification
+//! ([`crate::state::unseal`]), the same one crash recovery runs.
+
+use crate::log::{frame_crc, read_u32, read_u64};
+use std::io::{self, Read, Write};
+
+/// Generous ceiling: a snapshot of a large streaming world dominates.
+const MAX_SHIP_LEN: u32 = 1 << 30;
+
+/// One replication message. See the module docs for the wire layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShipMsg {
+    /// Follower's opening line: highest seq applied, and whether it has
+    /// no base world at all (a fresh follower must get a snapshot even
+    /// when the log still reaches back to seq 1, because records alone
+    /// do not carry the model).
+    Hello {
+        /// Highest seq the follower has applied (0 = nothing).
+        watermark: u64,
+        /// True when the follower holds no world and needs a snapshot
+        /// regardless of the pruning horizon.
+        need_snapshot: bool,
+    },
+    /// A sealed snapshot container; the follower restores from it and
+    /// continues at `wal_seq`.
+    Snapshot {
+        /// The snapshot's replay watermark.
+        wal_seq: u64,
+        /// The `%MSNAP1` container, verbatim.
+        sealed: Vec<u8>,
+    },
+    /// One WAL frame, payload bytes verbatim from the leader's log.
+    Frame {
+        /// Sequence number.
+        seq: u64,
+        /// CRC32 from the leader's on-disk frame header.
+        crc: u32,
+        /// Record payload (JSON bytes, undecoded).
+        payload: Vec<u8>,
+    },
+    /// Leader liveness + durable horizon when no frames are flowing.
+    Heartbeat {
+        /// The leader's current durable seq.
+        durable_seq: u64,
+    },
+    /// Follower progress report, drained by the leader for lag stats.
+    Ack {
+        /// Highest seq the follower has applied.
+        applied_seq: u64,
+    },
+}
+
+impl ShipMsg {
+    /// A frame message straight from a tailed log frame.
+    pub fn from_frame(f: &crate::tail::ShippedFrame) -> ShipMsg {
+        ShipMsg::Frame {
+            seq: f.seq,
+            crc: f.crc,
+            payload: f.payload.clone(),
+        }
+    }
+
+    /// Body length (excluding the length word, including the tag).
+    fn body_len(&self) -> usize {
+        1 + match self {
+            ShipMsg::Hello { .. } => 9,
+            ShipMsg::Snapshot { sealed, .. } => 8 + sealed.len(),
+            ShipMsg::Frame { payload, .. } => 12 + payload.len(),
+            ShipMsg::Heartbeat { .. } | ShipMsg::Ack { .. } => 8,
+        }
+    }
+}
+
+/// Writes one message (length-prefixed) and flushes.
+pub fn write_msg<W: Write>(w: &mut W, msg: &ShipMsg) -> io::Result<()> {
+    let len = msg.body_len() as u32;
+    let mut buf = Vec::with_capacity(4 + len as usize);
+    buf.extend_from_slice(&len.to_le_bytes());
+    match msg {
+        ShipMsg::Hello {
+            watermark,
+            need_snapshot,
+        } => {
+            buf.push(b'H');
+            buf.extend_from_slice(&watermark.to_le_bytes());
+            buf.push(u8::from(*need_snapshot));
+        }
+        ShipMsg::Snapshot { wal_seq, sealed } => {
+            buf.push(b'S');
+            buf.extend_from_slice(&wal_seq.to_le_bytes());
+            buf.extend_from_slice(sealed);
+        }
+        ShipMsg::Frame { seq, crc, payload } => {
+            buf.push(b'W');
+            buf.extend_from_slice(&seq.to_le_bytes());
+            buf.extend_from_slice(&crc.to_le_bytes());
+            buf.extend_from_slice(payload);
+        }
+        ShipMsg::Heartbeat { durable_seq } => {
+            buf.push(b'B');
+            buf.extend_from_slice(&durable_seq.to_le_bytes());
+        }
+        ShipMsg::Ack { applied_seq } => {
+            buf.push(b'A');
+            buf.extend_from_slice(&applied_seq.to_le_bytes());
+        }
+    }
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+fn bad(detail: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail)
+}
+
+/// Reads one message; `Ok(None)` on a clean EOF at a message boundary.
+pub fn read_msg<R: Read>(r: &mut R) -> io::Result<Option<ShipMsg>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 || len > MAX_SHIP_LEN {
+        return Err(bad(format!("ship message length {len} out of range")));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let tag = body[0];
+    let rest = &body[1..];
+    let need = |n: usize| -> io::Result<()> {
+        if rest.len() < n {
+            Err(bad(format!(
+                "ship message '{}' body too short: {} < {n}",
+                tag as char,
+                rest.len()
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    let msg = match tag {
+        b'H' => {
+            need(9)?;
+            ShipMsg::Hello {
+                watermark: read_u64(rest),
+                need_snapshot: rest[8] != 0,
+            }
+        }
+        b'S' => {
+            need(8)?;
+            ShipMsg::Snapshot {
+                wal_seq: read_u64(rest),
+                sealed: rest[8..].to_vec(),
+            }
+        }
+        b'W' => {
+            need(12)?;
+            ShipMsg::Frame {
+                seq: read_u64(rest),
+                crc: read_u32(&rest[8..]),
+                payload: rest[12..].to_vec(),
+            }
+        }
+        b'B' => {
+            need(8)?;
+            ShipMsg::Heartbeat {
+                durable_seq: read_u64(rest),
+            }
+        }
+        b'A' => {
+            need(8)?;
+            ShipMsg::Ack {
+                applied_seq: read_u64(rest),
+            }
+        }
+        other => return Err(bad(format!("unknown ship message tag {other:#x}"))),
+    };
+    Ok(Some(msg))
+}
+
+/// Verifies a shipped frame's checksum against its payload — the
+/// follower-side mirror of the log scanner's check.
+pub fn verify_frame(seq: u64, crc: u32, payload: &[u8]) -> bool {
+    frame_crc(seq, payload) == crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: ShipMsg) {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &msg).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_msg(&mut cursor).unwrap(), Some(msg));
+        assert_eq!(read_msg(&mut cursor).unwrap(), None, "clean EOF after");
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        roundtrip(ShipMsg::Hello {
+            watermark: 42,
+            need_snapshot: true,
+        });
+        roundtrip(ShipMsg::Snapshot {
+            wal_seq: 7,
+            sealed: b"%MSNAP1\n{}\n%MSNAP-CRC32 deadbeef 3\n".to_vec(),
+        });
+        roundtrip(ShipMsg::Frame {
+            seq: 9,
+            crc: 0xCAFE_F00D,
+            payload: br#"{"kind":"compact","epoch":3}"#.to_vec(),
+        });
+        roundtrip(ShipMsg::Heartbeat { durable_seq: 1000 });
+        roundtrip(ShipMsg::Ack { applied_seq: 999 });
+    }
+
+    #[test]
+    fn frames_verify_against_the_log_crc() {
+        let payload = br#"{"kind":"compact","epoch":1}"#;
+        let crc = frame_crc(5, payload);
+        assert!(verify_frame(5, crc, payload));
+        assert!(!verify_frame(6, crc, payload), "wrong seq fails");
+        let mut flipped = payload.to_vec();
+        flipped[3] ^= 0x01;
+        assert!(!verify_frame(5, crc, &flipped), "flipped bit fails");
+    }
+
+    #[test]
+    fn garbage_and_truncation_are_typed_errors() {
+        // Unknown tag.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(b"Zz");
+        assert!(read_msg(&mut &buf[..]).is_err());
+        // Truncated body: EOF mid-message is an error, not None.
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &ShipMsg::Ack { applied_seq: 1 }).unwrap();
+        let cut = &buf[..buf.len() - 2];
+        assert!(read_msg(&mut &cut[..]).is_err());
+        // Zero length.
+        let buf = 0u32.to_le_bytes();
+        assert!(read_msg(&mut &buf[..]).is_err());
+        // Short body for the declared tag.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.push(b'A');
+        buf.extend_from_slice(&[0, 0]);
+        assert!(read_msg(&mut &buf[..]).is_err());
+    }
+}
